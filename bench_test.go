@@ -1,0 +1,245 @@
+package mlexray
+
+// The benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (plus the appendix results and the DESIGN.md ablations). Each
+// benchmark regenerates its artifact through internal/experiments and prints
+// the table/series once; b.N iterations re-run only the (cheap) render so
+// `go test -bench` semantics hold. Reported custom metrics carry the headline
+// numbers into the benchmark output.
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+import (
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"testing"
+
+	"mlexray/internal/experiments"
+	"mlexray/internal/pipeline"
+)
+
+// once-guards so expensive experiments run a single time per process even
+// under -benchtime growth.
+var benchOnce sync.Map
+
+func runOnce[T any](key string, b *testing.B, f func() (T, error)) T {
+	b.Helper()
+	type slot struct {
+		once sync.Once
+		val  T
+		err  error
+	}
+	s, _ := benchOnce.LoadOrStore(key, &slot{})
+	sl := s.(*slot)
+	sl.once.Do(func() { sl.val, sl.err = f() })
+	if sl.err != nil {
+		b.Fatal(sl.err)
+	}
+	return sl.val
+}
+
+var printed sync.Map
+
+// printOnceThenDiscard renders to stdout the first time, io.Discard after.
+func printOnceThenDiscard(key string, render func(w io.Writer)) {
+	if _, loaded := printed.LoadOrStore(key, true); loaded {
+		render(io.Discard)
+		return
+	}
+	fmt.Println()
+	render(os.Stdout)
+}
+
+func BenchmarkTable1_LinesOfCode(b *testing.B) {
+	rows := experiments.Table1()
+	for i := 0; i < b.N; i++ {
+		printOnceThenDiscard("t1", func(w io.Writer) { experiments.RenderTable1(w, rows) })
+	}
+	with, without := 0, 0
+	for _, r := range rows {
+		with += r.WithInst + r.WithAssert
+		without += r.WithoutInst + r.WithoutAssert
+	}
+	b.ReportMetric(float64(with), "loc_with")
+	b.ReportMetric(float64(without), "loc_without")
+}
+
+func BenchmarkTable2_RuntimeOverhead(b *testing.B) {
+	rows := runOnce("t2", b, func() ([]experiments.Table2Row, error) { return experiments.Table2(100) })
+	for i := 0; i < b.N; i++ {
+		printOnceThenDiscard("t2", func(w io.Writer) { experiments.RenderTable2(w, rows) })
+	}
+	for _, r := range rows {
+		if r.Device == "Pixel4" && r.Instrumented {
+			b.ReportMetric(r.LatMeanMs, "pixel4_inst_ms")
+			b.ReportMetric(r.DiskKBPerFrm, "disk_kb_per_frame")
+		}
+	}
+}
+
+func BenchmarkTable3_OfflineOverheadQuant(b *testing.B) {
+	rows := runOnce("t3", b, func() ([]experiments.Table3Row, error) { return experiments.Table3(20) })
+	for i := 0; i < b.N; i++ {
+		printOnceThenDiscard("t3", func(w io.Writer) {
+			experiments.RenderTable3(w, "Table 3 — offline per-layer validation overhead (quantized int8 models)", rows)
+		})
+	}
+	b.ReportMetric(rows[1].DiskMB, "v2_quant_log_mb")
+}
+
+func BenchmarkTable5_OfflineOverheadFloat(b *testing.B) {
+	rows := runOnce("t5", b, func() ([]experiments.Table3Row, error) { return experiments.Table5(20) })
+	for i := 0; i < b.N; i++ {
+		printOnceThenDiscard("t5", func(w io.Writer) {
+			experiments.RenderTable3(w, "Table 5 — offline per-layer validation overhead (float32 models)", rows)
+		})
+	}
+	b.ReportMetric(rows[1].DiskMB, "v2_float_log_mb")
+}
+
+func BenchmarkTable4_LatencyByLayerType(b *testing.B) {
+	rows := runOnce("t4", b, func() ([]experiments.Table4Row, error) { return experiments.Table4() })
+	for i := 0; i < b.N; i++ {
+		printOnceThenDiscard("t4", func(w io.Writer) { experiments.RenderTable4(w, rows) })
+	}
+	for _, r := range rows {
+		if r.Class == "Conv" {
+			b.ReportMetric(r.Ms["MobileQuantRef"]/r.Ms["MobileQuant"], "conv_ref_over_opt")
+		}
+	}
+}
+
+func BenchmarkFigure3_CoverageMatrix(b *testing.B) {
+	cells := runOnce("f3", b, func() ([]experiments.Figure3Cell, error) { return experiments.Figure3(6) })
+	for i := 0; i < b.N; i++ {
+		printOnceThenDiscard("f3", func(w io.Writer) { experiments.RenderFigure3(w, cells) })
+	}
+	caught := 0
+	for _, c := range cells {
+		if c.Caught {
+			caught++
+		}
+	}
+	b.ReportMetric(float64(caught), "issues_caught")
+	b.ReportMetric(float64(len(cells)), "cells")
+}
+
+func BenchmarkFigure4a_PreprocClassification(b *testing.B) {
+	rows := runOnce("f4a", b, func() ([]experiments.Figure4aRow, error) { return experiments.Figure4a() })
+	for i := 0; i < b.N; i++ {
+		printOnceThenDiscard("f4a", func(w io.Writer) { experiments.RenderFigure4a(w, rows) })
+	}
+	var rotDrop float64
+	for _, r := range rows {
+		rotDrop += r.Baseline - r.ByBug[pipeline.BugRotation]
+	}
+	b.ReportMetric(rotDrop/float64(len(rows)), "mean_rotation_drop")
+}
+
+func BenchmarkFigure4b_PreprocDetection(b *testing.B) {
+	rows := runOnce("f4b", b, func() ([]experiments.Figure4bRow, error) { return experiments.Figure4b() })
+	for i := 0; i < b.N; i++ {
+		printOnceThenDiscard("f4b", func(w io.Writer) { experiments.RenderFigure4b(w, rows) })
+	}
+	b.ReportMetric(rows[0].Baseline, "ssd_baseline_map")
+}
+
+func BenchmarkFigure4c_PreprocSpeech(b *testing.B) {
+	rows := runOnce("f4c", b, func() ([]experiments.Figure4cRow, error) { return experiments.Figure4c() })
+	for i := 0; i < b.N; i++ {
+		printOnceThenDiscard("f4c", func(w io.Writer) { experiments.RenderFigure4c(w, rows) })
+	}
+	b.ReportMetric(rows[0].Baseline-rows[0].WrongNorm, "specnorm_drop")
+}
+
+func BenchmarkFigure5_QuantizationAccuracy(b *testing.B) {
+	rows := runOnce("f5", b, func() ([]experiments.Figure5Row, error) { return experiments.Figure5() })
+	for i := 0; i < b.N; i++ {
+		printOnceThenDiscard("f5", func(w io.Writer) { experiments.RenderFigure5(w, rows) })
+	}
+	for _, r := range rows {
+		if r.Model == "mobilenetv3-mini" {
+			b.ReportMetric(r.MobileQuantR, "v3_quant_ref_acc")
+		}
+	}
+}
+
+func BenchmarkFigure5_FixedKernels(b *testing.B) {
+	rows := runOnce("f5fix", b, func() ([]experiments.Figure5Row, error) { return experiments.Figure5Fixed() })
+	for i := 0; i < b.N; i++ {
+		printOnceThenDiscard("f5fix", func(w io.Writer) {
+			fprintHeader(w, "Figure 5 (ablation) — same sweep on the repaired kernel build")
+			experiments.RenderFigure5(w, rows)
+		})
+	}
+}
+
+func fprintHeader(w io.Writer, s string) { fmt.Fprintln(w, s) }
+
+func BenchmarkFigure6_PerLayerRMSE(b *testing.B) {
+	series := runOnce("f6", b, func() ([]experiments.Figure6Series, error) { return experiments.Figure6(5) })
+	for i := 0; i < b.N; i++ {
+		printOnceThenDiscard("f6", func(w io.Writer) { experiments.RenderFigure6(w, series) })
+	}
+}
+
+func BenchmarkAppendixA_TextInvariance(b *testing.B) {
+	rows := runOnce("txt", b, func() ([]experiments.AppendixTextRow, error) { return experiments.AppendixText(80) })
+	for i := 0; i < b.N; i++ {
+		printOnceThenDiscard("txt", func(w io.Writer) { experiments.RenderAppendixText(w, rows) })
+	}
+	b.ReportMetric(rows[0].EmbeddingNRMSE, "embedding_nrmse")
+}
+
+func BenchmarkAppendixA_InGraphPreprocessing(b *testing.B) {
+	rows := runOnce("ing", b, func() ([]experiments.AppendixInGraphRow, error) { return experiments.AppendixInGraph(100) })
+	for i := 0; i < b.N; i++ {
+		printOnceThenDiscard("ing", func(w io.Writer) { experiments.RenderAppendixInGraph(w, rows) })
+	}
+}
+
+func BenchmarkAblation_ErrorMetrics(b *testing.B) {
+	rows := runOnce("abem", b, func() ([]experiments.AblationErrorMetricsRow, error) { return experiments.AblationErrorMetrics() })
+	for i := 0; i < b.N; i++ {
+		printOnceThenDiscard("abem", func(w io.Writer) { experiments.RenderAblationErrorMetrics(w, rows) })
+	}
+}
+
+func BenchmarkAblation_PerChannel(b *testing.B) {
+	rows := runOnce("abpc", b, func() ([]experiments.AblationQuantRow, error) { return experiments.AblationPerChannel() })
+	for i := 0; i < b.N; i++ {
+		printOnceThenDiscard("abpc", func(w io.Writer) {
+			experiments.RenderAblationQuant(w, "Ablation — per-channel vs per-tensor weight quantization (v2)", rows)
+		})
+	}
+	b.ReportMetric(rows[0].Accuracy-rows[1].Accuracy, "per_channel_gain")
+}
+
+func BenchmarkAblation_Calibration(b *testing.B) {
+	rows := runOnce("abcal", b, func() ([]experiments.AblationQuantRow, error) { return experiments.AblationCalibration() })
+	for i := 0; i < b.N; i++ {
+		printOnceThenDiscard("abcal", func(w io.Writer) {
+			experiments.RenderAblationQuant(w, "Ablation — calibration with an outlier sample: strict vs clipped", rows)
+		})
+	}
+}
+
+func BenchmarkAblation_SymmetricActivations(b *testing.B) {
+	rows := runOnce("absym", b, func() ([]experiments.AblationQuantRow, error) { return experiments.AblationSymmetric() })
+	for i := 0; i < b.N; i++ {
+		printOnceThenDiscard("absym", func(w io.Writer) {
+			experiments.RenderAblationQuant(w, "Ablation — asymmetric vs symmetric activation quantization (v2)", rows)
+		})
+	}
+}
+
+func BenchmarkAblation_CaptureMode(b *testing.B) {
+	rows := runOnce("abcap", b, func() ([]experiments.AblationCaptureRow, error) { return experiments.AblationCaptureMode() })
+	for i := 0; i < b.N; i++ {
+		printOnceThenDiscard("abcap", func(w io.Writer) { experiments.RenderAblationCapture(w, rows) })
+	}
+	b.ReportMetric(float64(rows[1].BytesPerFrame)/float64(rows[0].BytesPerFrame), "full_over_stats")
+}

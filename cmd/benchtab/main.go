@@ -1,0 +1,179 @@
+// Command benchtab regenerates the paper's tables and figures as text.
+//
+// Usage:
+//
+//	benchtab            # everything
+//	benchtab -exp fig5  # one artifact: table1..5, fig3, fig4a/b/c, fig5, fig6,
+//	                    # text, ingraph, ablations
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mlexray/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run")
+	flag.Parse()
+
+	runners := []struct {
+		name string
+		run  func() error
+	}{
+		{"table1", func() error {
+			experiments.RenderTable1(os.Stdout, experiments.Table1())
+			return nil
+		}},
+		{"table2", func() error {
+			rows, err := experiments.Table2(100)
+			if err != nil {
+				return err
+			}
+			experiments.RenderTable2(os.Stdout, rows)
+			return nil
+		}},
+		{"table3", func() error {
+			rows, err := experiments.Table3(20)
+			if err != nil {
+				return err
+			}
+			experiments.RenderTable3(os.Stdout, "Table 3 — offline per-layer validation overhead (quantized int8 models)", rows)
+			return nil
+		}},
+		{"table4", func() error {
+			rows, err := experiments.Table4()
+			if err != nil {
+				return err
+			}
+			experiments.RenderTable4(os.Stdout, rows)
+			return nil
+		}},
+		{"table5", func() error {
+			rows, err := experiments.Table5(20)
+			if err != nil {
+				return err
+			}
+			experiments.RenderTable3(os.Stdout, "Table 5 — offline per-layer validation overhead (float32 models)", rows)
+			return nil
+		}},
+		{"fig3", func() error {
+			cells, err := experiments.Figure3(6)
+			if err != nil {
+				return err
+			}
+			experiments.RenderFigure3(os.Stdout, cells)
+			return nil
+		}},
+		{"fig4a", func() error {
+			rows, err := experiments.Figure4a()
+			if err != nil {
+				return err
+			}
+			experiments.RenderFigure4a(os.Stdout, rows)
+			return nil
+		}},
+		{"fig4b", func() error {
+			rows, err := experiments.Figure4b()
+			if err != nil {
+				return err
+			}
+			experiments.RenderFigure4b(os.Stdout, rows)
+			return nil
+		}},
+		{"fig4c", func() error {
+			rows, err := experiments.Figure4c()
+			if err != nil {
+				return err
+			}
+			experiments.RenderFigure4c(os.Stdout, rows)
+			return nil
+		}},
+		{"fig5", func() error {
+			rows, err := experiments.Figure5()
+			if err != nil {
+				return err
+			}
+			experiments.RenderFigure5(os.Stdout, rows)
+			fmt.Println()
+			fixed, err := experiments.Figure5Fixed()
+			if err != nil {
+				return err
+			}
+			fmt.Println("Figure 5 (ablation) — repaired kernel build")
+			experiments.RenderFigure5(os.Stdout, fixed)
+			return nil
+		}},
+		{"fig6", func() error {
+			series, err := experiments.Figure6(5)
+			if err != nil {
+				return err
+			}
+			experiments.RenderFigure6(os.Stdout, series)
+			return nil
+		}},
+		{"text", func() error {
+			rows, err := experiments.AppendixText(80)
+			if err != nil {
+				return err
+			}
+			experiments.RenderAppendixText(os.Stdout, rows)
+			return nil
+		}},
+		{"ingraph", func() error {
+			rows, err := experiments.AppendixInGraph(100)
+			if err != nil {
+				return err
+			}
+			experiments.RenderAppendixInGraph(os.Stdout, rows)
+			return nil
+		}},
+		{"ablations", func() error {
+			em, err := experiments.AblationErrorMetrics()
+			if err != nil {
+				return err
+			}
+			experiments.RenderAblationErrorMetrics(os.Stdout, em)
+			pc, err := experiments.AblationPerChannel()
+			if err != nil {
+				return err
+			}
+			experiments.RenderAblationQuant(os.Stdout, "Ablation — per-channel vs per-tensor weights", pc)
+			cal, err := experiments.AblationCalibration()
+			if err != nil {
+				return err
+			}
+			experiments.RenderAblationQuant(os.Stdout, "Ablation — calibration with an outlier sample", cal)
+			sym, err := experiments.AblationSymmetric()
+			if err != nil {
+				return err
+			}
+			experiments.RenderAblationQuant(os.Stdout, "Ablation — asymmetric vs symmetric activations", sym)
+			cm, err := experiments.AblationCaptureMode()
+			if err != nil {
+				return err
+			}
+			experiments.RenderAblationCapture(os.Stdout, cm)
+			return nil
+		}},
+	}
+
+	ran := false
+	for _, r := range runners {
+		if *exp != "all" && *exp != r.name {
+			continue
+		}
+		ran = true
+		if err := r.run(); err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: %s: %v\n", r.name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "benchtab: unknown experiment %q\n", *exp)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,79 @@
+// Command edgerun executes an instrumented edge pipeline over the synthetic
+// dataset and writes the ML-EXray telemetry log as JSONL — the on-device
+// half of the validation workflow. Pair with refrun and feed both logs to
+// the validation library (or cmd/exray for the one-shot flow).
+//
+// Usage:
+//
+//	edgerun -model mobilenetv2-mini -bug normalization -o edge.jsonl
+//	edgerun -model mobilenetv2-mini -quant -device Pixel4 -o edge.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mlexray/internal/core"
+	"mlexray/internal/datasets"
+	"mlexray/internal/device"
+	"mlexray/internal/ops"
+	"mlexray/internal/pipeline"
+	"mlexray/internal/zoo"
+)
+
+func main() {
+	var (
+		model    = flag.String("model", "mobilenetv2-mini", "zoo model name (classification)")
+		bug      = flag.String("bug", "none", "injected preprocessing bug")
+		quantF   = flag.Bool("quant", false, "deploy the quantized version")
+		devName  = flag.String("device", "Pixel4", "device profile")
+		frames   = flag.Int("frames", 8, "frames to process")
+		perLayer = flag.Bool("perlayer", true, "capture per-layer outputs")
+		out      = flag.String("o", "edge.jsonl", "output log path")
+	)
+	flag.Parse()
+
+	entry, err := zoo.Get(*model)
+	if err != nil {
+		fatal(err)
+	}
+	m := entry.Mobile
+	if *quantF {
+		m = entry.Quant
+	}
+	dev, err := device.ByName(*devName)
+	if err != nil {
+		fatal(err)
+	}
+	mon := core.NewMonitor(core.WithCaptureMode(core.CaptureFull), core.WithPerLayer(*perLayer))
+	cl, err := pipeline.NewClassifier(m, pipeline.Options{
+		Resolver: ops.NewOptimized(ops.Historical()),
+		Monitor:  mon,
+		Device:   dev,
+		Bug:      pipeline.Bug(*bug),
+	})
+	if err != nil {
+		fatal(err)
+	}
+	for _, s := range datasets.SynthImageNet(5555, *frames) {
+		if _, _, err := cl.Classify(s.Image); err != nil {
+			fatal(err)
+		}
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	if err := mon.Log().WriteJSONL(f); err != nil {
+		fatal(err)
+	}
+	n, _ := mon.Log().SizeBytes()
+	fmt.Printf("edgerun: wrote %d records (%d bytes) to %s\n", len(mon.Log().Records), n, *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "edgerun:", err)
+	os.Exit(1)
+}

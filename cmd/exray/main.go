@@ -1,0 +1,122 @@
+// Command exray runs the full ML-EXray deployment-validation flow on a zoo
+// model: it executes an (optionally bugged) edge pipeline and the correct
+// reference pipeline over the same data, compares the logs following the
+// paper's Figure 2 flowchart, and prints the validation report with
+// root-cause findings.
+//
+// Usage:
+//
+//	exray -model mobilenetv2-mini -bug channel
+//	exray -model mobilenetv2-mini -quant -resolver optimized -perlayer
+//	exray -model kws-mini-a -bug specnorm
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mlexray/internal/core"
+	"mlexray/internal/datasets"
+	"mlexray/internal/graph"
+	"mlexray/internal/ops"
+	"mlexray/internal/pipeline"
+	"mlexray/internal/zoo"
+)
+
+func main() {
+	var (
+		model    = flag.String("model", "mobilenetv2-mini", "zoo model name")
+		bug      = flag.String("bug", "none", "injected bug: none|resize|channel|normalization|rotation|specnorm|lowercase")
+		quantF   = flag.Bool("quant", false, "deploy the quantized model version")
+		resolver = flag.String("resolver", "optimized", "edge op resolver: optimized|reference")
+		fixed    = flag.Bool("fixed", false, "use the repaired kernel build instead of the historical one")
+		frames   = flag.Int("frames", 8, "evaluation frames")
+		perLayer = flag.Bool("perlayer", true, "capture per-layer outputs for localisation")
+	)
+	flag.Parse()
+
+	entry, err := zoo.Get(*model)
+	if err != nil {
+		fatal(err)
+	}
+	edgeModel := entry.Mobile
+	if *quantF {
+		edgeModel = entry.Quant
+	}
+	cfg := ops.Historical()
+	if *fixed {
+		cfg = ops.Fixed()
+	}
+	var edgeResolver *ops.Resolver
+	switch *resolver {
+	case "optimized":
+		edgeResolver = ops.NewOptimized(cfg)
+	case "reference":
+		edgeResolver = ops.NewReference(cfg)
+	default:
+		fatal(fmt.Errorf("unknown resolver %q", *resolver))
+	}
+
+	fmt.Printf("edge:      %s (%s, %s resolver, bug=%s)\n", edgeModel.Name, edgeModel.Format, *resolver, *bug)
+	fmt.Printf("reference: %s (%s, reference resolver, fixed kernels)\n\n", entry.Mobile.Name, entry.Mobile.Format)
+
+	edgeLog, err := run(edgeModel, edgeResolver, pipeline.Bug(*bug), *frames, *perLayer)
+	if err != nil {
+		fatal(err)
+	}
+	refLog, err := run(entry.Mobile, ops.NewReference(ops.Fixed()), pipeline.BugNone, *frames, *perLayer)
+	if err != nil {
+		fatal(err)
+	}
+	rep, err := core.Validate(edgeLog, refLog, core.DefaultValidateOptions())
+	if err != nil {
+		fatal(err)
+	}
+	rep.Render(os.Stdout)
+}
+
+func run(m *graph.Model, resolver *ops.Resolver, bug pipeline.Bug, frames int, perLayer bool) (*core.Log, error) {
+	mon := core.NewMonitor(core.WithCaptureMode(core.CaptureFull), core.WithPerLayer(perLayer))
+	opts := pipeline.Options{Resolver: resolver, Monitor: mon, Bug: bug}
+	switch m.Meta.Task {
+	case "classification":
+		cl, err := pipeline.NewClassifier(m, opts)
+		if err != nil {
+			return nil, err
+		}
+		for _, s := range datasets.SynthImageNet(5555, frames) {
+			if _, _, err := cl.Classify(s.Image); err != nil {
+				return nil, err
+			}
+		}
+	case "speech":
+		sr, err := pipeline.NewSpeechRecognizer(m, opts)
+		if err != nil {
+			return nil, err
+		}
+		for _, s := range datasets.SynthSpeech(7777, frames) {
+			if _, _, err := sr.Recognize(s.Wave); err != nil {
+				return nil, err
+			}
+		}
+	case "text":
+		tc, err := pipeline.NewTextClassifier(m, datasets.TokenizeText, opts)
+		if err != nil {
+			return nil, err
+		}
+		for _, s := range datasets.SynthIMDB(9999, frames) {
+			if _, _, err := tc.ClassifyText(s.Text); err != nil {
+				return nil, err
+			}
+		}
+	default:
+		return nil, fmt.Errorf("exray: task %q not supported by this command", m.Meta.Task)
+	}
+	return mon.Log(), nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "exray:", err)
+	os.Exit(1)
+}

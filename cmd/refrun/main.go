@@ -1,0 +1,63 @@
+// Command refrun executes the *reference pipeline* for a zoo model — the
+// correct preprocessing derived from the model's training conventions, the
+// float model, the reference op resolver with repaired kernels — over the
+// same synthetic data edgerun uses, and writes the reference telemetry log.
+//
+// Usage:
+//
+//	refrun -model mobilenetv2-mini -o ref.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mlexray/internal/core"
+	"mlexray/internal/datasets"
+	"mlexray/internal/ops"
+	"mlexray/internal/pipeline"
+	"mlexray/internal/zoo"
+)
+
+func main() {
+	var (
+		model    = flag.String("model", "mobilenetv2-mini", "zoo model name (classification)")
+		frames   = flag.Int("frames", 8, "frames to process")
+		perLayer = flag.Bool("perlayer", true, "capture per-layer outputs")
+		out      = flag.String("o", "ref.jsonl", "output log path")
+	)
+	flag.Parse()
+
+	entry, err := zoo.Get(*model)
+	if err != nil {
+		fatal(err)
+	}
+	mon := core.NewMonitor(core.WithCaptureMode(core.CaptureFull), core.WithPerLayer(*perLayer))
+	cl, err := pipeline.NewClassifier(entry.Mobile, pipeline.Options{
+		Resolver: ops.NewReference(ops.Fixed()),
+		Monitor:  mon,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	for _, s := range datasets.SynthImageNet(5555, *frames) {
+		if _, _, err := cl.Classify(s.Image); err != nil {
+			fatal(err)
+		}
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	if err := mon.Log().WriteJSONL(f); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("refrun: wrote %d records to %s\n", len(mon.Log().Records), *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "refrun:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,93 @@
+// Custom assertions on a detection pipeline (the paper's §3.1 lane-detection
+// pattern): users inject domain knowledge by logging custom keys and writing
+// assertions over them.
+//
+// The detector app logs its post-processed detection count per frame under a
+// custom key. A user-defined assertion compares the edge pipeline's counts
+// against the reference pipeline's — a task-level consistency check no
+// generic assertion could know about. The injected bug is a channel swap,
+// which makes the colour-keyed detector mislabel or drop objects.
+//
+//	go run ./examples/customassertion
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"mlexray"
+	"mlexray/internal/datasets"
+	"mlexray/internal/models"
+	"mlexray/internal/ops"
+	"mlexray/internal/pipeline"
+	"mlexray/internal/zoo"
+)
+
+const keyDetections = "postprocess/num_detections"
+
+func main() {
+	entry, err := zoo.Get("ssd-mini")
+	if err != nil {
+		log.Fatal(err)
+	}
+	images := datasets.SynthCOCO(6666, 8)
+	anchors := entry.Mobile.Meta.Anchors
+
+	capture := func(bug pipeline.Bug, resolver *ops.Resolver) *mlexray.Log {
+		mon := mlexray.NewMonitor(mlexray.WithCaptureMode(mlexray.CaptureFull))
+		det, err := pipeline.NewDetector(entry.Mobile, pipeline.Options{
+			Resolver: resolver, Monitor: mon, Bug: bug,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, s := range images {
+			scores, boxes, err := det.Detect(s.Image)
+			if err != nil {
+				log.Fatal(err)
+			}
+			// Custom log: the app's post-processing result.
+			dets := models.DecodeDetections(scores.Reshape(-1, 4), boxes.Reshape(-1, 4), anchors, 0.5, 0.45)
+			mon.LogMetric(keyDetections, float64(len(dets)), "count")
+		}
+		return mon.Log()
+	}
+
+	edgeLog := capture(pipeline.BugChannel, ops.NewOptimized(ops.Fixed()))
+	refLog := capture(pipeline.BugNone, ops.NewReference(ops.Fixed()))
+
+	// User-defined assertion over the custom key: the edge pipeline should
+	// find roughly the same number of objects as the reference.
+	detectionCountAssertion := mlexray.AssertionFunc{
+		AssertionName: "detection-count",
+		Fn: func(ctx *mlexray.AssertCtx) *mlexray.Finding {
+			edge := ctx.Edge.MetricValues(keyDetections)
+			ref := ctx.Ref.MetricValues(keyDetections)
+			if len(edge) == 0 || len(edge) != len(ref) {
+				return nil
+			}
+			var eSum, rSum float64
+			for i := range edge {
+				eSum += edge[i]
+				rSum += ref[i]
+			}
+			if rSum == 0 || eSum >= 0.8*rSum {
+				return nil
+			}
+			return &mlexray.Finding{
+				Assertion: "detection-count",
+				Detail: fmt.Sprintf("edge pipeline finds %.0f detections where the reference finds %.0f: objects are being missed",
+					eSum, rSum),
+			}
+		},
+	}
+
+	opts := mlexray.DefaultValidateOptions()
+	opts.Assertions = append(opts.Assertions, detectionCountAssertion)
+	report, err := mlexray.Validate(edgeLog, refLog, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report.Render(os.Stdout)
+}

@@ -1,0 +1,76 @@
+// Image classification: per-layer quantization diagnosis (the §4.4 / Fig. 6
+// workflow).
+//
+// The quantized MobileNet-v2 returns garbage in production (the optimized op
+// resolver) but works with the reference resolver — the exact situation the
+// paper's industrial partners hit. This example captures per-layer outputs
+// from both the quantized edge deployment and the float reference, computes
+// the per-layer normalized rMSE, and localises the defective kernel.
+//
+//	go run ./examples/imageclassification
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mlexray"
+	"mlexray/internal/datasets"
+	"mlexray/internal/graph"
+	"mlexray/internal/ops"
+	"mlexray/internal/pipeline"
+	"mlexray/internal/zoo"
+)
+
+func main() {
+	entry, err := zoo.Get("mobilenetv2-mini")
+	if err != nil {
+		log.Fatal(err)
+	}
+	images := datasets.SynthImageNet(5555, 4)
+
+	capture := func(m *graph.Model, resolver *ops.Resolver) *mlexray.Log {
+		mon := mlexray.NewMonitor(mlexray.WithCaptureMode(mlexray.CaptureFull), mlexray.WithPerLayer(true))
+		cl, err := pipeline.NewClassifier(m, pipeline.Options{Resolver: resolver, Monitor: mon})
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, s := range images {
+			if _, _, err := cl.Classify(s.Image); err != nil {
+				log.Fatal(err)
+			}
+		}
+		return mon.Log()
+	}
+
+	refLog := capture(entry.Mobile, ops.NewReference(ops.Fixed()))
+
+	for _, resolver := range []*ops.Resolver{
+		ops.NewOptimized(ops.Historical()), // production kernels (defective depthwise)
+		ops.NewReference(ops.Historical()), // debugging kernels
+	} {
+		edgeLog := capture(entry.Quant, resolver)
+		diffs, err := mlexray.CompareLayers(edgeLog, refLog)
+		if err != nil {
+			log.Fatal(err)
+		}
+		agreement, _ := mlexray.OutputAgreement(edgeLog, refLog)
+		fmt.Printf("\nquantized model under the %s resolver (output agreement %.0f%%):\n",
+			resolver.Name(), 100*agreement)
+		for _, d := range diffs {
+			marker := ""
+			if d.NRMSE >= 0.1 {
+				marker = "  <-- drifting"
+			}
+			fmt.Printf("  [%2d] %-24s %-16s nRMSE=%.3f%s\n", d.Index, d.Name, d.OpType, d.NRMSE, marker)
+		}
+		if spike, ok := mlexray.FirstSpike(diffs, 0.1, 3); ok {
+			fmt.Printf("  => first spike at %q: the quantized %s kernel is suspect\n", spike.Name, spike.OpType)
+		} else {
+			fmt.Printf("  => no drift spike: this resolver executes the quantized model faithfully\n")
+		}
+	}
+	fmt.Println("\nConclusion: the drift appears only under the optimized resolver and starts at a")
+	fmt.Println("DepthwiseConv2D layer — the optimized quantized depthwise kernel is broken, exactly")
+	fmt.Println("the class of defect ML-EXray's per-layer validation was built to localise.")
+}

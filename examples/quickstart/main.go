@@ -1,0 +1,73 @@
+// Quickstart: catch a real deployment bug with a handful of lines.
+//
+// An app team deploys MobileNet-v2 but normalizes pixels to [0, 1] where the
+// model was trained on [-1, 1] — the silent "washed-out image" bug of the
+// paper's §2. This example instruments the edge pipeline, replays the same
+// data through the reference pipeline, and lets ML-EXray's built-in
+// assertions name the root cause.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"mlexray"
+	"mlexray/internal/datasets"
+	"mlexray/internal/ops"
+	"mlexray/internal/pipeline"
+	"mlexray/internal/zoo"
+)
+
+func main() {
+	entry, err := zoo.Get("mobilenetv2-mini")
+	if err != nil {
+		log.Fatal(err)
+	}
+	images := datasets.SynthImageNet(5555, 6)
+
+	// --- the app's (buggy) edge pipeline, instrumented ---
+	edgeMon := mlexray.NewMonitor(mlexray.WithCaptureMode(mlexray.CaptureFull))
+	edge, err := pipeline.NewClassifier(entry.Mobile, pipeline.Options{
+		Monitor: edgeMon,
+		Bug:     pipeline.BugNormalization, // the mistake under investigation
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, s := range images {
+		if _, _, err := edge.Classify(s.Image); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// --- the reference pipeline: same data, correct conventions ---
+	refMon := mlexray.NewMonitor(mlexray.WithCaptureMode(mlexray.CaptureFull))
+	ref, err := pipeline.NewClassifier(entry.Mobile, pipeline.Options{
+		Monitor:  refMon,
+		Resolver: ops.NewReference(ops.Fixed()),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, s := range images {
+		if _, _, err := ref.Classify(s.Image); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// --- validation: accuracy check, then root-cause assertions ---
+	report, err := mlexray.Validate(edgeMon.Log(), refMon.Log(), mlexray.DefaultValidateOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	report.Render(os.Stdout)
+	fmt.Println()
+	if len(report.Findings) > 0 {
+		fmt.Println("quickstart: root cause identified —", report.Findings[0].Detail)
+	} else {
+		fmt.Println("quickstart: no issues found")
+	}
+}

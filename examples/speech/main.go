@@ -1,0 +1,85 @@
+// Speech: catching a spectrogram-normalization mismatch (the Fig. 4c bug)
+// with a user-defined assertion.
+//
+// Two keyword-spotting models come from different training pipelines with
+// different spectrogram normalization conventions. The app team reuses the
+// feature extraction code from model A when deploying model B; accuracy
+// quietly collapses. A domain-specific assertion on the spectrogram
+// statistics names the mismatch.
+//
+//	go run ./examples/speech
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"os"
+
+	"mlexray"
+	"mlexray/internal/datasets"
+	"mlexray/internal/ops"
+	"mlexray/internal/pipeline"
+	"mlexray/internal/tensor"
+	"mlexray/internal/zoo"
+)
+
+func main() {
+	entry, err := zoo.Get("kws-mini-b") // trained with per-utterance normalization
+	if err != nil {
+		log.Fatal(err)
+	}
+	waves := datasets.SynthSpeech(7777, 8)
+
+	capture := func(bug pipeline.Bug, resolver *ops.Resolver) *mlexray.Log {
+		mon := mlexray.NewMonitor(mlexray.WithCaptureMode(mlexray.CaptureFull))
+		sr, err := pipeline.NewSpeechRecognizer(entry.Mobile, pipeline.Options{
+			Resolver: resolver, Monitor: mon, Bug: bug,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, s := range waves {
+			if _, _, err := sr.Recognize(s.Wave); err != nil {
+				log.Fatal(err)
+			}
+		}
+		return mon.Log()
+	}
+
+	// The edge app mistakenly applies model A's log-global convention.
+	edgeLog := capture(pipeline.BugSpecNorm, ops.NewOptimized(ops.Fixed()))
+	refLog := capture(pipeline.BugNone, ops.NewReference(ops.Fixed()))
+
+	// A user-defined assertion carrying speech-domain knowledge: a
+	// per-utterance-normalized spectrogram has mean ~0 and variance ~1; a
+	// log-global one lives in [0, ~1.5]. Mismatched statistics between the
+	// edge and reference features name the convention error directly.
+	specNormAssertion := mlexray.AssertionFunc{
+		AssertionName: "spectrogram-normalization",
+		Fn: func(ctx *mlexray.AssertCtx) *mlexray.Finding {
+			edge, ref, err := ctx.PreprocPair(1)
+			if err != nil {
+				return nil
+			}
+			es, rs := tensor.ComputeStats(edge), tensor.ComputeStats(ref)
+			if math.Abs(es.Mean-rs.Mean) < 0.25 && math.Abs(es.RMS-rs.RMS) < 0.25 {
+				return nil
+			}
+			return &mlexray.Finding{
+				Assertion: "spectrogram-normalization",
+				Detail: fmt.Sprintf(
+					"edge spectrogram stats (mean %.2f, rms %.2f) do not match the model's training convention (mean %.2f, rms %.2f): wrong normalization pipeline",
+					es.Mean, es.RMS, rs.Mean, rs.RMS),
+			}
+		},
+	}
+
+	opts := mlexray.DefaultValidateOptions()
+	opts.Assertions = append(opts.Assertions, specNormAssertion)
+	report, err := mlexray.Validate(edgeLog, refLog, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report.Render(os.Stdout)
+}

@@ -1,0 +1,179 @@
+package mlexray_test
+
+// End-to-end exercise of the public API: instrument an edge app with a bug,
+// replay the reference pipeline, persist both logs as JSONL files (the
+// cross-process workflow of cmd/edgerun + cmd/refrun), read them back and
+// validate.
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mlexray"
+	"mlexray/internal/datasets"
+	"mlexray/internal/imaging"
+	"mlexray/internal/ops"
+	"mlexray/internal/pipeline"
+	"mlexray/internal/zoo"
+)
+
+func captureLog(t *testing.T, bug pipeline.Bug, resolver *ops.Resolver, quantized bool) *mlexray.Log {
+	t.Helper()
+	entry, err := zoo.Get("mobilenetv2-mini")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := entry.Mobile
+	if quantized {
+		m = entry.Quant
+	}
+	mon := mlexray.NewMonitor(mlexray.WithCaptureMode(mlexray.CaptureFull), mlexray.WithPerLayer(true))
+	cl, err := pipeline.NewClassifier(m, pipeline.Options{Resolver: resolver, Monitor: mon, Bug: bug})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range datasets.SynthImageNet(5555, 5) {
+		if _, _, err := cl.Classify(s.Image); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return mon.Log()
+}
+
+// roundTripThroughDisk serializes a log to a JSONL file and reads it back —
+// the cross-process path.
+func roundTripThroughDisk(t *testing.T, l *mlexray.Log, path string) *mlexray.Log {
+	t.Helper()
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.WriteJSONL(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rf, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rf.Close()
+	back, err := mlexray.ReadLog(rf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return back
+}
+
+func TestFacadeEndToEndChannelBug(t *testing.T) {
+	dir := t.TempDir()
+	edge := roundTripThroughDisk(t,
+		captureLog(t, pipeline.BugChannel, ops.NewOptimized(ops.Fixed()), false),
+		filepath.Join(dir, "edge.jsonl"))
+	ref := roundTripThroughDisk(t,
+		captureLog(t, pipeline.BugNone, ops.NewReference(ops.Fixed()), false),
+		filepath.Join(dir, "ref.jsonl"))
+
+	report, err := mlexray.Validate(edge, ref, mlexray.DefaultValidateOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.OutputAgreement >= 0.99 {
+		t.Errorf("channel bug should reduce agreement, got %.2f", report.OutputAgreement)
+	}
+	found := false
+	for _, f := range report.Findings {
+		if f.Assertion == "channel-arrangement" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("channel-arrangement finding missing after disk round trip: %+v", report.Findings)
+	}
+}
+
+func TestFacadeQuantKernelDiagnosis(t *testing.T) {
+	edge := captureLog(t, pipeline.BugNone, ops.NewOptimized(ops.Historical()), true)
+	ref := captureLog(t, pipeline.BugNone, ops.NewReference(ops.Fixed()), false)
+	diffs, err := mlexray.CompareLayers(edge, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spike, ok := mlexray.FirstSpike(diffs, 0.1, 3)
+	if !ok || spike.OpType != "DepthwiseConv2D" {
+		t.Errorf("spike = %+v, ok=%v; want DepthwiseConv2D", spike, ok)
+	}
+}
+
+func TestFacadeCustomAssertion(t *testing.T) {
+	edge := captureLog(t, pipeline.BugNone, ops.NewOptimized(ops.Fixed()), false)
+	ref := captureLog(t, pipeline.BugNone, ops.NewReference(ops.Fixed()), false)
+	called := false
+	opts := mlexray.DefaultValidateOptions()
+	opts.Assertions = append(opts.Assertions, mlexray.AssertionFunc{
+		AssertionName: "user-check",
+		Fn: func(ctx *mlexray.AssertCtx) *mlexray.Finding {
+			called = true
+			if len(ctx.Edge.MetricValues(mlexray.KeyInferenceLatency)) == 0 {
+				return &mlexray.Finding{Assertion: "user-check", Detail: "no latency telemetry"}
+			}
+			return nil
+		},
+	})
+	report, err := mlexray.Validate(edge, ref, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !called {
+		t.Error("custom assertion never ran")
+	}
+	// A clean deployment: high agreement, no findings.
+	if report.OutputAgreement < 0.99 {
+		t.Errorf("clean run agreement = %.2f", report.OutputAgreement)
+	}
+	for _, f := range report.Findings {
+		t.Errorf("unexpected finding on clean run: %+v", f)
+	}
+}
+
+// Combined bugs: with two preprocessing bugs at once the per-assertion
+// hypotheses don't hold individually, but validation must still flag the
+// deployment (the paper: "multiple issues can exist together").
+func TestFacadeCombinedBugsStillCaught(t *testing.T) {
+	entry, err := zoo.Get("mobilenetv2-mini")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon := mlexray.NewMonitor(mlexray.WithCaptureMode(mlexray.CaptureFull))
+	cl, err := pipeline.NewClassifier(entry.Mobile, pipeline.Options{
+		Resolver: ops.NewOptimized(ops.Fixed()), Monitor: mon, Bug: pipeline.BugChannel,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Manually stack a second bug by feeding rotated captures.
+	for _, s := range datasets.SynthImageNet(5555, 5) {
+		rotated := imaging.Rotate(s.Image, imaging.Rotate90)
+		if _, _, err := cl.Classify(rotated); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ref := captureLog(t, pipeline.BugNone, ops.NewReference(ops.Fixed()), false)
+	report, err := mlexray.Validate(mon.Log(), ref, mlexray.DefaultValidateOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.OutputAgreement > 0.9 {
+		t.Errorf("stacked bugs should tank agreement, got %.2f", report.OutputAgreement)
+	}
+	// No single-hypothesis assertion should *mis*attribute: the channel
+	// assertion requires an exact match after swapping, which rotation
+	// breaks; accuracy validation still catches the problem.
+	for _, f := range report.Findings {
+		if f.Assertion == "channel-arrangement" || f.Assertion == "normalization-range" {
+			t.Errorf("single-bug assertion misfired on stacked bugs: %+v", f)
+		}
+	}
+}

@@ -1,0 +1,403 @@
+package convert
+
+import (
+	"math/rand"
+	"testing"
+
+	"mlexray/internal/graph"
+	"mlexray/internal/interp"
+	"mlexray/internal/ops"
+	"mlexray/internal/quant"
+	"mlexray/internal/tensor"
+)
+
+// buildCheckpointCNN constructs a checkpoint-format net with the patterns the
+// converter must handle: conv -> BN -> ReLU6, depthwise -> BN -> ReLU,
+// residual add -> ReLU, mean, dense, softmax.
+func buildCheckpointCNN(t *testing.T, seed int64) *graph.Model {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder("ckpt")
+	in := b.Input("input", tensor.F32, 1, 8, 8, 3)
+
+	newBN := func(name string, ch int) []int {
+		gamma := tensor.New(tensor.F32, ch)
+		tensor.RandUniform(rng, gamma, 0.5, 1.5)
+		beta := tensor.New(tensor.F32, ch)
+		tensor.RandUniform(rng, beta, -0.2, 0.2)
+		mean := tensor.New(tensor.F32, ch)
+		tensor.RandUniform(rng, mean, -0.3, 0.3)
+		variance := tensor.New(tensor.F32, ch)
+		tensor.RandUniform(rng, variance, 0.5, 2)
+		return []int{
+			b.Const(name+"/gamma", gamma), b.Const(name+"/beta", beta),
+			b.Const(name+"/mean", mean), b.Const(name+"/var", variance),
+		}
+	}
+
+	w1 := tensor.New(tensor.F32, 8, 3, 3, 3)
+	tensor.HeInit(rng, w1, 27)
+	x := b.Node(graph.OpConv2D, "conv1",
+		graph.Attrs{StrideH: 1, StrideW: 1, PadT: 1, PadB: 1, PadL: 1, PadR: 1},
+		in, b.Const("conv1/w", w1))
+	bn1 := newBN("bn1", 8)
+	x = b.Node(graph.OpBatchNorm, "bn1", graph.Attrs{Eps: 1e-5}, x, bn1[0], bn1[1], bn1[2], bn1[3])
+	x = b.Node(graph.OpReLU6, "relu1", graph.Attrs{}, x)
+
+	wd := tensor.New(tensor.F32, 1, 3, 3, 8)
+	tensor.HeInit(rng, wd, 9)
+	y := b.Node(graph.OpDepthwiseConv2D, "dw1",
+		graph.Attrs{StrideH: 1, StrideW: 1, PadT: 1, PadB: 1, PadL: 1, PadR: 1, DepthMultiplier: 1},
+		x, b.Const("dw1/w", wd))
+	bn2 := newBN("bn2", 8)
+	y = b.Node(graph.OpBatchNorm, "bn2", graph.Attrs{Eps: 1e-5}, y, bn2[0], bn2[1], bn2[2], bn2[3])
+	y = b.Node(graph.OpReLU, "relu2", graph.Attrs{}, y)
+
+	z := b.Node(graph.OpAdd, "res", graph.Attrs{}, x, y)
+	z = b.Node(graph.OpReLU, "relu3", graph.Attrs{}, z)
+	g := b.Node(graph.OpMean, "gap", graph.Attrs{}, z)
+
+	wf := tensor.New(tensor.F32, 4, 8)
+	tensor.HeInit(rng, wf, 8)
+	bf := tensor.New(tensor.F32, 4)
+	logits := b.Node(graph.OpDense, "fc", graph.Attrs{}, g, b.Const("fc/w", wf), b.Const("fc/b", bf))
+	b.RenameTensor(logits, "logits")
+	sm := b.Node(graph.OpSoftmax, "softmax", graph.Attrs{Axis: 1}, logits)
+	b.Output(sm)
+	b.Meta(graph.Meta{Task: "classification", InputH: 8, InputW: 8, InputC: 3, NumClasses: 4, NormLo: -1, NormHi: 1})
+	return b.MustFinish()
+}
+
+func randInput(seed int64) *tensor.Tensor {
+	rng := rand.New(rand.NewSource(seed))
+	in := tensor.New(tensor.F32, 1, 8, 8, 3)
+	tensor.RandUniform(rng, in, -1, 1)
+	return in
+}
+
+func runModel(t *testing.T, m *graph.Model, r *ops.Resolver, in *tensor.Tensor) *tensor.Tensor {
+	t.Helper()
+	ip, err := interp.New(m, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ip.Run(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestOptimizeRemovesBNAndActivations(t *testing.T) {
+	ck := buildCheckpointCNN(t, 1)
+	mob, err := Optimize(ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mob.Format != graph.FormatMobile {
+		t.Errorf("format = %v", mob.Format)
+	}
+	for _, n := range mob.Nodes {
+		if n.Op == graph.OpBatchNorm {
+			t.Error("BatchNorm survived optimization")
+		}
+		if n.Op == graph.OpReLU || n.Op == graph.OpReLU6 {
+			t.Errorf("unfused activation %q survived", n.Name)
+		}
+	}
+	// conv1 should have gained ReLU6, dw1 ReLU, res ReLU.
+	checks := map[string]graph.Activation{"conv1": graph.ActReLU6, "dw1": graph.ActReLU, "res": graph.ActReLU}
+	for name, want := range checks {
+		ni, err := mob.NodeByName(name)
+		if err != nil {
+			t.Fatalf("node %q lost: %v", name, err)
+		}
+		if got := mob.Nodes[ni].Attrs.Activation; got != want {
+			t.Errorf("%s activation = %v, want %v", name, got, want)
+		}
+	}
+	// Checkpoint itself must be untouched (Clone semantics).
+	if _, err := ck.NodeByName("bn1"); err != nil {
+		t.Error("source model was mutated")
+	}
+}
+
+func TestOptimizePreservesFunction(t *testing.T) {
+	ck := buildCheckpointCNN(t, 2)
+	mob, err := Optimize(ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := ops.NewReference(ops.Fixed())
+	for trial := int64(0); trial < 5; trial++ {
+		in := randInput(100 + trial)
+		a := runModel(t, ck, ref, in)
+		b := runModel(t, mob, ref, in)
+		if !tensor.AllClose(a, b, 1e-4, 1e-5) {
+			t.Fatalf("trial %d: optimize changed function: %v vs %v", trial, a.F, b.F)
+		}
+	}
+}
+
+func TestOptimizeSkipsSharedActivations(t *testing.T) {
+	// When a conv output feeds two consumers, its trailing ReLU must not be
+	// fused (that would change the second consumer's input).
+	rng := rand.New(rand.NewSource(3))
+	b := graph.NewBuilder("shared")
+	in := b.Input("input", tensor.F32, 1, 4, 4, 2)
+	w := tensor.New(tensor.F32, 2, 1, 1, 2)
+	tensor.HeInit(rng, w, 2)
+	x := b.Node(graph.OpConv2D, "conv", graph.Attrs{StrideH: 1, StrideW: 1}, in, b.Const("w", w))
+	r := b.Node(graph.OpReLU, "relu", graph.Attrs{}, x)
+	s := b.Node(graph.OpAdd, "add", graph.Attrs{}, x, r) // second consumer of x
+	b.Output(s)
+	m := b.MustFinish()
+	mob, err := Optimize(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mob.NodeByName("relu"); err != nil {
+		t.Error("shared activation was incorrectly fused")
+	}
+}
+
+func TestQuantizeProducesIntegerGraph(t *testing.T) {
+	ck := buildCheckpointCNN(t, 4)
+	mob, err := Optimize(ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	calib := []*tensor.Tensor{randInput(200), randInput(201), randInput(202)}
+	q, err := Quantize(mob, calib, DefaultQuantOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Format != graph.FormatQuant {
+		t.Errorf("format = %v", q.Format)
+	}
+	// Interface stays float.
+	if q.Tensors[q.Inputs[0]].DType != tensor.F32 {
+		t.Error("input not float")
+	}
+	if q.Tensors[q.Outputs[0]].DType != tensor.F32 {
+		t.Error("output not float")
+	}
+	// First node quantizes, last dequantizes.
+	if q.Nodes[0].Op != graph.OpQuantize {
+		t.Errorf("first node = %v", q.Nodes[0].Op)
+	}
+	if q.Nodes[len(q.Nodes)-1].Op != graph.OpDequantize {
+		t.Errorf("last node = %v", q.Nodes[len(q.Nodes)-1].Op)
+	}
+	// All weights int8 with per-channel params; activations u8 with params.
+	for ni := range q.Nodes {
+		n := &q.Nodes[ni]
+		if isFoldableCompute(n.Op) {
+			wi := q.Tensors[n.Inputs[1]]
+			if wi.DType != tensor.I8 || wi.Quant == nil {
+				t.Errorf("node %q weights: %v", n.Name, wi.DType)
+			}
+			if !wi.Quant.IsPerChannel() {
+				t.Errorf("node %q weights not per-channel", n.Name)
+			}
+			if len(n.Inputs) >= 3 && q.Tensors[n.Inputs[2]].DType != tensor.I32 {
+				t.Errorf("node %q bias not i32", n.Name)
+			}
+		}
+	}
+	// Quantized model must run under both resolvers.
+	in := randInput(300)
+	outRef := runModel(t, q, ops.NewReference(ops.Fixed()), in)
+	outOpt := runModel(t, q, ops.NewOptimized(ops.Fixed()), in)
+	if !outRef.IsFinite() || !outOpt.IsFinite() {
+		t.Error("quantized outputs not finite")
+	}
+	// Fixed-configuration resolvers agree on quantized graphs.
+	if !tensor.AllClose(outRef, outOpt, 0, 1e-6) {
+		t.Errorf("fixed resolvers disagree on quant model: %v vs %v", outRef.F, outOpt.F)
+	}
+}
+
+func TestQuantizedAccuracyNearFloat(t *testing.T) {
+	ck := buildCheckpointCNN(t, 5)
+	mob, err := Optimize(ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var calib []*tensor.Tensor
+	for i := int64(0); i < 8; i++ {
+		calib = append(calib, randInput(400+i))
+	}
+	q, err := Quantize(mob, calib, DefaultQuantOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := ops.NewReference(ops.Fixed())
+	agree := 0
+	const trials = 30
+	for i := int64(0); i < trials; i++ {
+		in := randInput(500 + i)
+		fo := runModel(t, mob, ref, in)
+		qo := runModel(t, q, ref, in)
+		if fo.ArgMax() == qo.ArgMax() {
+			agree++
+		}
+	}
+	if agree < trials*7/10 {
+		t.Errorf("quantized model agrees with float on only %d/%d inputs", agree, trials)
+	}
+}
+
+func TestQuantizeRejectsCheckpoint(t *testing.T) {
+	ck := buildCheckpointCNN(t, 6)
+	if _, err := Quantize(ck, []*tensor.Tensor{randInput(1)}, DefaultQuantOptions()); err == nil {
+		t.Error("Quantize accepted a checkpoint model")
+	}
+}
+
+func TestCalibrateRequiresData(t *testing.T) {
+	ck := buildCheckpointCNN(t, 7)
+	mob, _ := Optimize(ck)
+	if _, err := Calibrate(mob, nil, DefaultQuantOptions()); err == nil {
+		t.Error("Calibrate accepted empty calibration set")
+	}
+}
+
+func TestPerTensorWeightOption(t *testing.T) {
+	ck := buildCheckpointCNN(t, 8)
+	mob, _ := Optimize(ck)
+	calib := []*tensor.Tensor{randInput(600)}
+	opts := DefaultQuantOptions()
+	opts.WeightPerChannel = false
+	q, err := Quantize(mob, calib, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ni := range q.Nodes {
+		n := &q.Nodes[ni]
+		if isFoldableCompute(n.Op) {
+			if q.Tensors[n.Inputs[1]].Quant.IsPerChannel() {
+				t.Errorf("node %q got per-channel params despite per-tensor option", n.Name)
+			}
+		}
+	}
+}
+
+func TestDynamicRangeQuantization(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	b := graph.NewBuilder("text")
+	ids := b.Input("ids", tensor.I32, 1, 6)
+	table := tensor.New(tensor.F32, 20, 8)
+	tensor.GlorotInit(rng, table, 20, 8)
+	emb := b.Node(graph.OpEmbedding, "emb", graph.Attrs{}, ids, b.Const("table", table))
+	flat := b.Node(graph.OpReshape, "flat", graph.Attrs{NewShape: []int{1, 48}}, emb)
+	w := tensor.New(tensor.F32, 2, 48)
+	tensor.GlorotInit(rng, w, 48, 2)
+	bias := tensor.New(tensor.F32, 2)
+	logits := b.Node(graph.OpDense, "fc", graph.Attrs{}, flat, b.Const("fc/w", w), b.Const("fc/b", bias))
+	sm := b.Node(graph.OpSoftmax, "softmax", graph.Attrs{Axis: 1}, logits)
+	b.Output(sm)
+	m := b.MustFinish()
+	m.Format = graph.FormatMobile
+
+	q, err := QuantizeDynamicRange(m, DefaultQuantOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Table and dense weights are int8; activations stay float.
+	tid, _ := q.TensorByName("table")
+	if q.Tensors[tid].DType != tensor.I8 {
+		t.Error("embedding table not quantized")
+	}
+	wid, _ := q.TensorByName("fc/w")
+	if q.Tensors[wid].DType != tensor.I8 {
+		t.Error("dense weights not quantized")
+	}
+	// Behaviour stays close to float.
+	in := tensor.FromInt32([]int32{1, 3, 5, 7, 9, 11}, 1, 6)
+	ref := ops.NewReference(ops.Fixed())
+	a := runModel(t, m, ref, in)
+	bq := runModel(t, q, ref, in)
+	if !tensor.AllClose(a, bq, 0.05, 0.05) {
+		t.Errorf("dynamic-range output drifted: %v vs %v", a.F, bq.F)
+	}
+}
+
+// The §2 calibration pitfall end-to-end: an outlier image in the
+// representative dataset inflates activation scales; percentile clipping
+// recovers the accuracy.
+func TestCalibrationOutlierAblation(t *testing.T) {
+	ck := buildCheckpointCNN(t, 10)
+	mob, _ := Optimize(ck)
+	ref := ops.NewReference(ops.Fixed())
+
+	var calib []*tensor.Tensor
+	for i := int64(0); i < 6; i++ {
+		calib = append(calib, randInput(700+i))
+	}
+	// One corrupt sample: a normal image with a single sensor-glitch pixel
+	// far outside the [-1,1] data distribution. Strict min/max calibration
+	// inflates the input scale ~30x; percentile clipping discards it.
+	outlier := randInput(799)
+	outlier.F[0] = 60
+	calibBad := append(append([]*tensor.Tensor{}, calib...), outlier)
+
+	strict := DefaultQuantOptions()
+	qBad, err := Quantize(mob, calibBad, strict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clipped := DefaultQuantOptions()
+	clipped.ActClipPercentile = 0.001
+	qClip, err := Quantize(mob, calibBad, clipped)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Compare drift at the logits tensor (softmax compresses differences
+	// away, hiding the damage — itself a lesson in why the paper inspects
+	// intermediate layers rather than final outputs).
+	logitsDrift := func(q *graph.Model, in, floatLogits *tensor.Tensor) float64 {
+		ip, err := interp.New(q, ref)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ip.Run(in); err != nil {
+			t.Fatal(err)
+		}
+		id, err := q.TensorByName("logits")
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, _ := ip.Tensor(id)
+		deq := quant.DequantizeTensorU8(raw, q.Tensors[id].Quant)
+		e, _ := tensor.RMSE(deq, floatLogits)
+		return e
+	}
+	floatLogitsOf := func(in *tensor.Tensor) *tensor.Tensor {
+		ip, err := interp.New(mob, ref)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ip.Run(in); err != nil {
+			t.Fatal(err)
+		}
+		id, err := mob.TensorByName("logits")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lt, _ := ip.Tensor(id)
+		return lt.Clone()
+	}
+	var errBad, errClip float64
+	const trials = 12
+	for i := int64(0); i < trials; i++ {
+		in := randInput(800 + i)
+		fl := floatLogitsOf(in)
+		errBad += logitsDrift(qBad, in, fl)
+		errClip += logitsDrift(qClip, in, fl)
+	}
+	if errClip*1.5 >= errBad {
+		t.Errorf("percentile clipping did not clearly help: clipped %v vs strict %v", errClip, errBad)
+	}
+}

@@ -1,0 +1,271 @@
+// Package convert implements the deployment-time model transformations of
+// the paper's pipeline (§2 "Model Optimization and Quantization", §3.3):
+// checkpoint → mobile (BatchNorm folding, activation fusion, dead-node
+// elimination) and mobile → quant (post-training full-integer quantization
+// with range calibration, or dynamic-range weight-only quantization).
+//
+// Every transformation returns a new model; sources are never mutated. Node
+// names are preserved so per-layer validation can align tensors across the
+// checkpoint, mobile and quantized versions of the same model.
+package convert
+
+import (
+	"fmt"
+	"math"
+
+	"mlexray/internal/graph"
+	"mlexray/internal/tensor"
+)
+
+// Optimize converts a checkpoint-format model into mobile format: folds
+// BatchNorm into the preceding conv/depthwise/dense, fuses trailing
+// ReLU/ReLU6 nodes into compute-op attributes, and compacts the graph.
+func Optimize(src *graph.Model) (*graph.Model, error) {
+	m := src.Clone()
+	if err := foldBatchNorms(m); err != nil {
+		return nil, err
+	}
+	if err := fuseActivations(m); err != nil {
+		return nil, err
+	}
+	out, err := compact(m)
+	if err != nil {
+		return nil, err
+	}
+	out.Format = graph.FormatMobile
+	return out, nil
+}
+
+// consumerCount returns, for each tensor id, how many node inputs plus model
+// outputs reference it.
+func consumerCount(m *graph.Model) []int {
+	counts := make([]int, len(m.Tensors))
+	for _, n := range m.Nodes {
+		for _, id := range n.Inputs {
+			counts[id]++
+		}
+	}
+	for _, id := range m.Outputs {
+		counts[id]++
+	}
+	return counts
+}
+
+// producerOf maps each tensor id to the index of the node producing it (-1
+// for inputs/consts).
+func producerOf(m *graph.Model) []int {
+	prod := make([]int, len(m.Tensors))
+	for i := range prod {
+		prod[i] = -1
+	}
+	for ni, n := range m.Nodes {
+		for _, id := range n.Outputs {
+			prod[id] = ni
+		}
+	}
+	return prod
+}
+
+func isFoldableCompute(op graph.OpType) bool {
+	switch op {
+	case graph.OpConv2D, graph.OpDepthwiseConv2D, graph.OpDense:
+		return true
+	}
+	return false
+}
+
+// foldBatchNorms rewrites conv→BN chains into a single conv with adjusted
+// weights: w' = w * gamma/sqrt(var+eps) per output channel,
+// b' = (b - mean) * gamma/sqrt(var+eps) + beta.
+func foldBatchNorms(m *graph.Model) error {
+	removed := make([]bool, len(m.Nodes))
+	counts := consumerCount(m)
+	prod := producerOf(m)
+	for bi := range m.Nodes {
+		bn := &m.Nodes[bi]
+		if bn.Op != graph.OpBatchNorm || removed[bi] {
+			continue
+		}
+		src := bn.Inputs[0]
+		pi := prod[src]
+		if pi < 0 || removed[pi] || !isFoldableCompute(m.Nodes[pi].Op) || counts[src] != 1 {
+			continue
+		}
+		comp := &m.Nodes[pi]
+		w, ok := m.Consts[comp.Inputs[1]]
+		if !ok || w.DType != tensor.F32 {
+			continue
+		}
+		gamma := m.Consts[bn.Inputs[1]]
+		beta := m.Consts[bn.Inputs[2]]
+		mean := m.Consts[bn.Inputs[3]]
+		variance := m.Consts[bn.Inputs[4]]
+		if gamma == nil || beta == nil || mean == nil || variance == nil {
+			return fmt.Errorf("convert: batchnorm %q has non-constant parameters", bn.Name)
+		}
+		eps := bn.Attrs.Eps
+		if eps == 0 {
+			eps = 1e-5
+		}
+		outC := gamma.Len()
+		scale := make([]float64, outC)
+		for c := 0; c < outC; c++ {
+			scale[c] = float64(gamma.F[c]) / math.Sqrt(float64(variance.F[c])+eps)
+		}
+		// Scale weights along the output-channel axis.
+		switch comp.Op {
+		case graph.OpConv2D, graph.OpDense: // [outC, ...]
+			inner := w.Len() / outC
+			for c := 0; c < outC; c++ {
+				for i := 0; i < inner; i++ {
+					w.F[c*inner+i] = float32(float64(w.F[c*inner+i]) * scale[c])
+				}
+			}
+		case graph.OpDepthwiseConv2D: // [1, kh, kw, outC]
+			outer := w.Len() / outC
+			for o := 0; o < outer; o++ {
+				for c := 0; c < outC; c++ {
+					w.F[o*outC+c] = float32(float64(w.F[o*outC+c]) * scale[c])
+				}
+			}
+		}
+		// Fold into bias (create one if the conv had none).
+		var bias *tensor.Tensor
+		if len(comp.Inputs) >= 3 {
+			bias = m.Consts[comp.Inputs[2]]
+		}
+		if bias == nil {
+			bias = tensor.New(tensor.F32, outC)
+			id := len(m.Tensors)
+			m.Tensors = append(m.Tensors, graph.TensorInfo{
+				Name: comp.Name + "/folded_bias", Shape: []int{outC}, DType: tensor.F32, Const: true,
+			})
+			m.Consts[id] = bias
+			comp.Inputs = append(comp.Inputs, id)
+			counts = append(counts, 1)
+			prod = append(prod, -1)
+		}
+		for c := 0; c < outC; c++ {
+			bias.F[c] = float32((float64(bias.F[c])-float64(mean.F[c]))*scale[c] + float64(beta.F[c]))
+		}
+		// Rewire: the compute node now produces the BN's output tensor.
+		comp.Outputs[0] = bn.Outputs[0]
+		prod[bn.Outputs[0]] = pi
+		removed[bi] = true
+	}
+	dropRemoved(m, removed)
+	return nil
+}
+
+func isFusableActivationTarget(op graph.OpType) bool {
+	switch op {
+	case graph.OpConv2D, graph.OpDepthwiseConv2D, graph.OpDense, graph.OpAdd:
+		return true
+	}
+	return false
+}
+
+// fuseActivations merges ReLU/ReLU6 nodes into the producing compute op's
+// fused-activation attribute.
+func fuseActivations(m *graph.Model) error {
+	removed := make([]bool, len(m.Nodes))
+	counts := consumerCount(m)
+	prod := producerOf(m)
+	for ai := range m.Nodes {
+		act := &m.Nodes[ai]
+		var fused graph.Activation
+		switch act.Op {
+		case graph.OpReLU:
+			fused = graph.ActReLU
+		case graph.OpReLU6:
+			fused = graph.ActReLU6
+		default:
+			continue
+		}
+		if removed[ai] {
+			continue
+		}
+		src := act.Inputs[0]
+		pi := prod[src]
+		if pi < 0 || removed[pi] || !isFusableActivationTarget(m.Nodes[pi].Op) || counts[src] != 1 {
+			continue
+		}
+		comp := &m.Nodes[pi]
+		if comp.Attrs.Activation != graph.ActNone {
+			continue
+		}
+		comp.Attrs.Activation = fused
+		comp.Outputs[0] = act.Outputs[0]
+		prod[act.Outputs[0]] = pi
+		removed[ai] = true
+	}
+	dropRemoved(m, removed)
+	return nil
+}
+
+func dropRemoved(m *graph.Model, removed []bool) {
+	kept := m.Nodes[:0]
+	for i := range m.Nodes {
+		if !removed[i] {
+			kept = append(kept, m.Nodes[i])
+		}
+	}
+	m.Nodes = kept
+}
+
+// compact rebuilds the model keeping only tensors that are still referenced,
+// remapping all ids. It validates the result.
+func compact(m *graph.Model) (*graph.Model, error) {
+	used := make([]bool, len(m.Tensors))
+	for _, n := range m.Nodes {
+		for _, id := range n.Inputs {
+			used[id] = true
+		}
+		for _, id := range n.Outputs {
+			used[id] = true
+		}
+	}
+	for _, id := range m.Inputs {
+		used[id] = true
+	}
+	for _, id := range m.Outputs {
+		used[id] = true
+	}
+	remap := make([]int, len(m.Tensors))
+	out := &graph.Model{
+		Name:   m.Name,
+		Format: m.Format,
+		Consts: make(map[int]*tensor.Tensor),
+		Meta:   m.Meta,
+	}
+	for id, u := range used {
+		if !u {
+			remap[id] = -1
+			continue
+		}
+		remap[id] = len(out.Tensors)
+		out.Tensors = append(out.Tensors, m.Tensors[id])
+		if c, ok := m.Consts[id]; ok {
+			out.Consts[remap[id]] = c
+		}
+	}
+	mapIDs := func(ids []int) []int {
+		r := make([]int, len(ids))
+		for i, id := range ids {
+			r[i] = remap[id]
+		}
+		return r
+	}
+	for _, n := range m.Nodes {
+		nn := n
+		nn.Inputs = mapIDs(n.Inputs)
+		nn.Outputs = mapIDs(n.Outputs)
+		out.Nodes = append(out.Nodes, nn)
+	}
+	out.Inputs = mapIDs(m.Inputs)
+	out.Outputs = mapIDs(m.Outputs)
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("convert: compacted model invalid: %w", err)
+	}
+	return out, nil
+}

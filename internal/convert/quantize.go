@@ -1,0 +1,252 @@
+package convert
+
+import (
+	"fmt"
+
+	"mlexray/internal/graph"
+	"mlexray/internal/interp"
+	"mlexray/internal/ops"
+	"mlexray/internal/quant"
+	"mlexray/internal/tensor"
+)
+
+// QuantOptions controls post-training quantization. The fields correspond to
+// the §2 pitfalls the paper discusses: calibration clipping (outlier-inflated
+// scales), symmetric vs asymmetric activation ranges, and per-tensor vs
+// per-channel weight scales.
+type QuantOptions struct {
+	// WeightPerChannel selects per-channel symmetric int8 weight scales
+	// (recommended); false squashes dissimilar channels under one scale.
+	WeightPerChannel bool
+	// ActClipPercentile drops the most extreme fraction of calibration
+	// values per side before computing activation ranges (0 = strict
+	// min/max).
+	ActClipPercentile float64
+	// ActSymmetric forces symmetric activation ranges with zero point 128.
+	ActSymmetric bool
+}
+
+// DefaultQuantOptions matches TFLite's post-training full-integer defaults.
+func DefaultQuantOptions() QuantOptions {
+	return QuantOptions{WeightPerChannel: true}
+}
+
+// Calibrate runs the float model over the calibration inputs and returns
+// observed activation params for every non-constant float tensor.
+func Calibrate(m *graph.Model, calib []*tensor.Tensor, opts QuantOptions) (map[int]*quant.Params, error) {
+	if len(calib) == 0 {
+		return nil, fmt.Errorf("convert: calibration requires at least one representative input")
+	}
+	observers := make(map[int]*quant.Observer)
+	obs := func(id int, t *tensor.Tensor) {
+		if t.DType != tensor.F32 {
+			return
+		}
+		o, ok := observers[id]
+		if !ok {
+			o = quant.NewObserver(opts.ActClipPercentile)
+			observers[id] = o
+		}
+		o.Observe(t)
+	}
+	ip, err := interp.New(m, ops.NewReference(ops.Fixed()), interp.WithHook(func(ev interp.NodeEvent) {
+		for j, id := range ev.Node.Outputs {
+			obs(id, ev.Outputs[j])
+		}
+	}))
+	if err != nil {
+		return nil, fmt.Errorf("convert: calibration interpreter: %w", err)
+	}
+	for i, in := range calib {
+		if err := ip.SetInput(0, in); err != nil {
+			return nil, fmt.Errorf("convert: calibration input %d: %w", i, err)
+		}
+		// Observe the raw input too.
+		inT, _ := ip.Tensor(m.Inputs[0])
+		obs(m.Inputs[0], inT)
+		if err := ip.Invoke(); err != nil {
+			return nil, fmt.Errorf("convert: calibration invoke %d: %w", i, err)
+		}
+	}
+	params := make(map[int]*quant.Params, len(observers))
+	for id, o := range observers {
+		mn, mx, err := o.Range()
+		if err != nil {
+			return nil, fmt.Errorf("convert: tensor %d: %w", id, err)
+		}
+		if opts.ActSymmetric {
+			params[id] = quant.SymmetricU8Params(mn, mx)
+		} else {
+			params[id] = quant.AsymmetricU8Params(mn, mx)
+		}
+	}
+	return params, nil
+}
+
+// Quantize performs post-training full-integer quantization of a mobile
+// float model: activations become uint8 with calibrated params, weights
+// become int8 (symmetric), biases int32; a Quantize node is prepended at the
+// input and a Dequantize node appended at each output so the model keeps its
+// float interface — exactly TFLite's full-integer layout.
+func Quantize(src *graph.Model, calib []*tensor.Tensor, opts QuantOptions) (*graph.Model, error) {
+	if src.Format == graph.FormatCheckpoint {
+		return nil, fmt.Errorf("convert: quantize expects an optimized (mobile) model; run Optimize first")
+	}
+	actParams, err := Calibrate(src, calib, opts)
+	if err != nil {
+		return nil, err
+	}
+	m := src.Clone()
+
+	// Pass 1: convert activation tensors to u8 with calibrated params.
+	for id := range m.Tensors {
+		ti := &m.Tensors[id]
+		if ti.Const || ti.DType != tensor.F32 {
+			continue
+		}
+		p, ok := actParams[id]
+		if !ok {
+			return nil, fmt.Errorf("convert: no calibration data for tensor %d (%s)", id, ti.Name)
+		}
+		ti.DType = tensor.U8
+		ti.Quant = p
+	}
+
+	// Pass 2: quantize weights and biases of the compute ops.
+	for ni := range m.Nodes {
+		n := &m.Nodes[ni]
+		if !isFoldableCompute(n.Op) {
+			continue
+		}
+		wID := n.Inputs[1]
+		w := m.Consts[wID]
+		axis := 0
+		if n.Op == graph.OpDepthwiseConv2D {
+			axis = 3
+		}
+		var (
+			wq *tensor.Tensor
+			wp *quant.Params
+		)
+		if opts.WeightPerChannel {
+			wq, wp, err = quant.QuantizeWeightsPerChannel(w, axis)
+		} else {
+			wq, wp, err = quant.QuantizeWeightsPerTensor(w)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("convert: node %q weights: %w", n.Name, err)
+		}
+		m.Consts[wID] = wq
+		m.Tensors[wID].DType = tensor.I8
+		m.Tensors[wID].Quant = wp
+
+		inScale := m.Tensors[n.Inputs[0]].Quant.Scale(0)
+		if len(n.Inputs) >= 3 {
+			bID := n.Inputs[2]
+			b := m.Consts[bID]
+			bq := quant.QuantizeBias(b, inScale, wp)
+			m.Consts[bID] = bq
+			m.Tensors[bID].DType = tensor.I32
+			m.Tensors[bID].Quant = quant.PerTensor(inScale*wp.Scale(0), 0)
+		}
+	}
+
+	// Pass 3: restore a float interface. Each model input becomes a fresh
+	// f32 tensor feeding a Quantize node into the old (now u8) tensor; each
+	// output gets a Dequantize node into a fresh f32 tensor.
+	var newNodes []graph.Node
+	for i, inID := range m.Inputs {
+		fID := len(m.Tensors)
+		m.Tensors = append(m.Tensors, graph.TensorInfo{
+			Name:  m.Tensors[inID].Name + "_f32",
+			Shape: append([]int(nil), m.Tensors[inID].Shape...),
+			DType: tensor.F32,
+		})
+		newNodes = append(newNodes, graph.Node{
+			Op:      graph.OpQuantize,
+			Name:    fmt.Sprintf("quantize_input_%d", i),
+			Inputs:  []int{fID},
+			Outputs: []int{inID},
+		})
+		m.Inputs[i] = fID
+	}
+	m.Nodes = append(newNodes, m.Nodes...)
+	for i, outID := range m.Outputs {
+		fID := len(m.Tensors)
+		m.Tensors = append(m.Tensors, graph.TensorInfo{
+			Name:  m.Tensors[outID].Name + "_f32",
+			Shape: append([]int(nil), m.Tensors[outID].Shape...),
+			DType: tensor.F32,
+		})
+		m.Nodes = append(m.Nodes, graph.Node{
+			Op:      graph.OpDequantize,
+			Name:    fmt.Sprintf("dequantize_output_%d", i),
+			Inputs:  []int{outID},
+			Outputs: []int{fID},
+		})
+		m.Outputs[i] = fID
+	}
+
+	out, err := compact(m)
+	if err != nil {
+		return nil, err
+	}
+	out.Format = graph.FormatQuant
+	return out, nil
+}
+
+// QuantizeDynamicRange performs weight-only (dynamic-range) quantization:
+// Dense, Embedding and SelfAttention weight matrices become int8 while all
+// activations stay float — the scheme used for the text models, mirroring
+// TFLite's treatment of BERT-class networks.
+func QuantizeDynamicRange(src *graph.Model, opts QuantOptions) (*graph.Model, error) {
+	m := src.Clone()
+	quantizeConst := func(id int, perChannel bool) error {
+		w := m.Consts[id]
+		if w == nil || w.DType != tensor.F32 {
+			return nil
+		}
+		var (
+			wq  *tensor.Tensor
+			wp  *quant.Params
+			err error
+		)
+		if perChannel {
+			wq, wp, err = quant.QuantizeWeightsPerChannel(w, 0)
+		} else {
+			wq, wp, err = quant.QuantizeWeightsPerTensor(w)
+		}
+		if err != nil {
+			return err
+		}
+		m.Consts[id] = wq
+		m.Tensors[id].DType = tensor.I8
+		m.Tensors[id].Quant = wp
+		return nil
+	}
+	for ni := range m.Nodes {
+		n := &m.Nodes[ni]
+		switch n.Op {
+		case graph.OpDense:
+			if err := quantizeConst(n.Inputs[1], opts.WeightPerChannel); err != nil {
+				return nil, fmt.Errorf("convert: node %q: %w", n.Name, err)
+			}
+		case graph.OpEmbedding:
+			if err := quantizeConst(n.Inputs[1], false); err != nil {
+				return nil, fmt.Errorf("convert: node %q: %w", n.Name, err)
+			}
+		case graph.OpSelfAttention:
+			for i := 0; i < 4; i++ {
+				if err := quantizeConst(n.Inputs[1+2*i], false); err != nil {
+					return nil, fmt.Errorf("convert: node %q: %w", n.Name, err)
+				}
+			}
+		}
+	}
+	out, err := compact(m)
+	if err != nil {
+		return nil, err
+	}
+	out.Format = graph.FormatQuant
+	return out, nil
+}

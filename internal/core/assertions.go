@@ -1,0 +1,420 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"mlexray/internal/tensor"
+)
+
+// Finding is one triggered assertion: a root-cause hypothesis with evidence.
+type Finding struct {
+	Assertion string
+	Detail    string
+}
+
+// AssertCtx is the evidence available to assertion functions: both logs and
+// the validator's layer analysis so far.
+type AssertCtx struct {
+	Edge   *Log
+	Ref    *Log
+	Report *Report
+}
+
+// PreprocPair decodes the preprocessing-output tensors of one frame from
+// both logs — the comparison the paper's example channel assertion is
+// written around (edge_out, ref_out).
+func (c *AssertCtx) PreprocPair(frame int) (edge, ref *tensor.Tensor, err error) {
+	edge, err = c.Edge.FirstTensor(frame, KeyPreprocessOutput)
+	if err != nil {
+		return nil, nil, err
+	}
+	ref, err = c.Ref.FirstTensor(frame, KeyPreprocessOutput)
+	if err != nil {
+		return nil, nil, err
+	}
+	return edge, ref, nil
+}
+
+// Assertion is a root-cause check. Check returns nil when the hypothesis
+// does not hold. Users add domain knowledge by implementing this interface
+// (or using AssertionFunc).
+type Assertion interface {
+	Name() string
+	Check(ctx *AssertCtx) *Finding
+}
+
+// AssertionFunc adapts a function to the Assertion interface.
+type AssertionFunc struct {
+	AssertionName string
+	Fn            func(ctx *AssertCtx) *Finding
+}
+
+// Name implements Assertion.
+func (a AssertionFunc) Name() string { return a.AssertionName }
+
+// Check implements Assertion.
+func (a AssertionFunc) Check(ctx *AssertCtx) *Finding { return a.Fn(ctx) }
+
+// BuiltinAssertions returns the standard root-cause assertions for
+// image-style pipelines plus the model-agnostic quantization and straggler
+// checks (the assertion set of Figure 3).
+func BuiltinAssertions() []Assertion {
+	return []Assertion{
+		ChannelArrangementAssertion{},
+		NormalizationRangeAssertion{},
+		OrientationAssertion{},
+		ResizeFunctionAssertion{},
+		QuantizationDriftAssertion{},
+		StragglerAssertion{},
+	}
+}
+
+const assertTol = 1e-3
+
+// sampleFrames picks up to 3 frames that have preprocessing records in both
+// logs.
+func sampleFrames(ctx *AssertCtx) []int {
+	frames := ctx.Edge.Frames()
+	if rf := ctx.Ref.Frames(); rf < frames {
+		frames = rf
+	}
+	var out []int
+	for f := 0; f < frames && len(out) < 3; f++ {
+		if _, _, err := ctx.PreprocPair(f); err == nil {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// ChannelArrangementAssertion detects swapped colour channels: the edge
+// preprocessing output differs from the reference, but matches after an
+// R<->B swap — the paper's worked example (§3.2).
+type ChannelArrangementAssertion struct{}
+
+// Name implements Assertion.
+func (ChannelArrangementAssertion) Name() string { return "channel-arrangement" }
+
+// Check implements Assertion.
+func (ChannelArrangementAssertion) Check(ctx *AssertCtx) *Finding {
+	frames := sampleFrames(ctx)
+	if len(frames) == 0 {
+		return nil
+	}
+	for _, f := range frames {
+		edge, ref, err := ctx.PreprocPair(f)
+		if err != nil || edge.Rank() != 4 || edge.Dim(3) != 3 || !tensor.SameShape(edge.Shape, ref.Shape) {
+			return nil
+		}
+		if tensor.AllClose(edge, ref, assertTol, assertTol) {
+			return nil // matches already on this frame
+		}
+		if !tensor.AllClose(swapRBTensor(edge), ref, assertTol, assertTol) {
+			return nil // swap does not explain it
+		}
+	}
+	return &Finding{
+		Assertion: "channel-arrangement",
+		Detail:    "preprocessing output matches the reference after an R<->B swap: input channels are arranged BGR where the model expects RGB (or vice versa)",
+	}
+}
+
+func swapRBTensor(t *tensor.Tensor) *tensor.Tensor {
+	out := t.Clone()
+	for i := 0; i+2 < len(out.F); i += 3 {
+		out.F[i], out.F[i+2] = out.F[i+2], out.F[i]
+	}
+	return out
+}
+
+// NormalizationRangeAssertion detects a wrong numerical-conversion range:
+// the edge output is an affine transform of the reference (fit from their
+// value ranges), e.g. [0,1] fed to a [-1,1] model — the washed-out-image
+// failure of §2.
+type NormalizationRangeAssertion struct{}
+
+// Name implements Assertion.
+func (NormalizationRangeAssertion) Name() string { return "normalization-range" }
+
+// Check implements Assertion.
+func (NormalizationRangeAssertion) Check(ctx *AssertCtx) *Finding {
+	frames := sampleFrames(ctx)
+	if len(frames) == 0 {
+		return nil
+	}
+	var eLo, eHi, rLo, rHi float64
+	for _, f := range frames {
+		edge, ref, err := ctx.PreprocPair(f)
+		if err != nil || !tensor.SameShape(edge.Shape, ref.Shape) {
+			return nil
+		}
+		if tensor.AllClose(edge, ref, assertTol, assertTol) {
+			return nil
+		}
+		es := tensor.ComputeStats(edge)
+		rs := tensor.ComputeStats(ref)
+		if es.Range() < 1e-9 || rs.Range() < 1e-9 {
+			return nil
+		}
+		// Fit edge = a*ref + b from the ranges and verify element-wise.
+		a := es.Range() / rs.Range()
+		b := es.Min - a*rs.Min
+		if math.Abs(a-1) < 0.02 && math.Abs(b) < 0.02 {
+			return nil // ranges already agree; mismatch is not a normalization issue
+		}
+		mapped := ref.Clone()
+		for i := range mapped.F {
+			mapped.F[i] = float32(a*float64(mapped.F[i]) + b)
+		}
+		if !tensor.AllClose(edge, mapped, 0.02, 0.02) {
+			return nil
+		}
+		eLo, eHi, rLo, rHi = es.Min, es.Max, rs.Min, rs.Max
+	}
+	return &Finding{
+		Assertion: "normalization-range",
+		Detail: fmt.Sprintf("edge input is normalized to [%.2g, %.2g] but the model expects [%.2g, %.2g]: wrong numerical conversion scale",
+			eLo, eHi, rLo, rHi),
+	}
+}
+
+// OrientationAssertion detects rotated input: the edge preprocessing output
+// matches the reference after a quarter-turn, or the peripheral orientation
+// sensor reports a non-upright capture.
+type OrientationAssertion struct{}
+
+// Name implements Assertion.
+func (OrientationAssertion) Name() string { return "orientation" }
+
+// Check implements Assertion.
+func (OrientationAssertion) Check(ctx *AssertCtx) *Finding {
+	// Sensor evidence first: the cheap always-available signal.
+	if vals := ctx.Edge.MetricValues(KeySensorOrientation); len(vals) > 0 {
+		nonUpright := 0
+		for _, v := range vals {
+			if math.Mod(math.Abs(v), 360) >= 45 {
+				nonUpright++
+			}
+		}
+		if nonUpright > len(vals)/2 {
+			return &Finding{
+				Assertion: "orientation",
+				Detail:    fmt.Sprintf("orientation sensor reports non-upright capture on %d/%d frames: input is rotated relative to training data", nonUpright, len(vals)),
+			}
+		}
+	}
+	frames := sampleFrames(ctx)
+	if len(frames) == 0 {
+		return nil
+	}
+	degreesFixed := -1
+	for _, f := range frames {
+		edge, ref, err := ctx.PreprocPair(f)
+		if err != nil || edge.Rank() != 4 {
+			return nil
+		}
+		// Undoing a rotation does not reproduce the reference bit-exactly:
+		// resampling happened on the rotated image, so values differ by up
+		// to a couple of 8-bit quantization steps. Tolerate ~2.5 steps of
+		// the reference range.
+		tol := 2.5 / 255.0 * tensor.ComputeStats(ref).Range()
+		if tol < assertTol {
+			tol = assertTol
+		}
+		if tensor.SameShape(edge.Shape, ref.Shape) && tensor.AllClose(edge, ref, 0, tol) {
+			return nil
+		}
+		found := false
+		for _, quarter := range []int{1, 2, 3} {
+			r := rotateTensor(edge, quarter)
+			if tensor.SameShape(r.Shape, ref.Shape) && tensor.AllClose(r, ref, 0, tol) {
+				deg := (4 - quarter) % 4 * 90 // the rotation the capture has undergone
+				if degreesFixed >= 0 && degreesFixed != deg {
+					return nil
+				}
+				degreesFixed = deg
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil
+		}
+	}
+	return &Finding{
+		Assertion: "orientation",
+		Detail:    fmt.Sprintf("preprocessing output matches the reference after a %d-degree rotation: the capture orientation differs from training", degreesFixed),
+	}
+}
+
+// rotateTensor rotates an NHWC tensor clockwise by the given number of
+// quarter turns.
+func rotateTensor(t *tensor.Tensor, quarters int) *tensor.Tensor {
+	out := t
+	for q := 0; q < quarters; q++ {
+		n, h, w, c := out.Shape[0], out.Shape[1], out.Shape[2], out.Shape[3]
+		r := tensor.New(tensor.F32, n, w, h, c)
+		for b := 0; b < n; b++ {
+			for y := 0; y < h; y++ {
+				for x := 0; x < w; x++ {
+					for ch := 0; ch < c; ch++ {
+						// (x, y) -> (h-1-y, x) clockwise
+						r.F[((b*w+x)*h+(h-1-y))*c+ch] = out.F[((b*h+y)*w+x)*c+ch]
+					}
+				}
+			}
+		}
+		out = r
+	}
+	return out
+}
+
+// ResizeFunctionAssertion detects a resampling-filter mismatch: the two
+// preprocessing outputs differ by high-frequency content only — their ranges
+// agree and a 3x3 box blur brings them substantially closer, which is the
+// aliasing signature of bilinear-vs-area downsampling (§2, §4.3).
+type ResizeFunctionAssertion struct{}
+
+// Name implements Assertion.
+func (ResizeFunctionAssertion) Name() string { return "resize-function" }
+
+// Check implements Assertion.
+func (ResizeFunctionAssertion) Check(ctx *AssertCtx) *Finding {
+	frames := sampleFrames(ctx)
+	if len(frames) == 0 {
+		return nil
+	}
+	improvements := 0
+	for _, f := range frames {
+		edge, ref, err := ctx.PreprocPair(f)
+		if err != nil || edge.Rank() != 4 || !tensor.SameShape(edge.Shape, ref.Shape) {
+			return nil
+		}
+		if tensor.AllClose(edge, ref, assertTol, assertTol) {
+			return nil
+		}
+		es := tensor.ComputeStats(edge)
+		rs := tensor.ComputeStats(ref)
+		// Ranges and means must agree (otherwise it's a normalization or
+		// channel problem, not resampling).
+		if math.Abs(es.Mean-rs.Mean) > 0.1*rs.Range() || math.Abs(es.Range()-rs.Range()) > 0.3*rs.Range() {
+			return nil
+		}
+		raw, _ := tensor.RMSE(edge, ref)
+		blurred, _ := tensor.RMSE(blur3x3(edge), blur3x3(ref))
+		if raw <= assertTol || blurred > raw*0.6 {
+			return nil
+		}
+		improvements++
+	}
+	if improvements == 0 {
+		return nil
+	}
+	return &Finding{
+		Assertion: "resize-function",
+		Detail:    "preprocessing outputs differ only in high-frequency content (a 3x3 blur removes most of the difference): the edge pipeline uses a different resampling filter (e.g. bilinear where training used area averaging)",
+	}
+}
+
+func blur3x3(t *tensor.Tensor) *tensor.Tensor {
+	n, h, w, c := t.Shape[0], t.Shape[1], t.Shape[2], t.Shape[3]
+	out := tensor.New(tensor.F32, n, h, w, c)
+	for b := 0; b < n; b++ {
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				for ch := 0; ch < c; ch++ {
+					var sum float32
+					cnt := 0
+					for dy := -1; dy <= 1; dy++ {
+						for dx := -1; dx <= 1; dx++ {
+							yy, xx := y+dy, x+dx
+							if yy < 0 || yy >= h || xx < 0 || xx >= w {
+								continue
+							}
+							sum += t.F[((b*h+yy)*w+xx)*c+ch]
+							cnt++
+						}
+					}
+					out.F[((b*h+y)*w+x)*c+ch] = sum / float32(cnt)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// QuantizationDriftAssertion interprets the validator's per-layer analysis:
+// a drift spike at a compute or pooling op in a quantized deployment points
+// at that op's quantized kernel — the §4.4 diagnosis that identified the
+// depthwise-convolution and average-pool defects.
+type QuantizationDriftAssertion struct{}
+
+// Name implements Assertion.
+func (QuantizationDriftAssertion) Name() string { return "quantization-drift" }
+
+// Check implements Assertion.
+func (QuantizationDriftAssertion) Check(ctx *AssertCtx) *Finding {
+	if ctx.Report == nil || ctx.Report.Spike == nil {
+		return nil
+	}
+	s := ctx.Report.Spike
+	switch s.OpType {
+	case "DepthwiseConv2D", "Conv2D", "Dense", "AvgPool2D", "MaxPool2D", "Mean":
+		return &Finding{
+			Assertion: "quantization-drift",
+			Detail: fmt.Sprintf("per-layer drift spikes at layer %d (%s, %s, nRMSE=%.3f): the quantized %s kernel is suspect — rerun with the reference op resolver to separate kernel defects from quantization resolution",
+				s.Index, s.Name, s.OpType, s.NRMSE, s.OpType),
+		}
+	}
+	return nil
+}
+
+// StragglerAssertion reports latency outliers found by the validator (§4.5).
+type StragglerAssertion struct{}
+
+// Name implements Assertion.
+func (StragglerAssertion) Name() string { return "straggler-latency" }
+
+// Check implements Assertion.
+func (StragglerAssertion) Check(ctx *AssertCtx) *Finding {
+	if ctx.Report == nil || len(ctx.Report.Stragglers) == 0 {
+		return nil
+	}
+	return &Finding{
+		Assertion: "straggler-latency",
+		Detail:    fmt.Sprintf("%d layer(s) run far slower than the per-layer median (%v): suboptimal kernels for this hardware", len(ctx.Report.Stragglers), ctx.Report.Stragglers),
+	}
+}
+
+// LatencyBudgetAssertion triggers when mean end-to-end inference latency
+// exceeds a budget.
+type LatencyBudgetAssertion struct {
+	BudgetNs float64
+}
+
+// Name implements Assertion.
+func (LatencyBudgetAssertion) Name() string { return "latency-budget" }
+
+// Check implements Assertion.
+func (a LatencyBudgetAssertion) Check(ctx *AssertCtx) *Finding {
+	vals := ctx.Edge.MetricValues(KeyInferenceModeled)
+	if len(vals) == 0 {
+		vals = ctx.Edge.MetricValues(KeyInferenceLatency)
+	}
+	if len(vals) == 0 {
+		return nil
+	}
+	var sum float64
+	for _, v := range vals {
+		sum += v
+	}
+	mean := sum / float64(len(vals))
+	if mean <= a.BudgetNs {
+		return nil
+	}
+	return &Finding{
+		Assertion: "latency-budget",
+		Detail:    fmt.Sprintf("mean inference latency %.2fms exceeds the %.2fms budget", mean/1e6, a.BudgetNs/1e6),
+	}
+}

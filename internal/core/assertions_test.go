@@ -1,0 +1,202 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"mlexray/internal/tensor"
+)
+
+// preprocLogs builds edge/ref logs holding one preprocessing-output tensor
+// per frame.
+func preprocLogs(frames int, edgeOf, refOf func(frame int) *tensor.Tensor) (*Log, *Log) {
+	edge, ref := &Log{}, &Log{}
+	for f := 0; f < frames; f++ {
+		var er, rr Record
+		er.Frame, rr.Frame = f, f
+		er.Key, rr.Key = KeyPreprocessOutput, KeyPreprocessOutput
+		er.EncodeTensor(edgeOf(f), true)
+		rr.EncodeTensor(refOf(f), true)
+		edge.Records = append(edge.Records, er)
+		ref.Records = append(ref.Records, rr)
+	}
+	return edge, ref
+}
+
+// imageTensor builds a deterministic [1,4,5,3] test tensor.
+func imageTensor(f int) *tensor.Tensor {
+	t := tensor.New(tensor.F32, 1, 4, 5, 3)
+	for i := range t.F {
+		t.F[i] = float32((i*7+f*13)%100)/50 - 1
+	}
+	return t
+}
+
+func TestChannelAssertionFires(t *testing.T) {
+	edge, ref := preprocLogs(2,
+		func(f int) *tensor.Tensor { return swapRBTensor(imageTensor(f)) },
+		imageTensor)
+	finding := ChannelArrangementAssertion{}.Check(&AssertCtx{Edge: edge, Ref: ref})
+	if finding == nil {
+		t.Fatal("channel assertion did not fire on swapped channels")
+	}
+	if !strings.Contains(finding.Detail, "BGR") {
+		t.Errorf("detail = %q", finding.Detail)
+	}
+}
+
+func TestChannelAssertionSilentOnMatch(t *testing.T) {
+	edge, ref := preprocLogs(2, imageTensor, imageTensor)
+	if f := (ChannelArrangementAssertion{}).Check(&AssertCtx{Edge: edge, Ref: ref}); f != nil {
+		t.Errorf("false positive: %+v", f)
+	}
+}
+
+func TestChannelAssertionSilentOnOtherBug(t *testing.T) {
+	// A normalization shift must not trigger the channel assertion.
+	edge, ref := preprocLogs(2,
+		func(f int) *tensor.Tensor {
+			tt := imageTensor(f)
+			for i := range tt.F {
+				tt.F[i] = tt.F[i]*0.5 + 0.5
+			}
+			return tt
+		},
+		imageTensor)
+	if f := (ChannelArrangementAssertion{}).Check(&AssertCtx{Edge: edge, Ref: ref}); f != nil {
+		t.Errorf("false positive on normalization bug: %+v", f)
+	}
+}
+
+func TestNormalizationAssertionFires(t *testing.T) {
+	edge, ref := preprocLogs(2,
+		func(f int) *tensor.Tensor {
+			tt := imageTensor(f)
+			for i := range tt.F {
+				tt.F[i] = tt.F[i]*0.5 + 0.5 // [-1,1] -> [0,1]
+			}
+			return tt
+		},
+		imageTensor)
+	finding := NormalizationRangeAssertion{}.Check(&AssertCtx{Edge: edge, Ref: ref})
+	if finding == nil {
+		t.Fatal("normalization assertion did not fire")
+	}
+	if !strings.Contains(finding.Detail, "normalized to") {
+		t.Errorf("detail = %q", finding.Detail)
+	}
+}
+
+func TestNormalizationAssertionSilentOnChannelBug(t *testing.T) {
+	edge, ref := preprocLogs(2,
+		func(f int) *tensor.Tensor { return swapRBTensor(imageTensor(f)) },
+		imageTensor)
+	if f := (NormalizationRangeAssertion{}).Check(&AssertCtx{Edge: edge, Ref: ref}); f != nil {
+		t.Errorf("false positive on channel bug: %+v", f)
+	}
+}
+
+func TestOrientationAssertionFromTensors(t *testing.T) {
+	edge, ref := preprocLogs(2,
+		func(f int) *tensor.Tensor { return rotateTensor(imageTensor(f), 1) },
+		imageTensor)
+	finding := OrientationAssertion{}.Check(&AssertCtx{Edge: edge, Ref: ref})
+	if finding == nil {
+		t.Fatal("orientation assertion did not fire on rotated input")
+	}
+}
+
+func TestOrientationAssertionFromSensor(t *testing.T) {
+	edge, ref := preprocLogs(2, imageTensor, imageTensor)
+	edge.Records = append(edge.Records, Record{Key: KeySensorOrientation, Kind: KindSensor, Value: 90})
+	edge.Records = append(edge.Records, Record{Key: KeySensorOrientation, Kind: KindSensor, Value: 90})
+	finding := OrientationAssertion{}.Check(&AssertCtx{Edge: edge, Ref: ref})
+	if finding == nil || !strings.Contains(finding.Detail, "sensor") {
+		t.Fatalf("sensor-based orientation finding missing: %+v", finding)
+	}
+}
+
+func TestRotateTensorRoundTrip(t *testing.T) {
+	x := imageTensor(0)
+	r := rotateTensor(rotateTensor(rotateTensor(rotateTensor(x, 1), 1), 1), 1)
+	if !tensor.AllClose(x, r, 0, 0) {
+		t.Error("four quarter turns are not identity")
+	}
+	once := rotateTensor(x, 1)
+	if tensor.SameShape(once.Shape, x.Shape) {
+		t.Error("non-square rotation should swap dims")
+	}
+}
+
+func TestResizeAssertionFires(t *testing.T) {
+	// Simulate resampling difference: reference is smooth, edge carries
+	// alternating high-frequency error with matching mean/range.
+	edge, ref := preprocLogs(2,
+		func(f int) *tensor.Tensor {
+			tt := imageTensor(f)
+			for i := range tt.F {
+				if i%2 == 0 {
+					tt.F[i] += 0.12
+				} else {
+					tt.F[i] -= 0.12
+				}
+			}
+			return tt
+		},
+		imageTensor)
+	finding := ResizeFunctionAssertion{}.Check(&AssertCtx{Edge: edge, Ref: ref})
+	if finding == nil {
+		t.Fatal("resize assertion did not fire on high-frequency disagreement")
+	}
+}
+
+func TestResizeAssertionSilentOnNormalizationBug(t *testing.T) {
+	edge, ref := preprocLogs(2,
+		func(f int) *tensor.Tensor {
+			tt := imageTensor(f)
+			for i := range tt.F {
+				tt.F[i] = tt.F[i]*0.5 + 0.5
+			}
+			return tt
+		},
+		imageTensor)
+	if f := (ResizeFunctionAssertion{}).Check(&AssertCtx{Edge: edge, Ref: ref}); f != nil {
+		t.Errorf("false positive on normalization bug: %+v", f)
+	}
+}
+
+func TestLatencyBudgetAssertion(t *testing.T) {
+	l := &Log{}
+	l.Records = append(l.Records, Record{Key: KeyInferenceLatency, Kind: KindMetric, Value: 5e6})
+	ctx := &AssertCtx{Edge: l, Ref: &Log{}}
+	if f := (LatencyBudgetAssertion{BudgetNs: 10e6}).Check(ctx); f != nil {
+		t.Errorf("budget not exceeded but fired: %+v", f)
+	}
+	if f := (LatencyBudgetAssertion{BudgetNs: 1e6}).Check(ctx); f == nil {
+		t.Error("budget exceeded but silent")
+	}
+}
+
+func TestAssertionFuncAdapter(t *testing.T) {
+	called := false
+	a := AssertionFunc{AssertionName: "custom", Fn: func(ctx *AssertCtx) *Finding {
+		called = true
+		return &Finding{Assertion: "custom", Detail: "hello"}
+	}}
+	if a.Name() != "custom" {
+		t.Error("name")
+	}
+	if f := a.Check(&AssertCtx{Edge: &Log{}, Ref: &Log{}}); f == nil || !called {
+		t.Error("check")
+	}
+}
+
+func TestBuiltinAssertionsSilentOnCleanLogs(t *testing.T) {
+	edge, ref := preprocLogs(3, imageTensor, imageTensor)
+	ctx := &AssertCtx{Edge: edge, Ref: ref, Report: &Report{}}
+	for _, a := range BuiltinAssertions() {
+		if f := a.Check(ctx); f != nil {
+			t.Errorf("%s fired on clean logs: %+v", a.Name(), f)
+		}
+	}
+}

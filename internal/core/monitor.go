@@ -1,0 +1,246 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"mlexray/internal/interp"
+	"mlexray/internal/quant"
+	"mlexray/internal/tensor"
+)
+
+// Well-known record keys emitted by the monitor. User code may log any
+// additional keys; the built-in assertions look for these.
+const (
+	KeyPreprocessOutput  = "preprocess/output"
+	KeyModelInput        = "model/input"
+	KeyModelOutput       = "model/output"
+	KeyInferenceLatency  = "inference/latency_ns"
+	KeyInferenceModeled  = "inference/modeled_latency_ns"
+	KeySensorOrientation = "sensor/orientation_deg"
+
+	keyLayerPrefix = "layer/"
+)
+
+// LayerOutputKey builds the per-layer output record key.
+func LayerOutputKey(name string) string { return keyLayerPrefix + name + "/output" }
+
+// LayerLatencyKey builds the per-layer latency record key.
+func LayerLatencyKey(name string) string { return keyLayerPrefix + name + "/latency_ns" }
+
+// CaptureMode selects the runtime logging depth: stats-only keeps overhead
+// at the paper's 0.41 KB/frame (Table 2); full-tensor capture is the offline
+// per-layer validation mode (Table 3/5).
+type CaptureMode int
+
+const (
+	CaptureStats CaptureMode = iota
+	CaptureFull
+)
+
+// MonitorOption configures a Monitor.
+type MonitorOption func(*Monitor)
+
+// WithCaptureMode sets stats-only vs full-tensor logging.
+func WithCaptureMode(m CaptureMode) MonitorOption {
+	return func(mon *Monitor) { mon.mode = m }
+}
+
+// WithPerLayer enables per-layer output and latency records (the offline
+// validation mode).
+func WithPerLayer(enabled bool) MonitorOption {
+	return func(mon *Monitor) { mon.perLayer = enabled }
+}
+
+// Monitor is the EdgeML Monitor (§3.2, Fig. 7): the instrumentation object
+// an app (or the reference pipeline) uses to produce telemetry. All methods
+// are safe for concurrent use.
+type Monitor struct {
+	mu       sync.Mutex
+	log      Log
+	seq      int
+	frame    int
+	mode     CaptureMode
+	perLayer bool
+
+	infStart time.Time
+}
+
+// NewMonitor constructs a Monitor. The default captures stats-only records
+// and no per-layer detail — the lightweight always-on configuration.
+func NewMonitor(opts ...MonitorOption) *Monitor {
+	m := &Monitor{mode: CaptureStats}
+	for _, o := range opts {
+		o(m)
+	}
+	return m
+}
+
+// NextFrame advances the frame counter (one frame = one sensor capture /
+// inference). Returns the new frame index.
+func (m *Monitor) NextFrame() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.frame++
+	return m.frame
+}
+
+func (m *Monitor) append(r Record) {
+	m.mu.Lock()
+	r.Seq = m.seq
+	r.Frame = m.frame
+	m.seq++
+	m.log.Records = append(m.log.Records, r)
+	m.mu.Unlock()
+}
+
+// LogTensor records a tensor under the given key (honouring the capture
+// mode).
+func (m *Monitor) LogTensor(key string, t *tensor.Tensor) {
+	r := Record{Key: key}
+	r.EncodeTensor(t, m.mode == CaptureFull)
+	m.append(r)
+}
+
+// LogTensorFull records a tensor with its full payload regardless of the
+// capture mode (used for preprocessing outputs, which assertions need
+// verbatim).
+func (m *Monitor) LogTensorFull(key string, t *tensor.Tensor) {
+	r := Record{Key: key}
+	r.EncodeTensor(t, true)
+	m.append(r)
+}
+
+// LogMetric records a scalar performance metric.
+func (m *Monitor) LogMetric(key string, value float64, unit string) {
+	m.append(Record{Key: key, Kind: KindMetric, Value: value, Unit: unit})
+}
+
+// LogSensor records a peripheral sensor reading (orientation, motion,
+// ambient light ... §3.2's third telemetry class).
+func (m *Monitor) LogSensor(key string, value float64, unit string) {
+	m.append(Record{Key: key, Kind: KindSensor, Value: value, Unit: unit})
+}
+
+// OnInferenceStart marks the start of one model invocation — the paper's
+// MLEXray->on_inf_start().
+func (m *Monitor) OnInferenceStart() {
+	m.mu.Lock()
+	m.infStart = time.Now()
+	m.mu.Unlock()
+}
+
+// OnInferenceStop closes the invocation opened by OnInferenceStart,
+// recording end-to-end latency — the paper's on_inf_stop(&interpreter). The
+// interpreter argument supplies the model output and modeled device timing;
+// it may be nil when only wall-clock is wanted.
+func (m *Monitor) OnInferenceStop(ip *interp.Interpreter) {
+	m.mu.Lock()
+	elapsed := time.Since(m.infStart)
+	m.mu.Unlock()
+	m.LogMetric(KeyInferenceLatency, float64(elapsed.Nanoseconds()), "ns")
+	if ip == nil {
+		return
+	}
+	if st := ip.LastInvokeStats(); st.Modeled > 0 {
+		m.LogMetric(KeyInferenceModeled, float64(st.Modeled.Nanoseconds()), "ns")
+	}
+	if out, err := ip.Output(0); err == nil {
+		r := Record{Key: KeyModelOutput}
+		r.EncodeTensor(out, true) // outputs are small; always keep them whole
+		m.append(r)
+	}
+}
+
+// LayerHook returns an interpreter hook that records per-layer outputs and
+// latency when per-layer capture is enabled, and always aggregates latency
+// by layer for the Table 4 style breakdowns.
+func (m *Monitor) LayerHook() interp.NodeHook {
+	return func(ev interp.NodeEvent) {
+		if !m.perLayer {
+			return
+		}
+		r := Record{
+			Key:        LayerOutputKey(ev.Node.Name),
+			LayerIndex: ev.Index,
+			LayerName:  ev.Node.Name,
+			OpType:     ev.Node.Op.String(),
+		}
+		// Quantized captures are stored raw (1 byte/element) with their
+		// scale/zero-point; decode dequantizes, so per-layer logs compare in
+		// real units across float and quantized versions of a model while
+		// keeping the on-disk size advantage of integer models.
+		out := ev.Outputs[0]
+		if out.DType == tensor.U8 && len(ev.OutQuant) > 0 && ev.OutQuant[0] != nil {
+			r.QScale = ev.OutQuant[0].Scale(0)
+			r.QZero = ev.OutQuant[0].ZeroPoint(0)
+			// Stats must reflect real units for range-normalized drift.
+			if m.mode != CaptureFull {
+				deq := quant.DequantizeTensorU8(out, ev.OutQuant[0])
+				r.EncodeTensor(deq, false)
+				m.append(r)
+				m.appendLayerLatency(ev)
+				return
+			}
+		}
+		r.EncodeTensor(out, m.mode == CaptureFull)
+		if r.QScale != 0 && r.Stats != nil {
+			// Rewrite stats in dequantized units.
+			s := *r.Stats
+			s.Min = r.QScale * (s.Min - float64(r.QZero))
+			s.Max = r.QScale * (s.Max - float64(r.QZero))
+			s.Mean = r.QScale * (s.Mean - float64(r.QZero))
+			s.RMS = 0 // raw RMS does not transform linearly; recompute on decode when needed
+			r.Stats = &s
+		}
+		m.append(r)
+		m.appendLayerLatency(ev)
+	}
+}
+
+func (m *Monitor) appendLayerLatency(ev interp.NodeEvent) {
+	lat := ev.Measured
+	unit := "ns"
+	if ev.Modeled > 0 {
+		lat = ev.Modeled
+		unit = "ns-modeled"
+	}
+	m.append(Record{
+		Key:        LayerLatencyKey(ev.Node.Name),
+		Kind:       KindMetric,
+		LayerIndex: ev.Index,
+		LayerName:  ev.Node.Name,
+		OpType:     ev.Node.Op.String(),
+		Value:      float64(lat.Nanoseconds()),
+		Unit:       unit,
+	})
+}
+
+// Log returns the accumulated log. The returned value shares storage with
+// the monitor; callers that keep recording should copy it.
+func (m *Monitor) Log() *Log {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return &Log{Records: m.log.Records}
+}
+
+// Reset clears all recorded telemetry and counters.
+func (m *Monitor) Reset() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.log = Log{}
+	m.seq = 0
+	m.frame = 0
+}
+
+// MemoryFootprintBytes estimates the monitor's buffer memory: the sum of
+// all record payloads currently held.
+func (m *Monitor) MemoryFootprintBytes() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for i := range m.log.Records {
+		n += len(m.log.Records[i].Data) + len(m.log.Records[i].Key) + 64
+	}
+	return n
+}

@@ -1,0 +1,247 @@
+// Package core is ML-EXray itself: the EdgeML Monitor instrumentation API
+// (§3.2), the key-value telemetry data model and JSONL log format, the
+// deployment validator (§3.4) implementing the paper's Figure 2 flowchart —
+// accuracy validation, per-layer normalized-rMSE localisation, per-layer
+// latency validation — and the assertion framework with the built-in
+// root-cause assertions (channel arrangement, normalization range, resize
+// function, orientation, quantization drift, latency budgets).
+package core
+
+import (
+	"bufio"
+	"encoding/base64"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+
+	"mlexray/internal/tensor"
+)
+
+// RecordKind classifies telemetry records, following the paper's data model
+// (§3.2): inputs/outputs, performance metrics, peripheral sensors.
+type RecordKind string
+
+const (
+	KindTensor RecordKind = "tensor" // full tensor payload
+	KindStats  RecordKind = "stats"  // tensor summary only (cheap runtime mode)
+	KindMetric RecordKind = "metric" // scalar performance metric
+	KindSensor RecordKind = "sensor" // peripheral sensor reading
+)
+
+// Record is one telemetry entry: a key-value pair with provenance. Every
+// ML-EXray log is a sequence of Records serialized as JSONL.
+type Record struct {
+	Seq   int        `json:"seq"`
+	Frame int        `json:"frame"`
+	Key   string     `json:"key"`
+	Kind  RecordKind `json:"kind"`
+
+	// Layer provenance, set on per-layer records.
+	LayerIndex int    `json:"layer_index,omitempty"`
+	LayerName  string `json:"layer_name,omitempty"`
+	OpType     string `json:"op_type,omitempty"`
+
+	// Tensor payload (KindTensor) or summary (both tensor kinds).
+	Shape []int         `json:"shape,omitempty"`
+	DType string        `json:"dtype,omitempty"`
+	Data  string        `json:"data,omitempty"` // base64 little-endian
+	Stats *tensor.Stats `json:"stats,omitempty"`
+	// Quantization params of integer payloads: quantized layer captures are
+	// stored raw (1 byte/element, the Table 3 disk advantage) and
+	// dequantized on decode so comparisons happen in real units.
+	QScale float64 `json:"qscale,omitempty"`
+	QZero  int32   `json:"qzero,omitempty"`
+
+	// Scalar payload (KindMetric / KindSensor).
+	Value float64 `json:"value,omitempty"`
+	Unit  string  `json:"unit,omitempty"`
+}
+
+// EncodeTensor fills the record's tensor payload fields.
+func (r *Record) EncodeTensor(t *tensor.Tensor, full bool) {
+	r.Shape = append([]int(nil), t.Shape...)
+	r.DType = t.DType.String()
+	s := tensor.ComputeStats(t)
+	r.Stats = &s
+	if !full {
+		r.Kind = KindStats
+		return
+	}
+	r.Kind = KindTensor
+	buf := make([]byte, t.Bytes())
+	switch t.DType {
+	case tensor.F32:
+		for i, v := range t.F {
+			binary.LittleEndian.PutUint32(buf[4*i:], math.Float32bits(v))
+		}
+	case tensor.U8:
+		copy(buf, t.U)
+	case tensor.I8:
+		for i, v := range t.I {
+			buf[i] = byte(v)
+		}
+	case tensor.I32:
+		for i, v := range t.X {
+			binary.LittleEndian.PutUint32(buf[4*i:], uint32(v))
+		}
+	}
+	r.Data = base64.StdEncoding.EncodeToString(buf)
+}
+
+// DecodeTensor reconstructs the tensor payload of a KindTensor record.
+func (r *Record) DecodeTensor() (*tensor.Tensor, error) {
+	if r.Kind != KindTensor {
+		return nil, fmt.Errorf("core: record %q is %s, not a full tensor", r.Key, r.Kind)
+	}
+	dt, err := tensor.ParseDType(r.DType)
+	if err != nil {
+		return nil, err
+	}
+	buf, err := base64.StdEncoding.DecodeString(r.Data)
+	if err != nil {
+		return nil, fmt.Errorf("core: record %q payload: %w", r.Key, err)
+	}
+	t := tensor.New(dt, r.Shape...)
+	if len(buf) != t.Bytes() {
+		return nil, fmt.Errorf("core: record %q has %d payload bytes for %s", r.Key, len(buf), t)
+	}
+	switch dt {
+	case tensor.F32:
+		for i := range t.F {
+			t.F[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[4*i:]))
+		}
+	case tensor.U8:
+		copy(t.U, buf)
+	case tensor.I8:
+		for i := range t.I {
+			t.I[i] = int8(buf[i])
+		}
+	case tensor.I32:
+		for i := range t.X {
+			t.X[i] = int32(binary.LittleEndian.Uint32(buf[4*i:]))
+		}
+	}
+	// Quantized captures dequantize on decode.
+	if r.QScale != 0 && dt == tensor.U8 {
+		f := tensor.New(tensor.F32, t.Shape...)
+		for i, q := range t.U {
+			f.F[i] = float32(r.QScale * float64(int32(q)-r.QZero))
+		}
+		return f, nil
+	}
+	return t, nil
+}
+
+// Log is a sequence of telemetry records plus helpers for querying it.
+type Log struct {
+	Records []Record
+}
+
+// WriteJSONL serializes the log, one record per line.
+func (l *Log) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range l.Records {
+		if err := enc.Encode(&l.Records[i]); err != nil {
+			return fmt.Errorf("core: encode record %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL parses a log written by WriteJSONL.
+func ReadJSONL(r io.Reader) (*Log, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<26)
+	var l Log
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			return nil, fmt.Errorf("core: log line %d: %w", line, err)
+		}
+		l.Records = append(l.Records, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("core: read log: %w", err)
+	}
+	return &l, nil
+}
+
+// SizeBytes returns the serialized size of the log, the disk-footprint
+// metric of the overhead tables.
+func (l *Log) SizeBytes() (int, error) {
+	var n countingWriter
+	if err := l.WriteJSONL(&n); err != nil {
+		return 0, err
+	}
+	return int(n), nil
+}
+
+type countingWriter int
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	*c += countingWriter(len(p))
+	return len(p), nil
+}
+
+// ByKey returns all records with the given key, in order.
+func (l *Log) ByKey(key string) []Record {
+	var out []Record
+	for _, r := range l.Records {
+		if r.Key == key {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// ByFrame returns all records of one frame.
+func (l *Log) ByFrame(frame int) []Record {
+	var out []Record
+	for _, r := range l.Records {
+		if r.Frame == frame {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Frames returns the number of distinct frames (max frame + 1).
+func (l *Log) Frames() int {
+	max := -1
+	for _, r := range l.Records {
+		if r.Frame > max {
+			max = r.Frame
+		}
+	}
+	return max + 1
+}
+
+// FirstTensor decodes the first full-tensor record with the given key in
+// the given frame.
+func (l *Log) FirstTensor(frame int, key string) (*tensor.Tensor, error) {
+	for _, r := range l.Records {
+		if r.Frame == frame && r.Key == key && r.Kind == KindTensor {
+			return r.DecodeTensor()
+		}
+	}
+	return nil, fmt.Errorf("core: frame %d has no tensor record %q", frame, key)
+}
+
+// MetricValues returns the values of all metric records with the key.
+func (l *Log) MetricValues(key string) []float64 {
+	var out []float64
+	for _, r := range l.Records {
+		if r.Key == key && (r.Kind == KindMetric || r.Kind == KindSensor) {
+			out = append(out, r.Value)
+		}
+	}
+	return out
+}

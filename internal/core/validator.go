@@ -1,0 +1,437 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"mlexray/internal/tensor"
+)
+
+// LayerDiff is the per-layer drift between an edge log and a reference log,
+// averaged over frames. NRMSE is the paper's normalized rMSE (§3.4):
+// rMSE / (max - min) of the reference layer output.
+type LayerDiff struct {
+	Index  int
+	Name   string
+	OpType string
+	NRMSE  float64
+	RMSE   float64
+	MaxAbs float64
+	Frames int
+}
+
+// CompareLayers aligns per-layer tensor records of two logs by layer name
+// and computes drift per layer, averaged across the frames present in both.
+// Layers existing in only one log (e.g. Quantize/Dequantize boundary nodes
+// in the quantized graph) are skipped — alignment is by name, exactly how
+// the paper compares model versions that share structure.
+func CompareLayers(edge, ref *Log) ([]LayerDiff, error) {
+	type acc struct {
+		diff LayerDiff
+		sumN float64
+		sumR float64
+		maxA float64
+		n    int
+	}
+	accs := make(map[string]*acc)
+	order := []string{}
+
+	frames := edge.Frames()
+	if rf := ref.Frames(); rf < frames {
+		frames = rf
+	}
+	if frames == 0 {
+		return nil, fmt.Errorf("core: no frames to compare")
+	}
+	// Index reference tensor records by (frame, key).
+	refIdx := make(map[[2]interface{}]*Record)
+	for i := range ref.Records {
+		r := &ref.Records[i]
+		if r.Kind == KindTensor && strings.HasPrefix(r.Key, keyLayerPrefix) {
+			refIdx[[2]interface{}{r.Frame, r.Key}] = r
+		}
+	}
+	for i := range edge.Records {
+		er := &edge.Records[i]
+		if er.Kind != KindTensor || !strings.HasPrefix(er.Key, keyLayerPrefix) || er.Frame >= frames {
+			continue
+		}
+		rr, ok := refIdx[[2]interface{}{er.Frame, er.Key}]
+		if !ok {
+			continue
+		}
+		et, err := er.DecodeTensor()
+		if err != nil {
+			return nil, err
+		}
+		rt, err := rr.DecodeTensor()
+		if err != nil {
+			return nil, err
+		}
+		et = dequantIfNeeded(et, er)
+		rt = dequantIfNeeded(rt, rr)
+		if et.Len() != rt.Len() {
+			continue
+		}
+		nrmse, err := tensor.NormalizedRMSE(et, rt)
+		if err != nil {
+			return nil, err
+		}
+		rmse, _ := tensor.RMSE(et, rt)
+		maxA, _ := tensor.MaxAbsDiff(et, rt)
+		a, ok := accs[er.Key]
+		if !ok {
+			a = &acc{diff: LayerDiff{Index: er.LayerIndex, Name: er.LayerName, OpType: er.OpType}}
+			accs[er.Key] = a
+			order = append(order, er.Key)
+		}
+		a.sumN += nrmse
+		a.sumR += rmse
+		if maxA > a.maxA {
+			a.maxA = maxA
+		}
+		a.n++
+	}
+	if len(accs) == 0 {
+		return nil, fmt.Errorf("core: logs share no per-layer tensor records (was per-layer capture enabled?)")
+	}
+	diffs := make([]LayerDiff, 0, len(accs))
+	for _, key := range order {
+		a := accs[key]
+		d := a.diff
+		d.NRMSE = a.sumN / float64(a.n)
+		d.RMSE = a.sumR / float64(a.n)
+		d.MaxAbs = a.maxA
+		d.Frames = a.n
+		diffs = append(diffs, d)
+	}
+	sort.Slice(diffs, func(i, j int) bool { return diffs[i].Index < diffs[j].Index })
+	return diffs, nil
+}
+
+// dequantIfNeeded widens quantized layer captures to float using the stats
+// the record carries. Per-layer comparison across float and quantized model
+// versions needs both sides in real units; quantized records carry raw u8
+// values plus stats, and the capture path stores dequantized stats... to
+// stay self-contained, logs of quantized models are written already
+// dequantized by the pipeline layer, so this only widens integer payloads.
+func dequantIfNeeded(t *tensor.Tensor, r *Record) *tensor.Tensor {
+	if t.DType == tensor.F32 {
+		return t
+	}
+	return tensor.FromFloats(t.Floats(), t.Shape...)
+}
+
+// SuspectLayers returns the layers whose drift indicates a fault: NRMSE
+// above threshold, with the classic "jump" pattern (a layer much worse than
+// the best preceding layer) flagged first. This is the localisation step of
+// the Figure 2 flowchart.
+func SuspectLayers(diffs []LayerDiff, threshold float64) []LayerDiff {
+	var out []LayerDiff
+	for _, d := range diffs {
+		if d.NRMSE >= threshold {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// FirstSpike returns the earliest layer whose NRMSE exceeds threshold and
+// is at least jumpFactor times the previous layer's — the "jump of rMSE
+// after a particular op" that localises a kernel defect (§4.4).
+func FirstSpike(diffs []LayerDiff, threshold, jumpFactor float64) (LayerDiff, bool) {
+	prev := 0.0
+	for _, d := range diffs {
+		if d.NRMSE >= threshold && (prev <= 0 || d.NRMSE >= jumpFactor*prev) {
+			return d, true
+		}
+		prev = d.NRMSE
+	}
+	return LayerDiff{}, false
+}
+
+// OutputAgreement returns the fraction of frames on which the two logs'
+// model outputs have the same argmax — the accuracy-validation step when no
+// labels are available.
+func OutputAgreement(edge, ref *Log) (float64, error) {
+	frames := edge.Frames()
+	if rf := ref.Frames(); rf < frames {
+		frames = rf
+	}
+	if frames == 0 {
+		return 0, fmt.Errorf("core: no frames to compare")
+	}
+	agree, total := 0, 0
+	for f := 0; f < frames; f++ {
+		et, err1 := edge.FirstTensor(f, KeyModelOutput)
+		rt, err2 := ref.FirstTensor(f, KeyModelOutput)
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		total++
+		if et.ArgMax() == rt.ArgMax() {
+			agree++
+		}
+	}
+	if total == 0 {
+		return 0, fmt.Errorf("core: logs carry no model outputs")
+	}
+	return float64(agree) / float64(total), nil
+}
+
+// LayerLatency aggregates per-layer latency records by layer class (the
+// Table 4 breakdown): total nanoseconds and node counts per OpType class.
+type LayerLatency struct {
+	Class   string
+	Count   int
+	TotalNs float64
+}
+
+// LatencyByClass aggregates one log's per-layer latency records.
+func LatencyByClass(l *Log, classOf func(opType string) string) []LayerLatency {
+	byClass := map[string]*LayerLatency{}
+	seen := map[string]map[string]bool{} // class -> layer names (count distinct layers)
+	var order []string
+	for _, r := range l.Records {
+		if r.Kind != KindMetric || !strings.HasSuffix(r.Key, "/latency_ns") || !strings.HasPrefix(r.Key, keyLayerPrefix) {
+			continue
+		}
+		cls := classOf(r.OpType)
+		ll, ok := byClass[cls]
+		if !ok {
+			ll = &LayerLatency{Class: cls}
+			byClass[cls] = ll
+			seen[cls] = map[string]bool{}
+			order = append(order, cls)
+		}
+		ll.TotalNs += r.Value
+		if !seen[cls][r.LayerName] {
+			seen[cls][r.LayerName] = true
+			ll.Count++
+		}
+	}
+	out := make([]LayerLatency, 0, len(byClass))
+	for _, c := range order {
+		out = append(out, *byClass[c])
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].TotalNs > out[j].TotalNs })
+	return out
+}
+
+// StragglersVsReference compares per-layer latency against the reference
+// run's: each layer's slowdown ratio is normalized by the median ratio (the
+// overall platform speed difference), and layers exceeding factor times the
+// median stand out — the §4.5 diagnosis that exposed ARM-specific conv
+// kernels running 44x slower on the x86 emulator.
+func StragglersVsReference(edge, ref *Log, factor float64) []string {
+	// Only device-modeled latencies are comparable across runs; wall-clock
+	// measurements from different resolvers or hosts would produce spurious
+	// ratios.
+	edgeLat := meanLayerLatencyModeled(edge)
+	refLat := meanLayerLatencyModeled(ref)
+	type ratioEntry struct {
+		name  string
+		ratio float64
+	}
+	var entries []ratioEntry
+	for name, e := range edgeLat {
+		if r, ok := refLat[name]; ok && r > 0 {
+			entries = append(entries, ratioEntry{name, e / r})
+		}
+	}
+	if len(entries) == 0 {
+		return nil
+	}
+	ratios := make([]float64, len(entries))
+	for i, e := range entries {
+		ratios[i] = e.ratio
+	}
+	sort.Float64s(ratios)
+	median := ratios[len(ratios)/2]
+	if median <= 0 {
+		return nil
+	}
+	var out []string
+	for _, e := range entries {
+		if e.ratio >= factor*median {
+			out = append(out, e.name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func meanLayerLatencyModeled(l *Log) map[string]float64 {
+	sums := map[string]float64{}
+	counts := map[string]int{}
+	for _, r := range l.Records {
+		if r.Kind != KindMetric || r.Unit != "ns-modeled" ||
+			!strings.HasSuffix(r.Key, "/latency_ns") || !strings.HasPrefix(r.Key, keyLayerPrefix) {
+			continue
+		}
+		sums[r.LayerName] += r.Value
+		counts[r.LayerName]++
+	}
+	out := make(map[string]float64, len(sums))
+	for name, s := range sums {
+		out[name] = s / float64(counts[name])
+	}
+	return out
+}
+
+// Stragglers returns the layers whose mean latency exceeds factor times the
+// median layer latency — the per-layer latency validation of §4.5.
+func Stragglers(l *Log, factor float64) []string {
+	type layerLat struct {
+		name string
+		sum  float64
+		n    int
+	}
+	byLayer := map[string]*layerLat{}
+	var order []string
+	for _, r := range l.Records {
+		if r.Kind != KindMetric || !strings.HasSuffix(r.Key, "/latency_ns") || !strings.HasPrefix(r.Key, keyLayerPrefix) {
+			continue
+		}
+		ll, ok := byLayer[r.LayerName]
+		if !ok {
+			ll = &layerLat{name: r.LayerName}
+			byLayer[r.LayerName] = ll
+			order = append(order, r.LayerName)
+		}
+		ll.sum += r.Value
+		ll.n++
+	}
+	if len(byLayer) == 0 {
+		return nil
+	}
+	means := make([]float64, 0, len(byLayer))
+	for _, ll := range byLayer {
+		means = append(means, ll.sum/float64(ll.n))
+	}
+	sort.Float64s(means)
+	median := means[len(means)/2]
+	var out []string
+	for _, name := range order {
+		ll := byLayer[name]
+		if median > 0 && ll.sum/float64(ll.n) >= factor*median {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// Report is the validator's output: the Figure 2 flowchart results.
+type Report struct {
+	OutputAgreement float64
+	LayerDiffs      []LayerDiff
+	Suspects        []LayerDiff
+	Spike           *LayerDiff
+	Findings        []Finding
+	Stragglers      []string
+}
+
+// ValidateOptions tunes the validator.
+type ValidateOptions struct {
+	// AgreementThreshold below which per-layer analysis is triggered.
+	AgreementThreshold float64
+	// NRMSEThreshold above which a layer is suspect.
+	NRMSEThreshold float64
+	// StragglerFactor for latency outliers.
+	StragglerFactor float64
+	// Assertions to run for root-cause analysis (built-ins plus
+	// user-defined).
+	Assertions []Assertion
+}
+
+// DefaultValidateOptions returns the thresholds used throughout the
+// evaluation.
+func DefaultValidateOptions() ValidateOptions {
+	return ValidateOptions{
+		AgreementThreshold: 0.98,
+		NRMSEThreshold:     0.1,
+		StragglerFactor:    8,
+		Assertions:         BuiltinAssertions(),
+	}
+}
+
+// Validate implements the paper's deployment-validation flowchart (Fig. 2):
+// 1) match outputs between the edge and reference pipelines; 2) on
+// disagreement, scrutinise layer-level drift to localise the fault; 3) run
+// assertion functions for root-cause analysis.
+func Validate(edge, ref *Log, opts ValidateOptions) (*Report, error) {
+	rep := &Report{}
+	agreement, err := OutputAgreement(edge, ref)
+	if err != nil {
+		return nil, err
+	}
+	rep.OutputAgreement = agreement
+
+	if agreement < opts.AgreementThreshold {
+		diffs, err := CompareLayers(edge, ref)
+		if err == nil {
+			rep.LayerDiffs = diffs
+			rep.Suspects = SuspectLayers(diffs, opts.NRMSEThreshold)
+			if spike, ok := FirstSpike(diffs, opts.NRMSEThreshold, 3); ok {
+				rep.Spike = &spike
+			}
+		}
+		// Missing per-layer records is not fatal: assertions may still
+		// explain the drop from boundary records alone.
+	}
+	rep.Stragglers = Stragglers(edge, opts.StragglerFactor)
+	// When the reference log carries per-layer latency too, the relative
+	// comparison finds op-specific slowdowns that absolute medians miss.
+	for _, s := range StragglersVsReference(edge, ref, opts.StragglerFactor) {
+		dup := false
+		for _, have := range rep.Stragglers {
+			if have == s {
+				dup = true
+			}
+		}
+		if !dup {
+			rep.Stragglers = append(rep.Stragglers, s)
+		}
+	}
+
+	ctx := &AssertCtx{Edge: edge, Ref: ref, Report: rep}
+	for _, a := range opts.Assertions {
+		if f := a.Check(ctx); f != nil {
+			rep.Findings = append(rep.Findings, *f)
+		}
+	}
+	return rep, nil
+}
+
+// Render writes a human-readable report.
+func (r *Report) Render(w io.Writer) {
+	fmt.Fprintf(w, "ML-EXray deployment validation report\n")
+	fmt.Fprintf(w, "  output agreement with reference: %.1f%%\n", 100*r.OutputAgreement)
+	if r.Spike != nil {
+		fmt.Fprintf(w, "  first drift spike: layer %d (%s, %s) nRMSE=%.3f\n",
+			r.Spike.Index, r.Spike.Name, r.Spike.OpType, r.Spike.NRMSE)
+	}
+	if len(r.Suspects) > 0 {
+		fmt.Fprintf(w, "  suspect layers (nRMSE over threshold): %d\n", len(r.Suspects))
+		for i, d := range r.Suspects {
+			if i >= 8 {
+				fmt.Fprintf(w, "    ... and %d more\n", len(r.Suspects)-8)
+				break
+			}
+			fmt.Fprintf(w, "    [%3d] %-28s %-16s nRMSE=%.3f\n", d.Index, d.Name, d.OpType, d.NRMSE)
+		}
+	}
+	if len(r.Stragglers) > 0 {
+		fmt.Fprintf(w, "  straggler layers: %s\n", strings.Join(r.Stragglers, ", "))
+	}
+	if len(r.Findings) == 0 {
+		fmt.Fprintf(w, "  root-cause assertions: none triggered\n")
+	} else {
+		fmt.Fprintf(w, "  root-cause assertions:\n")
+		for _, f := range r.Findings {
+			fmt.Fprintf(w, "    [%s] %s\n", f.Assertion, f.Detail)
+		}
+	}
+}

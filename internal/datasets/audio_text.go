@@ -1,0 +1,173 @@
+package datasets
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+)
+
+// AudioSample is one waveform with a keyword label (the Speech Commands
+// stand-in).
+type AudioSample struct {
+	Wave  []float64
+	Label int
+}
+
+// SpeechKeywords names the synthetic keyword classes. Each keyword has a
+// distinct spectral signature (tone pairs or chirps) so a small CNN on
+// spectrograms can separate them.
+var SpeechKeywords = []string{"yes", "no", "up", "down", "left", "right", "go", "stop"}
+
+// SpeechNumClasses is the keyword count.
+const SpeechNumClasses = 8
+
+// SpeechWaveLen is the waveform length in samples.
+const SpeechWaveLen = 1024
+
+// SynthSpeech generates n labeled waveforms, classes balanced round-robin.
+func SynthSpeech(seed int64, n int) []AudioSample {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]AudioSample, n)
+	for i := range out {
+		label := i % SpeechNumClasses
+		out[i] = AudioSample{Wave: renderKeyword(rng, label), Label: label}
+	}
+	return out
+}
+
+// keywordSpec defines each keyword's spectral signature as component
+// frequencies (cycles/sample) with amplitudes; two classes are chirps.
+var keywordSpecs = [][2][]float64{
+	{{0.05}, {1.0}},
+	{{0.12}, {1.0}},
+	{{0.20}, {1.0}},
+	{{0.30}, {1.0}},
+	{{0.07, 0.22}, {0.8, 0.6}},
+	{{0.10, 0.33}, {0.7, 0.7}},
+	{{0.04, 0.16, 0.28}, {0.5, 0.6, 0.5}},
+	{{0.26, 0.40}, {0.9, 0.4}},
+}
+
+func renderKeyword(rng *rand.Rand, label int) []float64 {
+	spec := keywordSpecs[label]
+	wave := make([]float64, SpeechWaveLen)
+	phase := rng.Float64() * 6.28
+	ampJitter := 0.8 + rng.Float64()*0.4
+	for i := 0; i < SpeechWaveLen; i++ {
+		var v float64
+		for k, f := range spec[0] {
+			fj := f * (1 + 0.02*(rng.Float64()-0.5)/10)
+			v += spec[1][k] * ampJitter * sin(6.283185307*fj*float64(i)+phase*float64(k+1))
+		}
+		v += rng.NormFloat64() * 0.05
+		wave[i] = v
+	}
+	return wave
+}
+
+func sin(x float64) float64 { return math.Sin(x) }
+
+// TextSample is one token sequence with a sentiment label (the IMDB
+// stand-in).
+type TextSample struct {
+	Tokens []int32
+	Text   string
+	Label  int // 0 negative, 1 positive
+}
+
+// TextSeqLen is the fixed (padded/truncated) token sequence length.
+const TextSeqLen = 12
+
+// Vocabulary layout: id 0 = PAD, id 1 = UNK, then cased word pairs. Every
+// sentiment word exists in a capitalized and a lowercase form with distinct
+// ids — the mechanism behind the §A case-folding experiment: lowercasing the
+// input changes embeddings drastically while a well-trained classifier keeps
+// the same output.
+var (
+	positiveWords = []string{"good", "great", "superb", "lovely", "fine", "classic"}
+	negativeWords = []string{"bad", "awful", "boring", "weak", "poor", "flat"}
+	neutralWords  = []string{"movie", "film", "plot", "actor", "scene", "the", "a", "was", "and", "it"}
+)
+
+// TextVocab maps each token string to its id. Built deterministically.
+var TextVocab = buildVocab()
+
+// TextVocabSize is the vocabulary size.
+var TextVocabSize = len(TextVocab) + 2 // + PAD, UNK
+
+func buildVocab() map[string]int32 {
+	v := make(map[string]int32)
+	id := int32(2)
+	addBoth := func(w string) {
+		v[w] = id
+		id++
+		v[strings.ToUpper(w[:1])+w[1:]] = id
+		id++
+	}
+	for _, w := range positiveWords {
+		addBoth(w)
+	}
+	for _, w := range negativeWords {
+		addBoth(w)
+	}
+	for _, w := range neutralWords {
+		addBoth(w)
+	}
+	return v
+}
+
+// TokenizeText maps words to token ids (PAD=0, UNK=1), fixed length.
+func TokenizeText(text string) []int32 {
+	words := strings.Fields(text)
+	out := make([]int32, TextSeqLen)
+	for i := 0; i < TextSeqLen; i++ {
+		if i >= len(words) {
+			break // PAD
+		}
+		if id, ok := TextVocab[words[i]]; ok {
+			out[i] = id
+		} else {
+			out[i] = 1 // UNK
+		}
+	}
+	return out
+}
+
+// SynthIMDB generates n sentiment-labeled reviews. Sentences mix neutral
+// words with majority-sentiment words; roughly half the sentiment words are
+// capitalized (sentence starts), so training data covers both cased forms.
+func SynthIMDB(seed int64, n int) []TextSample {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]TextSample, n)
+	for i := range out {
+		label := i % 2
+		out[i] = renderReview(rng, label)
+	}
+	return out
+}
+
+func renderReview(rng *rand.Rand, label int) TextSample {
+	pool := negativeWords
+	if label == 1 {
+		pool = positiveWords
+	}
+	var words []string
+	for len(words) < TextSeqLen {
+		var w string
+		if rng.Float64() < 0.45 {
+			w = pool[rng.Intn(len(pool))]
+		} else {
+			w = neutralWords[rng.Intn(len(neutralWords))]
+		}
+		if rng.Float64() < 0.3 {
+			w = strings.ToUpper(w[:1]) + w[1:]
+		}
+		words = append(words, w)
+	}
+	text := strings.Join(words, " ")
+	return TextSample{Tokens: TokenizeText(text), Text: text, Label: label}
+}
+
+// LowercaseText is the §A "bug": case-folding the input before tokenization,
+// which maps every capitalized token onto the different lowercase id.
+func LowercaseText(text string) string { return strings.ToLower(text) }

@@ -1,0 +1,268 @@
+package datasets
+
+import (
+	"strings"
+	"testing"
+
+	"mlexray/internal/dsp"
+)
+
+func TestSynthImageNetDeterministicAndBalanced(t *testing.T) {
+	a := SynthImageNet(42, 40)
+	b := SynthImageNet(42, 40)
+	if len(a) != 40 {
+		t.Fatalf("len = %d", len(a))
+	}
+	counts := make([]int, ImageNetNumClasses)
+	for i := range a {
+		counts[a[i].Label]++
+		if a[i].Label != b[i].Label {
+			t.Fatal("labels differ across same-seed runs")
+		}
+		for p := range a[i].Image.Pix {
+			if a[i].Image.Pix[p] != b[i].Image.Pix[p] {
+				t.Fatal("pixels differ across same-seed runs")
+			}
+		}
+	}
+	for c, n := range counts {
+		if n != 4 {
+			t.Errorf("class %d has %d samples, want 4", c, n)
+		}
+	}
+	c := SynthImageNet(43, 10)
+	same := true
+	for p := range a[0].Image.Pix {
+		if a[0].Image.Pix[p] != c[0].Image.Pix[p] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical images")
+	}
+}
+
+func TestImageNetClassStructure(t *testing.T) {
+	samples := SynthImageNet(1, 100)
+	// Red-blob images must have higher mean R than B; blue-blob the
+	// opposite — the property that makes channel swaps damaging.
+	chanMean := func(im0 ImageSample, c int) float64 {
+		var sum float64
+		n := 0
+		for i := c; i < len(im0.Image.Pix); i += 3 {
+			sum += float64(im0.Image.Pix[i])
+			n++
+		}
+		return sum / float64(n)
+	}
+	for _, s := range samples {
+		switch s.Label {
+		case 0:
+			if chanMean(s, 0) <= chanMean(s, 2) {
+				t.Error("red-blob image has R <= B")
+			}
+		case 2:
+			if chanMean(s, 2) <= chanMean(s, 0) {
+				t.Error("blue-blob image has B <= R")
+			}
+		case 5:
+			if chanMean(s, 0) > 128 {
+				t.Error("dark-disk image too bright")
+			}
+		case 6:
+			if chanMean(s, 0) < 115 {
+				t.Error("bright-disk image too dark")
+			}
+		}
+	}
+	if len(ImageNetClassNames) != ImageNetNumClasses {
+		t.Error("class-name table size")
+	}
+}
+
+func TestSynthCOCOBoxes(t *testing.T) {
+	samples := SynthCOCO(7, 30)
+	for _, s := range samples {
+		if len(s.Boxes) < 1 || len(s.Boxes) > 3 {
+			t.Fatalf("box count %d", len(s.Boxes))
+		}
+		for _, b := range s.Boxes {
+			if b.Class < 1 || b.Class >= DetectionNumClasses {
+				t.Errorf("class %d out of range", b.Class)
+			}
+			if b.CX < 0 || b.CX > 1 || b.CY < 0 || b.CY > 1 || b.W <= 0 || b.H <= 0 {
+				t.Errorf("bad box %+v", b)
+			}
+			// The object must actually be drawn: sample the box centre and
+			// check the class colour dominates there.
+			px := int(b.CX * DetectionImageSize)
+			py := int(b.CY * DetectionImageSize)
+			im := s.Image
+			r := int(im.At(px, py, 0))
+			g := int(im.At(px, py, 1))
+			bl := int(im.At(px, py, 2))
+			switch b.Class {
+			case 1:
+				if r <= g || r <= bl {
+					t.Error("red-square centre not red")
+				}
+			case 2:
+				if g <= r || g <= bl {
+					t.Error("green-disk centre not green")
+				}
+			case 3:
+				if bl <= r || bl <= g {
+					t.Error("blue-diamond centre not blue")
+				}
+			}
+		}
+	}
+}
+
+func TestSynthSegmentationLabels(t *testing.T) {
+	samples := SynthSegmentation(9, 20)
+	for _, s := range samples {
+		if len(s.Labels) != s.LH*s.LW {
+			t.Fatalf("label map %d for %dx%d", len(s.Labels), s.LH, s.LW)
+		}
+		var has1, has2 bool
+		for _, l := range s.Labels {
+			if l < 0 || l >= SegmentationNumClasses {
+				t.Fatalf("label %d out of range", l)
+			}
+			if l == 1 {
+				has1 = true
+			}
+			if l == 2 {
+				has2 = true
+			}
+		}
+		if !has1 || !has2 {
+			t.Error("segmentation sample missing a foreground class")
+		}
+	}
+}
+
+func TestSynthSpeechSeparableSpectra(t *testing.T) {
+	samples := SynthSpeech(11, 32)
+	// The single-tone keywords must peak at distinct spectrogram bins.
+	peakBin := func(wave []float64) int {
+		sp, err := dsp.Spectrogram(wave, dsp.SpectrogramConfig{FrameLen: 64, FrameHop: 32, Norm: dsp.SpecNormNone})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bins := 33
+		frame := sp.F[5*bins : 6*bins]
+		best := 1 // skip DC
+		for i := 2; i < bins; i++ {
+			if frame[i] > frame[best] {
+				best = i
+			}
+		}
+		return best
+	}
+	peaks := make(map[int]int)
+	for _, s := range samples {
+		if s.Label < 4 { // single-tone classes
+			p := peakBin(s.Wave)
+			if prev, ok := peaks[s.Label]; ok && prev != p {
+				t.Errorf("class %d peak moved: %d vs %d", s.Label, prev, p)
+			}
+			peaks[s.Label] = p
+		}
+	}
+	seen := make(map[int]bool)
+	for label, p := range peaks {
+		if seen[p] {
+			t.Errorf("class %d shares peak bin %d with another class", label, p)
+		}
+		seen[p] = true
+	}
+	if len(SpeechKeywords) != SpeechNumClasses || len(keywordSpecs) != SpeechNumClasses {
+		t.Error("keyword table sizes")
+	}
+}
+
+func TestTextVocabCasedPairs(t *testing.T) {
+	for _, w := range positiveWords {
+		lower, okL := TextVocab[w]
+		upper, okU := TextVocab[strings.ToUpper(w[:1])+w[1:]]
+		if !okL || !okU {
+			t.Fatalf("missing cased pair for %q", w)
+		}
+		if lower == upper {
+			t.Errorf("cased forms of %q share an id", w)
+		}
+	}
+	if TextVocabSize <= len(TextVocab) {
+		t.Error("vocab size must include PAD/UNK")
+	}
+}
+
+func TestTokenizeText(t *testing.T) {
+	toks := TokenizeText("good movie xyzzy")
+	if toks[0] != TextVocab["good"] {
+		t.Error("known token not mapped")
+	}
+	if toks[1] != TextVocab["movie"] {
+		t.Error("neutral token not mapped")
+	}
+	if toks[2] != 1 {
+		t.Errorf("unknown token id = %d, want 1 (UNK)", toks[2])
+	}
+	if toks[5] != 0 {
+		t.Errorf("padding id = %d, want 0", toks[5])
+	}
+	if len(toks) != TextSeqLen {
+		t.Errorf("len = %d", len(toks))
+	}
+}
+
+func TestSynthIMDBSentimentSignal(t *testing.T) {
+	samples := SynthIMDB(13, 40)
+	posSet := make(map[string]bool)
+	for _, w := range positiveWords {
+		posSet[w] = true
+	}
+	negSet := make(map[string]bool)
+	for _, w := range negativeWords {
+		negSet[w] = true
+	}
+	for _, s := range samples {
+		var pos, neg int
+		for _, w := range strings.Fields(strings.ToLower(s.Text)) {
+			if posSet[w] {
+				pos++
+			}
+			if negSet[w] {
+				neg++
+			}
+		}
+		if s.Label == 1 && neg > 0 {
+			t.Error("positive review contains negative words")
+		}
+		if s.Label == 0 && pos > 0 {
+			t.Error("negative review contains positive words")
+		}
+	}
+}
+
+func TestLowercaseChangesTokens(t *testing.T) {
+	s := renderReviewForTest()
+	orig := TokenizeText(s)
+	folded := TokenizeText(LowercaseText(s))
+	diff := 0
+	for i := range orig {
+		if orig[i] != folded[i] {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Error("case folding changed no token ids; §A experiment would be vacuous")
+	}
+}
+
+func renderReviewForTest() string {
+	return "Good movie it was Great and the plot was Superb"
+}

@@ -1,0 +1,178 @@
+// Package datasets generates the deterministic synthetic datasets that stand
+// in for ImageNet, COCO, Speech Commands and IMDB (see DESIGN.md §1). Each
+// generator is seeded and pure, so every experiment reproduces exactly.
+//
+// SynthImageNet's ten classes are engineered so that each of the paper's
+// preprocessing-bug classes (§2) destroys a known slice of the class
+// information: colour-defined classes make channel order matter, stripe
+// orientation makes rotation matter, brightness bands make the normalization
+// range matter, and texture frequency makes the resize filter matter.
+package datasets
+
+import (
+	"math/rand"
+
+	"mlexray/internal/imaging"
+)
+
+// ImageSample is one labeled image.
+type ImageSample struct {
+	Image *imaging.Image
+	Label int
+}
+
+// ImageNetClassNames names the ten SynthImageNet classes, in label order.
+// The class structure maps bug classes onto known class subsets: channel
+// swaps confuse red/blue blobs; quarter-turn rotations exchange the stripe
+// pair and move the diagonal gratings off-distribution; resize-filter
+// aliasing blurs the fine/coarse grating distinction; normalization shifts
+// hurt the intensity-defined disks and overall contrast.
+var ImageNetClassNames = []string{
+	"red-blob", "green-blob", "blue-blob",
+	"v-stripes", "h-stripes",
+	"dark-disk", "bright-disk",
+	"fine-diag", "coarse-diag",
+	"plain",
+}
+
+// ImageNetNumClasses is the class count of SynthImageNet.
+const ImageNetNumClasses = 10
+
+// ImageNetSize is the raw ("camera") resolution; models consume a
+// preprocessed (resized) version per their Meta conventions.
+const ImageNetSize = 64
+
+// SynthImageNet generates n labeled 64x64 RGB images, classes balanced
+// round-robin.
+func SynthImageNet(seed int64, n int) []ImageSample {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]ImageSample, n)
+	for i := range out {
+		label := i % ImageNetNumClasses
+		out[i] = ImageSample{Image: renderImageNetClass(rng, label), Label: label}
+	}
+	return out
+}
+
+func renderImageNetClass(rng *rand.Rand, label int) *imaging.Image {
+	const s = ImageNetSize
+	im := imaging.NewImage(s, s, 3)
+	// Mid-gray noisy background.
+	for i := range im.Pix {
+		im.Pix[i] = noisy(rng, 128, 12)
+	}
+	switch label {
+	case 0, 1, 2: // colour blobs: R, G, B dominant
+		drawBlob(rng, im, label)
+	case 3, 4: // stripes: vertical (3) / horizontal (4)
+		drawStripes(rng, im, label == 4)
+	case 5, 6: // intensity disks: dark (5) / bright (6)
+		drawDisk(rng, im, label == 6)
+	case 7, 8: // texture: fine (7) / coarse (8) diagonal gratings
+		// The fine period survives a correct area downsample at reduced
+		// contrast but aliases badly under bilinear resampling; the diagonal
+		// orientation additionally makes both classes rotation-sensitive.
+		period := 4
+		if label == 8 {
+			period = 12
+		}
+		drawDiagGrating(rng, im, period)
+	case 9: // plain background only
+	}
+	return im
+}
+
+func noisy(rng *rand.Rand, base, spread int) uint8 {
+	v := base + rng.Intn(2*spread+1) - spread
+	if v < 0 {
+		v = 0
+	}
+	if v > 255 {
+		v = 255
+	}
+	return uint8(v)
+}
+
+func drawBlob(rng *rand.Rand, im *imaging.Image, channel int) {
+	cx := im.W/2 + rng.Intn(17) - 8
+	cy := im.H/2 + rng.Intn(17) - 8
+	r := im.W/4 + rng.Intn(im.W/8)
+	hi := 190 + rng.Intn(50)
+	lo := 40 + rng.Intn(30)
+	for y := 0; y < im.H; y++ {
+		for x := 0; x < im.W; x++ {
+			dx, dy := x-cx, y-cy
+			if dx*dx+dy*dy <= r*r {
+				for c := 0; c < 3; c++ {
+					if c == channel {
+						im.Set(x, y, c, noisy(rng, hi, 10))
+					} else {
+						im.Set(x, y, c, noisy(rng, lo, 10))
+					}
+				}
+			}
+		}
+	}
+}
+
+func drawStripes(rng *rand.Rand, im *imaging.Image, horizontal bool) {
+	period := 8 + rng.Intn(4)
+	phase := rng.Intn(period)
+	hi := 200 + rng.Intn(40)
+	lo := 50 + rng.Intn(30)
+	for y := 0; y < im.H; y++ {
+		for x := 0; x < im.W; x++ {
+			pos := x
+			if horizontal {
+				pos = y
+			}
+			v := lo
+			if ((pos+phase)/(period/2))%2 == 0 {
+				v = hi
+			}
+			for c := 0; c < 3; c++ {
+				im.Set(x, y, c, noisy(rng, v, 8))
+			}
+		}
+	}
+}
+
+func drawDisk(rng *rand.Rand, im *imaging.Image, bright bool) {
+	cx := im.W/2 + rng.Intn(13) - 6
+	cy := im.H/2 + rng.Intn(13) - 6
+	r := im.W/3 + rng.Intn(im.W/10)
+	v := 25 + rng.Intn(25) // dark
+	if bright {
+		v = 215 + rng.Intn(30)
+	}
+	for y := 0; y < im.H; y++ {
+		for x := 0; x < im.W; x++ {
+			dx, dy := x-cx, y-cy
+			if dx*dx+dy*dy <= r*r {
+				for c := 0; c < 3; c++ {
+					im.Set(x, y, c, noisy(rng, v, 8))
+				}
+			}
+		}
+	}
+}
+
+// drawDiagGrating renders 45-degree stripes with the given period. A
+// quarter-turn rotation maps these onto anti-diagonal stripes, which appear
+// in no training class.
+func drawDiagGrating(rng *rand.Rand, im *imaging.Image, period int) {
+	phase := rng.Intn(period)
+	hi := 205 + rng.Intn(30)
+	lo := 45 + rng.Intn(25)
+	for y := 0; y < im.H; y++ {
+		for x := 0; x < im.W; x++ {
+			v := lo
+			if ((x+y+phase)/(period/2))%2 == 0 {
+				v = hi
+			}
+			for c := 0; c < 3; c++ {
+				im.Set(x, y, c, noisy(rng, v, 8))
+			}
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+
+	"mlexray/internal/tensor"
+)
+
+// SpecNorm names a spectrogram normalization convention. The paper evaluates
+// two speech models "from different training pipelines" whose spectrogram
+// normalization conventions differ; deploying one model with the other's
+// convention is the Figure 4c bug.
+type SpecNorm int
+
+const (
+	// SpecNormLogGlobal: log1p magnitudes scaled by a fixed global constant
+	// (the tf simple_audio tutorial style).
+	SpecNormLogGlobal SpecNorm = iota
+	// SpecNormPerUtterance: per-utterance mean/variance normalization (the
+	// production KWS style).
+	SpecNormPerUtterance
+	// SpecNormNone: raw magnitudes, the classic "forgot to normalize" bug.
+	SpecNormNone
+)
+
+func (s SpecNorm) String() string {
+	switch s {
+	case SpecNormLogGlobal:
+		return "log-global"
+	case SpecNormPerUtterance:
+		return "per-utterance"
+	case SpecNormNone:
+		return "none"
+	default:
+		return fmt.Sprintf("specnorm(%d)", int(s))
+	}
+}
+
+// SpectrogramConfig controls STFT feature extraction.
+type SpectrogramConfig struct {
+	FrameLen int // samples per frame; must be a power of two
+	FrameHop int // hop between frames
+	Norm     SpecNorm
+}
+
+// DefaultSpectrogram is the configuration both synthetic KWS training
+// pipelines share for the STFT itself (they differ only in Norm).
+var DefaultSpectrogram = SpectrogramConfig{FrameLen: 64, FrameHop: 32, Norm: SpecNormLogGlobal}
+
+// Spectrogram converts a waveform into a [1, frames, bins, 1] float tensor:
+// a Hann-windowed STFT magnitude image with the configured normalization.
+// It is the feature-generation preprocessing stage of the speech pipelines.
+func Spectrogram(wave []float64, cfg SpectrogramConfig) (*tensor.Tensor, error) {
+	if cfg.FrameLen <= 0 || cfg.FrameLen&(cfg.FrameLen-1) != 0 {
+		return nil, fmt.Errorf("dsp: frame length %d not a power of two", cfg.FrameLen)
+	}
+	if cfg.FrameHop <= 0 {
+		return nil, fmt.Errorf("dsp: frame hop %d", cfg.FrameHop)
+	}
+	if len(wave) < cfg.FrameLen {
+		return nil, fmt.Errorf("dsp: waveform of %d samples shorter than frame %d", len(wave), cfg.FrameLen)
+	}
+	frames := 1 + (len(wave)-cfg.FrameLen)/cfg.FrameHop
+	bins := cfg.FrameLen/2 + 1
+	win := HannWindow(cfg.FrameLen)
+	out := tensor.New(tensor.F32, 1, frames, bins, 1)
+	buf := make([]float64, cfg.FrameLen)
+	for f := 0; f < frames; f++ {
+		off := f * cfg.FrameHop
+		for i := 0; i < cfg.FrameLen; i++ {
+			buf[i] = wave[off+i] * win[i]
+		}
+		mag, err := RFFTMagnitude(buf)
+		if err != nil {
+			return nil, err
+		}
+		for b := 0; b < bins; b++ {
+			out.F[f*bins+b] = float32(mag[b])
+		}
+	}
+	normalizeSpectrogram(out, cfg.Norm)
+	return out, nil
+}
+
+func normalizeSpectrogram(t *tensor.Tensor, norm SpecNorm) {
+	switch norm {
+	case SpecNormNone:
+		return
+	case SpecNormLogGlobal:
+		// log1p compresses dynamic range; the /4 constant maps typical tone
+		// magnitudes into roughly [0, 1].
+		for i, v := range t.F {
+			t.F[i] = float32(math.Log1p(float64(v)) / 4.0)
+		}
+	case SpecNormPerUtterance:
+		s := tensor.ComputeStats(t)
+		std := math.Sqrt(maxf(s.RMS*s.RMS-s.Mean*s.Mean, 1e-12))
+		for i, v := range t.F {
+			t.F[i] = float32((float64(v) - s.Mean) / std)
+		}
+	}
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// SynthTone synthesizes a test waveform: the sum of sinusoids at the given
+// normalized frequencies (cycles/sample) with the given amplitudes. The
+// synthetic speech-commands dataset builds keyword signatures from these.
+func SynthTone(n int, freqs, amps []float64, phase float64) []float64 {
+	if len(freqs) != len(amps) {
+		panic("dsp: freqs/amps length mismatch")
+	}
+	w := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for k, f := range freqs {
+			w[i] += amps[k] * math.Sin(2*math.Pi*f*float64(i)+phase*float64(k+1))
+		}
+	}
+	return w
+}
+
+// SynthChirp synthesizes a linear chirp from f0 to f1 (cycles/sample).
+func SynthChirp(n int, f0, f1, amp float64) []float64 {
+	w := make([]float64, n)
+	for i := 0; i < n; i++ {
+		t := float64(i)
+		f := f0 + (f1-f0)*t/float64(n)
+		w[i] = amp * math.Sin(2*math.Pi*f*t)
+	}
+	return w
+}

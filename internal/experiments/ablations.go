@@ -1,0 +1,243 @@
+package experiments
+
+import (
+	"io"
+
+	"mlexray/internal/convert"
+	"mlexray/internal/core"
+	"mlexray/internal/datasets"
+	"mlexray/internal/ops"
+	"mlexray/internal/pipeline"
+	"mlexray/internal/tensor"
+	"mlexray/internal/zoo"
+)
+
+// ---- Ablation: drift metric choice (DESIGN.md §4.1) ----
+
+// AblationErrorMetricsRow reports, for one metric, which layer the
+// first-spike localisation lands on.
+type AblationErrorMetricsRow struct {
+	Metric     string
+	SpikeLayer string
+	SpikeOp    string
+}
+
+// AblationErrorMetrics compares normalized rMSE against raw rMSE and
+// max-abs error as the per-layer drift metric on the v2 depthwise-defect
+// case. Normalized rMSE localises the defective op; unnormalized metrics
+// are biased toward layers with large value ranges.
+func AblationErrorMetrics() ([]AblationErrorMetricsRow, error) {
+	e, err := zoo.Get("mobilenetv2-mini")
+	if err != nil {
+		return nil, err
+	}
+	refLog, err := perLayerLog(e.Mobile, ops.NewReference(ops.Fixed()), 3)
+	if err != nil {
+		return nil, err
+	}
+	edgeLog, err := perLayerLog(e.Quant, ops.NewOptimized(ops.Historical()), 3)
+	if err != nil {
+		return nil, err
+	}
+	diffs, err := core.CompareLayers(edgeLog, refLog)
+	if err != nil {
+		return nil, err
+	}
+	spikeBy := func(value func(core.LayerDiff) float64, threshold float64) (string, string) {
+		prev := 0.0
+		for _, d := range diffs {
+			v := value(d)
+			if v >= threshold && (prev <= 0 || v >= 3*prev) {
+				return d.Name, d.OpType
+			}
+			prev = v
+		}
+		return "(none)", ""
+	}
+	var rows []AblationErrorMetricsRow
+	l, op := spikeBy(func(d core.LayerDiff) float64 { return d.NRMSE }, 0.1)
+	rows = append(rows, AblationErrorMetricsRow{"normalized rMSE", l, op})
+	l, op = spikeBy(func(d core.LayerDiff) float64 { return d.RMSE }, 0.1)
+	rows = append(rows, AblationErrorMetricsRow{"raw rMSE", l, op})
+	l, op = spikeBy(func(d core.LayerDiff) float64 { return d.MaxAbs }, 0.5)
+	rows = append(rows, AblationErrorMetricsRow{"max abs error", l, op})
+	return rows, nil
+}
+
+// RenderAblationErrorMetrics prints the metric ablation.
+func RenderAblationErrorMetrics(w io.Writer, rows []AblationErrorMetricsRow) {
+	fprintf(w, "Ablation — drift metric vs localisation (v2 quant, optimized resolver)\n")
+	for _, r := range rows {
+		fprintf(w, "  %-16s -> %s (%s)\n", r.Metric, r.SpikeLayer, r.SpikeOp)
+	}
+}
+
+// ---- Ablation: per-channel vs per-tensor weight quantization (§2) ----
+
+// AblationQuantRow is one quantization-option accuracy.
+type AblationQuantRow struct {
+	Option   string
+	Accuracy float64
+}
+
+// AblationPerChannel quantizes MobileNet-v2 with per-channel versus
+// per-tensor weight scales (fixed kernels, so quantization resolution is
+// the only variable).
+func AblationPerChannel() ([]AblationQuantRow, error) {
+	e, err := zoo.Get("mobilenetv2-mini")
+	if err != nil {
+		return nil, err
+	}
+	calib := calibSet(e)
+	var rows []AblationQuantRow
+	for _, perChannel := range []bool{true, false} {
+		opts := convert.DefaultQuantOptions()
+		opts.WeightPerChannel = perChannel
+		q, err := convert.Quantize(e.Mobile, calib, opts)
+		if err != nil {
+			return nil, err
+		}
+		acc, err := evalClassifierAccuracy(q, pipeline.Options{Resolver: ops.NewOptimized(ops.Fixed())}, EvalFrames)
+		if err != nil {
+			return nil, err
+		}
+		name := "per-tensor weights"
+		if perChannel {
+			name = "per-channel weights"
+		}
+		rows = append(rows, AblationQuantRow{name, acc})
+	}
+	return rows, nil
+}
+
+// AblationCalibration quantizes with a corrupted representative dataset
+// (one sensor-glitch sample) under strict min/max versus percentile-clipped
+// calibration (§2's scale-calibration pitfall).
+func AblationCalibration() ([]AblationQuantRow, error) {
+	e, err := zoo.Get("mobilenetv2-mini")
+	if err != nil {
+		return nil, err
+	}
+	calib := calibSet(e)
+	// Corrupt one calibration sample with a glitch pixel.
+	bad := calib[0].Clone()
+	bad.F[0] = 80
+	calib = append(calib, bad)
+	var rows []AblationQuantRow
+	for _, clip := range []float64{0, 0.001} {
+		opts := convert.DefaultQuantOptions()
+		opts.ActClipPercentile = clip
+		q, err := convert.Quantize(e.Mobile, calib, opts)
+		if err != nil {
+			return nil, err
+		}
+		acc, err := evalClassifierAccuracy(q, pipeline.Options{Resolver: ops.NewOptimized(ops.Fixed())}, EvalFrames)
+		if err != nil {
+			return nil, err
+		}
+		name := "strict min/max"
+		if clip > 0 {
+			name = "0.1% percentile clip"
+		}
+		rows = append(rows, AblationQuantRow{name, acc})
+	}
+	return rows, nil
+}
+
+// AblationSymmetric compares asymmetric against symmetric activation
+// quantization (§2: symmetric wastes range on skewed post-ReLU data).
+func AblationSymmetric() ([]AblationQuantRow, error) {
+	e, err := zoo.Get("mobilenetv2-mini")
+	if err != nil {
+		return nil, err
+	}
+	calib := calibSet(e)
+	var rows []AblationQuantRow
+	for _, sym := range []bool{false, true} {
+		opts := convert.DefaultQuantOptions()
+		opts.ActSymmetric = sym
+		q, err := convert.Quantize(e.Mobile, calib, opts)
+		if err != nil {
+			return nil, err
+		}
+		acc, err := evalClassifierAccuracy(q, pipeline.Options{Resolver: ops.NewOptimized(ops.Fixed())}, EvalFrames)
+		if err != nil {
+			return nil, err
+		}
+		name := "asymmetric activations"
+		if sym {
+			name = "symmetric activations"
+		}
+		rows = append(rows, AblationQuantRow{name, acc})
+	}
+	return rows, nil
+}
+
+func calibSet(e *zoo.Entry) []*tensor.Tensor {
+	pp, err := pipeline.CorrectImagePreproc(e.Mobile.Meta)
+	if err != nil {
+		return nil
+	}
+	var out []*tensor.Tensor
+	for _, s := range datasets.SynthImageNet(901, 10) {
+		out = append(out, pipeline.PreprocessImage(s.Image, e.Mobile.Meta, pp))
+	}
+	return out
+}
+
+// RenderAblationQuant prints a quantization-option ablation.
+func RenderAblationQuant(w io.Writer, caption string, rows []AblationQuantRow) {
+	fprintf(w, "%s\n", caption)
+	for _, r := range rows {
+		fprintf(w, "  %-24s accuracy = %.2f\n", r.Option, r.Accuracy)
+	}
+}
+
+// ---- Ablation: capture mode logging cost (DESIGN.md §4.2) ----
+
+// AblationCaptureRow reports log bytes per frame for one capture mode.
+type AblationCaptureRow struct {
+	Mode          string
+	BytesPerFrame int
+}
+
+// AblationCaptureMode measures the stats-only versus full-tensor log cost
+// that separates Table 2's 0.41 KB/frame from Table 3's hundreds of MB.
+func AblationCaptureMode() ([]AblationCaptureRow, error) {
+	e, err := zoo.Get("mobilenetv2-mini")
+	if err != nil {
+		return nil, err
+	}
+	var rows []AblationCaptureRow
+	for _, mode := range []core.CaptureMode{core.CaptureStats, core.CaptureFull} {
+		mon := core.NewMonitor(core.WithCaptureMode(mode), core.WithPerLayer(true))
+		cl, err := pipeline.NewClassifier(e.Mobile, pipeline.Options{Resolver: fixedOptimized(), Monitor: mon})
+		if err != nil {
+			return nil, err
+		}
+		const frames = 5
+		for _, s := range datasets.SynthImageNet(5555, frames) {
+			if _, _, err := cl.Classify(s.Image); err != nil {
+				return nil, err
+			}
+		}
+		n, err := mon.Log().SizeBytes()
+		if err != nil {
+			return nil, err
+		}
+		name := "stats-only"
+		if mode == core.CaptureFull {
+			name = "full tensors"
+		}
+		rows = append(rows, AblationCaptureRow{name, n / frames})
+	}
+	return rows, nil
+}
+
+// RenderAblationCapture prints the capture-mode ablation.
+func RenderAblationCapture(w io.Writer, rows []AblationCaptureRow) {
+	fprintf(w, "Ablation — per-layer log cost by capture mode (per frame)\n")
+	for _, r := range rows {
+		fprintf(w, "  %-14s %d bytes\n", r.Mode, r.BytesPerFrame)
+	}
+}

@@ -1,0 +1,67 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (and appendix) against the simulated edge stack. Each
+// experiment returns structured rows and offers a text renderer; the root
+// bench harness and cmd/benchtab drive them. EXPERIMENTS.md records the
+// paper-vs-measured comparison for each.
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"mlexray/internal/datasets"
+	"mlexray/internal/device"
+	"mlexray/internal/graph"
+	"mlexray/internal/metrics"
+	"mlexray/internal/ops"
+	"mlexray/internal/pipeline"
+	"mlexray/internal/zoo"
+)
+
+// EvalFrames is the evaluation-set size for accuracy experiments: large
+// enough for stable estimates, small enough to keep the full suite fast.
+const EvalFrames = 120
+
+// evalClassifierAccuracy measures top-1 accuracy of a model version through
+// a pipeline with the given options.
+func evalClassifierAccuracy(m *graph.Model, opts pipeline.Options, n int) (float64, error) {
+	cl, err := pipeline.NewClassifier(m, opts)
+	if err != nil {
+		return 0, err
+	}
+	samples := datasets.SynthImageNet(5555, n)
+	preds := make([]int, len(samples))
+	labels := make([]int, len(samples))
+	for i, s := range samples {
+		p, _, err := cl.Classify(s.Image)
+		if err != nil {
+			return 0, err
+		}
+		preds[i], labels[i] = p, s.Label
+	}
+	return metrics.Top1(preds, labels)
+}
+
+// fixedOptimized is the resolver an app uses after all kernel fixes — the
+// baseline for preprocessing experiments, isolating preprocessing effects
+// from kernel defects.
+func fixedOptimized() *ops.Resolver { return ops.NewOptimized(ops.Fixed()) }
+
+// classifierZoo resolves the Figure 4a / Figure 5 model list.
+func classifierZoo() ([]*zoo.Entry, error) {
+	var out []*zoo.Entry
+	for _, name := range zoo.ClassifierNames() {
+		e, err := zoo.Get(name)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+func fprintf(w io.Writer, format string, args ...interface{}) {
+	fmt.Fprintf(w, format, args...)
+}
+
+func deviceByName(name string) (*device.Profile, error) { return device.ByName(name) }

@@ -1,0 +1,317 @@
+package experiments
+
+import (
+	"io"
+	"math/rand"
+	"time"
+
+	"mlexray/internal/core"
+	"mlexray/internal/datasets"
+	"mlexray/internal/device"
+	"mlexray/internal/graph"
+	"mlexray/internal/ops"
+	"mlexray/internal/pipeline"
+	"mlexray/internal/zoo"
+)
+
+// ---- Table 2: run-time instrumentation overhead ----
+
+// Table2Row is one (device, instrumented?) configuration.
+type Table2Row struct {
+	Device       string
+	Instrumented bool
+	LatMeanMs    float64
+	LatStdMs     float64
+	MemoryMB     float64
+	DiskKBPerFrm float64
+}
+
+// Table2 measures the always-on (stats-only) instrumentation overhead of
+// the MobileNet-v2 classification app on the simulated phones: modeled
+// inference latency with and without the monitor, memory footprint, and log
+// bytes per frame.
+func Table2(frames int) ([]Table2Row, error) {
+	if frames <= 0 {
+		frames = 100
+	}
+	e, err := zoo.Get("mobilenetv2-mini")
+	if err != nil {
+		return nil, err
+	}
+	samples := datasets.SynthImageNet(5555, frames)
+	var rows []Table2Row
+	for _, devName := range []string{"Pixel4", "Pixel4-GPU", "Pixel3", "Pixel3-GPU"} {
+		dev, err := device.ByName(devName)
+		if err != nil {
+			return nil, err
+		}
+		for _, instrumented := range []bool{false, true} {
+			var mon *core.Monitor
+			if instrumented {
+				mon = core.NewMonitor(core.WithCaptureMode(core.CaptureStats))
+			}
+			cl, err := pipeline.NewClassifier(e.Mobile, pipeline.Options{
+				Resolver: fixedOptimized(), Device: dev, Monitor: mon,
+			})
+			if err != nil {
+				return nil, err
+			}
+			// Deterministic per-frame jitter models real-device variance.
+			jitter := rand.New(rand.NewSource(int64(len(devName)) * 77))
+			var lats []float64
+			for _, s := range samples {
+				if _, _, err := cl.Classify(s.Image); err != nil {
+					return nil, err
+				}
+				st := cl.Interpreter().LastInvokeStats()
+				ns := float64(st.Modeled)
+				if instrumented {
+					ns += float64(dev.InstrLatencyPerFrame)
+				}
+				ns *= 1 + 0.04*(jitter.Float64()-0.5)
+				lats = append(lats, ns)
+			}
+			row := Table2Row{Device: devName, Instrumented: instrumented}
+			row.LatMeanMs, row.LatStdMs = meanStd(lats)
+			row.LatMeanMs /= 1e6
+			row.LatStdMs /= 1e6
+			mem := float64(cl.Interpreter().ArenaBytes() + e.Mobile.WeightBytes())
+			if instrumented {
+				mem += float64(dev.InstrMemoryBytes)
+				logBytes, err := mon.Log().SizeBytes()
+				if err != nil {
+					return nil, err
+				}
+				row.DiskKBPerFrm = float64(logBytes) / float64(frames) / 1024
+			}
+			row.MemoryMB = mem / 1e6
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+func meanStd(xs []float64) (mean, std float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	var sq float64
+	for _, x := range xs {
+		d := x - mean
+		sq += d * d
+	}
+	return mean, sqrtf(sq / float64(len(xs)))
+}
+
+func sqrtf(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	// Newton's method is fine here; avoids importing math for one call.
+	z := x
+	for i := 0; i < 20; i++ {
+		z = (z + x/z) / 2
+	}
+	return z
+}
+
+// RenderTable2 prints the overhead table.
+func RenderTable2(w io.Writer, rows []Table2Row) {
+	fprintf(w, "Table 2 — run-time instrumentation overhead (MobileNet-v2 app)\n")
+	fprintf(w, "%-14s %-6s %14s %10s %14s\n", "device", "inst", "latency (ms)", "mem (MB)", "disk (KB/frm)")
+	for _, r := range rows {
+		inst := "-"
+		if r.Instrumented {
+			inst = "yes"
+		}
+		fprintf(w, "%-14s %-6s %8.1f±%-5.1f %10.2f %14.2f\n", r.Device, inst, r.LatMeanMs, r.LatStdMs, r.MemoryMB, r.DiskKBPerFrm)
+	}
+}
+
+// ---- Tables 3 and 5: offline per-layer validation overhead ----
+
+// Table3Row is one model's offline validation cost.
+type Table3Row struct {
+	Model    string
+	Layers   int
+	Params   int
+	LatSec   float64
+	MemoryMB float64
+	DiskMB   float64
+}
+
+// Table3Models lists the models of the overhead tables (the paper's
+// Mobilenet v1/v2, Resnet50, Inception, Densenet ordering by layer count).
+func Table3Models() []string {
+	return []string{"mobilenetv1-mini", "mobilenetv2-mini", "resnet-mini", "inception-mini", "densenet-mini"}
+}
+
+// Table3 measures full per-layer logging overhead on-device for the
+// quantized models; Table5 is the float variant (appendix).
+func Table3(frames int) ([]Table3Row, error) {
+	return offlineOverhead(frames, true)
+}
+
+// Table5 is the float-model variant of Table 3.
+func Table5(frames int) ([]Table3Row, error) {
+	return offlineOverhead(frames, false)
+}
+
+func offlineOverhead(frames int, quantized bool) ([]Table3Row, error) {
+	if frames <= 0 {
+		frames = 20
+	}
+	dev := device.Pixel4()
+	samples := datasets.SynthImageNet(5555, frames)
+	var rows []Table3Row
+	for _, name := range Table3Models() {
+		e, err := zoo.Get(name)
+		if err != nil {
+			return nil, err
+		}
+		m := e.Mobile
+		if quantized {
+			m = e.Quant
+		}
+		mon := core.NewMonitor(core.WithCaptureMode(core.CaptureFull), core.WithPerLayer(true))
+		cl, err := pipeline.NewClassifier(m, pipeline.Options{
+			Resolver: fixedOptimized(), Device: dev, Monitor: mon,
+		})
+		if err != nil {
+			return nil, err
+		}
+		var modeled time.Duration
+		for _, s := range samples {
+			if _, _, err := cl.Classify(s.Image); err != nil {
+				return nil, err
+			}
+			modeled += cl.Interpreter().LastInvokeStats().Modeled
+		}
+		logBytes, err := mon.Log().SizeBytes()
+		if err != nil {
+			return nil, err
+		}
+		total := modeled + dev.PerLayerLoggingLatency(logBytes)
+		rows = append(rows, Table3Row{
+			Model:    name,
+			Layers:   len(m.Nodes),
+			Params:   m.NumParams(),
+			LatSec:   total.Seconds(),
+			MemoryMB: float64(cl.Interpreter().ArenaBytes()+m.WeightBytes()+mon.MemoryFootprintBytes()) / 1e6,
+			DiskMB:   float64(logBytes) / 1e6,
+		})
+	}
+	return rows, nil
+}
+
+// RenderTable3 prints an offline-overhead table with the given caption.
+func RenderTable3(w io.Writer, caption string, rows []Table3Row) {
+	fprintf(w, "%s\n", caption)
+	fprintf(w, "%-18s %7s %9s %9s %9s %8s\n", "model", "layers", "params", "lat (s)", "mem (MB)", "disk(MB)")
+	for _, r := range rows {
+		fprintf(w, "%-18s %7d %9d %9.2f %9.2f %8.2f\n", r.Model, r.Layers, r.Params, r.LatSec, r.MemoryMB, r.DiskMB)
+	}
+}
+
+// ---- Table 4: latency by layer type ----
+
+// Table4Row is one layer class's total latency under each configuration.
+type Table4Row struct {
+	Class string
+	Count int
+	Ms    map[string]float64 // column -> total ms
+}
+
+// Table4Columns names the four configurations of the paper's Table 4.
+func Table4Columns() []string {
+	return []string{"Mobile", "MobileQuant", "MobileQuantRef", "Emulator"}
+}
+
+// Table4 reproduces the per-layer-type latency breakdown of MobileNet-v2:
+// float-optimized, quantized-optimized and quantized-reference on the Pixel
+// 4, plus float-optimized on the x86 emulator.
+func Table4() ([]Table4Row, error) {
+	e, err := zoo.Get("mobilenetv2-mini")
+	if err != nil {
+		return nil, err
+	}
+	pixel4 := device.Pixel4()
+	emu := device.EmulatorX86()
+	configs := []struct {
+		column   string
+		model    *graph.Model
+		resolver *ops.Resolver
+		dev      *device.Profile
+	}{
+		{"Mobile", e.Mobile, ops.NewOptimized(ops.Historical()), pixel4},
+		{"MobileQuant", e.Quant, ops.NewOptimized(ops.Historical()), pixel4},
+		{"MobileQuantRef", e.Quant, ops.NewReference(ops.Historical()), pixel4},
+		{"Emulator", e.Mobile, ops.NewOptimized(ops.Historical()), emu},
+	}
+	byClass := map[string]*Table4Row{}
+	var order []string
+	for _, cfg := range configs {
+		mon := core.NewMonitor(core.WithCaptureMode(core.CaptureStats), core.WithPerLayer(true))
+		cl, err := pipeline.NewClassifier(cfg.model, pipeline.Options{
+			Resolver: cfg.resolver, Device: cfg.dev, Monitor: mon,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s := datasets.SynthImageNet(5555, 1)[0]
+		if _, _, err := cl.Classify(s.Image); err != nil {
+			return nil, err
+		}
+		agg := core.LatencyByClass(mon.Log(), func(opType string) string {
+			return classOfOpType(opType)
+		})
+		for _, a := range agg {
+			row, ok := byClass[a.Class]
+			if !ok {
+				row = &Table4Row{Class: a.Class, Ms: map[string]float64{}}
+				byClass[a.Class] = row
+				order = append(order, a.Class)
+			}
+			if a.Count > row.Count {
+				row.Count = a.Count
+			}
+			row.Ms[cfg.column] += a.TotalNs / 1e6
+		}
+	}
+	var rows []Table4Row
+	for _, c := range []string{"D-Conv", "Conv", "FC", "Mean", "Pad", "Add", "Softmax", "Quantize", "Other"} {
+		if r, ok := byClass[c]; ok {
+			rows = append(rows, *r)
+		}
+	}
+	return rows, nil
+}
+
+func classOfOpType(opType string) string {
+	for op := graph.OpType(0); op < graph.OpType(64); op++ {
+		if op.String() == opType {
+			return op.LayerClass()
+		}
+	}
+	return "Other"
+}
+
+// RenderTable4 prints the layer-type latency table.
+func RenderTable4(w io.Writer, rows []Table4Row) {
+	fprintf(w, "Table 4 — MobileNet-v2 latency by layer type (ms, modeled)\n")
+	fprintf(w, "%-10s %6s %10s %12s %15s %10s\n", "class", "count", "Mobile", "MobileQuant", "MobileQuantRef", "Emulator")
+	var totals [4]float64
+	for _, r := range rows {
+		fprintf(w, "%-10s %6d %10.2f %12.2f %15.2f %10.2f\n", r.Class, r.Count,
+			r.Ms["Mobile"], r.Ms["MobileQuant"], r.Ms["MobileQuantRef"], r.Ms["Emulator"])
+		totals[0] += r.Ms["Mobile"]
+		totals[1] += r.Ms["MobileQuant"]
+		totals[2] += r.Ms["MobileQuantRef"]
+		totals[3] += r.Ms["Emulator"]
+	}
+	fprintf(w, "%-10s %6s %10.2f %12.2f %15.2f %10.2f\n", "Total", "", totals[0], totals[1], totals[2], totals[3])
+}

@@ -1,0 +1,347 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"mlexray/internal/tensor"
+)
+
+// tinyModel builds a small but representative conv->relu->mean->dense->softmax
+// graph used across the serialization and validation tests.
+func tinyModel(t *testing.T) *Model {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	b := NewBuilder("tiny")
+	in := b.Input("input", tensor.F32, 1, 8, 8, 3)
+	w := tensor.New(tensor.F32, 4, 3, 3, 3)
+	tensor.HeInit(rng, w, 27)
+	bias := tensor.New(tensor.F32, 4)
+	wid := b.Const("conv/w", w)
+	bid := b.Const("conv/b", bias)
+	pt, pb := SamePadding(8, 3, 1, 1)
+	x := b.Node(OpConv2D, "conv", Attrs{StrideH: 1, StrideW: 1, PadT: pt, PadB: pb, PadL: pt, PadR: pb}, in, wid, bid)
+	x = b.Node(OpReLU, "relu", Attrs{}, x)
+	x = b.Node(OpMean, "gap", Attrs{}, x)
+	dw := tensor.New(tensor.F32, 5, 4)
+	tensor.HeInit(rng, dw, 4)
+	db := tensor.New(tensor.F32, 5)
+	x = b.Node(OpDense, "fc", Attrs{}, x, b.Const("fc/w", dw), b.Const("fc/b", db))
+	b.RenameTensor(x, "logits")
+	x = b.Node(OpSoftmax, "softmax", Attrs{Axis: 1}, x)
+	b.Output(x)
+	m, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestOpTypeStrings(t *testing.T) {
+	if OpConv2D.String() != "Conv2D" || OpSelfAttention.String() != "SelfAttention" {
+		t.Error("OpType.String")
+	}
+	if OpType(999).String() != "Op(999)" {
+		t.Error("unknown op string")
+	}
+}
+
+func TestLayerClassMapping(t *testing.T) {
+	cases := map[OpType]string{
+		OpDepthwiseConv2D: "D-Conv",
+		OpConv2D:          "Conv",
+		OpDense:           "FC",
+		OpMean:            "Mean",
+		OpAvgPool2D:       "Mean",
+		OpPad:             "Pad",
+		OpAdd:             "Add",
+		OpSoftmax:         "Softmax",
+		OpQuantize:        "Quantize",
+		OpReshape:         "Other",
+	}
+	for op, want := range cases {
+		if got := op.LayerClass(); got != want {
+			t.Errorf("%v class = %q, want %q", op, got, want)
+		}
+	}
+}
+
+func TestSamePadding(t *testing.T) {
+	// 8 wide, kernel 3, stride 1 -> pad 1/1, output 8.
+	bef, aft := SamePadding(8, 3, 1, 1)
+	if bef != 1 || aft != 1 {
+		t.Errorf("SAME 8/3/1 = %d,%d", bef, aft)
+	}
+	if out := ConvOutDim(8, 3, 1, 1, bef, aft); out != 8 {
+		t.Errorf("out = %d", out)
+	}
+	// 8 wide, kernel 3, stride 2 -> output ceil(8/2)=4.
+	bef, aft = SamePadding(8, 3, 2, 1)
+	if out := ConvOutDim(8, 3, 2, 1, bef, aft); out != 4 {
+		t.Errorf("stride2 out = %d (pad %d,%d)", out, bef, aft)
+	}
+	// Dilation 2: effective kernel 5.
+	bef, aft = SamePadding(8, 3, 1, 2)
+	if out := ConvOutDim(8, 3, 1, 2, bef, aft); out != 8 {
+		t.Errorf("dilated out = %d", out)
+	}
+}
+
+func TestInferShapeConv(t *testing.T) {
+	out, err := InferShape(OpConv2D, Attrs{StrideH: 2, StrideW: 2, PadT: 1, PadB: 1, PadL: 1, PadR: 1},
+		[][]int{{1, 8, 8, 3}, {16, 3, 3, 3}, {16}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.SameShape(out, []int{1, 4, 4, 16}) {
+		t.Errorf("conv out = %v", out)
+	}
+	if _, err := InferShape(OpConv2D, Attrs{StrideH: 1, StrideW: 1},
+		[][]int{{1, 8, 8, 4}, {16, 3, 3, 3}}); err == nil {
+		t.Error("accepted channel mismatch")
+	}
+}
+
+func TestInferShapeDepthwise(t *testing.T) {
+	out, err := InferShape(OpDepthwiseConv2D, Attrs{StrideH: 1, StrideW: 1, PadT: 1, PadB: 1, PadL: 1, PadR: 1, DepthMultiplier: 1},
+		[][]int{{1, 8, 8, 8}, {1, 3, 3, 8}, {8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.SameShape(out, []int{1, 8, 8, 8}) {
+		t.Errorf("dw out = %v", out)
+	}
+	if _, err := InferShape(OpDepthwiseConv2D, Attrs{StrideH: 1, StrideW: 1, DepthMultiplier: 2},
+		[][]int{{1, 8, 8, 8}, {1, 3, 3, 8}}); err == nil {
+		t.Error("accepted multiplier mismatch")
+	}
+}
+
+func TestInferShapeDenseFlattens(t *testing.T) {
+	out, err := InferShape(OpDense, Attrs{}, [][]int{{2, 4, 4, 3}, {10, 48}, {10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.SameShape(out, []int{2, 10}) {
+		t.Errorf("dense out = %v", out)
+	}
+}
+
+func TestInferShapePoolMeanPad(t *testing.T) {
+	out, err := InferShape(OpAvgPool2D, Attrs{KernelH: 2, KernelW: 2, StrideH: 2, StrideW: 2}, [][]int{{1, 8, 8, 4}})
+	if err != nil || !tensor.SameShape(out, []int{1, 4, 4, 4}) {
+		t.Errorf("pool out = %v, %v", out, err)
+	}
+	out, err = InferShape(OpMean, Attrs{}, [][]int{{1, 7, 7, 32}})
+	if err != nil || !tensor.SameShape(out, []int{1, 32}) {
+		t.Errorf("mean out = %v, %v", out, err)
+	}
+	out, err = InferShape(OpPad, Attrs{Paddings: [][2]int{{0, 0}, {1, 1}, {1, 1}, {0, 0}}}, [][]int{{1, 8, 8, 4}})
+	if err != nil || !tensor.SameShape(out, []int{1, 10, 10, 4}) {
+		t.Errorf("pad out = %v, %v", out, err)
+	}
+}
+
+func TestInferShapeAddBroadcast(t *testing.T) {
+	out, err := InferShape(OpAdd, Attrs{}, [][]int{{1, 8, 8, 4}, {1, 8, 8, 4}})
+	if err != nil || !tensor.SameShape(out, []int{1, 8, 8, 4}) {
+		t.Errorf("add out = %v, %v", out, err)
+	}
+	// SE gate: [N,H,W,C] * [N,C].
+	out, err = InferShape(OpMul, Attrs{}, [][]int{{1, 8, 8, 4}, {1, 4}})
+	if err != nil || !tensor.SameShape(out, []int{1, 8, 8, 4}) {
+		t.Errorf("mul broadcast out = %v, %v", out, err)
+	}
+	if _, err := InferShape(OpAdd, Attrs{}, [][]int{{1, 8, 8, 4}, {1, 3}}); err == nil {
+		t.Error("accepted bad broadcast")
+	}
+}
+
+func TestInferShapeConcat(t *testing.T) {
+	out, err := InferShape(OpConcat, Attrs{Axis: 3}, [][]int{{1, 4, 4, 8}, {1, 4, 4, 16}})
+	if err != nil || !tensor.SameShape(out, []int{1, 4, 4, 24}) {
+		t.Errorf("concat out = %v, %v", out, err)
+	}
+	if _, err := InferShape(OpConcat, Attrs{Axis: 3}, [][]int{{1, 4, 4, 8}, {1, 5, 4, 8}}); err == nil {
+		t.Error("accepted dim mismatch off-axis")
+	}
+}
+
+func TestInferShapeReshape(t *testing.T) {
+	out, err := InferShape(OpReshape, Attrs{NewShape: []int{1, -1, 4}}, [][]int{{1, 6, 4}})
+	if err != nil || !tensor.SameShape(out, []int{1, 6, 4}) {
+		t.Errorf("reshape out = %v, %v", out, err)
+	}
+	if _, err := InferShape(OpReshape, Attrs{NewShape: []int{5}}, [][]int{{1, 6}}); err == nil {
+		t.Error("accepted bad reshape")
+	}
+}
+
+func TestInferShapeEmbeddingAttention(t *testing.T) {
+	out, err := InferShape(OpEmbedding, Attrs{}, [][]int{{2, 16}, {100, 32}})
+	if err != nil || !tensor.SameShape(out, []int{2, 16, 32}) {
+		t.Errorf("embedding out = %v, %v", out, err)
+	}
+	out, err = InferShape(OpSelfAttention, Attrs{NumHeads: 4}, [][]int{{2, 16, 32}})
+	if err != nil || !tensor.SameShape(out, []int{2, 16, 32}) {
+		t.Errorf("attention out = %v, %v", out, err)
+	}
+	if _, err := InferShape(OpSelfAttention, Attrs{NumHeads: 5}, [][]int{{2, 16, 32}}); err == nil {
+		t.Error("accepted indivisible heads")
+	}
+}
+
+func TestInferShapeResize(t *testing.T) {
+	out, err := InferShape(OpResizeBilinear, Attrs{TargetH: 16, TargetW: 16}, [][]int{{1, 8, 8, 3}})
+	if err != nil || !tensor.SameShape(out, []int{1, 16, 16, 3}) {
+		t.Errorf("resize out = %v, %v", out, err)
+	}
+}
+
+func TestBuilderBuildsValidModel(t *testing.T) {
+	m := tinyModel(t)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Nodes) != 5 {
+		t.Errorf("node count = %d", len(m.Nodes))
+	}
+	if id, err := m.TensorByName("logits"); err != nil || id < 0 {
+		t.Errorf("logits tensor: %v", err)
+	}
+	if _, err := m.TensorByName("nope"); err == nil {
+		t.Error("TensorByName accepted missing name")
+	}
+	if _, err := m.NodeByName("conv"); err != nil {
+		t.Error("NodeByName failed for conv")
+	}
+	if m.NumParams() != 4*3*3*3+4+5*4+5 {
+		t.Errorf("NumParams = %d", m.NumParams())
+	}
+}
+
+func TestValidateCatchesTopologicalViolation(t *testing.T) {
+	m := tinyModel(t)
+	// Make node 0 read a tensor produced by node 2.
+	m.Nodes[0].Inputs[0] = m.Nodes[2].Outputs[0]
+	if err := m.Validate(); err == nil || !strings.Contains(err.Error(), "before it is produced") {
+		t.Errorf("Validate = %v", err)
+	}
+}
+
+func TestValidateCatchesMissingConst(t *testing.T) {
+	m := tinyModel(t)
+	for id := range m.Consts {
+		delete(m.Consts, id)
+		break
+	}
+	if err := m.Validate(); err == nil {
+		t.Error("Validate accepted missing const data")
+	}
+}
+
+func TestValidateCatchesDoubleWrite(t *testing.T) {
+	m := tinyModel(t)
+	m.Nodes[1].Outputs[0] = m.Nodes[0].Outputs[0]
+	if err := m.Validate(); err == nil {
+		t.Error("Validate accepted double write")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	m := tinyModel(t)
+	c := m.Clone()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Mutate the clone's weights and nodes; original must be untouched.
+	for id := range c.Consts {
+		c.Consts[id].Fill(9)
+		if m.Consts[id].F[0] == 9 {
+			t.Fatal("Clone shares const storage")
+		}
+		break
+	}
+	c.Nodes[0].Attrs.StrideH = 99
+	if m.Nodes[0].Attrs.StrideH == 99 {
+		t.Fatal("Clone shares node attrs")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	m := tinyModel(t)
+	var buf bytes.Buffer
+	if err := Save(m, &buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != m.Name || len(back.Nodes) != len(m.Nodes) || len(back.Tensors) != len(m.Tensors) {
+		t.Error("round trip lost structure")
+	}
+	for id, c := range m.Consts {
+		bc, ok := back.Consts[id]
+		if !ok {
+			t.Fatalf("const %d missing after round trip", id)
+		}
+		for i := range c.F {
+			if c.F[i] != bc.F[i] {
+				t.Fatal("const data changed")
+			}
+		}
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not a model at all"))); err == nil {
+		t.Error("Load accepted garbage")
+	}
+	if _, err := Load(bytes.NewReader(nil)); err == nil {
+		t.Error("Load accepted empty input")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	m := tinyModel(t)
+	path := t.TempDir() + "/m.mlxm"
+	if err := SaveFile(m, path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != "tiny" {
+		t.Error("file round trip")
+	}
+	n, err := EncodedSize(m)
+	if err != nil || n <= 0 {
+		t.Errorf("EncodedSize = %d, %v", n, err)
+	}
+}
+
+func TestMemoryAccounting(t *testing.T) {
+	m := tinyModel(t)
+	if m.WeightBytes() != m.NumParams()*4 {
+		t.Errorf("WeightBytes = %d", m.WeightBytes())
+	}
+	if m.ActivationBytes() <= 0 {
+		t.Error("ActivationBytes should be positive")
+	}
+}
+
+func TestBuilderPanicsOnBadGraph(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected builder panic on shape error")
+		}
+	}()
+	b := NewBuilder("bad")
+	in := b.Input("in", tensor.F32, 1, 4, 4, 3)
+	w := b.Const("w", tensor.New(tensor.F32, 8, 3, 3, 5)) // wrong inC
+	b.Node(OpConv2D, "conv", Attrs{StrideH: 1, StrideW: 1}, in, w)
+}

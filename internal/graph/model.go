@@ -1,0 +1,236 @@
+package graph
+
+import (
+	"fmt"
+
+	"mlexray/internal/quant"
+	"mlexray/internal/tensor"
+)
+
+// Format names the stage of the deployment path a model is in (§3.3).
+type Format string
+
+const (
+	FormatCheckpoint Format = "checkpoint" // training graph (BatchNorm, unfused activations)
+	FormatMobile     Format = "mobile"     // converted float inference graph
+	FormatQuant      Format = "quant"      // full-integer quantized graph
+)
+
+// TensorInfo describes one entry of the model's tensor table.
+type TensorInfo struct {
+	Name  string
+	Shape []int
+	DType tensor.DType
+	// Quant holds quantization parameters for U8/I8/I32 tensors in quantized
+	// models; nil for float tensors.
+	Quant *quant.Params
+	// Const marks weights/constants, whose values live in Model.Consts.
+	Const bool
+}
+
+// Node is one operation. Inputs and Outputs index the tensor table.
+type Node struct {
+	Op      OpType
+	Name    string
+	Inputs  []int
+	Outputs []int
+	Attrs   Attrs
+}
+
+// Meta records the input conventions of the training pipeline — exactly the
+// information the paper says is "lost in the handoff" from model developers
+// to app developers (§1). The reference pipelines (§3.3) are generated from
+// this; the edge pipeline may deviate from it, which is how deployment bugs
+// are injected and then caught.
+type Meta struct {
+	Task         string // "classification", "detection", "segmentation", "speech", "text"
+	InputH       int
+	InputW       int
+	InputC       int
+	ChannelOrder string  // "RGB" or "BGR"
+	NormLo       float64 // expected input range
+	NormHi       float64
+	Resize       string // "area", "bilinear", "nearest"
+	NumClasses   int
+	// SpecNorm names the spectrogram normalization for speech models.
+	SpecNorm string
+	// SeqLen / VocabSize for text models.
+	SeqLen    int
+	VocabSize int
+	// Anchors rows of [cy, cx, h, w] in [0,1] for detection models.
+	Anchors [][4]float64
+}
+
+// Model is the IR. Nodes are topologically ordered: a node may only read
+// tensors produced by earlier nodes, constants, or model inputs.
+type Model struct {
+	Name    string
+	Format  Format
+	Tensors []TensorInfo
+	Consts  map[int]*tensor.Tensor
+	Nodes   []Node
+	Inputs  []int
+	Outputs []int
+	Meta    Meta
+}
+
+// TensorByName returns the tensor id with the given name.
+func (m *Model) TensorByName(name string) (int, error) {
+	for i, t := range m.Tensors {
+		if t.Name == name {
+			return i, nil
+		}
+	}
+	return -1, fmt.Errorf("graph: model %q has no tensor %q", m.Name, name)
+}
+
+// NodeByName returns the index of the named node.
+func (m *Model) NodeByName(name string) (int, error) {
+	for i, n := range m.Nodes {
+		if n.Name == name {
+			return i, nil
+		}
+	}
+	return -1, fmt.Errorf("graph: model %q has no node %q", m.Name, name)
+}
+
+// NumParams counts weight elements.
+func (m *Model) NumParams() int {
+	n := 0
+	for _, t := range m.Consts {
+		n += t.Len()
+	}
+	return n
+}
+
+// WeightBytes returns the storage footprint of all constants.
+func (m *Model) WeightBytes() int {
+	n := 0
+	for _, t := range m.Consts {
+		n += t.Bytes()
+	}
+	return n
+}
+
+// ActivationBytes returns the total size of all non-constant tensors, the
+// upper bound the interpreter's arena uses for memory accounting.
+func (m *Model) ActivationBytes() int {
+	n := 0
+	for i, t := range m.Tensors {
+		if _, isConst := m.Consts[i]; !isConst {
+			n += tensor.NumElems(t.Shape) * t.DType.Size()
+		}
+	}
+	return n
+}
+
+// Validate checks structural invariants: tensor references in range,
+// topological order, constants present, input/output declarations sane.
+func (m *Model) Validate() error {
+	if m.Name == "" {
+		return fmt.Errorf("graph: model has no name")
+	}
+	produced := make([]bool, len(m.Tensors))
+	for _, id := range m.Inputs {
+		if id < 0 || id >= len(m.Tensors) {
+			return fmt.Errorf("graph: input tensor %d out of range", id)
+		}
+		produced[id] = true
+	}
+	for id := range m.Consts {
+		if id < 0 || id >= len(m.Tensors) {
+			return fmt.Errorf("graph: const tensor %d out of range", id)
+		}
+		if !m.Tensors[id].Const {
+			return fmt.Errorf("graph: tensor %d has const data but is not marked Const", id)
+		}
+		produced[id] = true
+	}
+	for i, t := range m.Tensors {
+		if t.Const {
+			c, ok := m.Consts[i]
+			if !ok {
+				return fmt.Errorf("graph: const tensor %d (%s) has no data", i, t.Name)
+			}
+			if c.DType != t.DType {
+				return fmt.Errorf("graph: const tensor %d dtype %v vs info %v", i, c.DType, t.DType)
+			}
+			if !tensor.SameShape(c.Shape, t.Shape) {
+				return fmt.Errorf("graph: const tensor %d shape %v vs info %v", i, c.Shape, t.Shape)
+			}
+		}
+	}
+	for ni, n := range m.Nodes {
+		for _, id := range n.Inputs {
+			if id < 0 || id >= len(m.Tensors) {
+				return fmt.Errorf("graph: node %d (%s) input %d out of range", ni, n.Name, id)
+			}
+			if !produced[id] {
+				return fmt.Errorf("graph: node %d (%s) reads tensor %d before it is produced", ni, n.Name, id)
+			}
+		}
+		for _, id := range n.Outputs {
+			if id < 0 || id >= len(m.Tensors) {
+				return fmt.Errorf("graph: node %d (%s) output %d out of range", ni, n.Name, id)
+			}
+			if m.Tensors[id].Const {
+				return fmt.Errorf("graph: node %d (%s) writes const tensor %d", ni, n.Name, id)
+			}
+			if produced[id] {
+				return fmt.Errorf("graph: tensor %d written twice (node %d, %s)", id, ni, n.Name)
+			}
+			produced[id] = true
+		}
+	}
+	for _, id := range m.Outputs {
+		if id < 0 || id >= len(m.Tensors) {
+			return fmt.Errorf("graph: output tensor %d out of range", id)
+		}
+		if !produced[id] {
+			return fmt.Errorf("graph: output tensor %d never produced", id)
+		}
+	}
+	if len(m.Inputs) == 0 || len(m.Outputs) == 0 {
+		return fmt.Errorf("graph: model must declare inputs and outputs")
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the model (tensors, nodes, constants). Used
+// by the converter so optimization passes never mutate the source graph.
+func (m *Model) Clone() *Model {
+	c := &Model{
+		Name:    m.Name,
+		Format:  m.Format,
+		Tensors: make([]TensorInfo, len(m.Tensors)),
+		Consts:  make(map[int]*tensor.Tensor, len(m.Consts)),
+		Nodes:   make([]Node, len(m.Nodes)),
+		Inputs:  append([]int(nil), m.Inputs...),
+		Outputs: append([]int(nil), m.Outputs...),
+		Meta:    m.Meta,
+	}
+	c.Meta.Anchors = append([][4]float64(nil), m.Meta.Anchors...)
+	for i, t := range m.Tensors {
+		ct := t
+		ct.Shape = append([]int(nil), t.Shape...)
+		if t.Quant != nil {
+			q := *t.Quant
+			q.Scales = append([]float64(nil), t.Quant.Scales...)
+			q.ZeroPoints = append([]int32(nil), t.Quant.ZeroPoints...)
+			ct.Quant = &q
+		}
+		c.Tensors[i] = ct
+	}
+	for id, t := range m.Consts {
+		c.Consts[id] = t.Clone()
+	}
+	for i, n := range m.Nodes {
+		cn := n
+		cn.Inputs = append([]int(nil), n.Inputs...)
+		cn.Outputs = append([]int(nil), n.Outputs...)
+		cn.Attrs.Paddings = append([][2]int(nil), n.Attrs.Paddings...)
+		cn.Attrs.NewShape = append([]int(nil), n.Attrs.NewShape...)
+		c.Nodes[i] = cn
+	}
+	return c
+}

@@ -1,0 +1,152 @@
+// Package graph defines the model intermediate representation shared by the
+// whole stack: a tensor table plus a topologically ordered node list, the
+// in-memory analogue of a TensorFlow Lite FlatBuffer. Models exist in three
+// formats along the deployment path the paper describes (§3.3): "checkpoint"
+// (training graph with BatchNorm and explicit activations), "mobile"
+// (inference-optimized float graph after folding and fusion) and "quant"
+// (full-integer post-training quantized graph).
+package graph
+
+import "fmt"
+
+// OpType enumerates the operations the runtime supports.
+type OpType int
+
+const (
+	OpConv2D OpType = iota
+	OpDepthwiseConv2D
+	OpDense
+	OpAvgPool2D
+	OpMaxPool2D
+	OpMean // global spatial mean (TFLite MEAN over H,W)
+	OpPad
+	OpAdd
+	OpMul
+	OpConcat
+	OpReLU
+	OpReLU6
+	OpHardSwish
+	OpHardSigmoid
+	OpSigmoid
+	OpSoftmax
+	OpBatchNorm
+	OpReshape
+	OpQuantize
+	OpDequantize
+	OpEmbedding
+	OpLayerNorm
+	OpSelfAttention
+	OpResizeBilinear
+
+	numOpTypes
+)
+
+var opNames = [...]string{
+	OpConv2D:          "Conv2D",
+	OpDepthwiseConv2D: "DepthwiseConv2D",
+	OpDense:           "Dense",
+	OpAvgPool2D:       "AvgPool2D",
+	OpMaxPool2D:       "MaxPool2D",
+	OpMean:            "Mean",
+	OpPad:             "Pad",
+	OpAdd:             "Add",
+	OpMul:             "Mul",
+	OpConcat:          "Concat",
+	OpReLU:            "ReLU",
+	OpReLU6:           "ReLU6",
+	OpHardSwish:       "HardSwish",
+	OpHardSigmoid:     "HardSigmoid",
+	OpSigmoid:         "Sigmoid",
+	OpSoftmax:         "Softmax",
+	OpBatchNorm:       "BatchNorm",
+	OpReshape:         "Reshape",
+	OpQuantize:        "Quantize",
+	OpDequantize:      "Dequantize",
+	OpEmbedding:       "Embedding",
+	OpLayerNorm:       "LayerNorm",
+	OpSelfAttention:   "SelfAttention",
+	OpResizeBilinear:  "ResizeBilinear",
+}
+
+func (op OpType) String() string {
+	if op >= 0 && int(op) < len(opNames) {
+		return opNames[op]
+	}
+	return fmt.Sprintf("Op(%d)", int(op))
+}
+
+// LayerClass groups op types into the coarse layer classes the paper's
+// Table 4 aggregates latency by ("D-Conv", "Conv", "FC", "Mean", "Pad",
+// "Add", "Softmax", "Quantize").
+func (op OpType) LayerClass() string {
+	switch op {
+	case OpDepthwiseConv2D:
+		return "D-Conv"
+	case OpConv2D:
+		return "Conv"
+	case OpDense:
+		return "FC"
+	case OpMean, OpAvgPool2D, OpMaxPool2D:
+		return "Mean"
+	case OpPad:
+		return "Pad"
+	case OpAdd, OpMul, OpConcat:
+		return "Add"
+	case OpSoftmax, OpSigmoid, OpHardSigmoid, OpHardSwish, OpReLU, OpReLU6:
+		return "Softmax"
+	case OpQuantize, OpDequantize:
+		return "Quantize"
+	default:
+		return "Other"
+	}
+}
+
+// Activation is an activation function fused into a compute op's attributes
+// (the converter's activation-fusion pass produces these, mirroring TFLite).
+type Activation int
+
+const (
+	ActNone Activation = iota
+	ActReLU
+	ActReLU6
+)
+
+func (a Activation) String() string {
+	switch a {
+	case ActReLU:
+		return "relu"
+	case ActReLU6:
+		return "relu6"
+	default:
+		return "none"
+	}
+}
+
+// Attrs carries per-node parameters. Unused fields are zero.
+type Attrs struct {
+	// Convolutions and pools.
+	StrideH, StrideW       int
+	PadT, PadB, PadL, PadR int
+	DilationH, DilationW   int
+	KernelH, KernelW       int // pooling window
+	Activation             Activation
+	DepthMultiplier        int
+
+	// Concat/Softmax axis.
+	Axis int
+
+	// Pad op: per-dimension (before, after) amounts.
+	Paddings [][2]int
+
+	// BatchNorm / LayerNorm epsilon.
+	Eps float64
+
+	// SelfAttention.
+	NumHeads int
+
+	// ResizeBilinear target.
+	TargetH, TargetW int
+
+	// Reshape target (one dim may be -1).
+	NewShape []int
+}

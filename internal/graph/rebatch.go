@@ -1,0 +1,55 @@
+package graph
+
+import "fmt"
+
+// Rebatch returns a clone of the model with every non-constant tensor's
+// leading (batch) dimension set to n. Deployment models are built with
+// batch 1; the trainer rebatches a clone for mini-batch SGD and copies the
+// trained constants back. Constants keep their shapes, and tensor ids are
+// preserved, so weights transfer by id.
+func Rebatch(src *Model, n int) (*Model, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("graph: rebatch to %d", n)
+	}
+	m := src.Clone()
+	for id := range m.Tensors {
+		ti := &m.Tensors[id]
+		if ti.Const {
+			continue
+		}
+		if len(ti.Shape) == 0 {
+			return nil, fmt.Errorf("graph: tensor %d (%s) is scalar; cannot rebatch", id, ti.Name)
+		}
+		if ti.Shape[0] != src.Tensors[id].Shape[0] {
+			return nil, fmt.Errorf("graph: tensor %d batch mismatch", id)
+		}
+		ti.Shape[0] = n * ti.Shape[0]
+	}
+	// Reshape nodes encode the batch dimension in their attributes.
+	for ni := range m.Nodes {
+		node := &m.Nodes[ni]
+		if node.Op == OpReshape && len(node.Attrs.NewShape) > 0 && node.Attrs.NewShape[0] >= 1 {
+			node.Attrs.NewShape[0] *= n
+		}
+	}
+	// Verify shape inference still holds node by node.
+	for ni := range m.Nodes {
+		node := &m.Nodes[ni]
+		inShapes := make([][]int, len(node.Inputs))
+		for i, id := range node.Inputs {
+			inShapes[i] = m.Tensors[id].Shape
+		}
+		want, err := InferShape(node.Op, node.Attrs, inShapes)
+		if err != nil {
+			return nil, fmt.Errorf("graph: rebatch node %q: %w", node.Name, err)
+		}
+		got := m.Tensors[node.Outputs[0]].Shape
+		if !sameIntSlice(want, got) {
+			return nil, fmt.Errorf("graph: rebatch node %q: inferred %v vs stored %v", node.Name, want, got)
+		}
+	}
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("graph: rebatched model invalid: %w", err)
+	}
+	return m, nil
+}

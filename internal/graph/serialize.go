@@ -1,0 +1,79 @@
+package graph
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+)
+
+// The serialized model format plays the role of TFLite's FlatBuffer file:
+// the single artifact handed from the training side to the deployment side.
+// gob with a magic header keeps it compact, binary and stdlib-only.
+
+const modelMagic = "MLXM0001"
+
+// Save writes the model to w.
+func Save(m *Model, w io.Writer) error {
+	if err := m.Validate(); err != nil {
+		return fmt.Errorf("graph: refusing to save invalid model: %w", err)
+	}
+	if _, err := io.WriteString(w, modelMagic); err != nil {
+		return fmt.Errorf("graph: write magic: %w", err)
+	}
+	if err := gob.NewEncoder(w).Encode(m); err != nil {
+		return fmt.Errorf("graph: encode model: %w", err)
+	}
+	return nil
+}
+
+// Load reads a model written by Save.
+func Load(r io.Reader) (*Model, error) {
+	magic := make([]byte, len(modelMagic))
+	if _, err := io.ReadFull(r, magic); err != nil {
+		return nil, fmt.Errorf("graph: read magic: %w", err)
+	}
+	if string(magic) != modelMagic {
+		return nil, fmt.Errorf("graph: bad magic %q (not a model file)", magic)
+	}
+	var m Model
+	if err := gob.NewDecoder(r).Decode(&m); err != nil {
+		return nil, fmt.Errorf("graph: decode model: %w", err)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("graph: loaded model invalid: %w", err)
+	}
+	return &m, nil
+}
+
+// SaveFile writes the model to a file path.
+func SaveFile(m *Model, path string) error {
+	var buf bytes.Buffer
+	if err := Save(m, &buf); err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		return fmt.Errorf("graph: write %s: %w", path, err)
+	}
+	return nil
+}
+
+// LoadFile reads a model from a file path.
+func LoadFile(path string) (*Model, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("graph: read %s: %w", path, err)
+	}
+	return Load(bytes.NewReader(data))
+}
+
+// EncodedSize returns the serialized byte size, the "model footprint on
+// disk" metric of the overhead tables.
+func EncodedSize(m *Model) (int, error) {
+	var buf bytes.Buffer
+	if err := Save(m, &buf); err != nil {
+		return 0, err
+	}
+	return buf.Len(), nil
+}

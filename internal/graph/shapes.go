@@ -1,0 +1,267 @@
+package graph
+
+import "fmt"
+
+// ConvOutDim computes one spatial output dimension of a convolution or pool:
+// floor((in + padBefore + padAfter - effectiveKernel) / stride) + 1.
+func ConvOutDim(in, kernel, stride, dilation, padBefore, padAfter int) int {
+	eff := (kernel-1)*dilation + 1
+	return (in+padBefore+padAfter-eff)/stride + 1
+}
+
+// SamePadding returns the (before, after) padding that keeps
+// ceil(in/stride) output elements, TFLite's SAME convention.
+func SamePadding(in, kernel, stride, dilation int) (before, after int) {
+	eff := (kernel-1)*dilation + 1
+	out := (in + stride - 1) / stride
+	total := (out-1)*stride + eff - in
+	if total < 0 {
+		total = 0
+	}
+	return total / 2, total - total/2
+}
+
+// InferShape computes a node's output shape from its input shapes. inShapes
+// must follow the op's input convention (activations first, then weights).
+// It is used by the builder at graph-construction time and doubles as a
+// consistency check in the interpreter.
+func InferShape(op OpType, attrs Attrs, inShapes [][]int) ([]int, error) {
+	need := func(n int) error {
+		if len(inShapes) < n {
+			return fmt.Errorf("graph: %v needs %d inputs, got %d", op, n, len(inShapes))
+		}
+		return nil
+	}
+	switch op {
+	case OpConv2D:
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		in, w := inShapes[0], inShapes[1] // [N,H,W,C], [outC,kh,kw,inC]
+		if len(in) != 4 || len(w) != 4 {
+			return nil, fmt.Errorf("graph: Conv2D shapes %v, %v", in, w)
+		}
+		if in[3] != w[3] {
+			return nil, fmt.Errorf("graph: Conv2D channel mismatch in=%d weight=%d", in[3], w[3])
+		}
+		oh := ConvOutDim(in[1], w[1], attrs.StrideH, max1(attrs.DilationH), attrs.PadT, attrs.PadB)
+		ow := ConvOutDim(in[2], w[2], attrs.StrideW, max1(attrs.DilationW), attrs.PadL, attrs.PadR)
+		if oh <= 0 || ow <= 0 {
+			return nil, fmt.Errorf("graph: Conv2D output %dx%d", oh, ow)
+		}
+		return []int{in[0], oh, ow, w[0]}, nil
+
+	case OpDepthwiseConv2D:
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		in, w := inShapes[0], inShapes[1] // [N,H,W,C], [1,kh,kw,C*mult]
+		if len(in) != 4 || len(w) != 4 {
+			return nil, fmt.Errorf("graph: DepthwiseConv2D shapes %v, %v", in, w)
+		}
+		mult := max1(attrs.DepthMultiplier)
+		if w[3] != in[3]*mult {
+			return nil, fmt.Errorf("graph: DepthwiseConv2D weight channels %d != in %d * mult %d", w[3], in[3], mult)
+		}
+		oh := ConvOutDim(in[1], w[1], attrs.StrideH, max1(attrs.DilationH), attrs.PadT, attrs.PadB)
+		ow := ConvOutDim(in[2], w[2], attrs.StrideW, max1(attrs.DilationW), attrs.PadL, attrs.PadR)
+		if oh <= 0 || ow <= 0 {
+			return nil, fmt.Errorf("graph: DepthwiseConv2D output %dx%d", oh, ow)
+		}
+		return []int{in[0], oh, ow, w[3]}, nil
+
+	case OpDense:
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		in, w := inShapes[0], inShapes[1] // [N,inC] (or [N,...] flattened), [outC,inC]
+		if len(w) != 2 {
+			return nil, fmt.Errorf("graph: Dense weight shape %v", w)
+		}
+		flat := 1
+		for _, d := range in[1:] {
+			flat *= d
+		}
+		if flat != w[1] {
+			return nil, fmt.Errorf("graph: Dense input %v flattens to %d, weight wants %d", in, flat, w[1])
+		}
+		return []int{in[0], w[0]}, nil
+
+	case OpAvgPool2D, OpMaxPool2D:
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		in := inShapes[0]
+		if len(in) != 4 {
+			return nil, fmt.Errorf("graph: pool input %v", in)
+		}
+		oh := ConvOutDim(in[1], attrs.KernelH, attrs.StrideH, 1, attrs.PadT, attrs.PadB)
+		ow := ConvOutDim(in[2], attrs.KernelW, attrs.StrideW, 1, attrs.PadL, attrs.PadR)
+		if oh <= 0 || ow <= 0 {
+			return nil, fmt.Errorf("graph: pool output %dx%d", oh, ow)
+		}
+		return []int{in[0], oh, ow, in[3]}, nil
+
+	case OpMean:
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		in := inShapes[0]
+		if len(in) != 4 {
+			return nil, fmt.Errorf("graph: Mean input %v", in)
+		}
+		return []int{in[0], in[3]}, nil
+
+	case OpPad:
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		in := inShapes[0]
+		if len(attrs.Paddings) != len(in) {
+			return nil, fmt.Errorf("graph: Pad has %d padding pairs for rank %d", len(attrs.Paddings), len(in))
+		}
+		out := make([]int, len(in))
+		for i, d := range in {
+			out[i] = d + attrs.Paddings[i][0] + attrs.Paddings[i][1]
+		}
+		return out, nil
+
+	case OpAdd, OpMul:
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		a, b := inShapes[0], inShapes[1]
+		if sameIntSlice(a, b) {
+			return append([]int(nil), a...), nil
+		}
+		// Channel broadcast: [N,H,W,C] op [N,C] (or [N,1,1,C]), the SE-block
+		// gating pattern.
+		if len(a) == 4 && (len(b) == 2 || len(b) == 4) {
+			bc := b[len(b)-1]
+			ok := bc == a[3]
+			for _, d := range b[1 : len(b)-1] {
+				if d != 1 {
+					ok = false
+				}
+			}
+			if ok && a[0] == b[0] {
+				return append([]int(nil), a...), nil
+			}
+		}
+		return nil, fmt.Errorf("graph: %v cannot broadcast %v with %v", op, a, b)
+
+	case OpConcat:
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		axis := attrs.Axis
+		base := inShapes[0]
+		if axis < 0 || axis >= len(base) {
+			return nil, fmt.Errorf("graph: Concat axis %d for rank %d", axis, len(base))
+		}
+		out := append([]int(nil), base...)
+		for _, s := range inShapes[1:] {
+			if len(s) != len(base) {
+				return nil, fmt.Errorf("graph: Concat rank mismatch %v vs %v", base, s)
+			}
+			for i := range s {
+				if i != axis && s[i] != base[i] {
+					return nil, fmt.Errorf("graph: Concat dim mismatch %v vs %v", base, s)
+				}
+			}
+			out[axis] += s[axis]
+		}
+		return out, nil
+
+	case OpReLU, OpReLU6, OpHardSwish, OpHardSigmoid, OpSigmoid, OpSoftmax,
+		OpBatchNorm, OpLayerNorm, OpQuantize, OpDequantize:
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		return append([]int(nil), inShapes[0]...), nil
+
+	case OpReshape:
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		in := inShapes[0]
+		n := 1
+		for _, d := range in {
+			n *= d
+		}
+		out := append([]int(nil), attrs.NewShape...)
+		infer, known := -1, 1
+		for i, d := range out {
+			if d == -1 {
+				infer = i
+			} else {
+				known *= d
+			}
+		}
+		if infer >= 0 {
+			if known == 0 || n%known != 0 {
+				return nil, fmt.Errorf("graph: Reshape %v to %v", in, attrs.NewShape)
+			}
+			out[infer] = n / known
+		} else if known != n {
+			return nil, fmt.Errorf("graph: Reshape %v to %v changes count", in, attrs.NewShape)
+		}
+		return out, nil
+
+	case OpEmbedding:
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		ids, table := inShapes[0], inShapes[1] // [N,T], [vocab,dim]
+		if len(ids) != 2 || len(table) != 2 {
+			return nil, fmt.Errorf("graph: Embedding shapes %v, %v", ids, table)
+		}
+		return []int{ids[0], ids[1], table[1]}, nil
+
+	case OpSelfAttention:
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		in := inShapes[0] // [N,T,D]
+		if len(in) != 3 {
+			return nil, fmt.Errorf("graph: SelfAttention input %v", in)
+		}
+		if attrs.NumHeads <= 0 || in[2]%attrs.NumHeads != 0 {
+			return nil, fmt.Errorf("graph: SelfAttention heads %d for dim %d", attrs.NumHeads, in[2])
+		}
+		return append([]int(nil), in...), nil
+
+	case OpResizeBilinear:
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		in := inShapes[0]
+		if len(in) != 4 {
+			return nil, fmt.Errorf("graph: ResizeBilinear input %v", in)
+		}
+		if attrs.TargetH <= 0 || attrs.TargetW <= 0 {
+			return nil, fmt.Errorf("graph: ResizeBilinear target %dx%d", attrs.TargetH, attrs.TargetW)
+		}
+		return []int{in[0], attrs.TargetH, attrs.TargetW, in[3]}, nil
+	}
+	return nil, fmt.Errorf("graph: no shape rule for %v", op)
+}
+
+func max1(v int) int {
+	if v < 1 {
+		return 1
+	}
+	return v
+}
+
+func sameIntSlice(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,178 @@
+package imaging
+
+import "fmt"
+
+// ResizeKind selects the resampling filter. The paper's "resizing" bug class
+// (§2, §4.3) is using bilinear resampling at deployment where the training
+// pipeline downsampled with area averaging — aliasing then costs top-1
+// accuracy with no runtime error.
+type ResizeKind int
+
+const (
+	ResizeArea ResizeKind = iota // area averaging (anti-aliased downsample)
+	ResizeBilinear
+	ResizeNearest
+)
+
+func (k ResizeKind) String() string {
+	switch k {
+	case ResizeArea:
+		return "area"
+	case ResizeBilinear:
+		return "bilinear"
+	case ResizeNearest:
+		return "nearest"
+	default:
+		return fmt.Sprintf("resize(%d)", int(k))
+	}
+}
+
+// ParseResizeKind converts a name back into a ResizeKind.
+func ParseResizeKind(s string) (ResizeKind, error) {
+	switch s {
+	case "area":
+		return ResizeArea, nil
+	case "bilinear":
+		return ResizeBilinear, nil
+	case "nearest":
+		return ResizeNearest, nil
+	}
+	return ResizeArea, fmt.Errorf("imaging: unknown resize kind %q", s)
+}
+
+// Resize resamples im to w×h using the given filter.
+func Resize(im *Image, w, h int, kind ResizeKind) *Image {
+	if w <= 0 || h <= 0 {
+		panic(fmt.Sprintf("imaging: resize to %dx%d", w, h))
+	}
+	if w == im.W && h == im.H {
+		return im.Clone()
+	}
+	switch kind {
+	case ResizeArea:
+		return resizeArea(im, w, h)
+	case ResizeBilinear:
+		return resizeBilinear(im, w, h)
+	case ResizeNearest:
+		return resizeNearest(im, w, h)
+	}
+	panic("imaging: bad resize kind")
+}
+
+// resizeArea performs box-filter (area averaging) resampling: each output
+// pixel is the average of the exact source rectangle it covers. This is the
+// anti-aliased downsampler training pipelines use; it preserves the mean of
+// the image (a property the tests assert).
+func resizeArea(im *Image, w, h int) *Image {
+	out := NewImage(w, h, im.C)
+	sx := float64(im.W) / float64(w)
+	sy := float64(im.H) / float64(h)
+	for oy := 0; oy < h; oy++ {
+		y0 := float64(oy) * sy
+		y1 := y0 + sy
+		for ox := 0; ox < w; ox++ {
+			x0 := float64(ox) * sx
+			x1 := x0 + sx
+			for ch := 0; ch < im.C; ch++ {
+				var sum, area float64
+				for iy := int(y0); iy < im.H && float64(iy) < y1; iy++ {
+					// Vertical overlap of source row iy with [y0, y1).
+					oy0 := maxf(float64(iy), y0)
+					oy1 := minf(float64(iy+1), y1)
+					wy := oy1 - oy0
+					if wy <= 0 {
+						continue
+					}
+					for ix := int(x0); ix < im.W && float64(ix) < x1; ix++ {
+						ox0 := maxf(float64(ix), x0)
+						ox1 := minf(float64(ix+1), x1)
+						wx := ox1 - ox0
+						if wx <= 0 {
+							continue
+						}
+						sum += float64(im.At(ix, iy, ch)) * wx * wy
+						area += wx * wy
+					}
+				}
+				if area > 0 {
+					out.Set(ox, oy, ch, clamp8(sum/area))
+				}
+			}
+		}
+	}
+	return out
+}
+
+// resizeBilinear samples with the half-pixel-centre convention and linear
+// interpolation. When downsampling by large factors it only looks at the
+// four neighbours of the sample point, producing the aliasing the paper
+// blames for silent accuracy loss.
+func resizeBilinear(im *Image, w, h int) *Image {
+	out := NewImage(w, h, im.C)
+	sx := float64(im.W) / float64(w)
+	sy := float64(im.H) / float64(h)
+	for oy := 0; oy < h; oy++ {
+		fy := (float64(oy)+0.5)*sy - 0.5
+		y0 := int(fy)
+		if fy < 0 {
+			y0 = 0
+			fy = 0
+		}
+		y1 := y0 + 1
+		if y1 >= im.H {
+			y1 = im.H - 1
+		}
+		wy := fy - float64(y0)
+		for ox := 0; ox < w; ox++ {
+			fx := (float64(ox)+0.5)*sx - 0.5
+			x0 := int(fx)
+			if fx < 0 {
+				x0 = 0
+				fx = 0
+			}
+			x1 := x0 + 1
+			if x1 >= im.W {
+				x1 = im.W - 1
+			}
+			wx := fx - float64(x0)
+			for ch := 0; ch < im.C; ch++ {
+				v00 := float64(im.At(x0, y0, ch))
+				v10 := float64(im.At(x1, y0, ch))
+				v01 := float64(im.At(x0, y1, ch))
+				v11 := float64(im.At(x1, y1, ch))
+				top := v00 + (v10-v00)*wx
+				bot := v01 + (v11-v01)*wx
+				out.Set(ox, oy, ch, clamp8(top+(bot-top)*wy))
+			}
+		}
+	}
+	return out
+}
+
+func resizeNearest(im *Image, w, h int) *Image {
+	out := NewImage(w, h, im.C)
+	for oy := 0; oy < h; oy++ {
+		iy := oy * im.H / h
+		for ox := 0; ox < w; ox++ {
+			ix := ox * im.W / w
+			for ch := 0; ch < im.C; ch++ {
+				out.Set(ox, oy, ch, im.At(ix, iy, ch))
+			}
+		}
+	}
+	return out
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,170 @@
+// Package models contains the miniature architecture builders standing in
+// for the paper's evaluation models (MobileNet v1/v2/v3, ResNet, Inception,
+// DenseNet, SSD, a two-stage detector head, DeepLab, keyword spotting, NNLM
+// and a tiny transformer). All builders emit checkpoint-format graphs:
+// explicit BatchNorm and activation nodes, ready for the trainer, to be
+// folded and fused by the converter on the way to the edge.
+//
+// Each model's Meta records its training pipeline's input conventions —
+// channel order, normalization range, resize filter — mirroring the paper's
+// observation that different model families expect different conventions
+// (MobileNet [-1,1] RGB, DenseNet [0,1] BGR, ...), which is precisely the
+// information that gets lost in deployment handoffs.
+package models
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mlexray/internal/graph"
+	"mlexray/internal/tensor"
+)
+
+// ClassifierInputSize is the model-input resolution of the classification
+// zoo. The raw dataset is 64x64; 64/28 is a non-integer downsample factor,
+// which keeps the area-vs-bilinear resize distinction observable.
+const ClassifierInputSize = 28
+
+// net wraps a graph builder with weight-initialization helpers.
+type net struct {
+	b   *graph.Builder
+	rng *rand.Rand
+}
+
+func newNet(name string, seed int64) *net {
+	return &net{b: graph.NewBuilder(name), rng: rand.New(rand.NewSource(seed))}
+}
+
+// convBN adds conv + BatchNorm (+ optional explicit activation node).
+// act is "", "relu", "relu6" or "hswish".
+func (n *net) convBN(name string, x int, outC, k, stride, dilation int, act string) int {
+	inShape := n.b.Shape(x)
+	inC := inShape[3]
+	w := tensor.New(tensor.F32, outC, k, k, inC)
+	tensor.HeInit(n.rng, w, k*k*inC)
+	pt, pb := graph.SamePadding(inShape[1], k, stride, max1(dilation))
+	pl, pr := graph.SamePadding(inShape[2], k, stride, max1(dilation))
+	x = n.b.Node(graph.OpConv2D, name,
+		graph.Attrs{StrideH: stride, StrideW: stride, DilationH: dilation, DilationW: dilation,
+			PadT: pt, PadB: pb, PadL: pl, PadR: pr},
+		x, n.b.Const(name+"/w", w))
+	x = n.batchNorm(name+"/bn", x, outC)
+	return n.activation(name, x, act)
+}
+
+// dwBN adds depthwise conv + BatchNorm (+ activation).
+func (n *net) dwBN(name string, x int, k, stride int, act string) int {
+	inShape := n.b.Shape(x)
+	c := inShape[3]
+	w := tensor.New(tensor.F32, 1, k, k, c)
+	tensor.HeInit(n.rng, w, k*k)
+	pt, pb := graph.SamePadding(inShape[1], k, stride, 1)
+	pl, pr := graph.SamePadding(inShape[2], k, stride, 1)
+	x = n.b.Node(graph.OpDepthwiseConv2D, name,
+		graph.Attrs{StrideH: stride, StrideW: stride, PadT: pt, PadB: pb, PadL: pl, PadR: pr, DepthMultiplier: 1},
+		x, n.b.Const(name+"/w", w))
+	x = n.batchNorm(name+"/bn", x, c)
+	return n.activation(name, x, act)
+}
+
+// dwValidAfterPad adds an explicit Pad node followed by a VALID stride-2
+// depthwise conv — the TFLite MobileNet lowering pattern, which exercises
+// the Pad op in deployment graphs (and the Pad row of Table 4).
+func (n *net) dwValidAfterPad(name string, x int, k, stride int, act string) int {
+	inShape := n.b.Shape(x)
+	c := inShape[3]
+	pt, pb := graph.SamePadding(inShape[1], k, stride, 1)
+	pl, pr := graph.SamePadding(inShape[2], k, stride, 1)
+	x = n.b.Node(graph.OpPad, name+"/pad",
+		graph.Attrs{Paddings: [][2]int{{0, 0}, {pt, pb}, {pl, pr}, {0, 0}}}, x)
+	w := tensor.New(tensor.F32, 1, k, k, c)
+	tensor.HeInit(n.rng, w, k*k)
+	x = n.b.Node(graph.OpDepthwiseConv2D, name,
+		graph.Attrs{StrideH: stride, StrideW: stride, DepthMultiplier: 1}, x, n.b.Const(name+"/w", w))
+	x = n.batchNorm(name+"/bn", x, c)
+	return n.activation(name, x, act)
+}
+
+func (n *net) batchNorm(name string, x int, c int) int {
+	gamma := tensor.New(tensor.F32, c)
+	gamma.Fill(1)
+	beta := tensor.New(tensor.F32, c)
+	mean := tensor.New(tensor.F32, c)
+	variance := tensor.New(tensor.F32, c)
+	variance.Fill(1)
+	return n.b.Node(graph.OpBatchNorm, name, graph.Attrs{Eps: 1e-5},
+		x, n.b.Const(name+"/gamma", gamma), n.b.Const(name+"/beta", beta),
+		n.b.Const(name+"/mean", mean), n.b.Const(name+"/var", variance))
+}
+
+func (n *net) activation(name string, x int, act string) int {
+	switch act {
+	case "":
+		return x
+	case "relu":
+		return n.b.Node(graph.OpReLU, name+"/relu", graph.Attrs{}, x)
+	case "relu6":
+		return n.b.Node(graph.OpReLU6, name+"/relu6", graph.Attrs{}, x)
+	case "hswish":
+		return n.b.Node(graph.OpHardSwish, name+"/hswish", graph.Attrs{}, x)
+	}
+	panic(fmt.Sprintf("models: unknown activation %q", act))
+}
+
+// dense adds a fully-connected layer (with bias, no activation).
+func (n *net) dense(name string, x int, outC int) int {
+	inShape := n.b.Shape(x)
+	inC := 1
+	for _, d := range inShape[1:] {
+		inC *= d
+	}
+	w := tensor.New(tensor.F32, outC, inC)
+	tensor.HeInit(n.rng, w, inC)
+	bias := tensor.New(tensor.F32, outC)
+	return n.b.Node(graph.OpDense, name, graph.Attrs{}, x, n.b.Const(name+"/w", w), n.b.Const(name+"/b", bias))
+}
+
+// classifierHead adds Mean -> FC(numClasses) -> Softmax, naming the logits
+// tensor "logits".
+func (n *net) classifierHead(x int, numClasses int) int {
+	x = n.b.Node(graph.OpMean, "gap", graph.Attrs{}, x)
+	x = n.dense("fc", x, numClasses)
+	n.b.RenameTensor(x, "logits")
+	return n.b.Node(graph.OpSoftmax, "softmax", graph.Attrs{Axis: 1}, x)
+}
+
+// seBlock adds a squeeze-excite module gated by AvgPool2D — the op whose
+// quantized kernel carries the historical long-window defect, making every
+// model with SE blocks (MobileNet-v3 style) collapse under quantization.
+func (n *net) seBlock(name string, x int, reduce int) int {
+	inShape := n.b.Shape(x)
+	c := inShape[3]
+	sq := n.b.Node(graph.OpAvgPool2D, name+"/pool",
+		graph.Attrs{KernelH: inShape[1], KernelW: inShape[2], StrideH: inShape[1], StrideW: inShape[2]}, x)
+	g := n.dense(name+"/fc1", sq, reduce)
+	g = n.b.Node(graph.OpReLU, name+"/relu", graph.Attrs{}, g)
+	g = n.dense(name+"/fc2", g, c)
+	g = n.b.Node(graph.OpHardSigmoid, name+"/hsig", graph.Attrs{}, g)
+	return n.b.Node(graph.OpMul, name+"/scale", graph.Attrs{}, x, g)
+}
+
+func max1(v int) int {
+	if v < 1 {
+		return 1
+	}
+	return v
+}
+
+func classifierMeta(name string, order string, lo, hi float64, resize string) graph.Meta {
+	return graph.Meta{
+		Task:         "classification",
+		InputH:       ClassifierInputSize,
+		InputW:       ClassifierInputSize,
+		InputC:       3,
+		ChannelOrder: order,
+		NormLo:       lo,
+		NormHi:       hi,
+		Resize:       resize,
+		NumClasses:   10,
+	}
+}

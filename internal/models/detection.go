@@ -1,0 +1,251 @@
+package models
+
+import (
+	"math"
+	"sort"
+
+	"mlexray/internal/graph"
+	"mlexray/internal/tensor"
+)
+
+// DetectionInputSize is the detector input resolution (matches the raw
+// SynthCOCO capture size; detection pipelines resize 1:1).
+const DetectionInputSize = 48
+
+// SSDGrid is the anchor grid resolution (stride-8 backbone on 48px input).
+const SSDGrid = 6
+
+// SSDAnchorSize is the single anchor's normalized height/width.
+const SSDAnchorSize = 14.0 / 48.0
+
+// SSDAnchors returns the anchor table: one centred anchor per grid cell,
+// rows of [cy, cx, h, w] in normalized coordinates.
+func SSDAnchors() [][4]float64 {
+	anchors := make([][4]float64, 0, SSDGrid*SSDGrid)
+	for gy := 0; gy < SSDGrid; gy++ {
+		for gx := 0; gx < SSDGrid; gx++ {
+			anchors = append(anchors, [4]float64{
+				(float64(gy) + 0.5) / SSDGrid,
+				(float64(gx) + 0.5) / SSDGrid,
+				SSDAnchorSize,
+				SSDAnchorSize,
+			})
+		}
+	}
+	return anchors
+}
+
+// SSDMini is a single-shot detector: a stride-8 conv backbone with parallel
+// class and box heads over a 6x6 anchor grid. Outputs: softmaxed class
+// scores [1, 36, numClasses] and raw box offsets [1, 36, 4]. The logits
+// tensor is named "cls_logits" and the offsets "box_preds" for the trainer.
+func SSDMini(seed int64) *graph.Model {
+	n := newNet("ssd-mini", seed)
+	in := n.b.Input("input", tensor.F32, 1, DetectionInputSize, DetectionInputSize, 3)
+	x := n.convBN("conv1", in, 12, 3, 2, 1, "relu")
+	x = n.convBN("conv2", x, 20, 3, 2, 1, "relu")
+	x = n.convBN("conv3", x, 32, 3, 2, 1, "relu")
+
+	nAnchors := SSDGrid * SSDGrid
+	cls := n.convHead("cls_head", x, 4) // 3 classes + background
+	cls = n.b.Node(graph.OpReshape, "cls_reshape",
+		graph.Attrs{NewShape: []int{1, nAnchors, 4}}, cls)
+	n.b.RenameTensor(cls, "cls_logits")
+	clsOut := n.b.Node(graph.OpSoftmax, "cls_softmax", graph.Attrs{Axis: 2}, cls)
+
+	box := n.convHead("box_head", x, 4)
+	box = n.b.Node(graph.OpReshape, "box_reshape",
+		graph.Attrs{NewShape: []int{1, nAnchors, 4}}, box)
+	n.b.RenameTensor(box, "box_preds")
+
+	n.b.Output(clsOut)
+	n.b.Output(box)
+	n.b.Meta(graph.Meta{
+		Task: "detection", InputH: DetectionInputSize, InputW: DetectionInputSize, InputC: 3,
+		ChannelOrder: "RGB", NormLo: -1, NormHi: 1, Resize: "area",
+		NumClasses: 4, Anchors: SSDAnchors(),
+	})
+	return n.b.MustFinish()
+}
+
+// FRCNNMini is the two-stage detector stand-in: a shared backbone, an
+// objectness stage and a cascaded refinement head (class + box on
+// objectness-weighted features). It trains with the same SSD loss; the
+// architectural contrast matches the paper's SSD-vs-FasterRCNN comparison
+// in Figure 4b.
+func FRCNNMini(seed int64) *graph.Model {
+	n := newNet("frcnn-mini", seed)
+	in := n.b.Input("input", tensor.F32, 1, DetectionInputSize, DetectionInputSize, 3)
+	x := n.convBN("conv1", in, 12, 3, 2, 1, "relu")
+	x = n.convBN("conv2", x, 20, 3, 2, 1, "relu")
+	x = n.convBN("conv3", x, 32, 3, 2, 1, "relu")
+
+	// Stage 1: objectness gate per cell.
+	obj := n.convHead("rpn_obj", x, 32)
+	obj = n.b.Node(graph.OpSigmoid, "rpn_sigmoid", graph.Attrs{}, obj)
+	// Gate the shared features (proposal attention), then refine.
+	gated := n.b.Node(graph.OpMul, "rpn_gate", graph.Attrs{}, x, obj)
+	h := n.convBN("refine", gated, 32, 3, 1, 1, "relu")
+
+	nAnchors := SSDGrid * SSDGrid
+	cls := n.convHead("cls_head", h, 4)
+	cls = n.b.Node(graph.OpReshape, "cls_reshape",
+		graph.Attrs{NewShape: []int{1, nAnchors, 4}}, cls)
+	n.b.RenameTensor(cls, "cls_logits")
+	clsOut := n.b.Node(graph.OpSoftmax, "cls_softmax", graph.Attrs{Axis: 2}, cls)
+
+	box := n.convHead("box_head", h, 4)
+	box = n.b.Node(graph.OpReshape, "box_reshape",
+		graph.Attrs{NewShape: []int{1, nAnchors, 4}}, box)
+	n.b.RenameTensor(box, "box_preds")
+
+	n.b.Output(clsOut)
+	n.b.Output(box)
+	n.b.Meta(graph.Meta{
+		Task: "detection", InputH: DetectionInputSize, InputW: DetectionInputSize, InputC: 3,
+		ChannelOrder: "RGB", NormLo: -1, NormHi: 1, Resize: "area",
+		NumClasses: 4, Anchors: SSDAnchors(),
+	})
+	return n.b.MustFinish()
+}
+
+// convHead adds a bias-carrying 1x1 conv without normalization (prediction
+// heads keep raw scale).
+func (n *net) convHead(name string, x int, outC int) int {
+	inC := n.b.Shape(x)[3]
+	w := tensor.New(tensor.F32, outC, 1, 1, inC)
+	tensor.HeInit(n.rng, w, inC)
+	bias := tensor.New(tensor.F32, outC)
+	return n.b.Node(graph.OpConv2D, name,
+		graph.Attrs{StrideH: 1, StrideW: 1}, x, n.b.Const(name+"/w", w), n.b.Const(name+"/b", bias))
+}
+
+// Detection is one decoded detection.
+type Detection struct {
+	Box   [4]float64 // cy, cx, h, w (normalized)
+	Class int        // 1-based foreground class
+	Score float64
+}
+
+// IoU computes intersection-over-union of two center-format boxes.
+func IoU(a, b [4]float64) float64 {
+	ay0, ay1 := a[0]-a[2]/2, a[0]+a[2]/2
+	ax0, ax1 := a[1]-a[3]/2, a[1]+a[3]/2
+	by0, by1 := b[0]-b[2]/2, b[0]+b[2]/2
+	bx0, bx1 := b[1]-b[3]/2, b[1]+b[3]/2
+	iy := math.Min(ay1, by1) - math.Max(ay0, by0)
+	ix := math.Min(ax1, bx1) - math.Max(ax0, bx0)
+	if iy <= 0 || ix <= 0 {
+		return 0
+	}
+	inter := iy * ix
+	union := a[2]*a[3] + b[2]*b[3] - inter
+	if union <= 0 {
+		return 0
+	}
+	return inter / union
+}
+
+// EncodeBox converts a ground-truth box into anchor-relative offsets
+// (dy, dx, log dh, log dw), the SSD regression target.
+func EncodeBox(gt [4]float64, anchor [4]float64) [4]float64 {
+	return [4]float64{
+		(gt[0] - anchor[0]) / anchor[2],
+		(gt[1] - anchor[1]) / anchor[3],
+		math.Log(gt[2] / anchor[2]),
+		math.Log(gt[3] / anchor[3]),
+	}
+}
+
+// DecodeBox inverts EncodeBox.
+func DecodeBox(offsets [4]float64, anchor [4]float64) [4]float64 {
+	return [4]float64{
+		anchor[0] + offsets[0]*anchor[2],
+		anchor[1] + offsets[1]*anchor[3],
+		anchor[2] * math.Exp(offsets[2]),
+		anchor[3] * math.Exp(offsets[3]),
+	}
+}
+
+// MatchAnchors assigns each anchor a class (0 = background) and box target
+// from the ground truth: positive when IoU >= 0.5, plus the best anchor for
+// every ground-truth box.
+func MatchAnchors(anchors [][4]float64, gtBoxes [][4]float64, gtClasses []int) (clsTargets []int32, boxTargets []float32) {
+	clsTargets = make([]int32, len(anchors))
+	boxTargets = make([]float32, len(anchors)*4)
+	assign := func(a int, g int) {
+		clsTargets[a] = int32(gtClasses[g])
+		enc := EncodeBox(gtBoxes[g], anchors[a])
+		for j := 0; j < 4; j++ {
+			boxTargets[a*4+j] = float32(enc[j])
+		}
+	}
+	for a := range anchors {
+		bestIoU, bestG := 0.0, -1
+		for g := range gtBoxes {
+			if iou := IoU(anchors[a], gtBoxes[g]); iou > bestIoU {
+				bestIoU, bestG = iou, g
+			}
+		}
+		if bestG >= 0 && bestIoU >= 0.5 {
+			assign(a, bestG)
+		}
+	}
+	// Guarantee every ground-truth box at least one anchor.
+	for g := range gtBoxes {
+		bestIoU, bestA := -1.0, -1
+		for a := range anchors {
+			if iou := IoU(anchors[a], gtBoxes[g]); iou > bestIoU {
+				bestIoU, bestA = iou, a
+			}
+		}
+		if bestA >= 0 {
+			assign(bestA, g)
+		}
+	}
+	return clsTargets, boxTargets
+}
+
+// DecodeDetections converts model outputs (softmax class scores [A, C] and
+// box offsets [A, 4]) into thresholded, NMS-filtered detections.
+func DecodeDetections(scores, boxes *tensor.Tensor, anchors [][4]float64, scoreThresh, nmsIoU float64) []Detection {
+	nA := len(anchors)
+	nC := scores.Len() / nA
+	var dets []Detection
+	for a := 0; a < nA; a++ {
+		bestC, bestS := 0, 0.0
+		for c := 1; c < nC; c++ {
+			if s := float64(scores.F[a*nC+c]); s > bestS {
+				bestS, bestC = s, c
+			}
+		}
+		if bestC == 0 || bestS < scoreThresh {
+			continue
+		}
+		off := [4]float64{
+			float64(boxes.F[a*4]), float64(boxes.F[a*4+1]),
+			float64(boxes.F[a*4+2]), float64(boxes.F[a*4+3]),
+		}
+		dets = append(dets, Detection{Box: DecodeBox(off, anchors[a]), Class: bestC, Score: bestS})
+	}
+	return NMS(dets, nmsIoU)
+}
+
+// NMS performs per-class greedy non-maximum suppression.
+func NMS(dets []Detection, iouThresh float64) []Detection {
+	sort.Slice(dets, func(i, j int) bool { return dets[i].Score > dets[j].Score })
+	var kept []Detection
+	for _, d := range dets {
+		ok := true
+		for _, k := range kept {
+			if k.Class == d.Class && IoU(k.Box, d.Box) > iouThresh {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			kept = append(kept, d)
+		}
+	}
+	return kept
+}

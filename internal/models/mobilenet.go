@@ -1,0 +1,109 @@
+package models
+
+import (
+	"mlexray/internal/graph"
+	"mlexray/internal/tensor"
+)
+
+// MobileNetV1Mini is a depthwise-separable stack: the v1 pattern of
+// conv -> [dw + pw] blocks with ReLU6 everywhere. Expects RGB in [-1, 1],
+// area-averaged resize.
+func MobileNetV1Mini(seed int64) *graph.Model {
+	n := newNet("mobilenetv1-mini", seed)
+	in := n.b.Input("input", tensor.F32, 1, ClassifierInputSize, ClassifierInputSize, 3)
+	x := n.convBN("conv1", in, 8, 3, 2, 1, "relu6")
+
+	ds := func(name string, x int, outC, stride int) int {
+		x = n.dwBN(name+"/dw", x, 3, stride, "relu6")
+		return n.convBN(name+"/pw", x, outC, 1, 1, 1, "relu6")
+	}
+	x = ds("ds1", x, 16, 1)
+	x = ds("ds2", x, 24, 2)
+	x = ds("ds3", x, 32, 1)
+
+	out := n.classifierHead(x, 10)
+	n.b.Output(out)
+	n.b.Meta(classifierMeta("mobilenetv1-mini", "RGB", -1, 1, "area"))
+	return n.b.MustFinish()
+}
+
+// MobileNetV2Mini uses inverted residual blocks with linear bottlenecks.
+// One stride-2 block lowers through an explicit Pad node (the TFLite
+// pattern). The classifier head reduces with the Mean op — the detail that
+// spares v2 from the quantized average-pool defect, unlike v3.
+func MobileNetV2Mini(seed int64) *graph.Model {
+	n := newNet("mobilenetv2-mini", seed)
+	in := n.b.Input("input", tensor.F32, 1, ClassifierInputSize, ClassifierInputSize, 3)
+	x := n.convBN("conv1", in, 8, 3, 2, 1, "relu6")
+
+	x = n.invertedResidual("block1", x, 16, 8, 1, false)
+	x = n.invertedResidual("block2", x, 24, 16, 2, true)
+	x = n.invertedResidual("block3", x, 32, 16, 1, false)
+
+	x = n.convBN("conv_last", x, 32, 1, 1, 1, "relu6")
+	out := n.classifierHead(x, 10)
+	n.b.Output(out)
+	n.b.Meta(classifierMeta("mobilenetv2-mini", "RGB", -1, 1, "area"))
+	return n.b.MustFinish()
+}
+
+// invertedResidual is the v2 block: 1x1 expand (ReLU6) -> 3x3 depthwise
+// (ReLU6) -> 1x1 linear project, with a residual add when the stride is 1
+// and channel counts match.
+func (n *net) invertedResidual(name string, x int, expandC, outC, stride int, padLowering bool) int {
+	inC := n.b.Shape(x)[3]
+	identity := x
+	h := n.convBN(name+"/expand", x, expandC, 1, 1, 1, "relu6")
+	if padLowering && stride == 2 {
+		h = n.dwValidAfterPad(name+"/dw", h, 3, stride, "relu6")
+	} else {
+		h = n.dwBN(name+"/dw", h, 3, stride, "relu6")
+	}
+	h = n.convBN(name+"/project", h, outC, 1, 1, 1, "")
+	if stride == 1 && inC == outC {
+		return n.b.Node(graph.OpAdd, name+"/add", graph.Attrs{}, identity, h)
+	}
+	return h
+}
+
+// MobileNetV3Mini adds squeeze-excite gates (built on AvgPool2D) and
+// hard-swish activations to the v2 block structure — the architecture whose
+// quantized deployment the paper found broken even under the reference op
+// resolver, with per-layer rMSE peaks at every SE average pool.
+func MobileNetV3Mini(seed int64) *graph.Model {
+	n := newNet("mobilenetv3-mini", seed)
+	in := n.b.Input("input", tensor.F32, 1, ClassifierInputSize, ClassifierInputSize, 3)
+	x := n.convBN("conv1", in, 8, 3, 2, 1, "hswish")
+
+	x = n.v3Block("block1", x, 16, 8, 1)
+	x = n.v3Block("block2", x, 24, 16, 2)
+	x = n.v3Block("block3", x, 32, 16, 1)
+
+	x = n.convBN("conv_last", x, 32, 1, 1, 1, "hswish")
+	// v3's "efficient last stage" reduces with an average-pool layer (the
+	// real architecture's choice), unlike v2's Mean op — so the classifier
+	// path itself crosses the defective quantized kernel.
+	shape := n.b.Shape(x)
+	x = n.b.Node(graph.OpAvgPool2D, "head_pool",
+		graph.Attrs{KernelH: shape[1], KernelW: shape[2], StrideH: shape[1], StrideW: shape[2]}, x)
+	x = n.dense("fc", x, 10)
+	n.b.RenameTensor(x, "logits")
+	out := n.b.Node(graph.OpSoftmax, "softmax", graph.Attrs{Axis: 1}, x)
+	n.b.Output(out)
+	n.b.Meta(classifierMeta("mobilenetv3-mini", "RGB", -1, 1, "area"))
+	return n.b.MustFinish()
+}
+
+// v3Block is an inverted residual with an SE gate after the depthwise stage.
+func (n *net) v3Block(name string, x int, expandC, outC, stride int) int {
+	inC := n.b.Shape(x)[3]
+	identity := x
+	h := n.convBN(name+"/expand", x, expandC, 1, 1, 1, "relu")
+	h = n.dwBN(name+"/dw", h, 3, stride, "relu")
+	h = n.seBlock(name+"/se", h, max1(expandC/4))
+	h = n.convBN(name+"/project", h, outC, 1, 1, 1, "")
+	if stride == 1 && inC == outC {
+		return n.b.Node(graph.OpAdd, name+"/add", graph.Attrs{}, identity, h)
+	}
+	return h
+}

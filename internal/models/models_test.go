@@ -1,0 +1,345 @@
+package models
+
+import (
+	"math"
+	"testing"
+
+	"mlexray/internal/convert"
+	"mlexray/internal/graph"
+	"mlexray/internal/interp"
+	"mlexray/internal/ops"
+	"mlexray/internal/tensor"
+)
+
+// classifierBuilders lists the zoo's classification architectures.
+var classifierBuilders = map[string]func(int64) *graph.Model{
+	"mobilenetv1": MobileNetV1Mini,
+	"mobilenetv2": MobileNetV2Mini,
+	"mobilenetv3": MobileNetV3Mini,
+	"resnet":      ResNetMini,
+	"inception":   InceptionMini,
+	"densenet":    DenseNetMini,
+}
+
+func TestClassifiersBuildAndRun(t *testing.T) {
+	ref := ops.NewReference(ops.Fixed())
+	for name, build := range classifierBuilders {
+		m := build(1)
+		if err := m.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if m.Meta.NumClasses != 10 || m.Meta.Task != "classification" {
+			t.Errorf("%s: meta %+v", name, m.Meta)
+		}
+		ip, err := interp.New(m, ref)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		in := tensor.New(tensor.F32, 1, ClassifierInputSize, ClassifierInputSize, 3)
+		in.Fill(0.1)
+		out, err := ip.Run(in)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if out.Len() != 10 || !out.IsFinite() {
+			t.Errorf("%s: output %v", name, out)
+		}
+		var sum float64
+		for _, v := range out.F {
+			sum += float64(v)
+		}
+		if math.Abs(sum-1) > 1e-4 {
+			t.Errorf("%s: softmax sums to %v", name, sum)
+		}
+	}
+}
+
+func TestClassifiersSurviveFullConversion(t *testing.T) {
+	for name, build := range classifierBuilders {
+		m := build(2)
+		mob, err := convert.Optimize(m)
+		if err != nil {
+			t.Fatalf("%s optimize: %v", name, err)
+		}
+		calib := []*tensor.Tensor{}
+		for i := 0; i < 3; i++ {
+			in := tensor.New(tensor.F32, 1, ClassifierInputSize, ClassifierInputSize, 3)
+			in.Fill(float64(i)*0.3 - 0.3)
+			calib = append(calib, in)
+		}
+		q, err := convert.Quantize(mob, calib, convert.DefaultQuantOptions())
+		if err != nil {
+			t.Fatalf("%s quantize: %v", name, err)
+		}
+		for _, resolver := range []*ops.Resolver{ops.NewReference(ops.Historical()), ops.NewOptimized(ops.Historical())} {
+			ip, err := interp.New(q, resolver)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", name, resolver.Name(), err)
+			}
+			in := tensor.New(tensor.F32, 1, ClassifierInputSize, ClassifierInputSize, 3)
+			out, err := ip.Run(in)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", name, resolver.Name(), err)
+			}
+			if !out.IsFinite() {
+				t.Errorf("%s/%s: non-finite output", name, resolver.Name())
+			}
+		}
+	}
+}
+
+func TestMobileNetStructuralProperties(t *testing.T) {
+	v2 := MobileNetV2Mini(3)
+	v3 := MobileNetV3Mini(3)
+	hasOp := func(m *graph.Model, op graph.OpType) bool {
+		for _, n := range m.Nodes {
+			if n.Op == op {
+				return true
+			}
+		}
+		return false
+	}
+	// v2 reduces via Mean (safe op); v3 carries AvgPool2D (the buggy op) in
+	// both its SE blocks and its head.
+	if hasOp(v2, graph.OpAvgPool2D) {
+		t.Error("v2 must not use AvgPool2D")
+	}
+	if !hasOp(v2, graph.OpMean) {
+		t.Error("v2 classifier head must use Mean")
+	}
+	if hasOp(v3, graph.OpMean) {
+		t.Error("v3 must reduce with AvgPool2D, not Mean")
+	}
+	if !hasOp(v3, graph.OpAvgPool2D) {
+		t.Error("v3 must use AvgPool2D in SE blocks")
+	}
+	if !hasOp(v3, graph.OpHardSwish) || !hasOp(v3, graph.OpMul) {
+		t.Error("v3 must use hard-swish and SE gating")
+	}
+	if !hasOp(v2, graph.OpPad) {
+		t.Error("v2 must lower one stride-2 depthwise through an explicit Pad")
+	}
+	if !hasOp(v2, graph.OpDepthwiseConv2D) || !hasOp(MobileNetV1Mini(3), graph.OpDepthwiseConv2D) {
+		t.Error("mobilenets must use depthwise convs")
+	}
+	// v3's SE pool windows must engage the defective long-window path.
+	for _, n := range v3.Nodes {
+		if n.Op == graph.OpAvgPool2D {
+			if n.Attrs.KernelH*n.Attrs.KernelW < 32 {
+				t.Errorf("SE pool %q window %dx%d below the buggy-path threshold",
+					n.Name, n.Attrs.KernelH, n.Attrs.KernelW)
+			}
+		}
+	}
+	// Inception's pooling branch must stay below the threshold.
+	for _, n := range InceptionMini(3).Nodes {
+		if n.Op == graph.OpAvgPool2D && n.Attrs.KernelH*n.Attrs.KernelW >= 32 {
+			t.Errorf("inception pool %q would hit the buggy path", n.Name)
+		}
+	}
+}
+
+func TestMetaConventionsDiffer(t *testing.T) {
+	dn := DenseNetMini(4)
+	if dn.Meta.ChannelOrder != "BGR" || dn.Meta.NormLo != 0 {
+		t.Errorf("densenet meta = %+v", dn.Meta)
+	}
+	mn := MobileNetV2Mini(4)
+	if mn.Meta.ChannelOrder != "RGB" || mn.Meta.NormLo != -1 {
+		t.Errorf("mobilenet meta = %+v", mn.Meta)
+	}
+	rn := ResNetMini(4)
+	if rn.Meta.NormLo != 0 || rn.Meta.NormHi != 1 {
+		t.Errorf("resnet meta = %+v", rn.Meta)
+	}
+}
+
+func TestSSDAnchorsAndMatching(t *testing.T) {
+	anchors := SSDAnchors()
+	if len(anchors) != SSDGrid*SSDGrid {
+		t.Fatalf("anchor count %d", len(anchors))
+	}
+	// A ground-truth box on an anchor centre must match that anchor.
+	gt := [][4]float64{{anchors[7][0], anchors[7][1], SSDAnchorSize, SSDAnchorSize}}
+	cls, box := MatchAnchors(anchors, gt, []int{2})
+	if cls[7] != 2 {
+		t.Errorf("anchor 7 class = %d, want 2", cls[7])
+	}
+	// A perfectly matched anchor has ~zero offsets.
+	for j := 0; j < 4; j++ {
+		if math.Abs(float64(box[7*4+j])) > 1e-9 {
+			t.Errorf("offset[%d] = %v, want 0", j, box[7*4+j])
+		}
+	}
+	// Every ground truth gets at least one positive anchor even at low IoU.
+	gtSmall := [][4]float64{{0.5, 0.5, 0.04, 0.04}}
+	clsS, _ := MatchAnchors(anchors, gtSmall, []int{1})
+	pos := 0
+	for _, c := range clsS {
+		if c != 0 {
+			pos++
+		}
+	}
+	if pos == 0 {
+		t.Error("small ground truth matched no anchor")
+	}
+}
+
+func TestEncodeDecodeBoxRoundTrip(t *testing.T) {
+	anchor := [4]float64{0.5, 0.5, 0.3, 0.3}
+	gt := [4]float64{0.55, 0.42, 0.25, 0.35}
+	back := DecodeBox(EncodeBox(gt, anchor), anchor)
+	for i := 0; i < 4; i++ {
+		if math.Abs(back[i]-gt[i]) > 1e-12 {
+			t.Errorf("round trip [%d]: %v vs %v", i, back[i], gt[i])
+		}
+	}
+}
+
+func TestIoU(t *testing.T) {
+	a := [4]float64{0.5, 0.5, 0.2, 0.2}
+	if got := IoU(a, a); math.Abs(got-1) > 1e-12 {
+		t.Errorf("self IoU = %v", got)
+	}
+	b := [4]float64{0.9, 0.9, 0.1, 0.1}
+	if got := IoU(a, b); got != 0 {
+		t.Errorf("disjoint IoU = %v", got)
+	}
+	c := [4]float64{0.5, 0.6, 0.2, 0.2} // half horizontal overlap
+	want := 0.5 * 0.2 * 0.2 / (2*0.04 - 0.02)
+	_ = want
+	got := IoU(a, c)
+	if got <= 0.3 || got >= 0.4 {
+		t.Errorf("partial IoU = %v", got)
+	}
+}
+
+func TestNMSSuppressesDuplicates(t *testing.T) {
+	d := []Detection{
+		{Box: [4]float64{0.5, 0.5, 0.2, 0.2}, Class: 1, Score: 0.9},
+		{Box: [4]float64{0.51, 0.5, 0.2, 0.2}, Class: 1, Score: 0.8},
+		{Box: [4]float64{0.5, 0.5, 0.2, 0.2}, Class: 2, Score: 0.7}, // other class survives
+	}
+	kept := NMS(d, 0.5)
+	if len(kept) != 2 {
+		t.Fatalf("kept %d detections", len(kept))
+	}
+	if kept[0].Score != 0.9 || kept[1].Class != 2 {
+		t.Errorf("NMS kept %v", kept)
+	}
+}
+
+func TestDetectorsBuildAndRun(t *testing.T) {
+	ref := ops.NewReference(ops.Fixed())
+	for name, build := range map[string]func(int64) *graph.Model{"ssd": SSDMini, "frcnn": FRCNNMini} {
+		m := build(5)
+		ip, err := interp.New(m, ref)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		in := tensor.New(tensor.F32, 1, DetectionInputSize, DetectionInputSize, 3)
+		if err := ip.SetInput(0, in); err != nil {
+			t.Fatal(err)
+		}
+		if err := ip.Invoke(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		scores, _ := ip.Output(0)
+		boxes, _ := ip.Output(1)
+		if !tensor.SameShape(scores.Shape, []int{1, 36, 4}) || !tensor.SameShape(boxes.Shape, []int{1, 36, 4}) {
+			t.Errorf("%s: shapes %v %v", name, scores.Shape, boxes.Shape)
+		}
+		if len(m.Meta.Anchors) != 36 {
+			t.Errorf("%s: %d anchors in meta", name, len(m.Meta.Anchors))
+		}
+	}
+}
+
+func TestSegSpeechTextBuildAndRun(t *testing.T) {
+	ref := ops.NewReference(ops.Fixed())
+
+	seg := DeepLabMini(6)
+	ip, err := interp.New(seg, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ip.Run(tensor.New(tensor.F32, 1, SegInputSize, SegInputSize, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.SameShape(out.Shape, []int{1, 16, 16, 3}) {
+		t.Errorf("seg output %v", out.Shape)
+	}
+
+	kws := KWSMini(6, "a", "log-global")
+	ip, err = interp.New(kws, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err = ip.Run(tensor.New(tensor.F32, 1, KWSFrames, KWSBins, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 8 {
+		t.Errorf("kws output %v", out.Shape)
+	}
+
+	for name, build := range map[string]*graph.Model{
+		"nnlm": NNLMMini(6, 12, 50), "bert": MobileBertMini(6, 12, 50),
+	} {
+		ip, err = interp.New(build, ref)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		ids := tensor.New(tensor.I32, 1, 12)
+		out, err = ip.Run(ids)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if out.Len() != 2 || !out.IsFinite() {
+			t.Errorf("%s: output %v", name, out)
+		}
+		if _, err := build.TensorByName("embeddings"); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestInGraphPreprocessing(t *testing.T) {
+	base := MobileNetV2Mini(7)
+	ing, err := WithInGraphPreprocessing(base, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ing.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if ing.Meta.InputH != 64 || ing.Meta.Resize != "ingraph" {
+		t.Errorf("meta %+v", ing.Meta)
+	}
+	ref := ops.NewReference(ops.Fixed())
+	ip, err := interp.New(ing, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := tensor.New(tensor.F32, 1, 64, 64, 3)
+	raw.Fill(128)
+	outIn, err := ip.Run(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Equivalent external preprocessing: normalize then bilinear-resize.
+	ipBase, err := interp.New(base, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext := tensor.New(tensor.F32, 1, 28, 28, 3)
+	ext.Fill(128.0/255.0*2 - 1)
+	outExt, err := ipBase.Run(ext)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.AllClose(outIn, outExt, 1e-3, 1e-4) {
+		t.Errorf("in-graph preprocessing diverges on constant input: %v vs %v", outIn.F, outExt.F)
+	}
+}

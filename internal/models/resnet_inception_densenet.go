@@ -1,0 +1,105 @@
+package models
+
+import (
+	"fmt"
+
+	"mlexray/internal/graph"
+	"mlexray/internal/tensor"
+)
+
+// ResNetMini is a two-block residual network with a max-pool stem. Expects
+// RGB in [0, 1] — a different normalization convention from the MobileNets,
+// which is the sort of per-model detail deployment teams lose track of.
+func ResNetMini(seed int64) *graph.Model {
+	n := newNet("resnet-mini", seed)
+	in := n.b.Input("input", tensor.F32, 1, ClassifierInputSize, ClassifierInputSize, 3)
+	x := n.convBN("conv1", in, 8, 3, 1, 1, "relu")
+	x = n.b.Node(graph.OpMaxPool2D, "pool1",
+		graph.Attrs{KernelH: 2, KernelW: 2, StrideH: 2, StrideW: 2}, x)
+
+	x = n.resBlock("res1", x, 8, 1)
+	x = n.resBlock("res2", x, 16, 2)
+
+	out := n.classifierHead(x, 10)
+	n.b.Output(out)
+	n.b.Meta(classifierMeta("resnet-mini", "RGB", 0, 1, "area"))
+	return n.b.MustFinish()
+}
+
+func (n *net) resBlock(name string, x int, outC, stride int) int {
+	inC := n.b.Shape(x)[3]
+	shortcut := x
+	h := n.convBN(name+"/conv1", x, outC, 3, stride, 1, "relu")
+	h = n.convBN(name+"/conv2", h, outC, 3, 1, 1, "")
+	if stride != 1 || inC != outC {
+		shortcut = n.convBN(name+"/proj", x, outC, 1, stride, 1, "")
+	}
+	h = n.b.Node(graph.OpAdd, name+"/add", graph.Attrs{}, shortcut, h)
+	return n.b.Node(graph.OpReLU, name+"/relu_out", graph.Attrs{}, h)
+}
+
+// InceptionMini stacks two inception modules whose branches (1x1, 1x1->3x3,
+// 3x3-avgpool->1x1) concatenate along channels. The 3x3 average pool takes
+// the short-window (correct) path of the quantized kernel, so Inception
+// survives quantization at the paper's ±3% — only large-window pools break.
+func InceptionMini(seed int64) *graph.Model {
+	n := newNet("inception-mini", seed)
+	in := n.b.Input("input", tensor.F32, 1, ClassifierInputSize, ClassifierInputSize, 3)
+	x := n.convBN("stem", in, 8, 3, 2, 1, "relu")
+
+	x = n.inceptionModule("incep1", x, 8, 4, 8, 4)
+	x = n.convBN("reduce", x, 16, 3, 2, 1, "relu")
+	x = n.inceptionModule("incep2", x, 8, 6, 12, 4)
+
+	out := n.classifierHead(x, 10)
+	n.b.Output(out)
+	n.b.Meta(classifierMeta("inception-mini", "RGB", -1, 1, "area"))
+	return n.b.MustFinish()
+}
+
+func (n *net) inceptionModule(name string, x int, c1x1, cReduce, c3x3, cPool int) int {
+	b0 := n.convBN(name+"/b0", x, c1x1, 1, 1, 1, "relu")
+	b1 := n.convBN(name+"/b1_reduce", x, cReduce, 1, 1, 1, "relu")
+	b1 = n.convBN(name+"/b1_conv", b1, c3x3, 3, 1, 1, "relu")
+	shape := n.b.Shape(x)
+	pt, pb := graph.SamePadding(shape[1], 3, 1, 1)
+	pl, pr := graph.SamePadding(shape[2], 3, 1, 1)
+	b2 := n.b.Node(graph.OpAvgPool2D, name+"/b2_pool",
+		graph.Attrs{KernelH: 3, KernelW: 3, StrideH: 1, StrideW: 1, PadT: pt, PadB: pb, PadL: pl, PadR: pr}, x)
+	b2 = n.convBN(name+"/b2_proj", b2, cPool, 1, 1, 1, "relu")
+	return n.b.Node(graph.OpConcat, name+"/concat", graph.Attrs{Axis: 3}, b0, b1, b2)
+}
+
+// DenseNetMini chains two dense blocks (feature concatenation) with an
+// average-pool transition. Expects **BGR** input in [0, 1] — the channel
+// convention that silently breaks when an app feeds it RGB.
+func DenseNetMini(seed int64) *graph.Model {
+	n := newNet("densenet-mini", seed)
+	in := n.b.Input("input", tensor.F32, 1, ClassifierInputSize, ClassifierInputSize, 3)
+	x := n.convBN("stem", in, 8, 3, 2, 1, "relu")
+
+	x = n.denseBlock("dense1", x, 2, 4)
+	x = n.transition("trans1", x, 8)
+	x = n.denseBlock("dense2", x, 2, 8)
+
+	out := n.classifierHead(x, 10)
+	n.b.Output(out)
+	n.b.Meta(classifierMeta("densenet-mini", "BGR", 0, 1, "area"))
+	return n.b.MustFinish()
+}
+
+func (n *net) denseBlock(name string, x int, layers, growth int) int {
+	for l := 0; l < layers; l++ {
+		h := n.convBN(fmt.Sprintf("%s/l%d", name, l), x, growth, 3, 1, 1, "relu")
+		x = n.b.Node(graph.OpConcat, fmt.Sprintf("%s/cat%d", name, l), graph.Attrs{Axis: 3}, x, h)
+	}
+	return x
+}
+
+func (n *net) transition(name string, x int, outC int) int {
+	x = n.convBN(name+"/conv", x, outC, 1, 1, 1, "relu")
+	// 2x2 average pool: 4 taps, short-window path, unaffected by the
+	// quantized kernel defect.
+	return n.b.Node(graph.OpAvgPool2D, name+"/pool",
+		graph.Attrs{KernelH: 2, KernelW: 2, StrideH: 2, StrideW: 2}, x)
+}

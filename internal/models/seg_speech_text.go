@@ -1,0 +1,192 @@
+package models
+
+import (
+	"mlexray/internal/graph"
+	"mlexray/internal/tensor"
+)
+
+// SegInputSize is the segmentation model input resolution.
+const SegInputSize = 32
+
+// DeepLabMini is an FCN-style segmentation head with an atrous (dilated)
+// convolution, predicting per-pixel classes at half resolution. The logits
+// tensor is named "seg_logits".
+func DeepLabMini(seed int64) *graph.Model {
+	n := newNet("deeplab-mini", seed)
+	in := n.b.Input("input", tensor.F32, 1, SegInputSize, SegInputSize, 3)
+	x := n.convBN("conv1", in, 8, 3, 2, 1, "relu")
+	x = n.convBN("conv2", x, 12, 3, 1, 1, "relu")
+	x = n.convBN("atrous", x, 12, 3, 1, 2, "relu") // dilation 2
+	logits := n.convHead("classifier", x, 3)
+	n.b.RenameTensor(logits, "seg_logits")
+	out := n.b.Node(graph.OpSoftmax, "softmax", graph.Attrs{Axis: 3}, logits)
+	n.b.Output(out)
+	n.b.Meta(graph.Meta{
+		Task: "segmentation", InputH: SegInputSize, InputW: SegInputSize, InputC: 3,
+		ChannelOrder: "RGB", NormLo: 0, NormHi: 1, Resize: "area", NumClasses: 3,
+	})
+	return n.b.MustFinish()
+}
+
+// KWSFrames / KWSBins are the spectrogram input dimensions (1024 samples,
+// 64-sample frames, 32-sample hop).
+const (
+	KWSFrames = 31
+	KWSBins   = 33
+)
+
+// KWSMini is a conv-on-spectrogram keyword spotter. specNorm names the
+// spectrogram normalization convention of its training pipeline — the paper
+// evaluates two speech models from different pipelines whose conventions
+// differ (Figure 4c), so the zoo trains one model per convention.
+func KWSMini(seed int64, variant string, specNorm string) *graph.Model {
+	n := newNet("kws-mini-"+variant, seed)
+	in := n.b.Input("input", tensor.F32, 1, KWSFrames, KWSBins, 1)
+	x := n.convBN("conv1", in, 8, 3, 2, 1, "relu")
+	x = n.convBN("conv2", x, 16, 3, 2, 1, "relu")
+	out := n.classifierHead(x, 8)
+	n.b.Output(out)
+	n.b.Meta(graph.Meta{
+		Task: "speech", InputH: KWSFrames, InputW: KWSBins, InputC: 1,
+		NumClasses: 8, SpecNorm: specNorm,
+	})
+	return n.b.MustFinish()
+}
+
+// TextDim is the embedding width of the text models.
+const TextDim = 16
+
+// NNLMMini is a bag-of-embeddings sentiment classifier (the NNLM-embedding
+// stand-in): embedding -> mean over tokens -> 2-layer MLP. The embedding
+// output tensor is named "embeddings" for the §A case-folding experiment.
+func NNLMMini(seed int64, seqLen, vocab int) *graph.Model {
+	n := newNet("nnlm-mini", seed)
+	ids := n.b.Input("ids", tensor.I32, 1, seqLen)
+	table := tensor.New(tensor.F32, vocab, TextDim)
+	tensor.GlorotInit(n.rng, table, vocab, TextDim)
+	x := n.b.Node(graph.OpEmbedding, "embed", graph.Attrs{}, ids, n.b.Const("embed/table", table))
+	n.b.RenameTensor(x, "embeddings")
+	// Mean over tokens via a [1, 1, T, D] view and the spatial Mean op.
+	x = n.b.Node(graph.OpReshape, "as_nhwc", graph.Attrs{NewShape: []int{1, 1, seqLen, TextDim}}, x)
+	x = n.b.Node(graph.OpMean, "pool", graph.Attrs{}, x)
+	x = n.dense("fc1", x, TextDim)
+	x = n.b.Node(graph.OpReLU, "relu", graph.Attrs{}, x)
+	x = n.dense("fc2", x, 2)
+	n.b.RenameTensor(x, "logits")
+	out := n.b.Node(graph.OpSoftmax, "softmax", graph.Attrs{Axis: 1}, x)
+	n.b.Output(out)
+	n.b.Meta(graph.Meta{Task: "text", NumClasses: 2, SeqLen: seqLen, VocabSize: vocab})
+	return n.b.MustFinish()
+}
+
+// MobileBertMini is a one-block transformer sentiment classifier: embedding
+// -> self-attention -> residual -> layer norm -> mean pool -> classifier.
+func MobileBertMini(seed int64, seqLen, vocab int) *graph.Model {
+	n := newNet("mobilebert-mini", seed)
+	ids := n.b.Input("ids", tensor.I32, 1, seqLen)
+	table := tensor.New(tensor.F32, vocab, TextDim)
+	tensor.GlorotInit(n.rng, table, vocab, TextDim)
+	x := n.b.Node(graph.OpEmbedding, "embed", graph.Attrs{}, ids, n.b.Const("embed/table", table))
+	n.b.RenameTensor(x, "embeddings")
+
+	attnConsts := make([]int, 8)
+	for i, nm := range []string{"q", "k", "v", "o"} {
+		w := tensor.New(tensor.F32, TextDim, TextDim)
+		tensor.GlorotInit(n.rng, w, TextDim, TextDim)
+		bias := tensor.New(tensor.F32, TextDim)
+		attnConsts[2*i] = n.b.Const("attn/"+nm+"/w", w)
+		attnConsts[2*i+1] = n.b.Const("attn/"+nm+"/b", bias)
+	}
+	att := n.b.Node(graph.OpSelfAttention, "attn", graph.Attrs{NumHeads: 2},
+		x, attnConsts[0], attnConsts[1], attnConsts[2], attnConsts[3],
+		attnConsts[4], attnConsts[5], attnConsts[6], attnConsts[7])
+	h := n.b.Node(graph.OpAdd, "residual", graph.Attrs{}, x, att)
+	gamma := tensor.New(tensor.F32, TextDim)
+	gamma.Fill(1)
+	beta := tensor.New(tensor.F32, TextDim)
+	h = n.b.Node(graph.OpLayerNorm, "ln", graph.Attrs{Eps: 1e-5},
+		h, n.b.Const("ln/gamma", gamma), n.b.Const("ln/beta", beta))
+
+	h = n.b.Node(graph.OpReshape, "as_nhwc", graph.Attrs{NewShape: []int{1, 1, seqLen, TextDim}}, h)
+	h = n.b.Node(graph.OpMean, "pool", graph.Attrs{}, h)
+	h = n.dense("fc", h, 2)
+	n.b.RenameTensor(h, "logits")
+	out := n.b.Node(graph.OpSoftmax, "softmax", graph.Attrs{Axis: 1}, h)
+	n.b.Output(out)
+	n.b.Meta(graph.Meta{Task: "text", NumClasses: 2, SeqLen: seqLen, VocabSize: vocab})
+	return n.b.MustFinish()
+}
+
+// WithInGraphPreprocessing returns a variant of a trained classifier that
+// embeds its preprocessing into the graph (the §A EfficientDet pattern):
+// the model takes the raw 64x64 capture (float 0..255), normalizes with
+// in-graph Mul/Add constants and resizes with an in-graph bilinear node.
+// Such models are structurally immune to app-side normalization and resize
+// bugs — the appendix's point about reducing the deployment bug surface.
+func WithInGraphPreprocessing(src *graph.Model, rawSize int) (*graph.Model, error) {
+	b := graph.NewBuilder(src.Name + "-ingraph")
+	in := b.Input("raw_input", tensor.F32, 1, rawSize, rawSize, src.Meta.InputC)
+	// Normalize 0..255 into the model's expected range.
+	scale := tensor.New(tensor.F32, 1, src.Meta.InputC)
+	shift := tensor.New(tensor.F32, 1, src.Meta.InputC)
+	for c := 0; c < src.Meta.InputC; c++ {
+		scale.F[c] = float32((src.Meta.NormHi - src.Meta.NormLo) / 255.0)
+		shift.F[c] = float32(src.Meta.NormLo)
+	}
+	x := b.Node(graph.OpMul, "pre/scale", graph.Attrs{}, in, b.Const("pre/scale_c", scale))
+	x = b.Node(graph.OpAdd, "pre/shift", graph.Attrs{}, x, b.Const("pre/shift_c", shift))
+	x = b.Node(graph.OpResizeBilinear, "pre/resize",
+		graph.Attrs{TargetH: src.Meta.InputH, TargetW: src.Meta.InputW}, x)
+
+	// Splice the source graph in, remapping tensor ids.
+	remap := make(map[int]int, len(src.Tensors))
+	remap[src.Inputs[0]] = x
+	for id, info := range src.Tensors {
+		if c, ok := src.Consts[id]; ok {
+			remap[id] = b.Const(info.Name, c.Clone())
+			_ = info
+		}
+	}
+	for _, nd := range src.Nodes {
+		inputs := make([]int, len(nd.Inputs))
+		for i, id := range nd.Inputs {
+			m, ok := remap[id]
+			if !ok {
+				return nil, errMissingTensor(src, id)
+			}
+			inputs[i] = m
+		}
+		out := b.Node(nd.Op, nd.Name, nd.Attrs, inputs...)
+		remap[nd.Outputs[0]] = out
+		b.RenameTensor(out, src.Tensors[nd.Outputs[0]].Name)
+	}
+	for _, outID := range src.Outputs {
+		b.Output(remap[outID])
+	}
+	meta := src.Meta
+	meta.InputH = rawSize
+	meta.InputW = rawSize
+	meta.NormLo = 0
+	meta.NormHi = 255
+	meta.Resize = "ingraph"
+	b.Meta(meta)
+	m, err := b.Finish()
+	if err != nil {
+		return nil, err
+	}
+	m.Format = src.Format
+	return m, nil
+}
+
+func errMissingTensor(m *graph.Model, id int) error {
+	return &missingTensorError{model: m.Name, id: id}
+}
+
+type missingTensorError struct {
+	model string
+	id    int
+}
+
+func (e *missingTensorError) Error() string {
+	return "models: splice of " + e.model + " references unproduced tensor"
+}

@@ -1,0 +1,153 @@
+package ops
+
+import (
+	"math/rand"
+	"testing"
+
+	"mlexray/internal/graph"
+	"mlexray/internal/quant"
+	"mlexray/internal/tensor"
+)
+
+// Micro-benchmarks of the kernel layer: the optimized-vs-reference speed gap
+// these measure is the real-wall-clock analogue of the device simulator's
+// Table 4 coefficients.
+
+func benchConvInputs(b *testing.B, ih, ic, oc, k int) (*tensor.Tensor, *tensor.Tensor, *tensor.Tensor, graph.Attrs, []int) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	in := tensor.New(tensor.F32, 1, ih, ih, ic)
+	tensor.RandUniform(rng, in, -1, 1)
+	w := tensor.New(tensor.F32, oc, k, k, ic)
+	tensor.RandUniform(rng, w, -0.5, 0.5)
+	bias := tensor.New(tensor.F32, oc)
+	pt, pb := graph.SamePadding(ih, k, 1, 1)
+	attrs := graph.Attrs{StrideH: 1, StrideW: 1, PadT: pt, PadB: pb, PadL: pt, PadR: pb}
+	outShape, err := graph.InferShape(graph.OpConv2D, attrs, [][]int{in.Shape, w.Shape})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return in, w, bias, attrs, outShape
+}
+
+func BenchmarkConvFloatReference(b *testing.B) {
+	in, w, bias, attrs, outShape := benchConvInputs(b, 28, 16, 32, 3)
+	out := tensor.New(tensor.F32, outShape...)
+	ctx := ctxFor(graph.OpConv2D, attrs, []*tensor.Tensor{in, w, bias}, nil, out, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := convFloatRef(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkConvFloatOptimized(b *testing.B) {
+	in, w, bias, attrs, outShape := benchConvInputs(b, 28, 16, 32, 3)
+	out := tensor.New(tensor.F32, outShape...)
+	ctx := ctxFor(graph.OpConv2D, attrs, []*tensor.Tensor{in, w, bias}, nil, out, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := convFloatOpt(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchQuantConvCtx(b *testing.B) (*Ctx, Kernel, Kernel) {
+	b.Helper()
+	in, w, bias, attrs, outShape := benchConvInputs(b, 28, 16, 32, 3)
+	inP := quant.AsymmetricU8Params(-1, 1)
+	inQ8 := quant.QuantizeTensorU8(in, inP)
+	wI8, wP, err := quant.QuantizeWeightsPerChannel(w, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bI32 := quant.QuantizeBias(bias, inP.Scale(0), wP)
+	outP := quant.AsymmetricU8Params(-4, 4)
+	out := tensor.New(tensor.U8, outShape...)
+	ctx := ctxFor(graph.OpConv2D, attrs, []*tensor.Tensor{inQ8, wI8, bI32},
+		[]*quant.Params{inP, wP, nil}, out, outP)
+	return ctx, convQuantRef, convQuantOpt
+}
+
+func BenchmarkConvQuantReference(b *testing.B) {
+	ctx, ref, _ := benchQuantConvCtx(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ref(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkConvQuantOptimized(b *testing.B) {
+	ctx, _, opt := benchQuantConvCtx(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := opt(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDepthwiseQuant(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	in := tensor.New(tensor.F32, 1, 28, 28, 32)
+	tensor.RandUniform(rng, in, -1, 1)
+	w := tensor.New(tensor.F32, 1, 3, 3, 32)
+	tensor.RandUniform(rng, w, -0.5, 0.5)
+	inP := quant.AsymmetricU8Params(-1, 1)
+	inQ8 := quant.QuantizeTensorU8(in, inP)
+	wI8, wP, err := quant.QuantizeWeightsPerChannel(w, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	outP := quant.AsymmetricU8Params(-4, 4)
+	attrs := graph.Attrs{StrideH: 1, StrideW: 1, PadT: 1, PadB: 1, PadL: 1, PadR: 1, DepthMultiplier: 1}
+	out := tensor.New(tensor.U8, 1, 28, 28, 32)
+	ctx := ctxFor(graph.OpDepthwiseConv2D, attrs, []*tensor.Tensor{inQ8, wI8},
+		[]*quant.Params{inP, wP}, out, outP)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := depthwiseQuantRef(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGEMM(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	const m, n, k = 196, 64, 144
+	a := make([]float32, m*k)
+	bb := make([]float32, n*k)
+	c := make([]float32, m*n)
+	for i := range a {
+		a[i] = float32(rng.NormFloat64())
+	}
+	for i := range bb {
+		bb[i] = float32(rng.NormFloat64())
+	}
+	b.SetBytes(int64(4 * (m*k + n*k + m*n)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range c {
+			c[j] = 0
+		}
+		gemmNT(a, bb, c, m, n, k)
+	}
+}
+
+func BenchmarkSoftmaxFloat(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	in := tensor.New(tensor.F32, 64, 10)
+	tensor.RandUniform(rng, in, -5, 5)
+	out := tensor.New(tensor.F32, 64, 10)
+	ctx := ctxFor(graph.OpSoftmax, graph.Attrs{Axis: 1}, []*tensor.Tensor{in}, nil, out, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := softmaxFloat(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package ops
+
+import (
+	"mlexray/internal/graph"
+)
+
+// Cost is a first-order work estimate for one node, the input to the device
+// latency model: multiply-accumulates for compute-bound ops and bytes
+// touched for memory-bound ops.
+type Cost struct {
+	MACs  int64
+	Bytes int64
+}
+
+// EstimateCost computes the cost of a node given a resolver for tensor
+// shapes. It is exact for the convolution family and a reasonable byte
+// count elsewhere.
+func EstimateCost(n *graph.Node, shapeOf func(id int) []int, elemSize func(id int) int) Cost {
+	elems := func(id int) int64 {
+		v := int64(1)
+		for _, d := range shapeOf(id) {
+			v *= int64(d)
+		}
+		return v
+	}
+	var bytes int64
+	for _, id := range n.Inputs {
+		bytes += elems(id) * int64(elemSize(id))
+	}
+	for _, id := range n.Outputs {
+		bytes += elems(id) * int64(elemSize(id))
+	}
+	c := Cost{Bytes: bytes}
+	switch n.Op {
+	case graph.OpConv2D:
+		out := shapeOf(n.Outputs[0])
+		w := shapeOf(n.Inputs[1])
+		// N*OH*OW*outC * kh*kw*inC
+		c.MACs = int64(out[0]) * int64(out[1]) * int64(out[2]) * int64(out[3]) *
+			int64(w[1]) * int64(w[2]) * int64(w[3])
+	case graph.OpDepthwiseConv2D:
+		out := shapeOf(n.Outputs[0])
+		w := shapeOf(n.Inputs[1])
+		c.MACs = int64(out[0]) * int64(out[1]) * int64(out[2]) * int64(out[3]) *
+			int64(w[1]) * int64(w[2])
+	case graph.OpDense:
+		out := shapeOf(n.Outputs[0])
+		w := shapeOf(n.Inputs[1])
+		c.MACs = int64(out[0]) * int64(w[0]) * int64(w[1])
+	case graph.OpSelfAttention:
+		in := shapeOf(n.Inputs[0])
+		nb, t, d := int64(in[0]), int64(in[1]), int64(in[2])
+		// 4 projections + 2 attention matmuls.
+		c.MACs = nb * (4*t*d*d + 2*t*t*d)
+	case graph.OpAvgPool2D, graph.OpMaxPool2D:
+		out := shapeOf(n.Outputs[0])
+		k := int64(max1(n.Attrs.KernelH)) * int64(max1(n.Attrs.KernelW))
+		c.MACs = int64(out[0]) * int64(out[1]) * int64(out[2]) * int64(out[3]) * k
+	case graph.OpMean:
+		c.MACs = elems(n.Inputs[0])
+	case graph.OpBatchNorm, graph.OpLayerNorm, graph.OpAdd, graph.OpMul,
+		graph.OpHardSwish, graph.OpHardSigmoid, graph.OpSigmoid, graph.OpSoftmax:
+		c.MACs = elems(n.Outputs[0])
+	case graph.OpEmbedding, graph.OpResizeBilinear:
+		c.MACs = elems(n.Outputs[0])
+	default:
+		// Data-movement ops: Pad, Concat, Reshape, ReLU, Quantize, ...
+		c.MACs = 0
+	}
+	return c
+}

@@ -1,0 +1,781 @@
+package ops
+
+import (
+	"fmt"
+	"math"
+
+	"mlexray/internal/graph"
+	"mlexray/internal/tensor"
+)
+
+// ---- shared helpers ----
+
+func applyActF32(act graph.Activation, v float32) float32 {
+	switch act {
+	case graph.ActReLU:
+		if v < 0 {
+			return 0
+		}
+	case graph.ActReLU6:
+		if v < 0 {
+			return 0
+		}
+		if v > 6 {
+			return 6
+		}
+	}
+	return v
+}
+
+func want4D(t *tensor.Tensor, what string) error {
+	if t.Rank() != 4 {
+		return fmt.Errorf("ops: %s must be rank 4, got %v", what, t.Shape)
+	}
+	return nil
+}
+
+// ---- convolution family (reference implementations) ----
+
+// convFloatRef is the naive reference Conv2D: plain loops, no cache blocking
+// — the "easy to understand but inefficient" kernel of TFLite's reference
+// resolver (§4.4 footnote).
+func convFloatRef(c *Ctx) error {
+	in, err := c.In(0)
+	if err != nil {
+		return err
+	}
+	w, err := c.In(1)
+	if err != nil {
+		return err
+	}
+	bias := c.OptionalIn(2)
+	out := c.Outputs[0]
+	if err := want4D(in, "conv input"); err != nil {
+		return err
+	}
+	a := c.Node.Attrs
+	n, ih, iw, ic := in.Shape[0], in.Shape[1], in.Shape[2], in.Shape[3]
+	oc, kh, kw := w.Shape[0], w.Shape[1], w.Shape[2]
+	oh, ow := out.Shape[1], out.Shape[2]
+	dh, dw := max1(a.DilationH), max1(a.DilationW)
+	for b := 0; b < n; b++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				for co := 0; co < oc; co++ {
+					var acc float32
+					if bias != nil {
+						acc = bias.F[co]
+					}
+					for ky := 0; ky < kh; ky++ {
+						iy := oy*a.StrideH - a.PadT + ky*dh
+						if iy < 0 || iy >= ih {
+							continue
+						}
+						for kx := 0; kx < kw; kx++ {
+							ix := ox*a.StrideW - a.PadL + kx*dw
+							if ix < 0 || ix >= iw {
+								continue
+							}
+							inBase := ((b*ih+iy)*iw + ix) * ic
+							wBase := ((co*kh+ky)*kw + kx) * ic
+							for ci := 0; ci < ic; ci++ {
+								acc += in.F[inBase+ci] * w.F[wBase+ci]
+							}
+						}
+					}
+					out.F[((b*oh+oy)*ow+ox)*oc+co] = applyActF32(a.Activation, acc)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// depthwiseFloatRef is the reference DepthwiseConv2D.
+func depthwiseFloatRef(c *Ctx) error {
+	in, err := c.In(0)
+	if err != nil {
+		return err
+	}
+	w, err := c.In(1)
+	if err != nil {
+		return err
+	}
+	bias := c.OptionalIn(2)
+	out := c.Outputs[0]
+	if err := want4D(in, "depthwise input"); err != nil {
+		return err
+	}
+	a := c.Node.Attrs
+	mult := max1(a.DepthMultiplier)
+	n, ih, iw, ic := in.Shape[0], in.Shape[1], in.Shape[2], in.Shape[3]
+	kh, kw, oc := w.Shape[1], w.Shape[2], w.Shape[3]
+	oh, ow := out.Shape[1], out.Shape[2]
+	dh, dw := max1(a.DilationH), max1(a.DilationW)
+	for b := 0; b < n; b++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				for co := 0; co < oc; co++ {
+					ci := co / mult
+					var acc float32
+					if bias != nil {
+						acc = bias.F[co]
+					}
+					for ky := 0; ky < kh; ky++ {
+						iy := oy*a.StrideH - a.PadT + ky*dh
+						if iy < 0 || iy >= ih {
+							continue
+						}
+						for kx := 0; kx < kw; kx++ {
+							ix := ox*a.StrideW - a.PadL + kx*dw
+							if ix < 0 || ix >= iw {
+								continue
+							}
+							acc += in.F[((b*ih+iy)*iw+ix)*ic+ci] * w.F[(ky*kw+kx)*oc+co]
+						}
+					}
+					out.F[((b*oh+oy)*ow+ox)*oc+co] = applyActF32(a.Activation, acc)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// denseFloatRef is the reference fully-connected kernel. The input is
+// flattened beyond the batch dimension.
+func denseFloatRef(c *Ctx) error {
+	in, err := c.In(0)
+	if err != nil {
+		return err
+	}
+	w, err := c.In(1)
+	if err != nil {
+		return err
+	}
+	bias := c.OptionalIn(2)
+	out := c.Outputs[0]
+	n := in.Shape[0]
+	inC := in.Len() / n
+	outC := w.Shape[0]
+	a := c.Node.Attrs
+	for b := 0; b < n; b++ {
+		for co := 0; co < outC; co++ {
+			var acc float32
+			if bias != nil {
+				acc = bias.F[co]
+			}
+			inBase := b * inC
+			wBase := co * inC
+			for k := 0; k < inC; k++ {
+				acc += in.F[inBase+k] * w.F[wBase+k]
+			}
+			out.F[b*outC+co] = applyActF32(a.Activation, acc)
+		}
+	}
+	return nil
+}
+
+// ---- pooling ----
+
+func avgPoolFloat(c *Ctx) error {
+	in, err := c.In(0)
+	if err != nil {
+		return err
+	}
+	out := c.Outputs[0]
+	a := c.Node.Attrs
+	n, ih, iw, ch := in.Shape[0], in.Shape[1], in.Shape[2], in.Shape[3]
+	oh, ow := out.Shape[1], out.Shape[2]
+	for b := 0; b < n; b++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				for cc := 0; cc < ch; cc++ {
+					var sum float32
+					count := 0
+					for ky := 0; ky < a.KernelH; ky++ {
+						iy := oy*a.StrideH - a.PadT + ky
+						if iy < 0 || iy >= ih {
+							continue
+						}
+						for kx := 0; kx < a.KernelW; kx++ {
+							ix := ox*a.StrideW - a.PadL + kx
+							if ix < 0 || ix >= iw {
+								continue
+							}
+							sum += in.F[((b*ih+iy)*iw+ix)*ch+cc]
+							count++
+						}
+					}
+					v := float32(0)
+					if count > 0 {
+						v = sum / float32(count)
+					}
+					out.F[((b*oh+oy)*ow+ox)*ch+cc] = applyActF32(a.Activation, v)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func maxPoolFloat(c *Ctx) error {
+	in, err := c.In(0)
+	if err != nil {
+		return err
+	}
+	out := c.Outputs[0]
+	a := c.Node.Attrs
+	n, ih, iw, ch := in.Shape[0], in.Shape[1], in.Shape[2], in.Shape[3]
+	oh, ow := out.Shape[1], out.Shape[2]
+	for b := 0; b < n; b++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				for cc := 0; cc < ch; cc++ {
+					best := float32(math.Inf(-1))
+					for ky := 0; ky < a.KernelH; ky++ {
+						iy := oy*a.StrideH - a.PadT + ky
+						if iy < 0 || iy >= ih {
+							continue
+						}
+						for kx := 0; kx < a.KernelW; kx++ {
+							ix := ox*a.StrideW - a.PadL + kx
+							if ix < 0 || ix >= iw {
+								continue
+							}
+							if v := in.F[((b*ih+iy)*iw+ix)*ch+cc]; v > best {
+								best = v
+							}
+						}
+					}
+					out.F[((b*oh+oy)*ow+ox)*ch+cc] = applyActF32(a.Activation, best)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// meanFloat reduces over the spatial dimensions: [N,H,W,C] -> [N,C]. This is
+// the TFLite MEAN op MobileNet-v2's classifier head uses (distinct from
+// AvgPool2D, which is why v2 survives the average-pool defect while v3's
+// SE blocks do not).
+func meanFloat(c *Ctx) error {
+	in, err := c.In(0)
+	if err != nil {
+		return err
+	}
+	out := c.Outputs[0]
+	n, ih, iw, ch := in.Shape[0], in.Shape[1], in.Shape[2], in.Shape[3]
+	area := float32(ih * iw)
+	for b := 0; b < n; b++ {
+		for cc := 0; cc < ch; cc++ {
+			var sum float32
+			for y := 0; y < ih; y++ {
+				for x := 0; x < iw; x++ {
+					sum += in.F[((b*ih+y)*iw+x)*ch+cc]
+				}
+			}
+			out.F[b*ch+cc] = sum / area
+		}
+	}
+	return nil
+}
+
+func padFloat(c *Ctx) error {
+	in, err := c.In(0)
+	if err != nil {
+		return err
+	}
+	out := c.Outputs[0]
+	out.Zero()
+	return padCopy(in, out, c.Node.Attrs.Paddings, func(src, dst int) {
+		out.F[dst] = in.F[src]
+	})
+}
+
+// padCopy walks the input tensor and maps each element to its padded
+// position. The visit callback does the dtype-specific copy.
+func padCopy(in, out *tensor.Tensor, paddings [][2]int, visit func(srcOff, dstOff int)) error {
+	if len(paddings) != len(in.Shape) {
+		return fmt.Errorf("ops: pad with %d pairs for rank %d", len(paddings), len(in.Shape))
+	}
+	rank := len(in.Shape)
+	idx := make([]int, rank)
+	total := in.Len()
+	for off := 0; off < total; off++ {
+		dst := 0
+		for d := 0; d < rank; d++ {
+			dst = dst*out.Shape[d] + idx[d] + paddings[d][0]
+		}
+		visit(off, dst)
+		for d := rank - 1; d >= 0; d-- {
+			idx[d]++
+			if idx[d] < in.Shape[d] {
+				break
+			}
+			idx[d] = 0
+		}
+	}
+	return nil
+}
+
+// ---- elementwise binary with channel broadcast ----
+
+// broadcastIndex maps a flat NHWC offset of the full-shape operand onto the
+// (possibly [N,C]-shaped) second operand.
+func elementwiseBinaryF32(c *Ctx, f func(a, b float32) float32) error {
+	x, err := c.In(0)
+	if err != nil {
+		return err
+	}
+	y, err := c.In(1)
+	if err != nil {
+		return err
+	}
+	out := c.Outputs[0]
+	act := c.Node.Attrs.Activation
+	if x.Len() == y.Len() {
+		for i := range out.F {
+			out.F[i] = applyActF32(act, f(x.F[i], y.F[i]))
+		}
+		return nil
+	}
+	// Channel broadcast: y is [N,C] (or [N,1,1,C]) against x [N,H,W,C].
+	if x.Rank() != 4 {
+		return fmt.Errorf("ops: %v broadcast needs rank-4 lhs, got %v", c.Node.Op, x.Shape)
+	}
+	n, h, w, ch := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	if y.Len() != n*ch {
+		return fmt.Errorf("ops: %v cannot broadcast %v with %v", c.Node.Op, x.Shape, y.Shape)
+	}
+	for b := 0; b < n; b++ {
+		for i := 0; i < h*w; i++ {
+			base := (b*h*w + i) * ch
+			for cc := 0; cc < ch; cc++ {
+				out.F[base+cc] = applyActF32(act, f(x.F[base+cc], y.F[b*ch+cc]))
+			}
+		}
+	}
+	return nil
+}
+
+func addFloat(c *Ctx) error {
+	return elementwiseBinaryF32(c, func(a, b float32) float32 { return a + b })
+}
+
+func mulFloat(c *Ctx) error {
+	return elementwiseBinaryF32(c, func(a, b float32) float32 { return a * b })
+}
+
+func concatFloat(c *Ctx) error {
+	return concatGeneric(c, func(t *tensor.Tensor) []float32 { return t.F }, func(dst []float32, i int, src []float32, j int) {
+		dst[i] = src[j]
+	})
+}
+
+// concatGeneric implements Concat for any storage type via accessors.
+func concatGeneric[T any](c *Ctx, data func(*tensor.Tensor) []T, set func(dst []T, i int, src []T, j int)) error {
+	out := c.Outputs[0]
+	axis := c.Node.Attrs.Axis
+	outer := 1
+	for d := 0; d < axis; d++ {
+		outer *= out.Shape[d]
+	}
+	inner := 1
+	for d := axis + 1; d < len(out.Shape); d++ {
+		inner *= out.Shape[d]
+	}
+	outData := data(out)
+	axisOff := 0
+	for _, in := range c.Inputs {
+		inAxis := in.Shape[axis]
+		inData := data(in)
+		for o := 0; o < outer; o++ {
+			for a := 0; a < inAxis; a++ {
+				srcBase := (o*inAxis + a) * inner
+				dstBase := (o*out.Shape[axis] + axisOff + a) * inner
+				for i := 0; i < inner; i++ {
+					set(outData, dstBase+i, inData, srcBase+i)
+				}
+			}
+		}
+		axisOff += inAxis
+	}
+	return nil
+}
+
+// ---- activations ----
+
+func unaryFloat(c *Ctx, f func(float64) float64) error {
+	in, err := c.In(0)
+	if err != nil {
+		return err
+	}
+	out := c.Outputs[0]
+	for i := range out.F {
+		out.F[i] = float32(f(float64(in.F[i])))
+	}
+	return nil
+}
+
+func reluF64(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	return x
+}
+
+func relu6F64(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 6 {
+		return 6
+	}
+	return x
+}
+
+func hardSigmoidF64(x float64) float64 { return relu6F64(x+3) / 6 }
+func hardSwishF64(x float64) float64   { return x * hardSigmoidF64(x) }
+func sigmoidF64(x float64) float64     { return 1 / (1 + math.Exp(-x)) }
+
+func reluFloat(c *Ctx) error        { return unaryFloat(c, reluF64) }
+func relu6Float(c *Ctx) error       { return unaryFloat(c, relu6F64) }
+func hardSwishFloat(c *Ctx) error   { return unaryFloat(c, hardSwishF64) }
+func hardSigmoidFloat(c *Ctx) error { return unaryFloat(c, hardSigmoidF64) }
+func sigmoidFloat(c *Ctx) error     { return unaryFloat(c, sigmoidF64) }
+
+// softmaxFloat computes softmax over the last axis with the max-subtraction
+// stabilization.
+func softmaxFloat(c *Ctx) error {
+	in, err := c.In(0)
+	if err != nil {
+		return err
+	}
+	out := c.Outputs[0]
+	last := in.Shape[len(in.Shape)-1]
+	rows := in.Len() / last
+	for r := 0; r < rows; r++ {
+		base := r * last
+		mx := in.F[base]
+		for i := 1; i < last; i++ {
+			if in.F[base+i] > mx {
+				mx = in.F[base+i]
+			}
+		}
+		var sum float64
+		for i := 0; i < last; i++ {
+			e := math.Exp(float64(in.F[base+i] - mx))
+			out.F[base+i] = float32(e)
+			sum += e
+		}
+		inv := float32(1 / sum)
+		for i := 0; i < last; i++ {
+			out.F[base+i] *= inv
+		}
+	}
+	return nil
+}
+
+// batchNormFloat applies inference-mode batch normalization with stored
+// statistics over the channel (last) axis. Inputs: x, gamma, beta, mean,
+// variance. Checkpoint-format models carry these nodes; the converter folds
+// them into the preceding convolution.
+func batchNormFloat(c *Ctx) error {
+	x, err := c.In(0)
+	if err != nil {
+		return err
+	}
+	gamma, err := c.In(1)
+	if err != nil {
+		return err
+	}
+	beta, err := c.In(2)
+	if err != nil {
+		return err
+	}
+	mean, err := c.In(3)
+	if err != nil {
+		return err
+	}
+	variance, err := c.In(4)
+	if err != nil {
+		return err
+	}
+	out := c.Outputs[0]
+	eps := c.Node.Attrs.Eps
+	if eps == 0 {
+		eps = 1e-5
+	}
+	ch := x.Shape[len(x.Shape)-1]
+	if gamma.Len() != ch {
+		return fmt.Errorf("ops: batchnorm gamma %v for channels %d", gamma.Shape, ch)
+	}
+	scale := make([]float32, ch)
+	shift := make([]float32, ch)
+	for cc := 0; cc < ch; cc++ {
+		s := float64(gamma.F[cc]) / math.Sqrt(float64(variance.F[cc])+eps)
+		scale[cc] = float32(s)
+		shift[cc] = beta.F[cc] - float32(s*float64(mean.F[cc]))
+	}
+	rows := x.Len() / ch
+	for r := 0; r < rows; r++ {
+		base := r * ch
+		for cc := 0; cc < ch; cc++ {
+			out.F[base+cc] = x.F[base+cc]*scale[cc] + shift[cc]
+		}
+	}
+	return nil
+}
+
+// reshapeAny copies data across dtypes unchanged; works for every compute
+// kind.
+func reshapeAny(c *Ctx) error {
+	in, err := c.In(0)
+	if err != nil {
+		return err
+	}
+	c.Outputs[0].CopyFrom(in)
+	return nil
+}
+
+// ---- sequence ops ----
+
+func embeddingFloat(c *Ctx) error {
+	ids, err := c.In(0)
+	if err != nil {
+		return err
+	}
+	table, err := c.In(1)
+	if err != nil {
+		return err
+	}
+	out := c.Outputs[0]
+	vocab, dim := table.Shape[0], table.Shape[1]
+	for i, id := range ids.X {
+		if id < 0 || int(id) >= vocab {
+			return fmt.Errorf("ops: embedding id %d outside vocab %d", id, vocab)
+		}
+		copy(out.F[i*dim:(i+1)*dim], table.F[int(id)*dim:(int(id)+1)*dim])
+	}
+	return nil
+}
+
+func layerNormFloat(c *Ctx) error {
+	x, err := c.In(0)
+	if err != nil {
+		return err
+	}
+	gamma, err := c.In(1)
+	if err != nil {
+		return err
+	}
+	beta, err := c.In(2)
+	if err != nil {
+		return err
+	}
+	out := c.Outputs[0]
+	eps := c.Node.Attrs.Eps
+	if eps == 0 {
+		eps = 1e-5
+	}
+	d := x.Shape[len(x.Shape)-1]
+	rows := x.Len() / d
+	for r := 0; r < rows; r++ {
+		base := r * d
+		var mean float64
+		for i := 0; i < d; i++ {
+			mean += float64(x.F[base+i])
+		}
+		mean /= float64(d)
+		var variance float64
+		for i := 0; i < d; i++ {
+			dv := float64(x.F[base+i]) - mean
+			variance += dv * dv
+		}
+		variance /= float64(d)
+		inv := 1 / math.Sqrt(variance+eps)
+		for i := 0; i < d; i++ {
+			out.F[base+i] = float32((float64(x.F[base+i])-mean)*inv)*gamma.F[i] + beta.F[i]
+		}
+	}
+	return nil
+}
+
+// selfAttentionFloat implements multi-head self attention over [N, T, D]
+// with weight inputs Wq, Wk, Wv, Wo ([D, D], row = output unit) and biases
+// bq, bk, bv, bo.
+func selfAttentionFloat(c *Ctx) error {
+	x, err := c.In(0)
+	if err != nil {
+		return err
+	}
+	if len(c.Inputs) < 9 {
+		return fmt.Errorf("ops: SelfAttention needs x + 4 weights + 4 biases, got %d inputs", len(c.Inputs))
+	}
+	weights := make([][]float32, 4)
+	biases := make([][]float32, 4)
+	for i := 0; i < 4; i++ {
+		wt := c.Inputs[1+2*i]
+		bt := c.Inputs[2+2*i]
+		if wt.DType == tensor.I8 {
+			return fmt.Errorf("ops: float attention got int8 weights; use the hybrid kernel")
+		}
+		weights[i] = wt.F
+		biases[i] = bt.F
+	}
+	return attentionCompute(c, x, weights, biases)
+}
+
+func attentionCompute(c *Ctx, x *tensor.Tensor, weights, biases [][]float32) error {
+	out := c.Outputs[0]
+	n, t, d := x.Shape[0], x.Shape[1], x.Shape[2]
+	h := c.Node.Attrs.NumHeads
+	dh := d / h
+	scale := float32(1 / math.Sqrt(float64(dh)))
+
+	q := make([]float32, t*d)
+	k := make([]float32, t*d)
+	v := make([]float32, t*d)
+	attnOut := make([]float32, t*d)
+	scores := make([]float32, t)
+
+	project := func(dst []float32, src []float32, w []float32, b []float32) {
+		// dst[t, d] = src[t, d] x w[d, d]^T + b
+		for ti := 0; ti < t; ti++ {
+			for o := 0; o < d; o++ {
+				acc := b[o]
+				for i := 0; i < d; i++ {
+					acc += src[ti*d+i] * w[o*d+i]
+				}
+				dst[ti*d+o] = acc
+			}
+		}
+	}
+
+	for b := 0; b < n; b++ {
+		xb := x.F[b*t*d : (b+1)*t*d]
+		project(q, xb, weights[0], biases[0])
+		project(k, xb, weights[1], biases[1])
+		project(v, xb, weights[2], biases[2])
+		for head := 0; head < h; head++ {
+			off := head * dh
+			for ti := 0; ti < t; ti++ {
+				// scores over all source positions.
+				var mx float32 = float32(math.Inf(-1))
+				for tj := 0; tj < t; tj++ {
+					var s float32
+					for e := 0; e < dh; e++ {
+						s += q[ti*d+off+e] * k[tj*d+off+e]
+					}
+					s *= scale
+					scores[tj] = s
+					if s > mx {
+						mx = s
+					}
+				}
+				var sum float64
+				for tj := 0; tj < t; tj++ {
+					e := math.Exp(float64(scores[tj] - mx))
+					scores[tj] = float32(e)
+					sum += e
+				}
+				inv := float32(1 / sum)
+				for e := 0; e < dh; e++ {
+					var acc float32
+					for tj := 0; tj < t; tj++ {
+						acc += scores[tj] * inv * v[tj*d+off+e]
+					}
+					attnOut[ti*d+off+e] = acc
+				}
+			}
+		}
+		// Output projection.
+		ob := out.F[b*t*d : (b+1)*t*d]
+		for ti := 0; ti < t; ti++ {
+			for o := 0; o < d; o++ {
+				acc := biases[3][o]
+				for i := 0; i < d; i++ {
+					acc += attnOut[ti*d+i] * weights[3][o*d+i]
+				}
+				ob[ti*d+o] = acc
+			}
+		}
+	}
+	return nil
+}
+
+// resizeBilinearFloat is the in-graph preprocessing resize (the §A
+// EfficientDet pattern: models that embed preprocessing are immune to
+// app-side resize bugs).
+func resizeBilinearFloat(c *Ctx) error {
+	in, err := c.In(0)
+	if err != nil {
+		return err
+	}
+	out := c.Outputs[0]
+	return resizeBilinearGeneric(in, out, func(src []int, weights []float32, dst int) {
+		var acc float32
+		for i, s := range src {
+			acc += in.F[s] * weights[i]
+		}
+		out.F[dst] = acc
+	})
+}
+
+// resizeBilinearGeneric computes, for every output element, the four source
+// offsets and interpolation weights, delegating the arithmetic to visit.
+func resizeBilinearGeneric(in, out *tensor.Tensor, visit func(srcOffsets []int, weights []float32, dstOffset int)) error {
+	n, ih, iw, ch := in.Shape[0], in.Shape[1], in.Shape[2], in.Shape[3]
+	oh, ow := out.Shape[1], out.Shape[2]
+	sy := float64(ih) / float64(oh)
+	sx := float64(iw) / float64(ow)
+	src := make([]int, 4)
+	wts := make([]float32, 4)
+	for b := 0; b < n; b++ {
+		for oy := 0; oy < oh; oy++ {
+			fy := (float64(oy)+0.5)*sy - 0.5
+			if fy < 0 {
+				fy = 0
+			}
+			y0 := int(fy)
+			y1 := y0 + 1
+			if y1 >= ih {
+				y1 = ih - 1
+			}
+			wy := float32(fy - float64(y0))
+			for ox := 0; ox < ow; ox++ {
+				fx := (float64(ox)+0.5)*sx - 0.5
+				if fx < 0 {
+					fx = 0
+				}
+				x0 := int(fx)
+				x1 := x0 + 1
+				if x1 >= iw {
+					x1 = iw - 1
+				}
+				wx := float32(fx - float64(x0))
+				for cc := 0; cc < ch; cc++ {
+					src[0] = ((b*ih+y0)*iw+x0)*ch + cc
+					src[1] = ((b*ih+y0)*iw+x1)*ch + cc
+					src[2] = ((b*ih+y1)*iw+x0)*ch + cc
+					src[3] = ((b*ih+y1)*iw+x1)*ch + cc
+					wts[0] = (1 - wy) * (1 - wx)
+					wts[1] = (1 - wy) * wx
+					wts[2] = wy * (1 - wx)
+					wts[3] = wy * wx
+					visit(src, wts, ((b*oh+oy)*ow+ox)*ch+cc)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func max1(v int) int {
+	if v < 1 {
+		return 1
+	}
+	return v
+}

@@ -1,0 +1,206 @@
+package ops
+
+import (
+	"mlexray/internal/graph"
+	"mlexray/internal/tensor"
+)
+
+// The optimized float kernels mirror TFLite's production path: im2col
+// lowering followed by a blocked GEMM. They compute the same function as the
+// reference kernels but in a different summation order, so float outputs
+// can differ in the low bits — the benign class of discrepancy the paper
+// notes when comparing resolvers on float models ("small discrepancies on
+// float models due to the non-associativity of floating point arithmetic").
+
+// gemmNT computes C[m,n] += A[m,k] * B[n,k]^T with simple cache blocking.
+// A is row-major m×k, B row-major n×k (i.e. B is accessed transposed).
+func gemmNT(a []float32, b []float32, c []float32, m, n, k int) {
+	const block = 64
+	for i0 := 0; i0 < m; i0 += block {
+		iMax := min(i0+block, m)
+		for j0 := 0; j0 < n; j0 += block {
+			jMax := min(j0+block, n)
+			for i := i0; i < iMax; i++ {
+				ai := a[i*k : (i+1)*k]
+				ci := c[i*n : (i+1)*n]
+				for j := j0; j < jMax; j++ {
+					bj := b[j*k : (j+1)*k]
+					var acc float32
+					for p := 0; p < k; p++ {
+						acc += ai[p] * bj[p]
+					}
+					ci[j] += acc
+				}
+			}
+		}
+	}
+}
+
+// im2col lowers a padded convolution input into a [outH*outW, kh*kw*inC]
+// matrix for one batch element. Out-of-bounds taps are zero.
+func im2col(in *tensor.Tensor, batch int, a graph.Attrs, kh, kw, oh, ow int, dst []float32) {
+	ih, iw, ic := in.Shape[1], in.Shape[2], in.Shape[3]
+	dh, dw := max1(a.DilationH), max1(a.DilationW)
+	cols := kh * kw * ic
+	row := 0
+	for oy := 0; oy < oh; oy++ {
+		for ox := 0; ox < ow; ox++ {
+			base := row * cols
+			col := 0
+			for ky := 0; ky < kh; ky++ {
+				iy := oy*a.StrideH - a.PadT + ky*dh
+				for kx := 0; kx < kw; kx++ {
+					ix := ox*a.StrideW - a.PadL + kx*dw
+					if iy < 0 || iy >= ih || ix < 0 || ix >= iw {
+						for ci := 0; ci < ic; ci++ {
+							dst[base+col] = 0
+							col++
+						}
+						continue
+					}
+					src := ((batch*ih+iy)*iw + ix) * ic
+					copy(dst[base+col:base+col+ic], in.F[src:src+ic])
+					col += ic
+				}
+			}
+			row++
+		}
+	}
+}
+
+// convFloatOpt is the optimized Conv2D: im2col + GEMM + fused bias and
+// activation.
+func convFloatOpt(c *Ctx) error {
+	in, err := c.In(0)
+	if err != nil {
+		return err
+	}
+	w, err := c.In(1)
+	if err != nil {
+		return err
+	}
+	bias := c.OptionalIn(2)
+	out := c.Outputs[0]
+	a := c.Node.Attrs
+	n := in.Shape[0]
+	oc, kh, kw, ic := w.Shape[0], w.Shape[1], w.Shape[2], w.Shape[3]
+	oh, ow := out.Shape[1], out.Shape[2]
+	m := oh * ow
+	k := kh * kw * ic
+	cols := make([]float32, m*k)
+	prod := make([]float32, m*oc)
+	for b := 0; b < n; b++ {
+		im2col(in, b, a, kh, kw, oh, ow, cols)
+		for i := range prod {
+			prod[i] = 0
+		}
+		// Weights are [oc, kh, kw, ic] = row-major [oc, k]: exactly the
+		// B[n,k] layout gemmNT wants.
+		gemmNT(cols, w.F, prod, m, oc, k)
+		outBase := b * m * oc
+		for i := 0; i < m; i++ {
+			for co := 0; co < oc; co++ {
+				v := prod[i*oc+co]
+				if bias != nil {
+					v += bias.F[co]
+				}
+				out.F[outBase+i*oc+co] = applyActF32(a.Activation, v)
+			}
+		}
+	}
+	return nil
+}
+
+// depthwiseFloatOpt processes the image row-by-row with hoisted bounds
+// checks; same math as the reference kernel, reordered loops.
+func depthwiseFloatOpt(c *Ctx) error {
+	in, err := c.In(0)
+	if err != nil {
+		return err
+	}
+	w, err := c.In(1)
+	if err != nil {
+		return err
+	}
+	bias := c.OptionalIn(2)
+	out := c.Outputs[0]
+	a := c.Node.Attrs
+	mult := max1(a.DepthMultiplier)
+	n, ih, iw, ic := in.Shape[0], in.Shape[1], in.Shape[2], in.Shape[3]
+	kh, kw, oc := w.Shape[1], w.Shape[2], w.Shape[3]
+	oh, ow := out.Shape[1], out.Shape[2]
+	dh, dw := max1(a.DilationH), max1(a.DilationW)
+	acc := make([]float32, oc)
+	for b := 0; b < n; b++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				if bias != nil {
+					copy(acc, bias.F)
+				} else {
+					for i := range acc {
+						acc[i] = 0
+					}
+				}
+				for ky := 0; ky < kh; ky++ {
+					iy := oy*a.StrideH - a.PadT + ky*dh
+					if iy < 0 || iy >= ih {
+						continue
+					}
+					for kx := 0; kx < kw; kx++ {
+						ix := ox*a.StrideW - a.PadL + kx*dw
+						if ix < 0 || ix >= iw {
+							continue
+						}
+						inBase := ((b*ih+iy)*iw + ix) * ic
+						wBase := (ky*kw + kx) * oc
+						for co := 0; co < oc; co++ {
+							acc[co] += in.F[inBase+co/mult] * w.F[wBase+co]
+						}
+					}
+				}
+				outBase := ((b*oh+oy)*ow + ox) * oc
+				for co := 0; co < oc; co++ {
+					out.F[outBase+co] = applyActF32(a.Activation, acc[co])
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// denseFloatOpt runs the fully-connected layer through the blocked GEMM.
+func denseFloatOpt(c *Ctx) error {
+	in, err := c.In(0)
+	if err != nil {
+		return err
+	}
+	w, err := c.In(1)
+	if err != nil {
+		return err
+	}
+	bias := c.OptionalIn(2)
+	out := c.Outputs[0]
+	a := c.Node.Attrs
+	n := in.Shape[0]
+	inC := in.Len() / n
+	outC := w.Shape[0]
+	out.Zero()
+	gemmNT(in.F, w.F, out.F, n, outC, inC)
+	for b := 0; b < n; b++ {
+		for co := 0; co < outC; co++ {
+			v := out.F[b*outC+co]
+			if bias != nil {
+				v += bias.F[co]
+			}
+			out.F[b*outC+co] = applyActF32(a.Activation, v)
+		}
+	}
+	return nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,254 @@
+// Package ops implements the operation kernels of the inference runtime,
+// organized exactly like TensorFlow Lite's kernel registry (the paper's
+// register.h vs register_ref.h): a *reference* resolver with straightforward
+// loop kernels, and an *optimized* resolver with im2col/GEMM kernels that is
+// orders of magnitude faster on the device model but — faithfully to the
+// paper's §4.4 findings — ships with a broken quantized depthwise
+// convolution. A second historical defect, a sign misinterpretation in the
+// quantized average pool, lives in the shared kernel both resolvers use,
+// which is why MobileNet-v3-style models fail even under the reference
+// resolver. Both defects are controlled by Config so the "after the fix"
+// behaviour is testable.
+package ops
+
+import (
+	"fmt"
+
+	"mlexray/internal/graph"
+	"mlexray/internal/quant"
+	"mlexray/internal/tensor"
+)
+
+// Ctx is the execution context handed to a kernel: resolved input/output
+// tensors (constants already materialized) and their quantization params
+// (nil entries for float tensors).
+type Ctx struct {
+	Node    *graph.Node
+	Inputs  []*tensor.Tensor
+	Outputs []*tensor.Tensor
+	InQ     []*quant.Params
+	OutQ    []*quant.Params
+}
+
+// In returns input i, erroring rather than panicking so kernels can report
+// malformed graphs cleanly.
+func (c *Ctx) In(i int) (*tensor.Tensor, error) {
+	if i >= len(c.Inputs) {
+		return nil, fmt.Errorf("ops: %s needs input %d, has %d", c.Node.Op, i, len(c.Inputs))
+	}
+	return c.Inputs[i], nil
+}
+
+// OptionalIn returns input i or nil when absent (e.g. bias-less conv).
+func (c *Ctx) OptionalIn(i int) *tensor.Tensor {
+	if i >= len(c.Inputs) {
+		return nil
+	}
+	return c.Inputs[i]
+}
+
+// Kernel executes one node.
+type Kernel func(*Ctx) error
+
+// ComputeKind classifies how a node computes, selecting between the float,
+// full-integer and hybrid (int8 weights, float activations) kernel
+// registrations.
+type ComputeKind int
+
+const (
+	KindFloat ComputeKind = iota
+	KindQuant
+	KindHybrid
+)
+
+func (k ComputeKind) String() string {
+	switch k {
+	case KindFloat:
+		return "float"
+	case KindQuant:
+		return "quant"
+	case KindHybrid:
+		return "hybrid"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// KindOf derives the compute kind of a node from its tensor table entries.
+func KindOf(n *graph.Node, tensors []graph.TensorInfo) ComputeKind {
+	switch n.Op {
+	case graph.OpQuantize, graph.OpDequantize:
+		return KindQuant
+	}
+	hybrid := false
+	for _, id := range n.Inputs {
+		ti := tensors[id]
+		if ti.DType == tensor.U8 {
+			return KindQuant
+		}
+		if ti.Const && ti.DType == tensor.I8 {
+			hybrid = true
+		}
+	}
+	for _, id := range n.Outputs {
+		if tensors[id].DType == tensor.U8 {
+			return KindQuant
+		}
+	}
+	if hybrid {
+		return KindHybrid
+	}
+	return KindFloat
+}
+
+// Config toggles the historically buggy kernels. The zero value is the
+// fully fixed runtime; Historical() reproduces the TFLite build the paper
+// debugged.
+type Config struct {
+	// DepthwiseOverflowBug: the optimized quantized DepthwiseConv2D
+	// accumulates in int16 and silently wraps — the §4.4 defect that zeroes
+	// MobileNet-v2 accuracy under the optimized resolver and shows up as an
+	// rMSE spike at the first depthwise layer (Figure 6, left).
+	DepthwiseOverflowBug bool
+	// AvgPoolSignBug: the quantized AveragePool2D kernel misreads uint8
+	// activations as int8. Both resolvers share this kernel, which is why
+	// MobileNet-v3 (average pooling inside every squeeze-excite block) gets
+	// 0% accuracy even with the reference resolver (Figure 6, right).
+	AvgPoolSignBug bool
+}
+
+// Historical returns the defect configuration of the runtime version the
+// paper's users deployed.
+func Historical() Config { return Config{DepthwiseOverflowBug: true, AvgPoolSignBug: true} }
+
+// Fixed returns the configuration with all known kernel defects repaired.
+func Fixed() Config { return Config{} }
+
+type kernelKey struct {
+	op   graph.OpType
+	kind ComputeKind
+}
+
+// Resolver maps (op, compute kind) to a kernel, mirroring TFLite's
+// OpResolver interface.
+type Resolver struct {
+	name    string
+	kernels map[kernelKey]Kernel
+}
+
+// Name returns "optimized" or "reference".
+func (r *Resolver) Name() string { return r.name }
+
+// Lookup finds the kernel for an op/kind pair.
+func (r *Resolver) Lookup(op graph.OpType, kind ComputeKind) (Kernel, error) {
+	if k, ok := r.kernels[kernelKey{op, kind}]; ok {
+		return k, nil
+	}
+	return nil, fmt.Errorf("ops: resolver %q has no %v kernel for %v", r.name, kind, op)
+}
+
+func (r *Resolver) register(op graph.OpType, kind ComputeKind, k Kernel) {
+	r.kernels[kernelKey{op, kind}] = k
+}
+
+// NewReference builds the reference resolver: naive, easy-to-audit loops
+// for everything (TFLite's register_ref.h analogue).
+func NewReference(cfg Config) *Resolver {
+	r := &Resolver{name: "reference", kernels: make(map[kernelKey]Kernel)}
+	registerShared(r, cfg)
+	r.register(graph.OpConv2D, KindFloat, convFloatRef)
+	r.register(graph.OpDepthwiseConv2D, KindFloat, depthwiseFloatRef)
+	r.register(graph.OpDense, KindFloat, denseFloatRef)
+	r.register(graph.OpConv2D, KindQuant, convQuantRef)
+	r.register(graph.OpDepthwiseConv2D, KindQuant, depthwiseQuantRef)
+	r.register(graph.OpDense, KindQuant, denseQuantRef)
+	return r
+}
+
+// NewOptimized builds the optimized resolver: im2col/GEMM compute kernels
+// (TFLite's register.h analogue), plus — when cfg.DepthwiseOverflowBug is
+// set — the historically broken quantized depthwise convolution.
+func NewOptimized(cfg Config) *Resolver {
+	r := &Resolver{name: "optimized", kernels: make(map[kernelKey]Kernel)}
+	registerShared(r, cfg)
+	r.register(graph.OpConv2D, KindFloat, convFloatOpt)
+	r.register(graph.OpDepthwiseConv2D, KindFloat, depthwiseFloatOpt)
+	r.register(graph.OpDense, KindFloat, denseFloatOpt)
+	r.register(graph.OpConv2D, KindQuant, convQuantOpt)
+	if cfg.DepthwiseOverflowBug {
+		r.register(graph.OpDepthwiseConv2D, KindQuant, depthwiseQuantOptBuggy)
+	} else {
+		r.register(graph.OpDepthwiseConv2D, KindQuant, depthwiseQuantRef)
+	}
+	r.register(graph.OpDense, KindQuant, denseQuantRef)
+	return r
+}
+
+// registerShared installs the kernels that both resolvers use verbatim.
+func registerShared(r *Resolver, cfg Config) {
+	float := map[graph.OpType]Kernel{
+		graph.OpAvgPool2D:      avgPoolFloat,
+		graph.OpMaxPool2D:      maxPoolFloat,
+		graph.OpMean:           meanFloat,
+		graph.OpPad:            padFloat,
+		graph.OpAdd:            addFloat,
+		graph.OpMul:            mulFloat,
+		graph.OpConcat:         concatFloat,
+		graph.OpReLU:           reluFloat,
+		graph.OpReLU6:          relu6Float,
+		graph.OpHardSwish:      hardSwishFloat,
+		graph.OpHardSigmoid:    hardSigmoidFloat,
+		graph.OpSigmoid:        sigmoidFloat,
+		graph.OpSoftmax:        softmaxFloat,
+		graph.OpBatchNorm:      batchNormFloat,
+		graph.OpReshape:        reshapeAny,
+		graph.OpLayerNorm:      layerNormFloat,
+		graph.OpSelfAttention:  selfAttentionFloat,
+		graph.OpEmbedding:      embeddingFloat,
+		graph.OpResizeBilinear: resizeBilinearFloat,
+	}
+	for op, k := range float {
+		r.register(op, KindFloat, k)
+	}
+
+	avgPool := avgPoolQuantCorrect
+	if cfg.AvgPoolSignBug {
+		avgPool = avgPoolQuantBuggy
+	}
+	quantKernels := map[graph.OpType]Kernel{
+		graph.OpAvgPool2D:      avgPool,
+		graph.OpMaxPool2D:      maxPoolQuant,
+		graph.OpMean:           meanQuant,
+		graph.OpPad:            padQuant,
+		graph.OpAdd:            addQuant,
+		graph.OpMul:            mulQuant,
+		graph.OpConcat:         concatQuant,
+		graph.OpReLU:           reluQuant,
+		graph.OpReLU6:          relu6Quant,
+		graph.OpHardSwish:      lutKernel(hardSwishF64),
+		graph.OpHardSigmoid:    lutKernel(hardSigmoidF64),
+		graph.OpSigmoid:        lutKernel(sigmoidF64),
+		graph.OpSoftmax:        softmaxQuant,
+		graph.OpReshape:        reshapeAny,
+		graph.OpQuantize:       quantizeKernel,
+		graph.OpDequantize:     dequantizeKernel,
+		graph.OpResizeBilinear: resizeBilinearQuant,
+	}
+	for op, k := range quantKernels {
+		r.register(op, KindQuant, k)
+	}
+
+	hybrid := map[graph.OpType]Kernel{
+		graph.OpDense:         denseHybrid,
+		graph.OpEmbedding:     embeddingHybrid,
+		graph.OpSelfAttention: selfAttentionHybrid,
+		graph.OpLayerNorm:     layerNormFloat,
+		graph.OpReshape:       reshapeAny,
+		graph.OpMean:          meanFloat,
+		graph.OpSoftmax:       softmaxFloat,
+		graph.OpAdd:           addFloat,
+	}
+	for op, k := range hybrid {
+		r.register(op, KindHybrid, k)
+	}
+}

@@ -1,0 +1,225 @@
+package pipeline
+
+import (
+	"math/rand"
+	"testing"
+
+	"mlexray/internal/core"
+	"mlexray/internal/datasets"
+	"mlexray/internal/device"
+	"mlexray/internal/dsp"
+	"mlexray/internal/graph"
+	"mlexray/internal/imaging"
+	"mlexray/internal/models"
+	"mlexray/internal/ops"
+	"mlexray/internal/tensor"
+)
+
+func TestCorrectImagePreprocFromMeta(t *testing.T) {
+	meta := graph.Meta{Resize: "area", ChannelOrder: "BGR", NormLo: 0, NormHi: 1}
+	pp, err := CorrectImagePreproc(meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pp.Resize != imaging.ResizeArea || pp.Order != imaging.BGR || pp.Norm.Hi != 1 {
+		t.Errorf("preproc = %+v", pp)
+	}
+	if _, err := CorrectImagePreproc(graph.Meta{Resize: "wat"}); err == nil {
+		t.Error("accepted unknown resize kind")
+	}
+}
+
+func TestWithBugMutations(t *testing.T) {
+	base := ImagePreproc{Resize: imaging.ResizeArea, Order: imaging.RGB, Norm: imaging.NormSymmetric}
+	if b := base.WithBug(BugResize); b.Resize != imaging.ResizeBilinear {
+		t.Error("resize bug")
+	}
+	if b := base.WithBug(BugChannel); b.Order != imaging.BGR {
+		t.Error("channel bug")
+	}
+	if b := base.WithBug(BugNormalization); b.Norm != imaging.NormUnit {
+		t.Error("normalization bug")
+	}
+	if b := base.WithBug(BugRotation); b.Rotation != imaging.Rotate90 {
+		t.Error("rotation bug")
+	}
+	if b := base.WithBug(BugNone); b != base {
+		t.Error("BugNone changed preprocessing")
+	}
+	// Bugs invert relative to the model's own convention.
+	bgr := ImagePreproc{Resize: imaging.ResizeBilinear, Order: imaging.BGR, Norm: imaging.NormUnit}
+	if b := bgr.WithBug(BugChannel); b.Order != imaging.RGB {
+		t.Error("channel bug on BGR model")
+	}
+	if b := bgr.WithBug(BugResize); b.Resize != imaging.ResizeArea {
+		t.Error("resize bug on bilinear model")
+	}
+	if b := bgr.WithBug(BugNormalization); b.Norm != imaging.NormSymmetric {
+		t.Error("normalization bug on [0,1] model")
+	}
+}
+
+func TestPreprocessImageShapes(t *testing.T) {
+	meta := graph.Meta{InputH: 28, InputW: 28, InputC: 3, Resize: "area", ChannelOrder: "RGB", NormLo: -1, NormHi: 1}
+	pp, _ := CorrectImagePreproc(meta)
+	im := imaging.NewImage(64, 64, 3)
+	out := PreprocessImage(im, meta, pp)
+	if !tensor.SameShape(out.Shape, []int{1, 28, 28, 3}) {
+		t.Errorf("shape = %v", out.Shape)
+	}
+	// Rotated capture of a square image keeps the model shape.
+	out = PreprocessImage(im, meta, pp.WithBug(BugRotation))
+	if !tensor.SameShape(out.Shape, []int{1, 28, 28, 3}) {
+		t.Errorf("rotated shape = %v", out.Shape)
+	}
+}
+
+func TestSpeechPreprocFromMeta(t *testing.T) {
+	pp, err := CorrectSpeechPreproc(graph.Meta{SpecNorm: "per-utterance"})
+	if err != nil || pp.Config.Norm != dsp.SpecNormPerUtterance {
+		t.Errorf("preproc = %+v, %v", pp, err)
+	}
+	if _, err := CorrectSpeechPreproc(graph.Meta{SpecNorm: "wat"}); err == nil {
+		t.Error("accepted unknown convention")
+	}
+	bugged := pp.WithBug(BugSpecNorm)
+	if bugged.Config.Norm != dsp.SpecNormLogGlobal {
+		t.Error("spec norm bug should flip the convention")
+	}
+}
+
+// tinyClassifier builds an untrained classifier for pipeline plumbing tests.
+func tinyClassifier() *graph.Model {
+	return models.MobileNetV1Mini(99)
+}
+
+func TestClassifierPipelineInstrumented(t *testing.T) {
+	m := tinyClassifier()
+	mon := core.NewMonitor(core.WithCaptureMode(core.CaptureFull))
+	sensor := &device.OrientationSensor{Degrees: 90}
+	cl, err := NewClassifier(m, Options{
+		Resolver: ops.NewOptimized(ops.Fixed()), Monitor: mon,
+		Bug: BugRotation, Orientation: sensor, Device: device.Pixel4(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	im := imaging.NewImage(64, 64, 3)
+	for i := range im.Pix {
+		im.Pix[i] = uint8(rng.Intn(256))
+	}
+	pred, scores, err := cl.Classify(im)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred < 0 || pred >= 10 || scores.Len() != 10 {
+		t.Errorf("pred=%d scores=%v", pred, scores.Shape)
+	}
+	l := mon.Log()
+	if len(l.MetricValues(core.KeySensorOrientation)) != 1 {
+		t.Error("orientation sensor not logged")
+	}
+	if len(l.MetricValues(core.KeyInferenceLatency)) != 1 {
+		t.Error("latency not logged")
+	}
+	if len(l.MetricValues(core.KeyInferenceModeled)) != 1 {
+		t.Error("modeled latency not logged")
+	}
+	if _, err := l.FirstTensor(1, core.KeyPreprocessOutput); err != nil {
+		t.Errorf("preprocess output not captured: %v", err)
+	}
+	if _, err := l.FirstTensor(1, core.KeyModelOutput); err != nil {
+		t.Errorf("model output not captured: %v", err)
+	}
+}
+
+func TestPipelineTaskValidation(t *testing.T) {
+	m := tinyClassifier()
+	if _, err := NewDetector(m, Options{}); err == nil {
+		t.Error("detector accepted classification model")
+	}
+	if _, err := NewSegmenter(m, Options{}); err == nil {
+		t.Error("segmenter accepted classification model")
+	}
+	if _, err := NewSpeechRecognizer(m, Options{}); err == nil {
+		t.Error("speech accepted classification model")
+	}
+	if _, err := NewTextClassifier(m, datasets.TokenizeText, Options{}); err == nil {
+		t.Error("text accepted classification model")
+	}
+}
+
+func TestDetectorPipeline(t *testing.T) {
+	m := models.SSDMini(99)
+	det, err := NewDetector(m, Options{Resolver: ops.NewOptimized(ops.Fixed())})
+	if err != nil {
+		t.Fatal(err)
+	}
+	im := imaging.NewImage(48, 48, 3)
+	scores, boxes, err := det.Detect(im)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.SameShape(scores.Shape, []int{1, 36, 4}) || !tensor.SameShape(boxes.Shape, []int{1, 36, 4}) {
+		t.Errorf("shapes %v %v", scores.Shape, boxes.Shape)
+	}
+}
+
+func TestSegmenterPipeline(t *testing.T) {
+	m := models.DeepLabMini(99)
+	sg, err := NewSegmenter(m, Options{Resolver: ops.NewOptimized(ops.Fixed())})
+	if err != nil {
+		t.Fatal(err)
+	}
+	im := imaging.NewImage(32, 32, 3)
+	labels, err := sg.Segment(im)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(labels) != 16*16 {
+		t.Errorf("label map size %d", len(labels))
+	}
+}
+
+func TestSpeechPipeline(t *testing.T) {
+	m := models.KWSMini(99, "t", "log-global")
+	sr, err := NewSpeechRecognizer(m, Options{Resolver: ops.NewOptimized(ops.Fixed())})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wave := dsp.SynthTone(1024, []float64{0.1}, []float64{1}, 0)
+	pred, _, err := sr.Recognize(wave)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred < 0 || pred >= 8 {
+		t.Errorf("pred = %d", pred)
+	}
+}
+
+func TestTextPipelineLowercaseBug(t *testing.T) {
+	m := models.NNLMMini(99, datasets.TextSeqLen, datasets.TextVocabSize)
+	var captured []string
+	tok := func(s string) []int32 {
+		captured = append(captured, s)
+		return datasets.TokenizeText(s)
+	}
+	tc, err := NewTextClassifier(m, tok, Options{Resolver: ops.NewOptimized(ops.Fixed()), Bug: BugLowercase})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := tc.ClassifyText("Good Movie"); err != nil {
+		t.Fatal(err)
+	}
+	if len(captured) != 1 || captured[0] != "good movie" {
+		t.Errorf("tokenizer saw %q, want lowercased input", captured)
+	}
+}
+
+func TestDefaultResolverIsHistoricalOptimized(t *testing.T) {
+	var o Options
+	if o.resolver().Name() != "optimized" {
+		t.Error("default resolver should be the optimized production build")
+	}
+}

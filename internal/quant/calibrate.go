@@ -1,0 +1,200 @@
+package quant
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"mlexray/internal/tensor"
+)
+
+// Observer accumulates the value range of a tensor across a calibration
+// dataset. The paper (§2, "Scale calibration") notes two failure modes that
+// this type makes reproducible: a single outlier in the representative
+// dataset inflates the range so normal data loses integer resolution, and a
+// too-small dataset yields a clipped range. ClipPercentile trades the two
+// off: 0 keeps the strict min/max, 0.001 drops the most extreme 0.1% of
+// observed values before computing the range.
+type Observer struct {
+	ClipPercentile float64
+
+	min, max float64
+	seen     bool
+	// Reservoir of observed values for percentile clipping. Sampling every
+	// k-th element keeps memory bounded on large calibration runs.
+	samples   []float64
+	sampleGap int
+	counter   int
+}
+
+// NewObserver creates an observer with the given clip percentile.
+func NewObserver(clipPercentile float64) *Observer {
+	return &Observer{ClipPercentile: clipPercentile, min: math.Inf(1), max: math.Inf(-1), sampleGap: 1}
+}
+
+// Observe folds one tensor's values into the running range.
+func (o *Observer) Observe(t *tensor.Tensor) {
+	if t.DType != tensor.F32 {
+		panic("quant: calibration observes float tensors")
+	}
+	for _, v := range t.F {
+		f := float64(v)
+		if f < o.min {
+			o.min = f
+		}
+		if f > o.max {
+			o.max = f
+		}
+		if o.ClipPercentile > 0 {
+			if o.counter%o.sampleGap == 0 {
+				o.samples = append(o.samples, f)
+				if len(o.samples) > 1<<16 {
+					// Halve the reservoir, double the gap.
+					kept := o.samples[:0]
+					for i := 0; i < len(o.samples); i += 2 {
+						kept = append(kept, o.samples[i])
+					}
+					o.samples = kept
+					o.sampleGap *= 2
+				}
+			}
+			o.counter++
+		}
+	}
+	o.seen = true
+}
+
+// Range returns the calibrated [min, max], applying percentile clipping if
+// configured.
+func (o *Observer) Range() (min, max float64, err error) {
+	if !o.seen {
+		return 0, 0, fmt.Errorf("quant: observer saw no data")
+	}
+	if o.ClipPercentile <= 0 || len(o.samples) < 16 {
+		return o.min, o.max, nil
+	}
+	s := append([]float64(nil), o.samples...)
+	sort.Float64s(s)
+	k := int(o.ClipPercentile * float64(len(s)))
+	// With too few samples the percentile covers no whole sample; clipping
+	// would then discard genuine extremes (e.g. a 28-value logits tensor),
+	// so fall back to the strict range.
+	if k < 1 || 2*k >= len(s) {
+		return o.min, o.max, nil
+	}
+	return s[k], s[len(s)-1-k], nil
+}
+
+// Params computes asymmetric uint8 activation params from the calibrated
+// range.
+func (o *Observer) Params() (*Params, error) {
+	mn, mx, err := o.Range()
+	if err != nil {
+		return nil, err
+	}
+	return AsymmetricU8Params(mn, mx), nil
+}
+
+// QuantizeWeightsPerChannel quantizes a float weight tensor to int8 with one
+// symmetric scale per output channel. outAxis is the output-channel
+// dimension of the weight layout (0 for [outC, kh, kw, inC] conv weights,
+// 3 for depthwise [1, kh, kw, outC], 0 for dense [outC, inC]).
+func QuantizeWeightsPerChannel(w *tensor.Tensor, outAxis int) (*tensor.Tensor, *Params, error) {
+	if w.DType != tensor.F32 {
+		return nil, nil, fmt.Errorf("quant: weights must be f32, got %v", w.DType)
+	}
+	if outAxis < 0 || outAxis >= len(w.Shape) {
+		return nil, nil, fmt.Errorf("quant: axis %d out of range for %v", outAxis, w.Shape)
+	}
+	outC := w.Shape[outAxis]
+	// Stride arithmetic for walking one channel of the axis.
+	inner := 1
+	for i := outAxis + 1; i < len(w.Shape); i++ {
+		inner *= w.Shape[i]
+	}
+	outer := w.Len() / (outC * inner)
+
+	scales := make([]float64, outC)
+	zeroPoints := make([]int32, outC)
+	for c := 0; c < outC; c++ {
+		var maxAbs float64
+		for o := 0; o < outer; o++ {
+			base := (o*outC + c) * inner
+			for i := 0; i < inner; i++ {
+				a := math.Abs(float64(w.F[base+i]))
+				if a > maxAbs {
+					maxAbs = a
+				}
+			}
+		}
+		scales[c] = SymmetricI8WeightParams(maxAbs)
+	}
+	p := PerChannel(scales, zeroPoints, outAxis)
+	q := tensor.New(tensor.I8, w.Shape...)
+	for c := 0; c < outC; c++ {
+		for o := 0; o < outer; o++ {
+			base := (o*outC + c) * inner
+			for i := 0; i < inner; i++ {
+				q.I[base+i] = p.QuantizeI8(float64(w.F[base+i]), c)
+			}
+		}
+	}
+	return q, p, nil
+}
+
+// QuantizeWeightsPerTensor quantizes a float weight tensor to int8 with a
+// single symmetric scale. When channels have very different magnitudes this
+// squashes the small ones to zero — the §2 per-tensor pitfall the ablation
+// benchmark demonstrates.
+func QuantizeWeightsPerTensor(w *tensor.Tensor) (*tensor.Tensor, *Params, error) {
+	if w.DType != tensor.F32 {
+		return nil, nil, fmt.Errorf("quant: weights must be f32, got %v", w.DType)
+	}
+	var maxAbs float64
+	for _, v := range w.F {
+		a := math.Abs(float64(v))
+		if a > maxAbs {
+			maxAbs = a
+		}
+	}
+	p := PerTensor(SymmetricI8WeightParams(maxAbs), 0)
+	q := tensor.New(tensor.I8, w.Shape...)
+	for i, v := range w.F {
+		q.I[i] = p.QuantizeI8(float64(v), 0)
+	}
+	return q, p, nil
+}
+
+// QuantizeTensorU8 quantizes a float tensor to uint8 under per-tensor
+// params.
+func QuantizeTensorU8(t *tensor.Tensor, p *Params) *tensor.Tensor {
+	q := tensor.New(tensor.U8, t.Shape...)
+	for i, v := range t.F {
+		q.U[i] = p.QuantizeU8(float64(v), 0)
+	}
+	return q
+}
+
+// DequantizeTensorU8 reconstructs floats from a uint8 tensor.
+func DequantizeTensorU8(t *tensor.Tensor, p *Params) *tensor.Tensor {
+	f := tensor.New(tensor.F32, t.Shape...)
+	for i, v := range t.U {
+		f.F[i] = float32(p.DequantizeU8(v, 0))
+	}
+	return f
+}
+
+// QuantizeBias quantizes a float bias vector to int32 with scale
+// inScale*weightScale(c) and zero point 0, the convention quantized conv and
+// dense kernels require so the bias adds directly onto the accumulator.
+func QuantizeBias(b *tensor.Tensor, inScale float64, wp *Params) *tensor.Tensor {
+	q := tensor.New(tensor.I32, b.Shape...)
+	for i, v := range b.F {
+		s := inScale * wp.Scale(0)
+		if wp.IsPerChannel() {
+			s = inScale * wp.Scale(i)
+		}
+		q.X[i] = int32(math.Round(float64(v) / s))
+	}
+	return q
+}

@@ -1,0 +1,152 @@
+// Package quant implements post-training quantization: asymmetric per-tensor
+// uint8 activation quantization (the paper's Eqn 1–2), symmetric per-channel
+// int8 weight quantization, range calibration with outlier handling, and the
+// TFLite-style fixed-point requantization pipeline (int32 multiplier +
+// right shift) that quantized kernels use to map accumulators back to uint8.
+//
+// The §2 "Model Optimization and Quantization" pitfalls are all expressible
+// through this package's options: an outlier-inflated calibration scale,
+// symmetric vs asymmetric activation ranges, and per-tensor vs per-channel
+// weight scales that squash low-magnitude channels.
+package quant
+
+import (
+	"fmt"
+	"math"
+)
+
+// Params describes an affine quantization: real = scale * (q - zeroPoint).
+// For per-channel quantization, Scales/ZeroPoints hold one entry per channel
+// of the quantized axis (always the output-channel axis in this repository);
+// for per-tensor quantization they hold exactly one entry.
+type Params struct {
+	Scales     []float64 `json:"scales"`
+	ZeroPoints []int32   `json:"zero_points"`
+	// Axis is the quantized dimension for per-channel params; -1 for
+	// per-tensor.
+	Axis int `json:"axis"`
+}
+
+// PerTensor constructs per-tensor params.
+func PerTensor(scale float64, zeroPoint int32) *Params {
+	return &Params{Scales: []float64{scale}, ZeroPoints: []int32{zeroPoint}, Axis: -1}
+}
+
+// PerChannel constructs per-channel params along the given axis.
+func PerChannel(scales []float64, zeroPoints []int32, axis int) *Params {
+	return &Params{Scales: scales, ZeroPoints: zeroPoints, Axis: axis}
+}
+
+// IsPerChannel reports whether the params carry more than one scale.
+func (p *Params) IsPerChannel() bool { return p != nil && len(p.Scales) > 1 }
+
+// Scale returns the scale for channel c (or the single per-tensor scale).
+func (p *Params) Scale(c int) float64 {
+	if len(p.Scales) == 1 {
+		return p.Scales[0]
+	}
+	return p.Scales[c]
+}
+
+// ZeroPoint returns the zero point for channel c.
+func (p *Params) ZeroPoint(c int) int32 {
+	if len(p.ZeroPoints) == 1 {
+		return p.ZeroPoints[0]
+	}
+	return p.ZeroPoints[c]
+}
+
+// Validate checks internal consistency.
+func (p *Params) Validate() error {
+	if len(p.Scales) == 0 || len(p.Scales) != len(p.ZeroPoints) {
+		return fmt.Errorf("quant: %d scales vs %d zero points", len(p.Scales), len(p.ZeroPoints))
+	}
+	for i, s := range p.Scales {
+		if s <= 0 || math.IsNaN(s) || math.IsInf(s, 0) {
+			return fmt.Errorf("quant: bad scale[%d]=%v", i, s)
+		}
+	}
+	return nil
+}
+
+// AsymmetricU8Params computes per-tensor asymmetric uint8 parameters from an
+// observed [min, max] range — the paper's Eqn 1: scale = (max-min)/255,
+// zeroPoint chosen so that real 0 maps exactly onto an integer (required so
+// zero padding introduces no error). The range is first widened to include
+// zero, as TFLite does.
+func AsymmetricU8Params(min, max float64) *Params {
+	if min > 0 {
+		min = 0
+	}
+	if max < 0 {
+		max = 0
+	}
+	if max-min < 1e-9 {
+		// Degenerate constant tensor: pick a harmless scale.
+		return PerTensor(1.0/255.0, 0)
+	}
+	scale := (max - min) / 255.0
+	zp := int32(math.Round(-min / scale))
+	if zp < 0 {
+		zp = 0
+	}
+	if zp > 255 {
+		zp = 255
+	}
+	return PerTensor(scale, zp)
+}
+
+// SymmetricU8Params computes per-tensor *symmetric* uint8 parameters: the
+// range is forced to [-a, a] with zero point pinned to 128. Symmetric
+// quantization wastes part of the integer range when data is skewed (§2) —
+// the ablation benchmark quantifies that cost.
+func SymmetricU8Params(min, max float64) *Params {
+	a := math.Max(math.Abs(min), math.Abs(max))
+	if a < 1e-9 {
+		return PerTensor(1.0/255.0, 128)
+	}
+	return PerTensor(2*a/255.0, 128)
+}
+
+// SymmetricI8WeightParams computes symmetric int8 weight parameters for one
+// output channel: scale = maxAbs/127, zero point 0.
+func SymmetricI8WeightParams(maxAbs float64) (scale float64) {
+	if maxAbs < 1e-12 {
+		return 1.0 / 127.0
+	}
+	return maxAbs / 127.0
+}
+
+// QuantizeU8 maps a real value to uint8 under params channel c (Eqn 1).
+func (p *Params) QuantizeU8(v float64, c int) uint8 {
+	q := math.Round(float64(p.ZeroPoint(c)) + v/p.Scale(c))
+	if q < 0 {
+		q = 0
+	}
+	if q > 255 {
+		q = 255
+	}
+	return uint8(q)
+}
+
+// DequantizeU8 reconstructs a real value from uint8 (Eqn 2).
+func (p *Params) DequantizeU8(q uint8, c int) float64 {
+	return p.Scale(c) * float64(int32(q)-p.ZeroPoint(c))
+}
+
+// QuantizeI8 maps a real value to int8 under params channel c.
+func (p *Params) QuantizeI8(v float64, c int) int8 {
+	q := math.Round(float64(p.ZeroPoint(c)) + v/p.Scale(c))
+	if q < -128 {
+		q = -128
+	}
+	if q > 127 {
+		q = 127
+	}
+	return int8(q)
+}
+
+// DequantizeI8 reconstructs a real value from int8.
+func (p *Params) DequantizeI8(q int8, c int) float64 {
+	return p.Scale(c) * float64(int32(q)-p.ZeroPoint(c))
+}

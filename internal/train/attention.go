@@ -1,0 +1,174 @@
+package train
+
+import (
+	"math"
+
+	"mlexray/internal/graph"
+	"mlexray/internal/tensor"
+)
+
+// backSelfAttention is the full multi-head self-attention backward pass.
+// Rather than caching the Q/K/V projections and attention probabilities from
+// the forward pass, it recomputes them from the cached layer input — at the
+// mini-model scale this trades a little compute for much less memory.
+func (tr *Trainer) backSelfAttention(n *graph.Node, dOut *tensor.Tensor) error {
+	x := tr.acts[n.Inputs[0]]
+	dX := tr.grad(n.Inputs[0])
+	weights := make([][]float32, 4) // q, k, v, o
+	biases := make([][]float32, 4)
+	dWeights := make([][]float32, 4)
+	dBiases := make([][]float32, 4)
+	for i := 0; i < 4; i++ {
+		weights[i] = tr.acts[n.Inputs[1+2*i]].F
+		biases[i] = tr.acts[n.Inputs[2+2*i]].F
+		dWeights[i] = tr.grad(n.Inputs[1+2*i]).F
+		dBiases[i] = tr.grad(n.Inputs[2+2*i]).F
+	}
+	nb, t, d := x.Shape[0], x.Shape[1], x.Shape[2]
+	h := n.Attrs.NumHeads
+	dh := d / h
+	scale := 1 / math.Sqrt(float64(dh))
+
+	q := make([]float64, t*d)
+	k := make([]float64, t*d)
+	v := make([]float64, t*d)
+	attnA := make([]float64, t*d) // pre-Wo attention output
+	probs := make([]float64, h*t*t)
+	dQ := make([]float64, t*d)
+	dK := make([]float64, t*d)
+	dV := make([]float64, t*d)
+	dA := make([]float64, t*d)
+	dP := make([]float64, t)
+	scores := make([]float64, t)
+
+	project := func(dst []float64, xb []float32, w []float32, b []float32) {
+		for ti := 0; ti < t; ti++ {
+			for o := 0; o < d; o++ {
+				acc := float64(b[o])
+				for i := 0; i < d; i++ {
+					acc += float64(xb[ti*d+i]) * float64(w[o*d+i])
+				}
+				dst[ti*d+o] = acc
+			}
+		}
+	}
+
+	for b := 0; b < nb; b++ {
+		xb := x.F[b*t*d : (b+1)*t*d]
+		dOutB := dOut.F[b*t*d : (b+1)*t*d]
+
+		// ---- recompute forward ----
+		project(q, xb, weights[0], biases[0])
+		project(k, xb, weights[1], biases[1])
+		project(v, xb, weights[2], biases[2])
+		for head := 0; head < h; head++ {
+			off := head * dh
+			for ti := 0; ti < t; ti++ {
+				mx := math.Inf(-1)
+				for tj := 0; tj < t; tj++ {
+					var s float64
+					for e := 0; e < dh; e++ {
+						s += q[ti*d+off+e] * k[tj*d+off+e]
+					}
+					s *= scale
+					scores[tj] = s
+					if s > mx {
+						mx = s
+					}
+				}
+				var sum float64
+				for tj := 0; tj < t; tj++ {
+					scores[tj] = math.Exp(scores[tj] - mx)
+					sum += scores[tj]
+				}
+				for tj := 0; tj < t; tj++ {
+					probs[(head*t+ti)*t+tj] = scores[tj] / sum
+				}
+				for e := 0; e < dh; e++ {
+					var acc float64
+					for tj := 0; tj < t; tj++ {
+						acc += probs[(head*t+ti)*t+tj] * v[tj*d+off+e]
+					}
+					attnA[ti*d+off+e] = acc
+				}
+			}
+		}
+
+		// ---- backward through the output projection ----
+		for i := range dA {
+			dA[i] = 0
+		}
+		for ti := 0; ti < t; ti++ {
+			for o := 0; o < d; o++ {
+				g := float64(dOutB[ti*d+o])
+				if g == 0 {
+					continue
+				}
+				dBiases[3][o] += float32(g)
+				for i := 0; i < d; i++ {
+					dWeights[3][o*d+i] += float32(g * attnA[ti*d+i])
+					dA[ti*d+i] += g * float64(weights[3][o*d+i])
+				}
+			}
+		}
+
+		// ---- backward through attention per head ----
+		for i := range dQ {
+			dQ[i], dK[i], dV[i] = 0, 0, 0
+		}
+		for head := 0; head < h; head++ {
+			off := head * dh
+			for ti := 0; ti < t; ti++ {
+				// dP[tj] = sum_e dA[ti,e] * V[tj,e]; dV += P * dA.
+				var dotDP float64
+				for tj := 0; tj < t; tj++ {
+					var s float64
+					for e := 0; e < dh; e++ {
+						s += dA[ti*d+off+e] * v[tj*d+off+e]
+					}
+					dP[tj] = s
+				}
+				for tj := 0; tj < t; tj++ {
+					p := probs[(head*t+ti)*t+tj]
+					for e := 0; e < dh; e++ {
+						dV[tj*d+off+e] += p * dA[ti*d+off+e]
+					}
+					dotDP += dP[tj] * p
+				}
+				// Softmax backward: dS = P * (dP - sum(dP*P)).
+				for tj := 0; tj < t; tj++ {
+					p := probs[(head*t+ti)*t+tj]
+					dS := p * (dP[tj] - dotDP) * scale
+					for e := 0; e < dh; e++ {
+						dQ[ti*d+off+e] += dS * k[tj*d+off+e]
+						dK[tj*d+off+e] += dS * q[ti*d+off+e]
+					}
+				}
+			}
+		}
+
+		// ---- backward through the Q/K/V projections ----
+		backProject := func(dProj []float64, wIdx int) {
+			w := weights[wIdx]
+			dw := dWeights[wIdx]
+			db := dBiases[wIdx]
+			for ti := 0; ti < t; ti++ {
+				for o := 0; o < d; o++ {
+					g := dProj[ti*d+o]
+					if g == 0 {
+						continue
+					}
+					db[o] += float32(g)
+					for i := 0; i < d; i++ {
+						dw[o*d+i] += float32(g * float64(xb[ti*d+i]))
+						dX.F[b*t*d+ti*d+i] += float32(g * float64(w[o*d+i]))
+					}
+				}
+			}
+		}
+		backProject(dQ, 0)
+		backProject(dK, 1)
+		backProject(dV, 2)
+	}
+	return nil
+}

@@ -1,0 +1,577 @@
+package train
+
+import (
+	"fmt"
+
+	"mlexray/internal/graph"
+	"mlexray/internal/tensor"
+)
+
+// backwardNode dispatches the backward pass for one node. Gradients are
+// accumulated (+=) into input-tensor gradient buffers, so shared tensors
+// (residual branches) sum naturally.
+func (tr *Trainer) backwardNode(ni int, n *graph.Node) error {
+	dOut := tr.grads[n.Outputs[0]]
+	if dOut == nil {
+		return nil // non-float output; nothing flows
+	}
+	switch n.Op {
+	case graph.OpConv2D:
+		return tr.backConv(n, dOut)
+	case graph.OpDepthwiseConv2D:
+		return tr.backDepthwise(n, dOut)
+	case graph.OpDense:
+		return tr.backDense(n, dOut)
+	case graph.OpAvgPool2D:
+		return tr.backAvgPool(n, dOut)
+	case graph.OpMaxPool2D:
+		return tr.backMaxPool(n, dOut)
+	case graph.OpMean:
+		return tr.backMean(n, dOut)
+	case graph.OpPad:
+		return tr.backPad(n, dOut)
+	case graph.OpAdd:
+		return tr.backAdd(n, dOut)
+	case graph.OpMul:
+		return tr.backMul(n, dOut)
+	case graph.OpConcat:
+		return tr.backConcat(n, dOut)
+	case graph.OpReLU:
+		return tr.backUnaryFromOutput(n, dOut, func(out float32) float32 {
+			if out > 0 {
+				return 1
+			}
+			return 0
+		})
+	case graph.OpReLU6:
+		return tr.backUnaryFromOutput(n, dOut, func(out float32) float32 {
+			if out > 0 && out < 6 {
+				return 1
+			}
+			return 0
+		})
+	case graph.OpSigmoid:
+		return tr.backUnaryFromOutput(n, dOut, func(out float32) float32 {
+			return out * (1 - out)
+		})
+	case graph.OpHardSigmoid:
+		return tr.backUnaryFromInput(n, dOut, func(x float32) float32 {
+			if x <= -3 || x >= 3 {
+				return 0
+			}
+			return 1.0 / 6.0
+		})
+	case graph.OpHardSwish:
+		return tr.backUnaryFromInput(n, dOut, func(x float32) float32 {
+			if x <= -3 {
+				return 0
+			}
+			if x >= 3 {
+				return 1
+			}
+			return (2*x + 3) / 6
+		})
+	case graph.OpSoftmax:
+		return tr.backSoftmax(n, dOut)
+	case graph.OpBatchNorm:
+		return tr.backBatchNorm(ni, n, dOut)
+	case graph.OpLayerNorm:
+		return tr.backLayerNorm(n, dOut)
+	case graph.OpReshape:
+		din := tr.grad(n.Inputs[0])
+		for i := range dOut.F {
+			din.F[i] += dOut.F[i]
+		}
+		return nil
+	case graph.OpEmbedding:
+		return tr.backEmbedding(n, dOut)
+	case graph.OpSelfAttention:
+		return tr.backSelfAttention(n, dOut)
+	case graph.OpResizeBilinear, graph.OpQuantize, graph.OpDequantize:
+		return fmt.Errorf("train: %v has no backward pass (deployment-only op)", n.Op)
+	}
+	return fmt.Errorf("train: no backward for %v", n.Op)
+}
+
+func (tr *Trainer) backConv(n *graph.Node, dOut *tensor.Tensor) error {
+	in := tr.acts[n.Inputs[0]]
+	w := tr.acts[n.Inputs[1]]
+	dIn := tr.grad(n.Inputs[0])
+	dW := tr.grad(n.Inputs[1])
+	var dB *tensor.Tensor
+	if len(n.Inputs) >= 3 {
+		dB = tr.grad(n.Inputs[2])
+	}
+	a := n.Attrs
+	nb, ih, iw, ic := in.Shape[0], in.Shape[1], in.Shape[2], in.Shape[3]
+	oc, kh, kw := w.Shape[0], w.Shape[1], w.Shape[2]
+	oh, ow := dOut.Shape[1], dOut.Shape[2]
+	dh, dw2 := max1(a.DilationH), max1(a.DilationW)
+	for b := 0; b < nb; b++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				outBase := ((b*oh+oy)*ow + ox) * oc
+				for co := 0; co < oc; co++ {
+					g := dOut.F[outBase+co]
+					if g == 0 {
+						continue
+					}
+					if dB != nil {
+						dB.F[co] += g
+					}
+					for ky := 0; ky < kh; ky++ {
+						iy := oy*a.StrideH - a.PadT + ky*dh
+						if iy < 0 || iy >= ih {
+							continue
+						}
+						for kx := 0; kx < kw; kx++ {
+							ix := ox*a.StrideW - a.PadL + kx*dw2
+							if ix < 0 || ix >= iw {
+								continue
+							}
+							inBase := ((b*ih+iy)*iw + ix) * ic
+							wBase := ((co*kh+ky)*kw + kx) * ic
+							for ci := 0; ci < ic; ci++ {
+								dW.F[wBase+ci] += g * in.F[inBase+ci]
+								dIn.F[inBase+ci] += g * w.F[wBase+ci]
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func (tr *Trainer) backDepthwise(n *graph.Node, dOut *tensor.Tensor) error {
+	in := tr.acts[n.Inputs[0]]
+	w := tr.acts[n.Inputs[1]]
+	dIn := tr.grad(n.Inputs[0])
+	dW := tr.grad(n.Inputs[1])
+	var dB *tensor.Tensor
+	if len(n.Inputs) >= 3 {
+		dB = tr.grad(n.Inputs[2])
+	}
+	a := n.Attrs
+	mult := max1(a.DepthMultiplier)
+	nb, ih, iw, ic := in.Shape[0], in.Shape[1], in.Shape[2], in.Shape[3]
+	kh, kw, oc := w.Shape[1], w.Shape[2], w.Shape[3]
+	oh, ow := dOut.Shape[1], dOut.Shape[2]
+	dh, dw2 := max1(a.DilationH), max1(a.DilationW)
+	for b := 0; b < nb; b++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				outBase := ((b*oh+oy)*ow + ox) * oc
+				for co := 0; co < oc; co++ {
+					g := dOut.F[outBase+co]
+					if g == 0 {
+						continue
+					}
+					ci := co / mult
+					if dB != nil {
+						dB.F[co] += g
+					}
+					for ky := 0; ky < kh; ky++ {
+						iy := oy*a.StrideH - a.PadT + ky*dh
+						if iy < 0 || iy >= ih {
+							continue
+						}
+						for kx := 0; kx < kw; kx++ {
+							ix := ox*a.StrideW - a.PadL + kx*dw2
+							if ix < 0 || ix >= iw {
+								continue
+							}
+							inOff := ((b*ih+iy)*iw+ix)*ic + ci
+							wOff := (ky*kw+kx)*oc + co
+							dW.F[wOff] += g * in.F[inOff]
+							dIn.F[inOff] += g * w.F[wOff]
+						}
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func (tr *Trainer) backDense(n *graph.Node, dOut *tensor.Tensor) error {
+	in := tr.acts[n.Inputs[0]]
+	w := tr.acts[n.Inputs[1]]
+	dIn := tr.grad(n.Inputs[0])
+	dW := tr.grad(n.Inputs[1])
+	var dB *tensor.Tensor
+	if len(n.Inputs) >= 3 {
+		dB = tr.grad(n.Inputs[2])
+	}
+	nb := in.Shape[0]
+	inC := in.Len() / nb
+	outC := w.Shape[0]
+	for b := 0; b < nb; b++ {
+		inBase := b * inC
+		for co := 0; co < outC; co++ {
+			g := dOut.F[b*outC+co]
+			if g == 0 {
+				continue
+			}
+			if dB != nil {
+				dB.F[co] += g
+			}
+			wBase := co * inC
+			for k := 0; k < inC; k++ {
+				dW.F[wBase+k] += g * in.F[inBase+k]
+				dIn.F[inBase+k] += g * w.F[wBase+k]
+			}
+		}
+	}
+	return nil
+}
+
+func (tr *Trainer) backAvgPool(n *graph.Node, dOut *tensor.Tensor) error {
+	in := tr.acts[n.Inputs[0]]
+	dIn := tr.grad(n.Inputs[0])
+	a := n.Attrs
+	nb, ih, iw, ch := in.Shape[0], in.Shape[1], in.Shape[2], in.Shape[3]
+	oh, ow := dOut.Shape[1], dOut.Shape[2]
+	for b := 0; b < nb; b++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				// Count valid taps first (matches forward's divide-by-valid).
+				count := 0
+				for ky := 0; ky < a.KernelH; ky++ {
+					iy := oy*a.StrideH - a.PadT + ky
+					if iy < 0 || iy >= ih {
+						continue
+					}
+					for kx := 0; kx < a.KernelW; kx++ {
+						ix := ox*a.StrideW - a.PadL + kx
+						if ix >= 0 && ix < iw {
+							count++
+						}
+					}
+				}
+				if count == 0 {
+					continue
+				}
+				outBase := ((b*oh+oy)*ow + ox) * ch
+				for ky := 0; ky < a.KernelH; ky++ {
+					iy := oy*a.StrideH - a.PadT + ky
+					if iy < 0 || iy >= ih {
+						continue
+					}
+					for kx := 0; kx < a.KernelW; kx++ {
+						ix := ox*a.StrideW - a.PadL + kx
+						if ix < 0 || ix >= iw {
+							continue
+						}
+						inBase := ((b*ih+iy)*iw + ix) * ch
+						for cc := 0; cc < ch; cc++ {
+							dIn.F[inBase+cc] += dOut.F[outBase+cc] / float32(count)
+						}
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func (tr *Trainer) backMaxPool(n *graph.Node, dOut *tensor.Tensor) error {
+	in := tr.acts[n.Inputs[0]]
+	dIn := tr.grad(n.Inputs[0])
+	a := n.Attrs
+	nb, ih, iw, ch := in.Shape[0], in.Shape[1], in.Shape[2], in.Shape[3]
+	oh, ow := dOut.Shape[1], dOut.Shape[2]
+	for b := 0; b < nb; b++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				outBase := ((b*oh+oy)*ow + ox) * ch
+				for cc := 0; cc < ch; cc++ {
+					bestOff := -1
+					var bestV float32
+					for ky := 0; ky < a.KernelH; ky++ {
+						iy := oy*a.StrideH - a.PadT + ky
+						if iy < 0 || iy >= ih {
+							continue
+						}
+						for kx := 0; kx < a.KernelW; kx++ {
+							ix := ox*a.StrideW - a.PadL + kx
+							if ix < 0 || ix >= iw {
+								continue
+							}
+							off := ((b*ih+iy)*iw+ix)*ch + cc
+							if bestOff < 0 || in.F[off] > bestV {
+								bestOff = off
+								bestV = in.F[off]
+							}
+						}
+					}
+					if bestOff >= 0 {
+						dIn.F[bestOff] += dOut.F[outBase+cc]
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func (tr *Trainer) backMean(n *graph.Node, dOut *tensor.Tensor) error {
+	in := tr.acts[n.Inputs[0]]
+	dIn := tr.grad(n.Inputs[0])
+	nb, ih, iw, ch := in.Shape[0], in.Shape[1], in.Shape[2], in.Shape[3]
+	inv := 1 / float32(ih*iw)
+	for b := 0; b < nb; b++ {
+		for y := 0; y < ih; y++ {
+			for x := 0; x < iw; x++ {
+				base := ((b*ih+y)*iw + x) * ch
+				for cc := 0; cc < ch; cc++ {
+					dIn.F[base+cc] += dOut.F[b*ch+cc] * inv
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func (tr *Trainer) backPad(n *graph.Node, dOut *tensor.Tensor) error {
+	in := tr.acts[n.Inputs[0]]
+	dIn := tr.grad(n.Inputs[0])
+	rank := len(in.Shape)
+	idx := make([]int, rank)
+	outShape := tr.m.Tensors[n.Outputs[0]].Shape
+	total := in.Len()
+	for off := 0; off < total; off++ {
+		dst := 0
+		for d := 0; d < rank; d++ {
+			dst = dst*outShape[d] + idx[d] + n.Attrs.Paddings[d][0]
+		}
+		dIn.F[off] += dOut.F[dst]
+		for d := rank - 1; d >= 0; d-- {
+			idx[d]++
+			if idx[d] < in.Shape[d] {
+				break
+			}
+			idx[d] = 0
+		}
+	}
+	return nil
+}
+
+func (tr *Trainer) backAdd(n *graph.Node, dOut *tensor.Tensor) error {
+	dA := tr.grad(n.Inputs[0])
+	dB := tr.grad(n.Inputs[1])
+	a := tr.acts[n.Inputs[0]]
+	b := tr.acts[n.Inputs[1]]
+	if a.Len() == b.Len() {
+		for i := range dOut.F {
+			dA.F[i] += dOut.F[i]
+			dB.F[i] += dOut.F[i]
+		}
+		return nil
+	}
+	// Broadcast [N,H,W,C] + [N,C]: the small operand sums over spatial.
+	nb, h, w, ch := a.Shape[0], a.Shape[1], a.Shape[2], a.Shape[3]
+	for bi := 0; bi < nb; bi++ {
+		for i := 0; i < h*w; i++ {
+			base := (bi*h*w + i) * ch
+			for cc := 0; cc < ch; cc++ {
+				dA.F[base+cc] += dOut.F[base+cc]
+				dB.F[bi*ch+cc] += dOut.F[base+cc]
+			}
+		}
+	}
+	return nil
+}
+
+func (tr *Trainer) backMul(n *graph.Node, dOut *tensor.Tensor) error {
+	dA := tr.grad(n.Inputs[0])
+	dB := tr.grad(n.Inputs[1])
+	a := tr.acts[n.Inputs[0]]
+	b := tr.acts[n.Inputs[1]]
+	if a.Len() == b.Len() {
+		for i := range dOut.F {
+			dA.F[i] += dOut.F[i] * b.F[i]
+			dB.F[i] += dOut.F[i] * a.F[i]
+		}
+		return nil
+	}
+	nb, h, w, ch := a.Shape[0], a.Shape[1], a.Shape[2], a.Shape[3]
+	for bi := 0; bi < nb; bi++ {
+		for i := 0; i < h*w; i++ {
+			base := (bi*h*w + i) * ch
+			for cc := 0; cc < ch; cc++ {
+				g := dOut.F[base+cc]
+				dA.F[base+cc] += g * b.F[bi*ch+cc]
+				dB.F[bi*ch+cc] += g * a.F[base+cc]
+			}
+		}
+	}
+	return nil
+}
+
+func (tr *Trainer) backConcat(n *graph.Node, dOut *tensor.Tensor) error {
+	axis := n.Attrs.Axis
+	outShape := tr.m.Tensors[n.Outputs[0]].Shape
+	outer := 1
+	for d := 0; d < axis; d++ {
+		outer *= outShape[d]
+	}
+	inner := 1
+	for d := axis + 1; d < len(outShape); d++ {
+		inner *= outShape[d]
+	}
+	axisOff := 0
+	for _, id := range n.Inputs {
+		in := tr.acts[id]
+		dIn := tr.grad(id)
+		inAxis := in.Shape[axis]
+		for o := 0; o < outer; o++ {
+			for a := 0; a < inAxis; a++ {
+				srcBase := (o*outShape[axis] + axisOff + a) * inner
+				dstBase := (o*inAxis + a) * inner
+				for i := 0; i < inner; i++ {
+					dIn.F[dstBase+i] += dOut.F[srcBase+i]
+				}
+			}
+		}
+		axisOff += inAxis
+	}
+	return nil
+}
+
+func (tr *Trainer) backUnaryFromOutput(n *graph.Node, dOut *tensor.Tensor, deriv func(out float32) float32) error {
+	out := tr.acts[n.Outputs[0]]
+	dIn := tr.grad(n.Inputs[0])
+	for i := range dOut.F {
+		dIn.F[i] += dOut.F[i] * deriv(out.F[i])
+	}
+	return nil
+}
+
+func (tr *Trainer) backUnaryFromInput(n *graph.Node, dOut *tensor.Tensor, deriv func(x float32) float32) error {
+	in := tr.acts[n.Inputs[0]]
+	dIn := tr.grad(n.Inputs[0])
+	for i := range dOut.F {
+		dIn.F[i] += dOut.F[i] * deriv(in.F[i])
+	}
+	return nil
+}
+
+func (tr *Trainer) backSoftmax(n *graph.Node, dOut *tensor.Tensor) error {
+	out := tr.acts[n.Outputs[0]]
+	dIn := tr.grad(n.Inputs[0])
+	last := out.Shape[len(out.Shape)-1]
+	rows := out.Len() / last
+	for r := 0; r < rows; r++ {
+		base := r * last
+		var dot float64
+		for i := 0; i < last; i++ {
+			dot += float64(dOut.F[base+i]) * float64(out.F[base+i])
+		}
+		for i := 0; i < last; i++ {
+			dIn.F[base+i] += out.F[base+i] * (dOut.F[base+i] - float32(dot))
+		}
+	}
+	return nil
+}
+
+func (tr *Trainer) backBatchNorm(ni int, n *graph.Node, dOut *tensor.Tensor) error {
+	st, ok := tr.bnCache[ni]
+	if !ok {
+		return fmt.Errorf("train: batchnorm backward without cached forward state")
+	}
+	gamma := tr.acts[n.Inputs[1]]
+	dIn := tr.grad(n.Inputs[0])
+	dGamma := tr.grad(n.Inputs[1])
+	dBeta := tr.grad(n.Inputs[2])
+	x := tr.acts[n.Inputs[0]]
+	ch := x.Shape[len(x.Shape)-1]
+	rows := x.Len() / ch
+	nf := float64(rows)
+	for c := 0; c < ch; c++ {
+		var sumDy, sumDyXhat float64
+		for r := 0; r < rows; r++ {
+			dy := float64(dOut.F[r*ch+c])
+			sumDy += dy
+			sumDyXhat += dy * float64(st.xhat[r*ch+c])
+		}
+		dGamma.F[c] += float32(sumDyXhat)
+		dBeta.F[c] += float32(sumDy)
+		g := float64(gamma.F[c]) * st.invStd[c]
+		for r := 0; r < rows; r++ {
+			dy := float64(dOut.F[r*ch+c])
+			xh := float64(st.xhat[r*ch+c])
+			dIn.F[r*ch+c] += float32(g * (dy - sumDy/nf - xh*sumDyXhat/nf))
+		}
+	}
+	return nil
+}
+
+func (tr *Trainer) backLayerNorm(n *graph.Node, dOut *tensor.Tensor) error {
+	x := tr.acts[n.Inputs[0]]
+	gamma := tr.acts[n.Inputs[1]]
+	dIn := tr.grad(n.Inputs[0])
+	dGamma := tr.grad(n.Inputs[1])
+	dBeta := tr.grad(n.Inputs[2])
+	eps := n.Attrs.Eps
+	if eps == 0 {
+		eps = 1e-5
+	}
+	d := x.Shape[len(x.Shape)-1]
+	rows := x.Len() / d
+	nf := float64(d)
+	for r := 0; r < rows; r++ {
+		base := r * d
+		var mean float64
+		for i := 0; i < d; i++ {
+			mean += float64(x.F[base+i])
+		}
+		mean /= nf
+		var variance float64
+		for i := 0; i < d; i++ {
+			dv := float64(x.F[base+i]) - mean
+			variance += dv * dv
+		}
+		variance /= nf
+		invStd := 1 / sqrt(variance+eps)
+		var sumDy, sumDyXhat float64
+		for i := 0; i < d; i++ {
+			xh := (float64(x.F[base+i]) - mean) * invStd
+			dy := float64(dOut.F[base+i]) * float64(gamma.F[i])
+			sumDy += dy
+			sumDyXhat += dy * xh
+			dGamma.F[i] += dOut.F[base+i] * float32(xh)
+			dBeta.F[i] += dOut.F[base+i]
+		}
+		for i := 0; i < d; i++ {
+			xh := (float64(x.F[base+i]) - mean) * invStd
+			dy := float64(dOut.F[base+i]) * float64(gamma.F[i])
+			dIn.F[base+i] += float32(invStd * (dy - sumDy/nf - xh*sumDyXhat/nf))
+		}
+	}
+	return nil
+}
+
+func (tr *Trainer) backEmbedding(n *graph.Node, dOut *tensor.Tensor) error {
+	ids := tr.acts[n.Inputs[0]]
+	dTable := tr.grad(n.Inputs[1])
+	if dTable == nil {
+		return nil
+	}
+	dim := tr.acts[n.Inputs[1]].Shape[1]
+	for i, id := range ids.X {
+		base := int(id) * dim
+		for j := 0; j < dim; j++ {
+			dTable.F[base+j] += dOut.F[i*dim+j]
+		}
+	}
+	return nil
+}
+
+func max1(v int) int {
+	if v < 1 {
+		return 1
+	}
+	return v
+}

@@ -1,0 +1,290 @@
+package train
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mlexray/internal/graph"
+	"mlexray/internal/tensor"
+)
+
+// weightedSumLoss builds a loss that is a fixed random linear functional of
+// the named tensor — enough to exercise every gradient path.
+func weightedSumLoss(name string, n int, seed int64) LossFn {
+	rng := rand.New(rand.NewSource(seed))
+	w := make([]float32, n)
+	for i := range w {
+		w[i] = float32(rng.NormFloat64())
+	}
+	return func(get func(string) (*tensor.Tensor, error)) (float64, map[string]*tensor.Tensor, error) {
+		out, err := get(name)
+		if err != nil {
+			return 0, nil, err
+		}
+		var loss float64
+		grad := tensor.New(tensor.F32, out.Shape...)
+		for i := range out.F {
+			loss += float64(w[i]) * float64(out.F[i])
+			grad.F[i] = w[i]
+		}
+		return loss, map[string]*tensor.Tensor{name: grad}, nil
+	}
+}
+
+// gradCheck verifies analytic gradients against central finite differences
+// for every float constant in the model.
+func gradCheck(t *testing.T, m *graph.Model, inputs []*tensor.Tensor, loss LossFn, maxPerTensor int) {
+	t.Helper()
+	cfg := Config{LR: 0, Momentum: 0, BNMomentum: 0, WeightDecay: 0}
+	tr, err := New(m, 1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Step(inputs, loss); err != nil {
+		t.Fatal(err)
+	}
+	// Capture analytic gradients before subsequent steps clear them.
+	analytic := make(map[int]*tensor.Tensor)
+	for id := range tr.m.Consts {
+		if !tr.trainable[id] || tr.grads[id] == nil {
+			continue
+		}
+		analytic[id] = tr.grads[id].Clone()
+	}
+	const eps = 2e-3
+	rng := rand.New(rand.NewSource(99))
+	for id, ga := range analytic {
+		w := tr.m.Consts[id]
+		name := tr.m.Tensors[id].Name
+		indices := rng.Perm(w.Len())
+		if len(indices) > maxPerTensor {
+			indices = indices[:maxPerTensor]
+		}
+		for _, i := range indices {
+			orig := w.F[i]
+			w.F[i] = orig + eps
+			lp, err := tr.Step(inputs, loss)
+			if err != nil {
+				t.Fatal(err)
+			}
+			w.F[i] = orig - eps
+			lm, err := tr.Step(inputs, loss)
+			if err != nil {
+				t.Fatal(err)
+			}
+			w.F[i] = orig
+			numeric := (lp - lm) / (2 * eps)
+			a := float64(ga.F[i])
+			denom := math.Max(1, math.Max(math.Abs(numeric), math.Abs(a)))
+			if math.Abs(numeric-a)/denom > 0.05 {
+				t.Errorf("%s[%d]: analytic %v vs numeric %v", name, i, a, numeric)
+			}
+		}
+	}
+}
+
+func randInput(seed int64, shape ...int) *tensor.Tensor {
+	rng := rand.New(rand.NewSource(seed))
+	in := tensor.New(tensor.F32, shape...)
+	tensor.RandUniform(rng, in, -1, 1)
+	return in
+}
+
+func TestGradConvReLU(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	b := graph.NewBuilder("g")
+	in := b.Input("input", tensor.F32, 1, 5, 5, 2)
+	w := tensor.New(tensor.F32, 3, 3, 3, 2)
+	tensor.HeInit(rng, w, 18)
+	bias := tensor.New(tensor.F32, 3)
+	tensor.RandUniform(rng, bias, -0.1, 0.1)
+	x := b.Node(graph.OpConv2D, "conv",
+		graph.Attrs{StrideH: 2, StrideW: 2, PadT: 1, PadB: 1, PadL: 1, PadR: 1},
+		in, b.Const("w", w), b.Const("b", bias))
+	x = b.Node(graph.OpReLU, "relu", graph.Attrs{}, x)
+	b.RenameTensor(x, "out")
+	b.Output(x)
+	m := b.MustFinish()
+	gradCheck(t, m, []*tensor.Tensor{randInput(2, 1, 5, 5, 2)},
+		weightedSumLoss("out", 3*3*3, 3), 12)
+}
+
+func TestGradDilatedConv(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	b := graph.NewBuilder("g")
+	in := b.Input("input", tensor.F32, 1, 7, 7, 1)
+	w := tensor.New(tensor.F32, 2, 3, 3, 1)
+	tensor.HeInit(rng, w, 9)
+	x := b.Node(graph.OpConv2D, "conv",
+		graph.Attrs{StrideH: 1, StrideW: 1, DilationH: 2, DilationW: 2, PadT: 2, PadB: 2, PadL: 2, PadR: 2},
+		in, b.Const("w", w))
+	b.RenameTensor(x, "out")
+	b.Output(x)
+	m := b.MustFinish()
+	gradCheck(t, m, []*tensor.Tensor{randInput(3, 1, 7, 7, 1)},
+		weightedSumLoss("out", 7*7*2, 4), 10)
+}
+
+func TestGradDepthwiseReLU6(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	b := graph.NewBuilder("g")
+	in := b.Input("input", tensor.F32, 1, 5, 5, 3)
+	w := tensor.New(tensor.F32, 1, 3, 3, 3)
+	tensor.HeInit(rng, w, 9)
+	bias := tensor.New(tensor.F32, 3)
+	x := b.Node(graph.OpDepthwiseConv2D, "dw",
+		graph.Attrs{StrideH: 1, StrideW: 1, PadT: 1, PadB: 1, PadL: 1, PadR: 1, DepthMultiplier: 1},
+		in, b.Const("w", w), b.Const("b", bias))
+	x = b.Node(graph.OpReLU6, "relu6", graph.Attrs{}, x)
+	b.RenameTensor(x, "out")
+	b.Output(x)
+	m := b.MustFinish()
+	gradCheck(t, m, []*tensor.Tensor{randInput(4, 1, 5, 5, 3)},
+		weightedSumLoss("out", 5*5*3, 5), 12)
+}
+
+func TestGradDenseSigmoid(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	b := graph.NewBuilder("g")
+	in := b.Input("input", tensor.F32, 1, 6)
+	w := tensor.New(tensor.F32, 4, 6)
+	tensor.HeInit(rng, w, 6)
+	bias := tensor.New(tensor.F32, 4)
+	x := b.Node(graph.OpDense, "fc", graph.Attrs{}, in, b.Const("w", w), b.Const("b", bias))
+	x = b.Node(graph.OpSigmoid, "sig", graph.Attrs{}, x)
+	b.RenameTensor(x, "out")
+	b.Output(x)
+	m := b.MustFinish()
+	gradCheck(t, m, []*tensor.Tensor{randInput(5, 1, 6)},
+		weightedSumLoss("out", 4, 6), 24)
+}
+
+func TestGradPoolsAndPad(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	b := graph.NewBuilder("g")
+	in := b.Input("input", tensor.F32, 1, 6, 6, 2)
+	w := tensor.New(tensor.F32, 2, 1, 1, 2)
+	tensor.HeInit(rng, w, 2)
+	x := b.Node(graph.OpConv2D, "conv", graph.Attrs{StrideH: 1, StrideW: 1}, in, b.Const("w", w))
+	x = b.Node(graph.OpPad, "pad", graph.Attrs{Paddings: [][2]int{{0, 0}, {1, 1}, {1, 1}, {0, 0}}}, x)
+	x = b.Node(graph.OpMaxPool2D, "maxp", graph.Attrs{KernelH: 2, KernelW: 2, StrideH: 2, StrideW: 2}, x)
+	x = b.Node(graph.OpAvgPool2D, "avgp", graph.Attrs{KernelH: 2, KernelW: 2, StrideH: 2, StrideW: 2}, x)
+	x = b.Node(graph.OpMean, "gap", graph.Attrs{}, x)
+	b.RenameTensor(x, "out")
+	b.Output(x)
+	m := b.MustFinish()
+	gradCheck(t, m, []*tensor.Tensor{randInput(6, 1, 6, 6, 2)},
+		weightedSumLoss("out", 2, 7), 4)
+}
+
+func TestGradSEBlockMulBroadcast(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	b := graph.NewBuilder("g")
+	in := b.Input("input", tensor.F32, 1, 4, 4, 4)
+	w := tensor.New(tensor.F32, 4, 1, 1, 4)
+	tensor.HeInit(rng, w, 4)
+	feat := b.Node(graph.OpConv2D, "conv", graph.Attrs{StrideH: 1, StrideW: 1}, in, b.Const("w", w))
+	sq := b.Node(graph.OpMean, "squeeze", graph.Attrs{}, feat)
+	wfc := tensor.New(tensor.F32, 4, 4)
+	tensor.HeInit(rng, wfc, 4)
+	bfc := tensor.New(tensor.F32, 4)
+	gate := b.Node(graph.OpDense, "fc", graph.Attrs{}, sq, b.Const("wf", wfc), b.Const("bf", bfc))
+	gate = b.Node(graph.OpHardSigmoid, "hsig", graph.Attrs{}, gate)
+	x := b.Node(graph.OpMul, "scale", graph.Attrs{}, feat, gate)
+	x = b.Node(graph.OpHardSwish, "hswish", graph.Attrs{}, x)
+	b.RenameTensor(x, "out")
+	b.Output(x)
+	m := b.MustFinish()
+	gradCheck(t, m, []*tensor.Tensor{randInput(7, 1, 4, 4, 4)},
+		weightedSumLoss("out", 4*4*4, 8), 8)
+}
+
+func TestGradResidualAddAndConcat(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	b := graph.NewBuilder("g")
+	in := b.Input("input", tensor.F32, 1, 4, 4, 2)
+	w1 := tensor.New(tensor.F32, 2, 3, 3, 2)
+	tensor.HeInit(rng, w1, 18)
+	x := b.Node(graph.OpConv2D, "conv1",
+		graph.Attrs{StrideH: 1, StrideW: 1, PadT: 1, PadB: 1, PadL: 1, PadR: 1}, in, b.Const("w1", w1))
+	y := b.Node(graph.OpAdd, "res", graph.Attrs{}, in, x)
+	z := b.Node(graph.OpConcat, "cat", graph.Attrs{Axis: 3}, x, y)
+	b.RenameTensor(z, "out")
+	b.Output(z)
+	m := b.MustFinish()
+	gradCheck(t, m, []*tensor.Tensor{randInput(8, 1, 4, 4, 2)},
+		weightedSumLoss("out", 4*4*4, 9), 18)
+}
+
+func TestGradBatchNorm(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	b := graph.NewBuilder("g")
+	in := b.Input("input", tensor.F32, 1, 4, 4, 2)
+	w := tensor.New(tensor.F32, 2, 3, 3, 2)
+	tensor.HeInit(rng, w, 18)
+	x := b.Node(graph.OpConv2D, "conv",
+		graph.Attrs{StrideH: 1, StrideW: 1, PadT: 1, PadB: 1, PadL: 1, PadR: 1}, in, b.Const("w", w))
+	gamma := tensor.New(tensor.F32, 2)
+	gamma.Fill(1.2)
+	beta := tensor.New(tensor.F32, 2)
+	beta.Fill(0.1)
+	mean := tensor.New(tensor.F32, 2)
+	variance := tensor.New(tensor.F32, 2)
+	variance.Fill(1)
+	x = b.Node(graph.OpBatchNorm, "bn", graph.Attrs{Eps: 1e-5},
+		x, b.Const("gamma", gamma), b.Const("beta", beta), b.Const("mean", mean), b.Const("var", variance))
+	b.RenameTensor(x, "out")
+	b.Output(x)
+	m := b.MustFinish()
+	gradCheck(t, m, []*tensor.Tensor{randInput(9, 1, 4, 4, 2)},
+		weightedSumLoss("out", 4*4*2, 10), 10)
+}
+
+func TestGradSoftmax(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	b := graph.NewBuilder("g")
+	in := b.Input("input", tensor.F32, 1, 5)
+	w := tensor.New(tensor.F32, 4, 5)
+	tensor.HeInit(rng, w, 5)
+	x := b.Node(graph.OpDense, "fc", graph.Attrs{}, in, b.Const("w", w))
+	x = b.Node(graph.OpSoftmax, "sm", graph.Attrs{Axis: 1}, x)
+	b.RenameTensor(x, "out")
+	b.Output(x)
+	m := b.MustFinish()
+	gradCheck(t, m, []*tensor.Tensor{randInput(10, 1, 5)},
+		weightedSumLoss("out", 4, 11), 20)
+}
+
+func TestGradTextStack(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	b := graph.NewBuilder("g")
+	ids := b.Input("ids", tensor.I32, 1, 4)
+	table := tensor.New(tensor.F32, 8, 6)
+	tensor.GlorotInit(rng, table, 8, 6)
+	x := b.Node(graph.OpEmbedding, "emb", graph.Attrs{}, ids, b.Const("table", table))
+	mk := func(name string) (int, int) {
+		w := tensor.New(tensor.F32, 6, 6)
+		tensor.GlorotInit(rng, w, 6, 6)
+		bb := tensor.New(tensor.F32, 6)
+		return b.Const(name+"/w", w), b.Const(name+"/b", bb)
+	}
+	wq, bq := mk("q")
+	wk, bk := mk("k")
+	wv, bv := mk("v")
+	wo, bo := mk("o")
+	x = b.Node(graph.OpSelfAttention, "attn", graph.Attrs{NumHeads: 2}, x, wq, bq, wk, bk, wv, bv, wo, bo)
+	gamma := tensor.New(tensor.F32, 6)
+	gamma.Fill(1)
+	beta := tensor.New(tensor.F32, 6)
+	x = b.Node(graph.OpLayerNorm, "ln", graph.Attrs{Eps: 1e-5}, x, b.Const("ln/g", gamma), b.Const("ln/b", beta))
+	x = b.Node(graph.OpReshape, "flat", graph.Attrs{NewShape: []int{1, 24}}, x)
+	w := tensor.New(tensor.F32, 3, 24)
+	tensor.GlorotInit(rng, w, 24, 3)
+	x = b.Node(graph.OpDense, "fc", graph.Attrs{}, x, b.Const("fc/w", w))
+	b.RenameTensor(x, "out")
+	b.Output(x)
+	m := b.MustFinish()
+	in := tensor.FromInt32([]int32{1, 3, 5, 7}, 1, 4)
+	gradCheck(t, m, []*tensor.Tensor{in}, weightedSumLoss("out", 3, 12), 6)
+}

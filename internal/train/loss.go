@@ -1,0 +1,192 @@
+package train
+
+import (
+	"fmt"
+	"math"
+
+	"mlexray/internal/tensor"
+)
+
+// SoftmaxCE returns a loss function computing mean softmax cross-entropy
+// between the named logits tensor ([N, C] or [N, ..., C], class axis last)
+// and integer labels (flattened row-major over the leading axes). The
+// gradient is taken directly on the logits — the numerically stable fused
+// form — so the model's trailing Softmax node (kept for deployment parity)
+// is bypassed during training.
+func SoftmaxCE(logitsName string, labels []int32) LossFn {
+	return func(get func(string) (*tensor.Tensor, error)) (float64, map[string]*tensor.Tensor, error) {
+		logits, err := get(logitsName)
+		if err != nil {
+			return 0, nil, err
+		}
+		c := logits.Shape[len(logits.Shape)-1]
+		rows := logits.Len() / c
+		if len(labels) != rows {
+			return 0, nil, fmt.Errorf("train: %d labels for %d logit rows", len(labels), rows)
+		}
+		grad := tensor.New(tensor.F32, logits.Shape...)
+		var loss float64
+		valid := 0
+		for r := 0; r < rows; r++ {
+			lbl := labels[r]
+			if lbl < 0 {
+				continue // ignore index (e.g. unlabeled pixels)
+			}
+			valid++
+		}
+		if valid == 0 {
+			return 0, nil, fmt.Errorf("train: no valid labels")
+		}
+		inv := 1 / float64(valid)
+		for r := 0; r < rows; r++ {
+			lbl := labels[r]
+			if lbl < 0 {
+				continue
+			}
+			base := r * c
+			mx := logits.F[base]
+			for i := 1; i < c; i++ {
+				if logits.F[base+i] > mx {
+					mx = logits.F[base+i]
+				}
+			}
+			var sum float64
+			for i := 0; i < c; i++ {
+				sum += math.Exp(float64(logits.F[base+i] - mx))
+			}
+			logZ := math.Log(sum) + float64(mx)
+			loss += (logZ - float64(logits.F[base+int(lbl)])) * inv
+			for i := 0; i < c; i++ {
+				p := math.Exp(float64(logits.F[base+i]) - logZ)
+				g := p * inv
+				if int32(i) == lbl {
+					g -= inv
+				}
+				grad.F[base+i] += float32(g)
+			}
+		}
+		return loss, map[string]*tensor.Tensor{logitsName: grad}, nil
+	}
+}
+
+// SmoothL1 computes the Huber loss gradient element-wise; used by the SSD
+// box-regression head.
+func smoothL1(pred, target float32) (loss, grad float64) {
+	d := float64(pred - target)
+	if math.Abs(d) < 1 {
+		return 0.5 * d * d, d
+	}
+	if d > 0 {
+		return math.Abs(d) - 0.5, 1
+	}
+	return math.Abs(d) - 0.5, -1
+}
+
+// WeightedSoftmaxCE is SoftmaxCE with a per-row weight, the tool for
+// class-imbalanced objectives (SSD anchors are overwhelmingly background).
+func WeightedSoftmaxCE(logitsName string, labels []int32, weights []float64) LossFn {
+	return func(get func(string) (*tensor.Tensor, error)) (float64, map[string]*tensor.Tensor, error) {
+		logits, err := get(logitsName)
+		if err != nil {
+			return 0, nil, err
+		}
+		c := logits.Shape[len(logits.Shape)-1]
+		rows := logits.Len() / c
+		if len(labels) != rows || len(weights) != rows {
+			return 0, nil, fmt.Errorf("train: %d labels / %d weights for %d logit rows", len(labels), len(weights), rows)
+		}
+		grad := tensor.New(tensor.F32, logits.Shape...)
+		var totalW float64
+		for r := 0; r < rows; r++ {
+			if labels[r] >= 0 {
+				totalW += weights[r]
+			}
+		}
+		if totalW == 0 {
+			return 0, nil, fmt.Errorf("train: no labeled rows")
+		}
+		var loss float64
+		for r := 0; r < rows; r++ {
+			lbl := labels[r]
+			if lbl < 0 {
+				continue
+			}
+			w := weights[r] / totalW
+			base := r * c
+			mx := logits.F[base]
+			for i := 1; i < c; i++ {
+				if logits.F[base+i] > mx {
+					mx = logits.F[base+i]
+				}
+			}
+			var sum float64
+			for i := 0; i < c; i++ {
+				sum += math.Exp(float64(logits.F[base+i] - mx))
+			}
+			logZ := math.Log(sum) + float64(mx)
+			loss += (logZ - float64(logits.F[base+int(lbl)])) * w
+			for i := 0; i < c; i++ {
+				p := math.Exp(float64(logits.F[base+i]) - logZ)
+				g := p * w
+				if int32(i) == lbl {
+					g -= w
+				}
+				grad.F[base+i] += float32(g)
+			}
+		}
+		return loss, map[string]*tensor.Tensor{logitsName: grad}, nil
+	}
+}
+
+// SSDLoss combines per-anchor classification cross-entropy (with positive
+// anchors up-weighted to counter the background imbalance) and smooth-L1 box
+// regression on positive anchors — the standard single-shot-detector
+// objective. clsLabels holds one class per anchor row (0 = background);
+// boxTargets holds [cy, cx, h, w] offsets for positive anchors.
+func SSDLoss(clsName, boxName string, clsLabels []int32, boxTargets []float32, boxWeight float64) LossFn {
+	weights := make([]float64, len(clsLabels))
+	for i, l := range clsLabels {
+		if l > 0 {
+			weights[i] = 8 // positive anchors carry ~8x weight
+		} else {
+			weights[i] = 1
+		}
+	}
+	ce := WeightedSoftmaxCE(clsName, clsLabels, weights)
+	return func(get func(string) (*tensor.Tensor, error)) (float64, map[string]*tensor.Tensor, error) {
+		loss, grads, err := ce(get)
+		if err != nil {
+			return 0, nil, err
+		}
+		boxes, err := get(boxName)
+		if err != nil {
+			return 0, nil, err
+		}
+		if boxes.Len() != len(boxTargets) {
+			return 0, nil, fmt.Errorf("train: %d box targets for %d predictions", len(boxTargets), boxes.Len())
+		}
+		grad := tensor.New(tensor.F32, boxes.Shape...)
+		pos := 0
+		for a := 0; a < len(clsLabels); a++ {
+			if clsLabels[a] > 0 {
+				pos++
+			}
+		}
+		if pos > 0 {
+			inv := boxWeight / float64(pos)
+			for a := 0; a < len(clsLabels); a++ {
+				if clsLabels[a] <= 0 {
+					continue
+				}
+				for j := 0; j < 4; j++ {
+					i := a*4 + j
+					l, g := smoothL1(boxes.F[i], boxTargets[i])
+					loss += l * inv
+					grad.F[i] = float32(g * inv)
+				}
+			}
+		}
+		grads[boxName] = grad
+		return loss, grads, nil
+	}
+}

@@ -1,0 +1,331 @@
+package train
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mlexray/internal/graph"
+	"mlexray/internal/interp"
+	"mlexray/internal/ops"
+	"mlexray/internal/tensor"
+)
+
+// stripeModel builds a small trainable CNN for the stripe-orientation task.
+func stripeModel(seed int64) *graph.Model {
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder("stripes")
+	in := b.Input("input", tensor.F32, 1, 8, 8, 1)
+	w1 := tensor.New(tensor.F32, 8, 3, 3, 1)
+	tensor.HeInit(rng, w1, 9)
+	b1 := tensor.New(tensor.F32, 8)
+	x := b.Node(graph.OpConv2D, "conv1",
+		graph.Attrs{StrideH: 1, StrideW: 1, PadT: 1, PadB: 1, PadL: 1, PadR: 1},
+		in, b.Const("conv1/w", w1), b.Const("conv1/b", b1))
+	x = b.Node(graph.OpReLU, "relu1", graph.Attrs{}, x)
+	x = b.Node(graph.OpMean, "gap", graph.Attrs{}, x)
+	w2 := tensor.New(tensor.F32, 2, 8)
+	tensor.HeInit(rng, w2, 8)
+	b2 := tensor.New(tensor.F32, 2)
+	logits := b.Node(graph.OpDense, "fc", graph.Attrs{}, x, b.Const("fc/w", w2), b.Const("fc/b", b2))
+	b.RenameTensor(logits, "logits")
+	sm := b.Node(graph.OpSoftmax, "softmax", graph.Attrs{Axis: 1}, logits)
+	b.Output(sm)
+	return b.MustFinish()
+}
+
+// stripeBatch generates images of vertical (class 0) or horizontal (class 1)
+// stripes with noise.
+func stripeBatch(rng *rand.Rand, n int) (*tensor.Tensor, []int32) {
+	in := tensor.New(tensor.F32, n, 8, 8, 1)
+	labels := make([]int32, n)
+	for b := 0; b < n; b++ {
+		cls := rng.Intn(2)
+		labels[b] = int32(cls)
+		phase := rng.Intn(2)
+		for y := 0; y < 8; y++ {
+			for x := 0; x < 8; x++ {
+				var v float64
+				if cls == 0 {
+					v = float64((x + phase) % 2)
+				} else {
+					v = float64((y + phase) % 2)
+				}
+				v = v*2 - 1 + rng.NormFloat64()*0.15
+				in.F[((b*8+y)*8+x)*1] = float32(v)
+			}
+		}
+	}
+	return in, labels
+}
+
+func TestTrainerLearnsStripeTask(t *testing.T) {
+	m := stripeModel(1)
+	cfg := DefaultConfig()
+	cfg.LR = 0.1
+	tr, err := New(m, 16, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	var firstLoss, lastLoss float64
+	for step := 0; step < 120; step++ {
+		in, labels := stripeBatch(rng, 16)
+		loss, err := tr.Step([]*tensor.Tensor{in}, SoftmaxCE("logits", labels))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if step == 0 {
+			firstLoss = loss
+		}
+		lastLoss = loss
+	}
+	if lastLoss > firstLoss/3 {
+		t.Errorf("loss did not drop: %v -> %v", firstLoss, lastLoss)
+	}
+	// Export into the original batch-1 model and measure accuracy through
+	// the standard inference path.
+	if err := tr.ExportInto(m); err != nil {
+		t.Fatal(err)
+	}
+	ip, err := interp.New(m, ops.NewReference(ops.Fixed()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct, total := 0, 0
+	for trial := 0; trial < 10; trial++ {
+		in, labels := stripeBatch(rng, 16)
+		for b := 0; b < 16; b++ {
+			single := tensor.New(tensor.F32, 1, 8, 8, 1)
+			copy(single.F, in.F[b*64:(b+1)*64])
+			out, err := ip.Run(single)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if int32(out.ArgMax()) == labels[b] {
+				correct++
+			}
+			total++
+		}
+	}
+	acc := float64(correct) / float64(total)
+	if acc < 0.95 {
+		t.Errorf("trained accuracy = %v, want >= 0.95", acc)
+	}
+}
+
+func TestTrainerRejectsBadModels(t *testing.T) {
+	m := stripeModel(3)
+	m.Format = graph.FormatMobile
+	if _, err := New(m, 4, DefaultConfig()); err == nil {
+		t.Error("accepted non-checkpoint model")
+	}
+	m.Format = graph.FormatCheckpoint
+	m.Nodes[0].Attrs.Activation = graph.ActReLU
+	if _, err := New(m, 4, DefaultConfig()); err == nil {
+		t.Error("accepted fused activation in checkpoint graph")
+	}
+}
+
+func TestStepValidatesInputs(t *testing.T) {
+	m := stripeModel(4)
+	tr, err := New(m, 4, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Step(nil, SoftmaxCE("logits", []int32{0})); err == nil {
+		t.Error("accepted missing inputs")
+	}
+	bad := tensor.New(tensor.F32, 4, 4, 4, 1)
+	if _, err := tr.Step([]*tensor.Tensor{bad}, SoftmaxCE("logits", []int32{0, 0, 0, 0})); err == nil {
+		t.Error("accepted wrong input shape")
+	}
+	in := tensor.New(tensor.F32, 4, 8, 8, 1)
+	if _, err := tr.Step([]*tensor.Tensor{in}, SoftmaxCE("logits", []int32{0})); err == nil {
+		t.Error("accepted wrong label count")
+	}
+	if _, err := tr.Step([]*tensor.Tensor{in}, SoftmaxCE("nope", []int32{0, 0, 0, 0})); err == nil {
+		t.Error("accepted unknown logits tensor")
+	}
+}
+
+func TestSoftmaxCEValues(t *testing.T) {
+	// Uniform logits over 4 classes: loss = ln(4).
+	logits := tensor.New(tensor.F32, 1, 4)
+	loss := SoftmaxCE("l", []int32{2})
+	get := func(string) (*tensor.Tensor, error) { return logits, nil }
+	l, grads, err := loss(get)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(l-math.Log(4)) > 1e-6 {
+		t.Errorf("uniform CE = %v, want ln4 = %v", l, math.Log(4))
+	}
+	g := grads["l"]
+	// grad = p - y: 0.25 except class 2 which is -0.75.
+	for i := 0; i < 4; i++ {
+		want := 0.25
+		if i == 2 {
+			want = -0.75
+		}
+		if math.Abs(float64(g.F[i])-want) > 1e-6 {
+			t.Errorf("grad[%d] = %v, want %v", i, g.F[i], want)
+		}
+	}
+	// Ignore labels (-1) contribute nothing.
+	lossIgn := SoftmaxCE("l", []int32{-1})
+	if _, _, err := lossIgn(get); err == nil {
+		t.Error("all-ignored labels should error")
+	}
+}
+
+func TestSmoothL1(t *testing.T) {
+	l, g := smoothL1(0.5, 0)
+	if math.Abs(l-0.125) > 1e-9 || math.Abs(g-0.5) > 1e-9 {
+		t.Errorf("quadratic region: %v, %v", l, g)
+	}
+	l, g = smoothL1(3, 0)
+	if math.Abs(l-2.5) > 1e-9 || g != 1 {
+		t.Errorf("linear region: %v, %v", l, g)
+	}
+	_, g = smoothL1(-3, 0)
+	if g != -1 {
+		t.Errorf("negative linear grad = %v", g)
+	}
+}
+
+func TestSSDLossGradients(t *testing.T) {
+	cls := tensor.New(tensor.F32, 1, 2, 3) // 2 anchors, 3 classes (0=bg)
+	box := tensor.New(tensor.F32, 1, 2, 4)
+	box.F[4] = 1 // anchor 1 prediction offset
+	labels := []int32{0, 2}
+	targets := make([]float32, 8)
+	targets[4] = 0.5
+	loss := SSDLoss("cls", "box", labels, targets, 1.0)
+	get := func(name string) (*tensor.Tensor, error) {
+		if name == "cls" {
+			return cls, nil
+		}
+		return box, nil
+	}
+	l, grads, err := loss(get)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l <= 0 {
+		t.Error("loss should be positive")
+	}
+	bg := grads["box"]
+	// Only positive anchor (index 1) has box gradient; element 4 moved.
+	for i := 0; i < 4; i++ {
+		if bg.F[i] != 0 {
+			t.Errorf("background anchor has box grad at %d", i)
+		}
+	}
+	if bg.F[4] == 0 {
+		t.Error("positive anchor missing box grad")
+	}
+	if grads["cls"] == nil {
+		t.Error("missing classification grads")
+	}
+}
+
+func TestBNRunningStatsUpdate(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	b := graph.NewBuilder("bn")
+	in := b.Input("input", tensor.F32, 1, 2, 2, 1)
+	gamma := tensor.New(tensor.F32, 1)
+	gamma.Fill(1)
+	beta := tensor.New(tensor.F32, 1)
+	mean := tensor.New(tensor.F32, 1)
+	variance := tensor.New(tensor.F32, 1)
+	variance.Fill(1)
+	x := b.Node(graph.OpBatchNorm, "bn", graph.Attrs{Eps: 1e-5},
+		in, b.Const("g", gamma), b.Const("b", beta), b.Const("m", mean), b.Const("v", variance))
+	b.RenameTensor(x, "out")
+	b.Output(x)
+	m := b.MustFinish()
+	cfg := Config{LR: 0, BNMomentum: 0.5}
+	tr, err := New(m, 4, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Feed data with mean 10: running mean must move toward it.
+	data := tensor.New(tensor.F32, 4, 2, 2, 1)
+	for i := range data.F {
+		data.F[i] = 10 + float32(rng.NormFloat64())
+	}
+	if _, err := tr.Step([]*tensor.Tensor{data}, weightedSumLoss("out", 16, 1)); err != nil {
+		t.Fatal(err)
+	}
+	mID, _ := tr.m.TensorByName("m")
+	got := tr.m.Consts[mID].F[0]
+	if got < 4 || got > 6 {
+		t.Errorf("running mean after one step = %v, want ~5 (momentum 0.5 toward 10)", got)
+	}
+}
+
+func TestWeightDecayShrinksWeights(t *testing.T) {
+	m := stripeModel(12)
+	cfg := Config{LR: 0.1, Momentum: 0, BNMomentum: 0, WeightDecay: 0.5}
+	tr, err := New(m, 4, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wID, _ := tr.m.TensorByName("conv1/w")
+	before := tr.m.Consts[wID].Clone()
+	// Zero-gradient loss: only decay acts on the weights.
+	zeroLoss := func(get func(string) (*tensor.Tensor, error)) (float64, map[string]*tensor.Tensor, error) {
+		lg, _ := get("logits")
+		return 0, map[string]*tensor.Tensor{"logits": tensor.New(tensor.F32, lg.Shape...)}, nil
+	}
+	in := tensor.New(tensor.F32, 4, 8, 8, 1)
+	if _, err := tr.Step([]*tensor.Tensor{in}, zeroLoss); err != nil {
+		t.Fatal(err)
+	}
+	after := tr.m.Consts[wID]
+	var sumBefore, sumAfter float64
+	for i := range before.F {
+		sumBefore += math.Abs(float64(before.F[i]))
+		sumAfter += math.Abs(float64(after.F[i]))
+	}
+	if sumAfter >= sumBefore {
+		t.Errorf("weight decay did not shrink weights: %v -> %v", sumBefore, sumAfter)
+	}
+	// Bias must not decay.
+	bID, _ := tr.m.TensorByName("conv1/b")
+	for _, v := range tr.m.Consts[bID].F {
+		if v != 0 {
+			t.Error("bias was decayed")
+		}
+	}
+}
+
+func TestGradientAccessor(t *testing.T) {
+	m := stripeModel(13)
+	tr, err := New(m, 2, Config{LR: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := tensor.New(tensor.F32, 2, 8, 8, 1)
+	in.Fill(0.3)
+	if _, err := tr.Step([]*tensor.Tensor{in}, SoftmaxCE("logits", []int32{0, 1})); err != nil {
+		t.Fatal(err)
+	}
+	g, err := tr.Gradient("fc/w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nonzero bool
+	for _, v := range g.F {
+		if v != 0 {
+			nonzero = true
+		}
+	}
+	if !nonzero {
+		t.Error("fc/w gradient is all zero")
+	}
+	if _, err := tr.Gradient("missing"); err == nil {
+		t.Error("Gradient accepted unknown tensor")
+	}
+}

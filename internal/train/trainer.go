@@ -1,0 +1,351 @@
+// Package train is the training substrate that produces the "checkpoint"
+// models of the deployment pipeline: reverse-mode automatic differentiation
+// over the graph IR, SGD with momentum, and the loss functions the model zoo
+// needs (softmax cross-entropy, per-pixel cross-entropy, SSD multi-task
+// loss). It exists because the paper's workflow starts from models trained
+// in the cloud — so this repository trains its miniature architectures from
+// scratch on the synthetic datasets rather than shipping opaque weights.
+package train
+
+import (
+	"fmt"
+	"math"
+
+	"mlexray/internal/graph"
+	"mlexray/internal/ops"
+	"mlexray/internal/quant"
+	"mlexray/internal/tensor"
+)
+
+// Config holds optimizer hyperparameters.
+type Config struct {
+	LR         float64
+	Momentum   float64
+	BNMomentum float64 // running-statistics update rate
+	// WeightDecay applies L2 regularization to weight matrices (not biases
+	// or normalization parameters).
+	WeightDecay float64
+}
+
+// DefaultConfig is a sensible starting point for the mini models.
+func DefaultConfig() Config {
+	return Config{LR: 0.05, Momentum: 0.9, BNMomentum: 0.1, WeightDecay: 1e-4}
+}
+
+// LossFn computes a loss and its gradients with respect to named tensors.
+// get returns the forward value of any named tensor (e.g. "logits"). The
+// returned map keys are tensor names; values are dL/dtensor.
+type LossFn func(get func(name string) (*tensor.Tensor, error)) (loss float64, grads map[string]*tensor.Tensor, err error)
+
+// bnState caches training-mode batch-norm intermediates for backward.
+type bnState struct {
+	xhat   []float32
+	invStd []float64
+	mu     []float64
+}
+
+// Trainer performs SGD on a rebatched clone of a model.
+type Trainer struct {
+	orig    *graph.Model
+	m       *graph.Model // rebatched clone; consts are the live weights
+	cfg     Config
+	batch   int
+	kernels []ops.Kernel
+
+	acts      []*tensor.Tensor // runtime value per tensor id
+	grads     []*tensor.Tensor // gradient per tensor id (F32 tensors only)
+	vel       map[int][]float32
+	trainable map[int]bool
+	decayable map[int]bool
+	bnCache   map[int]*bnState // node index -> state
+}
+
+// New builds a trainer for the given checkpoint model and batch size.
+// Checkpoint models must not contain fused activations (the converter adds
+// those later); backward passes rely on activations being explicit nodes.
+func New(src *graph.Model, batch int, cfg Config) (*Trainer, error) {
+	if src.Format != graph.FormatCheckpoint {
+		return nil, fmt.Errorf("train: expected a checkpoint model, got %s", src.Format)
+	}
+	for _, n := range src.Nodes {
+		if n.Attrs.Activation != graph.ActNone {
+			return nil, fmt.Errorf("train: node %q has a fused activation; checkpoint graphs must keep activations explicit", n.Name)
+		}
+	}
+	m, err := graph.Rebatch(src, batch)
+	if err != nil {
+		return nil, err
+	}
+	tr := &Trainer{
+		orig: src, m: m, cfg: cfg, batch: batch,
+		kernels:   make([]ops.Kernel, len(m.Nodes)),
+		acts:      make([]*tensor.Tensor, len(m.Tensors)),
+		grads:     make([]*tensor.Tensor, len(m.Tensors)),
+		vel:       make(map[int][]float32),
+		trainable: make(map[int]bool),
+		decayable: make(map[int]bool),
+		bnCache:   make(map[int]*bnState),
+	}
+	resolver := ops.NewReference(ops.Fixed())
+	for i := range m.Nodes {
+		n := &m.Nodes[i]
+		if n.Op == graph.OpBatchNorm {
+			continue // trainer's own forward
+		}
+		k, err := resolver.Lookup(n.Op, ops.KindOf(n, m.Tensors))
+		if err != nil {
+			return nil, fmt.Errorf("train: node %q: %w", n.Name, err)
+		}
+		tr.kernels[i] = k
+	}
+	for id, info := range m.Tensors {
+		if c, ok := m.Consts[id]; ok {
+			tr.acts[id] = c
+			if c.DType == tensor.F32 {
+				tr.trainable[id] = true
+				// Weight matrices (rank >= 2) get weight decay; biases and
+				// norm parameters do not.
+				tr.decayable[id] = len(c.Shape) >= 2
+			}
+			continue
+		}
+		tr.acts[id] = tensor.New(info.DType, info.Shape...)
+	}
+	// BatchNorm running statistics are updated by the moving average, not
+	// by gradients.
+	for _, n := range m.Nodes {
+		if n.Op == graph.OpBatchNorm {
+			tr.trainable[n.Inputs[3]] = false
+			tr.trainable[n.Inputs[4]] = false
+		}
+	}
+	return tr, nil
+}
+
+// Model returns the live (rebatched) training model.
+func (tr *Trainer) Model() *graph.Model { return tr.m }
+
+// Gradient returns the gradient buffer of the named tensor as computed by
+// the most recent Step. Intended for diagnostics and gradient checking.
+func (tr *Trainer) Gradient(name string) (*tensor.Tensor, error) {
+	id, err := tr.m.TensorByName(name)
+	if err != nil {
+		return nil, err
+	}
+	if tr.grads[id] == nil {
+		return nil, fmt.Errorf("train: no gradient recorded for %q", name)
+	}
+	return tr.grads[id], nil
+}
+
+// ExportInto copies the trained constants back into dst, which must be the
+// model New was constructed from (or a clone sharing its tensor ids).
+func (tr *Trainer) ExportInto(dst *graph.Model) error {
+	if len(dst.Tensors) != len(tr.m.Tensors) {
+		return fmt.Errorf("train: export target has %d tensors, trainer has %d", len(dst.Tensors), len(tr.m.Tensors))
+	}
+	for id, c := range tr.m.Consts {
+		dst.Consts[id].CopyFrom(c)
+	}
+	return nil
+}
+
+// Step runs one SGD step: forward on the inputs, loss, backward, update.
+func (tr *Trainer) Step(inputs []*tensor.Tensor, loss LossFn) (float64, error) {
+	if len(inputs) != len(tr.m.Inputs) {
+		return 0, fmt.Errorf("train: %d inputs for %d model inputs", len(inputs), len(tr.m.Inputs))
+	}
+	for i, in := range inputs {
+		dst := tr.acts[tr.m.Inputs[i]]
+		if !tensor.SameShape(dst.Shape, in.Shape) || dst.DType != in.DType {
+			return 0, fmt.Errorf("train: input %d is %v/%v, model wants %v/%v", i, in.DType, in.Shape, dst.DType, dst.Shape)
+		}
+		dst.CopyFrom(in)
+	}
+	if err := tr.forward(); err != nil {
+		return 0, err
+	}
+	get := func(name string) (*tensor.Tensor, error) {
+		id, err := tr.m.TensorByName(name)
+		if err != nil {
+			return nil, err
+		}
+		return tr.acts[id], nil
+	}
+	lossV, gradMap, err := loss(get)
+	if err != nil {
+		return 0, err
+	}
+	if err := tr.backward(gradMap); err != nil {
+		return 0, err
+	}
+	tr.applySGD()
+	return lossV, nil
+}
+
+func (tr *Trainer) forward() error {
+	for i := range tr.m.Nodes {
+		n := &tr.m.Nodes[i]
+		if n.Op == graph.OpBatchNorm {
+			if err := tr.batchNormTrainForward(i, n); err != nil {
+				return err
+			}
+			continue
+		}
+		ctx := tr.ctxFor(n)
+		if err := tr.kernels[i](ctx); err != nil {
+			return fmt.Errorf("train: forward %q: %w", n.Name, err)
+		}
+	}
+	return nil
+}
+
+func (tr *Trainer) ctxFor(n *graph.Node) *ops.Ctx {
+	inputs := make([]*tensor.Tensor, len(n.Inputs))
+	for j, id := range n.Inputs {
+		inputs[j] = tr.acts[id]
+	}
+	outputs := make([]*tensor.Tensor, len(n.Outputs))
+	for j, id := range n.Outputs {
+		outputs[j] = tr.acts[id]
+	}
+	return &ops.Ctx{Node: n, Inputs: inputs, Outputs: outputs,
+		InQ: make([]*quant.Params, len(n.Inputs)), OutQ: make([]*quant.Params, len(n.Outputs))}
+}
+
+// batchNormTrainForward normalizes with batch statistics and updates the
+// running mean/variance constants.
+func (tr *Trainer) batchNormTrainForward(ni int, n *graph.Node) error {
+	x := tr.acts[n.Inputs[0]]
+	gamma := tr.acts[n.Inputs[1]]
+	beta := tr.acts[n.Inputs[2]]
+	runMean := tr.acts[n.Inputs[3]]
+	runVar := tr.acts[n.Inputs[4]]
+	out := tr.acts[n.Outputs[0]]
+	eps := n.Attrs.Eps
+	if eps == 0 {
+		eps = 1e-5
+	}
+	ch := x.Shape[len(x.Shape)-1]
+	rows := x.Len() / ch
+	st := &bnState{
+		xhat:   make([]float32, x.Len()),
+		invStd: make([]float64, ch),
+		mu:     make([]float64, ch),
+	}
+	for c := 0; c < ch; c++ {
+		var sum float64
+		for r := 0; r < rows; r++ {
+			sum += float64(x.F[r*ch+c])
+		}
+		mu := sum / float64(rows)
+		var varSum float64
+		for r := 0; r < rows; r++ {
+			d := float64(x.F[r*ch+c]) - mu
+			varSum += d * d
+		}
+		variance := varSum / float64(rows)
+		invStd := 1 / sqrt(variance+eps)
+		st.mu[c] = mu
+		st.invStd[c] = invStd
+		for r := 0; r < rows; r++ {
+			xh := (float64(x.F[r*ch+c]) - mu) * invStd
+			st.xhat[r*ch+c] = float32(xh)
+			out.F[r*ch+c] = float32(xh)*gamma.F[c] + beta.F[c]
+		}
+		mom := tr.cfg.BNMomentum
+		runMean.F[c] = float32((1-mom)*float64(runMean.F[c]) + mom*mu)
+		runVar.F[c] = float32((1-mom)*float64(runVar.F[c]) + mom*variance)
+	}
+	tr.bnCache[ni] = st
+	return nil
+}
+
+// grad returns (allocating lazily) the gradient buffer for tensor id; nil
+// for non-float tensors.
+func (tr *Trainer) grad(id int) *tensor.Tensor {
+	info := tr.m.Tensors[id]
+	var shape []int
+	if c, ok := tr.m.Consts[id]; ok {
+		if c.DType != tensor.F32 {
+			return nil
+		}
+		shape = c.Shape
+	} else {
+		if info.DType != tensor.F32 {
+			return nil
+		}
+		shape = info.Shape
+	}
+	if tr.grads[id] == nil {
+		tr.grads[id] = tensor.New(tensor.F32, shape...)
+	}
+	return tr.grads[id]
+}
+
+func (tr *Trainer) backward(gradMap map[string]*tensor.Tensor) error {
+	for _, g := range tr.grads {
+		if g != nil {
+			g.Zero()
+		}
+	}
+	for name, g := range gradMap {
+		id, err := tr.m.TensorByName(name)
+		if err != nil {
+			return fmt.Errorf("train: loss gradient for unknown tensor %q", name)
+		}
+		dst := tr.grad(id)
+		if dst == nil {
+			return fmt.Errorf("train: tensor %q is not differentiable", name)
+		}
+		if dst.Len() != g.Len() {
+			return fmt.Errorf("train: gradient for %q has %d values, tensor has %d", name, g.Len(), dst.Len())
+		}
+		for i := range g.F {
+			dst.F[i] += g.F[i]
+		}
+	}
+	for i := len(tr.m.Nodes) - 1; i >= 0; i-- {
+		n := &tr.m.Nodes[i]
+		if err := tr.backwardNode(i, n); err != nil {
+			return fmt.Errorf("train: backward %q: %w", n.Name, err)
+		}
+	}
+	return nil
+}
+
+func (tr *Trainer) applySGD() {
+	for id, isTrainable := range tr.trainable {
+		if !isTrainable {
+			continue
+		}
+		g := tr.grads[id]
+		if g == nil {
+			continue
+		}
+		w := tr.m.Consts[id]
+		v, ok := tr.vel[id]
+		if !ok {
+			v = make([]float32, w.Len())
+			tr.vel[id] = v
+		}
+		lr := float32(tr.cfg.LR)
+		mom := float32(tr.cfg.Momentum)
+		decay := float32(0)
+		if tr.decayable[id] {
+			decay = float32(tr.cfg.WeightDecay)
+		}
+		for i := range w.F {
+			gi := g.F[i] + decay*w.F[i]
+			v[i] = mom*v[i] - lr*gi
+			w.F[i] += v[i]
+		}
+	}
+}
+
+func sqrt(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return math.Sqrt(x)
+}

@@ -1,0 +1,43 @@
+package zoo
+
+import (
+	"mlexray/internal/datasets"
+	"mlexray/internal/graph"
+	"mlexray/internal/models"
+)
+
+// Thin adapters binding models builders into the spec table.
+
+func modelsV1(seed int64) *graph.Model        { return models.MobileNetV1Mini(seed) }
+func modelsV2(seed int64) *graph.Model        { return models.MobileNetV2Mini(seed) }
+func modelsV3(seed int64) *graph.Model        { return models.MobileNetV3Mini(seed) }
+func modelsResNet(seed int64) *graph.Model    { return models.ResNetMini(seed) }
+func modelsInception(seed int64) *graph.Model { return models.InceptionMini(seed) }
+func modelsDenseNet(seed int64) *graph.Model  { return models.DenseNetMini(seed) }
+func modelsSSD(seed int64) *graph.Model       { return models.SSDMini(seed) }
+func modelsFRCNN(seed int64) *graph.Model     { return models.FRCNNMini(seed) }
+func modelsDeepLab(seed int64) *graph.Model   { return models.DeepLabMini(seed) }
+
+func buildCls(f func(int64) *graph.Model) func(int64) *graph.Model { return f }
+
+func buildKWS(variant, norm string) func(int64) *graph.Model {
+	return func(seed int64) *graph.Model { return models.KWSMini(seed, variant, norm) }
+}
+
+func buildText(f func(seed int64, seqLen, vocab int) *graph.Model) func(int64) *graph.Model {
+	return func(seed int64) *graph.Model {
+		return f(seed, datasets.TextSeqLen, datasets.TextVocabSize)
+	}
+}
+
+func modelsNNLM(seed int64, seqLen, vocab int) *graph.Model {
+	return models.NNLMMini(seed, seqLen, vocab)
+}
+
+func modelsBert(seed int64, seqLen, vocab int) *graph.Model {
+	return models.MobileBertMini(seed, seqLen, vocab)
+}
+
+func matchAnchors(anchors [][4]float64, gtBoxes [][4]float64, gtClasses []int) ([]int32, []float32) {
+	return models.MatchAnchors(anchors, gtBoxes, gtClasses)
+}

@@ -1,0 +1,113 @@
+package zoo
+
+import (
+	"testing"
+
+	"mlexray/internal/datasets"
+	"mlexray/internal/metrics"
+	"mlexray/internal/ops"
+	"mlexray/internal/pipeline"
+)
+
+// evalClassifier measures top-1 accuracy of a model version through the
+// correct pipeline.
+func evalClassifier(t *testing.T, e *Entry, which string, n int) float64 {
+	t.Helper()
+	m := e.Mobile
+	if which == "quant" {
+		m = e.Quant
+	}
+	cl, err := pipeline.NewClassifier(m, pipeline.Options{Resolver: ops.NewOptimized(ops.Fixed())})
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := datasets.SynthImageNet(5555, n)
+	preds := make([]int, len(samples))
+	labels := make([]int, len(samples))
+	for i, s := range samples {
+		p, _, err := cl.Classify(s.Image)
+		if err != nil {
+			t.Fatal(err)
+		}
+		preds[i], labels[i] = p, s.Label
+	}
+	acc, err := metrics.Top1(preds, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return acc
+}
+
+func TestZooTrainsAccurateClassifier(t *testing.T) {
+	// One representative model exercises the full train->convert->quantize
+	// path; the remaining classifiers are covered by the experiment suite.
+	e, err := Get("mobilenetv2-mini")
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := evalClassifier(t, e, "mobile", 100)
+	if acc < 0.8 {
+		t.Errorf("mobilenetv2-mini mobile accuracy = %.2f, want >= 0.8", acc)
+	}
+	// Quantized with *fixed* kernels should be within a few points.
+	accQ := evalClassifier(t, e, "quant", 100)
+	if accQ < acc-0.15 {
+		t.Errorf("quantized accuracy %.2f fell too far from float %.2f", accQ, acc)
+	}
+}
+
+func TestZooSpeechModel(t *testing.T) {
+	e, err := Get("kws-mini-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr, err := pipeline.NewSpeechRecognizer(e.Mobile, pipeline.Options{Resolver: ops.NewOptimized(ops.Fixed())})
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := datasets.SynthSpeech(5556, 64)
+	hit := 0
+	for _, s := range samples {
+		p, _, err := sr.Recognize(s.Wave)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p == s.Label {
+			hit++
+		}
+	}
+	if acc := float64(hit) / float64(len(samples)); acc < 0.85 {
+		t.Errorf("kws accuracy = %.2f, want >= 0.85", acc)
+	}
+}
+
+func TestZooTextModel(t *testing.T) {
+	e, err := Get("nnlm-mini")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc, err := pipeline.NewTextClassifier(e.Mobile, datasets.TokenizeText, pipeline.Options{Resolver: ops.NewOptimized(ops.Fixed())})
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := datasets.SynthIMDB(5557, 80)
+	hit := 0
+	for _, s := range samples {
+		p, _, err := tc.ClassifyText(s.Text)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p == s.Label {
+			hit++
+		}
+	}
+	if acc := float64(hit) / float64(len(samples)); acc < 0.9 {
+		t.Errorf("nnlm accuracy = %.2f, want >= 0.9", acc)
+	}
+}
+
+func TestZooUnknownModel(t *testing.T) {
+	if _, err := Get("nope"); err == nil {
+		t.Error("Get accepted unknown model")
+	}
+}

@@ -1,0 +1,148 @@
+// Package mlexray is the public API of the ML-EXray reproduction: an edge-ML
+// deployment validation framework (Qiu et al., MLSys 2022).
+//
+// The package exposes the two libraries the paper describes:
+//
+//   - The **instrumentation API** (§3.2): a Monitor that apps attach to
+//     their inference pipelines to log model inputs/outputs, per-layer
+//     details, performance metrics and peripheral sensors as key-value
+//     telemetry records (JSONL logs).
+//
+//   - The **deployment validation API** (§3.4): Validate compares an edge
+//     log against a reference-pipeline log following the paper's Figure 2
+//     flowchart — output/accuracy agreement first, per-layer normalized-rMSE
+//     localisation when it drops, then built-in and user-defined assertion
+//     functions for root-cause analysis (channel arrangement, normalization
+//     range, resize filter, orientation, quantization drift, latency).
+//
+// A minimal instrumentation loop:
+//
+//	mon := mlexray.NewMonitor(mlexray.WithPerLayer(true))
+//	cl, err := pipeline.NewClassifier(model, pipeline.Options{Monitor: mon})
+//	...
+//	mon.OnInferenceStart()
+//	// invoke ...
+//	mon.OnInferenceStop(interp)
+//
+// And validation:
+//
+//	report, err := mlexray.Validate(edgeLog, refLog, mlexray.DefaultValidateOptions())
+//	report.Render(os.Stdout)
+//
+// Everything underneath — the TFLite-like runtime with optimized/reference
+// op resolvers, the converter and quantizer, the training substrate, the
+// synthetic datasets and the device latency simulator — lives in internal/
+// packages; see DESIGN.md for the system inventory.
+package mlexray
+
+import (
+	"io"
+
+	"mlexray/internal/core"
+)
+
+// ---- telemetry data model ----
+
+// Record is one key-value telemetry entry.
+type Record = core.Record
+
+// Log is a sequence of telemetry records.
+type Log = core.Log
+
+// RecordKind classifies telemetry records.
+type RecordKind = core.RecordKind
+
+// Record kinds.
+const (
+	KindTensor = core.KindTensor
+	KindStats  = core.KindStats
+	KindMetric = core.KindMetric
+	KindSensor = core.KindSensor
+)
+
+// Well-known record keys.
+const (
+	KeyPreprocessOutput  = core.KeyPreprocessOutput
+	KeyModelInput        = core.KeyModelInput
+	KeyModelOutput       = core.KeyModelOutput
+	KeyInferenceLatency  = core.KeyInferenceLatency
+	KeySensorOrientation = core.KeySensorOrientation
+)
+
+// ReadLog parses a JSONL telemetry log.
+func ReadLog(r io.Reader) (*Log, error) { return core.ReadJSONL(r) }
+
+// ---- instrumentation API ----
+
+// Monitor is the EdgeML Monitor: the object apps use to emit telemetry.
+type Monitor = core.Monitor
+
+// CaptureMode selects stats-only vs full-tensor logging.
+type CaptureMode = core.CaptureMode
+
+// Capture modes.
+const (
+	CaptureStats = core.CaptureStats
+	CaptureFull  = core.CaptureFull
+)
+
+// MonitorOption configures a Monitor.
+type MonitorOption = core.MonitorOption
+
+// NewMonitor constructs a Monitor (stats-only, no per-layer capture by
+// default — the lightweight always-on configuration).
+func NewMonitor(opts ...MonitorOption) *Monitor { return core.NewMonitor(opts...) }
+
+// WithCaptureMode selects the logging depth.
+func WithCaptureMode(m CaptureMode) MonitorOption { return core.WithCaptureMode(m) }
+
+// WithPerLayer enables per-layer output and latency records.
+func WithPerLayer(enabled bool) MonitorOption { return core.WithPerLayer(enabled) }
+
+// ---- validation API ----
+
+// Report is the validator's output.
+type Report = core.Report
+
+// ValidateOptions tunes the validator.
+type ValidateOptions = core.ValidateOptions
+
+// LayerDiff is per-layer drift between edge and reference logs.
+type LayerDiff = core.LayerDiff
+
+// Finding is one triggered root-cause assertion.
+type Finding = core.Finding
+
+// Assertion is a root-cause check; implement it (or use AssertionFunc) to
+// add domain knowledge to the validation flow.
+type Assertion = core.Assertion
+
+// AssertionFunc adapts a function to the Assertion interface.
+type AssertionFunc = core.AssertionFunc
+
+// AssertCtx is the evidence handed to assertions.
+type AssertCtx = core.AssertCtx
+
+// DefaultValidateOptions returns the standard thresholds and built-in
+// assertions.
+func DefaultValidateOptions() ValidateOptions { return core.DefaultValidateOptions() }
+
+// Validate runs the deployment-validation flowchart on two logs.
+func Validate(edge, ref *Log, opts ValidateOptions) (*Report, error) {
+	return core.Validate(edge, ref, opts)
+}
+
+// CompareLayers computes per-layer drift between two per-layer logs.
+func CompareLayers(edge, ref *Log) ([]LayerDiff, error) { return core.CompareLayers(edge, ref) }
+
+// OutputAgreement computes the fraction of frames with matching model-output
+// argmax.
+func OutputAgreement(edge, ref *Log) (float64, error) { return core.OutputAgreement(edge, ref) }
+
+// FirstSpike localises the earliest drift spike in a layer-diff series.
+func FirstSpike(diffs []LayerDiff, threshold, jumpFactor float64) (LayerDiff, bool) {
+	return core.FirstSpike(diffs, threshold, jumpFactor)
+}
+
+// BuiltinAssertions returns the standard root-cause assertion set.
+func BuiltinAssertions() []Assertion { return core.BuiltinAssertions() }
