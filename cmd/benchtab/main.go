@@ -10,21 +10,32 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"mlexray/internal/experiments"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchtab:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("benchtab", flag.ContinueOnError)
+	exp := fs.String("exp", "all", "experiment to run")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	runners := []struct {
 		name string
 		run  func() error
 	}{
 		{"table1", func() error {
-			experiments.RenderTable1(os.Stdout, experiments.Table1())
+			experiments.RenderTable1(stdout, experiments.Table1())
 			return nil
 		}},
 		{"table2", func() error {
@@ -32,7 +43,7 @@ func main() {
 			if err != nil {
 				return err
 			}
-			experiments.RenderTable2(os.Stdout, rows)
+			experiments.RenderTable2(stdout, rows)
 			return nil
 		}},
 		{"table3", func() error {
@@ -40,7 +51,7 @@ func main() {
 			if err != nil {
 				return err
 			}
-			experiments.RenderTable3(os.Stdout, "Table 3 — offline per-layer validation overhead (quantized int8 models)", rows)
+			experiments.RenderTable3(stdout, "Table 3 — offline per-layer validation overhead (quantized int8 models)", rows)
 			return nil
 		}},
 		{"table4", func() error {
@@ -48,7 +59,7 @@ func main() {
 			if err != nil {
 				return err
 			}
-			experiments.RenderTable4(os.Stdout, rows)
+			experiments.RenderTable4(stdout, rows)
 			return nil
 		}},
 		{"table5", func() error {
@@ -56,7 +67,7 @@ func main() {
 			if err != nil {
 				return err
 			}
-			experiments.RenderTable3(os.Stdout, "Table 5 — offline per-layer validation overhead (float32 models)", rows)
+			experiments.RenderTable3(stdout, "Table 5 — offline per-layer validation overhead (float32 models)", rows)
 			return nil
 		}},
 		{"fig3", func() error {
@@ -64,7 +75,7 @@ func main() {
 			if err != nil {
 				return err
 			}
-			experiments.RenderFigure3(os.Stdout, cells)
+			experiments.RenderFigure3(stdout, cells)
 			return nil
 		}},
 		{"fig4a", func() error {
@@ -72,7 +83,7 @@ func main() {
 			if err != nil {
 				return err
 			}
-			experiments.RenderFigure4a(os.Stdout, rows)
+			experiments.RenderFigure4a(stdout, rows)
 			return nil
 		}},
 		{"fig4b", func() error {
@@ -80,7 +91,7 @@ func main() {
 			if err != nil {
 				return err
 			}
-			experiments.RenderFigure4b(os.Stdout, rows)
+			experiments.RenderFigure4b(stdout, rows)
 			return nil
 		}},
 		{"fig4c", func() error {
@@ -88,7 +99,7 @@ func main() {
 			if err != nil {
 				return err
 			}
-			experiments.RenderFigure4c(os.Stdout, rows)
+			experiments.RenderFigure4c(stdout, rows)
 			return nil
 		}},
 		{"fig5", func() error {
@@ -96,14 +107,14 @@ func main() {
 			if err != nil {
 				return err
 			}
-			experiments.RenderFigure5(os.Stdout, rows)
-			fmt.Println()
+			experiments.RenderFigure5(stdout, rows)
+			fmt.Fprintln(stdout)
 			fixed, err := experiments.Figure5Fixed()
 			if err != nil {
 				return err
 			}
-			fmt.Println("Figure 5 (ablation) — repaired kernel build")
-			experiments.RenderFigure5(os.Stdout, fixed)
+			fmt.Fprintln(stdout, "Figure 5 (ablation) — repaired kernel build")
+			experiments.RenderFigure5(stdout, fixed)
 			return nil
 		}},
 		{"fig6", func() error {
@@ -111,7 +122,7 @@ func main() {
 			if err != nil {
 				return err
 			}
-			experiments.RenderFigure6(os.Stdout, series)
+			experiments.RenderFigure6(stdout, series)
 			return nil
 		}},
 		{"text", func() error {
@@ -119,7 +130,7 @@ func main() {
 			if err != nil {
 				return err
 			}
-			experiments.RenderAppendixText(os.Stdout, rows)
+			experiments.RenderAppendixText(stdout, rows)
 			return nil
 		}},
 		{"ingraph", func() error {
@@ -127,7 +138,7 @@ func main() {
 			if err != nil {
 				return err
 			}
-			experiments.RenderAppendixInGraph(os.Stdout, rows)
+			experiments.RenderAppendixInGraph(stdout, rows)
 			return nil
 		}},
 		{"ablations", func() error {
@@ -135,27 +146,27 @@ func main() {
 			if err != nil {
 				return err
 			}
-			experiments.RenderAblationErrorMetrics(os.Stdout, em)
+			experiments.RenderAblationErrorMetrics(stdout, em)
 			pc, err := experiments.AblationPerChannel()
 			if err != nil {
 				return err
 			}
-			experiments.RenderAblationQuant(os.Stdout, "Ablation — per-channel vs per-tensor weights", pc)
+			experiments.RenderAblationQuant(stdout, "Ablation — per-channel vs per-tensor weights", pc)
 			cal, err := experiments.AblationCalibration()
 			if err != nil {
 				return err
 			}
-			experiments.RenderAblationQuant(os.Stdout, "Ablation — calibration with an outlier sample", cal)
+			experiments.RenderAblationQuant(stdout, "Ablation — calibration with an outlier sample", cal)
 			sym, err := experiments.AblationSymmetric()
 			if err != nil {
 				return err
 			}
-			experiments.RenderAblationQuant(os.Stdout, "Ablation — asymmetric vs symmetric activations", sym)
+			experiments.RenderAblationQuant(stdout, "Ablation — asymmetric vs symmetric activations", sym)
 			cm, err := experiments.AblationCaptureMode()
 			if err != nil {
 				return err
 			}
-			experiments.RenderAblationCapture(os.Stdout, cm)
+			experiments.RenderAblationCapture(stdout, cm)
 			return nil
 		}},
 	}
@@ -167,13 +178,12 @@ func main() {
 		}
 		ran = true
 		if err := r.run(); err != nil {
-			fmt.Fprintf(os.Stderr, "benchtab: %s: %v\n", r.name, err)
-			os.Exit(1)
+			return fmt.Errorf("%s: %w", r.name, err)
 		}
-		fmt.Println()
+		fmt.Fprintln(stdout)
 	}
 	if !ran {
-		fmt.Fprintf(os.Stderr, "benchtab: unknown experiment %q\n", *exp)
-		os.Exit(1)
+		return fmt.Errorf("unknown experiment %q", *exp)
 	}
+	return nil
 }

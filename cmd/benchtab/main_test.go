@@ -1,0 +1,41 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunSingleArtifact exercises flag parsing plus the cheapest artifact
+// end to end.
+func TestRunSingleArtifact(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-exp", "table1"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Table 1") {
+		t.Errorf("missing table caption:\n%s", buf.String())
+	}
+}
+
+// TestRunReplayBackedArtifact exercises an artifact that rides the parallel
+// replay engine (Table 4 runs one frame per configuration).
+func TestRunReplayBackedArtifact(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-exp", "table4"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Table 4") {
+		t.Errorf("missing table caption:\n%s", buf.String())
+	}
+}
+
+func TestRunFlagErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-exp", "not-an-experiment"}, &buf); err == nil {
+		t.Error("unknown experiment should error")
+	}
+	if err := run([]string{"-garbage"}, &buf); err == nil {
+		t.Error("unknown flag should error")
+	}
+}

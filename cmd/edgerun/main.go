@@ -3,15 +3,20 @@
 // half of the validation workflow. Pair with refrun and feed both logs to
 // the validation library (or cmd/exray for the one-shot flow).
 //
+// The replay shards across -parallel workers (default: all cores), each
+// owning its own interpreter replica; telemetry streams to disk merged in
+// frame order, so the log is identical to a single-worker run.
+//
 // Usage:
 //
 //	edgerun -model mobilenetv2-mini -bug normalization -o edge.jsonl
-//	edgerun -model mobilenetv2-mini -quant -device Pixel4 -o edge.jsonl
+//	edgerun -model mobilenetv2-mini -quant -device Pixel4 -parallel 8 -o edge.jsonl
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"mlexray/internal/core"
@@ -19,24 +24,36 @@ import (
 	"mlexray/internal/device"
 	"mlexray/internal/ops"
 	"mlexray/internal/pipeline"
+	"mlexray/internal/runner"
 	"mlexray/internal/zoo"
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "edgerun:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("edgerun", flag.ContinueOnError)
 	var (
-		model    = flag.String("model", "mobilenetv2-mini", "zoo model name (classification)")
-		bug      = flag.String("bug", "none", "injected preprocessing bug")
-		quantF   = flag.Bool("quant", false, "deploy the quantized version")
-		devName  = flag.String("device", "Pixel4", "device profile")
-		frames   = flag.Int("frames", 8, "frames to process")
-		perLayer = flag.Bool("perlayer", true, "capture per-layer outputs")
-		out      = flag.String("o", "edge.jsonl", "output log path")
+		model    = fs.String("model", "mobilenetv2-mini", "zoo model name (classification)")
+		bug      = fs.String("bug", "none", "injected preprocessing bug")
+		quantF   = fs.Bool("quant", false, "deploy the quantized version")
+		devName  = fs.String("device", "Pixel4", "device profile")
+		frames   = fs.Int("frames", 8, "frames to process")
+		perLayer = fs.Bool("perlayer", true, "capture per-layer outputs")
+		parallel = fs.Int("parallel", 0, "replay workers (0 = all cores)")
+		out      = fs.String("o", "edge.jsonl", "output log path")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	entry, err := zoo.Get(*model)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	m := entry.Mobile
 	if *quantF {
@@ -44,36 +61,46 @@ func main() {
 	}
 	dev, err := device.ByName(*devName)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	mon := core.NewMonitor(core.WithCaptureMode(core.CaptureFull), core.WithPerLayer(*perLayer))
-	cl, err := pipeline.NewClassifier(m, pipeline.Options{
+	base, err := pipeline.NewClassifier(m, pipeline.Options{
 		Resolver: ops.NewOptimized(ops.Historical()),
-		Monitor:  mon,
 		Device:   dev,
 		Bug:      pipeline.Bug(*bug),
 	})
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	for _, s := range datasets.SynthImageNet(5555, *frames) {
-		if _, _, err := cl.Classify(s.Image); err != nil {
-			fatal(err)
-		}
-	}
+	samples := datasets.SynthImageNet(5555, *frames)
 	f, err := os.Create(*out)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	defer f.Close()
-	if err := mon.Log().WriteJSONL(f); err != nil {
-		fatal(err)
+	sink := core.NewJSONLSink(f)
+	// DiscardLog: frames stream to disk as they merge, so memory stays flat
+	// however long the replay.
+	_, err = runner.Replay(len(samples), func(mon *core.Monitor) (runner.ProcessFunc, error) {
+		cl, err := base.Clone(mon)
+		if err != nil {
+			return nil, err
+		}
+		return func(i int) error {
+			_, _, err := cl.Classify(samples[i].Image)
+			return err
+		}, nil
+	}, runner.Options{
+		Workers:        *parallel,
+		MonitorOptions: []core.MonitorOption{core.WithCaptureMode(core.CaptureFull), core.WithPerLayer(*perLayer)},
+		Sink:           sink,
+		DiscardLog:     true,
+	})
+	if err != nil {
+		return err
 	}
-	n, _ := mon.Log().SizeBytes()
-	fmt.Printf("edgerun: wrote %d records (%d bytes) to %s\n", len(mon.Log().Records), n, *out)
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "edgerun:", err)
-	os.Exit(1)
+	if err := sink.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "edgerun: wrote %d records (%d bytes) to %s\n", sink.Records(), sink.Bytes(), *out)
+	return nil
 }

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mlexray/internal/core"
+)
+
+// TestRunOneFrame drives a one-frame end-to-end run through flag parsing,
+// the parallel replay path and the streaming JSONL sink, and checks that
+// the written log reads back.
+func TestRunOneFrame(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "edge.jsonl")
+	var buf bytes.Buffer
+	err := run([]string{"-frames", "1", "-parallel", "2", "-bug", "normalization", "-o", out}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "edgerun: wrote") {
+		t.Errorf("missing summary line: %q", buf.String())
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	l, err := core.ReadJSONL(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l.Records) == 0 {
+		t.Error("log has no records")
+	}
+	if got := l.Frames(); got != 2 { // frames are 1-based: one frame -> max index 1
+		t.Errorf("Frames() = %d, want 2", got)
+	}
+}
+
+func TestRunFlagErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-definitely-not-a-flag"}, &buf); err == nil {
+		t.Error("unknown flag should error")
+	}
+	if err := run([]string{"-model", "no-such-model"}, &buf); err == nil {
+		t.Error("unknown model should error")
+	}
+	if err := run([]string{"-device", "no-such-device"}, &buf); err == nil {
+		t.Error("unknown device should error")
+	}
+}

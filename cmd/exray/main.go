@@ -2,7 +2,7 @@
 // model: it executes an (optionally bugged) edge pipeline and the correct
 // reference pipeline over the same data, compares the logs following the
 // paper's Figure 2 flowchart, and prints the validation report with
-// root-cause findings.
+// root-cause findings. Both replays shard across -parallel workers.
 //
 // Usage:
 //
@@ -14,6 +14,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"mlexray/internal/core"
@@ -21,24 +22,36 @@ import (
 	"mlexray/internal/graph"
 	"mlexray/internal/ops"
 	"mlexray/internal/pipeline"
+	"mlexray/internal/runner"
 	"mlexray/internal/zoo"
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "exray:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("exray", flag.ContinueOnError)
 	var (
-		model    = flag.String("model", "mobilenetv2-mini", "zoo model name")
-		bug      = flag.String("bug", "none", "injected bug: none|resize|channel|normalization|rotation|specnorm|lowercase")
-		quantF   = flag.Bool("quant", false, "deploy the quantized model version")
-		resolver = flag.String("resolver", "optimized", "edge op resolver: optimized|reference")
-		fixed    = flag.Bool("fixed", false, "use the repaired kernel build instead of the historical one")
-		frames   = flag.Int("frames", 8, "evaluation frames")
-		perLayer = flag.Bool("perlayer", true, "capture per-layer outputs for localisation")
+		model    = fs.String("model", "mobilenetv2-mini", "zoo model name")
+		bug      = fs.String("bug", "none", "injected bug: none|resize|channel|normalization|rotation|specnorm|lowercase")
+		quantF   = fs.Bool("quant", false, "deploy the quantized model version")
+		resolver = fs.String("resolver", "optimized", "edge op resolver: optimized|reference")
+		fixed    = fs.Bool("fixed", false, "use the repaired kernel build instead of the historical one")
+		frames   = fs.Int("frames", 8, "evaluation frames")
+		perLayer = fs.Bool("perlayer", true, "capture per-layer outputs for localisation")
+		parallel = fs.Int("parallel", 0, "replay workers (0 = all cores)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	entry, err := zoo.Get(*model)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	edgeModel := entry.Mobile
 	if *quantF {
@@ -55,68 +68,86 @@ func main() {
 	case "reference":
 		edgeResolver = ops.NewReference(cfg)
 	default:
-		fatal(fmt.Errorf("unknown resolver %q", *resolver))
+		return fmt.Errorf("unknown resolver %q", *resolver)
 	}
 
-	fmt.Printf("edge:      %s (%s, %s resolver, bug=%s)\n", edgeModel.Name, edgeModel.Format, *resolver, *bug)
-	fmt.Printf("reference: %s (%s, reference resolver, fixed kernels)\n\n", entry.Mobile.Name, entry.Mobile.Format)
+	fmt.Fprintf(stdout, "edge:      %s (%s, %s resolver, bug=%s)\n", edgeModel.Name, edgeModel.Format, *resolver, *bug)
+	fmt.Fprintf(stdout, "reference: %s (%s, reference resolver, fixed kernels)\n\n", entry.Mobile.Name, entry.Mobile.Format)
 
-	edgeLog, err := run(edgeModel, edgeResolver, pipeline.Bug(*bug), *frames, *perLayer)
+	edgeLog, err := captureLog(edgeModel, edgeResolver, pipeline.Bug(*bug), *frames, *perLayer, *parallel)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	refLog, err := run(entry.Mobile, ops.NewReference(ops.Fixed()), pipeline.BugNone, *frames, *perLayer)
+	refLog, err := captureLog(entry.Mobile, ops.NewReference(ops.Fixed()), pipeline.BugNone, *frames, *perLayer, *parallel)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	rep, err := core.Validate(edgeLog, refLog, core.DefaultValidateOptions())
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	rep.Render(os.Stdout)
+	rep.Render(stdout)
+	return nil
 }
 
-func run(m *graph.Model, resolver *ops.Resolver, bug pipeline.Bug, frames int, perLayer bool) (*core.Log, error) {
-	mon := core.NewMonitor(core.WithCaptureMode(core.CaptureFull), core.WithPerLayer(perLayer))
-	opts := pipeline.Options{Resolver: resolver, Monitor: mon, Bug: bug}
+// captureLog replays the model's evaluation set through the parallel replay
+// engine with full capture and returns the merged telemetry log.
+func captureLog(m *graph.Model, resolver *ops.Resolver, bug pipeline.Bug, frames int, perLayer bool, parallel int) (*core.Log, error) {
+	opts := runner.Options{
+		Workers:        parallel,
+		MonitorOptions: []core.MonitorOption{core.WithCaptureMode(core.CaptureFull), core.WithPerLayer(perLayer)},
+	}
+	popts := pipeline.Options{Resolver: resolver, Bug: bug}
 	switch m.Meta.Task {
 	case "classification":
-		cl, err := pipeline.NewClassifier(m, opts)
+		base, err := pipeline.NewClassifier(m, popts)
 		if err != nil {
 			return nil, err
 		}
-		for _, s := range datasets.SynthImageNet(5555, frames) {
-			if _, _, err := cl.Classify(s.Image); err != nil {
+		samples := datasets.SynthImageNet(5555, frames)
+		return runner.Replay(len(samples), func(mon *core.Monitor) (runner.ProcessFunc, error) {
+			cl, err := base.Clone(mon)
+			if err != nil {
 				return nil, err
 			}
-		}
+			return func(i int) error {
+				_, _, err := cl.Classify(samples[i].Image)
+				return err
+			}, nil
+		}, opts)
 	case "speech":
-		sr, err := pipeline.NewSpeechRecognizer(m, opts)
+		base, err := pipeline.NewSpeechRecognizer(m, popts)
 		if err != nil {
 			return nil, err
 		}
-		for _, s := range datasets.SynthSpeech(7777, frames) {
-			if _, _, err := sr.Recognize(s.Wave); err != nil {
+		samples := datasets.SynthSpeech(7777, frames)
+		return runner.Replay(len(samples), func(mon *core.Monitor) (runner.ProcessFunc, error) {
+			sr, err := base.Clone(mon)
+			if err != nil {
 				return nil, err
 			}
-		}
+			return func(i int) error {
+				_, _, err := sr.Recognize(samples[i].Wave)
+				return err
+			}, nil
+		}, opts)
 	case "text":
-		tc, err := pipeline.NewTextClassifier(m, datasets.TokenizeText, opts)
+		base, err := pipeline.NewTextClassifier(m, datasets.TokenizeText, popts)
 		if err != nil {
 			return nil, err
 		}
-		for _, s := range datasets.SynthIMDB(9999, frames) {
-			if _, _, err := tc.ClassifyText(s.Text); err != nil {
+		samples := datasets.SynthIMDB(9999, frames)
+		return runner.Replay(len(samples), func(mon *core.Monitor) (runner.ProcessFunc, error) {
+			tc, err := base.Clone(mon)
+			if err != nil {
 				return nil, err
 			}
-		}
+			return func(i int) error {
+				_, _, err := tc.ClassifyText(samples[i].Text)
+				return err
+			}, nil
+		}, opts)
 	default:
 		return nil, fmt.Errorf("exray: task %q not supported by this command", m.Meta.Task)
 	}
-	return mon.Log(), nil
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "exray:", err)
-	os.Exit(1)
 }

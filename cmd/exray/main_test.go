@@ -1,0 +1,52 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunOneFrameValidation drives the one-shot validation flow end to end
+// on a single frame: both replays run on the parallel engine and the report
+// renders.
+func TestRunOneFrameValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-frames", "1", "-parallel", "2", "-perlayer=false"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "deployment validation report") {
+		t.Errorf("missing report header:\n%s", out)
+	}
+	if !strings.Contains(out, "output agreement") {
+		t.Errorf("missing agreement line:\n%s", out)
+	}
+}
+
+// TestRunCatchesInjectedBug checks the flow flags a channel-arrangement bug
+// on a small replay.
+func TestRunCatchesInjectedBug(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-frame validation sweep")
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"-frames", "4", "-bug", "channel", "-fixed"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "channel-arrangement") {
+		t.Errorf("channel bug not flagged:\n%s", buf.String())
+	}
+}
+
+func TestRunFlagErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-bogus"}, &buf); err == nil {
+		t.Error("unknown flag should error")
+	}
+	if err := run([]string{"-resolver", "wat"}, &buf); err == nil {
+		t.Error("unknown resolver should error")
+	}
+	if err := run([]string{"-model", "no-such-model"}, &buf); err == nil {
+		t.Error("unknown model should error")
+	}
+}

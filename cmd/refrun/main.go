@@ -3,61 +3,87 @@
 // float model, the reference op resolver with repaired kernels — over the
 // same synthetic data edgerun uses, and writes the reference telemetry log.
 //
+// Like edgerun, the replay shards across -parallel workers with telemetry
+// streamed to disk in deterministic frame order.
+//
 // Usage:
 //
 //	refrun -model mobilenetv2-mini -o ref.jsonl
+//	refrun -model mobilenetv2-mini -parallel 8 -o ref.jsonl
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"mlexray/internal/core"
 	"mlexray/internal/datasets"
 	"mlexray/internal/ops"
 	"mlexray/internal/pipeline"
+	"mlexray/internal/runner"
 	"mlexray/internal/zoo"
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "refrun:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("refrun", flag.ContinueOnError)
 	var (
-		model    = flag.String("model", "mobilenetv2-mini", "zoo model name (classification)")
-		frames   = flag.Int("frames", 8, "frames to process")
-		perLayer = flag.Bool("perlayer", true, "capture per-layer outputs")
-		out      = flag.String("o", "ref.jsonl", "output log path")
+		model    = fs.String("model", "mobilenetv2-mini", "zoo model name (classification)")
+		frames   = fs.Int("frames", 8, "frames to process")
+		perLayer = fs.Bool("perlayer", true, "capture per-layer outputs")
+		parallel = fs.Int("parallel", 0, "replay workers (0 = all cores)")
+		out      = fs.String("o", "ref.jsonl", "output log path")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	entry, err := zoo.Get(*model)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	mon := core.NewMonitor(core.WithCaptureMode(core.CaptureFull), core.WithPerLayer(*perLayer))
-	cl, err := pipeline.NewClassifier(entry.Mobile, pipeline.Options{
+	base, err := pipeline.NewClassifier(entry.Mobile, pipeline.Options{
 		Resolver: ops.NewReference(ops.Fixed()),
-		Monitor:  mon,
 	})
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	for _, s := range datasets.SynthImageNet(5555, *frames) {
-		if _, _, err := cl.Classify(s.Image); err != nil {
-			fatal(err)
-		}
-	}
+	samples := datasets.SynthImageNet(5555, *frames)
 	f, err := os.Create(*out)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	defer f.Close()
-	if err := mon.Log().WriteJSONL(f); err != nil {
-		fatal(err)
+	sink := core.NewJSONLSink(f)
+	_, err = runner.Replay(len(samples), func(mon *core.Monitor) (runner.ProcessFunc, error) {
+		cl, err := base.Clone(mon)
+		if err != nil {
+			return nil, err
+		}
+		return func(i int) error {
+			_, _, err := cl.Classify(samples[i].Image)
+			return err
+		}, nil
+	}, runner.Options{
+		Workers:        *parallel,
+		MonitorOptions: []core.MonitorOption{core.WithCaptureMode(core.CaptureFull), core.WithPerLayer(*perLayer)},
+		Sink:           sink,
+		DiscardLog:     true,
+	})
+	if err != nil {
+		return err
 	}
-	fmt.Printf("refrun: wrote %d records to %s\n", len(mon.Log().Records), *out)
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "refrun:", err)
-	os.Exit(1)
+	if err := sink.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "refrun: wrote %d records to %s\n", sink.Records(), *out)
+	return nil
 }

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mlexray/internal/core"
+)
+
+// TestRunOneFrame drives a one-frame reference run end to end and checks
+// the streamed log reads back.
+func TestRunOneFrame(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "ref.jsonl")
+	var buf bytes.Buffer
+	if err := run([]string{"-frames", "1", "-parallel", "2", "-o", out}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "refrun: wrote") {
+		t.Errorf("missing summary line: %q", buf.String())
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	l, err := core.ReadJSONL(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l.Records) == 0 {
+		t.Error("log has no records")
+	}
+}
+
+func TestRunFlagErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-nope"}, &buf); err == nil {
+		t.Error("unknown flag should error")
+	}
+	if err := run([]string{"-model", "no-such-model"}, &buf); err == nil {
+		t.Error("unknown model should error")
+	}
+}

@@ -177,3 +177,73 @@ func TestFacadeCombinedBugsStillCaught(t *testing.T) {
 		}
 	}
 }
+
+// TestFacadeParallelReplay exercises the public parallel replay API: a
+// worker-pool replay streamed through a JSONL sink, whose validator output
+// matches a sequential capture of the same pipeline.
+func TestFacadeParallelReplay(t *testing.T) {
+	entry, err := zoo.Get("mobilenetv2-mini")
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := datasets.SynthImageNet(5555, 5)
+	base, err := pipeline.NewClassifier(entry.Mobile, pipeline.Options{Resolver: ops.NewReference(ops.Fixed())})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "par.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := mlexray.NewJSONLSink(f)
+	par, err := mlexray.Replay(len(samples), func(mon *mlexray.Monitor) (mlexray.ProcessFunc, error) {
+		cl, err := base.Clone(mon)
+		if err != nil {
+			return nil, err
+		}
+		return func(i int) error {
+			_, _, err := cl.Classify(samples[i].Image)
+			return err
+		}, nil
+	}, mlexray.ReplayOptions{
+		Workers:        4,
+		MonitorOptions: []mlexray.MonitorOption{mlexray.WithCaptureMode(mlexray.CaptureFull), mlexray.WithPerLayer(true)},
+		Sink:           sink,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if sink.Records() != len(par.Records) {
+		t.Errorf("sink wrote %d records, merged log has %d", sink.Records(), len(par.Records))
+	}
+
+	// The parallel log must validate cleanly against a sequential capture
+	// of the same pipeline, and the streamed file must read back whole.
+	seq := captureLog(t, pipeline.BugNone, ops.NewReference(ops.Fixed()), false)
+	report, err := mlexray.Validate(par, seq, mlexray.DefaultValidateOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.OutputAgreement != 1 {
+		t.Errorf("parallel vs sequential agreement = %.2f, want 1", report.OutputAgreement)
+	}
+	rf, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rf.Close()
+	back, err := mlexray.ReadLog(rf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Records) != len(par.Records) {
+		t.Errorf("streamed file has %d records, merged log %d", len(back.Records), len(par.Records))
+	}
+}

@@ -1,0 +1,3 @@
+module mlexray
+
+go 1.24

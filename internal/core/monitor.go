@@ -85,6 +85,29 @@ func (m *Monitor) NextFrame() int {
 	return m.frame
 }
 
+// SetNextFrame positions the frame counter so that the next NextFrame call
+// returns idx. Shard monitors in the parallel replay engine use this to tag
+// records with global frame indices: a worker owning dataset frame g seeks
+// to g+1 before invoking the pipeline, so its records carry exactly the
+// frame number a sequential run would have assigned.
+func (m *Monitor) SetNextFrame(idx int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.frame = idx - 1
+}
+
+// Drain removes and returns all buffered records, leaving the sequence and
+// frame counters untouched. The parallel replay engine drains each shard
+// after every frame so per-shard buffers stay one frame deep regardless of
+// replay length.
+func (m *Monitor) Drain() []Record {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	recs := m.log.Records
+	m.log.Records = nil
+	return recs
+}
+
 func (m *Monitor) append(r Record) {
 	m.mu.Lock()
 	r.Seq = m.seq
@@ -238,9 +261,5 @@ func (m *Monitor) Reset() {
 func (m *Monitor) MemoryFootprintBytes() int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	n := 0
-	for i := range m.log.Records {
-		n += len(m.log.Records[i].Data) + len(m.log.Records[i].Key) + 64
-	}
-	return n
+	return m.log.MemoryFootprintBytes()
 }

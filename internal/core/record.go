@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sort"
 
 	"mlexray/internal/tensor"
 )
@@ -189,6 +190,42 @@ type countingWriter int
 func (c *countingWriter) Write(p []byte) (int, error) {
 	*c += countingWriter(len(p))
 	return len(p), nil
+}
+
+// MemoryFootprintBytes estimates the buffer memory the log's records hold:
+// the sum of all payloads plus fixed per-record overhead.
+func (l *Log) MemoryFootprintBytes() int {
+	n := 0
+	for i := range l.Records {
+		n += len(l.Records[i].Data) + len(l.Records[i].Key) + 64
+	}
+	return n
+}
+
+// MergeByFrame merges shard logs into one log ordered by frame index, with
+// sequence numbers renumbered globally — the utility for hand-rolled shard
+// workflows (e.g. logs gathered from separate devices). Each frame must have
+// been processed by exactly one shard, and each shard must have processed
+// its frames in increasing order; the result then reproduces the record
+// order a sequential run would have logged. runner.Replay applies the same
+// contract incrementally in its streaming collector; a runner test pins the
+// two to identical output.
+func MergeByFrame(shards ...*Log) *Log {
+	total := 0
+	for _, s := range shards {
+		total += len(s.Records)
+	}
+	merged := &Log{Records: make([]Record, 0, total)}
+	for _, s := range shards {
+		merged.Records = append(merged.Records, s.Records...)
+	}
+	sort.SliceStable(merged.Records, func(i, j int) bool {
+		return merged.Records[i].Frame < merged.Records[j].Frame
+	})
+	for i := range merged.Records {
+		merged.Records[i].Seq = i
+	}
+	return merged
 }
 
 // ByKey returns all records with the given key, in order.

@@ -1,0 +1,55 @@
+package core
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// JSONLSink streams telemetry records to a writer in the standard JSONL log
+// format without retaining them, so replays over arbitrarily long datasets
+// keep constant memory. It is the streaming counterpart of Log.WriteJSONL:
+// a log written through the sink reads back (ReadJSONL) identically to one
+// accumulated in memory and written at the end.
+//
+// The sink is not safe for concurrent use; the parallel replay engine
+// serializes frames through its in-order collector before writing, which is
+// also what guarantees the on-disk record order matches a sequential run.
+type JSONLSink struct {
+	bw      *bufio.Writer
+	enc     *json.Encoder
+	records int
+	bytes   countingWriter
+}
+
+// NewJSONLSink wraps w in a streaming JSONL log writer.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	s := &JSONLSink{}
+	s.bw = bufio.NewWriter(io.MultiWriter(w, &s.bytes))
+	s.enc = json.NewEncoder(s.bw)
+	return s
+}
+
+// WriteFrame appends one frame's records to the stream. Frames must arrive
+// in increasing frame order with sequence numbers already assigned.
+func (s *JSONLSink) WriteFrame(frame int, recs []Record) error {
+	for i := range recs {
+		if err := s.enc.Encode(&recs[i]); err != nil {
+			return fmt.Errorf("core: sink frame %d record %d: %w", frame, i, err)
+		}
+	}
+	s.records += len(recs)
+	return nil
+}
+
+// Flush drains buffered output to the underlying writer. Call once after the
+// replay completes (closing the underlying file is the caller's job).
+func (s *JSONLSink) Flush() error { return s.bw.Flush() }
+
+// Records returns the number of records written so far.
+func (s *JSONLSink) Records() int { return s.records }
+
+// Bytes returns the serialized bytes written so far (pre-buffering count is
+// exact after Flush).
+func (s *JSONLSink) Bytes() int { return int(s.bytes) }

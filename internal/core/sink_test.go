@@ -1,0 +1,108 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"mlexray/internal/tensor"
+)
+
+func TestSetNextFrameAndDrain(t *testing.T) {
+	m := NewMonitor()
+	m.SetNextFrame(7)
+	if got := m.NextFrame(); got != 7 {
+		t.Fatalf("NextFrame after SetNextFrame(7) = %d", got)
+	}
+	m.LogMetric("a", 1, "u")
+	m.LogMetric("b", 2, "u")
+	recs := m.Drain()
+	if len(recs) != 2 {
+		t.Fatalf("drained %d records", len(recs))
+	}
+	if recs[0].Frame != 7 || recs[1].Frame != 7 {
+		t.Errorf("drained frames = %d, %d, want 7", recs[0].Frame, recs[1].Frame)
+	}
+	if len(m.Log().Records) != 0 {
+		t.Error("Drain left records behind")
+	}
+	// The sequence counter survives a drain, so later records keep
+	// monotonically increasing shard-local seq.
+	m.LogMetric("c", 3, "u")
+	if got := m.Log().Records[0].Seq; got != 2 {
+		t.Errorf("post-drain seq = %d, want 2", got)
+	}
+}
+
+func TestMergeByFrame(t *testing.T) {
+	// Two shards that processed interleaved frames, each in increasing
+	// order — the parallel replay shape.
+	shardA := &Log{Records: []Record{
+		{Seq: 0, Frame: 1, Key: "x"},
+		{Seq: 1, Frame: 1, Key: "y"},
+		{Seq: 2, Frame: 3, Key: "x"},
+	}}
+	shardB := &Log{Records: []Record{
+		{Seq: 0, Frame: 2, Key: "x"},
+		{Seq: 1, Frame: 4, Key: "x"},
+	}}
+	merged := MergeByFrame(shardA, shardB)
+	wantFrames := []int{1, 1, 2, 3, 4}
+	if len(merged.Records) != len(wantFrames) {
+		t.Fatalf("merged %d records", len(merged.Records))
+	}
+	for i, r := range merged.Records {
+		if r.Frame != wantFrames[i] {
+			t.Errorf("record %d frame = %d, want %d", i, r.Frame, wantFrames[i])
+		}
+		if r.Seq != i {
+			t.Errorf("record %d seq = %d, want %d", i, r.Seq, i)
+		}
+	}
+	// Intra-frame order preserved (stable merge).
+	if merged.Records[0].Key != "x" || merged.Records[1].Key != "y" {
+		t.Error("intra-frame order not preserved")
+	}
+}
+
+func TestJSONLSinkMatchesWriteJSONL(t *testing.T) {
+	m := NewMonitor(WithCaptureMode(CaptureFull))
+	tt := tensor.FromFloats([]float32{1, 2, 3, 4}, 2, 2)
+	for f := 0; f < 3; f++ {
+		m.NextFrame()
+		m.LogTensor("t", tt)
+		m.LogMetric("m", float64(f), "u")
+	}
+	l := m.Log()
+	var want bytes.Buffer
+	if err := l.WriteJSONL(&want); err != nil {
+		t.Fatal(err)
+	}
+
+	var got bytes.Buffer
+	sink := NewJSONLSink(&got)
+	for f := 1; f <= 3; f++ {
+		if err := sink.WriteFrame(f, l.ByFrame(f)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		t.Error("sink output differs from WriteJSONL")
+	}
+	if sink.Records() != len(l.Records) {
+		t.Errorf("sink.Records() = %d, want %d", sink.Records(), len(l.Records))
+	}
+	if sink.Bytes() != want.Len() {
+		t.Errorf("sink.Bytes() = %d, want %d", sink.Bytes(), want.Len())
+	}
+	// And the stream reads back as a log.
+	back, err := ReadJSONL(&got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Records) != len(l.Records) {
+		t.Errorf("read back %d records, want %d", len(back.Records), len(l.Records))
+	}
+}

@@ -3,41 +3,75 @@
 // experiment returns structured rows and offers a text renderer; the root
 // bench harness and cmd/benchtab drive them. EXPERIMENTS.md records the
 // paper-vs-measured comparison for each.
+//
+// All dataset sweeps run on the parallel replay engine (internal/runner):
+// frames shard across ReplayWorkers workers, each owning a pipeline replica,
+// and shard telemetry merges deterministically by frame index — so every
+// number in every table is identical to a sequential run while the suite
+// scales with the core count.
 package experiments
 
 import (
 	"fmt"
 	"io"
 
+	"mlexray/internal/core"
 	"mlexray/internal/datasets"
 	"mlexray/internal/device"
 	"mlexray/internal/graph"
 	"mlexray/internal/metrics"
 	"mlexray/internal/ops"
 	"mlexray/internal/pipeline"
+	"mlexray/internal/runner"
 	"mlexray/internal/zoo"
 )
 
 // EvalFrames is the evaluation-set size for accuracy experiments: large
 // enough for stable estimates, small enough to keep the full suite fast.
-const EvalFrames = 120
+// Tests reduce it under -short.
+var EvalFrames = 120
+
+// ReplayWorkers is the worker-pool size the sweeps hand to the parallel
+// replay engine; 0 means GOMAXPROCS. Results are identical for any value.
+var ReplayWorkers = 0
+
+// replayLog shards a replay across the worker pool and returns the merged
+// telemetry log. factory builds one worker's per-frame body around its
+// monitor shard.
+func replayLog(frames int, monOpts []core.MonitorOption, factory runner.WorkerFactory) (*core.Log, error) {
+	return runner.Replay(frames, factory, runner.Options{Workers: ReplayWorkers, MonitorOptions: monOpts})
+}
 
 // evalClassifierAccuracy measures top-1 accuracy of a model version through
-// a pipeline with the given options.
+// a pipeline with the given options, sharding frames across the replay pool.
+// Per-frame results land in frame-indexed slots, so worker scheduling cannot
+// perturb the metric.
 func evalClassifierAccuracy(m *graph.Model, opts pipeline.Options, n int) (float64, error) {
-	cl, err := pipeline.NewClassifier(m, opts)
+	base, err := pipeline.NewClassifier(m, opts)
 	if err != nil {
 		return 0, err
 	}
 	samples := datasets.SynthImageNet(5555, n)
 	preds := make([]int, len(samples))
 	labels := make([]int, len(samples))
-	for i, s := range samples {
-		p, _, err := cl.Classify(s.Image)
+	_, err = replayLog(len(samples), nil, func(*core.Monitor) (runner.ProcessFunc, error) {
+		// Accuracy evals discard telemetry, so replicas run uninstrumented
+		// (nil monitor) — no per-frame tensor-stats cost on the hot path.
+		cl, err := base.Clone(nil)
 		if err != nil {
-			return 0, err
+			return nil, err
 		}
-		preds[i], labels[i] = p, s.Label
+		return func(i int) error {
+			p, _, err := cl.Classify(samples[i].Image)
+			if err != nil {
+				return err
+			}
+			preds[i], labels[i] = p, samples[i].Label
+			return nil
+		}, nil
+	})
+	if err != nil {
+		return 0, err
 	}
 	return metrics.Top1(preds, labels)
 }

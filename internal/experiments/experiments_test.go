@@ -2,6 +2,8 @@ package experiments
 
 import (
 	"bytes"
+	"flag"
+	"os"
 	"strings"
 	"testing"
 
@@ -11,6 +13,28 @@ import (
 // These tests verify the *shape* of each reproduced result — who wins, by
 // roughly what factor, where crossovers fall — per DESIGN.md §3. Absolute
 // values are recorded in EXPERIMENTS.md, not asserted.
+//
+// Under -short the sweeps run with reduced frame counts (the shapes are
+// already stable well below the full evaluation size); the full sweep runs
+// without -short. All sweeps run on the parallel replay engine either way.
+
+// TestMain shrinks the shared evaluation-set size in short mode before any
+// test builds a sweep.
+func TestMain(m *testing.M) {
+	flag.Parse()
+	if testing.Short() {
+		EvalFrames = 40
+	}
+	os.Exit(m.Run())
+}
+
+// frames picks the full or the -short frame count for a parameterized sweep.
+func frames(full, short int) int {
+	if testing.Short() {
+		return short
+	}
+	return full
+}
 
 func TestFigure4aShape(t *testing.T) {
 	rows, err := Figure4a()
@@ -143,7 +167,7 @@ func TestFigure5FixedRepairsEverything(t *testing.T) {
 }
 
 func TestFigure6Localisation(t *testing.T) {
-	series, err := Figure6(3)
+	series, err := Figure6(frames(3, 2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,7 +199,7 @@ func TestFigure6Localisation(t *testing.T) {
 }
 
 func TestFigure3CoverageMatrix(t *testing.T) {
-	cells, err := Figure3(5)
+	cells, err := Figure3(frames(5, 3))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -241,7 +265,7 @@ func TestTable1LoCAdvantage(t *testing.T) {
 }
 
 func TestTable2OverheadShape(t *testing.T) {
-	rows, err := Table2(30)
+	rows, err := Table2(frames(30, 12))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -286,11 +310,11 @@ func TestTable2OverheadShape(t *testing.T) {
 }
 
 func TestTable3And5Shape(t *testing.T) {
-	quant, err := Table3(10)
+	quant, err := Table3(frames(10, 4))
 	if err != nil {
 		t.Fatal(err)
 	}
-	float, err := Table5(10)
+	float, err := Table5(frames(10, 4))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -352,7 +376,7 @@ func TestTable4Shape(t *testing.T) {
 }
 
 func TestAppendixTextShape(t *testing.T) {
-	rows, err := AppendixText(60)
+	rows, err := AppendixText(frames(60, 24))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -367,7 +391,7 @@ func TestAppendixTextShape(t *testing.T) {
 }
 
 func TestAppendixInGraphImmunity(t *testing.T) {
-	rows, err := AppendixInGraph(80)
+	rows, err := AppendixInGraph(frames(80, 40))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"io"
 	"strings"
 
@@ -9,6 +10,7 @@ import (
 	"mlexray/internal/graph"
 	"mlexray/internal/ops"
 	"mlexray/internal/pipeline"
+	"mlexray/internal/runner"
 	"mlexray/internal/zoo"
 )
 
@@ -155,70 +157,98 @@ func validateCell(task, issue string, edge, ref *core.Log) Figure3Cell {
 }
 
 func runImageTask(task string, m *graph.Model, resolver *ops.Resolver, bug pipeline.Bug, frames int, perLayer bool) (*core.Log, error) {
-	mon := core.NewMonitor(core.WithCaptureMode(core.CaptureFull), core.WithPerLayer(perLayer))
-	opts := pipeline.Options{Resolver: resolver, Monitor: mon, Bug: bug}
+	monOpts := []core.MonitorOption{core.WithCaptureMode(core.CaptureFull), core.WithPerLayer(perLayer)}
+	opts := pipeline.Options{Resolver: resolver, Bug: bug}
 	switch task {
 	case "classification":
-		cl, err := pipeline.NewClassifier(m, opts)
+		base, err := pipeline.NewClassifier(m, opts)
 		if err != nil {
 			return nil, err
 		}
-		for _, s := range datasets.SynthImageNet(5555, frames) {
-			if _, _, err := cl.Classify(s.Image); err != nil {
+		samples := datasets.SynthImageNet(5555, frames)
+		return replayLog(len(samples), monOpts, func(mon *core.Monitor) (runner.ProcessFunc, error) {
+			cl, err := base.Clone(mon)
+			if err != nil {
 				return nil, err
 			}
-		}
+			return func(i int) error {
+				_, _, err := cl.Classify(samples[i].Image)
+				return err
+			}, nil
+		})
 	case "detection":
-		det, err := pipeline.NewDetector(m, opts)
+		base, err := pipeline.NewDetector(m, opts)
 		if err != nil {
 			return nil, err
 		}
-		for _, s := range datasets.SynthCOCO(6666, frames) {
-			if _, _, err := det.Detect(s.Image); err != nil {
+		samples := datasets.SynthCOCO(6666, frames)
+		return replayLog(len(samples), monOpts, func(mon *core.Monitor) (runner.ProcessFunc, error) {
+			det, err := base.Clone(mon)
+			if err != nil {
 				return nil, err
 			}
-		}
+			return func(i int) error {
+				_, _, err := det.Detect(samples[i].Image)
+				return err
+			}, nil
+		})
 	case "segmentation":
-		sg, err := pipeline.NewSegmenter(m, opts)
+		base, err := pipeline.NewSegmenter(m, opts)
 		if err != nil {
 			return nil, err
 		}
-		for _, s := range datasets.SynthSegmentation(8888, frames) {
-			if _, err := sg.Segment(s.Image); err != nil {
+		samples := datasets.SynthSegmentation(8888, frames)
+		return replayLog(len(samples), monOpts, func(mon *core.Monitor) (runner.ProcessFunc, error) {
+			sg, err := base.Clone(mon)
+			if err != nil {
 				return nil, err
 			}
-		}
+			return func(i int) error {
+				_, err := sg.Segment(samples[i].Image)
+				return err
+			}, nil
+		})
 	}
-	return mon.Log(), nil
+	return nil, fmt.Errorf("experiments: unknown image task %q", task)
 }
 
 func runSpeech(m *graph.Model, resolver *ops.Resolver, bug pipeline.Bug, frames int) (*core.Log, error) {
-	mon := core.NewMonitor(core.WithCaptureMode(core.CaptureFull))
-	sr, err := pipeline.NewSpeechRecognizer(m, pipeline.Options{Resolver: resolver, Monitor: mon, Bug: bug})
+	base, err := pipeline.NewSpeechRecognizer(m, pipeline.Options{Resolver: resolver, Bug: bug})
 	if err != nil {
 		return nil, err
 	}
-	for _, s := range datasets.SynthSpeech(7777, frames) {
-		if _, _, err := sr.Recognize(s.Wave); err != nil {
-			return nil, err
-		}
-	}
-	return mon.Log(), nil
+	samples := datasets.SynthSpeech(7777, frames)
+	return replayLog(len(samples), []core.MonitorOption{core.WithCaptureMode(core.CaptureFull)},
+		func(mon *core.Monitor) (runner.ProcessFunc, error) {
+			sr, err := base.Clone(mon)
+			if err != nil {
+				return nil, err
+			}
+			return func(i int) error {
+				_, _, err := sr.Recognize(samples[i].Wave)
+				return err
+			}, nil
+		})
 }
 
 func runText(m *graph.Model, bug pipeline.Bug, frames int) (*core.Log, error) {
-	mon := core.NewMonitor(core.WithCaptureMode(core.CaptureFull))
-	tc, err := pipeline.NewTextClassifier(m, datasets.TokenizeText,
-		pipeline.Options{Resolver: fixedOptimized(), Monitor: mon, Bug: bug})
+	base, err := pipeline.NewTextClassifier(m, datasets.TokenizeText,
+		pipeline.Options{Resolver: fixedOptimized(), Bug: bug})
 	if err != nil {
 		return nil, err
 	}
-	for _, s := range datasets.SynthIMDB(9999, frames) {
-		if _, _, err := tc.ClassifyText(s.Text); err != nil {
-			return nil, err
-		}
-	}
-	return mon.Log(), nil
+	samples := datasets.SynthIMDB(9999, frames)
+	return replayLog(len(samples), []core.MonitorOption{core.WithCaptureMode(core.CaptureFull)},
+		func(mon *core.Monitor) (runner.ProcessFunc, error) {
+			tc, err := base.Clone(mon)
+			if err != nil {
+				return nil, err
+			}
+			return func(i int) error {
+				_, _, err := tc.ClassifyText(samples[i].Text)
+				return err
+			}, nil
+		})
 }
 
 // runImageTaskOnDevice runs with the emulator latency model attached so the
@@ -228,21 +258,26 @@ func runImageTaskOnDevice(m *graph.Model, resolver *ops.Resolver, frames int) (*
 }
 
 func runImageTaskOnProfile(m *graph.Model, resolver *ops.Resolver, profile string, frames int) (*core.Log, error) {
-	mon := core.NewMonitor(core.WithCaptureMode(core.CaptureStats), core.WithPerLayer(true))
 	dev, err := deviceByName(profile)
 	if err != nil {
 		return nil, err
 	}
-	cl, err := pipeline.NewClassifier(m, pipeline.Options{Resolver: resolver, Monitor: mon, Device: dev})
+	base, err := pipeline.NewClassifier(m, pipeline.Options{Resolver: resolver, Device: dev})
 	if err != nil {
 		return nil, err
 	}
-	for _, s := range datasets.SynthImageNet(5555, frames) {
-		if _, _, err := cl.Classify(s.Image); err != nil {
-			return nil, err
-		}
-	}
-	return mon.Log(), nil
+	samples := datasets.SynthImageNet(5555, frames)
+	return replayLog(len(samples), []core.MonitorOption{core.WithCaptureMode(core.CaptureStats), core.WithPerLayer(true)},
+		func(mon *core.Monitor) (runner.ProcessFunc, error) {
+			cl, err := base.Clone(mon)
+			if err != nil {
+				return nil, err
+			}
+			return func(i int) error {
+				_, _, err := cl.Classify(samples[i].Image)
+				return err
+			}, nil
+		})
 }
 
 // RenderFigure3 prints the coverage matrix.

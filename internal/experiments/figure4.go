@@ -3,10 +3,12 @@ package experiments
 import (
 	"io"
 
+	"mlexray/internal/core"
 	"mlexray/internal/datasets"
 	"mlexray/internal/metrics"
 	"mlexray/internal/models"
 	"mlexray/internal/pipeline"
+	"mlexray/internal/runner"
 	"mlexray/internal/tensor"
 	"mlexray/internal/zoo"
 )
@@ -83,19 +85,35 @@ func Figure4b() ([]Figure4bRow, error) {
 		}
 		row := Figure4bRow{Model: name, ByBug: map[pipeline.Bug]float64{}}
 		evalMAP := func(bug pipeline.Bug) (float64, error) {
-			det, err := pipeline.NewDetector(e.Mobile, pipeline.Options{Resolver: fixedOptimized(), Bug: bug})
+			base, err := pipeline.NewDetector(e.Mobile, pipeline.Options{Resolver: fixedOptimized(), Bug: bug})
+			if err != nil {
+				return 0, err
+			}
+			// Per-frame detection slots keep the flattened list in frame
+			// order regardless of worker scheduling.
+			byFrame := make([][]metrics.DetBox, len(samples))
+			_, err = replayLog(len(samples), nil, func(*core.Monitor) (runner.ProcessFunc, error) {
+				det, err := base.Clone(nil) // mAP eval needs no telemetry
+				if err != nil {
+					return nil, err
+				}
+				return func(i int) error {
+					scores, boxes, err := det.Detect(samples[i].Image)
+					if err != nil {
+						return err
+					}
+					for _, d := range models.DecodeDetections(scoresOf(scores), boxesOf(boxes), e.Mobile.Meta.Anchors, 0.5, 0.45) {
+						byFrame[i] = append(byFrame[i], metrics.DetBox{Box: d.Box, Class: d.Class, Score: d.Score, Image: i})
+					}
+					return nil
+				}, nil
+			})
 			if err != nil {
 				return 0, err
 			}
 			var dets []metrics.DetBox
-			for i, s := range samples {
-				scores, boxes, err := det.Detect(s.Image)
-				if err != nil {
-					return 0, err
-				}
-				for _, d := range models.DecodeDetections(scoresOf(scores), boxesOf(boxes), e.Mobile.Meta.Anchors, 0.5, 0.45) {
-					dets = append(dets, metrics.DetBox{Box: d.Box, Class: d.Class, Score: d.Score, Image: i})
-				}
+			for _, fd := range byFrame {
+				dets = append(dets, fd...)
 			}
 			return metrics.MeanAP(dets, gt, datasets.DetectionNumClasses, 0.5)
 		}
@@ -149,18 +167,28 @@ func Figure4c() ([]Figure4cRow, error) {
 			return nil, err
 		}
 		eval := func(bug pipeline.Bug) (float64, error) {
-			sr, err := pipeline.NewSpeechRecognizer(e.Mobile, pipeline.Options{Resolver: fixedOptimized(), Bug: bug})
+			base, err := pipeline.NewSpeechRecognizer(e.Mobile, pipeline.Options{Resolver: fixedOptimized(), Bug: bug})
 			if err != nil {
 				return 0, err
 			}
 			preds := make([]int, len(samples))
 			labels := make([]int, len(samples))
-			for i, s := range samples {
-				p, _, err := sr.Recognize(s.Wave)
+			_, err = replayLog(len(samples), nil, func(*core.Monitor) (runner.ProcessFunc, error) {
+				sr, err := base.Clone(nil) // accuracy eval needs no telemetry
 				if err != nil {
-					return 0, err
+					return nil, err
 				}
-				preds[i], labels[i] = p, s.Label
+				return func(i int) error {
+					p, _, err := sr.Recognize(samples[i].Wave)
+					if err != nil {
+						return err
+					}
+					preds[i], labels[i] = p, samples[i].Label
+					return nil
+				}, nil
+			})
+			if err != nil {
+				return 0, err
 			}
 			return metrics.Top1(preds, labels)
 		}

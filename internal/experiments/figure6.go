@@ -9,6 +9,7 @@ import (
 	"mlexray/internal/graph"
 	"mlexray/internal/ops"
 	"mlexray/internal/pipeline"
+	"mlexray/internal/runner"
 	"mlexray/internal/zoo"
 )
 
@@ -64,19 +65,24 @@ func Figure6(frames int) ([]Figure6Series, error) {
 }
 
 // perLayerLog runs the classification pipeline over the evaluation set with
-// full per-layer capture.
+// full per-layer capture, sharded across the replay pool.
 func perLayerLog(m *graph.Model, resolver *ops.Resolver, frames int) (*core.Log, error) {
-	mon := core.NewMonitor(core.WithCaptureMode(core.CaptureFull), core.WithPerLayer(true))
-	cl, err := pipeline.NewClassifier(m, pipeline.Options{Resolver: resolver, Monitor: mon})
+	base, err := pipeline.NewClassifier(m, pipeline.Options{Resolver: resolver})
 	if err != nil {
 		return nil, err
 	}
-	for _, s := range datasets.SynthImageNet(5555, frames) {
-		if _, _, err := cl.Classify(s.Image); err != nil {
-			return nil, err
-		}
-	}
-	return mon.Log(), nil
+	samples := datasets.SynthImageNet(5555, frames)
+	return replayLog(len(samples), []core.MonitorOption{core.WithCaptureMode(core.CaptureFull), core.WithPerLayer(true)},
+		func(mon *core.Monitor) (runner.ProcessFunc, error) {
+			cl, err := base.Clone(mon)
+			if err != nil {
+				return nil, err
+			}
+			return func(i int) error {
+				_, _, err := cl.Classify(samples[i].Image)
+				return err
+			}, nil
+		})
 }
 
 // RenderFigure6 prints each series as (layer, op, nRMSE) rows with the

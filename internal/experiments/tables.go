@@ -11,6 +11,7 @@ import (
 	"mlexray/internal/graph"
 	"mlexray/internal/ops"
 	"mlexray/internal/pipeline"
+	"mlexray/internal/runner"
 	"mlexray/internal/zoo"
 )
 
@@ -46,39 +47,59 @@ func Table2(frames int) ([]Table2Row, error) {
 			return nil, err
 		}
 		for _, instrumented := range []bool{false, true} {
-			var mon *core.Monitor
-			if instrumented {
-				mon = core.NewMonitor(core.WithCaptureMode(core.CaptureStats))
-			}
-			cl, err := pipeline.NewClassifier(e.Mobile, pipeline.Options{
-				Resolver: fixedOptimized(), Device: dev, Monitor: mon,
+			base, err := pipeline.NewClassifier(e.Mobile, pipeline.Options{
+				Resolver: fixedOptimized(), Device: dev,
 			})
 			if err != nil {
 				return nil, err
 			}
-			// Deterministic per-frame jitter models real-device variance.
+			// Deterministic per-frame jitter models real-device variance;
+			// factors are drawn up front in frame order so the parallel
+			// replay reports the numbers a sequential run would.
 			jitter := rand.New(rand.NewSource(int64(len(devName)) * 77))
-			var lats []float64
-			for _, s := range samples {
-				if _, _, err := cl.Classify(s.Image); err != nil {
+			factors := make([]float64, len(samples))
+			for i := range factors {
+				factors[i] = 1 + 0.04*(jitter.Float64()-0.5)
+			}
+			var monOpts []core.MonitorOption
+			if instrumented {
+				monOpts = []core.MonitorOption{core.WithCaptureMode(core.CaptureStats)}
+			}
+			lats := make([]float64, len(samples))
+			mergedLog, err := replayLog(len(samples), monOpts, func(mon *core.Monitor) (runner.ProcessFunc, error) {
+				// The uninstrumented rows replicate pipelines without a
+				// monitor — the shard only tags frame ownership.
+				var pmon *core.Monitor
+				if instrumented {
+					pmon = mon
+				}
+				cl, err := base.Clone(pmon)
+				if err != nil {
 					return nil, err
 				}
-				st := cl.Interpreter().LastInvokeStats()
-				ns := float64(st.Modeled)
-				if instrumented {
-					ns += float64(dev.InstrLatencyPerFrame)
-				}
-				ns *= 1 + 0.04*(jitter.Float64()-0.5)
-				lats = append(lats, ns)
+				return func(i int) error {
+					if _, _, err := cl.Classify(samples[i].Image); err != nil {
+						return err
+					}
+					ns := float64(cl.Interpreter().LastInvokeStats().Modeled)
+					if instrumented {
+						ns += float64(dev.InstrLatencyPerFrame)
+					}
+					lats[i] = ns * factors[i]
+					return nil
+				}, nil
+			})
+			if err != nil {
+				return nil, err
 			}
 			row := Table2Row{Device: devName, Instrumented: instrumented}
 			row.LatMeanMs, row.LatStdMs = meanStd(lats)
 			row.LatMeanMs /= 1e6
 			row.LatStdMs /= 1e6
-			mem := float64(cl.Interpreter().ArenaBytes() + e.Mobile.WeightBytes())
+			mem := float64(base.Interpreter().ArenaBytes() + e.Mobile.WeightBytes())
 			if instrumented {
 				mem += float64(dev.InstrMemoryBytes)
-				logBytes, err := mon.Log().SizeBytes()
+				logBytes, err := mergedLog.SizeBytes()
 				if err != nil {
 					return nil, err
 				}
@@ -177,21 +198,36 @@ func offlineOverhead(frames int, quantized bool) ([]Table3Row, error) {
 		if quantized {
 			m = e.Quant
 		}
-		mon := core.NewMonitor(core.WithCaptureMode(core.CaptureFull), core.WithPerLayer(true))
-		cl, err := pipeline.NewClassifier(m, pipeline.Options{
-			Resolver: fixedOptimized(), Device: dev, Monitor: mon,
+		base, err := pipeline.NewClassifier(m, pipeline.Options{
+			Resolver: fixedOptimized(), Device: dev,
 		})
 		if err != nil {
 			return nil, err
 		}
-		var modeled time.Duration
-		for _, s := range samples {
-			if _, _, err := cl.Classify(s.Image); err != nil {
-				return nil, err
-			}
-			modeled += cl.Interpreter().LastInvokeStats().Modeled
+		modeledNs := make([]time.Duration, len(samples))
+		mergedLog, err := replayLog(len(samples),
+			[]core.MonitorOption{core.WithCaptureMode(core.CaptureFull), core.WithPerLayer(true)},
+			func(mon *core.Monitor) (runner.ProcessFunc, error) {
+				cl, err := base.Clone(mon)
+				if err != nil {
+					return nil, err
+				}
+				return func(i int) error {
+					if _, _, err := cl.Classify(samples[i].Image); err != nil {
+						return err
+					}
+					modeledNs[i] = cl.Interpreter().LastInvokeStats().Modeled
+					return nil
+				}, nil
+			})
+		if err != nil {
+			return nil, err
 		}
-		logBytes, err := mon.Log().SizeBytes()
+		var modeled time.Duration
+		for _, ns := range modeledNs {
+			modeled += ns
+		}
+		logBytes, err := mergedLog.SizeBytes()
 		if err != nil {
 			return nil, err
 		}
@@ -201,7 +237,7 @@ func offlineOverhead(frames int, quantized bool) ([]Table3Row, error) {
 			Layers:   len(m.Nodes),
 			Params:   m.NumParams(),
 			LatSec:   total.Seconds(),
-			MemoryMB: float64(cl.Interpreter().ArenaBytes()+m.WeightBytes()+mon.MemoryFootprintBytes()) / 1e6,
+			MemoryMB: float64(base.Interpreter().ArenaBytes()+m.WeightBytes()+mergedLog.MemoryFootprintBytes()) / 1e6,
 			DiskMB:   float64(logBytes) / 1e6,
 		})
 	}

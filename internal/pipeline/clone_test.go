@@ -1,0 +1,84 @@
+package pipeline
+
+import (
+	"testing"
+
+	"mlexray/internal/core"
+	"mlexray/internal/datasets"
+	"mlexray/internal/models"
+	"mlexray/internal/ops"
+)
+
+// TestClassifierCloneIndependence: a clone owns its own interpreter and
+// monitor, predicts identically to its parent, and logs only to its own
+// shard.
+func TestClassifierCloneIndependence(t *testing.T) {
+	m := models.MobileNetV1Mini(99)
+	monA := core.NewMonitor()
+	base, err := NewClassifier(m, Options{Resolver: ops.NewOptimized(ops.Fixed()), Monitor: monA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	monB := core.NewMonitor()
+	clone, err := base.Clone(monB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clone.Interpreter() == base.Interpreter() {
+		t.Fatal("clone shares the parent's interpreter")
+	}
+	s := datasets.SynthImageNet(5555, 1)[0]
+	pBase, _, err := base.Classify(s.Image)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pClone, _, err := clone.Classify(s.Image)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pBase != pClone {
+		t.Errorf("clone predicted %d, parent %d", pClone, pBase)
+	}
+	if na, nb := len(monA.Log().Records), len(monB.Log().Records); na != nb || nb == 0 {
+		t.Errorf("shard logs diverge: parent=%d clone=%d", na, nb)
+	}
+}
+
+// TestTextClassifierCloneKeepsBug: cloning a bugged text pipeline must not
+// stack the lowercase wrapper a second time, and must keep the bug active.
+func TestTextClassifierCloneKeepsBug(t *testing.T) {
+	m := models.NNLMMini(99, datasets.TextSeqLen, datasets.TextVocabSize)
+	var calls int
+	countingTok := func(s string) []int32 {
+		calls++
+		return datasets.TokenizeText(s)
+	}
+	base, err := NewTextClassifier(m, countingTok,
+		Options{Resolver: ops.NewOptimized(ops.Fixed()), Bug: BugLowercase})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clone, err := base.Clone(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clone.opts.Bug != BugLowercase {
+		t.Fatal("clone dropped the injected bug")
+	}
+	s := datasets.SynthIMDB(9999, 1)[0]
+	pBase, _, err := base.ClassifyText(s.Text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls = 0
+	pClone, _, err := clone.ClassifyText(s.Text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Errorf("clone called the tokenizer %d times per frame, want 1 (no double wrapping)", calls)
+	}
+	if pBase != pClone {
+		t.Errorf("clone predicted %d, parent %d", pClone, pBase)
+	}
+}

@@ -74,6 +74,16 @@ func newInterp(m *graph.Model, opts *Options) (*interp.Interpreter, error) {
 	return interp.New(m, opts.resolver(), iopts...)
 }
 
+// Clone builds an independent replica of the pipeline — same model, bug and
+// device, but its own interpreter arena and the given monitor — so replicas
+// can run frames concurrently. The model, resolver and const tensors are
+// shared read-only.
+func (c *Classifier) Clone(mon *core.Monitor) (*Classifier, error) {
+	opts := c.opts
+	opts.Monitor = mon
+	return NewClassifier(c.model, opts)
+}
+
 // Interpreter exposes the underlying interpreter (for memory accounting).
 func (c *Classifier) Interpreter() *interp.Interpreter { return c.ip }
 
@@ -135,6 +145,14 @@ func NewDetector(m *graph.Model, opts Options) (*Detector, error) {
 	return d, nil
 }
 
+// Clone builds an independent replica with its own interpreter arena and the
+// given monitor (see Classifier.Clone).
+func (d *Detector) Clone(mon *core.Monitor) (*Detector, error) {
+	opts := d.opts
+	opts.Monitor = mon
+	return NewDetector(d.model, opts)
+}
+
 // Detect runs one frame and returns raw class scores [A, C] and box offsets
 // [A, 4]; decoding/NMS is the caller's postprocessing (models.DecodeDetections).
 func (d *Detector) Detect(im *imaging.Image) (scores, boxes *tensor.Tensor, err error) {
@@ -190,6 +208,14 @@ func NewSegmenter(m *graph.Model, opts Options) (*Segmenter, error) {
 		return nil, err
 	}
 	return s, nil
+}
+
+// Clone builds an independent replica with its own interpreter arena and the
+// given monitor (see Classifier.Clone).
+func (s *Segmenter) Clone(mon *core.Monitor) (*Segmenter, error) {
+	opts := s.opts
+	opts.Monitor = mon
+	return NewSegmenter(s.model, opts)
 }
 
 // Segment returns the per-pixel argmax label map.
@@ -250,6 +276,14 @@ func NewSpeechRecognizer(m *graph.Model, opts Options) (*SpeechRecognizer, error
 	return s, nil
 }
 
+// Clone builds an independent replica with its own interpreter arena and the
+// given monitor (see Classifier.Clone).
+func (s *SpeechRecognizer) Clone(mon *core.Monitor) (*SpeechRecognizer, error) {
+	opts := s.opts
+	opts.Monitor = mon
+	return NewSpeechRecognizer(s.model, opts)
+}
+
 // Recognize classifies one waveform.
 func (s *SpeechRecognizer) Recognize(wave []float64) (int, *tensor.Tensor, error) {
 	mon := s.opts.Monitor
@@ -280,8 +314,10 @@ type TextClassifier struct {
 	ip    *interp.Interpreter
 	opts  Options
 	// tokenize maps raw text to ids; the BugLowercase variant folds case
-	// first (the §A experiment).
+	// first (the §A experiment). origTok keeps the unwrapped tokenizer so
+	// Clone can rebuild without stacking the bug twice.
 	tokenize func(string) []int32
+	origTok  func(string) []int32
 }
 
 // NewTextClassifier builds a text pipeline. tokenizer maps text to fixed-
@@ -290,7 +326,7 @@ func NewTextClassifier(m *graph.Model, tokenizer func(string) []int32, opts Opti
 	if m.Meta.Task != "text" {
 		return nil, fmt.Errorf("pipeline: model %q is a %s model", m.Name, m.Meta.Task)
 	}
-	t := &TextClassifier{model: m, opts: opts, tokenize: tokenizer}
+	t := &TextClassifier{model: m, opts: opts, tokenize: tokenizer, origTok: tokenizer}
 	if opts.Bug == BugLowercase {
 		inner := tokenizer
 		t.tokenize = func(s string) []int32 { return inner(lowercase(s)) }
@@ -311,6 +347,14 @@ func lowercase(s string) string {
 		}
 	}
 	return string(b)
+}
+
+// Clone builds an independent replica with its own interpreter arena and the
+// given monitor (see Classifier.Clone).
+func (t *TextClassifier) Clone(mon *core.Monitor) (*TextClassifier, error) {
+	opts := t.opts
+	opts.Monitor = mon
+	return NewTextClassifier(t.model, t.origTok, opts)
 }
 
 // ClassifyText runs one review through the pipeline.

@@ -1,0 +1,200 @@
+// Package runner is the parallel replay engine: it shards a dataset replay
+// across a pool of workers, each owning its own pipeline replica (its own
+// interpreter arena) and its own core.Monitor shard, and merges the shard
+// telemetry deterministically by frame index. The merged log is record-for-
+// record identical to what a sequential replay would have produced (modulo
+// wall-clock latency values, which no two runs share), so CompareLayers and
+// the deployment validator see exactly the sequential result — replay is
+// embarrassingly parallel across frames and this engine exploits that
+// without giving up reproducibility.
+//
+// The flow:
+//
+//	frames ──► dispatcher ──► worker 0 (pipeline replica + monitor shard) ─┐
+//	                     ├──► worker 1 (pipeline replica + monitor shard) ─┤──► in-order
+//	                     └──► worker N (pipeline replica + monitor shard) ─┘    collector ──► Log / JSONL sink
+//
+// Workers drain their monitor shard after every frame, so shard buffers stay
+// one frame deep; with a FrameSink attached (and KeepLog false) the collector
+// streams frames to disk as soon as they are in order and a million-frame
+// replay holds only the out-of-order reorder window in memory.
+package runner
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"mlexray/internal/core"
+)
+
+// ProcessFunc replays one dataset frame (0-based index) through the
+// worker-local pipeline replica. The monitor shard handed to the factory is
+// already positioned so the pipeline's NextFrame call tags records with the
+// global frame number; a ProcessFunc must advance the frame exactly once
+// (every pipeline type does this on entry).
+type ProcessFunc func(frame int) error
+
+// WorkerFactory builds one worker's state: given that worker's monitor
+// shard, it returns the function that processes a frame on that worker.
+// Factories run sequentially before any worker starts, so they may touch
+// shared caches (zoo, resolvers) without synchronisation; the returned
+// ProcessFuncs run concurrently and must only share read-only state.
+type WorkerFactory func(mon *core.Monitor) (ProcessFunc, error)
+
+// FrameSink receives frames strictly in increasing frame order, with record
+// sequence numbers already globally renumbered. core.JSONLSink implements it
+// for streaming logs to disk.
+type FrameSink interface {
+	WriteFrame(frame int, recs []core.Record) error
+}
+
+// Options configures a replay.
+type Options struct {
+	// Workers is the pool size; <= 0 means GOMAXPROCS. The merged output is
+	// identical for every worker count.
+	Workers int
+	// MonitorOptions configure each worker's monitor shard (capture mode,
+	// per-layer logging). All shards must be configured identically or the
+	// merged log would depend on which worker processed which frame.
+	MonitorOptions []core.MonitorOption
+	// Sink, when set, receives frames in order as soon as they are
+	// contiguous — the streaming path for replays too large to hold in
+	// memory.
+	Sink FrameSink
+	// DiscardLog suppresses the in-memory merged log (Replay returns an
+	// empty log). Only meaningful with a Sink; without one the records
+	// would be lost.
+	DiscardLog bool
+}
+
+func (o *Options) workers(frames int) int {
+	w := o.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if frames > 0 && w > frames {
+		w = frames
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// frameResult is one completed frame's telemetry en route to the collector.
+type frameResult struct {
+	frame int
+	recs  []core.Record
+}
+
+// Replay runs frames 0..frames-1 through the worker pool and returns the
+// merged telemetry log (empty when DiscardLog is set). On error the first
+// failure is returned and in-flight workers stop at the next frame boundary.
+func Replay(frames int, factory WorkerFactory, opts Options) (*core.Log, error) {
+	if frames < 0 {
+		return nil, fmt.Errorf("runner: negative frame count %d", frames)
+	}
+	if opts.DiscardLog && opts.Sink == nil {
+		return nil, fmt.Errorf("runner: DiscardLog without a Sink would drop all telemetry")
+	}
+	nw := opts.workers(frames)
+
+	// Build all workers up front: factory errors surface before any
+	// goroutine starts, and sequential construction lets factories share
+	// caches safely.
+	mons := make([]*core.Monitor, nw)
+	procs := make([]ProcessFunc, nw)
+	for i := range mons {
+		mons[i] = core.NewMonitor(opts.MonitorOptions...)
+		p, err := factory(mons[i])
+		if err != nil {
+			return nil, fmt.Errorf("runner: worker %d: %w", i, err)
+		}
+		procs[i] = p
+	}
+
+	jobs := make(chan int)
+	results := make(chan frameResult, nw)
+	stop := make(chan struct{})
+	var stopOnce sync.Once
+	cancel := func() { stopOnce.Do(func() { close(stop) }) }
+
+	go func() { // dispatcher
+		defer close(jobs)
+		for g := 0; g < frames; g++ {
+			select {
+			case jobs <- g:
+			case <-stop:
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	workerErrs := make([]error, nw)
+	for i := 0; i < nw; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			mon, process := mons[i], procs[i]
+			for g := range jobs {
+				// Position the shard so the pipeline's NextFrame tags
+				// records with the global frame number (sequential runs
+				// number frames 1..N).
+				mon.SetNextFrame(g + 1)
+				if err := process(g); err != nil {
+					workerErrs[i] = fmt.Errorf("runner: frame %d: %w", g, err)
+					cancel()
+					return
+				}
+				select {
+				case results <- frameResult{frame: g, recs: mon.Drain()}:
+				case <-stop:
+					return
+				}
+			}
+		}(i)
+	}
+	go func() { wg.Wait(); close(results) }()
+
+	// In-order collector: a reorder window buffers frames that finished
+	// ahead of a slower predecessor and releases them as soon as the
+	// sequence is contiguous.
+	merged := &core.Log{}
+	pending := make(map[int][]core.Record)
+	next, seq := 0, 0
+	var sinkErr error
+	for fr := range results {
+		pending[fr.frame] = fr.recs
+		for {
+			recs, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			for j := range recs {
+				recs[j].Seq = seq
+				seq++
+			}
+			if opts.Sink != nil && sinkErr == nil {
+				if sinkErr = opts.Sink.WriteFrame(next+1, recs); sinkErr != nil {
+					cancel()
+				}
+			}
+			if !opts.DiscardLog {
+				merged.Records = append(merged.Records, recs...)
+			}
+			next++
+		}
+	}
+	for _, err := range workerErrs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	if sinkErr != nil {
+		return nil, fmt.Errorf("runner: sink: %w", sinkErr)
+	}
+	return merged, nil
+}

@@ -1,0 +1,311 @@
+package runner
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"mlexray/internal/core"
+	"mlexray/internal/datasets"
+	"mlexray/internal/ops"
+	"mlexray/internal/pipeline"
+	"mlexray/internal/zoo"
+)
+
+const testFrames = 6
+
+var monOpts = []core.MonitorOption{core.WithCaptureMode(core.CaptureFull), core.WithPerLayer(true)}
+
+// sequentialLog replays the samples the way the pre-runner code did: one
+// pipeline, one monitor, frames in order.
+func sequentialLog(t testing.TB, bug pipeline.Bug, resolver *ops.Resolver) *core.Log {
+	t.Helper()
+	entry, err := zoo.Get("mobilenetv2-mini")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon := core.NewMonitor(monOpts...)
+	cl, err := pipeline.NewClassifier(entry.Mobile, pipeline.Options{Resolver: resolver, Monitor: mon, Bug: bug})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range datasets.SynthImageNet(5555, testFrames) {
+		if _, _, err := cl.Classify(s.Image); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return mon.Log()
+}
+
+// parallelLog replays the same samples through the worker pool.
+func parallelLog(t testing.TB, bug pipeline.Bug, resolver *ops.Resolver, workers int, sink FrameSink, discard bool) *core.Log {
+	t.Helper()
+	entry, err := zoo.Get("mobilenetv2-mini")
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := datasets.SynthImageNet(5555, testFrames)
+	base, err := pipeline.NewClassifier(entry.Mobile, pipeline.Options{Resolver: resolver, Bug: bug})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := Replay(len(samples), func(mon *core.Monitor) (ProcessFunc, error) {
+		cl, err := base.Clone(mon)
+		if err != nil {
+			return nil, err
+		}
+		return func(i int) error {
+			_, _, err := cl.Classify(samples[i].Image)
+			return err
+		}, nil
+	}, Options{Workers: workers, MonitorOptions: monOpts, Sink: sink, DiscardLog: discard})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+// normalizeWallClock zeroes wall-clock latency values ("ns" unit), the only
+// record content that legitimately differs between two runs — even two
+// sequential ones.
+func normalizeWallClock(l *core.Log) {
+	for i := range l.Records {
+		if l.Records[i].Kind == core.KindMetric && l.Records[i].Unit == "ns" {
+			l.Records[i].Value = 0
+		}
+	}
+}
+
+func logBytes(t testing.TB, l *core.Log) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := l.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestReplayMatchesSequential is the determinism contract: for any worker
+// count, the merged log is byte-identical to a sequential replay after
+// wall-clock normalization.
+func TestReplayMatchesSequential(t *testing.T) {
+	seq := sequentialLog(t, pipeline.BugNone, ops.NewReference(ops.Fixed()))
+	normalizeWallClock(seq)
+	want := logBytes(t, seq)
+	for _, workers := range []int{1, 2, 8} {
+		par := parallelLog(t, pipeline.BugNone, ops.NewReference(ops.Fixed()), workers, nil, false)
+		normalizeWallClock(par)
+		if got := logBytes(t, par); !bytes.Equal(got, want) {
+			t.Errorf("workers=%d: merged log differs from sequential (%d vs %d bytes)", workers, len(got), len(want))
+		}
+	}
+}
+
+// TestReplayValidatorIdentical feeds sequential and parallel reference logs
+// to the full validation flow against the same bugged edge log: CompareLayers
+// and the rendered report must be byte-identical.
+func TestReplayValidatorIdentical(t *testing.T) {
+	edge := sequentialLog(t, pipeline.BugNormalization, ops.NewOptimized(ops.Fixed()))
+	refSeq := sequentialLog(t, pipeline.BugNone, ops.NewReference(ops.Fixed()))
+	normalizeWallClock(edge)
+	normalizeWallClock(refSeq)
+
+	wantDiffs, err := core.CompareLayers(edge, refSeq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRep, err := core.Validate(edge, refSeq, core.DefaultValidateOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wantBuf bytes.Buffer
+	wantRep.Render(&wantBuf)
+
+	for _, workers := range []int{1, 2, 8} {
+		refPar := parallelLog(t, pipeline.BugNone, ops.NewReference(ops.Fixed()), workers, nil, false)
+		normalizeWallClock(refPar)
+		gotDiffs, err := core.CompareLayers(edge, refPar)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(gotDiffs, wantDiffs) {
+			t.Errorf("workers=%d: CompareLayers output differs from sequential", workers)
+		}
+		gotRep, err := core.Validate(edge, refPar, core.DefaultValidateOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var gotBuf bytes.Buffer
+		gotRep.Render(&gotBuf)
+		if !bytes.Equal(gotBuf.Bytes(), wantBuf.Bytes()) {
+			t.Errorf("workers=%d: validator report differs:\n--- sequential ---\n%s--- parallel ---\n%s",
+				workers, wantBuf.String(), gotBuf.String())
+		}
+	}
+}
+
+// TestReplayStreamingSink checks that the streaming path writes exactly the
+// merged log, and that DiscardLog keeps the returned log empty.
+func TestReplayStreamingSink(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "replay.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := core.NewJSONLSink(f)
+	merged := parallelLog(t, pipeline.BugNone, ops.NewReference(ops.Fixed()), 4, sink, false)
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if sink.Records() != len(merged.Records) {
+		t.Fatalf("sink wrote %d records, merged log has %d", sink.Records(), len(merged.Records))
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, logBytes(t, merged)) {
+		t.Error("streamed JSONL differs from the merged in-memory log")
+	}
+
+	// Discard path: telemetry only reaches the sink.
+	var buf bytes.Buffer
+	sink2 := core.NewJSONLSink(&buf)
+	empty := parallelLog(t, pipeline.BugNone, ops.NewReference(ops.Fixed()), 4, sink2, true)
+	if err := sink2.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if len(empty.Records) != 0 {
+		t.Errorf("DiscardLog returned %d records", len(empty.Records))
+	}
+	readBack, err := core.ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(readBack.Records) != len(merged.Records) {
+		t.Errorf("discarded replay streamed %d records, want %d", len(readBack.Records), len(merged.Records))
+	}
+}
+
+func TestReplayErrorStopsPool(t *testing.T) {
+	boom := fmt.Errorf("injected failure")
+	_, err := Replay(64, func(mon *core.Monitor) (ProcessFunc, error) {
+		return func(i int) error {
+			if i == 3 {
+				return boom
+			}
+			mon.NextFrame()
+			mon.LogMetric("test/metric", float64(i), "count")
+			return nil
+		}, nil
+	}, Options{Workers: 4})
+	if err == nil || !strings.Contains(err.Error(), "frame 3") {
+		t.Fatalf("want frame-3 error, got %v", err)
+	}
+}
+
+func TestReplayFactoryError(t *testing.T) {
+	boom := fmt.Errorf("no pipeline for you")
+	_, err := Replay(4, func(mon *core.Monitor) (ProcessFunc, error) {
+		return nil, boom
+	}, Options{Workers: 2})
+	if err == nil || !strings.Contains(err.Error(), "no pipeline") {
+		t.Fatalf("want factory error, got %v", err)
+	}
+}
+
+func TestReplayEdgeCases(t *testing.T) {
+	l, err := Replay(0, func(mon *core.Monitor) (ProcessFunc, error) {
+		return func(int) error { return nil }, nil
+	}, Options{Workers: 4})
+	if err != nil || len(l.Records) != 0 {
+		t.Fatalf("zero frames: log=%v err=%v", l, err)
+	}
+	if _, err := Replay(-1, nil, Options{}); err == nil {
+		t.Fatal("negative frames should error")
+	}
+	if _, err := Replay(1, nil, Options{DiscardLog: true}); err == nil {
+		t.Fatal("DiscardLog without sink should error")
+	}
+}
+
+// TestMergeByFrameMatchesReplay pins the two expressions of the merge
+// contract to each other: hand-sharding frames across monitors and calling
+// core.MergeByFrame must yield byte-identical output to Replay's streaming
+// collector over the same frames.
+func TestMergeByFrameMatchesReplay(t *testing.T) {
+	const n = 10
+	record := func(mon *core.Monitor, i int) {
+		mon.SetNextFrame(i + 1)
+		mon.NextFrame()
+		mon.LogMetric("frame/value", float64(i*3), "count")
+		mon.LogSensor("frame/sensor", float64(i), "deg")
+	}
+	monA, monB := core.NewMonitor(), core.NewMonitor()
+	for i := 0; i < n; i++ {
+		if i%2 == 0 {
+			record(monA, i)
+		} else {
+			record(monB, i)
+		}
+	}
+	manual := core.MergeByFrame(monA.Log(), monB.Log())
+
+	viaReplay, err := Replay(n, func(mon *core.Monitor) (ProcessFunc, error) {
+		return func(i int) error {
+			mon.NextFrame() // Replay pre-seeks the shard; same frame tags
+			mon.LogMetric("frame/value", float64(i*3), "count")
+			mon.LogSensor("frame/sensor", float64(i), "deg")
+			return nil
+		}, nil
+	}, Options{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(logBytes(t, manual), logBytes(t, viaReplay)) {
+		t.Error("MergeByFrame and Replay's collector disagree on the merge contract")
+	}
+}
+
+// TestReplayCustomProcessFunc exercises a non-pipeline worker: process funcs
+// that log directly against the shard monitor still merge deterministically.
+func TestReplayCustomProcessFunc(t *testing.T) {
+	run := func(workers int) *core.Log {
+		l, err := Replay(40, func(mon *core.Monitor) (ProcessFunc, error) {
+			return func(i int) error {
+				mon.NextFrame()
+				mon.LogMetric("frame/value", float64(i*i), "count")
+				mon.LogSensor("frame/sensor", float64(i), "deg")
+				return nil
+			}, nil
+		}, Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return l
+	}
+	want := logBytes(t, run(1))
+	for _, w := range []int{2, 8} {
+		if got := logBytes(t, run(w)); !bytes.Equal(got, want) {
+			t.Errorf("workers=%d: custom replay not deterministic", w)
+		}
+	}
+	// Frames are numbered 1..40 (sequential NextFrame convention), so
+	// Frames() — max frame + 1 — reports 41, exactly as a sequential run.
+	l := run(3)
+	if got := l.Frames(); got != 41 {
+		t.Errorf("Frames() = %d, want 41", got)
+	}
+	for i, r := range l.Records {
+		if r.Seq != i {
+			t.Fatalf("record %d has seq %d", i, r.Seq)
+		}
+	}
+}

@@ -39,6 +39,7 @@ import (
 	"io"
 
 	"mlexray/internal/core"
+	"mlexray/internal/runner"
 )
 
 // ---- telemetry data model ----
@@ -98,6 +99,40 @@ func WithCaptureMode(m CaptureMode) MonitorOption { return core.WithCaptureMode(
 
 // WithPerLayer enables per-layer output and latency records.
 func WithPerLayer(enabled bool) MonitorOption { return core.WithPerLayer(enabled) }
+
+// ---- parallel replay API ----
+
+// ProcessFunc replays one dataset frame on a worker-local pipeline replica.
+type ProcessFunc = runner.ProcessFunc
+
+// WorkerFactory builds one replay worker's state around its monitor shard.
+type WorkerFactory = runner.WorkerFactory
+
+// ReplayOptions configures a parallel replay (worker count, shard monitor
+// options, streaming sink).
+type ReplayOptions = runner.Options
+
+// FrameSink receives merged frames in order during a streaming replay.
+type FrameSink = runner.FrameSink
+
+// JSONLSink streams telemetry to a writer in the JSONL log format without
+// retaining records in memory.
+type JSONLSink = core.JSONLSink
+
+// NewJSONLSink wraps w in a streaming JSONL log writer.
+func NewJSONLSink(w io.Writer) *JSONLSink { return core.NewJSONLSink(w) }
+
+// Replay shards a dataset replay across a worker pool, each worker owning a
+// pipeline replica and a monitor shard, and returns the shard logs merged by
+// frame index — record-for-record identical to a sequential replay (modulo
+// wall-clock latency values), at roughly core-count throughput.
+func Replay(frames int, factory WorkerFactory, opts ReplayOptions) (*Log, error) {
+	return runner.Replay(frames, factory, opts)
+}
+
+// MergeByFrame merges shard logs by frame index, renumbering sequence
+// numbers globally (the merge Replay applies internally).
+func MergeByFrame(shards ...*Log) *Log { return core.MergeByFrame(shards...) }
 
 // ---- validation API ----
 
