@@ -4,13 +4,15 @@
 // the validation library (or cmd/exray for the one-shot flow).
 //
 // The replay shards across -parallel workers (default: all cores), each
-// owning its own interpreter replica; telemetry streams to disk merged in
-// frame order, so the log is identical to a single-worker run.
+// owning its own interpreter replica, and each worker runs -batch frames per
+// batched interpreter invoke (1 = frame at a time); telemetry streams to
+// disk merged in frame order, so the log is identical to a single-worker
+// frame-at-a-time run.
 //
 // Usage:
 //
 //	edgerun -model mobilenetv2-mini -bug normalization -o edge.jsonl
-//	edgerun -model mobilenetv2-mini -quant -device Pixel4 -parallel 8 -o edge.jsonl
+//	edgerun -model mobilenetv2-mini -quant -device Pixel4 -parallel 8 -batch 32 -o edge.jsonl
 package main
 
 import (
@@ -24,6 +26,7 @@ import (
 	"mlexray/internal/device"
 	"mlexray/internal/ops"
 	"mlexray/internal/pipeline"
+	"mlexray/internal/replay"
 	"mlexray/internal/runner"
 	"mlexray/internal/zoo"
 )
@@ -45,6 +48,7 @@ func run(args []string, stdout io.Writer) error {
 		frames   = fs.Int("frames", 8, "frames to process")
 		perLayer = fs.Bool("perlayer", true, "capture per-layer outputs")
 		parallel = fs.Int("parallel", 0, "replay workers (0 = all cores)")
+		batch    = fs.Int("batch", 8, "frames per batched interpreter invoke (1 = frame at a time)")
 		out      = fs.String("o", "edge.jsonl", "output log path")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -63,15 +67,7 @@ func run(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-	base, err := pipeline.NewClassifier(m, pipeline.Options{
-		Resolver: ops.NewOptimized(ops.Historical()),
-		Device:   dev,
-		Bug:      pipeline.Bug(*bug),
-	})
-	if err != nil {
-		return err
-	}
-	samples := datasets.SynthImageNet(5555, *frames)
+	images := replay.Images(datasets.SynthImageNet(5555, *frames))
 	f, err := os.Create(*out)
 	if err != nil {
 		return err
@@ -79,22 +75,18 @@ func run(args []string, stdout io.Writer) error {
 	defer f.Close()
 	sink := core.NewJSONLSink(f)
 	// DiscardLog: frames stream to disk as they merge, so memory stays flat
-	// however long the replay.
-	_, err = runner.Replay(len(samples), func(mon *core.Monitor) (runner.ProcessFunc, error) {
-		cl, err := base.Clone(mon)
-		if err != nil {
-			return nil, err
-		}
-		return func(i int) error {
-			_, _, err := cl.Classify(samples[i].Image)
-			return err
-		}, nil
-	}, runner.Options{
+	// however long the replay; MaxPending bounds the reorder window.
+	_, err = replay.Classification(m, pipeline.Options{
+		Resolver: ops.NewOptimized(ops.Historical()),
+		Device:   dev,
+		Bug:      pipeline.Bug(*bug),
+	}, images, runner.Options{
 		Workers:        *parallel,
+		BatchFrames:    *batch,
 		MonitorOptions: []core.MonitorOption{core.WithCaptureMode(core.CaptureFull), core.WithPerLayer(*perLayer)},
 		Sink:           sink,
 		DiscardLog:     true,
-	})
+	}, nil)
 	if err != nil {
 		return err
 	}

@@ -2,12 +2,13 @@
 // model: it executes an (optionally bugged) edge pipeline and the correct
 // reference pipeline over the same data, compares the logs following the
 // paper's Figure 2 flowchart, and prints the validation report with
-// root-cause findings. Both replays shard across -parallel workers.
+// root-cause findings. Both replays shard across -parallel workers, and
+// classification models run -batch frames per batched interpreter invoke.
 //
 // Usage:
 //
 //	exray -model mobilenetv2-mini -bug channel
-//	exray -model mobilenetv2-mini -quant -resolver optimized -perlayer
+//	exray -model mobilenetv2-mini -quant -resolver optimized -perlayer -batch 32
 //	exray -model kws-mini-a -bug specnorm
 package main
 
@@ -22,6 +23,7 @@ import (
 	"mlexray/internal/graph"
 	"mlexray/internal/ops"
 	"mlexray/internal/pipeline"
+	"mlexray/internal/replay"
 	"mlexray/internal/runner"
 	"mlexray/internal/zoo"
 )
@@ -44,6 +46,7 @@ func run(args []string, stdout io.Writer) error {
 		frames   = fs.Int("frames", 8, "evaluation frames")
 		perLayer = fs.Bool("perlayer", true, "capture per-layer outputs for localisation")
 		parallel = fs.Int("parallel", 0, "replay workers (0 = all cores)")
+		batch    = fs.Int("batch", 8, "frames per batched interpreter invoke (1 = frame at a time)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -74,11 +77,11 @@ func run(args []string, stdout io.Writer) error {
 	fmt.Fprintf(stdout, "edge:      %s (%s, %s resolver, bug=%s)\n", edgeModel.Name, edgeModel.Format, *resolver, *bug)
 	fmt.Fprintf(stdout, "reference: %s (%s, reference resolver, fixed kernels)\n\n", entry.Mobile.Name, entry.Mobile.Format)
 
-	edgeLog, err := captureLog(edgeModel, edgeResolver, pipeline.Bug(*bug), *frames, *perLayer, *parallel)
+	edgeLog, err := captureLog(edgeModel, edgeResolver, pipeline.Bug(*bug), *frames, *perLayer, *parallel, *batch)
 	if err != nil {
 		return err
 	}
-	refLog, err := captureLog(entry.Mobile, ops.NewReference(ops.Fixed()), pipeline.BugNone, *frames, *perLayer, *parallel)
+	refLog, err := captureLog(entry.Mobile, ops.NewReference(ops.Fixed()), pipeline.BugNone, *frames, *perLayer, *parallel, *batch)
 	if err != nil {
 		return err
 	}
@@ -92,29 +95,19 @@ func run(args []string, stdout io.Writer) error {
 
 // captureLog replays the model's evaluation set through the parallel replay
 // engine with full capture and returns the merged telemetry log.
-func captureLog(m *graph.Model, resolver *ops.Resolver, bug pipeline.Bug, frames int, perLayer bool, parallel int) (*core.Log, error) {
+// Classification models run on the batched inference path; speech and text
+// batch dispatch only.
+func captureLog(m *graph.Model, resolver *ops.Resolver, bug pipeline.Bug, frames int, perLayer bool, parallel, batch int) (*core.Log, error) {
 	opts := runner.Options{
 		Workers:        parallel,
+		BatchFrames:    batch,
 		MonitorOptions: []core.MonitorOption{core.WithCaptureMode(core.CaptureFull), core.WithPerLayer(perLayer)},
 	}
 	popts := pipeline.Options{Resolver: resolver, Bug: bug}
 	switch m.Meta.Task {
 	case "classification":
-		base, err := pipeline.NewClassifier(m, popts)
-		if err != nil {
-			return nil, err
-		}
-		samples := datasets.SynthImageNet(5555, frames)
-		return runner.Replay(len(samples), func(mon *core.Monitor) (runner.ProcessFunc, error) {
-			cl, err := base.Clone(mon)
-			if err != nil {
-				return nil, err
-			}
-			return func(i int) error {
-				_, _, err := cl.Classify(samples[i].Image)
-				return err
-			}, nil
-		}, opts)
+		images := replay.Images(datasets.SynthImageNet(5555, frames))
+		return replay.Classification(m, popts, images, opts, nil)
 	case "speech":
 		base, err := pipeline.NewSpeechRecognizer(m, popts)
 		if err != nil {

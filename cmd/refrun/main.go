@@ -3,13 +3,14 @@
 // float model, the reference op resolver with repaired kernels — over the
 // same synthetic data edgerun uses, and writes the reference telemetry log.
 //
-// Like edgerun, the replay shards across -parallel workers with telemetry
-// streamed to disk in deterministic frame order.
+// Like edgerun, the replay shards across -parallel workers (each running
+// -batch frames per batched interpreter invoke) with telemetry streamed to
+// disk in deterministic frame order.
 //
 // Usage:
 //
 //	refrun -model mobilenetv2-mini -o ref.jsonl
-//	refrun -model mobilenetv2-mini -parallel 8 -o ref.jsonl
+//	refrun -model mobilenetv2-mini -parallel 8 -batch 32 -o ref.jsonl
 package main
 
 import (
@@ -22,6 +23,7 @@ import (
 	"mlexray/internal/datasets"
 	"mlexray/internal/ops"
 	"mlexray/internal/pipeline"
+	"mlexray/internal/replay"
 	"mlexray/internal/runner"
 	"mlexray/internal/zoo"
 )
@@ -40,6 +42,7 @@ func run(args []string, stdout io.Writer) error {
 		frames   = fs.Int("frames", 8, "frames to process")
 		perLayer = fs.Bool("perlayer", true, "capture per-layer outputs")
 		parallel = fs.Int("parallel", 0, "replay workers (0 = all cores)")
+		batch    = fs.Int("batch", 8, "frames per batched interpreter invoke (1 = frame at a time)")
 		out      = fs.String("o", "ref.jsonl", "output log path")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -50,34 +53,22 @@ func run(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-	base, err := pipeline.NewClassifier(entry.Mobile, pipeline.Options{
-		Resolver: ops.NewReference(ops.Fixed()),
-	})
-	if err != nil {
-		return err
-	}
-	samples := datasets.SynthImageNet(5555, *frames)
+	images := replay.Images(datasets.SynthImageNet(5555, *frames))
 	f, err := os.Create(*out)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
 	sink := core.NewJSONLSink(f)
-	_, err = runner.Replay(len(samples), func(mon *core.Monitor) (runner.ProcessFunc, error) {
-		cl, err := base.Clone(mon)
-		if err != nil {
-			return nil, err
-		}
-		return func(i int) error {
-			_, _, err := cl.Classify(samples[i].Image)
-			return err
-		}, nil
-	}, runner.Options{
+	_, err = replay.Classification(entry.Mobile, pipeline.Options{
+		Resolver: ops.NewReference(ops.Fixed()),
+	}, images, runner.Options{
 		Workers:        *parallel,
+		BatchFrames:    *batch,
 		MonitorOptions: []core.MonitorOption{core.WithCaptureMode(core.CaptureFull), core.WithPerLayer(*perLayer)},
 		Sink:           sink,
 		DiscardLog:     true,
-	})
+	}, nil)
 	if err != nil {
 		return err
 	}

@@ -175,6 +175,24 @@ func (m *Monitor) OnInferenceStop(ip *interp.Interpreter) {
 	}
 }
 
+// OnBatchFrame closes one frame element of a batched invocation — the
+// batched-execution analogue of OnInferenceStop. The caller passes the
+// per-frame stats (interp.Batch.FrameStats) and that element's output view;
+// the records emitted are identical in kind and order to a sequential
+// OnInferenceStop: end-to-end latency, modeled latency when a device model
+// is attached, then the full model output.
+func (m *Monitor) OnBatchFrame(stats interp.InvokeStats, out *tensor.Tensor) {
+	m.LogMetric(KeyInferenceLatency, float64(stats.Measured.Nanoseconds()), "ns")
+	if stats.Modeled > 0 {
+		m.LogMetric(KeyInferenceModeled, float64(stats.Modeled.Nanoseconds()), "ns")
+	}
+	if out != nil {
+		r := Record{Key: KeyModelOutput}
+		r.EncodeTensor(out, true) // outputs are small; always keep them whole
+		m.append(r)
+	}
+}
+
 // LayerHook returns an interpreter hook that records per-layer outputs and
 // latency when per-layer capture is enabled, and always aggregates latency
 // by layer for the Table 4 style breakdowns.

@@ -8,7 +8,10 @@
 // frames shard across ReplayWorkers workers, each owning a pipeline replica,
 // and shard telemetry merges deterministically by frame index — so every
 // number in every table is identical to a sequential run while the suite
-// scales with the core count.
+// scales with the core count. Classification sweeps additionally run on the
+// batched inference path (internal/replay + pipeline.BatchClassifier):
+// workers execute ReplayBatch frames per interpreter invoke, amortizing
+// per-node dispatch, with telemetry still byte-identical to sequential.
 package experiments
 
 import (
@@ -19,9 +22,11 @@ import (
 	"mlexray/internal/datasets"
 	"mlexray/internal/device"
 	"mlexray/internal/graph"
+	"mlexray/internal/imaging"
 	"mlexray/internal/metrics"
 	"mlexray/internal/ops"
 	"mlexray/internal/pipeline"
+	"mlexray/internal/replay"
 	"mlexray/internal/runner"
 	"mlexray/internal/zoo"
 )
@@ -35,41 +40,44 @@ var EvalFrames = 120
 // replay engine; 0 means GOMAXPROCS. Results are identical for any value.
 var ReplayWorkers = 0
 
+// ReplayBatch is the frame-batch size per worker dispatch. Classification
+// sweeps run whole batches through single batched interpreter invokes;
+// other tasks batch dispatch only. Results are identical for any value.
+var ReplayBatch = 8
+
+// sweepOptions are the runner options every sweep shares.
+func sweepOptions(monOpts []core.MonitorOption) runner.Options {
+	return runner.Options{Workers: ReplayWorkers, BatchFrames: ReplayBatch, MonitorOptions: monOpts}
+}
+
 // replayLog shards a replay across the worker pool and returns the merged
 // telemetry log. factory builds one worker's per-frame body around its
 // monitor shard.
 func replayLog(frames int, monOpts []core.MonitorOption, factory runner.WorkerFactory) (*core.Log, error) {
-	return runner.Replay(frames, factory, runner.Options{Workers: ReplayWorkers, MonitorOptions: monOpts})
+	return runner.Replay(frames, factory, sweepOptions(monOpts))
+}
+
+// classificationImages projects an image-sample set to the replay input.
+func classificationImages(samples []datasets.ImageSample) []*imaging.Image {
+	return replay.Images(samples)
 }
 
 // evalClassifierAccuracy measures top-1 accuracy of a model version through
-// a pipeline with the given options, sharding frames across the replay pool.
-// Per-frame results land in frame-indexed slots, so worker scheduling cannot
-// perturb the metric.
+// a pipeline with the given options, sharding frame batches across the
+// replay pool on the batched inference path. Per-frame results land in
+// frame-indexed slots, so worker scheduling cannot perturb the metric.
+// Accuracy evals discard telemetry (nil MonitorOptions), so replicas run
+// uninstrumented — no per-frame tensor-stats cost on the hot path.
 func evalClassifierAccuracy(m *graph.Model, opts pipeline.Options, n int) (float64, error) {
-	base, err := pipeline.NewClassifier(m, opts)
-	if err != nil {
-		return 0, err
-	}
 	samples := datasets.SynthImageNet(5555, n)
 	preds := make([]int, len(samples))
 	labels := make([]int, len(samples))
-	_, err = replayLog(len(samples), nil, func(*core.Monitor) (runner.ProcessFunc, error) {
-		// Accuracy evals discard telemetry, so replicas run uninstrumented
-		// (nil monitor) — no per-frame tensor-stats cost on the hot path.
-		cl, err := base.Clone(nil)
-		if err != nil {
-			return nil, err
-		}
-		return func(i int) error {
-			p, _, err := cl.Classify(samples[i].Image)
-			if err != nil {
-				return err
-			}
-			preds[i], labels[i] = p, samples[i].Label
+	_, err := replay.Classification(m, opts, classificationImages(samples),
+		runner.Options{Workers: ReplayWorkers, BatchFrames: ReplayBatch},
+		func(i int, r replay.ClassifyResult) error {
+			preds[i], labels[i] = r.Pred, samples[i].Label
 			return nil
-		}, nil
-	})
+		})
 	if err != nil {
 		return 0, err
 	}

@@ -10,6 +10,7 @@ import (
 	"mlexray/internal/graph"
 	"mlexray/internal/ops"
 	"mlexray/internal/pipeline"
+	"mlexray/internal/replay"
 	"mlexray/internal/runner"
 	"mlexray/internal/zoo"
 )
@@ -161,21 +162,11 @@ func runImageTask(task string, m *graph.Model, resolver *ops.Resolver, bug pipel
 	opts := pipeline.Options{Resolver: resolver, Bug: bug}
 	switch task {
 	case "classification":
-		base, err := pipeline.NewClassifier(m, opts)
-		if err != nil {
-			return nil, err
-		}
+		// Classification rides the batched inference path (ReplayBatch
+		// frames per interpreter invoke); the merged log is byte-identical
+		// to the frame-at-a-time replay.
 		samples := datasets.SynthImageNet(5555, frames)
-		return replayLog(len(samples), monOpts, func(mon *core.Monitor) (runner.ProcessFunc, error) {
-			cl, err := base.Clone(mon)
-			if err != nil {
-				return nil, err
-			}
-			return func(i int) error {
-				_, _, err := cl.Classify(samples[i].Image)
-				return err
-			}, nil
-		})
+		return replay.Classification(m, opts, classificationImages(samples), sweepOptions(monOpts), nil)
 	case "detection":
 		base, err := pipeline.NewDetector(m, opts)
 		if err != nil {
@@ -262,22 +253,10 @@ func runImageTaskOnProfile(m *graph.Model, resolver *ops.Resolver, profile strin
 	if err != nil {
 		return nil, err
 	}
-	base, err := pipeline.NewClassifier(m, pipeline.Options{Resolver: resolver, Device: dev})
-	if err != nil {
-		return nil, err
-	}
 	samples := datasets.SynthImageNet(5555, frames)
-	return replayLog(len(samples), []core.MonitorOption{core.WithCaptureMode(core.CaptureStats), core.WithPerLayer(true)},
-		func(mon *core.Monitor) (runner.ProcessFunc, error) {
-			cl, err := base.Clone(mon)
-			if err != nil {
-				return nil, err
-			}
-			return func(i int) error {
-				_, _, err := cl.Classify(samples[i].Image)
-				return err
-			}, nil
-		})
+	monOpts := []core.MonitorOption{core.WithCaptureMode(core.CaptureStats), core.WithPerLayer(true)}
+	return replay.Classification(m, pipeline.Options{Resolver: resolver, Device: dev},
+		classificationImages(samples), sweepOptions(monOpts), nil)
 }
 
 // RenderFigure3 prints the coverage matrix.

@@ -3,6 +3,22 @@
 // instrumentation layer relies on (§3.2): per-node hooks that observe every
 // layer's output tensor, and per-node timing (both wall-clock measured and
 // device-model projected).
+//
+// # Execution planning
+//
+// New resolves every kernel, allocates the tensor arena AND plans the whole
+// dispatch up front: one persistent ops.Ctx per node (input/output tensors
+// and quant params pre-resolved) plus a kernel scratch arena pre-sized from
+// ops.ScratchPlan. Invoke therefore performs no allocation in steady state —
+// kernels draw transient buffers (im2col matrices, per-channel tables,
+// dequant staging) from the arena, which is bump-reset before every node.
+//
+// # Batched execution
+//
+// Batch (see batch.go) runs B frames per Invoke through a graph.Rebatch-ed
+// clone of the model, amortizing per-node dispatch across the batch while
+// replaying per-frame hook events from sliced output views, so per-frame
+// telemetry is indistinguishable from sequential execution.
 package interp
 
 import (
@@ -65,14 +81,21 @@ type Interpreter struct {
 	kinds    []ops.ComputeKind
 	kernels  []ops.Kernel
 	costs    []ops.Cost
+	// ctxs are the persistent per-node kernel contexts; building them once
+	// at plan time is what makes Invoke allocation-free.
+	ctxs  []ops.Ctx
+	arena *ops.Arena
+	// measured records the last Invoke's per-node wall-clock durations (the
+	// batched executor reads these to attribute per-frame layer latency).
+	measured []time.Duration
 	hook     NodeHook
 	latModel LatencyModel
 	last     InvokeStats
 }
 
 // New validates the model, resolves every kernel up front (so unsupported
-// ops fail at construction, not mid-inference) and allocates the tensor
-// arena.
+// ops fail at construction, not mid-inference), allocates the tensor arena
+// and plans the per-node execution contexts and kernel scratch arena.
 func New(m *graph.Model, resolver *ops.Resolver, opts ...Option) (*Interpreter, error) {
 	if err := m.Validate(); err != nil {
 		return nil, fmt.Errorf("interp: %w", err)
@@ -84,6 +107,9 @@ func New(m *graph.Model, resolver *ops.Resolver, opts ...Option) (*Interpreter, 
 		kinds:    make([]ops.ComputeKind, len(m.Nodes)),
 		kernels:  make([]ops.Kernel, len(m.Nodes)),
 		costs:    make([]ops.Cost, len(m.Nodes)),
+		ctxs:     make([]ops.Ctx, len(m.Nodes)),
+		measured: make([]time.Duration, len(m.Nodes)),
+		arena:    ops.NewArena(),
 	}
 	for _, o := range opts {
 		o(ip)
@@ -97,6 +123,7 @@ func New(m *graph.Model, resolver *ops.Resolver, opts ...Option) (*Interpreter, 
 	}
 	shapeOf := func(id int) []int { return m.Tensors[id].Shape }
 	sizeOf := func(id int) int { return m.Tensors[id].DType.Size() }
+	var maxF32, maxF64, maxI16, maxIdx int
 	for i := range m.Nodes {
 		n := &m.Nodes[i]
 		kind := ops.KindOf(n, m.Tensors)
@@ -107,8 +134,38 @@ func New(m *graph.Model, resolver *ops.Resolver, opts ...Option) (*Interpreter, 
 		ip.kinds[i] = kind
 		ip.kernels[i] = kernel
 		ip.costs[i] = ops.EstimateCost(n, shapeOf, sizeOf)
+
+		inputs := make([]*tensor.Tensor, len(n.Inputs))
+		inQ := make([]*quant.Params, len(n.Inputs))
+		for j, id := range n.Inputs {
+			inputs[j] = ip.tensors[id]
+			inQ[j] = m.Tensors[id].Quant
+		}
+		outputs := make([]*tensor.Tensor, len(n.Outputs))
+		outQ := make([]*quant.Params, len(n.Outputs))
+		for j, id := range n.Outputs {
+			outputs[j] = ip.tensors[id]
+			outQ[j] = m.Tensors[id].Quant
+		}
+		ip.ctxs[i] = ops.Ctx{Node: n, Inputs: inputs, Outputs: outputs, InQ: inQ, OutQ: outQ, Arena: ip.arena}
+
+		// Scratch is node-scoped (the arena resets between nodes), so the
+		// slabs only need to cover the hungriest single node.
+		f32, f64, i16, idx := ops.ScratchPlan(n, kind, shapeOf)
+		maxF32 = maxInt(maxF32, f32)
+		maxF64 = maxInt(maxF64, f64)
+		maxI16 = maxInt(maxI16, i16)
+		maxIdx = maxInt(maxIdx, idx)
 	}
+	ip.arena.Reserve(maxF32, maxF64, maxI16, maxIdx)
 	return ip, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
 }
 
 // Model returns the model being executed.
@@ -133,38 +190,30 @@ func (ip *Interpreter) SetInput(i int, t *tensor.Tensor) error {
 	return nil
 }
 
-// Invoke executes all nodes in order.
+// Invoke executes all nodes in order. In steady state it performs no heap
+// allocation: contexts are pre-planned and kernel scratch comes from the
+// pre-sized arena.
 func (ip *Interpreter) Invoke() error {
 	var stats InvokeStats
-	for i := range ip.model.Nodes {
-		n := &ip.model.Nodes[i]
-		inputs := make([]*tensor.Tensor, len(n.Inputs))
-		inQ := make([]*quant.Params, len(n.Inputs))
-		for j, id := range n.Inputs {
-			inputs[j] = ip.tensors[id]
-			inQ[j] = ip.model.Tensors[id].Quant
-		}
-		outputs := make([]*tensor.Tensor, len(n.Outputs))
-		outQ := make([]*quant.Params, len(n.Outputs))
-		for j, id := range n.Outputs {
-			outputs[j] = ip.tensors[id]
-			outQ[j] = ip.model.Tensors[id].Quant
-		}
-		kctx := &ops.Ctx{Node: n, Inputs: inputs, Outputs: outputs, InQ: inQ, OutQ: outQ}
+	for i := range ip.ctxs {
+		kctx := &ip.ctxs[i]
+		ip.arena.Reset()
 		start := time.Now()
 		if err := ip.kernels[i](kctx); err != nil {
+			n := kctx.Node
 			return fmt.Errorf("interp: node %d (%s %s): %w", i, n.Op, n.Name, err)
 		}
 		measured := time.Since(start)
+		ip.measured[i] = measured
 		var modeled time.Duration
 		if ip.latModel != nil {
-			modeled = ip.latModel.NodeLatency(n.Op, ip.kinds[i], ip.resolver.Name(), ip.costs[i])
+			modeled = ip.latModel.NodeLatency(kctx.Node.Op, ip.kinds[i], ip.resolver.Name(), ip.costs[i])
 		}
 		stats.Measured += measured
 		stats.Modeled += modeled
 		if ip.hook != nil {
 			ip.hook(NodeEvent{
-				Index: i, Node: n, Outputs: outputs, OutQuant: outQ,
+				Index: i, Node: kctx.Node, Outputs: kctx.Outputs, OutQuant: kctx.OutQ,
 				Kind: ip.kinds[i], Cost: ip.costs[i], Measured: measured, Modeled: modeled,
 			})
 		}
@@ -196,6 +245,9 @@ func (ip *Interpreter) Tensor(id int) (*tensor.Tensor, error) {
 // ArenaBytes returns the activation memory footprint (all non-const runtime
 // buffers), the interpreter-arena metric of the overhead tables.
 func (ip *Interpreter) ArenaBytes() int { return ip.model.ActivationBytes() }
+
+// ScratchBytes returns the kernel scratch arena's slab footprint.
+func (ip *Interpreter) ScratchBytes() int { return ip.arena.Bytes() }
 
 // Run is a convenience for single-input single-output models: set, invoke,
 // return a clone of the output.

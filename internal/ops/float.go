@@ -289,19 +289,56 @@ func padFloat(c *Ctx) error {
 	}
 	out := c.Outputs[0]
 	out.Zero()
-	return padCopy(in, out, c.Node.Attrs.Paddings, func(src, dst int) {
+	if done, err := padRows4D(in, out, c.Node.Attrs.Paddings, func(src, dst, n int) {
+		copy(out.F[dst:dst+n], in.F[src:src+n])
+	}); done || err != nil {
+		return err
+	}
+	return padCopy(c, in, out, c.Node.Attrs.Paddings, func(src, dst int) {
 		out.F[dst] = in.F[src]
 	})
 }
 
+// padRows4D is the fast path for the ubiquitous rank-4 NHWC pad: each input
+// row [W,C] maps to one contiguous destination run, so the walk copies rows
+// instead of elements. Returns done=false for other ranks, which fall back
+// to the generic element walk.
+func padRows4D(in, out *tensor.Tensor, paddings [][2]int, copyRow func(srcOff, dstOff, n int)) (bool, error) {
+	if len(in.Shape) != 4 {
+		return false, nil
+	}
+	if len(paddings) != 4 {
+		return true, fmt.Errorf("ops: pad with %d pairs for rank 4", len(paddings))
+	}
+	if paddings[3][0] != 0 || paddings[3][1] != 0 {
+		// Channel padding breaks row contiguity; take the generic walk.
+		return false, nil
+	}
+	n, ih, iw, ch := in.Shape[0], in.Shape[1], in.Shape[2], in.Shape[3]
+	oh, ow := out.Shape[1], out.Shape[2]
+	row := iw * ch
+	for b := 0; b < n; b++ {
+		ob := b + paddings[0][0]
+		for y := 0; y < ih; y++ {
+			src := (b*ih + y) * row
+			dst := ((ob*oh+y+paddings[1][0])*ow + paddings[2][0]) * ch
+			copyRow(src, dst, row)
+		}
+	}
+	return true, nil
+}
+
 // padCopy walks the input tensor and maps each element to its padded
 // position. The visit callback does the dtype-specific copy.
-func padCopy(in, out *tensor.Tensor, paddings [][2]int, visit func(srcOff, dstOff int)) error {
+func padCopy(c *Ctx, in, out *tensor.Tensor, paddings [][2]int, visit func(srcOff, dstOff int)) error {
 	if len(paddings) != len(in.Shape) {
 		return fmt.Errorf("ops: pad with %d pairs for rank %d", len(paddings), len(in.Shape))
 	}
 	rank := len(in.Shape)
-	idx := make([]int, rank)
+	idx := c.Arena.Idx(rank)
+	for d := range idx {
+		idx[d] = 0
+	}
 	total := in.Len()
 	for off := 0; off < total; off++ {
 		dst := 0
@@ -512,8 +549,8 @@ func batchNormFloat(c *Ctx) error {
 	if gamma.Len() != ch {
 		return fmt.Errorf("ops: batchnorm gamma %v for channels %d", gamma.Shape, ch)
 	}
-	scale := make([]float32, ch)
-	shift := make([]float32, ch)
+	scale := c.Arena.F32(ch)
+	shift := c.Arena.F32(ch)
 	for cc := 0; cc < ch; cc++ {
 		s := float64(gamma.F[cc]) / math.Sqrt(float64(variance.F[cc])+eps)
 		scale[cc] = float32(s)
@@ -614,8 +651,7 @@ func selfAttentionFloat(c *Ctx) error {
 	if len(c.Inputs) < 9 {
 		return fmt.Errorf("ops: SelfAttention needs x + 4 weights + 4 biases, got %d inputs", len(c.Inputs))
 	}
-	weights := make([][]float32, 4)
-	biases := make([][]float32, 4)
+	var weights, biases [4][]float32
 	for i := 0; i < 4; i++ {
 		wt := c.Inputs[1+2*i]
 		bt := c.Inputs[2+2*i]
@@ -628,18 +664,18 @@ func selfAttentionFloat(c *Ctx) error {
 	return attentionCompute(c, x, weights, biases)
 }
 
-func attentionCompute(c *Ctx, x *tensor.Tensor, weights, biases [][]float32) error {
+func attentionCompute(c *Ctx, x *tensor.Tensor, weights, biases [4][]float32) error {
 	out := c.Outputs[0]
 	n, t, d := x.Shape[0], x.Shape[1], x.Shape[2]
 	h := c.Node.Attrs.NumHeads
 	dh := d / h
 	scale := float32(1 / math.Sqrt(float64(dh)))
 
-	q := make([]float32, t*d)
-	k := make([]float32, t*d)
-	v := make([]float32, t*d)
-	attnOut := make([]float32, t*d)
-	scores := make([]float32, t)
+	q := c.Arena.F32(t * d)
+	k := c.Arena.F32(t * d)
+	v := c.Arena.F32(t * d)
+	attnOut := c.Arena.F32(t * d)
+	scores := c.Arena.F32(t)
 
 	project := func(dst []float32, src []float32, w []float32, b []float32) {
 		// dst[t, d] = src[t, d] x w[d, d]^T + b
@@ -715,7 +751,7 @@ func resizeBilinearFloat(c *Ctx) error {
 		return err
 	}
 	out := c.Outputs[0]
-	return resizeBilinearGeneric(in, out, func(src []int, weights []float32, dst int) {
+	return resizeBilinearGeneric(c, in, out, func(src []int, weights []float32, dst int) {
 		var acc float32
 		for i, s := range src {
 			acc += in.F[s] * weights[i]
@@ -726,13 +762,13 @@ func resizeBilinearFloat(c *Ctx) error {
 
 // resizeBilinearGeneric computes, for every output element, the four source
 // offsets and interpolation weights, delegating the arithmetic to visit.
-func resizeBilinearGeneric(in, out *tensor.Tensor, visit func(srcOffsets []int, weights []float32, dstOffset int)) error {
+func resizeBilinearGeneric(c *Ctx, in, out *tensor.Tensor, visit func(srcOffsets []int, weights []float32, dstOffset int)) error {
 	n, ih, iw, ch := in.Shape[0], in.Shape[1], in.Shape[2], in.Shape[3]
 	oh, ow := out.Shape[1], out.Shape[2]
 	sy := float64(ih) / float64(oh)
 	sx := float64(iw) / float64(ow)
-	src := make([]int, 4)
-	wts := make([]float32, 4)
+	src := c.Arena.Idx(4)
+	wts := c.Arena.F32(4)
 	for b := 0; b < n; b++ {
 		for oy := 0; oy < oh; oy++ {
 			fy := (float64(oy)+0.5)*sy - 0.5

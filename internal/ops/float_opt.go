@@ -11,9 +11,15 @@ import (
 // can differ in the low bits — the benign class of discrepancy the paper
 // notes when comparing resolvers on float models ("small discrepancies on
 // float models due to the non-associativity of floating point arithmetic").
+//
+// All transient buffers come from the Ctx arena, so a planned interpreter
+// invokes these kernels without allocating.
 
-// gemmNT computes C[m,n] += A[m,k] * B[n,k]^T with simple cache blocking.
-// A is row-major m×k, B row-major n×k (i.e. B is accessed transposed).
+// gemmNT computes C[m,n] += A[m,k] * B[n,k]^T with cache blocking and a
+// 4-column inner kernel. Each output element still accumulates over p in
+// ascending order in its own chain, so results are bitwise identical to the
+// single-column loop — the unroll only interleaves four independent
+// dependency chains to keep the FMA pipeline full.
 func gemmNT(a []float32, b []float32, c []float32, m, n, k int) {
 	const block = 64
 	for i0 := 0; i0 < m; i0 += block {
@@ -23,11 +29,31 @@ func gemmNT(a []float32, b []float32, c []float32, m, n, k int) {
 			for i := i0; i < iMax; i++ {
 				ai := a[i*k : (i+1)*k]
 				ci := c[i*n : (i+1)*n]
-				for j := j0; j < jMax; j++ {
+				j := j0
+				for ; j+4 <= jMax; j += 4 {
+					// Re-slicing to ai's length lets the compiler drop the
+					// b*[p] bounds checks inside the dot loop.
+					b0 := b[j*k:][:len(ai)]
+					b1 := b[(j+1)*k:][:len(ai)]
+					b2 := b[(j+2)*k:][:len(ai)]
+					b3 := b[(j+3)*k:][:len(ai)]
+					var acc0, acc1, acc2, acc3 float32
+					for p, av := range ai {
+						acc0 += av * b0[p]
+						acc1 += av * b1[p]
+						acc2 += av * b2[p]
+						acc3 += av * b3[p]
+					}
+					ci[j] += acc0
+					ci[j+1] += acc1
+					ci[j+2] += acc2
+					ci[j+3] += acc3
+				}
+				for ; j < jMax; j++ {
 					bj := b[j*k : (j+1)*k]
 					var acc float32
-					for p := 0; p < k; p++ {
-						acc += ai[p] * bj[p]
+					for p, av := range ai {
+						acc += av * bj[p]
 					}
 					ci[j] += acc
 				}
@@ -69,7 +95,9 @@ func im2col(in *tensor.Tensor, batch int, a graph.Attrs, kh, kw, oh, ow int, dst
 }
 
 // convFloatOpt is the optimized Conv2D: im2col + GEMM + fused bias and
-// activation.
+// activation. The im2col matrix spans the whole (possibly rebatched) batch,
+// so one GEMM covers every element — per-row summation order is unchanged,
+// keeping outputs bitwise identical to a per-element lowering.
 func convFloatOpt(c *Ctx) error {
 	in, err := c.In(0)
 	if err != nil {
@@ -85,34 +113,35 @@ func convFloatOpt(c *Ctx) error {
 	n := in.Shape[0]
 	oc, kh, kw, ic := w.Shape[0], w.Shape[1], w.Shape[2], w.Shape[3]
 	oh, ow := out.Shape[1], out.Shape[2]
-	m := oh * ow
+	mb := oh * ow // rows per batch element
+	m := n * mb
 	k := kh * kw * ic
-	cols := make([]float32, m*k)
-	prod := make([]float32, m*oc)
+	cols := c.Arena.F32(m * k)
+	prod := c.Arena.F32(m * oc)
 	for b := 0; b < n; b++ {
-		im2col(in, b, a, kh, kw, oh, ow, cols)
-		for i := range prod {
-			prod[i] = 0
-		}
-		// Weights are [oc, kh, kw, ic] = row-major [oc, k]: exactly the
-		// B[n,k] layout gemmNT wants.
-		gemmNT(cols, w.F, prod, m, oc, k)
-		outBase := b * m * oc
-		for i := 0; i < m; i++ {
-			for co := 0; co < oc; co++ {
-				v := prod[i*oc+co]
-				if bias != nil {
-					v += bias.F[co]
-				}
-				out.F[outBase+i*oc+co] = applyActF32(a.Activation, v)
+		im2col(in, b, a, kh, kw, oh, ow, cols[b*mb*k:(b+1)*mb*k])
+	}
+	for i := range prod {
+		prod[i] = 0
+	}
+	// Weights are [oc, kh, kw, ic] = row-major [oc, k]: exactly the
+	// B[n,k] layout gemmNT wants.
+	gemmNT(cols, w.F, prod, m, oc, k)
+	for i := 0; i < m; i++ {
+		for co := 0; co < oc; co++ {
+			v := prod[i*oc+co]
+			if bias != nil {
+				v += bias.F[co]
 			}
+			out.F[i*oc+co] = applyActF32(a.Activation, v)
 		}
 	}
 	return nil
 }
 
 // depthwiseFloatOpt processes the image row-by-row with hoisted bounds
-// checks; same math as the reference kernel, reordered loops.
+// checks; same math as the reference kernel, reordered loops. The common
+// depth-multiplier-1 case runs a division-free inner loop.
 func depthwiseFloatOpt(c *Ctx) error {
 	in, err := c.In(0)
 	if err != nil {
@@ -130,7 +159,7 @@ func depthwiseFloatOpt(c *Ctx) error {
 	kh, kw, oc := w.Shape[1], w.Shape[2], w.Shape[3]
 	oh, ow := out.Shape[1], out.Shape[2]
 	dh, dw := max1(a.DilationH), max1(a.DilationW)
-	acc := make([]float32, oc)
+	acc := c.Arena.F32(oc)
 	for b := 0; b < n; b++ {
 		for oy := 0; oy < oh; oy++ {
 			for ox := 0; ox < ow; ox++ {
@@ -153,6 +182,15 @@ func depthwiseFloatOpt(c *Ctx) error {
 						}
 						inBase := ((b*ih+iy)*iw + ix) * ic
 						wBase := (ky*kw + kx) * oc
+						if mult == 1 {
+							// ic == oc: channel c reads input channel c.
+							inRow := in.F[inBase : inBase+oc]
+							wRow := w.F[wBase : wBase+oc]
+							for co := range acc {
+								acc[co] += inRow[co] * wRow[co]
+							}
+							continue
+						}
 						for co := 0; co < oc; co++ {
 							acc[co] += in.F[inBase+co/mult] * w.F[wBase+co]
 						}

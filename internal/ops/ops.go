@@ -22,12 +22,42 @@ import (
 // Ctx is the execution context handed to a kernel: resolved input/output
 // tensors (constants already materialized) and their quantization params
 // (nil entries for float tensors).
+//
+// A planned interpreter builds one Ctx per node at construction time and
+// reuses it for every Invoke, which enables the two zero-allocation
+// mechanisms below; a Ctx built ad hoc (tests, tools) leaves both nil and
+// kernels transparently fall back to allocating.
 type Ctx struct {
 	Node    *graph.Node
 	Inputs  []*tensor.Tensor
 	Outputs []*tensor.Tensor
 	InQ     []*quant.Params
 	OutQ    []*quant.Params
+
+	// Arena supplies node-scoped scratch buffers (reset by the interpreter
+	// before each kernel). Nil falls back to make.
+	Arena *Arena
+
+	// cache memoizes derived per-node state whose inputs never change across
+	// invokes — requantization multipliers, lookup tables, requant closures.
+	// Exactly one kernel owns a Ctx, so a single slot suffices.
+	cache any
+}
+
+// cachedIn returns the kernel's memoized plan of type T, building it on the
+// first invoke. Quantization parameters and node attributes are fixed for the
+// lifetime of a planned Ctx, so anything derived from them is computed once.
+func cachedIn[T any](c *Ctx, build func() (T, error)) (T, error) {
+	if v, ok := c.cache.(T); ok {
+		return v, nil
+	}
+	v, err := build()
+	if err != nil {
+		var zero T
+		return zero, err
+	}
+	c.cache = v
+	return v, nil
 }
 
 // In returns input i, erroring rather than panicking so kernels can report

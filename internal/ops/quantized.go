@@ -60,6 +60,15 @@ func convMultipliers(inQ, wQ, outQ *quant.Params, outC int) ([]quant.Multiplier,
 	return muls, nil
 }
 
+// cachedConvMultipliers memoizes the per-channel multipliers on the Ctx —
+// quant params are fixed per node, so a planned interpreter derives them
+// exactly once instead of on every frame.
+func cachedConvMultipliers(c *Ctx, outC int) ([]quant.Multiplier, error) {
+	return cachedIn(c, func() ([]quant.Multiplier, error) {
+		return convMultipliers(c.InQ[0], c.InQ[1], c.OutQ[0], outC)
+	})
+}
+
 // ---- quantized convolution family ----
 
 // convQuantRef is the reference full-integer Conv2D: uint8 activations,
@@ -77,12 +86,12 @@ func convQuantRef(c *Ctx) error {
 	bias := c.OptionalIn(2)
 	out := c.Outputs[0]
 	a := c.Node.Attrs
-	inQ, wQ, outQ := c.InQ[0], c.InQ[1], c.OutQ[0]
+	inQ, outQ := c.InQ[0], c.OutQ[0]
 	n, ih, iw, ic := in.Shape[0], in.Shape[1], in.Shape[2], in.Shape[3]
 	oc, kh, kw := w.Shape[0], w.Shape[1], w.Shape[2]
 	oh, ow := out.Shape[1], out.Shape[2]
 	dh, dw := max1(a.DilationH), max1(a.DilationW)
-	muls, err := convMultipliers(inQ, wQ, outQ, oc)
+	muls, err := cachedConvMultipliers(c, oc)
 	if err != nil {
 		return err
 	}
@@ -138,11 +147,11 @@ func convQuantOpt(c *Ctx) error {
 	bias := c.OptionalIn(2)
 	out := c.Outputs[0]
 	a := c.Node.Attrs
-	inQ, wQ, outQ := c.InQ[0], c.InQ[1], c.OutQ[0]
+	inQ, outQ := c.InQ[0], c.OutQ[0]
 	n, ih, iw, ic := in.Shape[0], in.Shape[1], in.Shape[2], in.Shape[3]
 	oc, kh, kw := w.Shape[0], w.Shape[1], w.Shape[2]
 	oh, ow := out.Shape[1], out.Shape[2]
-	muls, err := convMultipliers(inQ, wQ, outQ, oc)
+	muls, err := cachedConvMultipliers(c, oc)
 	if err != nil {
 		return err
 	}
@@ -153,7 +162,7 @@ func convQuantOpt(c *Ctx) error {
 
 	m := oh * ow
 	k := kh * kw * ic
-	cols := make([]int16, m*k)
+	cols := c.Arena.I16(m * k)
 	for b := 0; b < n; b++ {
 		// im2col with the input zero point subtracted up front, so padded
 		// taps contribute exactly zero to the accumulator.
@@ -234,13 +243,13 @@ func depthwiseQuantImpl(c *Ctx, logicalShiftBug bool) error {
 	bias := c.OptionalIn(2)
 	out := c.Outputs[0]
 	a := c.Node.Attrs
-	inQ, wQ, outQ := c.InQ[0], c.InQ[1], c.OutQ[0]
+	inQ, outQ := c.InQ[0], c.OutQ[0]
 	mult := max1(a.DepthMultiplier)
 	n, ih, iw, ic := in.Shape[0], in.Shape[1], in.Shape[2], in.Shape[3]
 	kh, kw, oc := w.Shape[1], w.Shape[2], w.Shape[3]
 	oh, ow := out.Shape[1], out.Shape[2]
 	dh, dw := max1(a.DilationH), max1(a.DilationW)
-	muls, err := convMultipliers(inQ, wQ, outQ, oc)
+	muls, err := cachedConvMultipliers(c, oc)
 	if err != nil {
 		return err
 	}
@@ -296,11 +305,11 @@ func denseQuantRef(c *Ctx) error {
 	bias := c.OptionalIn(2)
 	out := c.Outputs[0]
 	a := c.Node.Attrs
-	inQ, wQ, outQ := c.InQ[0], c.InQ[1], c.OutQ[0]
+	inQ, outQ := c.InQ[0], c.OutQ[0]
 	n := in.Shape[0]
 	inC := in.Len() / n
 	outC := w.Shape[0]
-	muls, err := convMultipliers(inQ, wQ, outQ, outC)
+	muls, err := cachedConvMultipliers(c, outC)
 	if err != nil {
 		return err
 	}
@@ -364,7 +373,7 @@ func avgPoolQuantImpl(c *Ctx, missingDivide bool) error {
 	inQ, outQ := c.InQ[0], c.OutQ[0]
 	n, ih, iw, ch := in.Shape[0], in.Shape[1], in.Shape[2], in.Shape[3]
 	oh, ow := out.Shape[1], out.Shape[2]
-	requant, err := requantU8(inQ, outQ)
+	requant, err := cachedRequantU8(c, inQ, outQ)
 	if err != nil {
 		return err
 	}
@@ -407,6 +416,14 @@ func avgPoolQuantImpl(c *Ctx, missingDivide bool) error {
 	return nil
 }
 
+// cachedRequantU8 memoizes the requant closure on the Ctx so steady-state
+// invokes neither rebuild the multiplier nor allocate the closure.
+func cachedRequantU8(c *Ctx, inQ, outQ *quant.Params) (func(int32) int32, error) {
+	return cachedIn(c, func() (func(int32) int32, error) {
+		return requantU8(inQ, outQ)
+	})
+}
+
 // requantU8 returns a function mapping a quantized value under inQ to the
 // outQ domain. When params match it is the identity.
 func requantU8(inQ, outQ *quant.Params) (func(int32) int32, error) {
@@ -439,7 +456,7 @@ func maxPoolQuant(c *Ctx) error {
 	out := c.Outputs[0]
 	a := c.Node.Attrs
 	inQ, outQ := c.InQ[0], c.OutQ[0]
-	requant, err := requantU8(inQ, outQ)
+	requant, err := cachedRequantU8(c, inQ, outQ)
 	if err != nil {
 		return err
 	}
@@ -485,7 +502,7 @@ func meanQuant(c *Ctx) error {
 	}
 	out := c.Outputs[0]
 	inQ, outQ := c.InQ[0], c.OutQ[0]
-	requant, err := requantU8(inQ, outQ)
+	requant, err := cachedRequantU8(c, inQ, outQ)
 	if err != nil {
 		return err
 	}
@@ -519,7 +536,12 @@ func padQuant(c *Ctx) error {
 	for i := range out.U {
 		out.U[i] = zp
 	}
-	return padCopy(in, out, c.Node.Attrs.Paddings, func(src, dst int) {
+	if done, err := padRows4D(in, out, c.Node.Attrs.Paddings, func(src, dst, n int) {
+		copy(out.U[dst:dst+n], in.U[src:src+n])
+	}); done || err != nil {
+		return err
+	}
+	return padCopy(c, in, out, c.Node.Attrs.Paddings, func(src, dst int) {
 		out.U[dst] = in.U[src]
 	})
 }
@@ -536,23 +558,28 @@ func addQuant(c *Ctx) error {
 		return err
 	}
 	out := c.Outputs[0]
-	q1, q2, qo := c.InQ[0], c.InQ[1], c.OutQ[0]
-	if q1 == nil || q2 == nil || qo == nil {
-		return fmt.Errorf("ops: quantized add missing params")
-	}
-	m1, err := quant.NewMultiplier(q1.Scale(0) / qo.Scale(0))
+	combine, err := cachedIn(c, func() (func(a, b uint8) uint8, error) {
+		q1, q2, qo := c.InQ[0], c.InQ[1], c.OutQ[0]
+		if q1 == nil || q2 == nil || qo == nil {
+			return nil, fmt.Errorf("ops: quantized add missing params")
+		}
+		m1, err := quant.NewMultiplier(q1.Scale(0) / qo.Scale(0))
+		if err != nil {
+			return nil, err
+		}
+		m2, err := quant.NewMultiplier(q2.Scale(0) / qo.Scale(0))
+		if err != nil {
+			return nil, err
+		}
+		z1, z2, zo := q1.ZeroPoint(0), q2.ZeroPoint(0), qo.ZeroPoint(0)
+		lo, hi := quantActRange(c.Node.Attrs.Activation, qo)
+		return func(a, b uint8) uint8 {
+			v := zo + m1.Apply(int32(a)-z1) + m2.Apply(int32(b)-z2)
+			return clampU8(v, lo, hi)
+		}, nil
+	})
 	if err != nil {
 		return err
-	}
-	m2, err := quant.NewMultiplier(q2.Scale(0) / qo.Scale(0))
-	if err != nil {
-		return err
-	}
-	z1, z2, zo := q1.ZeroPoint(0), q2.ZeroPoint(0), qo.ZeroPoint(0)
-	lo, hi := quantActRange(c.Node.Attrs.Activation, qo)
-	combine := func(a, b uint8) uint8 {
-		v := zo + m1.Apply(int32(a)-z1) + m2.Apply(int32(b)-z2)
-		return clampU8(v, lo, hi)
 	}
 	return quantBroadcast(c, x, y, out, combine)
 }
@@ -567,19 +594,24 @@ func mulQuant(c *Ctx) error {
 		return err
 	}
 	out := c.Outputs[0]
-	q1, q2, qo := c.InQ[0], c.InQ[1], c.OutQ[0]
-	if q1 == nil || q2 == nil || qo == nil {
-		return fmt.Errorf("ops: quantized mul missing params")
-	}
-	m, err := quant.NewMultiplier(q1.Scale(0) * q2.Scale(0) / qo.Scale(0))
+	combine, err := cachedIn(c, func() (func(a, b uint8) uint8, error) {
+		q1, q2, qo := c.InQ[0], c.InQ[1], c.OutQ[0]
+		if q1 == nil || q2 == nil || qo == nil {
+			return nil, fmt.Errorf("ops: quantized mul missing params")
+		}
+		m, err := quant.NewMultiplier(q1.Scale(0) * q2.Scale(0) / qo.Scale(0))
+		if err != nil {
+			return nil, err
+		}
+		z1, z2, zo := q1.ZeroPoint(0), q2.ZeroPoint(0), qo.ZeroPoint(0)
+		lo, hi := quantActRange(c.Node.Attrs.Activation, qo)
+		return func(a, b uint8) uint8 {
+			v := zo + m.Apply((int32(a)-z1)*(int32(b)-z2))
+			return clampU8(v, lo, hi)
+		}, nil
+	})
 	if err != nil {
 		return err
-	}
-	z1, z2, zo := q1.ZeroPoint(0), q2.ZeroPoint(0), qo.ZeroPoint(0)
-	lo, hi := quantActRange(c.Node.Attrs.Activation, qo)
-	combine := func(a, b uint8) uint8 {
-		v := zo + m.Apply((int32(a)-z1)*(int32(b)-z2))
-		return clampU8(v, lo, hi)
 	}
 	return quantBroadcast(c, x, y, out, combine)
 }
@@ -627,13 +659,19 @@ func concatQuant(c *Ctx) error {
 		})
 	}
 	// Slow path: requantize each input into the output domain first.
-	requants := make([]func(int32) int32, len(c.Inputs))
-	for i := range c.Inputs {
-		r, err := requantU8(c.InQ[i], qo)
-		if err != nil {
-			return err
+	requants, err := cachedIn(c, func() ([]func(int32) int32, error) {
+		rs := make([]func(int32) int32, len(c.Inputs))
+		for i := range c.Inputs {
+			r, err := requantU8(c.InQ[i], qo)
+			if err != nil {
+				return nil, err
+			}
+			rs[i] = r
 		}
-		requants[i] = r
+		return rs, nil
+	})
+	if err != nil {
+		return err
 	}
 	// Identify which input each output element came from by replaying the
 	// concat walk.
@@ -679,7 +717,7 @@ func clampActQuant(c *Ctx, act graph.Activation) error {
 		return err
 	}
 	out := c.Outputs[0]
-	requant, err := requantU8(c.InQ[0], c.OutQ[0])
+	requant, err := cachedRequantU8(c, c.InQ[0], c.OutQ[0])
 	if err != nil {
 		return err
 	}
@@ -699,14 +737,20 @@ func lutKernel(f func(float64) float64) Kernel {
 			return err
 		}
 		out := c.Outputs[0]
-		inQ, outQ := c.InQ[0], c.OutQ[0]
-		if inQ == nil || outQ == nil {
-			return fmt.Errorf("ops: quantized %v missing params", c.Node.Op)
-		}
-		var lut [256]uint8
-		for q := 0; q < 256; q++ {
-			real := inQ.DequantizeU8(uint8(q), 0)
-			lut[q] = outQ.QuantizeU8(f(real), 0)
+		lut, err := cachedIn(c, func() (*[256]uint8, error) {
+			inQ, outQ := c.InQ[0], c.OutQ[0]
+			if inQ == nil || outQ == nil {
+				return nil, fmt.Errorf("ops: quantized %v missing params", c.Node.Op)
+			}
+			var t [256]uint8
+			for q := 0; q < 256; q++ {
+				real := inQ.DequantizeU8(uint8(q), 0)
+				t[q] = outQ.QuantizeU8(f(real), 0)
+			}
+			return &t, nil
+		})
+		if err != nil {
+			return err
 		}
 		for i := range out.U {
 			out.U[i] = lut[in.U[i]]
@@ -730,7 +774,7 @@ func softmaxQuant(c *Ctx) error {
 	}
 	last := in.Shape[len(in.Shape)-1]
 	rows := in.Len() / last
-	buf := make([]float64, last)
+	buf := c.Arena.F64(last)
 	for r := 0; r < rows; r++ {
 		base := r * last
 		mx := math.Inf(-1)
@@ -801,7 +845,7 @@ func resizeBilinearQuant(c *Ctx) error {
 		return err
 	}
 	out := c.Outputs[0]
-	return resizeBilinearGeneric(in, out, func(src []int, weights []float32, dst int) {
+	return resizeBilinearGeneric(c, in, out, func(src []int, weights []float32, dst int) {
 		var acc float32
 		for i, s := range src {
 			acc += float32(in.U[s]) * weights[i]
@@ -890,15 +934,14 @@ func selfAttentionHybrid(c *Ctx) error {
 	if len(c.Inputs) < 9 {
 		return fmt.Errorf("ops: SelfAttention needs x + 4 weights + 4 biases, got %d inputs", len(c.Inputs))
 	}
-	weights := make([][]float32, 4)
-	biases := make([][]float32, 4)
+	var weights, biases [4][]float32
 	for i := 0; i < 4; i++ {
 		wt := c.Inputs[1+2*i]
 		wq := c.InQ[1+2*i]
 		if wt.DType != tensor.I8 || wq == nil {
 			return fmt.Errorf("ops: hybrid attention weight %d not int8-with-params", i)
 		}
-		deq := make([]float32, wt.Len())
+		deq := c.Arena.F32(wt.Len())
 		for j, v := range wt.I {
 			ch := 0
 			if wq.IsPerChannel() {

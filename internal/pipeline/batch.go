@@ -1,0 +1,131 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"mlexray/internal/core"
+	"mlexray/internal/graph"
+	"mlexray/internal/imaging"
+	"mlexray/internal/interp"
+	"mlexray/internal/tensor"
+)
+
+// BatchClassifier is the batched-inference variant of Classifier: it runs up
+// to Batch() frames per interpreter invoke through a graph.Rebatch-ed model
+// replica, amortizing per-node dispatch across the batch. Telemetry is
+// emitted per frame in exactly the sequential Classify order — frame
+// advance, sensor reading, preprocessing capture, per-layer events (from
+// sliced batch views), latency metrics, model output — so a replay through
+// BatchClassifier merges byte-identical (modulo wall-clock values) to one
+// through Classifier.
+type BatchClassifier struct {
+	model   *graph.Model
+	bip     *interp.Batch
+	preproc ImagePreproc
+	opts    Options
+	batch   int
+
+	// ins retains the per-element preprocessed tensors between the compute
+	// pass and the per-frame telemetry emission pass.
+	ins   []*tensor.Tensor
+	preds []int
+}
+
+// NewBatchClassifier builds a batch-capacity classification pipeline for the
+// model. Preprocessing, bug injection and monitor semantics match
+// NewClassifier frame for frame.
+func NewBatchClassifier(m *graph.Model, batch int, opts Options) (*BatchClassifier, error) {
+	if m.Meta.Task != "classification" {
+		return nil, fmt.Errorf("pipeline: model %q is a %s model", m.Name, m.Meta.Task)
+	}
+	if batch < 1 {
+		return nil, fmt.Errorf("pipeline: batch size %d", batch)
+	}
+	pp, err := CorrectImagePreproc(m.Meta)
+	if err != nil {
+		return nil, err
+	}
+	c := &BatchClassifier{
+		model:   m,
+		preproc: pp.WithBug(opts.Bug),
+		opts:    opts,
+		batch:   batch,
+		ins:     make([]*tensor.Tensor, batch),
+		preds:   make([]int, batch),
+	}
+	var iopts []interp.Option
+	if opts.Monitor != nil {
+		iopts = append(iopts, interp.WithHook(opts.Monitor.LayerHook()))
+	}
+	if opts.Device != nil {
+		iopts = append(iopts, interp.WithLatencyModel(opts.Device))
+	}
+	c.bip, err = interp.NewBatch(m, batch, opts.resolver(), iopts...)
+	if err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Batch returns the pipeline's batch capacity.
+func (c *BatchClassifier) Batch() int { return c.batch }
+
+// Interpreter exposes the underlying batched interpreter (for memory
+// accounting and per-frame stats).
+func (c *BatchClassifier) Interpreter() *interp.Batch { return c.bip }
+
+// Preproc returns the active preprocessing configuration.
+func (c *BatchClassifier) Preproc() ImagePreproc { return c.preproc }
+
+// Clone builds an independent replica of the pipeline — same model, batch,
+// bug and device, but its own interpreter arena and the given monitor — so
+// replicas can run frame batches concurrently.
+func (c *BatchClassifier) Clone(mon *core.Monitor) (*BatchClassifier, error) {
+	opts := c.opts
+	opts.Monitor = mon
+	return NewBatchClassifier(c.model, c.batch, opts)
+}
+
+// ClassifyBatch runs 1..Batch() frames through one batched invoke and
+// returns the predicted class per frame. The returned slice is reused by the
+// next call. A short final batch pads the unused interpreter slots with the
+// last frame (the padded lanes compute but emit no telemetry).
+func (c *BatchClassifier) ClassifyBatch(ims []*imaging.Image) ([]int, error) {
+	k := len(ims)
+	if k == 0 || k > c.batch {
+		return nil, fmt.Errorf("pipeline: %d frames for batch %d", k, c.batch)
+	}
+	for e, im := range ims {
+		c.ins[e] = PreprocessImage(im, c.model.Meta, c.preproc)
+		if err := c.bip.SetInputElem(0, e, c.ins[e]); err != nil {
+			return nil, err
+		}
+	}
+	for e := k; e < c.batch; e++ { // pad the tail so every lane holds valid data
+		if err := c.bip.SetInputElem(0, e, c.ins[k-1]); err != nil {
+			return nil, err
+		}
+	}
+	if err := c.bip.Invoke(); err != nil {
+		return nil, err
+	}
+	mon := c.opts.Monitor
+	for e := 0; e < k; e++ {
+		out, err := c.bip.OutputAt(0, e)
+		if err != nil {
+			return nil, err
+		}
+		if mon != nil {
+			// Mirror the sequential Classify record order exactly.
+			mon.NextFrame()
+			if c.opts.Orientation != nil {
+				mon.LogSensor(core.KeySensorOrientation, c.opts.Orientation.Read(), "deg")
+			}
+			mon.LogTensor(core.KeyPreprocessOutput, c.ins[e])
+			c.bip.EmitFrame(e)
+			mon.OnBatchFrame(c.bip.FrameStats(), out)
+		}
+		c.preds[e] = out.ArgMax()
+	}
+	return c.preds[:k], nil
+}

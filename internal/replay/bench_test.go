@@ -1,0 +1,124 @@
+package replay
+
+import (
+	"fmt"
+	"testing"
+
+	"mlexray/internal/interp"
+	"mlexray/internal/ops"
+	"mlexray/internal/pipeline"
+	"mlexray/internal/runner"
+	"mlexray/internal/tensor"
+	"mlexray/internal/zoo"
+)
+
+// The replay-engine benchmarks: end-to-end frames/sec of the batched
+// parallel engine at several batch sizes, and the interpreter-only invoke
+// cost (run with -benchmem: steady-state Invoke is allocation-free).
+
+// benchFrames is long enough that per-replica construction (the rebatched
+// interpreter arena grows with the batch size) amortizes the way it does in
+// real dataset replays.
+const benchFrames = 256
+
+// benchReplay replays the MobileNet-v2 workload uninstrumented (the
+// accuracy-eval configuration — pure pipeline throughput, no telemetry
+// encoding on the hot path).
+func benchReplay(b *testing.B, workers, batch int) {
+	b.Helper()
+	entry, err := zoo.Get("mobilenetv2-mini")
+	if err != nil {
+		b.Fatal(err)
+	}
+	images := testImages(b, benchFrames)
+	popts := pipeline.Options{Resolver: ops.NewOptimized(ops.Fixed())}
+	ropts := runner.Options{Workers: workers, BatchFrames: batch}
+	b.ReportMetric(float64(benchFrames), "frames/op")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Classification(entry.Mobile, popts, images, ropts, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(benchFrames), "ns/frame")
+}
+
+// BenchmarkReplayBatch measures the batched engine on a single worker, so
+// the batch-size axis is isolated from parallel speedup.
+func BenchmarkReplayBatch(b *testing.B) {
+	for _, batch := range []int{1, 8, 32} {
+		b.Run(fmt.Sprintf("batch=%d", batch), func(b *testing.B) {
+			benchReplay(b, 1, batch)
+		})
+	}
+}
+
+// BenchmarkReplayBatchParallel composes batching with the worker pool.
+func BenchmarkReplayBatchParallel(b *testing.B) {
+	for _, batch := range []int{1, 8, 32} {
+		b.Run(fmt.Sprintf("batch=%d", batch), func(b *testing.B) {
+			benchReplay(b, 0, batch)
+		})
+	}
+}
+
+// BenchmarkInvoke measures the interpreter hot loop alone on the
+// optimized-resolver MobileNet path. ns/frame is the per-frame cost (the
+// batch=N invoke runs N frames); allocs/op must be 0 in steady state.
+func BenchmarkInvoke(b *testing.B) {
+	entry, err := zoo.Get("mobilenetv2-mini")
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := entry.Mobile
+	in := tensor.New(tensor.F32, 1, m.Meta.InputH, m.Meta.InputW, m.Meta.InputC)
+	in.Fill(0.3)
+
+	b.Run("batch=1", func(b *testing.B) {
+		ip, err := interp.New(m, ops.NewOptimized(ops.Fixed()))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := ip.SetInput(0, in); err != nil {
+			b.Fatal(err)
+		}
+		if err := ip.Invoke(); err != nil { // warm kernel caches
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := ip.Invoke(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N), "ns/frame")
+	})
+	for _, batch := range []int{8, 32} {
+		b.Run(fmt.Sprintf("batch=%d", batch), func(b *testing.B) {
+			bp, err := interp.NewBatch(m, batch, ops.NewOptimized(ops.Fixed()))
+			if err != nil {
+				b.Fatal(err)
+			}
+			for e := 0; e < batch; e++ {
+				if err := bp.SetInputElem(0, e, in); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := bp.Invoke(); err != nil { // warm kernel caches
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := bp.Invoke(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(batch), "ns/frame")
+		})
+	}
+}

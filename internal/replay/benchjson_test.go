@@ -1,0 +1,105 @@
+package replay
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"mlexray/internal/interp"
+	"mlexray/internal/ops"
+	"mlexray/internal/tensor"
+	"mlexray/internal/zoo"
+)
+
+// TestEmitReplayBenchJSON writes the replay-performance artifact CI tracks
+// across PRs: ns/frame of the batched replay engine at several batch sizes
+// and the allocation profile of the steady-state interpreter invoke. It
+// runs only when BENCH_REPLAY_JSON names the output path, so ordinary test
+// runs skip it.
+func TestEmitReplayBenchJSON(t *testing.T) {
+	path := os.Getenv("BENCH_REPLAY_JSON")
+	if path == "" {
+		t.Skip("set BENCH_REPLAY_JSON=<path> to emit the benchmark artifact")
+	}
+
+	type entry struct {
+		NsPerFrame  float64 `json:"ns_per_frame"`
+		AllocsPerOp int64   `json:"allocs_per_op"`
+		BytesPerOp  int64   `json:"bytes_per_op"`
+		Iterations  int     `json:"iterations"`
+	}
+	results := map[string]entry{}
+
+	for _, batch := range []int{1, 8, 32} {
+		batch := batch
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			benchReplay(b, 1, batch)
+		})
+		results[fmt.Sprintf("replay_batch%d", batch)] = entry{
+			NsPerFrame:  r.Extra["ns/frame"],
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			Iterations:  r.N,
+		}
+	}
+
+	entryZoo, err := zoo.Get("mobilenetv2-mini")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := entryZoo.Mobile
+	in := tensor.New(tensor.F32, 1, m.Meta.InputH, m.Meta.InputW, m.Meta.InputC)
+	in.Fill(0.3)
+	ip, err := interp.New(m, ops.NewOptimized(ops.Fixed()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ip.SetInput(0, in); err != nil {
+		t.Fatal(err)
+	}
+	if err := ip.Invoke(); err != nil { // warm kernel caches
+		t.Fatal(err)
+	}
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := ip.Invoke(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	results["invoke_batch1"] = entry{
+		NsPerFrame:  float64(r.NsPerOp()),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		Iterations:  r.N,
+	}
+	if got := results["invoke_batch1"].AllocsPerOp; got != 0 {
+		t.Errorf("steady-state Invoke allocates %d objects/op, want 0", got)
+	}
+
+	artifact := struct {
+		Schema     string           `json:"schema"`
+		Model      string           `json:"model"`
+		Frames     int              `json:"frames_per_replay"`
+		GoMaxProcs int              `json:"gomaxprocs"`
+		Results    map[string]entry `json:"results"`
+	}{
+		Schema:     "mlexray-bench-replay/v1",
+		Model:      "mobilenetv2-mini (optimized resolver, float)",
+		Frames:     benchFrames,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Results:    results,
+	}
+	data, err := json.MarshalIndent(artifact, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s", path)
+}

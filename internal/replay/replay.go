@@ -1,0 +1,118 @@
+// Package replay binds the instrumented pipelines to the parallel replay
+// engine: one call replays a dataset through per-worker pipeline replicas —
+// frame-at-a-time or batched — and returns the deterministically merged
+// telemetry log. The experiment sweeps and the CLIs (edgerun, refrun, exray)
+// all drive dataset replays through this package, so batching and worker
+// policy live in exactly one place.
+package replay
+
+import (
+	"time"
+
+	"mlexray/internal/core"
+	"mlexray/internal/datasets"
+	"mlexray/internal/graph"
+	"mlexray/internal/imaging"
+	"mlexray/internal/pipeline"
+	"mlexray/internal/runner"
+)
+
+// Images projects an image-sample set to the replay input — the shared
+// sample-to-frames adapter for the CLIs, sweeps and tests.
+func Images(samples []datasets.ImageSample) []*imaging.Image {
+	images := make([]*imaging.Image, len(samples))
+	for i := range samples {
+		images[i] = samples[i].Image
+	}
+	return images
+}
+
+// ClassifyResult is the per-frame outcome a classification replay reports to
+// its observer callback.
+type ClassifyResult struct {
+	// Pred is the predicted class (argmax of the model output).
+	Pred int
+	// Modeled is the device-model latency projection for the frame's
+	// invoke; zero without a device profile.
+	Modeled time.Duration
+}
+
+// Classification replays images through classifier replicas on the parallel
+// replay engine and returns the merged telemetry log.
+//
+//   - ropts.BatchFrames > 1 selects the batched inference path: each worker
+//     owns a pipeline.BatchClassifier replica and runs whole frame ranges
+//     through single batched invokes. Otherwise workers run frame-at-a-time
+//     Classifier replicas. Merged telemetry is byte-identical either way
+//     (modulo wall-clock latency values).
+//   - ropts.MonitorOptions nil replays uninstrumented (accuracy-eval mode):
+//     replicas carry no monitor, so the hot path pays no telemetry cost and
+//     the returned log is empty. Any non-nil MonitorOptions (even empty)
+//     instruments the replicas with shard monitors.
+//   - onFrame, when non-nil, observes every frame's result. It runs on
+//     worker goroutines: implementations must only write frame-indexed
+//     slots or otherwise synchronise.
+//
+// popts.Monitor is ignored — replicas always use their shard monitor.
+func Classification(m *graph.Model, popts pipeline.Options, images []*imaging.Image,
+	ropts runner.Options, onFrame func(frame int, r ClassifyResult) error) (*core.Log, error) {
+	popts.Monitor = nil
+	instrumented := ropts.MonitorOptions != nil
+
+	if ropts.BatchFrames > 1 {
+		base, err := pipeline.NewBatchClassifier(m, ropts.BatchFrames, popts)
+		if err != nil {
+			return nil, err
+		}
+		return runner.ReplayBatched(len(images), func(mon *core.Monitor) (runner.ProcessBatchFunc, error) {
+			var pmon *core.Monitor
+			if instrumented {
+				pmon = mon
+			}
+			bc, err := base.Clone(pmon)
+			if err != nil {
+				return nil, err
+			}
+			return func(start, end int) error {
+				preds, err := bc.ClassifyBatch(images[start:end])
+				if err != nil {
+					return err
+				}
+				if onFrame != nil {
+					modeled := bc.Interpreter().FrameStats().Modeled
+					for j, p := range preds {
+						if err := onFrame(start+j, ClassifyResult{Pred: p, Modeled: modeled}); err != nil {
+							return err
+						}
+					}
+				}
+				return nil
+			}, nil
+		}, ropts)
+	}
+
+	base, err := pipeline.NewClassifier(m, popts)
+	if err != nil {
+		return nil, err
+	}
+	return runner.Replay(len(images), func(mon *core.Monitor) (runner.ProcessFunc, error) {
+		var pmon *core.Monitor
+		if instrumented {
+			pmon = mon
+		}
+		cl, err := base.Clone(pmon)
+		if err != nil {
+			return nil, err
+		}
+		return func(i int) error {
+			pred, _, err := cl.Classify(images[i])
+			if err != nil {
+				return err
+			}
+			if onFrame != nil {
+				return onFrame(i, ClassifyResult{Pred: pred, Modeled: cl.Interpreter().LastInvokeStats().Modeled})
+			}
+			return nil
+		}, nil
+	}, ropts)
+}

@@ -10,14 +10,30 @@
 //
 // The flow:
 //
-//	frames ──► dispatcher ──► worker 0 (pipeline replica + monitor shard) ─┐
-//	                     ├──► worker 1 (pipeline replica + monitor shard) ─┤──► in-order
-//	                     └──► worker N (pipeline replica + monitor shard) ─┘    collector ──► Log / JSONL sink
+//	frames ─► dispatcher ─► worker 0 (pipeline replica + monitor shard) ─┐
+//	   ▲                ├─► worker 1 (pipeline replica + monitor shard) ─┤─► in-order
+//	   │                └─► worker N (pipeline replica + monitor shard) ─┘    collector ─► Log / JSONL sink
+//	   └──────────────── reorder-window credits (MaxPending) ◄───────────────────┘
 //
-// Workers drain their monitor shard after every frame, so shard buffers stay
-// one frame deep; with a FrameSink attached (and KeepLog false) the collector
-// streams frames to disk as soon as they are in order and a million-frame
-// replay holds only the out-of-order reorder window in memory.
+// Two axes of batching compose with the worker pool:
+//
+//   - Dispatch batching (Options.BatchFrames): the dispatcher hands each
+//     worker a contiguous [start,end) frame range instead of single frames,
+//     amortizing the channel round-trip, shard positioning and drain across
+//     the range.
+//   - Execution batching (ReplayBatched + a batch-aware worker, e.g.
+//     pipeline.BatchClassifier): the worker runs the whole range through one
+//     batched interpreter invoke, amortizing per-node dispatch across B
+//     frames. Per-frame record groups still come out identical to a
+//     sequential run — the batched interpreter replays per-frame hook events
+//     from sliced output views.
+//
+// Workers drain their monitor shard after every range, so shard buffers stay
+// one range deep; with a FrameSink attached (and KeepLog false) the collector
+// streams frames to disk as soon as they are in order. The reorder window is
+// bounded: at most Options.MaxPending frames may be dispatched and not yet
+// flushed, so a single slow frame throttles dispatch instead of growing the
+// window without limit — streaming million-frame replays hold flat memory.
 package runner
 
 import (
@@ -31,8 +47,10 @@ import (
 // ProcessFunc replays one dataset frame (0-based index) through the
 // worker-local pipeline replica. The monitor shard handed to the factory is
 // already positioned so the pipeline's NextFrame call tags records with the
-// global frame number; a ProcessFunc must advance the frame exactly once
-// (every pipeline type does this on entry).
+// global frame number; a ProcessFunc that logs records MUST advance the
+// frame exactly once via Monitor.NextFrame before logging (every pipeline
+// type does this on entry) — the collector groups records by their frame
+// tag and rejects records tagged outside the dispatched range.
 type ProcessFunc func(frame int) error
 
 // WorkerFactory builds one worker's state: given that worker's monitor
@@ -41,6 +59,17 @@ type ProcessFunc func(frame int) error
 // shared caches (zoo, resolvers) without synchronisation; the returned
 // ProcessFuncs run concurrently and must only share read-only state.
 type WorkerFactory func(mon *core.Monitor) (ProcessFunc, error)
+
+// ProcessBatchFunc replays the contiguous frame range [start, end) through a
+// worker-local (typically batched) pipeline replica. The monitor shard is
+// positioned at start before the call; the function must advance the shard's
+// frame counter exactly once per frame, in frame order, so every record
+// lands in its frame's group.
+type ProcessBatchFunc func(start, end int) error
+
+// BatchWorkerFactory builds one batch-aware worker. Same sequencing
+// guarantees as WorkerFactory.
+type BatchWorkerFactory func(mon *core.Monitor) (ProcessBatchFunc, error)
 
 // FrameSink receives frames strictly in increasing frame order, with record
 // sequence numbers already globally renumbered. core.JSONLSink implements it
@@ -54,6 +83,16 @@ type Options struct {
 	// Workers is the pool size; <= 0 means GOMAXPROCS. The merged output is
 	// identical for every worker count.
 	Workers int
+	// BatchFrames is the number of consecutive frames handed to a worker
+	// per dispatch; <= 1 dispatches frame at a time. The merged output is
+	// identical for every batch size.
+	BatchFrames int
+	// MaxPending caps the reorder window: the maximum number of frames
+	// dispatched but not yet flushed in order. When one slow frame holds
+	// back the flush, dispatch blocks instead of buffering without bound.
+	// <= 0 defaults to 4 × workers × batch; values below one batch are
+	// raised to one batch so a batch can always be in flight.
+	MaxPending int
 	// MonitorOptions configure each worker's monitor shard (capture mode,
 	// per-layer logging). All shards must be configured identically or the
 	// merged log would depend on which worker processed which frame.
@@ -73,13 +112,34 @@ func (o *Options) workers(frames int) int {
 	if w <= 0 {
 		w = runtime.GOMAXPROCS(0)
 	}
-	if frames > 0 && w > frames {
-		w = frames
+	if b := o.batch(); frames > 0 && w > (frames+b-1)/b {
+		w = (frames + b - 1) / b
 	}
 	if w < 1 {
 		w = 1
 	}
 	return w
+}
+
+func (o *Options) batch() int {
+	if o.BatchFrames < 1 {
+		return 1
+	}
+	return o.BatchFrames
+}
+
+func (o *Options) maxPending(workers int) int {
+	b := o.batch()
+	mp := o.MaxPending
+	if mp <= 0 {
+		mp = 4 * workers * b
+	}
+	if mp < b {
+		// A full batch must fit in the window or the dispatcher could
+		// never issue one.
+		mp = b
+	}
+	return mp
 }
 
 // frameResult is one completed frame's telemetry en route to the collector.
@@ -91,7 +151,42 @@ type frameResult struct {
 // Replay runs frames 0..frames-1 through the worker pool and returns the
 // merged telemetry log (empty when DiscardLog is set). On error the first
 // failure is returned and in-flight workers stop at the next frame boundary.
+//
+// With Options.BatchFrames > 1 the per-frame ProcessFunc still runs once per
+// frame but dispatch overhead is amortized across the range; use
+// ReplayBatched with a batch-aware worker to also batch the tensor compute.
 func Replay(frames int, factory WorkerFactory, opts Options) (*core.Log, error) {
+	var bf BatchWorkerFactory
+	if factory != nil {
+		bf = func(mon *core.Monitor) (ProcessBatchFunc, error) {
+			process, err := factory(mon)
+			if err != nil {
+				return nil, err
+			}
+			return func(start, end int) error {
+				for g := start; g < end; g++ {
+					// Re-position per frame: a ProcessFunc only advances the
+					// counter once, and the range contract wants exact tags
+					// even if a frame logs nothing.
+					mon.SetNextFrame(g + 1)
+					if err := process(g); err != nil {
+						return err
+					}
+				}
+				return nil
+			}, nil
+		}
+	}
+	return ReplayBatched(frames, bf, opts)
+}
+
+// ReplayBatched runs frames 0..frames-1 through the worker pool, handing
+// each worker contiguous [start,end) ranges of Options.BatchFrames frames.
+// The factory's ProcessBatchFunc owns the whole range (typically one batched
+// interpreter invoke); the collector splits each range's drained records
+// back into per-frame groups and merges them exactly as the per-frame
+// engine would.
+func ReplayBatched(frames int, factory BatchWorkerFactory, opts Options) (*core.Log, error) {
 	if frames < 0 {
 		return nil, fmt.Errorf("runner: negative frame count %d", frames)
 	}
@@ -99,12 +194,14 @@ func Replay(frames int, factory WorkerFactory, opts Options) (*core.Log, error) 
 		return nil, fmt.Errorf("runner: DiscardLog without a Sink would drop all telemetry")
 	}
 	nw := opts.workers(frames)
+	batch := opts.batch()
+	maxPending := opts.maxPending(nw)
 
 	// Build all workers up front: factory errors surface before any
 	// goroutine starts, and sequential construction lets factories share
 	// caches safely.
 	mons := make([]*core.Monitor, nw)
-	procs := make([]ProcessFunc, nw)
+	procs := make([]ProcessBatchFunc, nw)
 	for i := range mons {
 		mons[i] = core.NewMonitor(opts.MonitorOptions...)
 		p, err := factory(mons[i])
@@ -114,17 +211,39 @@ func Replay(frames int, factory WorkerFactory, opts Options) (*core.Log, error) 
 		procs[i] = p
 	}
 
-	jobs := make(chan int)
+	type frameRange struct{ start, end int }
+	jobs := make(chan frameRange)
 	results := make(chan frameResult, nw)
 	stop := make(chan struct{})
 	var stopOnce sync.Once
 	cancel := func() { stopOnce.Do(func() { close(stop) }) }
 
+	// credits is the reorder-window budget: the dispatcher takes one credit
+	// per frame before sending a range, the collector returns one per frame
+	// flushed in order. Dispatch therefore stalls as soon as maxPending
+	// frames are in flight — the frame after a straggler is always either
+	// executing or buffered, so progress is guaranteed.
+	credits := make(chan struct{}, maxPending)
+	for i := 0; i < maxPending; i++ {
+		credits <- struct{}{}
+	}
+
 	go func() { // dispatcher
 		defer close(jobs)
-		for g := 0; g < frames; g++ {
+		for start := 0; start < frames; start += batch {
+			end := start + batch
+			if end > frames {
+				end = frames
+			}
+			for i := start; i < end; i++ {
+				select {
+				case <-credits:
+				case <-stop:
+					return
+				}
+			}
 			select {
-			case jobs <- g:
+			case jobs <- frameRange{start, end}:
 			case <-stop:
 				return
 			}
@@ -138,20 +257,32 @@ func Replay(frames int, factory WorkerFactory, opts Options) (*core.Log, error) 
 		go func(i int) {
 			defer wg.Done()
 			mon, process := mons[i], procs[i]
-			for g := range jobs {
-				// Position the shard so the pipeline's NextFrame tags
-				// records with the global frame number (sequential runs
-				// number frames 1..N).
-				mon.SetNextFrame(g + 1)
-				if err := process(g); err != nil {
-					workerErrs[i] = fmt.Errorf("runner: frame %d: %w", g, err)
+			for r := range jobs {
+				// Position the shard so the pipeline's NextFrame calls tag
+				// records with global frame numbers (sequential runs number
+				// frames 1..N).
+				mon.SetNextFrame(r.start + 1)
+				if err := process(r.start, r.end); err != nil {
+					if r.end-r.start == 1 {
+						workerErrs[i] = fmt.Errorf("runner: frame %d: %w", r.start, err)
+					} else {
+						workerErrs[i] = fmt.Errorf("runner: frames [%d,%d): %w", r.start, r.end, err)
+					}
 					cancel()
 					return
 				}
-				select {
-				case results <- frameResult{frame: g, recs: mon.Drain()}:
-				case <-stop:
+				groups, err := splitByFrame(r.start, r.end, mon.Drain())
+				if err != nil {
+					workerErrs[i] = err
+					cancel()
 					return
+				}
+				for g := r.start; g < r.end; g++ {
+					select {
+					case results <- frameResult{frame: g, recs: groups[g-r.start]}:
+					case <-stop:
+						return
+					}
 				}
 			}
 		}(i)
@@ -186,6 +317,12 @@ func Replay(frames int, factory WorkerFactory, opts Options) (*core.Log, error) 
 				merged.Records = append(merged.Records, recs...)
 			}
 			next++
+			select {
+			case credits <- struct{}{}:
+			default:
+				// Only reachable after a cancel already tore the flow down;
+				// never under normal operation (releases ≤ acquisitions).
+			}
 		}
 	}
 	for _, err := range workerErrs {
@@ -197,4 +334,22 @@ func Replay(frames int, factory WorkerFactory, opts Options) (*core.Log, error) 
 		return nil, fmt.Errorf("runner: sink: %w", sinkErr)
 	}
 	return merged, nil
+}
+
+// splitByFrame groups a drained record range back into per-frame groups.
+// Monitors tag records with 1-based frame numbers; the range [start,end) is
+// 0-based, so frame tag start+1 lands in group 0. A record tagged outside
+// the range means the worker body advanced the frame counter out of
+// contract, which would silently corrupt the merge — fail loudly instead.
+func splitByFrame(start, end int, recs []core.Record) ([][]core.Record, error) {
+	groups := make([][]core.Record, end-start)
+	for _, r := range recs {
+		g := r.Frame - 1 - start
+		if g < 0 || g >= len(groups) {
+			return nil, fmt.Errorf("runner: record %q tagged frame %d outside dispatched range [%d,%d)",
+				r.Key, r.Frame, start+1, end+1)
+		}
+		groups[g] = append(groups[g], r)
+	}
+	return groups, nil
 }

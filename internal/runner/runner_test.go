@@ -7,7 +7,9 @@ import (
 	"path/filepath"
 	"reflect"
 	"strings"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"mlexray/internal/core"
 	"mlexray/internal/datasets"
@@ -145,6 +147,72 @@ func TestReplayValidatorIdentical(t *testing.T) {
 			t.Errorf("workers=%d: validator report differs:\n--- sequential ---\n%s--- parallel ---\n%s",
 				workers, wantBuf.String(), gotBuf.String())
 		}
+	}
+}
+
+// TestReplayMaxPendingBoundsWindow pins the reorder-window cap: with frame 0
+// stalled, at most MaxPending frames may enter processing before the flush
+// releases credits.
+func TestReplayMaxPendingBoundsWindow(t *testing.T) {
+	const frames = 60
+	const maxPending = 8
+	var started, flushed atomic.Int64
+	var worst atomic.Int64
+	sink := sinkFunc(func(frame int, recs []core.Record) error {
+		flushed.Add(1)
+		return nil
+	})
+	l, err := Replay(frames, func(mon *core.Monitor) (ProcessFunc, error) {
+		return func(i int) error {
+			inFlight := started.Add(1) - flushed.Load()
+			for {
+				w := worst.Load()
+				if inFlight <= w || worst.CompareAndSwap(w, inFlight) {
+					break
+				}
+			}
+			if i == 0 {
+				time.Sleep(50 * time.Millisecond) // the straggler everyone else outruns
+			}
+			mon.NextFrame()
+			mon.LogMetric("frame/value", float64(i), "count")
+			return nil
+		}, nil
+	}, Options{Workers: 4, MaxPending: maxPending, Sink: sink})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l.Records) != frames {
+		t.Fatalf("%d records for %d frames", len(l.Records), frames)
+	}
+	if w := worst.Load(); w > maxPending {
+		t.Errorf("reorder window reached %d in-flight frames, cap is %d", w, maxPending)
+	}
+	// The cap must throttle, not deadlock: everything flushed.
+	if f := flushed.Load(); f != frames {
+		t.Errorf("flushed %d of %d frames", f, frames)
+	}
+}
+
+type sinkFunc func(frame int, recs []core.Record) error
+
+func (f sinkFunc) WriteFrame(frame int, recs []core.Record) error { return f(frame, recs) }
+
+// TestReplayBatchedFrameTagContract verifies the loud failure when a batch
+// worker mis-tags frames (the silent-corruption class of bug).
+func TestReplayBatchedFrameTagContract(t *testing.T) {
+	_, err := ReplayBatched(8, func(mon *core.Monitor) (ProcessBatchFunc, error) {
+		return func(start, end int) error {
+			for g := start; g < end; g++ {
+				mon.NextFrame()
+				mon.NextFrame() // skips ahead: tags drift out of the range
+				mon.LogMetric("x", 1, "count")
+			}
+			return nil
+		}, nil
+	}, Options{Workers: 2, BatchFrames: 4})
+	if err == nil || !strings.Contains(err.Error(), "outside dispatched range") {
+		t.Fatalf("want frame-tag contract error, got %v", err)
 	}
 }
 

@@ -103,13 +103,24 @@ func WithPerLayer(enabled bool) MonitorOption { return core.WithPerLayer(enabled
 // ---- parallel replay API ----
 
 // ProcessFunc replays one dataset frame on a worker-local pipeline replica.
+// A ProcessFunc that logs records must advance its shard monitor's frame
+// exactly once (Monitor.NextFrame) before logging; every built-in pipeline
+// does this on entry.
 type ProcessFunc = runner.ProcessFunc
 
 // WorkerFactory builds one replay worker's state around its monitor shard.
 type WorkerFactory = runner.WorkerFactory
 
-// ReplayOptions configures a parallel replay (worker count, shard monitor
-// options, streaming sink).
+// ProcessBatchFunc replays a contiguous [start,end) frame range on a
+// worker-local batched pipeline replica.
+type ProcessBatchFunc = runner.ProcessBatchFunc
+
+// BatchWorkerFactory builds one batch-aware replay worker around its monitor
+// shard.
+type BatchWorkerFactory = runner.BatchWorkerFactory
+
+// ReplayOptions configures a parallel replay (worker count, frames per
+// batch, reorder-window cap, shard monitor options, streaming sink).
 type ReplayOptions = runner.Options
 
 // FrameSink receives merged frames in order during a streaming replay.
@@ -128,6 +139,15 @@ func NewJSONLSink(w io.Writer) *JSONLSink { return core.NewJSONLSink(w) }
 // wall-clock latency values), at roughly core-count throughput.
 func Replay(frames int, factory WorkerFactory, opts ReplayOptions) (*Log, error) {
 	return runner.Replay(frames, factory, opts)
+}
+
+// ReplayBatched shards a dataset replay in contiguous frame batches: each
+// worker owns a batch-capable pipeline replica (e.g. a batched interpreter
+// built on opts.BatchFrames) and processes whole [start,end) ranges per
+// dispatch, amortizing per-node dispatch across the batch. The merged log
+// keeps the Replay determinism contract frame for frame.
+func ReplayBatched(frames int, factory BatchWorkerFactory, opts ReplayOptions) (*Log, error) {
+	return runner.ReplayBatched(frames, factory, opts)
 }
 
 // MergeByFrame merges shard logs by frame index, renumbering sequence
