@@ -167,6 +167,11 @@ func run(args []string, stdout io.Writer) error {
 				return err
 			}
 			experiments.RenderAblationCapture(stdout, cm)
+			lf, err := experiments.AblationLogFormat()
+			if err != nil {
+				return err
+			}
+			experiments.RenderAblationLogFormat(stdout, lf)
 			return nil
 		}},
 	}

@@ -9,9 +9,15 @@
 // disk merged in frame order, so the log is identical to a single-worker
 // frame-at-a-time run.
 //
+// The telemetry encoding is selectable with -log-format: "jsonl" (the
+// human-readable default) or "binary" (the length-prefixed raw-payload
+// format, roughly half the bytes and a fraction of the encode cost for
+// full-tensor capture). cmd/exray and mlexray.ReadLog auto-detect either.
+//
 // Usage:
 //
 //	edgerun -model mobilenetv2-mini -bug normalization -o edge.jsonl
+//	edgerun -model mobilenetv2-mini -log-format binary -o edge.mlxb
 //	edgerun -model mobilenetv2-mini -quant -device Pixel4 -parallel 8 -batch 32 -o edge.jsonl
 package main
 
@@ -49,9 +55,14 @@ func run(args []string, stdout io.Writer) error {
 		perLayer = fs.Bool("perlayer", true, "capture per-layer outputs")
 		parallel = fs.Int("parallel", 0, "replay workers (0 = all cores)")
 		batch    = fs.Int("batch", 8, "frames per batched interpreter invoke (1 = frame at a time)")
+		logFmt   = fs.String("log-format", "jsonl", "telemetry log encoding: jsonl|binary")
 		out      = fs.String("o", "edge.jsonl", "output log path")
 	)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	format, err := core.ParseLogFormat(*logFmt)
+	if err != nil {
 		return err
 	}
 
@@ -73,7 +84,10 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 	defer f.Close()
-	sink := core.NewJSONLSink(f)
+	sink, err := core.NewLogSink(f, format)
+	if err != nil {
+		return err
+	}
 	// DiscardLog: frames stream to disk as they merge, so memory stays flat
 	// however long the replay; MaxPending bounds the reorder window.
 	_, err = replay.Classification(m, pipeline.Options{
@@ -93,6 +107,6 @@ func run(args []string, stdout io.Writer) error {
 	if err := sink.Flush(); err != nil {
 		return err
 	}
-	fmt.Fprintf(stdout, "edgerun: wrote %d records (%d bytes) to %s\n", sink.Records(), sink.Bytes(), *out)
+	fmt.Fprintf(stdout, "edgerun: wrote %d records (%d bytes, %s) to %s\n", sink.Records(), sink.Bytes(), sink.Format(), *out)
 	return nil
 }

@@ -11,32 +11,37 @@ import (
 )
 
 // TestRunOneFrame drives a one-frame end-to-end run through flag parsing,
-// the parallel replay path and the streaming JSONL sink, and checks that
-// the written log reads back.
+// the parallel replay path and both streaming sinks, and checks that the
+// written log reads back (auto-detected) in either encoding.
 func TestRunOneFrame(t *testing.T) {
-	out := filepath.Join(t.TempDir(), "edge.jsonl")
-	var buf bytes.Buffer
-	err := run([]string{"-frames", "1", "-parallel", "2", "-bug", "normalization", "-o", out}, &buf)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !strings.Contains(buf.String(), "edgerun: wrote") {
-		t.Errorf("missing summary line: %q", buf.String())
-	}
-	f, err := os.Open(out)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer f.Close()
-	l, err := core.ReadJSONL(f)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(l.Records) == 0 {
-		t.Error("log has no records")
-	}
-	if got := l.Frames(); got != 2 { // frames are 1-based: one frame -> max index 1
-		t.Errorf("Frames() = %d, want 2", got)
+	for _, format := range []string{"jsonl", "binary"} {
+		t.Run(format, func(t *testing.T) {
+			out := filepath.Join(t.TempDir(), "edge."+format)
+			var buf bytes.Buffer
+			err := run([]string{"-frames", "1", "-parallel", "2", "-bug", "normalization",
+				"-log-format", format, "-o", out}, &buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !strings.Contains(buf.String(), "edgerun: wrote") || !strings.Contains(buf.String(), format) {
+				t.Errorf("missing summary line: %q", buf.String())
+			}
+			f, err := os.Open(out)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer f.Close()
+			l, err := core.ReadLog(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(l.Records) == 0 {
+				t.Error("log has no records")
+			}
+			if got := l.Frames(); got != 2 { // frames are 1-based: one frame -> max index 1
+				t.Errorf("Frames() = %d, want 2", got)
+			}
+		})
 	}
 }
 

@@ -5,11 +5,17 @@
 // root-cause findings. Both replays shard across -parallel workers, and
 // classification models run -batch frames per batched interpreter invoke.
 //
+// Instead of replaying, either side can be loaded from a pre-captured
+// telemetry log (-edge-log / -ref-log): the file's encoding — JSONL or the
+// binary format, e.g. from edgerun/refrun's -log-format — is auto-detected,
+// and Validate produces identical reports whichever format the logs used.
+//
 // Usage:
 //
 //	exray -model mobilenetv2-mini -bug channel
 //	exray -model mobilenetv2-mini -quant -resolver optimized -perlayer -batch 32
 //	exray -model kws-mini-a -bug specnorm
+//	exray -edge-log edge.mlxb -ref-log ref.jsonl
 package main
 
 import (
@@ -47,50 +53,96 @@ func run(args []string, stdout io.Writer) error {
 		perLayer = fs.Bool("perlayer", true, "capture per-layer outputs for localisation")
 		parallel = fs.Int("parallel", 0, "replay workers (0 = all cores)")
 		batch    = fs.Int("batch", 8, "frames per batched interpreter invoke (1 = frame at a time)")
+		edgePath = fs.String("edge-log", "", "validate this pre-captured edge log (jsonl or binary, auto-detected) instead of replaying")
+		refPath  = fs.String("ref-log", "", "validate against this pre-captured reference log (jsonl or binary, auto-detected) instead of replaying")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *edgePath != "" && *refPath != "" {
+		// Pure log-vs-log validation: no model or replay needed.
+		edgeLog, err := loadLog(*edgePath, stdout, "edge")
+		if err != nil {
+			return err
+		}
+		refLog, err := loadLog(*refPath, stdout, "reference")
+		if err != nil {
+			return err
+		}
+		return validate(edgeLog, refLog, stdout)
+	}
 
+	// The model/resolver configuration applies only to the side(s) actually
+	// being replayed; a file-loaded side describes itself via loadLog.
 	entry, err := zoo.Get(*model)
 	if err != nil {
 		return err
 	}
-	edgeModel := entry.Mobile
-	if *quantF {
-		edgeModel = entry.Quant
-	}
-	cfg := ops.Historical()
-	if *fixed {
-		cfg = ops.Fixed()
-	}
-	var edgeResolver *ops.Resolver
-	switch *resolver {
-	case "optimized":
-		edgeResolver = ops.NewOptimized(cfg)
-	case "reference":
-		edgeResolver = ops.NewReference(cfg)
-	default:
-		return fmt.Errorf("unknown resolver %q", *resolver)
-	}
 
-	fmt.Fprintf(stdout, "edge:      %s (%s, %s resolver, bug=%s)\n", edgeModel.Name, edgeModel.Format, *resolver, *bug)
-	fmt.Fprintf(stdout, "reference: %s (%s, reference resolver, fixed kernels)\n\n", entry.Mobile.Name, entry.Mobile.Format)
-
-	edgeLog, err := captureLog(edgeModel, edgeResolver, pipeline.Bug(*bug), *frames, *perLayer, *parallel, *batch)
+	var edgeLog *core.Log
+	if *edgePath != "" {
+		edgeLog, err = loadLog(*edgePath, stdout, "edge")
+	} else {
+		edgeModel := entry.Mobile
+		if *quantF {
+			edgeModel = entry.Quant
+		}
+		cfg := ops.Historical()
+		if *fixed {
+			cfg = ops.Fixed()
+		}
+		var edgeResolver *ops.Resolver
+		switch *resolver {
+		case "optimized":
+			edgeResolver = ops.NewOptimized(cfg)
+		case "reference":
+			edgeResolver = ops.NewReference(cfg)
+		default:
+			return fmt.Errorf("unknown resolver %q", *resolver)
+		}
+		fmt.Fprintf(stdout, "edge:      %s (%s, %s resolver, bug=%s)\n", edgeModel.Name, edgeModel.Format, *resolver, *bug)
+		edgeLog, err = captureLog(edgeModel, edgeResolver, pipeline.Bug(*bug), *frames, *perLayer, *parallel, *batch)
+	}
 	if err != nil {
 		return err
 	}
-	refLog, err := captureLog(entry.Mobile, ops.NewReference(ops.Fixed()), pipeline.BugNone, *frames, *perLayer, *parallel, *batch)
+	var refLog *core.Log
+	if *refPath != "" {
+		refLog, err = loadLog(*refPath, stdout, "reference")
+	} else {
+		fmt.Fprintf(stdout, "reference: %s (%s, reference resolver, fixed kernels)\n", entry.Mobile.Name, entry.Mobile.Format)
+		refLog, err = captureLog(entry.Mobile, ops.NewReference(ops.Fixed()), pipeline.BugNone, *frames, *perLayer, *parallel, *batch)
+	}
 	if err != nil {
 		return err
 	}
+	fmt.Fprintln(stdout)
+	return validate(edgeLog, refLog, stdout)
+}
+
+// validate runs the Figure 2 flow on two logs and renders the report.
+func validate(edgeLog, refLog *core.Log, stdout io.Writer) error {
 	rep, err := core.Validate(edgeLog, refLog, core.DefaultValidateOptions())
 	if err != nil {
 		return err
 	}
 	rep.Render(stdout)
 	return nil
+}
+
+// loadLog reads a pre-captured telemetry log, auto-detecting the encoding.
+func loadLog(path string, stdout io.Writer, role string) (*core.Log, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	l, format, err := core.ReadLogWithFormat(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s log %s: %w", role, path, err)
+	}
+	fmt.Fprintf(stdout, "%s log: %s (%s, %d records)\n", role, path, format, len(l.Records))
+	return l, nil
 }
 
 // captureLog replays the model's evaluation set through the parallel replay

@@ -2,8 +2,16 @@ package main
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"mlexray/internal/core"
+	"mlexray/internal/graph"
+	"mlexray/internal/ops"
+	"mlexray/internal/pipeline"
+	"mlexray/internal/zoo"
 )
 
 // TestRunOneFrameValidation drives the one-shot validation flow end to end
@@ -38,6 +46,76 @@ func TestRunCatchesInjectedBug(t *testing.T) {
 	}
 }
 
+// TestRunFromLogFiles validates pre-captured logs instead of replaying: the
+// edge log stored binary, the reference log JSONL, both auto-detected — and
+// the rendered report is identical whichever encoding carried the logs.
+func TestRunFromLogFiles(t *testing.T) {
+	edge, err := captureLog(mustModel(t, "mobilenetv2-mini"), ops.NewOptimized(ops.Fixed()),
+		pipeline.BugNormalization, 2, true, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := captureLog(mustModel(t, "mobilenetv2-mini"), ops.NewReference(ops.Fixed()),
+		pipeline.BugNone, 2, true, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	write := func(name string, l *core.Log, format core.LogFormat) string {
+		path := filepath.Join(dir, name)
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		if err := l.Write(f, format); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+
+	report := func(edgePath, refPath string) string {
+		var buf bytes.Buffer
+		if err := run([]string{"-edge-log", edgePath, "-ref-log", refPath}, &buf); err != nil {
+			t.Fatal(err)
+		}
+		out := buf.String()
+		if !strings.Contains(out, "deployment validation report") {
+			t.Fatalf("missing report:\n%s", out)
+		}
+		// Strip the per-file preamble (it names paths and formats); the
+		// validation report itself must not depend on the encoding.
+		return out[strings.Index(out, "ML-EXray"):]
+	}
+
+	binRep := report(write("edge.mlxb", edge, core.FormatBinary), write("ref.mlxb", ref, core.FormatBinary))
+	jsonRep := report(write("edge.jsonl", edge, core.FormatJSONL), write("ref.jsonl", ref, core.FormatJSONL))
+	mixedRep := report(write("edge2.mlxb", edge, core.FormatBinary), write("ref2.jsonl", ref, core.FormatJSONL))
+	if binRep != jsonRep || mixedRep != jsonRep {
+		t.Errorf("validation reports differ across log encodings:\n-- binary --\n%s\n-- jsonl --\n%s\n-- mixed --\n%s",
+			binRep, jsonRep, mixedRep)
+	}
+	if !strings.Contains(jsonRep, "normalization") {
+		t.Errorf("normalization bug not flagged:\n%s", jsonRep)
+	}
+
+	// One-sided mode: the edge side comes from the file, the reference side
+	// replays — the preamble must describe only the replayed side.
+	var buf bytes.Buffer
+	edgePath := write("edge3.mlxb", edge, core.FormatBinary)
+	if err := run([]string{"-edge-log", edgePath, "-frames", "2", "-parallel", "2"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "edge log: "+edgePath) || !strings.Contains(out, "reference: ") {
+		t.Errorf("mixed-mode preamble wrong:\n%s", out)
+	}
+	if strings.Contains(out, "edge:      ") {
+		t.Errorf("mixed mode printed a replay header for the file-loaded edge side:\n%s", out)
+	}
+}
+
 func TestRunFlagErrors(t *testing.T) {
 	var buf bytes.Buffer
 	if err := run([]string{"-bogus"}, &buf); err == nil {
@@ -49,4 +127,17 @@ func TestRunFlagErrors(t *testing.T) {
 	if err := run([]string{"-model", "no-such-model"}, &buf); err == nil {
 		t.Error("unknown model should error")
 	}
+	if err := run([]string{"-edge-log", "no/such/file", "-ref-log", "also/missing"}, &buf); err == nil {
+		t.Error("missing log file should error")
+	}
+}
+
+// mustModel resolves a zoo model for the file-based validation test.
+func mustModel(t *testing.T, name string) *graph.Model {
+	t.Helper()
+	entry, err := zoo.Get(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return entry.Mobile
 }

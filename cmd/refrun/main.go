@@ -5,11 +5,13 @@
 //
 // Like edgerun, the replay shards across -parallel workers (each running
 // -batch frames per batched interpreter invoke) with telemetry streamed to
-// disk in deterministic frame order.
+// disk in deterministic frame order, and -log-format selects the jsonl or
+// binary telemetry encoding.
 //
 // Usage:
 //
 //	refrun -model mobilenetv2-mini -o ref.jsonl
+//	refrun -model mobilenetv2-mini -log-format binary -o ref.mlxb
 //	refrun -model mobilenetv2-mini -parallel 8 -batch 32 -o ref.jsonl
 package main
 
@@ -43,9 +45,14 @@ func run(args []string, stdout io.Writer) error {
 		perLayer = fs.Bool("perlayer", true, "capture per-layer outputs")
 		parallel = fs.Int("parallel", 0, "replay workers (0 = all cores)")
 		batch    = fs.Int("batch", 8, "frames per batched interpreter invoke (1 = frame at a time)")
+		logFmt   = fs.String("log-format", "jsonl", "telemetry log encoding: jsonl|binary")
 		out      = fs.String("o", "ref.jsonl", "output log path")
 	)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	format, err := core.ParseLogFormat(*logFmt)
+	if err != nil {
 		return err
 	}
 
@@ -59,7 +66,10 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 	defer f.Close()
-	sink := core.NewJSONLSink(f)
+	sink, err := core.NewLogSink(f, format)
+	if err != nil {
+		return err
+	}
 	_, err = replay.Classification(entry.Mobile, pipeline.Options{
 		Resolver: ops.NewReference(ops.Fixed()),
 	}, images, runner.Options{
@@ -75,6 +85,6 @@ func run(args []string, stdout io.Writer) error {
 	if err := sink.Flush(); err != nil {
 		return err
 	}
-	fmt.Fprintf(stdout, "refrun: wrote %d records to %s\n", sink.Records(), *out)
+	fmt.Fprintf(stdout, "refrun: wrote %d records (%d bytes, %s) to %s\n", sink.Records(), sink.Bytes(), sink.Format(), *out)
 	return nil
 }

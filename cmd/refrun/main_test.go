@@ -10,28 +10,32 @@ import (
 	"mlexray/internal/core"
 )
 
-// TestRunOneFrame drives a one-frame reference run end to end and checks
-// the streamed log reads back.
+// TestRunOneFrame drives a one-frame reference run end to end in both log
+// encodings and checks the streamed log reads back via auto-detection.
 func TestRunOneFrame(t *testing.T) {
-	out := filepath.Join(t.TempDir(), "ref.jsonl")
-	var buf bytes.Buffer
-	if err := run([]string{"-frames", "1", "-parallel", "2", "-o", out}, &buf); err != nil {
-		t.Fatal(err)
-	}
-	if !strings.Contains(buf.String(), "refrun: wrote") {
-		t.Errorf("missing summary line: %q", buf.String())
-	}
-	f, err := os.Open(out)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer f.Close()
-	l, err := core.ReadJSONL(f)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(l.Records) == 0 {
-		t.Error("log has no records")
+	for _, format := range []string{"jsonl", "binary"} {
+		t.Run(format, func(t *testing.T) {
+			out := filepath.Join(t.TempDir(), "ref."+format)
+			var buf bytes.Buffer
+			if err := run([]string{"-frames", "1", "-parallel", "2", "-log-format", format, "-o", out}, &buf); err != nil {
+				t.Fatal(err)
+			}
+			if !strings.Contains(buf.String(), "refrun: wrote") {
+				t.Errorf("missing summary line: %q", buf.String())
+			}
+			f, err := os.Open(out)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer f.Close()
+			l, err := core.ReadLog(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(l.Records) == 0 {
+				t.Error("log has no records")
+			}
+		})
 	}
 }
 
@@ -42,5 +46,8 @@ func TestRunFlagErrors(t *testing.T) {
 	}
 	if err := run([]string{"-model", "no-such-model"}, &buf); err == nil {
 		t.Error("unknown model should error")
+	}
+	if err := run([]string{"-log-format", "xml"}, &buf); err == nil {
+		t.Error("unknown log format should error")
 	}
 }

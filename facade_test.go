@@ -6,6 +6,7 @@ package mlexray_test
 // validate.
 
 import (
+	"bytes"
 	"os"
 	"path/filepath"
 	"testing"
@@ -245,5 +246,134 @@ func TestFacadeParallelReplay(t *testing.T) {
 	}
 	if len(back.Records) != len(par.Records) {
 		t.Errorf("streamed file has %d records, merged log %d", len(back.Records), len(par.Records))
+	}
+}
+
+// TestFacadeBinarySpillWorkflow drives the codec/sink surface of the facade
+// end to end: an edge capture spills frame by frame through a BinarySink to
+// disk, a parallel reference replay streams through a binary sink, both read
+// back via the auto-detecting ReadLog, and Validate reports exactly what the
+// JSONL path reports for the same telemetry.
+func TestFacadeBinarySpillWorkflow(t *testing.T) {
+	entry, err := zoo.Get("mobilenetv2-mini")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+
+	// Edge capture in spill mode: full tensors stream to the binary log as
+	// each frame completes instead of accumulating in the monitor.
+	edgePath := filepath.Join(dir, "edge.mlxb")
+	ef, err := os.Create(edgePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := mlexray.NewBinarySink(ef)
+	mon := mlexray.NewMonitor(mlexray.WithCaptureMode(mlexray.CaptureFull),
+		mlexray.WithPerLayer(true), mlexray.WithSink(sink))
+	cl, err := pipeline.NewClassifier(entry.Mobile, pipeline.Options{
+		Resolver: ops.NewOptimized(ops.Fixed()), Monitor: mon, Bug: pipeline.BugNormalization,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range datasets.SynthImageNet(5555, 4) {
+		if _, _, err := cl.Classify(s.Image); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := mon.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ef.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if mon.MemoryFootprintBytes() != 0 {
+		t.Errorf("spill-mode monitor retains %d bytes after Flush", mon.MemoryFootprintBytes())
+	}
+
+	// Reference capture: a parallel replay streamed through a binary sink.
+	refPath := filepath.Join(dir, "ref.mlxb")
+	rfOut, err := os.Create(refPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refSink, err := mlexray.NewLogSink(rfOut, mlexray.FormatBinary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := pipeline.NewClassifier(entry.Mobile, pipeline.Options{Resolver: ops.NewReference(ops.Fixed())})
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := datasets.SynthImageNet(5555, 4)
+	if _, err := mlexray.Replay(len(samples), func(m *mlexray.Monitor) (mlexray.ProcessFunc, error) {
+		w, err := base.Clone(m)
+		if err != nil {
+			return nil, err
+		}
+		return func(i int) error {
+			_, _, err := w.Classify(samples[i].Image)
+			return err
+		}, nil
+	}, mlexray.ReplayOptions{
+		Workers:        2,
+		MonitorOptions: []mlexray.MonitorOption{mlexray.WithCaptureMode(mlexray.CaptureFull), mlexray.WithPerLayer(true)},
+		Sink:           refSink,
+		DiscardLog:     true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := refSink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := rfOut.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	readBack := func(path string, wantFormat mlexray.LogFormat) *mlexray.Log {
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		l, format, err := mlexray.ReadLogWithFormat(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if format != wantFormat {
+			t.Fatalf("%s detected as %v, want %v", path, format, wantFormat)
+		}
+		return l
+	}
+	edge := readBack(edgePath, mlexray.FormatBinary)
+	ref := readBack(refPath, mlexray.FormatBinary)
+
+	report, err := mlexray.Validate(edge, ref, mlexray.DefaultValidateOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, f := range report.Findings {
+		if f.Assertion == "normalization-range" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("normalization finding missing from binary-log validation: %+v", report.Findings)
+	}
+
+	// The same telemetry re-encoded as JSONL must validate identically.
+	jsonlEdge := roundTripThroughDisk(t, edge, filepath.Join(dir, "edge.jsonl"))
+	jsonlRef := roundTripThroughDisk(t, ref, filepath.Join(dir, "ref.jsonl"))
+	jreport, err := mlexray.Validate(jsonlEdge, jsonlRef, mlexray.DefaultValidateOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want, got bytes.Buffer
+	report.Render(&want)
+	jreport.Render(&got)
+	if want.String() != got.String() {
+		t.Errorf("binary-log report differs from JSONL report:\n%s\nvs\n%s", want.String(), got.String())
 	}
 }

@@ -1,0 +1,493 @@
+package core
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+
+	"mlexray/internal/tensor"
+)
+
+// LogFormat selects a telemetry log encoding.
+type LogFormat int
+
+const (
+	// FormatJSONL is the human-readable format: one JSON object per line,
+	// tensor payloads base64-encoded. It is byte-stable — the golden-fixture
+	// test pins it to the pre-codec-redesign output.
+	FormatJSONL LogFormat = iota
+	// FormatBinary is the length-prefixed binary format: a magic+version
+	// header followed by varint-framed records whose tensor payloads are raw
+	// little-endian bytes (no base64, no JSON). It is the low-overhead
+	// streaming format for full-tensor capture.
+	FormatBinary
+)
+
+// String returns the CLI flag spelling of the format.
+func (f LogFormat) String() string {
+	switch f {
+	case FormatJSONL:
+		return "jsonl"
+	case FormatBinary:
+		return "binary"
+	default:
+		return fmt.Sprintf("format(%d)", int(f))
+	}
+}
+
+// ParseLogFormat is the inverse of LogFormat.String, for -log-format flags.
+func ParseLogFormat(s string) (LogFormat, error) {
+	switch s {
+	case "jsonl":
+		return FormatJSONL, nil
+	case "binary":
+		return FormatBinary, nil
+	}
+	return FormatJSONL, fmt.Errorf("core: unknown log format %q (want jsonl or binary)", s)
+}
+
+// LogEncoder is the writer side of a log codec: it serializes telemetry
+// records one at a time onto a stream. Implementations buffer; call Flush
+// after the last record (closing the underlying writer is the caller's job).
+type LogEncoder interface {
+	EncodeRecord(r *Record) error
+	Flush() error
+}
+
+// LogDecoder is the reader side of a log codec: Next returns records in
+// stream order and io.EOF at the end of the log.
+type LogDecoder interface {
+	Next() (Record, error)
+}
+
+// NewLogEncoder returns the encoder for the given format.
+func NewLogEncoder(w io.Writer, format LogFormat) (LogEncoder, error) {
+	switch format {
+	case FormatJSONL:
+		return NewJSONLEncoder(w), nil
+	case FormatBinary:
+		return NewBinaryEncoder(w), nil
+	}
+	return nil, fmt.Errorf("core: unknown log format %v", format)
+}
+
+// ---- JSONL codec ----
+
+// JSONLEncoder writes the JSONL log format. Its output is byte-identical to
+// the pre-codec JSONL writer: one json.Marshal-ed record per line.
+type JSONLEncoder struct {
+	bw  *bufio.Writer
+	enc *json.Encoder
+}
+
+// NewJSONLEncoder wraps w in a JSONL log encoder.
+func NewJSONLEncoder(w io.Writer) *JSONLEncoder {
+	bw := bufio.NewWriter(w)
+	return &JSONLEncoder{bw: bw, enc: json.NewEncoder(bw)}
+}
+
+// EncodeRecord appends one record line.
+func (e *JSONLEncoder) EncodeRecord(r *Record) error { return e.enc.Encode(r) }
+
+// Flush drains buffered output to the underlying writer.
+func (e *JSONLEncoder) Flush() error { return e.bw.Flush() }
+
+// JSONLDecoder reads the JSONL log format.
+type JSONLDecoder struct {
+	sc   *bufio.Scanner
+	line int
+}
+
+// NewJSONLDecoder wraps r in a JSONL log decoder.
+func NewJSONLDecoder(r io.Reader) *JSONLDecoder {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<26)
+	return &JSONLDecoder{sc: sc}
+}
+
+// Next returns the next record, or io.EOF at the end of the stream.
+func (d *JSONLDecoder) Next() (Record, error) {
+	for d.sc.Scan() {
+		d.line++
+		if len(d.sc.Bytes()) == 0 {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(d.sc.Bytes(), &rec); err != nil {
+			return Record{}, fmt.Errorf("core: log line %d: %w", d.line, err)
+		}
+		return rec, nil
+	}
+	if err := d.sc.Err(); err != nil {
+		return Record{}, fmt.Errorf("core: read log: %w", err)
+	}
+	return Record{}, io.EOF
+}
+
+// ---- binary codec ----
+
+// binaryMagic opens every binary log; the trailing byte is the format
+// version. OpenLog sniffs it to auto-detect the format.
+var binaryMagic = []byte{'M', 'L', 'X', 'B'}
+
+const binaryVersion = 1
+
+// maxBinaryRecord caps one record's body so a corrupt length prefix cannot
+// drive an arbitrarily large allocation.
+const maxBinaryRecord = 1 << 30
+
+// BinaryEncoder writes the length-prefixed binary log format: the
+// magic+version header, then per record a uvarint body length and a body
+// whose tensor payload is the raw little-endian bytes — no base64 and no
+// per-byte JSON escaping on the hot path.
+type BinaryEncoder struct {
+	bw      *bufio.Writer
+	scratch []byte
+	started bool
+}
+
+// NewBinaryEncoder wraps w in a binary log encoder.
+func NewBinaryEncoder(w io.Writer) *BinaryEncoder {
+	return &BinaryEncoder{bw: bufio.NewWriter(w)}
+}
+
+func (e *BinaryEncoder) header() error {
+	if e.started {
+		return nil
+	}
+	e.started = true
+	if _, err := e.bw.Write(binaryMagic); err != nil {
+		return err
+	}
+	return e.bw.WriteByte(binaryVersion)
+}
+
+// EncodeRecord appends one length-prefixed record.
+func (e *BinaryEncoder) EncodeRecord(r *Record) error {
+	if err := e.header(); err != nil {
+		return err
+	}
+	e.scratch = appendRecordBinary(e.scratch[:0], r)
+	var lenBuf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(lenBuf[:], uint64(len(e.scratch)))
+	if _, err := e.bw.Write(lenBuf[:n]); err != nil {
+		return err
+	}
+	_, err := e.bw.Write(e.scratch)
+	return err
+}
+
+// Flush writes the header if no record has (an empty binary log is just the
+// header, still auto-detectable) and drains buffered output.
+func (e *BinaryEncoder) Flush() error {
+	if err := e.header(); err != nil {
+		return err
+	}
+	return e.bw.Flush()
+}
+
+// appendRecordBinary serializes one record body. Field order is fixed;
+// readRecordBinary mirrors it exactly.
+func appendRecordBinary(buf []byte, r *Record) []byte {
+	buf = binary.AppendUvarint(buf, uint64(r.Seq))
+	buf = binary.AppendUvarint(buf, uint64(r.Frame))
+	buf = appendBinString(buf, r.Key)
+	buf = appendBinString(buf, string(r.Kind))
+	buf = binary.AppendVarint(buf, int64(r.LayerIndex))
+	buf = appendBinString(buf, r.LayerName)
+	buf = appendBinString(buf, r.OpType)
+	buf = binary.AppendUvarint(buf, uint64(len(r.Shape)))
+	for _, d := range r.Shape {
+		buf = binary.AppendVarint(buf, int64(d))
+	}
+	buf = appendBinString(buf, r.DType)
+	buf = binary.AppendUvarint(buf, uint64(len(r.Payload)))
+	buf = append(buf, r.Payload...)
+	if r.Stats != nil {
+		buf = append(buf, 1)
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(r.Stats.Min))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(r.Stats.Max))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(r.Stats.Mean))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(r.Stats.RMS))
+		buf = binary.AppendVarint(buf, int64(r.Stats.N))
+	} else {
+		buf = append(buf, 0)
+	}
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(r.QScale))
+	buf = binary.AppendVarint(buf, int64(r.QZero))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(r.Value))
+	buf = appendBinString(buf, r.Unit)
+	return buf
+}
+
+func appendBinString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+// BinaryDecoder reads the length-prefixed binary log format.
+type BinaryDecoder struct {
+	br      *bufio.Reader
+	started bool
+	body    []byte
+}
+
+// NewBinaryDecoder wraps r in a binary log decoder.
+func NewBinaryDecoder(r io.Reader) *BinaryDecoder {
+	return &BinaryDecoder{br: bufio.NewReaderSize(r, 1<<16)}
+}
+
+func (d *BinaryDecoder) checkHeader() error {
+	if d.started {
+		return nil
+	}
+	d.started = true
+	head := make([]byte, len(binaryMagic)+1)
+	if _, err := io.ReadFull(d.br, head); err != nil {
+		return fmt.Errorf("core: binary log header: %w", err)
+	}
+	if !bytes.Equal(head[:len(binaryMagic)], binaryMagic) {
+		return fmt.Errorf("core: not a binary telemetry log (bad magic %q)", head[:len(binaryMagic)])
+	}
+	if v := head[len(binaryMagic)]; v != binaryVersion {
+		return fmt.Errorf("core: binary log version %d not supported (want %d)", v, binaryVersion)
+	}
+	return nil
+}
+
+// Next returns the next record, or io.EOF at the end of the stream.
+func (d *BinaryDecoder) Next() (Record, error) {
+	if err := d.checkHeader(); err != nil {
+		return Record{}, err
+	}
+	n, err := binary.ReadUvarint(d.br)
+	if err == io.EOF {
+		return Record{}, io.EOF
+	}
+	if err != nil {
+		return Record{}, fmt.Errorf("core: binary log record length: %w", err)
+	}
+	if n > maxBinaryRecord {
+		return Record{}, fmt.Errorf("core: binary log record of %d bytes exceeds the %d limit", n, maxBinaryRecord)
+	}
+	if uint64(cap(d.body)) < n {
+		d.body = make([]byte, n)
+	}
+	d.body = d.body[:n]
+	if _, err := io.ReadFull(d.br, d.body); err != nil {
+		return Record{}, fmt.Errorf("core: binary log record body: %w", err)
+	}
+	return readRecordBinary(d.body)
+}
+
+// binCursor walks a record body with bounds checking.
+type binCursor struct {
+	buf []byte
+	off int
+}
+
+func (c *binCursor) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(c.buf[c.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("core: binary record truncated at offset %d", c.off)
+	}
+	c.off += n
+	return v, nil
+}
+
+func (c *binCursor) varint() (int64, error) {
+	v, n := binary.Varint(c.buf[c.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("core: binary record truncated at offset %d", c.off)
+	}
+	c.off += n
+	return v, nil
+}
+
+func (c *binCursor) bytes(n uint64) ([]byte, error) {
+	if uint64(len(c.buf)-c.off) < n {
+		return nil, fmt.Errorf("core: binary record truncated at offset %d", c.off)
+	}
+	b := c.buf[c.off : c.off+int(n)]
+	c.off += int(n)
+	return b, nil
+}
+
+func (c *binCursor) str() (string, error) {
+	n, err := c.uvarint()
+	if err != nil {
+		return "", err
+	}
+	b, err := c.bytes(n)
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+func (c *binCursor) f64() (float64, error) {
+	b, err := c.bytes(8)
+	if err != nil {
+		return 0, err
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(b)), nil
+}
+
+// readRecordBinary mirrors appendRecordBinary.
+func readRecordBinary(body []byte) (Record, error) {
+	c := &binCursor{buf: body}
+	var r Record
+	var err error
+	fail := func(field string, e error) (Record, error) {
+		return Record{}, fmt.Errorf("core: binary record field %s: %w", field, e)
+	}
+	var u uint64
+	var v int64
+	if u, err = c.uvarint(); err != nil {
+		return fail("seq", err)
+	}
+	r.Seq = int(u)
+	if u, err = c.uvarint(); err != nil {
+		return fail("frame", err)
+	}
+	r.Frame = int(u)
+	if r.Key, err = c.str(); err != nil {
+		return fail("key", err)
+	}
+	var kind string
+	if kind, err = c.str(); err != nil {
+		return fail("kind", err)
+	}
+	r.Kind = RecordKind(kind)
+	if v, err = c.varint(); err != nil {
+		return fail("layer_index", err)
+	}
+	r.LayerIndex = int(v)
+	if r.LayerName, err = c.str(); err != nil {
+		return fail("layer_name", err)
+	}
+	if r.OpType, err = c.str(); err != nil {
+		return fail("op_type", err)
+	}
+	if u, err = c.uvarint(); err != nil {
+		return fail("shape", err)
+	}
+	if u > 0 {
+		if u > uint64(len(body)) { // a rank can never exceed the body size
+			return fail("shape", fmt.Errorf("rank %d implausible", u))
+		}
+		r.Shape = make([]int, u)
+		for i := range r.Shape {
+			if v, err = c.varint(); err != nil {
+				return fail("shape", err)
+			}
+			r.Shape[i] = int(v)
+		}
+	}
+	if r.DType, err = c.str(); err != nil {
+		return fail("dtype", err)
+	}
+	if u, err = c.uvarint(); err != nil {
+		return fail("payload", err)
+	}
+	if u > 0 {
+		b, err := c.bytes(u)
+		if err != nil {
+			return fail("payload", err)
+		}
+		r.Payload = append([]byte(nil), b...)
+	}
+	flag, err := c.bytes(1)
+	if err != nil {
+		return fail("stats", err)
+	}
+	if flag[0] != 0 {
+		var s tensor.Stats
+		if s.Min, err = c.f64(); err != nil {
+			return fail("stats", err)
+		}
+		if s.Max, err = c.f64(); err != nil {
+			return fail("stats", err)
+		}
+		if s.Mean, err = c.f64(); err != nil {
+			return fail("stats", err)
+		}
+		if s.RMS, err = c.f64(); err != nil {
+			return fail("stats", err)
+		}
+		if v, err = c.varint(); err != nil {
+			return fail("stats", err)
+		}
+		s.N = int(v)
+		r.Stats = &s
+	}
+	if r.QScale, err = c.f64(); err != nil {
+		return fail("qscale", err)
+	}
+	if v, err = c.varint(); err != nil {
+		return fail("qzero", err)
+	}
+	r.QZero = int32(v)
+	if r.Value, err = c.f64(); err != nil {
+		return fail("value", err)
+	}
+	if r.Unit, err = c.str(); err != nil {
+		return fail("unit", err)
+	}
+	if c.off != len(body) {
+		return Record{}, fmt.Errorf("core: binary record has %d trailing bytes", len(body)-c.off)
+	}
+	return r, nil
+}
+
+// ---- unified open / read ----
+
+// OpenLog wraps r in the decoder matching its format, auto-detected from the
+// leading bytes: the MLXB magic selects the binary codec, anything else is
+// read as JSONL.
+func OpenLog(r io.Reader) (LogDecoder, LogFormat, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	head, err := br.Peek(len(binaryMagic))
+	if err != nil && err != io.EOF {
+		return nil, FormatJSONL, fmt.Errorf("core: detect log format: %w", err)
+	}
+	if bytes.Equal(head, binaryMagic) {
+		return NewBinaryDecoder(br), FormatBinary, nil
+	}
+	return NewJSONLDecoder(br), FormatJSONL, nil
+}
+
+// ReadLog reads a whole telemetry log in either format, auto-detected.
+func ReadLog(r io.Reader) (*Log, error) {
+	l, _, err := ReadLogWithFormat(r)
+	return l, err
+}
+
+// ReadLogWithFormat reads a whole telemetry log in either format and also
+// reports which format it detected.
+func ReadLogWithFormat(r io.Reader) (*Log, LogFormat, error) {
+	dec, format, err := OpenLog(r)
+	if err != nil {
+		return nil, format, err
+	}
+	l, err := readAll(dec)
+	return l, format, err
+}
+
+func readAll(dec LogDecoder) (*Log, error) {
+	var l Log
+	for {
+		rec, err := dec.Next()
+		if err == io.EOF {
+			return &l, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		l.Records = append(l.Records, rec)
+	}
+}

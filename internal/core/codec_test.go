@@ -1,0 +1,456 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"mlexray/internal/tensor"
+)
+
+// goldenTelemetryLog builds the deterministic log pinned by
+// testdata/golden.jsonl: every record kind, every dtype, quantized params,
+// layer provenance, stats-only captures and an empty tensor payload. The
+// fixture was generated before the codec redesign, so matching it proves the
+// on-disk JSONL format never changed.
+func goldenTelemetryLog() *Log {
+	l := &Log{}
+	add := func(r Record) {
+		r.Seq = len(l.Records)
+		l.Records = append(l.Records, r)
+	}
+
+	// Frame 0: sensor and metric records.
+	add(Record{Frame: 0, Key: KeySensorOrientation, Kind: KindSensor, Value: 90, Unit: "deg"})
+	add(Record{Frame: 0, Key: KeyInferenceLatency, Kind: KindMetric, Value: 123456, Unit: "ns"})
+
+	// Frame 1: one full tensor per dtype, with layer provenance.
+	for i, dt := range []tensor.DType{tensor.F32, tensor.U8, tensor.I8, tensor.I32} {
+		tt := tensor.New(dt, 2, 3)
+		for j := 0; j < tt.Len(); j++ {
+			var v float64
+			switch dt {
+			case tensor.F32:
+				v = float64(j)*1.5 - 2
+			case tensor.U8:
+				v = float64((j*37 + 11) % 200)
+			case tensor.I8:
+				v = float64((j*29)%200 - 100)
+			case tensor.I32:
+				v = float64(j*1000 - 2500)
+			}
+			tt.SetAt(v, j/3, j%3)
+		}
+		name := fmt.Sprintf("node%d", i)
+		r := Record{Frame: 1, Key: LayerOutputKey(name), LayerIndex: i, LayerName: name, OpType: "Conv2D"}
+		r.EncodeTensor(tt, true)
+		add(r)
+	}
+
+	// Frame 1: a stats-only capture.
+	st := tensor.New(tensor.F32, 8)
+	for i := range st.F {
+		st.F[i] = float32(i) * 0.25
+	}
+	sr := Record{Frame: 1, Key: KeyModelInput}
+	sr.EncodeTensor(st, false)
+	add(sr)
+
+	// Frame 2: quantized captures (u8 and i8) carrying scale/zero-point.
+	qu := tensor.New(tensor.U8, 5)
+	for i := range qu.U {
+		qu.U[i] = uint8(3 + i*7)
+	}
+	qur := Record{Frame: 2, Key: LayerOutputKey("quant_u8"), LayerIndex: 9, LayerName: "quant_u8", OpType: "Conv2D"}
+	qur.EncodeTensor(qu, true)
+	qur.QScale = 0.05
+	qur.QZero = 3
+	add(qur)
+
+	qi := tensor.New(tensor.I8, 5)
+	for i := range qi.I {
+		qi.I[i] = int8(i*13 - 20)
+	}
+	qir := Record{Frame: 2, Key: LayerOutputKey("quant_i8"), LayerIndex: 10, LayerName: "quant_i8", OpType: "FullyConnected"}
+	qir.EncodeTensor(qi, true)
+	qir.QScale = 0.02
+	qir.QZero = -4
+	add(qir)
+
+	// Frame 2: an empty tensor payload.
+	er := Record{Frame: 2, Key: "debug/empty"}
+	er.EncodeTensor(tensor.New(tensor.F32, 0), true)
+	add(er)
+
+	// Frame 3: a model output.
+	out := tensor.New(tensor.F32, 4)
+	out.F[2] = 1
+	or := Record{Frame: 3, Key: KeyModelOutput}
+	or.EncodeTensor(out, true)
+	add(or)
+
+	return l
+}
+
+// TestGoldenJSONLPinned asserts the serialized JSONL of the golden log is
+// byte-identical to the fixture generated before the codec redesign — the
+// proof that lazy payloads did not change the on-disk JSONL format.
+// Regenerate (only for a deliberate, documented format change) with
+// REGEN_GOLDEN=1 go test ./internal/core -run TestGoldenJSONLPinned.
+func TestGoldenJSONLPinned(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenTelemetryLog().WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	const path = "testdata/golden.jsonl"
+	if os.Getenv("REGEN_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("regenerated %s (%d bytes)", path, buf.Len())
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("JSONL output diverged from the pre-redesign golden fixture (%d vs %d bytes)", buf.Len(), len(want))
+	}
+	// And the fixture reads back whole.
+	back, err := ReadJSONL(bytes.NewReader(want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Records) != len(goldenTelemetryLog().Records) {
+		t.Fatalf("fixture reads back %d records", len(back.Records))
+	}
+}
+
+// roundTrip serializes l in the given format and reads it back through the
+// auto-detecting reader.
+func roundTrip(t *testing.T, l *Log, format LogFormat) *Log {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := l.Write(&buf, format); err != nil {
+		t.Fatal(err)
+	}
+	dec, got, err := OpenLog(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != format {
+		t.Fatalf("auto-detected %v, wrote %v", got, format)
+	}
+	back, err := readAll(dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return back
+}
+
+func jsonlBytes(t *testing.T, l *Log) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := l.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestGoldenCrossCodecRoundTrip pushes the golden log through
+// JSONL→binary→JSONL: the final JSONL must be byte-identical to the first —
+// the binary codec loses nothing the JSONL format can express.
+func TestGoldenCrossCodecRoundTrip(t *testing.T) {
+	l := goldenTelemetryLog()
+	want := jsonlBytes(t, l)
+	viaJSONL := roundTrip(t, l, FormatJSONL)
+	viaBinary := roundTrip(t, viaJSONL, FormatBinary)
+	if got := jsonlBytes(t, viaBinary); !bytes.Equal(got, want) {
+		t.Fatalf("JSONL→binary→JSONL changed the log (%d vs %d bytes)", len(got), len(want))
+	}
+}
+
+// randomLog fabricates a log drawing every record kind, every dtype,
+// quantization params and degenerate shapes from the seed.
+func randomLog(seed int64) *Log {
+	rng := rand.New(rand.NewSource(seed))
+	l := &Log{}
+	n := rng.Intn(14) // occasionally zero records
+	for i := 0; i < n; i++ {
+		r := Record{Seq: i, Frame: rng.Intn(4)}
+		switch rng.Intn(4) {
+		case 0, 1: // tensor / stats capture
+			dt := []tensor.DType{tensor.F32, tensor.U8, tensor.I8, tensor.I32}[rng.Intn(4)]
+			var tt *tensor.Tensor
+			if rng.Intn(8) == 0 {
+				tt = tensor.New(dt, 0) // empty payload
+			} else {
+				tt = tensor.New(dt, 1+rng.Intn(3), 1+rng.Intn(5))
+				for j := 0; j < tt.Len(); j++ {
+					tt.SetAt(float64(rng.Intn(200)-100), j/tt.Shape[1], j%tt.Shape[1])
+				}
+			}
+			r.Key = LayerOutputKey(fmt.Sprintf("n%d", i))
+			r.LayerIndex = i
+			r.LayerName = fmt.Sprintf("n%d", i)
+			r.OpType = []string{"Conv2D", "DepthwiseConv2D", "Softmax"}[rng.Intn(3)]
+			r.EncodeTensor(tt, rng.Intn(2) == 0)
+			if (dt == tensor.U8 || dt == tensor.I8) && rng.Intn(2) == 0 {
+				r.QScale = float64(1+rng.Intn(9)) / 100
+				r.QZero = int32(rng.Intn(11) - 5)
+			}
+		case 2:
+			r.Key = KeyInferenceLatency
+			r.Kind = KindMetric
+			r.Value = float64(rng.Intn(1 << 20))
+			r.Unit = "ns"
+		default:
+			r.Key = KeySensorOrientation
+			r.Kind = KindSensor
+			r.Value = float64(rng.Intn(360))
+			r.Unit = "deg"
+		}
+		l.Records = append(l.Records, r)
+	}
+	return l
+}
+
+// Property: any log — all kinds, all dtypes, quantized params, empty logs —
+// survives JSONL→binary→JSONL byte-identically.
+func TestCrossCodecRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		l := randomLog(seed)
+		want := jsonlBytes(t, l)
+		back := roundTrip(t, roundTrip(t, l, FormatJSONL), FormatBinary)
+		return bytes.Equal(jsonlBytes(t, back), want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestEmptyLogRoundTrip pins both codecs on the degenerate log: an empty
+// binary log is just the header and still auto-detects; an empty JSONL log
+// is zero bytes.
+func TestEmptyLogRoundTrip(t *testing.T) {
+	empty := &Log{}
+	for _, format := range []LogFormat{FormatJSONL, FormatBinary} {
+		if back := roundTrip(t, empty, format); len(back.Records) != 0 {
+			t.Errorf("%v: empty log read back %d records", format, len(back.Records))
+		}
+	}
+	var buf bytes.Buffer
+	if err := empty.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.Bytes(); !bytes.Equal(got, []byte("MLXB\x01")) {
+		t.Errorf("empty binary log = %q, want bare MLXB header", got)
+	}
+}
+
+// TestBinaryHeaderPinned pins the on-disk header so the format cannot drift
+// silently, and checks version/garbage rejection.
+func TestBinaryHeaderPinned(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenTelemetryLog().WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(buf.Bytes(), []byte("MLXB\x01")) {
+		t.Fatalf("binary log starts %q, want MLXB\\x01", buf.Bytes()[:5])
+	}
+	if _, err := readAll(NewBinaryDecoder(strings.NewReader("MLXB\x02rest"))); err == nil ||
+		!strings.Contains(err.Error(), "version") {
+		t.Errorf("future version accepted: %v", err)
+	}
+	if _, err := readAll(NewBinaryDecoder(strings.NewReader("not a log"))); err == nil {
+		t.Error("garbage accepted as binary log")
+	}
+	// Truncated mid-record fails loudly, not silently short.
+	trunc := buf.Bytes()[:buf.Len()-3]
+	if _, err := readAll(NewBinaryDecoder(bytes.NewReader(trunc))); err == nil {
+		t.Error("truncated binary log read without error")
+	}
+}
+
+// TestOpenLogAutoDetect routes each encoding to its decoder and treats an
+// empty stream as an empty JSONL log.
+func TestOpenLogAutoDetect(t *testing.T) {
+	l := goldenTelemetryLog()
+	for _, format := range []LogFormat{FormatJSONL, FormatBinary} {
+		var buf bytes.Buffer
+		if err := l.Write(&buf, format); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ReadLog(&buf)
+		if err != nil {
+			t.Fatalf("%v: %v", format, err)
+		}
+		if len(back.Records) != len(l.Records) {
+			t.Errorf("%v: %d records, want %d", format, len(back.Records), len(l.Records))
+		}
+	}
+	empty, err := ReadLog(strings.NewReader(""))
+	if err != nil || len(empty.Records) != 0 {
+		t.Errorf("empty stream: %v, %d records", err, len(empty.Records))
+	}
+}
+
+// TestBinarySmallerThanJSONL quantifies the point of the binary format:
+// full-tensor logs shed the base64 expansion plus the JSON framing.
+func TestBinarySmallerThanJSONL(t *testing.T) {
+	l := goldenTelemetryLog()
+	jb, err := l.EncodedSize(FormatJSONL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := l.EncodedSize(FormatBinary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bb >= jb {
+		t.Errorf("binary log (%dB) not smaller than JSONL (%dB)", bb, jb)
+	}
+}
+
+// TestDecodeTensorDequantizesI8 is the regression test for the quantized-
+// capture decode asymmetry: I8 records with QScale set must decode in real
+// units, exactly like U8 records always have.
+func TestDecodeTensorDequantizesI8(t *testing.T) {
+	for _, dt := range []tensor.DType{tensor.U8, tensor.I8} {
+		tt := tensor.New(dt, 4)
+		for i := 0; i < tt.Len(); i++ {
+			tt.SetAt(float64(i*10), i)
+		}
+		var r Record
+		r.Key = "q"
+		r.EncodeTensor(tt, true)
+		r.QScale = 0.5
+		r.QZero = 2
+		back, err := r.DecodeTensor()
+		if err != nil {
+			t.Fatalf("%v: %v", dt, err)
+		}
+		if back.DType != tensor.F32 {
+			t.Fatalf("%v: quantized capture decoded as %v, want dequantized f32", dt, back.DType)
+		}
+		for i := 0; i < back.Len(); i++ {
+			want := 0.5 * float64(i*10-2)
+			if got := back.At(i); got != want {
+				t.Errorf("%v[%d] = %v, want %v", dt, i, got, want)
+			}
+		}
+	}
+	// Unquantized integer records still decode raw.
+	raw := tensor.New(tensor.I8, 3)
+	raw.I[1] = -7
+	var r Record
+	r.EncodeTensor(raw, true)
+	back, err := r.DecodeTensor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.DType != tensor.I8 || back.I[1] != -7 {
+		t.Errorf("unquantized i8 decode = %v", back)
+	}
+}
+
+// TestLazyPayloadIsRaw pins the lazy-payload design: EncodeTensor stores raw
+// little-endian bytes (1 byte per u8 element, no base64 expansion), and the
+// JSONL base64 only materializes at serialization time.
+func TestLazyPayloadIsRaw(t *testing.T) {
+	tt := tensor.New(tensor.U8, 300)
+	for i := range tt.U {
+		tt.U[i] = uint8(i)
+	}
+	var r Record
+	r.Key = "t"
+	r.EncodeTensor(tt, true)
+	if len(r.Payload) != 300 {
+		t.Fatalf("payload = %d bytes, want 300 raw bytes", len(r.Payload))
+	}
+	data, err := r.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(data, []byte(`"data":"`)) {
+		t.Error("JSONL wire format lost the base64 data field")
+	}
+	var back Record
+	if err := back.UnmarshalJSON(data); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back.Payload, r.Payload) {
+		t.Error("payload changed across JSON round trip")
+	}
+}
+
+// TestReadLogRejectsBadBase64 keeps corrupted JSONL payloads failing loudly
+// (now at read time, where the base64 is decoded).
+func TestReadLogRejectsBadBase64(t *testing.T) {
+	line := `{"seq":0,"frame":0,"key":"t","kind":"tensor","shape":[1],"dtype":"u8","data":"!!!"}` + "\n"
+	if _, err := ReadLog(strings.NewReader(line)); err == nil {
+		t.Error("corrupt base64 payload accepted")
+	}
+}
+
+// TestDecodeTensorRejectsCorruptShape hardens the validate-from-file path:
+// a crafted or corrupt log whose shape disagrees with its payload must
+// error, not panic on a negative dim or allocate terabytes from an
+// implausible dim product.
+func TestDecodeTensorRejectsCorruptShape(t *testing.T) {
+	base := Record{Kind: KindTensor, Key: "t", DType: "f32", Payload: make([]byte, 24)}
+	for name, shape := range map[string][]int{
+		"negative dim":     {-1, 6},
+		"huge dim":         {1 << 40},
+		"overflow product": {1 << 20, 1 << 20, 1 << 20},
+		"payload mismatch": {7},
+	} {
+		r := base
+		r.Shape = shape
+		if _, err := r.DecodeTensor(); err == nil {
+			t.Errorf("%s: shape %v accepted", name, shape)
+		}
+	}
+	// And the same corruption arriving through the binary codec fails at
+	// decode-tensor time with an error, not a panic.
+	r := base
+	r.Shape = []int{-1, 6}
+	var buf bytes.Buffer
+	if err := (&Log{Records: []Record{r}}).WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadLog(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := back.Records[0].DecodeTensor(); err == nil {
+		t.Error("corrupt binary record decoded without error")
+	}
+}
+
+// TestLogEncoderUnknownFormat covers the constructor guards.
+func TestLogEncoderUnknownFormat(t *testing.T) {
+	if _, err := NewLogEncoder(io.Discard, LogFormat(42)); err == nil {
+		t.Error("unknown format accepted by NewLogEncoder")
+	}
+	if _, err := NewLogSink(io.Discard, LogFormat(42)); err == nil {
+		t.Error("unknown format accepted by NewLogSink")
+	}
+	if _, err := ParseLogFormat("xml"); err == nil {
+		t.Error("unknown format name parsed")
+	}
+	for _, f := range []LogFormat{FormatJSONL, FormatBinary} {
+		if parsed, err := ParseLogFormat(f.String()); err != nil || parsed != f {
+			t.Errorf("ParseLogFormat(%q) = %v, %v", f.String(), parsed, err)
+		}
+	}
+}

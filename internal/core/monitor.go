@@ -52,6 +52,17 @@ func WithPerLayer(enabled bool) MonitorOption {
 	return func(mon *Monitor) { mon.perLayer = enabled }
 }
 
+// WithSink puts the monitor in direct-to-sink spill mode: each frame's
+// records stream to s as soon as the frame counter advances past it, so
+// full-capture logs never accumulate tensor payloads in memory. Call
+// Monitor.Flush after the last frame to spill the final frame and flush the
+// sink. Spill-mode monitors are for sequential instrumentation loops; the
+// parallel replay engine streams through its own collector sink instead
+// (runner.Options.Sink), so do not combine the two.
+func WithSink(s Sink) MonitorOption {
+	return func(mon *Monitor) { mon.sink = s }
+}
+
 // Monitor is the EdgeML Monitor (§3.2, Fig. 7): the instrumentation object
 // an app (or the reference pipeline) uses to produce telemetry. All methods
 // are safe for concurrent use.
@@ -62,6 +73,8 @@ type Monitor struct {
 	frame    int
 	mode     CaptureMode
 	perLayer bool
+	sink     Sink
+	sinkErr  error
 
 	infStart time.Time
 }
@@ -77,12 +90,50 @@ func NewMonitor(opts ...MonitorOption) *Monitor {
 }
 
 // NextFrame advances the frame counter (one frame = one sensor capture /
-// inference). Returns the new frame index.
+// inference), spilling the completed frame when a sink is attached. Returns
+// the new frame index.
 func (m *Monitor) NextFrame() int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	m.spillLocked()
 	m.frame++
 	return m.frame
+}
+
+// spillLocked streams the buffered records of the current frame to the
+// attached sink, if any. The first sink error is retained and reported by
+// Flush; later frames are dropped rather than written out of order.
+func (m *Monitor) spillLocked() {
+	if m.sink == nil || len(m.log.Records) == 0 {
+		return
+	}
+	recs := m.log.Records
+	m.log.Records = nil
+	if m.sinkErr != nil {
+		return
+	}
+	if err := m.sink.WriteFrame(m.frame, recs); err != nil {
+		m.sinkErr = err
+	}
+}
+
+// Flush spills any buffered records of the current (final) frame and flushes
+// the attached sink. It reports the first error the sink returned. Without a
+// sink it is a no-op. Call once after the last frame when the monitor was
+// built WithSink.
+func (m *Monitor) Flush() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.spillLocked()
+	if m.sinkErr != nil {
+		return m.sinkErr
+	}
+	// Flush under the lock: the sink is not thread-safe and every other
+	// touch (spillLocked's WriteFrame) happens while m.mu is held.
+	if m.sink != nil {
+		return m.sink.Flush()
+	}
+	return nil
 }
 
 // SetNextFrame positions the frame counter so that the next NextFrame call
@@ -93,6 +144,7 @@ func (m *Monitor) NextFrame() int {
 func (m *Monitor) SetNextFrame(idx int) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	m.spillLocked()
 	m.frame = idx - 1
 }
 
@@ -258,20 +310,29 @@ func (m *Monitor) appendLayerLatency(ev interp.NodeEvent) {
 }
 
 // Log returns the accumulated log. The returned value shares storage with
-// the monitor; callers that keep recording should copy it.
+// the monitor; callers that keep recording should copy it. In spill mode
+// (WithSink) only the not-yet-spilled records of the current frame are
+// buffered — the full log lives wherever the sink streamed it.
 func (m *Monitor) Log() *Log {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return &Log{Records: m.log.Records}
 }
 
-// Reset clears all recorded telemetry and counters.
+// Reset clears all recorded telemetry and counters. In spill mode the sink
+// is detached (without a final spill — Reset discards telemetry): the
+// restarted frame numbering would violate the sink's increasing-frame-order
+// contract, and an already-written stream cannot be rewound. Flush before
+// Reset to keep what was captured; attach a fresh sink by constructing a
+// new Monitor.
 func (m *Monitor) Reset() {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.log = Log{}
 	m.seq = 0
 	m.frame = 0
+	m.sink = nil
+	m.sinkErr = nil
 }
 
 // MemoryFootprintBytes estimates the monitor's buffer memory: the sum of

@@ -1,5 +1,6 @@
 // Package core is ML-EXray itself: the EdgeML Monitor instrumentation API
-// (§3.2), the key-value telemetry data model and JSONL log format, the
+// (§3.2), the key-value telemetry data model and pluggable log codecs (JSONL
+// and the length-prefixed binary format), the streaming Sink layer, the
 // deployment validator (§3.4) implementing the paper's Figure 2 flowchart —
 // accuracy validation, per-layer normalized-rMSE localisation, per-layer
 // latency validation — and the assertion framework with the built-in
@@ -8,7 +9,6 @@
 package core
 
 import (
-	"bufio"
 	"encoding/base64"
 	"encoding/binary"
 	"encoding/json"
@@ -32,35 +32,101 @@ const (
 )
 
 // Record is one telemetry entry: a key-value pair with provenance. Every
-// ML-EXray log is a sequence of Records serialized as JSONL.
+// ML-EXray log is a sequence of Records, serialized by a LogCodec (JSONL or
+// the binary format — see codec.go).
 type Record struct {
-	Seq   int        `json:"seq"`
-	Frame int        `json:"frame"`
-	Key   string     `json:"key"`
-	Kind  RecordKind `json:"kind"`
+	Seq   int
+	Frame int
+	Key   string
+	Kind  RecordKind
 
 	// Layer provenance, set on per-layer records.
-	LayerIndex int    `json:"layer_index,omitempty"`
-	LayerName  string `json:"layer_name,omitempty"`
-	OpType     string `json:"op_type,omitempty"`
+	LayerIndex int
+	LayerName  string
+	OpType     string
 
-	// Tensor payload (KindTensor) or summary (both tensor kinds).
-	Shape []int         `json:"shape,omitempty"`
-	DType string        `json:"dtype,omitempty"`
-	Data  string        `json:"data,omitempty"` // base64 little-endian
-	Stats *tensor.Stats `json:"stats,omitempty"`
+	// Tensor payload (KindTensor) or summary (both tensor kinds). Payload
+	// holds the raw little-endian element bytes and is kept raw in memory:
+	// capture pays one memcpy-style encode, and the base64 expansion of the
+	// JSONL format (or nothing at all, for the binary format) is paid only
+	// at serialization time.
+	Shape   []int
+	DType   string
+	Payload []byte
+	Stats   *tensor.Stats
 	// Quantization params of integer payloads: quantized layer captures are
 	// stored raw (1 byte/element, the Table 3 disk advantage) and
 	// dequantized on decode so comparisons happen in real units.
-	QScale float64 `json:"qscale,omitempty"`
-	QZero  int32   `json:"qzero,omitempty"`
+	QScale float64
+	QZero  int32
 
 	// Scalar payload (KindMetric / KindSensor).
-	Value float64 `json:"value,omitempty"`
-	Unit  string  `json:"unit,omitempty"`
+	Value float64
+	Unit  string
 }
 
-// EncodeTensor fills the record's tensor payload fields.
+// recordWire is the JSON wire shape of a Record. Field order and tags define
+// the JSONL log format and must never change — the golden-fixture test pins
+// the serialized bytes to the pre-codec-redesign output.
+type recordWire struct {
+	Seq        int           `json:"seq"`
+	Frame      int           `json:"frame"`
+	Key        string        `json:"key"`
+	Kind       RecordKind    `json:"kind"`
+	LayerIndex int           `json:"layer_index,omitempty"`
+	LayerName  string        `json:"layer_name,omitempty"`
+	OpType     string        `json:"op_type,omitempty"`
+	Shape      []int         `json:"shape,omitempty"`
+	DType      string        `json:"dtype,omitempty"`
+	Data       string        `json:"data,omitempty"` // base64 of Payload
+	Stats      *tensor.Stats `json:"stats,omitempty"`
+	QScale     float64       `json:"qscale,omitempty"`
+	QZero      int32         `json:"qzero,omitempty"`
+	Value      float64       `json:"value,omitempty"`
+	Unit       string        `json:"unit,omitempty"`
+}
+
+// MarshalJSON serializes the record in the JSONL wire format, base64-encoding
+// the raw payload at this point and not before.
+func (r Record) MarshalJSON() ([]byte, error) {
+	w := recordWire{
+		Seq: r.Seq, Frame: r.Frame, Key: r.Key, Kind: r.Kind,
+		LayerIndex: r.LayerIndex, LayerName: r.LayerName, OpType: r.OpType,
+		Shape: r.Shape, DType: r.DType, Stats: r.Stats,
+		QScale: r.QScale, QZero: r.QZero, Value: r.Value, Unit: r.Unit,
+	}
+	if len(r.Payload) > 0 {
+		w.Data = base64.StdEncoding.EncodeToString(r.Payload)
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON parses the JSONL wire format, decoding the base64 payload
+// back to raw bytes.
+func (r *Record) UnmarshalJSON(data []byte) error {
+	var w recordWire
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	*r = Record{
+		Seq: w.Seq, Frame: w.Frame, Key: w.Key, Kind: w.Kind,
+		LayerIndex: w.LayerIndex, LayerName: w.LayerName, OpType: w.OpType,
+		Shape: w.Shape, DType: w.DType, Stats: w.Stats,
+		QScale: w.QScale, QZero: w.QZero, Value: w.Value, Unit: w.Unit,
+	}
+	if w.Data != "" {
+		p, err := base64.StdEncoding.DecodeString(w.Data)
+		if err != nil {
+			return fmt.Errorf("core: record %q payload: %w", w.Key, err)
+		}
+		r.Payload = p
+	}
+	return nil
+}
+
+// EncodeTensor fills the record's tensor payload fields. Full capture stores
+// the raw little-endian bytes; the textual (base64) expansion is deferred to
+// JSONL serialization, and never happens on the binary path.
 func (r *Record) EncodeTensor(t *tensor.Tensor, full bool) {
 	r.Shape = append([]int(nil), t.Shape...)
 	r.DType = t.DType.String()
@@ -71,27 +137,34 @@ func (r *Record) EncodeTensor(t *tensor.Tensor, full bool) {
 		return
 	}
 	r.Kind = KindTensor
-	buf := make([]byte, t.Bytes())
+	r.Payload = appendTensorLE(make([]byte, 0, t.Bytes()), t)
+}
+
+// appendTensorLE appends t's element data in little-endian order.
+func appendTensorLE(buf []byte, t *tensor.Tensor) []byte {
 	switch t.DType {
 	case tensor.F32:
-		for i, v := range t.F {
-			binary.LittleEndian.PutUint32(buf[4*i:], math.Float32bits(v))
+		for _, v := range t.F {
+			buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(v))
 		}
 	case tensor.U8:
-		copy(buf, t.U)
+		buf = append(buf, t.U...)
 	case tensor.I8:
-		for i, v := range t.I {
-			buf[i] = byte(v)
+		for _, v := range t.I {
+			buf = append(buf, byte(v))
 		}
 	case tensor.I32:
-		for i, v := range t.X {
-			binary.LittleEndian.PutUint32(buf[4*i:], uint32(v))
+		for _, v := range t.X {
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(v))
 		}
 	}
-	r.Data = base64.StdEncoding.EncodeToString(buf)
+	return buf
 }
 
 // DecodeTensor reconstructs the tensor payload of a KindTensor record.
+// Integer payloads carrying quantization params (QScale set) dequantize to
+// float32, so comparisons happen in real units for both u8 activations and
+// i8 weights/activations.
 func (r *Record) DecodeTensor() (*tensor.Tensor, error) {
 	if r.Kind != KindTensor {
 		return nil, fmt.Errorf("core: record %q is %s, not a full tensor", r.Key, r.Kind)
@@ -100,14 +173,24 @@ func (r *Record) DecodeTensor() (*tensor.Tensor, error) {
 	if err != nil {
 		return nil, err
 	}
-	buf, err := base64.StdEncoding.DecodeString(r.Data)
-	if err != nil {
-		return nil, fmt.Errorf("core: record %q payload: %w", r.Key, err)
+	buf := r.Payload
+	// Validate the shape against the payload BEFORE allocating: a corrupt
+	// or crafted log must fail with an error, not a panic on a negative dim
+	// or a huge allocation from an implausible dim product.
+	elems := 1
+	for _, d := range r.Shape {
+		if d < 0 {
+			return nil, fmt.Errorf("core: record %q has negative dim in shape %v", r.Key, r.Shape)
+		}
+		if d > 0 && elems > maxBinaryRecord/d {
+			return nil, fmt.Errorf("core: record %q shape %v exceeds the element limit", r.Key, r.Shape)
+		}
+		elems *= d
+	}
+	if elems*dt.Size() != len(buf) {
+		return nil, fmt.Errorf("core: record %q has %d payload bytes for %s%v", r.Key, len(buf), dt, r.Shape)
 	}
 	t := tensor.New(dt, r.Shape...)
-	if len(buf) != t.Bytes() {
-		return nil, fmt.Errorf("core: record %q has %d payload bytes for %s", r.Key, len(buf), t)
-	}
 	switch dt {
 	case tensor.F32:
 		for i := range t.F {
@@ -125,12 +208,21 @@ func (r *Record) DecodeTensor() (*tensor.Tensor, error) {
 		}
 	}
 	// Quantized captures dequantize on decode.
-	if r.QScale != 0 && dt == tensor.U8 {
-		f := tensor.New(tensor.F32, t.Shape...)
-		for i, q := range t.U {
-			f.F[i] = float32(r.QScale * float64(int32(q)-r.QZero))
+	if r.QScale != 0 {
+		switch dt {
+		case tensor.U8:
+			f := tensor.New(tensor.F32, t.Shape...)
+			for i, q := range t.U {
+				f.F[i] = float32(r.QScale * float64(int32(q)-r.QZero))
+			}
+			return f, nil
+		case tensor.I8:
+			f := tensor.New(tensor.F32, t.Shape...)
+			for i, q := range t.I {
+				f.F[i] = float32(r.QScale * float64(int32(q)-r.QZero))
+			}
+			return f, nil
 		}
-		return f, nil
 	}
 	return t, nil
 }
@@ -140,46 +232,40 @@ type Log struct {
 	Records []Record
 }
 
-// WriteJSONL serializes the log, one record per line.
-func (l *Log) WriteJSONL(w io.Writer) error {
-	bw := bufio.NewWriter(w)
-	enc := json.NewEncoder(bw)
+// WriteJSONL serializes the log in the JSONL format, one record per line.
+func (l *Log) WriteJSONL(w io.Writer) error { return l.Write(w, FormatJSONL) }
+
+// WriteBinary serializes the log in the length-prefixed binary format.
+func (l *Log) WriteBinary(w io.Writer) error { return l.Write(w, FormatBinary) }
+
+// Write serializes the log in the given format.
+func (l *Log) Write(w io.Writer, format LogFormat) error {
+	enc, err := NewLogEncoder(w, format)
+	if err != nil {
+		return err
+	}
 	for i := range l.Records {
-		if err := enc.Encode(&l.Records[i]); err != nil {
+		if err := enc.EncodeRecord(&l.Records[i]); err != nil {
 			return fmt.Errorf("core: encode record %d: %w", i, err)
 		}
 	}
-	return bw.Flush()
+	return enc.Flush()
 }
 
-// ReadJSONL parses a log written by WriteJSONL.
+// ReadJSONL parses a JSONL log written by WriteJSONL. Use ReadLog to accept
+// either format with auto-detection.
 func ReadJSONL(r io.Reader) (*Log, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<20), 1<<26)
-	var l Log
-	line := 0
-	for sc.Scan() {
-		line++
-		if len(sc.Bytes()) == 0 {
-			continue
-		}
-		var rec Record
-		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
-			return nil, fmt.Errorf("core: log line %d: %w", line, err)
-		}
-		l.Records = append(l.Records, rec)
-	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("core: read log: %w", err)
-	}
-	return &l, nil
+	return readAll(NewJSONLDecoder(r))
 }
 
-// SizeBytes returns the serialized size of the log, the disk-footprint
-// metric of the overhead tables.
-func (l *Log) SizeBytes() (int, error) {
+// SizeBytes returns the serialized JSONL size of the log, the disk-footprint
+// metric of the overhead tables. EncodedSize reports other formats.
+func (l *Log) SizeBytes() (int, error) { return l.EncodedSize(FormatJSONL) }
+
+// EncodedSize returns the serialized size of the log in the given format.
+func (l *Log) EncodedSize(format LogFormat) (int, error) {
 	var n countingWriter
-	if err := l.WriteJSONL(&n); err != nil {
+	if err := l.Write(&n, format); err != nil {
 		return 0, err
 	}
 	return int(n), nil
@@ -193,11 +279,11 @@ func (c *countingWriter) Write(p []byte) (int, error) {
 }
 
 // MemoryFootprintBytes estimates the buffer memory the log's records hold:
-// the sum of all payloads plus fixed per-record overhead.
+// the sum of all raw payloads plus fixed per-record overhead.
 func (l *Log) MemoryFootprintBytes() int {
 	n := 0
 	for i := range l.Records {
-		n += len(l.Records[i].Data) + len(l.Records[i].Key) + 64
+		n += len(l.Records[i].Payload) + len(l.Records[i].Key) + 64
 	}
 	return n
 }

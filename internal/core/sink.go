@@ -1,41 +1,75 @@
 package core
 
 import (
-	"bufio"
-	"encoding/json"
 	"fmt"
 	"io"
 )
 
-// JSONLSink streams telemetry records to a writer in the standard JSONL log
-// format without retaining them, so replays over arbitrarily long datasets
-// keep constant memory. It is the streaming counterpart of Log.WriteJSONL:
-// a log written through the sink reads back (ReadJSONL) identically to one
-// accumulated in memory and written at the end.
+// Sink consumes merged telemetry frames in order: the runner's collector,
+// the Monitor's spill mode and hand-rolled shard workflows all write through
+// it. Frames must arrive in increasing frame order with sequence numbers
+// already assigned; Flush is called once after the last frame (closing any
+// underlying file is the caller's job).
 //
-// The sink is not safe for concurrent use; the parallel replay engine
+// Sinks are not safe for concurrent use; the parallel replay engine
 // serializes frames through its in-order collector before writing, which is
 // also what guarantees the on-disk record order matches a sequential run.
-type JSONLSink struct {
-	bw      *bufio.Writer
-	enc     *json.Encoder
+type Sink interface {
+	WriteFrame(frame int, recs []Record) error
+	Flush() error
+}
+
+// LogSink is the interface of the built-in streaming sinks: a Sink that
+// writes one of the log formats and reports write statistics.
+type LogSink interface {
+	Sink
+	// Records returns the number of records written so far.
+	Records() int
+	// Bytes returns the serialized bytes written so far (pre-buffering
+	// count is exact after Flush).
+	Bytes() int
+	// Format returns the log format the sink writes.
+	Format() LogFormat
+}
+
+// NewLogSink wraps w in a streaming sink for the given format — the
+// constructor behind the CLIs' -log-format flag.
+func NewLogSink(w io.Writer, format LogFormat) (LogSink, error) {
+	switch format {
+	case FormatJSONL:
+		return NewJSONLSink(w), nil
+	case FormatBinary:
+		return NewBinarySink(w), nil
+	}
+	return nil, fmt.Errorf("core: unknown log format %v", format)
+}
+
+// streamSink is the shared machinery of the built-in sinks: a codec encoder
+// plus record/byte counters. Records stream through without being retained,
+// so replays over arbitrarily long datasets keep constant memory; a log
+// written through a sink reads back (ReadLog) identically to one accumulated
+// in memory and written at the end.
+type streamSink struct {
+	format  LogFormat
+	enc     LogEncoder
 	records int
 	bytes   countingWriter
 }
 
-// NewJSONLSink wraps w in a streaming JSONL log writer.
-func NewJSONLSink(w io.Writer) *JSONLSink {
-	s := &JSONLSink{}
-	s.bw = bufio.NewWriter(io.MultiWriter(w, &s.bytes))
-	s.enc = json.NewEncoder(s.bw)
-	return s
+func (s *streamSink) init(w io.Writer, format LogFormat) {
+	s.format = format
+	var err error
+	s.enc, err = NewLogEncoder(io.MultiWriter(w, &s.bytes), format)
+	if err != nil {
+		// Both built-in constructors pass a valid format.
+		panic(err)
+	}
 }
 
-// WriteFrame appends one frame's records to the stream. Frames must arrive
-// in increasing frame order with sequence numbers already assigned.
-func (s *JSONLSink) WriteFrame(frame int, recs []Record) error {
+// WriteFrame appends one frame's records to the stream.
+func (s *streamSink) WriteFrame(frame int, recs []Record) error {
 	for i := range recs {
-		if err := s.enc.Encode(&recs[i]); err != nil {
+		if err := s.enc.EncodeRecord(&recs[i]); err != nil {
 			return fmt.Errorf("core: sink frame %d record %d: %w", frame, i, err)
 		}
 	}
@@ -43,13 +77,38 @@ func (s *JSONLSink) WriteFrame(frame int, recs []Record) error {
 	return nil
 }
 
-// Flush drains buffered output to the underlying writer. Call once after the
-// replay completes (closing the underlying file is the caller's job).
-func (s *JSONLSink) Flush() error { return s.bw.Flush() }
+// Flush drains buffered output to the underlying writer.
+func (s *streamSink) Flush() error { return s.enc.Flush() }
 
 // Records returns the number of records written so far.
-func (s *JSONLSink) Records() int { return s.records }
+func (s *streamSink) Records() int { return s.records }
 
 // Bytes returns the serialized bytes written so far (pre-buffering count is
 // exact after Flush).
-func (s *JSONLSink) Bytes() int { return int(s.bytes) }
+func (s *streamSink) Bytes() int { return int(s.bytes) }
+
+// Format returns the log format the sink writes.
+func (s *streamSink) Format() LogFormat { return s.format }
+
+// JSONLSink streams telemetry records to a writer in the JSONL log format —
+// the human-readable Sink implementation.
+type JSONLSink struct{ streamSink }
+
+// NewJSONLSink wraps w in a streaming JSONL log writer.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	s := &JSONLSink{}
+	s.init(w, FormatJSONL)
+	return s
+}
+
+// BinarySink streams telemetry records to a writer in the length-prefixed
+// binary log format — the low-overhead Sink implementation for full-tensor
+// capture (raw little-endian payloads, no base64).
+type BinarySink struct{ streamSink }
+
+// NewBinarySink wraps w in a streaming binary log writer.
+func NewBinarySink(w io.Writer) *BinarySink {
+	s := &BinarySink{}
+	s.init(w, FormatBinary)
+	return s
+}

@@ -2,6 +2,8 @@ package core
 
 import (
 	"bytes"
+	"fmt"
+	"strings"
 	"testing"
 
 	"mlexray/internal/tensor"
@@ -104,5 +106,167 @@ func TestJSONLSinkMatchesWriteJSONL(t *testing.T) {
 	}
 	if len(back.Records) != len(l.Records) {
 		t.Errorf("read back %d records, want %d", len(back.Records), len(l.Records))
+	}
+}
+
+// TestBinarySinkMatchesWriteBinary is the binary twin of the JSONL sink
+// parity test: streaming frame by frame produces the same bytes as writing
+// the accumulated log at the end, for either sink constructor.
+func TestBinarySinkMatchesWriteBinary(t *testing.T) {
+	m := NewMonitor(WithCaptureMode(CaptureFull))
+	tt := tensor.FromFloats([]float32{1, 2, 3, 4}, 2, 2)
+	for f := 0; f < 3; f++ {
+		m.NextFrame()
+		m.LogTensor("t", tt)
+		m.LogMetric("m", float64(f), "u")
+	}
+	l := m.Log()
+	var want bytes.Buffer
+	if err := l.WriteBinary(&want); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, mk := range []func(w *bytes.Buffer) LogSink{
+		func(w *bytes.Buffer) LogSink { return NewBinarySink(w) },
+		func(w *bytes.Buffer) LogSink {
+			s, err := NewLogSink(w, FormatBinary)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s
+		},
+	} {
+		var got bytes.Buffer
+		sink := mk(&got)
+		if sink.Format() != FormatBinary {
+			t.Errorf("Format() = %v", sink.Format())
+		}
+		for f := 1; f <= 3; f++ {
+			if err := sink.WriteFrame(f, l.ByFrame(f)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := sink.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got.Bytes(), want.Bytes()) {
+			t.Error("sink output differs from WriteBinary")
+		}
+		if sink.Records() != len(l.Records) || sink.Bytes() != want.Len() {
+			t.Errorf("sink stats = %d records / %d bytes, want %d / %d",
+				sink.Records(), sink.Bytes(), len(l.Records), want.Len())
+		}
+		back, err := ReadLog(&got)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(back.Records) != len(l.Records) {
+			t.Errorf("read back %d records, want %d", len(back.Records), len(l.Records))
+		}
+	}
+}
+
+// TestMonitorSpillMode checks WithSink: the spill-mode stream is
+// byte-identical to an accumulate-then-write run of the same capture, the
+// monitor's buffer stays one frame deep, and Flush delivers the final frame.
+func TestMonitorSpillMode(t *testing.T) {
+	capture := func(m *Monitor) {
+		tt := tensor.New(tensor.F32, 64)
+		for i := range tt.F {
+			tt.F[i] = float32(i) * 0.5
+		}
+		for f := 0; f < 4; f++ {
+			m.NextFrame()
+			m.LogTensorFull(KeyPreprocessOutput, tt)
+			m.LogMetric(KeyInferenceModeled, float64(1000*f), "ns-modeled")
+		}
+	}
+
+	ref := NewMonitor(WithCaptureMode(CaptureFull))
+	capture(ref)
+	var want bytes.Buffer
+	if err := ref.Log().WriteJSONL(&want); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, format := range []LogFormat{FormatJSONL, FormatBinary} {
+		var got bytes.Buffer
+		sink, err := NewLogSink(&got, format)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := NewMonitor(WithCaptureMode(CaptureFull), WithSink(sink))
+		capture(m)
+		// Before Flush the final frame is the only thing buffered.
+		if n := len(m.Log().Records); n != 2 {
+			t.Errorf("%v: %d records buffered mid-capture, want one frame (2)", format, n)
+		}
+		if err := m.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		if n := len(m.Log().Records); n != 0 {
+			t.Errorf("%v: %d records left after Flush", format, n)
+		}
+		back, err := ReadLog(&got)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var backJSONL bytes.Buffer
+		if err := back.WriteJSONL(&backJSONL); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(backJSONL.Bytes(), want.Bytes()) {
+			t.Errorf("%v: spill-mode log differs from accumulated log", format)
+		}
+	}
+}
+
+// failSink fails every write; spill mode must retain the first error and
+// surface it from Flush.
+type failSink struct{ calls int }
+
+func (s *failSink) WriteFrame(frame int, recs []Record) error {
+	s.calls++
+	return fmt.Errorf("disk full")
+}
+
+func (s *failSink) Flush() error { return nil }
+
+// TestMonitorResetDetachesSink pins the Reset contract in spill mode: the
+// sink is detached (restarted frame numbering would violate its increasing-
+// frame-order contract) and unspilled records are discarded, not written.
+func TestMonitorResetDetachesSink(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewJSONLSink(&buf)
+	m := NewMonitor(WithSink(sink))
+	m.NextFrame()
+	m.LogMetric("a", 1, "u")
+	m.Reset()
+	m.NextFrame()
+	m.LogMetric("b", 2, "u")
+	if err := m.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if sink.Records() != 0 {
+		t.Errorf("detached sink received %d records after Reset", sink.Records())
+	}
+	// Post-Reset telemetry accumulates in memory as on a fresh monitor.
+	if got := len(m.Log().Records); got != 1 {
+		t.Errorf("post-Reset log has %d records, want 1", got)
+	}
+}
+
+func TestMonitorSpillModeSinkError(t *testing.T) {
+	sink := &failSink{}
+	m := NewMonitor(WithSink(sink))
+	m.NextFrame()
+	m.LogMetric("a", 1, "u")
+	m.NextFrame() // first spill fails
+	m.LogMetric("b", 2, "u")
+	if err := m.Flush(); err == nil || !strings.Contains(err.Error(), "disk full") {
+		t.Fatalf("Flush = %v, want the sink error", err)
+	}
+	if sink.calls != 1 {
+		t.Errorf("sink called %d times after failing, want 1 (no out-of-order writes)", sink.calls)
 	}
 }

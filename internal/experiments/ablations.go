@@ -1,13 +1,17 @@
 package experiments
 
 import (
+	"bytes"
+	"fmt"
 	"io"
+	"time"
 
 	"mlexray/internal/convert"
 	"mlexray/internal/core"
 	"mlexray/internal/datasets"
 	"mlexray/internal/ops"
 	"mlexray/internal/pipeline"
+	"mlexray/internal/replay"
 	"mlexray/internal/tensor"
 	"mlexray/internal/zoo"
 )
@@ -239,5 +243,81 @@ func RenderAblationCapture(w io.Writer, rows []AblationCaptureRow) {
 	fprintf(w, "Ablation — per-layer log cost by capture mode (per frame)\n")
 	for _, r := range rows {
 		fprintf(w, "  %-14s %d bytes\n", r.Mode, r.BytesPerFrame)
+	}
+}
+
+// ---- Ablation: telemetry log encoding ----
+
+// AblationLogFormatRow reports one codec's cost on a full-capture per-layer
+// log: serialized bytes per frame and encode nanoseconds per frame.
+type AblationLogFormatRow struct {
+	Format          core.LogFormat
+	BytesPerFrame   int
+	EncodeNsPerFrm  float64
+	RecordsPerFrame int
+}
+
+// AblationLogFormat measures the JSONL versus binary encoding cost of
+// full-tensor per-layer telemetry — the datapoint behind the codec redesign:
+// the binary format drops the base64 expansion and the per-byte JSON
+// escaping, so full-capture streaming pays a fraction of the JSONL cost. The
+// log round-trips through each codec's streaming sink (read back with the
+// auto-detecting reader) so the measured path is the one replays use.
+func AblationLogFormat() ([]AblationLogFormatRow, error) {
+	e, err := zoo.Get("mobilenetv2-mini")
+	if err != nil {
+		return nil, err
+	}
+	const frames = 4
+	samples := datasets.SynthImageNet(5555, frames)
+	mergedLog, err := replay.Classification(e.Mobile,
+		pipeline.Options{Resolver: fixedOptimized()},
+		classificationImages(samples),
+		sweepOptions([]core.MonitorOption{core.WithCaptureMode(core.CaptureFull), core.WithPerLayer(true)}),
+		nil)
+	if err != nil {
+		return nil, err
+	}
+	var rows []AblationLogFormatRow
+	for _, format := range []core.LogFormat{core.FormatJSONL, core.FormatBinary} {
+		var buf bytes.Buffer
+		sink, err := core.NewLogSink(&buf, format)
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		for f := 1; f <= frames; f++ {
+			if err := sink.WriteFrame(f, mergedLog.ByFrame(f)); err != nil {
+				return nil, err
+			}
+		}
+		if err := sink.Flush(); err != nil {
+			return nil, err
+		}
+		elapsed := time.Since(start)
+		back, err := core.ReadLog(&buf)
+		if err != nil {
+			return nil, err
+		}
+		if len(back.Records) != len(mergedLog.Records) {
+			return nil, fmt.Errorf("experiments: %v round trip lost records (%d vs %d)",
+				format, len(back.Records), len(mergedLog.Records))
+		}
+		rows = append(rows, AblationLogFormatRow{
+			Format:          format,
+			BytesPerFrame:   sink.Bytes() / frames,
+			EncodeNsPerFrm:  float64(elapsed.Nanoseconds()) / frames,
+			RecordsPerFrame: sink.Records() / frames,
+		})
+	}
+	return rows, nil
+}
+
+// RenderAblationLogFormat prints the log-encoding ablation.
+func RenderAblationLogFormat(w io.Writer, rows []AblationLogFormatRow) {
+	fprintf(w, "Ablation — full-capture log encoding (per frame)\n")
+	fprintf(w, "  %-8s %12s %14s %10s\n", "format", "bytes/frm", "encode ns/frm", "records")
+	for _, r := range rows {
+		fprintf(w, "  %-8s %12d %14.0f %10d\n", r.Format, r.BytesPerFrame, r.EncodeNsPerFrm, r.RecordsPerFrame)
 	}
 }

@@ -325,6 +325,11 @@ func TestTable3And5Shape(t *testing.T) {
 		if quant[i].Layers <= 0 || quant[i].Params <= 0 || quant[i].DiskMB <= 0 {
 			t.Errorf("degenerate row %+v", quant[i])
 		}
+		// The binary encoding of the same log is always smaller than JSONL.
+		if quant[i].DiskMBBin <= 0 || quant[i].DiskMBBin >= quant[i].DiskMB {
+			t.Errorf("%s: binary log %.2fMB not smaller than JSONL %.2fMB",
+				quant[i].Model, quant[i].DiskMBBin, quant[i].DiskMB)
+		}
 		// Float per-layer logs are substantially larger than quantized ones
 		// (f32 vs u8 payloads) — the Table 3 vs Table 5 relationship.
 		if float[i].DiskMB <= quant[i].DiskMB {
@@ -438,5 +443,25 @@ func TestAblations(t *testing.T) {
 	}
 	if _, err := AblationSymmetric(); err != nil {
 		t.Fatal(err)
+	}
+	lf, err := AblationLogFormat()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lf) != 2 || lf[0].Format.String() != "jsonl" || lf[1].Format.String() != "binary" {
+		t.Fatalf("log-format rows = %+v", lf)
+	}
+	// The binary encoding must beat JSONL on bytes (no base64, no JSON
+	// framing) while carrying the same records.
+	if lf[1].BytesPerFrame >= lf[0].BytesPerFrame {
+		t.Errorf("binary log (%dB/frm) not smaller than JSONL (%dB/frm)", lf[1].BytesPerFrame, lf[0].BytesPerFrame)
+	}
+	if lf[0].RecordsPerFrame != lf[1].RecordsPerFrame {
+		t.Errorf("record counts differ across formats: %d vs %d", lf[0].RecordsPerFrame, lf[1].RecordsPerFrame)
+	}
+	var buf bytes.Buffer
+	RenderAblationLogFormat(&buf, lf)
+	if !strings.Contains(buf.String(), "binary") {
+		t.Error("render missing binary row")
 	}
 }

@@ -159,6 +159,9 @@ type Table3Row struct {
 	LatSec   float64
 	MemoryMB float64
 	DiskMB   float64
+	// DiskMBBin is the same log serialized in the binary format — the
+	// raw-payload encoding sheds the base64 expansion plus JSON framing.
+	DiskMBBin float64
 	// WallSec is the measured wall-clock of the whole replay on the batched
 	// parallel engine — the suite's own throughput, alongside the modeled
 	// on-device latency LatSec.
@@ -220,15 +223,20 @@ func offlineOverhead(frames int, quantized bool) ([]Table3Row, error) {
 		if err != nil {
 			return nil, err
 		}
+		binBytes, err := mergedLog.EncodedSize(core.FormatBinary)
+		if err != nil {
+			return nil, err
+		}
 		total := modeled + dev.PerLayerLoggingLatency(logBytes)
 		rows = append(rows, Table3Row{
-			Model:    name,
-			Layers:   len(m.Nodes),
-			Params:   m.NumParams(),
-			LatSec:   total.Seconds(),
-			MemoryMB: float64(m.ActivationBytes()+m.WeightBytes()+mergedLog.MemoryFootprintBytes()) / 1e6,
-			DiskMB:   float64(logBytes) / 1e6,
-			WallSec:  wall.Seconds(),
+			Model:     name,
+			Layers:    len(m.Nodes),
+			Params:    m.NumParams(),
+			LatSec:    total.Seconds(),
+			MemoryMB:  float64(m.ActivationBytes()+m.WeightBytes()+mergedLog.MemoryFootprintBytes()) / 1e6,
+			DiskMB:    float64(logBytes) / 1e6,
+			DiskMBBin: float64(binBytes) / 1e6,
+			WallSec:   wall.Seconds(),
 		})
 	}
 	return rows, nil
@@ -239,9 +247,9 @@ func offlineOverhead(frames int, quantized bool) ([]Table3Row, error) {
 // parallel replay, alongside the modeled on-device latency.
 func RenderTable3(w io.Writer, caption string, rows []Table3Row) {
 	fprintf(w, "%s\n", caption)
-	fprintf(w, "%-18s %7s %9s %9s %9s %8s %10s\n", "model", "layers", "params", "lat (s)", "mem (MB)", "disk(MB)", "replay (s)")
+	fprintf(w, "%-18s %7s %9s %9s %9s %8s %8s %10s\n", "model", "layers", "params", "lat (s)", "mem (MB)", "jsonl(MB)", "bin(MB)", "replay (s)")
 	for _, r := range rows {
-		fprintf(w, "%-18s %7d %9d %9.2f %9.2f %8.2f %10.3f\n", r.Model, r.Layers, r.Params, r.LatSec, r.MemoryMB, r.DiskMB, r.WallSec)
+		fprintf(w, "%-18s %7d %9d %9.2f %9.2f %8.2f %8.2f %10.3f\n", r.Model, r.Layers, r.Params, r.LatSec, r.MemoryMB, r.DiskMB, r.DiskMBBin, r.WallSec)
 	}
 }
 

@@ -2,8 +2,10 @@ package replay
 
 import (
 	"fmt"
+	"io"
 	"testing"
 
+	"mlexray/internal/core"
 	"mlexray/internal/interp"
 	"mlexray/internal/ops"
 	"mlexray/internal/pipeline"
@@ -59,6 +61,62 @@ func BenchmarkReplayBatchParallel(b *testing.B) {
 	for _, batch := range []int{1, 8, 32} {
 		b.Run(fmt.Sprintf("batch=%d", batch), func(b *testing.B) {
 			benchReplay(b, 0, batch)
+		})
+	}
+}
+
+// fullCaptureFrames sizes the full-capture benchmarks: per-layer tensor
+// telemetry is megabytes per frame, so the encode path dominates long before
+// the 256-frame accuracy-eval figure.
+const fullCaptureFrames = 64
+
+// benchReplayFullCapture replays with full per-layer capture streamed
+// through a log sink — the edgerun/refrun configuration — and reports
+// ns/frame and serialized bytes/frame for the chosen encoding. Workers
+// default to all cores, as the CLIs do: compute parallelizes while the
+// collector serializes encoding, so the codec is the bottleneck this
+// benchmark isolates.
+func benchReplayFullCapture(b *testing.B, format core.LogFormat) {
+	b.Helper()
+	entry, err := zoo.Get("mobilenetv2-mini")
+	if err != nil {
+		b.Fatal(err)
+	}
+	images := testImages(b, fullCaptureFrames)
+	popts := pipeline.Options{Resolver: ops.NewOptimized(ops.Fixed())}
+	b.ReportMetric(float64(fullCaptureFrames), "frames/op")
+	var bytesPerFrame float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink, err := core.NewLogSink(io.Discard, format)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ropts := runner.Options{
+			BatchFrames:    8,
+			MonitorOptions: []core.MonitorOption{core.WithCaptureMode(core.CaptureFull), core.WithPerLayer(true)},
+			Sink:           sink,
+			DiscardLog:     true,
+		}
+		if _, err := Classification(entry.Mobile, popts, images, ropts, nil); err != nil {
+			b.Fatal(err)
+		}
+		if err := sink.Flush(); err != nil {
+			b.Fatal(err)
+		}
+		bytesPerFrame = float64(sink.Bytes()) / float64(fullCaptureFrames)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(fullCaptureFrames), "ns/frame")
+	b.ReportMetric(bytesPerFrame, "log-bytes/frame")
+}
+
+// BenchmarkReplayFullCapture compares the two log encodings under full
+// per-layer capture — the encoding datapoint of the perf trajectory.
+func BenchmarkReplayFullCapture(b *testing.B) {
+	for _, format := range []core.LogFormat{core.FormatJSONL, core.FormatBinary} {
+		b.Run(format.String(), func(b *testing.B) {
+			benchReplayFullCapture(b, format)
 		})
 	}
 }

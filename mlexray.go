@@ -6,7 +6,10 @@
 //   - The **instrumentation API** (§3.2): a Monitor that apps attach to
 //     their inference pipelines to log model inputs/outputs, per-layer
 //     details, performance metrics and peripheral sensors as key-value
-//     telemetry records (JSONL logs).
+//     telemetry records. Tensor payloads are captured lazily (raw bytes in
+//     memory) and serialized by a pluggable codec: the human-readable JSONL
+//     format or the length-prefixed binary format, streamed through the
+//     Sink interface.
 //
 //   - The **deployment validation API** (§3.4): Validate compares an edge
 //     log against a reference-pipeline log following the paper's Figure 2
@@ -15,17 +18,25 @@
 //     functions for root-cause analysis (channel arrangement, normalization
 //     range, resize filter, orientation, quantization drift, latency).
 //
-// A minimal instrumentation loop:
+// A minimal instrumentation loop, spilling telemetry straight to a binary
+// log so full-tensor capture never accumulates payloads in memory:
 //
-//	mon := mlexray.NewMonitor(mlexray.WithPerLayer(true))
+//	f, _ := os.Create("edge.mlxb")
+//	sink := mlexray.NewBinarySink(f) // or NewJSONLSink / NewLogSink(f, format)
+//	mon := mlexray.NewMonitor(mlexray.WithPerLayer(true), mlexray.WithSink(sink))
 //	cl, err := pipeline.NewClassifier(model, pipeline.Options{Monitor: mon})
 //	...
 //	mon.OnInferenceStart()
 //	// invoke ...
 //	mon.OnInferenceStop(interp)
+//	...
+//	mon.Flush() // spill the last frame, flush the sink
 //
-// And validation:
+// Reading accepts either encoding, auto-detected, and validation is
+// identical whichever format carried the logs:
 //
+//	edgeLog, err := mlexray.ReadLog(edgeFile) // jsonl or binary
+//	refLog, err := mlexray.ReadLog(refFile)
 //	report, err := mlexray.Validate(edgeLog, refLog, mlexray.DefaultValidateOptions())
 //	report.Render(os.Stdout)
 //
@@ -70,8 +81,41 @@ const (
 	KeySensorOrientation = core.KeySensorOrientation
 )
 
-// ReadLog parses a JSONL telemetry log.
-func ReadLog(r io.Reader) (*Log, error) { return core.ReadJSONL(r) }
+// LogFormat selects a telemetry log encoding.
+type LogFormat = core.LogFormat
+
+// Log formats: human-readable JSONL and the length-prefixed binary format
+// (raw little-endian tensor payloads, no base64).
+const (
+	FormatJSONL  = core.FormatJSONL
+	FormatBinary = core.FormatBinary
+)
+
+// ParseLogFormat parses a -log-format style name ("jsonl" or "binary").
+func ParseLogFormat(s string) (LogFormat, error) { return core.ParseLogFormat(s) }
+
+// LogEncoder is the writer side of a log codec.
+type LogEncoder = core.LogEncoder
+
+// LogDecoder is the reader side of a log codec: Next returns records in
+// stream order and io.EOF at the end.
+type LogDecoder = core.LogDecoder
+
+// NewLogEncoder returns the encoder for the given format.
+func NewLogEncoder(w io.Writer, format LogFormat) (LogEncoder, error) {
+	return core.NewLogEncoder(w, format)
+}
+
+// OpenLog wraps r in the decoder matching its format, auto-detected from
+// the leading bytes.
+func OpenLog(r io.Reader) (LogDecoder, LogFormat, error) { return core.OpenLog(r) }
+
+// ReadLog parses a whole telemetry log in either format, auto-detected.
+func ReadLog(r io.Reader) (*Log, error) { return core.ReadLog(r) }
+
+// ReadLogWithFormat parses a whole telemetry log and also reports which
+// format it detected.
+func ReadLogWithFormat(r io.Reader) (*Log, LogFormat, error) { return core.ReadLogWithFormat(r) }
 
 // ---- instrumentation API ----
 
@@ -100,6 +144,11 @@ func WithCaptureMode(m CaptureMode) MonitorOption { return core.WithCaptureMode(
 // WithPerLayer enables per-layer output and latency records.
 func WithPerLayer(enabled bool) MonitorOption { return core.WithPerLayer(enabled) }
 
+// WithSink puts the monitor in direct-to-sink spill mode: each completed
+// frame streams to the sink instead of accumulating in memory. Call
+// Monitor.Flush after the last frame.
+func WithSink(s Sink) MonitorOption { return core.WithSink(s) }
+
 // ---- parallel replay API ----
 
 // ProcessFunc replays one dataset frame on a worker-local pipeline replica.
@@ -123,8 +172,19 @@ type BatchWorkerFactory = runner.BatchWorkerFactory
 // batch, reorder-window cap, shard monitor options, streaming sink).
 type ReplayOptions = runner.Options
 
-// FrameSink receives merged frames in order during a streaming replay.
+// Sink consumes telemetry frames in order: replays stream through it
+// (ReplayOptions.Sink) and spill-mode monitors write to it directly.
+type Sink = core.Sink
+
+// FrameSink is the historical name replays used for Sink.
 type FrameSink = runner.FrameSink
+
+// LogSink is the interface of the built-in streaming sinks: a Sink that
+// writes one of the log formats and reports records/bytes written.
+type LogSink = core.LogSink
+
+// NewLogSink wraps w in a streaming sink for the given format.
+func NewLogSink(w io.Writer, format LogFormat) (LogSink, error) { return core.NewLogSink(w, format) }
 
 // JSONLSink streams telemetry to a writer in the JSONL log format without
 // retaining records in memory.
@@ -132,6 +192,13 @@ type JSONLSink = core.JSONLSink
 
 // NewJSONLSink wraps w in a streaming JSONL log writer.
 func NewJSONLSink(w io.Writer) *JSONLSink { return core.NewJSONLSink(w) }
+
+// BinarySink streams telemetry in the length-prefixed binary log format —
+// the low-overhead choice for full-tensor capture.
+type BinarySink = core.BinarySink
+
+// NewBinarySink wraps w in a streaming binary log writer.
+func NewBinarySink(w io.Writer) *BinarySink { return core.NewBinarySink(w) }
 
 // Replay shards a dataset replay across a worker pool, each worker owning a
 // pipeline replica and a monitor shard, and returns the shard logs merged by
