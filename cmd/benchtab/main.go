@@ -3,8 +3,8 @@
 // Usage:
 //
 //	benchtab            # everything
-//	benchtab -exp fig5  # one artifact: table1..5, fig3, fig4a/b/c, fig5, fig6,
-//	                    # text, ingraph, ablations
+//	benchtab -exp fig5  # one artifact: table1..5, fleet, fig3, fig4a/b/c,
+//	                    # fig5, fig6, text, ingraph, ablations
 package main
 
 import (
@@ -115,6 +115,14 @@ func run(args []string, stdout io.Writer) error {
 			}
 			fmt.Fprintln(stdout, "Figure 5 (ablation) — repaired kernel build")
 			experiments.RenderFigure5(stdout, fixed)
+			return nil
+		}},
+		{"fleet", func() error {
+			rows, err := experiments.Fleet(24)
+			if err != nil {
+				return err
+			}
+			experiments.RenderFleet(stdout, rows)
 			return nil
 		}},
 		{"fig6", func() error {

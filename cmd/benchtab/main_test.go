@@ -30,6 +30,19 @@ func TestRunReplayBackedArtifact(t *testing.T) {
 	}
 }
 
+// TestRunFleetArtifact exercises the fleet table: the heterogeneous-device
+// sharded replay with per-device validation, flagging the bugged device.
+func TestRunFleetArtifact(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-exp", "fleet"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Fleet replay") || !strings.Contains(out, "Pixel3") {
+		t.Errorf("missing fleet table content:\n%s", out)
+	}
+}
+
 func TestRunFlagErrors(t *testing.T) {
 	var buf bytes.Buffer
 	if err := run([]string{"-exp", "not-an-experiment"}, &buf); err == nil {

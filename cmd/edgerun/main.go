@@ -14,11 +14,20 @@
 // format, roughly half the bytes and a fraction of the encode cost for
 // full-tensor capture). cmd/exray and mlexray.ReadLog auto-detect either.
 //
+// With -fleet the replay shards across several simulated devices instead of
+// one: the spec "profile:workers[:batch],..." builds a heterogeneous fleet
+// whose shard policy (-shard: contiguous, round-robin or weighted) splits
+// the frame range. Each device writes its own shard log next to -o
+// (edge.jsonl -> edge.d0-Pixel4.jsonl, ...) and the merged fleet log —
+// byte-identical to a sequential replay of the same shard assignment — goes
+// to -o itself.
+//
 // Usage:
 //
 //	edgerun -model mobilenetv2-mini -bug normalization -o edge.jsonl
 //	edgerun -model mobilenetv2-mini -log-format binary -o edge.mlxb
 //	edgerun -model mobilenetv2-mini -quant -device Pixel4 -parallel 8 -batch 32 -o edge.jsonl
+//	edgerun -model mobilenetv2-mini -fleet "Pixel4:2:8,Pixel3:1,Emulator-x86:1" -shard weighted -o edge.jsonl
 package main
 
 import (
@@ -26,10 +35,14 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
+	"strings"
 
 	"mlexray/internal/core"
 	"mlexray/internal/datasets"
 	"mlexray/internal/device"
+	"mlexray/internal/graph"
+	"mlexray/internal/imaging"
 	"mlexray/internal/ops"
 	"mlexray/internal/pipeline"
 	"mlexray/internal/replay"
@@ -55,10 +68,15 @@ func run(args []string, stdout io.Writer) error {
 		perLayer = fs.Bool("perlayer", true, "capture per-layer outputs")
 		parallel = fs.Int("parallel", 0, "replay workers (0 = all cores)")
 		batch    = fs.Int("batch", 8, "frames per batched interpreter invoke (1 = frame at a time)")
+		fleet    = fs.String("fleet", "", `shard across a device fleet: "profile:workers[:batch],..." (overrides -device/-parallel/-batch)`)
+		shard    = fs.String("shard", "contiguous", "fleet shard policy: contiguous|round-robin|weighted")
 		logFmt   = fs.String("log-format", "jsonl", "telemetry log encoding: jsonl|binary")
 		out      = fs.String("o", "edge.jsonl", "output log path")
 	)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := replay.ValidateFlags(*frames, *parallel, *batch); err != nil {
 		return err
 	}
 	format, err := core.ParseLogFormat(*logFmt)
@@ -74,11 +92,22 @@ func run(args []string, stdout io.Writer) error {
 	if *quantF {
 		m = entry.Quant
 	}
+	images := replay.Images(datasets.SynthImageNet(5555, *frames))
+	monOpts := []core.MonitorOption{core.WithCaptureMode(core.CaptureFull), core.WithPerLayer(*perLayer)}
+	popts := pipeline.Options{
+		Resolver: ops.NewOptimized(ops.Historical()),
+		Bug:      pipeline.Bug(*bug),
+	}
+
+	if *fleet != "" {
+		return runFleet(stdout, m, popts, images, *fleet, *shard, monOpts, format, *out)
+	}
+
 	dev, err := device.ByName(*devName)
 	if err != nil {
 		return err
 	}
-	images := replay.Images(datasets.SynthImageNet(5555, *frames))
+	popts.Device = dev
 	f, err := os.Create(*out)
 	if err != nil {
 		return err
@@ -90,14 +119,10 @@ func run(args []string, stdout io.Writer) error {
 	}
 	// DiscardLog: frames stream to disk as they merge, so memory stays flat
 	// however long the replay; MaxPending bounds the reorder window.
-	_, err = replay.Classification(m, pipeline.Options{
-		Resolver: ops.NewOptimized(ops.Historical()),
-		Device:   dev,
-		Bug:      pipeline.Bug(*bug),
-	}, images, runner.Options{
+	_, err = replay.Classification(m, popts, images, runner.Options{
 		Workers:        *parallel,
 		BatchFrames:    *batch,
-		MonitorOptions: []core.MonitorOption{core.WithCaptureMode(core.CaptureFull), core.WithPerLayer(*perLayer)},
+		MonitorOptions: monOpts,
 		Sink:           sink,
 		DiscardLog:     true,
 	}, nil)
@@ -109,4 +134,149 @@ func run(args []string, stdout io.Writer) error {
 	}
 	fmt.Fprintf(stdout, "edgerun: wrote %d records (%d bytes, %s) to %s\n", sink.Records(), sink.Bytes(), sink.Format(), *out)
 	return nil
+}
+
+// deviceLogPath derives device d's shard-log path from the merged-log path:
+// edge.jsonl -> edge.d0-Pixel4.jsonl.
+func deviceLogPath(out string, d int, name string) string {
+	ext := filepath.Ext(out)
+	return fmt.Sprintf("%s.d%d-%s%s", strings.TrimSuffix(out, ext), d, name, ext)
+}
+
+// runFleet shards the replay across the -fleet devices: per-device shard
+// logs stream to sibling files of -o (flat memory, like the single-device
+// DiscardLog path), and the merged fleet log (sequential record order) is
+// produced by a streaming k-way merge of those files into -o itself.
+func runFleet(stdout io.Writer, m *graph.Model, popts pipeline.Options, images []*imaging.Image,
+	fleetSpec, shardPolicy string, monOpts []core.MonitorOption, format core.LogFormat, out string) error {
+	devs, err := runner.ParseFleetSpec(fleetSpec)
+	if err != nil {
+		return err
+	}
+	policy, err := runner.ParseShardPolicy(shardPolicy)
+	if err != nil {
+		return err
+	}
+	paths := make([]string, len(devs))
+	files := make([]*os.File, len(devs))
+	sinks := make([]core.LogSink, len(devs))
+	for d := range devs {
+		paths[d] = deviceLogPath(out, d, devs[d].Name())
+		if files[d], err = os.Create(paths[d]); err != nil {
+			return err
+		}
+		// Closed explicitly after the replay flushes (the merge reopens the
+		// files); a one-shot CLI leaves earlier error paths to process exit.
+		if sinks[d], err = core.NewLogSink(files[d], format); err != nil {
+			return err
+		}
+		devs[d].Sink = sinks[d]
+	}
+	// DiscardLogs: telemetry lives only in the per-device files, so memory
+	// stays flat however long the replay — same contract as the
+	// single-device DiscardLog path above.
+	_, err = replay.FleetClassification(m, popts, images,
+		&runner.Fleet{Devices: devs, Policy: policy, MonitorOptions: monOpts, DiscardLogs: true}, nil)
+	if err != nil {
+		return err
+	}
+	for d := range sinks {
+		if err := sinks[d].Flush(); err != nil {
+			return err
+		}
+		if err := files[d].Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "edgerun: device %d (%s) wrote %d records (%d bytes, %s) to %s\n",
+			d, devs[d].Name(), sinks[d].Records(), sinks[d].Bytes(), sinks[d].Format(), paths[d])
+	}
+	merged, err := mergeShardLogs(paths, format, out)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "edgerun: fleet (%s policy) merged %d records (%d bytes, %s) to %s\n",
+		policy.Name(), merged.Records(), merged.Bytes(), merged.Format(), out)
+	return nil
+}
+
+// mergeShardLogs streams a k-way merge of per-device shard logs into the
+// merged log at out. The shard files hold disjoint frame sets, each in
+// increasing frame order, so repeatedly draining the stream with the
+// smallest next frame reproduces the sequential record order; sequence
+// numbers renumber globally. One frame group is in memory at a time.
+func mergeShardLogs(paths []string, format core.LogFormat, out string) (core.LogSink, error) {
+	type stream struct {
+		dec  core.LogDecoder
+		next core.Record
+		ok   bool
+	}
+	advance := func(s *stream) error {
+		rec, err := s.dec.Next()
+		if err == io.EOF {
+			s.ok = false
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		s.next, s.ok = rec, true
+		return nil
+	}
+	streams := make([]*stream, len(paths))
+	for i, p := range paths {
+		f, err := os.Open(p)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		dec, _, err := core.OpenLog(f)
+		if err != nil {
+			return nil, fmt.Errorf("shard log %s: %w", p, err)
+		}
+		streams[i] = &stream{dec: dec}
+		if err := advance(streams[i]); err != nil {
+			return nil, fmt.Errorf("shard log %s: %w", p, err)
+		}
+	}
+	outF, err := os.Create(out)
+	if err != nil {
+		return nil, err
+	}
+	defer outF.Close()
+	sink, err := core.NewLogSink(outF, format)
+	if err != nil {
+		return nil, err
+	}
+	seq := 0
+	var recs []core.Record
+	for {
+		best := -1
+		for i, s := range streams {
+			if s.ok && (best == -1 || s.next.Frame < streams[best].next.Frame) {
+				best = i
+			}
+		}
+		if best == -1 {
+			break
+		}
+		s := streams[best]
+		frame := s.next.Frame
+		recs = recs[:0]
+		for s.ok && s.next.Frame == frame {
+			r := s.next
+			r.Seq = seq
+			seq++
+			recs = append(recs, r)
+			if err := advance(s); err != nil {
+				return nil, err
+			}
+		}
+		if err := sink.WriteFrame(frame, recs); err != nil {
+			return nil, err
+		}
+	}
+	if err := sink.Flush(); err != nil {
+		return nil, err
+	}
+	return sink, nil
 }

@@ -45,6 +45,49 @@ func TestRunOneFrame(t *testing.T) {
 	}
 }
 
+// TestRunFleet drives the fleet mode end to end: per-device shard logs land
+// next to the merged log, every log reads back, and the merged record count
+// equals the sum of the shards'.
+func TestRunFleet(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "edge.jsonl")
+	var buf bytes.Buffer
+	err := run([]string{"-frames", "4", "-fleet", "Pixel4:2:2,Pixel3:1", "-shard", "round-robin", "-o", out}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	readLog := func(path string) *core.Log {
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		l, err := core.ReadLog(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return l
+	}
+	merged := readLog(out)
+	shardRecords := 0
+	for _, name := range []string{"edge.d0-Pixel4.jsonl", "edge.d1-Pixel3.jsonl"} {
+		l := readLog(filepath.Join(dir, name))
+		if len(l.Records) == 0 {
+			t.Errorf("%s has no records", name)
+		}
+		shardRecords += len(l.Records)
+	}
+	if len(merged.Records) == 0 || len(merged.Records) != shardRecords {
+		t.Errorf("merged log has %d records, shards total %d", len(merged.Records), shardRecords)
+	}
+	if got := merged.Frames(); got != 5 { // frames are 1-based: four frames -> max index 4
+		t.Errorf("merged Frames() = %d, want 5", got)
+	}
+	if !strings.Contains(buf.String(), "fleet (round-robin policy) merged") {
+		t.Errorf("missing fleet summary line:\n%s", buf.String())
+	}
+}
+
 func TestRunFlagErrors(t *testing.T) {
 	var buf bytes.Buffer
 	if err := run([]string{"-definitely-not-a-flag"}, &buf); err == nil {
@@ -55,5 +98,22 @@ func TestRunFlagErrors(t *testing.T) {
 	}
 	if err := run([]string{"-device", "no-such-device"}, &buf); err == nil {
 		t.Error("unknown device should error")
+	}
+	// Replay sizing is validated up front: 0/negative values get a clear
+	// error instead of hanging or panicking in the engine.
+	for _, args := range [][]string{
+		{"-frames", "0"},
+		{"-frames", "-3"},
+		{"-parallel", "-1"},
+		{"-batch", "0"},
+		{"-batch", "-8"},
+		{"-fleet", "Pixel4:0"},
+		{"-fleet", "Pixel4:1:-2"},
+		{"-fleet", "NoSuchDevice:1"},
+		{"-fleet", "Pixel4:2", "-shard", "zigzag"},
+	} {
+		if err := run(args, &buf); err == nil {
+			t.Errorf("args %v should error", args)
+		}
 	}
 }

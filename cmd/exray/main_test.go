@@ -116,6 +116,36 @@ func TestRunFromLogFiles(t *testing.T) {
 	}
 }
 
+// TestRunFleetValidation drives the fleet validation flow: a bug injected
+// into one device slot only must surface in the fleet report as exactly
+// that device flagged.
+func TestRunFleetValidation(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-frames", "8", "-fleet", "Pixel4:2:4,Pixel3:1", "-shard", "round-robin",
+		"-bug", "normalization", "-bug-device", "0"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "fleet validation report") {
+		t.Fatalf("missing fleet report:\n%s", out)
+	}
+	// The flagged-devices summary must name the bugged slot and nothing
+	// else; the healthy device's report line must carry no divergence mark.
+	if !strings.Contains(out, "flagged devices: d0-Pixel4\n") {
+		t.Errorf("flagged-devices line should list exactly d0-Pixel4:\n%s", out)
+	}
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "d1-Pixel3") && strings.Contains(line, "DIVERGES") {
+			t.Errorf("healthy device flagged: %q", line)
+		}
+	}
+	// The standard merged-log report still renders ahead of the fleet one.
+	if !strings.Contains(out, "deployment validation report") {
+		t.Errorf("missing merged report:\n%s", out)
+	}
+}
+
 func TestRunFlagErrors(t *testing.T) {
 	var buf bytes.Buffer
 	if err := run([]string{"-bogus"}, &buf); err == nil {
@@ -129,6 +159,19 @@ func TestRunFlagErrors(t *testing.T) {
 	}
 	if err := run([]string{"-edge-log", "no/such/file", "-ref-log", "also/missing"}, &buf); err == nil {
 		t.Error("missing log file should error")
+	}
+	for _, args := range [][]string{
+		{"-frames", "0"},
+		{"-parallel", "-2"},
+		{"-batch", "-1"},
+		{"-fleet", "Pixel4:-1"},
+		{"-fleet", "Pixel4:1", "-bug-device", "5"},
+		{"-fleet", "Pixel4:1", "-edge-log", "some.jsonl"},
+		{"-fleet", "Pixel4:1", "-shard", "wat"},
+	} {
+		if err := run(args, &buf); err == nil {
+			t.Errorf("args %v should error", args)
+		}
 	}
 }
 

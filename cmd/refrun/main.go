@@ -51,6 +51,9 @@ func run(args []string, stdout io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if err := replay.ValidateFlags(*frames, *parallel, *batch); err != nil {
+		return err
+	}
 	format, err := core.ParseLogFormat(*logFmt)
 	if err != nil {
 		return err

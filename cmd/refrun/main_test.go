@@ -50,4 +50,13 @@ func TestRunFlagErrors(t *testing.T) {
 	if err := run([]string{"-log-format", "xml"}, &buf); err == nil {
 		t.Error("unknown log format should error")
 	}
+	for _, args := range [][]string{
+		{"-frames", "0"},
+		{"-parallel", "-1"},
+		{"-batch", "0"},
+	} {
+		if err := run(args, &buf); err == nil {
+			t.Errorf("args %v should error", args)
+		}
+	}
 }

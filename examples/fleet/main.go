@@ -1,0 +1,98 @@
+// Fleet: shard one replay across a heterogeneous device fleet and isolate a
+// device-local fault with fleet-level cross-validation.
+//
+// The paper's deployments span heterogeneous hardware — phones, GPU
+// delegates, emulators — and a fault often lives on one device class only
+// (a delegate kernel, a device-specific preprocessing path). This example
+// builds a three-device fleet (a batched two-worker Pixel 4, a Pixel 3 and
+// the x86 emulator), injects a normalization bug into the Pixel 3's
+// pipeline alone, and lets the Weighted shard policy split the frame range
+// by modeled device throughput. Each device replays its shard concurrently
+// with its own per-device shard log; FleetValidate then cross-validates the
+// shards against a reference replay. The merged-log report only shows
+// degraded aggregate agreement — the fleet report pins the divergence to
+// the Pixel 3, because the rest of the fleet vouches for the model on every
+// frame the Pixel 3 got wrong.
+//
+//	go run ./examples/fleet
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"mlexray"
+	"mlexray/internal/datasets"
+	"mlexray/internal/ops"
+	"mlexray/internal/pipeline"
+	"mlexray/internal/replay"
+	"mlexray/internal/zoo"
+)
+
+func main() {
+	entry, err := zoo.Get("mobilenetv2-mini")
+	if err != nil {
+		log.Fatal(err)
+	}
+	images := replay.Images(datasets.SynthImageNet(5555, 48))
+	monOpts := []mlexray.MonitorOption{
+		mlexray.WithCaptureMode(mlexray.CaptureFull), mlexray.WithPerLayer(true),
+	}
+
+	// --- the fleet: heterogeneous profiles, workers and batch sizes ---
+	devs, err := mlexray.ParseFleetSpec("Pixel4:2:8,Pixel3:1:2,Emulator-x86:1")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fleet := &mlexray.Fleet{
+		Devices:        devs,
+		Policy:         mlexray.Weighted{}, // shards sized by modeled device throughput
+		MonitorOptions: monOpts,
+	}
+
+	// --- edge fleet replay, with a bug on the Pixel 3 slot only ---
+	const bugged = 1
+	res, err := replay.FleetClassification(entry.Mobile,
+		pipeline.Options{Resolver: ops.NewOptimized(ops.Fixed())}, images, fleet,
+		func(dev int, spec mlexray.DeviceSpec, o *pipeline.Options) {
+			if dev == bugged {
+				o.Bug = pipeline.BugNormalization // the device-local fault
+			}
+		})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for d, spec := range devs {
+		fmt.Printf("device %d (%-12s): %2d frames in %d range(s), %5d records\n",
+			d, spec.Name(), res.Frames(d), len(res.Assignment[d]), len(res.DeviceLogs[d].Records))
+	}
+
+	// --- reference replay over the whole frame range ---
+	ref, err := replay.Classification(entry.Mobile,
+		pipeline.Options{Resolver: ops.NewReference(ops.Fixed())}, images,
+		mlexray.ReplayOptions{MonitorOptions: monOpts}, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// --- whole-fleet view: the merged log under the standard validator ---
+	fmt.Println()
+	report, err := mlexray.Validate(res.Merged, ref, mlexray.DefaultValidateOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	report.Render(os.Stdout)
+
+	// --- per-device view: fleet cross-validation isolates the fault ---
+	shards := make([]mlexray.DeviceShardLog, len(devs))
+	for d, spec := range devs {
+		shards[d] = mlexray.DeviceShardLog{Device: spec.Name(), Log: res.DeviceLogs[d]}
+	}
+	fleetReport, err := mlexray.FleetValidate(shards, ref, mlexray.DefaultValidateOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fleetReport.Render(os.Stdout)
+}

@@ -16,6 +16,7 @@ import (
 	"mlexray/internal/imaging"
 	"mlexray/internal/ops"
 	"mlexray/internal/pipeline"
+	"mlexray/internal/replay"
 	"mlexray/internal/zoo"
 )
 
@@ -376,4 +377,93 @@ func TestFacadeBinarySpillWorkflow(t *testing.T) {
 	if want.String() != got.String() {
 		t.Errorf("binary-log report differs from JSONL report:\n%s\nvs\n%s", want.String(), got.String())
 	}
+}
+
+// TestFacadeFleetWorkflow drives the fleet surface of the facade end to
+// end: parse a fleet spec, shard a replay across two simulated devices with
+// a bug injected into one of them, and cross-validate the per-device shard
+// logs — the flagged device must be exactly the bugged one, and the merge
+// of the shard logs must validate like a whole-log replay.
+func TestFacadeFleetWorkflow(t *testing.T) {
+	entry, err := zoo.Get("mobilenetv2-mini")
+	if err != nil {
+		t.Fatal(err)
+	}
+	devs, err := mlexray.ParseFleetSpec("Pixel4:2:4,Pixel3:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	policy, err := mlexray.ParseShardPolicy("round-robin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := datasets.SynthImageNet(5555, 16)
+	images := make([]*imaging.Image, len(samples))
+	for i := range samples {
+		images[i] = samples[i].Image
+	}
+	const bugged = 0
+	fleet := &mlexray.Fleet{
+		Devices: devs,
+		Policy:  policy,
+		MonitorOptions: []mlexray.MonitorOption{
+			mlexray.WithCaptureMode(mlexray.CaptureFull), mlexray.WithPerLayer(true),
+		},
+	}
+	res, err := replay.FleetClassification(entry.Mobile,
+		pipeline.Options{Resolver: ops.NewOptimized(ops.Fixed())}, images, fleet,
+		func(dev int, spec mlexray.DeviceSpec, o *pipeline.Options) {
+			if dev == bugged {
+				o.Bug = pipeline.BugNormalization
+			}
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ref := captureLogN(t, pipeline.BugNone, ops.NewReference(ops.Fixed()), len(images))
+	shards := make([]mlexray.DeviceShardLog, len(devs))
+	for d, spec := range devs {
+		shards[d] = mlexray.DeviceShardLog{Device: spec.Name(), Log: res.DeviceLogs[d]}
+	}
+	fleetReport, err := mlexray.FleetValidate(shards, ref, mlexray.DefaultValidateOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fleetReport.Flagged) != 1 || fleetReport.Flagged[0] != devs[bugged].Name() {
+		t.Fatalf("flagged = %v, want exactly [%s]", fleetReport.Flagged, devs[bugged].Name())
+	}
+
+	// The merged shard logs behave as one log under the standard validator.
+	merged := mlexray.MergeByFrame(res.DeviceLogs...)
+	report, err := mlexray.Validate(merged, ref, mlexray.DefaultValidateOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.OutputAgreement >= 1 {
+		t.Errorf("merged agreement %.2f should reflect the bugged shard", report.OutputAgreement)
+	}
+	if report.OutputAgreement != fleetReport.FleetAgreement {
+		t.Errorf("merged agreement %.3f != fleet agreement %.3f", report.OutputAgreement, fleetReport.FleetAgreement)
+	}
+}
+
+// captureLogN is captureLog with a configurable frame count.
+func captureLogN(t *testing.T, bug pipeline.Bug, resolver *ops.Resolver, frames int) *mlexray.Log {
+	t.Helper()
+	entry, err := zoo.Get("mobilenetv2-mini")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon := mlexray.NewMonitor(mlexray.WithCaptureMode(mlexray.CaptureFull), mlexray.WithPerLayer(true))
+	cl, err := pipeline.NewClassifier(entry.Mobile, pipeline.Options{Resolver: resolver, Monitor: mon, Bug: bug})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range datasets.SynthImageNet(5555, frames) {
+		if _, _, err := cl.Classify(s.Image); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return mon.Log()
 }

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"strconv"
 
 	"mlexray/internal/tensor"
 )
@@ -92,6 +93,22 @@ func NewJSONLEncoder(w io.Writer) *JSONLEncoder {
 
 // EncodeRecord appends one record line.
 func (e *JSONLEncoder) EncodeRecord(r *Record) error { return e.enc.Encode(r) }
+
+// encodePreMarshaled appends a record line whose tail — everything after the
+// leading `{"seq":<n>` group, including the trailing newline — was marshaled
+// elsewhere (the parallel pre-encode stage of the replay engine). The bytes
+// written are identical to EncodeRecord over the same record with Seq = seq.
+func (e *JSONLEncoder) encodePreMarshaled(seq int, tail []byte) error {
+	if _, err := e.bw.WriteString(`{"seq":`); err != nil {
+		return err
+	}
+	var digits [20]byte
+	if _, err := e.bw.Write(strconv.AppendInt(digits[:0], int64(seq), 10)); err != nil {
+		return err
+	}
+	_, err := e.bw.Write(tail)
+	return err
+}
 
 // Flush drains buffered output to the underlying writer.
 func (e *JSONLEncoder) Flush() error { return e.bw.Flush() }

@@ -1,0 +1,226 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// DeviceShardLog pairs a device name with the shard telemetry it produced
+// during a fleet replay. Shard records carry global frame tags, so each
+// shard validates directly against the full reference log — frames the
+// device did not own simply have no records to compare.
+type DeviceShardLog struct {
+	Device string
+	Log    *Log
+}
+
+// FleetDeviceReport is one device's rollup within a FleetReport: accuracy
+// (output agreement with the reference on the frames the device owned),
+// drift (mean per-layer normalized rMSE, when per-layer capture was on) and
+// latency (mean modeled inference time, when a device model was attached).
+type FleetDeviceReport struct {
+	Device string
+	// Frames is the number of frames compared (frames whose model output
+	// exists in both the shard log and the reference log).
+	Frames int
+	// OutputAgreement is the fraction of compared frames whose output
+	// argmax matches the reference.
+	OutputAgreement float64
+	// MeanNRMSE averages per-layer normalized rMSE vs the reference across
+	// the layers the logs share; zero when per-layer capture was off.
+	MeanNRMSE float64
+	// Layers is the number of layers MeanNRMSE averages over.
+	Layers int
+	// MeanModeledNs is the mean modeled inference latency in nanoseconds;
+	// zero when no device latency model was attached.
+	MeanModeledNs float64
+	// Divergent lists the frames where this device disagrees with the
+	// reference while the rest of the fleet is healthy — disagreement that
+	// isolates to the device rather than the model or the data.
+	Divergent []int
+	// Flagged marks a device whose shard diverges: its agreement is below
+	// the threshold while the rest of the fleet's is not. A fleet-wide
+	// model defect degrades every device and flags none.
+	Flagged bool
+}
+
+// FleetReport is the fleet-level cross-validation result: per-device
+// rollups plus the cross-device divergence analysis. Built by
+// FleetValidate from per-device shard logs and one reference log.
+type FleetReport struct {
+	Devices []FleetDeviceReport
+	// FleetAgreement is the frame-weighted output agreement across all
+	// devices — what a single merged-log validation would report.
+	FleetAgreement float64
+	// Flagged names the devices whose divergence isolates to them (in
+	// device order).
+	Flagged []string
+	// DivergentFrames is the sorted union of the per-device divergent
+	// frames.
+	DivergentFrames []int
+}
+
+// outputArgmaxByFrame indexes a log's per-frame model-output argmax (first
+// output record per frame, matching FirstTensor's semantics).
+func outputArgmaxByFrame(l *Log) (map[int]int, error) {
+	out := map[int]int{}
+	for i := range l.Records {
+		r := &l.Records[i]
+		if r.Kind != KindTensor || r.Key != KeyModelOutput {
+			continue
+		}
+		if _, ok := out[r.Frame]; ok {
+			continue
+		}
+		t, err := r.DecodeTensor()
+		if err != nil {
+			return nil, err
+		}
+		out[r.Frame] = t.ArgMax()
+	}
+	return out, nil
+}
+
+// FleetValidate cross-validates the per-device shard logs of a fleet replay
+// against the reference log. Beyond running the per-device half of the
+// Figure 2 flow (output agreement, per-layer drift, latency rollups) on
+// each shard, it compares the devices against each other: a frame where the
+// owning device disagrees with the reference while the rest of the fleet
+// agrees is cross-device divergence — evidence of a device-local fault (a
+// bad delegate kernel, a device-specific preprocessing path) rather than a
+// model or data problem, which would degrade every device alike. Devices
+// whose shards diverge this way are flagged.
+func FleetValidate(shards []DeviceShardLog, ref *Log, opts ValidateOptions) (*FleetReport, error) {
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("core: fleet validation needs at least one device shard")
+	}
+	refArg, err := outputArgmaxByFrame(ref)
+	if err != nil {
+		return nil, err
+	}
+	if len(refArg) == 0 {
+		return nil, fmt.Errorf("core: reference log carries no model outputs")
+	}
+
+	type devAcc struct {
+		agree, total int
+		mismatched   []int
+	}
+	accs := make([]devAcc, len(shards))
+	sumAgree, sumTotal := 0, 0
+	for d, shard := range shards {
+		devArg, err := outputArgmaxByFrame(shard.Log)
+		if err != nil {
+			return nil, fmt.Errorf("core: device %q shard: %w", shard.Device, err)
+		}
+		for frame, got := range devArg {
+			want, ok := refArg[frame]
+			if !ok {
+				continue
+			}
+			accs[d].total++
+			if got == want {
+				accs[d].agree++
+			} else {
+				accs[d].mismatched = append(accs[d].mismatched, frame)
+			}
+		}
+		sort.Ints(accs[d].mismatched)
+		sumAgree += accs[d].agree
+		sumTotal += accs[d].total
+	}
+	if sumTotal == 0 {
+		return nil, fmt.Errorf("core: fleet shards share no output frames with the reference")
+	}
+
+	rep := &FleetReport{FleetAgreement: float64(sumAgree) / float64(sumTotal)}
+	for d, shard := range shards {
+		acc := accs[d]
+		dr := FleetDeviceReport{Device: shard.Device, Frames: acc.total}
+		if acc.total > 0 {
+			dr.OutputAgreement = float64(acc.agree) / float64(acc.total)
+		}
+		// Drift rollup: per-layer normalized rMSE against the reference,
+		// averaged over the shared layers. Shards without per-layer capture
+		// skip it (CompareLayers reports no shared records).
+		if diffs, err := CompareLayers(shard.Log, ref); err == nil && len(diffs) > 0 {
+			sum := 0.0
+			for _, diff := range diffs {
+				sum += diff.NRMSE
+			}
+			dr.MeanNRMSE = sum / float64(len(diffs))
+			dr.Layers = len(diffs)
+		}
+		// Latency rollup: modeled inference time, comparable across runs
+		// (wall-clock is not).
+		if vals := shard.Log.MetricValues(KeyInferenceModeled); len(vals) > 0 {
+			sum := 0.0
+			for _, v := range vals {
+				sum += v
+			}
+			dr.MeanModeledNs = sum / float64(len(vals))
+		}
+		// Cross-device divergence: does the rest of the fleet vouch for the
+		// model on the frames this device got wrong? With no other frames
+		// to consult (single-device fleets) the rest is vacuously healthy —
+		// the report degrades to per-device validation.
+		restAgree, restTotal := sumAgree-acc.agree, sumTotal-acc.total
+		restHealthy := restTotal == 0 || float64(restAgree)/float64(restTotal) >= opts.AgreementThreshold
+		if restHealthy && acc.total > 0 {
+			dr.Divergent = acc.mismatched
+			if dr.OutputAgreement < opts.AgreementThreshold {
+				dr.Flagged = true
+				rep.Flagged = append(rep.Flagged, shard.Device)
+			}
+		}
+		rep.DivergentFrames = append(rep.DivergentFrames, dr.Divergent...)
+		rep.Devices = append(rep.Devices, dr)
+	}
+	sort.Ints(rep.DivergentFrames)
+	return rep, nil
+}
+
+// Render writes a human-readable fleet report.
+func (r *FleetReport) Render(w io.Writer) {
+	fmt.Fprintf(w, "ML-EXray fleet validation report\n")
+	fmt.Fprintf(w, "  fleet output agreement with reference: %.1f%%\n", 100*r.FleetAgreement)
+	for _, d := range r.Devices {
+		if d.Frames == 0 {
+			fmt.Fprintf(w, "  %-14s no frames assigned (policy starved this device)\n", d.Device)
+			continue
+		}
+		line := fmt.Sprintf("  %-14s frames=%-4d agreement=%5.1f%%", d.Device, d.Frames, 100*d.OutputAgreement)
+		if d.Layers > 0 {
+			line += fmt.Sprintf(" nRMSE=%.4f", d.MeanNRMSE)
+		}
+		if d.MeanModeledNs > 0 {
+			line += fmt.Sprintf(" modeled=%.2fms", d.MeanModeledNs/1e6)
+		}
+		if d.Flagged {
+			line += "  <- DIVERGES FROM FLEET"
+		}
+		fmt.Fprintln(w, line)
+	}
+	if len(r.Flagged) > 0 {
+		fmt.Fprintf(w, "  flagged devices: %s\n", strings.Join(r.Flagged, ", "))
+	}
+	if n := len(r.DivergentFrames); n > 0 {
+		show := r.DivergentFrames
+		suffix := ""
+		if n > 12 {
+			show = show[:12]
+			suffix = fmt.Sprintf(" ... and %d more", n-12)
+		}
+		fmt.Fprintf(w, "  cross-device divergent frames (%d): %s%s\n", n, joinInts(show), suffix)
+	}
+}
+
+func joinInts(xs []int) string {
+	parts := make([]string, len(xs))
+	for i, x := range xs {
+		parts[i] = fmt.Sprint(x)
+	}
+	return strings.Join(parts, ", ")
+}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"io"
 )
@@ -90,15 +92,101 @@ func (s *streamSink) Bytes() int { return int(s.bytes) }
 // Format returns the log format the sink writes.
 func (s *streamSink) Format() LogFormat { return s.format }
 
+// PreEncodedFrame holds one frame's records marshaled ahead of the in-order
+// collector: serialized lines whose sequence-number prefix — which only the
+// collector knows — gets patched at write time. Produced by
+// FramePreEncoder.PreEncodeFrame on worker goroutines, consumed by
+// WritePreEncoded on the collector.
+type PreEncodedFrame struct {
+	buf  []byte
+	offs []int // start offset of each record's line within buf
+}
+
+// Records returns the number of records the frame carries.
+func (pf PreEncodedFrame) Records() int { return len(pf.offs) }
+
+// FramePreEncoder is an optional Sink capability: sinks that can split
+// record encoding into a parallel-safe pre-marshal stage and a cheap
+// in-order patch-and-append stage. The replay engine uses it to move the
+// expensive part of full-capture JSONL serialization (base64 expansion,
+// JSON escaping) from its serial collector onto the worker goroutines.
+//
+// The contract: for any records recs and sequence base seq,
+// WritePreEncoded(frame, PreEncodeFrame(recs), seq) must write exactly the
+// bytes WriteFrame(frame, recs) would after setting recs[i].Seq = seq+i.
+type FramePreEncoder interface {
+	Sink
+	// PreEncodeFrame marshals one frame's records, ignoring their Seq
+	// fields. Safe for concurrent use by multiple goroutines.
+	PreEncodeFrame(recs []Record) (PreEncodedFrame, error)
+	// WritePreEncoded appends a pre-encoded frame, patching record sequence
+	// numbers to seq, seq+1, ... Not safe for concurrent use (same as
+	// WriteFrame).
+	WritePreEncoded(frame int, pf PreEncodedFrame, seq int) error
+}
+
 // JSONLSink streams telemetry records to a writer in the JSONL log format —
-// the human-readable Sink implementation.
-type JSONLSink struct{ streamSink }
+// the human-readable Sink implementation. It also implements
+// FramePreEncoder, so parallel replays marshal record lines on their worker
+// goroutines and the collector only patches sequence numbers.
+type JSONLSink struct {
+	streamSink
+	jsonl *JSONLEncoder
+}
 
 // NewJSONLSink wraps w in a streaming JSONL log writer.
 func NewJSONLSink(w io.Writer) *JSONLSink {
 	s := &JSONLSink{}
 	s.init(w, FormatJSONL)
+	s.jsonl = s.enc.(*JSONLEncoder)
 	return s
+}
+
+// preEncodeSeqPrefix is the byte prefix every record line marshaled with
+// Seq == 0 opens with; pre-encoding stores the line after it and
+// WritePreEncoded substitutes the real sequence number. The recordWire
+// field order guarantees "seq" always serializes first.
+var preEncodeSeqPrefix = []byte(`{"seq":0`)
+
+// PreEncodeFrame marshals recs into JSONL lines (Seq ignored — the
+// collector patches it). Safe for concurrent use: each call stages into its
+// own buffer, reusing one json.Encoder across the frame's records so the
+// marshal cost is a single streamed pass.
+func (s *JSONLSink) PreEncodeFrame(recs []Record) (PreEncodedFrame, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	offs := make([]int, 0, len(recs))
+	for i := range recs {
+		r := recs[i]
+		r.Seq = 0
+		off := buf.Len()
+		if err := enc.Encode(r); err != nil {
+			return PreEncodedFrame{}, fmt.Errorf("core: pre-encode record %q: %w", r.Key, err)
+		}
+		if !bytes.HasPrefix(buf.Bytes()[off:], preEncodeSeqPrefix) {
+			return PreEncodedFrame{}, fmt.Errorf("core: pre-encode record %q: line does not open with %q", r.Key, preEncodeSeqPrefix)
+		}
+		offs = append(offs, off)
+	}
+	return PreEncodedFrame{buf: buf.Bytes(), offs: offs}, nil
+}
+
+// WritePreEncoded appends a frame pre-marshaled by PreEncodeFrame, patching
+// record sequence numbers to seq, seq+1, ... The bytes written are identical
+// to WriteFrame over the same records with those sequence numbers.
+func (s *JSONLSink) WritePreEncoded(frame int, pf PreEncodedFrame, seq int) error {
+	for i, off := range pf.offs {
+		end := len(pf.buf)
+		if i+1 < len(pf.offs) {
+			end = pf.offs[i+1]
+		}
+		tail := pf.buf[off+len(preEncodeSeqPrefix) : end]
+		if err := s.jsonl.encodePreMarshaled(seq+i, tail); err != nil {
+			return fmt.Errorf("core: sink frame %d record %d: %w", frame, i, err)
+		}
+	}
+	s.records += len(pf.offs)
+	return nil
 }
 
 // BinarySink streams telemetry records to a writer in the length-prefixed

@@ -109,6 +109,85 @@ func TestJSONLSinkMatchesWriteJSONL(t *testing.T) {
 	}
 }
 
+// TestPreEncodeMatchesWriteFrame pins the FramePreEncoder contract: for any
+// frame and sequence base, WritePreEncoded over worker-marshaled lines
+// produces exactly the bytes WriteFrame produces after assigning the same
+// sequence numbers — including multi-digit seq patches and base64 payloads.
+func TestPreEncodeMatchesWriteFrame(t *testing.T) {
+	m := NewMonitor(WithCaptureMode(CaptureFull), WithPerLayer(true))
+	tt := tensor.FromFloats([]float32{1.5, -2.25, 3, 4}, 2, 2)
+	qt := tensor.New(tensor.U8, 4)
+	copy(qt.U, []byte{0, 7, 130, 255})
+	for f := 0; f < 3; f++ {
+		m.NextFrame()
+		m.LogTensorFull(KeyPreprocessOutput, tt)
+		m.LogTensor("layer/q/output", qt)
+		m.LogMetric(KeyInferenceLatency, float64(100+f), "ns")
+		m.LogSensor(KeySensorOrientation, 90, "deg")
+	}
+	l := m.Log()
+
+	// Start the sequence high so the patch replaces a multi-digit number.
+	const seqBase = 4095
+	var want bytes.Buffer
+	wantSink := NewJSONLSink(&want)
+	seq := seqBase
+	for f := 1; f <= 3; f++ {
+		recs := l.ByFrame(f)
+		for i := range recs {
+			recs[i].Seq = seq + i
+		}
+		if err := wantSink.WriteFrame(f, recs); err != nil {
+			t.Fatal(err)
+		}
+		seq += len(recs)
+	}
+	if err := wantSink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	var got bytes.Buffer
+	sink := NewJSONLSink(&got)
+	seq = seqBase
+	for f := 1; f <= 3; f++ {
+		recs := l.ByFrame(f)
+		// Scramble Seq to prove pre-encoding ignores it.
+		for i := range recs {
+			recs[i].Seq = -99
+		}
+		pf, err := sink.PreEncodeFrame(recs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pf.Records() != len(recs) {
+			t.Fatalf("pre-encoded %d records, want %d", pf.Records(), len(recs))
+		}
+		if err := sink.WritePreEncoded(f, pf, seq); err != nil {
+			t.Fatal(err)
+		}
+		seq += len(recs)
+	}
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		t.Error("pre-encoded stream differs from WriteFrame stream")
+	}
+	if sink.Records() != len(l.Records) {
+		t.Errorf("sink.Records() = %d, want %d", sink.Records(), len(l.Records))
+	}
+	back, err := ReadJSONL(&got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Records) != len(l.Records) {
+		t.Fatalf("read back %d records, want %d", len(back.Records), len(l.Records))
+	}
+	if s := back.Records[0].Seq; s != seqBase {
+		t.Errorf("first read-back seq = %d, want %d", s, seqBase)
+	}
+}
+
 // TestBinarySinkMatchesWriteBinary is the binary twin of the JSONL sink
 // parity test: streaming frame by frame produces the same bytes as writing
 // the accumulated log at the end, for either sink constructor.

@@ -213,6 +213,21 @@ func (p *Profile) NodeLatency(op graph.OpType, kind ops.ComputeKind, resolver st
 	return time.Duration(ns * p.speed)
 }
 
+// ModeledThroughput returns a relative frames-per-second weight for the
+// profile — the fleet scheduler's Weighted shard policy sizes device shards
+// with it. The weight derives from the latency model's dominant coefficient
+// (optimized float conv — the evaluation's workloads are conv-heavy) and
+// the profile's speed scale, so a GPU profile weighs several times a CPU
+// profile and the x86 emulator a fraction of one. Only ratios between
+// profiles carry meaning.
+func (p *Profile) ModeledThroughput() float64 {
+	conv := p.nsPerMAC(graph.OpConv2D, ops.KindFloat, "optimized")
+	if conv <= 0 {
+		conv = 0.1
+	}
+	return 1 / (conv * p.speed)
+}
+
 // PerLayerLoggingLatency models the cost of writing per-layer logs of the
 // given size on-device (the dominant term of the Table 3/5 offline
 // validation passes).

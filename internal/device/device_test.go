@@ -100,3 +100,18 @@ func TestOrientationSensor(t *testing.T) {
 		t.Error("sensor read")
 	}
 }
+
+// TestModeledThroughputOrdering pins the fleet-sharding weight: GPU
+// profiles model more throughput than their CPU hosts, the Pixel 3 trails
+// the Pixel 4, and the x86 emulator (no ARM conv paths) trails everything.
+func TestModeledThroughputOrdering(t *testing.T) {
+	p4, p3 := Pixel4().ModeledThroughput(), Pixel3().ModeledThroughput()
+	gpu := Pixel4GPU().ModeledThroughput()
+	emu := EmulatorX86().ModeledThroughput()
+	if !(gpu > p4 && p4 > p3 && p3 > emu) {
+		t.Errorf("throughput ordering gpu=%.2f p4=%.2f p3=%.2f emu=%.2f; want gpu > p4 > p3 > emu", gpu, p4, p3, emu)
+	}
+	if emu <= 0 {
+		t.Errorf("emulator throughput %.3f must stay positive", emu)
+	}
+}

@@ -242,6 +242,58 @@ func TestFigure3CoverageMatrix(t *testing.T) {
 	}
 }
 
+// TestFleetShape pins the fleet table: the round-robin shares cover the
+// frame range, rollups are populated per device, and exactly the bugged
+// Pixel3 slot comes back flagged — the cross-device divergence contract.
+func TestFleetShape(t *testing.T) {
+	n := frames(48, 24)
+	rows, err := Fleet(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows, want 3", len(rows))
+	}
+	total := 0
+	for _, r := range rows {
+		total += r.Frames
+		if r.Frames == 0 {
+			t.Errorf("%s got no frames", r.Device)
+		}
+		if r.MeanModeledMs <= 0 {
+			t.Errorf("%s has no modeled-latency rollup", r.Device)
+		}
+		if (r.Device == "Pixel3") != r.Flagged {
+			t.Errorf("%s flagged=%v; only the bugged Pixel3 should be flagged", r.Device, r.Flagged)
+		}
+		if r.Device == "Pixel3" && r.Agreement >= 0.98 {
+			t.Errorf("bugged Pixel3 agreement %.2f, want < 0.98", r.Agreement)
+		}
+		if r.Device != "Pixel3" && r.Agreement < 0.98 {
+			t.Errorf("healthy %s agreement %.2f", r.Device, r.Agreement)
+		}
+	}
+	if total != n {
+		t.Errorf("device shares cover %d of %d frames", total, n)
+	}
+	// The emulator's modeled latency dwarfs the phones' (§4.5: the ARM conv
+	// optimizations don't transfer).
+	byDev := map[string]FleetRow{}
+	for _, r := range rows {
+		byDev[r.Device] = r
+	}
+	if byDev["Emulator-x86"].MeanModeledMs <= byDev["Pixel4"].MeanModeledMs {
+		t.Errorf("emulator modeled %.2fms not slower than Pixel4 %.2fms",
+			byDev["Emulator-x86"].MeanModeledMs, byDev["Pixel4"].MeanModeledMs)
+	}
+
+	var buf bytes.Buffer
+	RenderFleet(&buf, rows)
+	if !strings.Contains(buf.String(), "Pixel3") || !strings.Contains(buf.String(), "X") {
+		t.Errorf("rendered fleet table misses the flagged device:\n%s", buf.String())
+	}
+}
+
 func TestTable1LoCAdvantage(t *testing.T) {
 	rows := Table1()
 	if len(rows) != 4 {

@@ -8,6 +8,7 @@ import (
 	"mlexray/internal/core"
 	"mlexray/internal/datasets"
 	"mlexray/internal/graph"
+	"mlexray/internal/imaging"
 	"mlexray/internal/ops"
 	"mlexray/internal/pipeline"
 	"mlexray/internal/replay"
@@ -168,21 +169,14 @@ func runImageTask(task string, m *graph.Model, resolver *ops.Resolver, bug pipel
 		samples := datasets.SynthImageNet(5555, frames)
 		return replay.Classification(m, opts, classificationImages(samples), sweepOptions(monOpts), nil)
 	case "detection":
-		base, err := pipeline.NewDetector(m, opts)
-		if err != nil {
-			return nil, err
-		}
+		// Detection rides the batched inference path too: the two-output
+		// head decodes per element through interp.Batch.OutputAt.
 		samples := datasets.SynthCOCO(6666, frames)
-		return replayLog(len(samples), monOpts, func(mon *core.Monitor) (runner.ProcessFunc, error) {
-			det, err := base.Clone(mon)
-			if err != nil {
-				return nil, err
-			}
-			return func(i int) error {
-				_, _, err := det.Detect(samples[i].Image)
-				return err
-			}, nil
-		})
+		images := make([]*imaging.Image, len(samples))
+		for i := range samples {
+			images[i] = samples[i].Image
+		}
+		return replay.Detection(m, opts, images, sweepOptions(monOpts), nil)
 	case "segmentation":
 		base, err := pipeline.NewSegmenter(m, opts)
 		if err != nil {

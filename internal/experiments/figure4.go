@@ -5,9 +5,11 @@ import (
 
 	"mlexray/internal/core"
 	"mlexray/internal/datasets"
+	"mlexray/internal/imaging"
 	"mlexray/internal/metrics"
 	"mlexray/internal/models"
 	"mlexray/internal/pipeline"
+	"mlexray/internal/replay"
 	"mlexray/internal/runner"
 	"mlexray/internal/tensor"
 	"mlexray/internal/zoo"
@@ -84,30 +86,23 @@ func Figure4b() ([]Figure4bRow, error) {
 			return nil, err
 		}
 		row := Figure4bRow{Model: name, ByBug: map[pipeline.Bug]float64{}}
+		images := make([]*imaging.Image, len(samples))
+		for i := range samples {
+			images[i] = samples[i].Image
+		}
 		evalMAP := func(bug pipeline.Bug) (float64, error) {
-			base, err := pipeline.NewDetector(e.Mobile, pipeline.Options{Resolver: fixedOptimized(), Bug: bug})
-			if err != nil {
-				return 0, err
-			}
-			// Per-frame detection slots keep the flattened list in frame
-			// order regardless of worker scheduling.
+			// Batched detection compute (nil MonitorOptions: mAP eval needs
+			// no telemetry). Per-frame detection slots keep the flattened
+			// list in frame order regardless of worker scheduling.
 			byFrame := make([][]metrics.DetBox, len(samples))
-			_, err = replayLog(len(samples), nil, func(*core.Monitor) (runner.ProcessFunc, error) {
-				det, err := base.Clone(nil) // mAP eval needs no telemetry
-				if err != nil {
-					return nil, err
-				}
-				return func(i int) error {
-					scores, boxes, err := det.Detect(samples[i].Image)
-					if err != nil {
-						return err
-					}
-					for _, d := range models.DecodeDetections(scoresOf(scores), boxesOf(boxes), e.Mobile.Meta.Anchors, 0.5, 0.45) {
+			_, err := replay.Detection(e.Mobile, pipeline.Options{Resolver: fixedOptimized(), Bug: bug}, images,
+				runner.Options{Workers: ReplayWorkers, BatchFrames: ReplayBatch},
+				func(i int, r replay.DetectResult) error {
+					for _, d := range models.DecodeDetections(scoresOf(r.Scores), boxesOf(r.Boxes), e.Mobile.Meta.Anchors, 0.5, 0.45) {
 						byFrame[i] = append(byFrame[i], metrics.DetBox{Box: d.Box, Class: d.Class, Score: d.Score, Image: i})
 					}
 					return nil
-				}, nil
-			})
+				})
 			if err != nil {
 				return 0, err
 			}

@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"io"
+
+	"mlexray/internal/core"
+	"mlexray/internal/datasets"
+	"mlexray/internal/device"
+	"mlexray/internal/ops"
+	"mlexray/internal/pipeline"
+	"mlexray/internal/replay"
+	"mlexray/internal/runner"
+	"mlexray/internal/zoo"
+)
+
+// FleetRow is one device's row of the fleet replay table: its share of the
+// sharded frame range plus the FleetReport rollups (agreement with the
+// reference, mean per-layer drift, modeled latency) and the cross-device
+// divergence verdict.
+type FleetRow struct {
+	Device        string
+	Workers       int
+	Batch         int
+	Frames        int
+	SharePct      float64
+	Agreement     float64
+	MeanNRMSE     float64
+	MeanModeledMs float64
+	Flagged       bool
+}
+
+// Fleet runs the heterogeneous-fleet validation demo: a three-profile fleet
+// (a batched two-worker Pixel 4, a Pixel 3, the x86 emulator) shards one
+// MobileNet-v2 replay round-robin, with a normalization bug injected into
+// the Pixel 3's pipeline only — the device-local fault class fleet
+// validation exists to isolate. Per-device shard logs cross-validate
+// against a sequential reference replay; the returned rows carry each
+// device's rollups, and exactly the bugged device comes back flagged.
+func Fleet(frames int) ([]FleetRow, error) {
+	if frames <= 0 {
+		frames = 24
+	}
+	const bugged = 1 // the Pixel 3 slot
+	entry, err := zoo.Get("mobilenetv2-mini")
+	if err != nil {
+		return nil, err
+	}
+	images := classificationImages(datasets.SynthImageNet(5555, frames))
+	monOpts := []core.MonitorOption{core.WithCaptureMode(core.CaptureFull), core.WithPerLayer(true)}
+
+	fleet := &runner.Fleet{
+		Devices: []runner.DeviceSpec{
+			{Profile: device.Pixel4(), Workers: 2, BatchFrames: 4},
+			{Profile: device.Pixel3(), Workers: 1, BatchFrames: 2},
+			{Profile: device.EmulatorX86(), Workers: 1, BatchFrames: 2},
+		},
+		Policy:         runner.RoundRobin{},
+		MonitorOptions: monOpts,
+	}
+	res, err := replay.FleetClassification(entry.Mobile,
+		pipeline.Options{Resolver: fixedOptimized()}, images, fleet,
+		func(dev int, spec runner.DeviceSpec, o *pipeline.Options) {
+			if dev == bugged {
+				o.Bug = pipeline.BugNormalization
+			}
+		})
+	if err != nil {
+		return nil, err
+	}
+
+	ref, err := replay.Classification(entry.Mobile,
+		pipeline.Options{Resolver: ops.NewReference(ops.Fixed())}, images,
+		runner.Options{Workers: ReplayWorkers, BatchFrames: ReplayBatch, MonitorOptions: monOpts}, nil)
+	if err != nil {
+		return nil, err
+	}
+
+	shards := make([]core.DeviceShardLog, len(fleet.Devices))
+	for d, spec := range fleet.Devices {
+		shards[d] = core.DeviceShardLog{Device: spec.Name(), Log: res.DeviceLogs[d]}
+	}
+	rep, err := core.FleetValidate(shards, ref, core.DefaultValidateOptions())
+	if err != nil {
+		return nil, err
+	}
+
+	rows := make([]FleetRow, len(rep.Devices))
+	for d, dr := range rep.Devices {
+		spec := fleet.Devices[d]
+		rows[d] = FleetRow{
+			Device:        dr.Device,
+			Workers:       spec.Workers,
+			Batch:         spec.BatchFrames,
+			Frames:        res.Frames(d),
+			SharePct:      100 * float64(res.Frames(d)) / float64(frames),
+			Agreement:     dr.OutputAgreement,
+			MeanNRMSE:     dr.MeanNRMSE,
+			MeanModeledMs: dr.MeanModeledNs / 1e6,
+			Flagged:       dr.Flagged,
+		}
+	}
+	return rows, nil
+}
+
+// RenderFleet prints the fleet replay table.
+func RenderFleet(w io.Writer, rows []FleetRow) {
+	fprintf(w, "Fleet replay — heterogeneous device sharding with per-device validation\n")
+	fprintf(w, "(normalization bug injected into the Pixel3 pipeline only)\n")
+	fprintf(w, "%-14s %7s %5s %6s %6s %9s %8s %10s %8s\n",
+		"device", "workers", "batch", "frames", "share", "agreement", "nRMSE", "modeled-ms", "flagged")
+	for _, r := range rows {
+		mark := " "
+		if r.Flagged {
+			mark = "X"
+		}
+		fprintf(w, "%-14s %7d %5d %6d %5.1f%% %9.2f %8.4f %10.2f %8s\n",
+			r.Device, r.Workers, r.Batch, r.Frames, r.SharePct, r.Agreement, r.MeanNRMSE, r.MeanModeledMs, mark)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"mlexray/internal/core"
+	"mlexray/internal/device"
 	"mlexray/internal/interp"
 	"mlexray/internal/ops"
 	"mlexray/internal/pipeline"
@@ -65,6 +66,46 @@ func BenchmarkReplayBatchParallel(b *testing.B) {
 	}
 }
 
+// benchReplayFleet measures the fleet scheduler's end-to-end throughput on
+// a homogeneous fleet of ndev single-worker batched devices (uninstrumented,
+// like benchReplay, so the scheduler and not the telemetry encode is the
+// axis). ns/frame at 1, 2 and 4 devices is the scaling datapoint
+// BENCH_replay.json tracks as replay_fleet_devN.
+func benchReplayFleet(b *testing.B, ndev int) {
+	b.Helper()
+	entry, err := zoo.Get("mobilenetv2-mini")
+	if err != nil {
+		b.Fatal(err)
+	}
+	images := testImages(b, benchFrames)
+	popts := pipeline.Options{Resolver: ops.NewOptimized(ops.Fixed())}
+	b.ReportMetric(float64(benchFrames), "frames/op")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		devs := make([]runner.DeviceSpec, ndev)
+		for d := range devs {
+			devs[d] = runner.DeviceSpec{Profile: device.Pixel4(), Workers: 1, BatchFrames: 8}
+		}
+		fleet := &runner.Fleet{Devices: devs, Policy: runner.Contiguous{}}
+		if _, err := FleetClassification(entry.Mobile, popts, images, fleet, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(benchFrames), "ns/frame")
+}
+
+// BenchmarkReplayFleet scales the simulated device count: each device runs
+// one worker, so wall-clock throughput should improve with the fleet size
+// on a multi-core host.
+func BenchmarkReplayFleet(b *testing.B) {
+	for _, ndev := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("devices=%d", ndev), func(b *testing.B) {
+			benchReplayFleet(b, ndev)
+		})
+	}
+}
+
 // fullCaptureFrames sizes the full-capture benchmarks: per-layer tensor
 // telemetry is megabytes per frame, so the encode path dominates long before
 // the 256-frame accuracy-eval figure.
@@ -77,6 +118,29 @@ const fullCaptureFrames = 64
 // collector serializes encoding, so the codec is the bottleneck this
 // benchmark isolates.
 func benchReplayFullCapture(b *testing.B, format core.LogFormat) {
+	benchReplayFullCaptureSink(b, func() core.LogSink {
+		sink, err := core.NewLogSink(io.Discard, format)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return sink
+	})
+}
+
+// serialCollectorSink hides the JSONL sink's FramePreEncoder capability so
+// the replay collector serializes every record itself — the pre-parallel-
+// encode behavior the worker pre-marshal stage is measured against.
+type serialCollectorSink struct{ core.LogSink }
+
+// benchReplayFullCaptureSerialJSONL is the JSONL full-capture benchmark with
+// the parallel encode stage disabled.
+func benchReplayFullCaptureSerialJSONL(b *testing.B) {
+	benchReplayFullCaptureSink(b, func() core.LogSink {
+		return serialCollectorSink{core.NewJSONLSink(io.Discard)}
+	})
+}
+
+func benchReplayFullCaptureSink(b *testing.B, mkSink func() core.LogSink) {
 	b.Helper()
 	entry, err := zoo.Get("mobilenetv2-mini")
 	if err != nil {
@@ -88,10 +152,7 @@ func benchReplayFullCapture(b *testing.B, format core.LogFormat) {
 	var bytesPerFrame float64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		sink, err := core.NewLogSink(io.Discard, format)
-		if err != nil {
-			b.Fatal(err)
-		}
+		sink := mkSink()
 		ropts := runner.Options{
 			BatchFrames:    8,
 			MonitorOptions: []core.MonitorOption{core.WithCaptureMode(core.CaptureFull), core.WithPerLayer(true)},
@@ -112,13 +173,16 @@ func benchReplayFullCapture(b *testing.B, format core.LogFormat) {
 }
 
 // BenchmarkReplayFullCapture compares the two log encodings under full
-// per-layer capture — the encoding datapoint of the perf trajectory.
+// per-layer capture — the encoding datapoint of the perf trajectory — plus
+// the JSONL path with its parallel encode stage disabled, isolating what
+// the worker pre-marshal stage buys on multi-core hosts.
 func BenchmarkReplayFullCapture(b *testing.B) {
 	for _, format := range []core.LogFormat{core.FormatJSONL, core.FormatBinary} {
 		b.Run(format.String(), func(b *testing.B) {
 			benchReplayFullCapture(b, format)
 		})
 	}
+	b.Run("jsonl-serial-collector", benchReplayFullCaptureSerialJSONL)
 }
 
 // BenchmarkInvoke measures the interpreter hot loop alone on the

@@ -48,6 +48,23 @@ func TestEmitReplayBenchJSON(t *testing.T) {
 		}
 	}
 
+	// Fleet scheduler scaling: ns/frame with 1, 2 and 4 simulated devices
+	// (one worker each) sharding the same replay — the fleet path's entry in
+	// the perf trajectory.
+	for _, ndev := range []int{1, 2, 4} {
+		ndev := ndev
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			benchReplayFleet(b, ndev)
+		})
+		results[fmt.Sprintf("replay_fleet_dev%d", ndev)] = entry{
+			NsPerFrame:  r.Extra["ns/frame"],
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			Iterations:  r.N,
+		}
+	}
+
 	// Full-capture replay in both log encodings: ns/frame and serialized
 	// bytes/frame — the encoding datapoint of the perf trajectory. The
 	// binary path must clear 1.8x the JSONL full-capture throughput (the
@@ -65,6 +82,20 @@ func TestEmitReplayBenchJSON(t *testing.T) {
 			Iterations:       r.N,
 		}
 	}
+	// The JSONL path with the parallel encode stage disabled — the baseline
+	// that records what worker pre-marshaling buys (on multi-core hosts the
+	// collector's serial share shrinks to seq-patch + concatenate).
+	rSerial := testing.Benchmark(func(b *testing.B) {
+		benchReplayFullCaptureSerialJSONL(b)
+	})
+	results["replay_full_jsonl_serial"] = entry{
+		NsPerFrame:       rSerial.Extra["ns/frame"],
+		LogBytesPerFrame: rSerial.Extra["log-bytes/frame"],
+		AllocsPerOp:      rSerial.AllocsPerOp(),
+		BytesPerOp:       rSerial.AllocedBytesPerOp(),
+		Iterations:       rSerial.N,
+	}
+
 	jsonlFull := results["replay_full_jsonl"]
 	binFull := results["replay_full_binary"]
 	if binFull.NsPerFrame >= jsonlFull.NsPerFrame {
@@ -77,6 +108,16 @@ func TestEmitReplayBenchJSON(t *testing.T) {
 	}
 	t.Logf("full-capture throughput: binary %.2fx JSONL (%.0f vs %.0f ns/frame)",
 		jsonlFull.NsPerFrame/binFull.NsPerFrame, binFull.NsPerFrame, jsonlFull.NsPerFrame)
+	// Pre-encoded and serial-collector JSONL write the same format: the
+	// parallel encode stage may only move work, never change the encoding.
+	// (Exact byte counts jitter run to run — wall-clock latency values
+	// serialize with varying digit counts — so compare within a hair.)
+	got, want := jsonlFull.LogBytesPerFrame, results["replay_full_jsonl_serial"].LogBytesPerFrame
+	if got < 0.995*want || got > 1.005*want {
+		t.Errorf("pre-encoded JSONL writes %.0f B/frame, serial collector %.0f", got, want)
+	}
+	t.Logf("JSONL full-capture: pre-encode %.0f ns/frame vs serial collector %.0f ns/frame",
+		jsonlFull.NsPerFrame, results["replay_full_jsonl_serial"].NsPerFrame)
 
 	entryZoo, err := zoo.Get("mobilenetv2-mini")
 	if err != nil {

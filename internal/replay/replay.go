@@ -7,6 +7,7 @@
 package replay
 
 import (
+	"fmt"
 	"time"
 
 	"mlexray/internal/core"
@@ -15,7 +16,25 @@ import (
 	"mlexray/internal/imaging"
 	"mlexray/internal/pipeline"
 	"mlexray/internal/runner"
+	"mlexray/internal/tensor"
 )
+
+// ValidateFlags rejects nonsensical replay sizing from the CLIs' shared
+// -frames/-parallel/-batch flags up front, with a clear message instead of
+// a hang or a panic deeper in the engine. All three replay CLIs (edgerun,
+// refrun, exray) use the same flag names, so the messages live here once.
+func ValidateFlags(frames, parallel, batch int) error {
+	if frames < 1 {
+		return fmt.Errorf("-frames must be positive (got %d)", frames)
+	}
+	if parallel < 0 {
+		return fmt.Errorf("-parallel must be >= 0 (0 = all cores; got %d)", parallel)
+	}
+	if batch < 1 {
+		return fmt.Errorf("-batch must be positive (got %d)", batch)
+	}
+	return nil
+}
 
 // Images projects an image-sample set to the replay input — the shared
 // sample-to-frames adapter for the CLIs, sweeps and tests.
@@ -115,4 +134,123 @@ func Classification(m *graph.Model, popts pipeline.Options, images []*imaging.Im
 			return nil
 		}, nil
 	}, ropts)
+}
+
+// DetectResult is the per-frame outcome a detection replay reports to its
+// observer callback: the raw class scores [A, C] and box offsets [A, 4]
+// (postprocessing — decode/NMS — stays with the caller).
+type DetectResult struct {
+	Scores *tensor.Tensor
+	Boxes  *tensor.Tensor
+}
+
+// Detection replays images through detector replicas on the parallel replay
+// engine and returns the merged telemetry log. Like Classification,
+// ropts.BatchFrames > 1 selects the batched inference path — each worker
+// owns a pipeline.BatchDetector replica and decodes the two-output head per
+// element through interp.Batch.OutputAt — and nil MonitorOptions replays
+// uninstrumented. onFrame runs on worker goroutines; implementations must
+// only write frame-indexed slots or otherwise synchronise.
+func Detection(m *graph.Model, popts pipeline.Options, images []*imaging.Image,
+	ropts runner.Options, onFrame func(frame int, r DetectResult) error) (*core.Log, error) {
+	popts.Monitor = nil
+	instrumented := ropts.MonitorOptions != nil
+
+	if ropts.BatchFrames > 1 {
+		// Pipelines construct directly inside the worker factory (no Clone
+		// template): factory errors still surface before any goroutine
+		// starts, and no throwaway interpreter arena is allocated.
+		return runner.ReplayBatched(len(images), func(mon *core.Monitor) (runner.ProcessBatchFunc, error) {
+			o := popts
+			if instrumented {
+				o.Monitor = mon
+			}
+			bd, err := pipeline.NewBatchDetector(m, ropts.BatchFrames, o)
+			if err != nil {
+				return nil, err
+			}
+			return func(start, end int) error {
+				scores, boxes, err := bd.DetectBatch(images[start:end])
+				if err != nil {
+					return err
+				}
+				if onFrame != nil {
+					for j := range scores {
+						if err := onFrame(start+j, DetectResult{Scores: scores[j], Boxes: boxes[j]}); err != nil {
+							return err
+						}
+					}
+				}
+				return nil
+			}, nil
+		}, ropts)
+	}
+
+	return runner.Replay(len(images), func(mon *core.Monitor) (runner.ProcessFunc, error) {
+		o := popts
+		if instrumented {
+			o.Monitor = mon
+		}
+		det, err := pipeline.NewDetector(m, o)
+		if err != nil {
+			return nil, err
+		}
+		return func(i int) error {
+			scores, boxes, err := det.Detect(images[i])
+			if err != nil {
+				return err
+			}
+			if onFrame != nil {
+				return onFrame(i, DetectResult{Scores: scores, Boxes: boxes})
+			}
+			return nil
+		}, nil
+	}, ropts)
+}
+
+// FleetClassification replays images across a heterogeneous simulated
+// device fleet: the fleet's shard policy splits the frame range across its
+// DeviceSpecs, and every device runs its shard through classifier replicas
+// carrying that device's latency profile — batched (pipeline.
+// BatchClassifier) when the spec's BatchFrames > 1, frame at a time
+// otherwise. Per-device shard logs land in FleetResult.DeviceLogs (and the
+// per-device sinks); the merged log keeps the sequential-order determinism
+// contract of Classification.
+//
+// perDevice, when non-nil, customizes one device's pipeline options after
+// the device profile is attached — the hook for injecting a device-local
+// configuration (or bug) under test. As with Classification, the fleet's
+// MonitorOptions nil replays uninstrumented, and popts.Monitor is ignored.
+func FleetClassification(m *graph.Model, popts pipeline.Options, images []*imaging.Image,
+	fleet *runner.Fleet, perDevice func(dev int, spec runner.DeviceSpec, o *pipeline.Options)) (*runner.FleetResult, error) {
+	instrumented := fleet.MonitorOptions != nil
+	return fleet.ReplayBatched(len(images), func(dev int, spec runner.DeviceSpec, mon *core.Monitor) (runner.ProcessBatchFunc, error) {
+		o := popts
+		o.Device = spec.Profile
+		if perDevice != nil {
+			perDevice(dev, spec, &o)
+		}
+		o.Monitor = nil
+		if instrumented {
+			o.Monitor = mon
+		}
+		if spec.BatchFrames > 1 {
+			bc, err := pipeline.NewBatchClassifier(m, spec.BatchFrames, o)
+			if err != nil {
+				return nil, err
+			}
+			return func(start, end int) error {
+				_, err := bc.ClassifyBatch(images[start:end])
+				return err
+			}, nil
+		}
+		cl, err := pipeline.NewClassifier(m, o)
+		if err != nil {
+			return nil, err
+		}
+		return runner.PerFrame(mon, func(i int) error {
+			_, _, err := cl.Classify(images[i])
+			return err
+		}), nil
+	})
 }

@@ -184,6 +184,81 @@ func TestBatchedReplayWithBugMatchesSequential(t *testing.T) {
 	}
 }
 
+// TestBatchedDetectionMatchesSequential is the detection twin of the
+// batched determinism contract: batched detector replays — two-output head
+// decoded per element through interp.Batch.OutputAt — merge byte-identical
+// to sequential frame-at-a-time detection, and report identical raw
+// scores/boxes per frame.
+func TestBatchedDetectionMatchesSequential(t *testing.T) {
+	entry, err := zoo.Get("ssd-mini")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := entry.Mobile
+	samples := datasets.SynthCOCO(6666, testFrames)
+	images := make([]*imaging.Image, len(samples))
+	for i := range samples {
+		images[i] = samples[i].Image
+	}
+
+	// Sequential ground truth: one detector, one monitor, frames in order.
+	mon := core.NewMonitor(monOpts...)
+	det, err := pipeline.NewDetector(m, pipeline.Options{Resolver: ops.NewOptimized(ops.Fixed()), Monitor: mon})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type pair struct{ scores, boxes []float32 }
+	want := make([]pair, len(images))
+	for i, im := range images {
+		s, b, err := det.Detect(im)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = pair{scores: s.F, boxes: b.F}
+	}
+	seq := mon.Log()
+	normalizeWallClock(seq)
+	wantLog := logBytes(t, seq)
+	if len(wantLog) == 0 {
+		t.Fatal("sequential detection log empty")
+	}
+
+	for _, batch := range []int{2, 4, 8} {
+		got := make([]pair, len(images))
+		l, err := Detection(m, pipeline.Options{Resolver: ops.NewOptimized(ops.Fixed())}, images,
+			runner.Options{Workers: 2, BatchFrames: batch, MonitorOptions: monOpts},
+			func(i int, r DetectResult) error {
+				got[i] = pair{scores: r.Scores.F, boxes: r.Boxes.F}
+				return nil
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		normalizeWallClock(l)
+		if gotLog := logBytes(t, l); !bytes.Equal(gotLog, wantLog) {
+			t.Errorf("batch=%d: batched detection log differs from sequential (%d vs %d bytes)",
+				batch, len(gotLog), len(wantLog))
+		}
+		for i := range want {
+			if !floatsEqual(got[i].scores, want[i].scores) || !floatsEqual(got[i].boxes, want[i].boxes) {
+				t.Errorf("batch=%d frame %d: batched scores/boxes differ from sequential", batch, i)
+			}
+		}
+	}
+}
+
+func floatsEqual(a, b []float32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // TestClassificationUninstrumented pins the accuracy-eval contract: nil
 // MonitorOptions replays without telemetry and still reports per-frame
 // predictions identical to the instrumented sequential run.

@@ -30,10 +30,19 @@
 //
 // Workers drain their monitor shard after every range, so shard buffers stay
 // one range deep; with a FrameSink attached (and KeepLog false) the collector
-// streams frames to disk as soon as they are in order. The reorder window is
-// bounded: at most Options.MaxPending frames may be dispatched and not yet
-// flushed, so a single slow frame throttles dispatch instead of growing the
-// window without limit — streaming million-frame replays hold flat memory.
+// streams frames to disk as soon as they are in order. When the sink supports
+// pre-encoding (core.FramePreEncoder — the JSONL sink does), workers also
+// pre-marshal their frames' record lines, so the serial collector only patches
+// sequence numbers and concatenates — full-capture JSONL encoding scales with
+// the worker count instead of bottlenecking on the collector. The reorder
+// window is bounded: at most Options.MaxPending frames may be dispatched and
+// not yet flushed, so a single slow frame throttles dispatch instead of
+// growing the window without limit — streaming million-frame replays hold
+// flat memory.
+//
+// A third tier sits on top: the fleet scheduler (fleet.go) shards one frame
+// range across several simulated devices, each running its shard through this
+// same engine with its own worker pool and per-device shard log.
 package runner
 
 import (
@@ -79,6 +88,13 @@ type BatchWorkerFactory func(mon *core.Monitor) (ProcessBatchFunc, error)
 // lifecycle stays with the caller.
 type FrameSink = core.Sink
 
+// Range is a half-open interval of dataset frames [Start, End). Shard
+// policies express device assignments as ordered, disjoint range lists.
+type Range struct{ Start, End int }
+
+// Len returns the number of frames in the range.
+func (r Range) Len() int { return r.End - r.Start }
+
 // Options configures a replay.
 type Options struct {
 	// Workers is the pool size; <= 0 means GOMAXPROCS. The merged output is
@@ -100,7 +116,8 @@ type Options struct {
 	MonitorOptions []core.MonitorOption
 	// Sink, when set, receives frames in order as soon as they are
 	// contiguous — the streaming path for replays too large to hold in
-	// memory.
+	// memory. Sinks implementing core.FramePreEncoder (the JSONL sink)
+	// additionally move record marshaling onto the worker goroutines.
 	Sink FrameSink
 	// DiscardLog suppresses the in-memory merged log (Replay returns an
 	// empty log). Only meaningful with a Sink; without one the records
@@ -145,8 +162,16 @@ func (o *Options) maxPending(workers int) int {
 
 // frameResult is one completed frame's telemetry en route to the collector.
 type frameResult struct {
+	// pos is the frame's position in the shard sequence (0-based across the
+	// runner's ranges); frame is its global dataset index. For a whole-range
+	// replay the two coincide.
+	pos   int
 	frame int
 	recs  []core.Record
+	// pre holds the worker-marshaled record lines when the sink supports
+	// pre-encoding; the collector then only patches sequence numbers.
+	pre    core.PreEncodedFrame
+	hasPre bool
 }
 
 // Replay runs frames 0..frames-1 through the worker pool and returns the
@@ -164,21 +189,28 @@ func Replay(frames int, factory WorkerFactory, opts Options) (*core.Log, error) 
 			if err != nil {
 				return nil, err
 			}
-			return func(start, end int) error {
-				for g := start; g < end; g++ {
-					// Re-position per frame: a ProcessFunc only advances the
-					// counter once, and the range contract wants exact tags
-					// even if a frame logs nothing.
-					mon.SetNextFrame(g + 1)
-					if err := process(g); err != nil {
-						return err
-					}
-				}
-				return nil
-			}, nil
+			return PerFrame(mon, process), nil
 		}
 	}
 	return ReplayBatched(frames, bf, opts)
+}
+
+// PerFrame adapts a per-frame body to the ProcessBatchFunc range contract:
+// each frame is re-positioned individually, because a ProcessFunc only
+// advances the counter once and the range contract wants exact tags even if
+// a frame logs nothing. Replay applies it internally; frame-at-a-time
+// workers inside batch-oriented factories (fleet devices without a batched
+// pipeline) use it directly.
+func PerFrame(mon *core.Monitor, process ProcessFunc) ProcessBatchFunc {
+	return func(start, end int) error {
+		for g := start; g < end; g++ {
+			mon.SetNextFrame(g + 1)
+			if err := process(g); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
 }
 
 // ReplayBatched runs frames 0..frames-1 through the worker pool, handing
@@ -191,12 +223,54 @@ func ReplayBatched(frames int, factory BatchWorkerFactory, opts Options) (*core.
 	if frames < 0 {
 		return nil, fmt.Errorf("runner: negative frame count %d", frames)
 	}
+	return runShard([]Range{{0, frames}}, factory, opts)
+}
+
+// checkRanges validates a shard assignment slice: ranges must be ordered,
+// disjoint and non-negative.
+func checkRanges(ranges []Range) error {
+	prev := 0
+	for i, r := range ranges {
+		if r.Start < 0 || r.End < r.Start {
+			return fmt.Errorf("runner: invalid frame range [%d,%d)", r.Start, r.End)
+		}
+		if i > 0 && r.Start < prev {
+			return fmt.Errorf("runner: frame range [%d,%d) overlaps or precedes [..,%d)", r.Start, r.End, prev)
+		}
+		prev = r.End
+	}
+	return nil
+}
+
+// runShard is the replay core shared by the single-device entry points
+// (Replay/ReplayBatched over one [0,frames) range) and the fleet scheduler
+// (one call per device, over that device's assigned ranges): a worker pool
+// with per-worker monitor shards, a credit-bounded reorder window, and an
+// in-order collector that renumbers sequence numbers across the shard and
+// streams frames to the sink. Ranges must be ordered and disjoint; records
+// keep their global frame tags, so shard logs from different devices merge
+// with core.MergeByFrame into exactly the sequential record order.
+func runShard(ranges []Range, factory BatchWorkerFactory, opts Options) (*core.Log, error) {
+	if err := checkRanges(ranges); err != nil {
+		return nil, err
+	}
 	if opts.DiscardLog && opts.Sink == nil {
 		return nil, fmt.Errorf("runner: DiscardLog without a Sink would drop all telemetry")
+	}
+	frames := 0
+	for _, r := range ranges {
+		frames += r.Len()
 	}
 	nw := opts.workers(frames)
 	batch := opts.batch()
 	maxPending := opts.maxPending(nw)
+	// Pre-encoding pays off by overlapping record marshaling across worker
+	// goroutines; with a single worker there is nothing to overlap and the
+	// extra staging buffer would only cost, so the collector encodes.
+	var preEnc core.FramePreEncoder
+	if nw > 1 {
+		preEnc, _ = opts.Sink.(core.FramePreEncoder)
+	}
 
 	// Build all workers up front: factory errors surface before any
 	// goroutine starts, and sequential construction lets factories share
@@ -212,8 +286,12 @@ func ReplayBatched(frames int, factory BatchWorkerFactory, opts Options) (*core.
 		procs[i] = p
 	}
 
-	type frameRange struct{ start, end int }
-	jobs := make(chan frameRange)
+	// A job is one dispatched frame range: [start,end) in global frame
+	// indices, with pos the shard position of start (the collector's
+	// ordering key — global indices are not contiguous within a fleet
+	// shard).
+	type job struct{ start, end, pos int }
+	jobs := make(chan job)
 	results := make(chan frameResult, nw)
 	stop := make(chan struct{})
 	var stopOnce sync.Once
@@ -231,22 +309,26 @@ func ReplayBatched(frames int, factory BatchWorkerFactory, opts Options) (*core.
 
 	go func() { // dispatcher
 		defer close(jobs)
-		for start := 0; start < frames; start += batch {
-			end := start + batch
-			if end > frames {
-				end = frames
-			}
-			for i := start; i < end; i++ {
+		pos := 0
+		for _, rg := range ranges {
+			for start := rg.Start; start < rg.End; start += batch {
+				end := start + batch
+				if end > rg.End {
+					end = rg.End
+				}
+				for i := start; i < end; i++ {
+					select {
+					case <-credits:
+					case <-stop:
+						return
+					}
+				}
 				select {
-				case <-credits:
+				case jobs <- job{start, end, pos}:
 				case <-stop:
 					return
 				}
-			}
-			select {
-			case jobs <- frameRange{start, end}:
-			case <-stop:
-				return
+				pos += end - start
 			}
 		}
 	}()
@@ -258,29 +340,47 @@ func ReplayBatched(frames int, factory BatchWorkerFactory, opts Options) (*core.
 		go func(i int) {
 			defer wg.Done()
 			mon, process := mons[i], procs[i]
-			for r := range jobs {
+			for j := range jobs {
 				// Position the shard so the pipeline's NextFrame calls tag
 				// records with global frame numbers (sequential runs number
 				// frames 1..N).
-				mon.SetNextFrame(r.start + 1)
-				if err := process(r.start, r.end); err != nil {
-					if r.end-r.start == 1 {
-						workerErrs[i] = fmt.Errorf("runner: frame %d: %w", r.start, err)
+				mon.SetNextFrame(j.start + 1)
+				if err := process(j.start, j.end); err != nil {
+					if j.end-j.start == 1 {
+						workerErrs[i] = fmt.Errorf("runner: frame %d: %w", j.start, err)
 					} else {
-						workerErrs[i] = fmt.Errorf("runner: frames [%d,%d): %w", r.start, r.end, err)
+						workerErrs[i] = fmt.Errorf("runner: frames [%d,%d): %w", j.start, j.end, err)
 					}
 					cancel()
 					return
 				}
-				groups, err := splitByFrame(r.start, r.end, mon.Drain())
+				groups, err := splitByFrame(j.start, j.end, mon.Drain())
 				if err != nil {
 					workerErrs[i] = err
 					cancel()
 					return
 				}
-				for g := r.start; g < r.end; g++ {
+				for g := j.start; g < j.end; g++ {
+					fr := frameResult{pos: j.pos + (g - j.start), frame: g, recs: groups[g-j.start]}
+					if preEnc != nil {
+						// Marshal here, on the worker, so the serial
+						// collector only patches seq numbers and appends.
+						fr.pre, err = preEnc.PreEncodeFrame(fr.recs)
+						if err != nil {
+							workerErrs[i] = fmt.Errorf("runner: frame %d: %w", g, err)
+							cancel()
+							return
+						}
+						fr.hasPre = true
+						if opts.DiscardLog {
+							// The merged log is discarded, so the reorder
+							// window need not hold the raw payloads on top
+							// of their encoded lines.
+							fr.recs = nil
+						}
+					}
 					select {
-					case results <- frameResult{frame: g, recs: groups[g-r.start]}:
+					case results <- fr:
 					case <-stop:
 						return
 					}
@@ -294,28 +394,39 @@ func ReplayBatched(frames int, factory BatchWorkerFactory, opts Options) (*core.
 	// ahead of a slower predecessor and releases them as soon as the
 	// sequence is contiguous.
 	merged := &core.Log{}
-	pending := make(map[int][]core.Record)
+	pending := make(map[int]frameResult)
 	next, seq := 0, 0
 	var sinkErr error
 	for fr := range results {
-		pending[fr.frame] = fr.recs
+		pending[fr.pos] = fr
 		for {
-			recs, ok := pending[next]
+			cur, ok := pending[next]
 			if !ok {
 				break
 			}
 			delete(pending, next)
-			for j := range recs {
-				recs[j].Seq = seq
-				seq++
+			// Pre-encoded frames may have dropped their raw records
+			// (DiscardLog), so the encoded line count is the seq authority.
+			n := len(cur.recs)
+			if cur.hasPre {
+				n = cur.pre.Records()
+			}
+			for j := range cur.recs {
+				cur.recs[j].Seq = seq + j
 			}
 			if opts.Sink != nil && sinkErr == nil {
-				if sinkErr = opts.Sink.WriteFrame(next+1, recs); sinkErr != nil {
+				if cur.hasPre {
+					sinkErr = preEnc.WritePreEncoded(cur.frame+1, cur.pre, seq)
+				} else {
+					sinkErr = opts.Sink.WriteFrame(cur.frame+1, cur.recs)
+				}
+				if sinkErr != nil {
 					cancel()
 				}
 			}
+			seq += n
 			if !opts.DiscardLog {
-				merged.Records = append(merged.Records, recs...)
+				merged.Records = append(merged.Records, cur.recs...)
 			}
 			next++
 			select {

@@ -40,6 +40,20 @@
 //	report, err := mlexray.Validate(edgeLog, refLog, mlexray.DefaultValidateOptions())
 //	report.Render(os.Stdout)
 //
+// Replays scale past one simulated device with the fleet scheduler: a
+// ShardPolicy splits the frame range across DeviceSpecs (profile + workers
+// + batch + optional shard-log sink), each device replays its shard
+// concurrently, and FleetValidate cross-validates the per-device shard logs
+// — flagging the device a fault isolates to:
+//
+//	devs, _ := mlexray.ParseFleetSpec("Pixel4:2:8,Pixel3:1,Emulator-x86:1")
+//	fleet := &mlexray.Fleet{Devices: devs, Policy: mlexray.Weighted{},
+//		MonitorOptions: []mlexray.MonitorOption{mlexray.WithCaptureMode(mlexray.CaptureFull)}}
+//	res, err := replay.FleetClassification(model, popts, images, fleet, nil)
+//	shards := []mlexray.DeviceShardLog{{Device: "Pixel4", Log: res.DeviceLogs[0]}, ...}
+//	fleetReport, err := mlexray.FleetValidate(shards, refLog, mlexray.DefaultValidateOptions())
+//	fleetReport.Render(os.Stdout)
+//
 // Everything underneath — the TFLite-like runtime with optimized/reference
 // op resolvers, the converter and quantizer, the training substrate, the
 // synthetic datasets and the device latency simulator — lives in internal/
@@ -50,6 +64,7 @@ import (
 	"io"
 
 	"mlexray/internal/core"
+	"mlexray/internal/device"
 	"mlexray/internal/runner"
 )
 
@@ -220,6 +235,83 @@ func ReplayBatched(frames int, factory BatchWorkerFactory, opts ReplayOptions) (
 // MergeByFrame merges shard logs by frame index, renumbering sequence
 // numbers globally (the merge Replay applies internally).
 func MergeByFrame(shards ...*Log) *Log { return core.MergeByFrame(shards...) }
+
+// ---- fleet replay API ----
+
+// Fleet is the two-tier replay scheduler: a shard policy splits one dataset
+// replay across a set of simulated devices, and every device runs its shard
+// concurrently through the per-device replay engine with its own worker
+// pool, batch size and optional shard-log sink. The merge of the per-device
+// logs is byte-identical (modulo wall-clock values) to a sequential replay
+// of the same shard assignment.
+type Fleet = runner.Fleet
+
+// DeviceSpec describes one device slot of a fleet: its simulated profile,
+// worker count, batch size and optional per-device log sink.
+type DeviceSpec = runner.DeviceSpec
+
+// ShardPolicy distributes a fleet replay's frame range across devices.
+type ShardPolicy = runner.ShardPolicy
+
+// The built-in shard policies: cyclic chunk dealing, throughput-
+// proportional dealing, and equal contiguous spans.
+type (
+	RoundRobin = runner.RoundRobin
+	Weighted   = runner.Weighted
+	Contiguous = runner.Contiguous
+)
+
+// FrameRange is a half-open [Start, End) interval of dataset frames — the
+// unit of shard assignments.
+type FrameRange = runner.Range
+
+// FleetResult is a fleet replay's output: the merged log, the per-device
+// shard logs and the shard assignment.
+type FleetResult = runner.FleetResult
+
+// FleetWorkerFactory builds one replay worker for a fleet device.
+type FleetWorkerFactory = runner.FleetWorkerFactory
+
+// FleetBatchWorkerFactory builds one batch-aware replay worker for a fleet
+// device.
+type FleetBatchWorkerFactory = runner.FleetBatchWorkerFactory
+
+// DeviceProfile is a simulated device (latency model, logging overheads) —
+// what DeviceSpec.Profile carries.
+type DeviceProfile = device.Profile
+
+// DeviceByName looks up a built-in device profile ("Pixel4", "Pixel4-GPU",
+// "Pixel3", "Pixel3-GPU", "Emulator-x86").
+func DeviceByName(name string) (*DeviceProfile, error) { return device.ByName(name) }
+
+// DeviceProfiles returns all built-in device profiles.
+func DeviceProfiles() []*DeviceProfile { return device.Profiles() }
+
+// ParseFleetSpec parses the CLI fleet syntax "profile:workers[:batch],...".
+func ParseFleetSpec(spec string) ([]DeviceSpec, error) { return runner.ParseFleetSpec(spec) }
+
+// ParseShardPolicy resolves a policy name ("contiguous", "round-robin",
+// "weighted") to its ShardPolicy.
+func ParseShardPolicy(name string) (ShardPolicy, error) { return runner.ParseShardPolicy(name) }
+
+// DeviceShardLog pairs a device name with its fleet-replay shard log, the
+// input to FleetValidate.
+type DeviceShardLog = core.DeviceShardLog
+
+// FleetReport is the fleet-level cross-validation result: per-device
+// accuracy/drift/latency rollups plus cross-device divergence (frames where
+// one device disagrees with the reference while the rest of the fleet
+// agrees — evidence of a device-local fault).
+type FleetReport = core.FleetReport
+
+// FleetDeviceReport is one device's rollup within a FleetReport.
+type FleetDeviceReport = core.FleetDeviceReport
+
+// FleetValidate cross-validates per-device shard logs against a reference
+// log, flagging devices whose divergence isolates to them.
+func FleetValidate(shards []DeviceShardLog, ref *Log, opts ValidateOptions) (*FleetReport, error) {
+	return core.FleetValidate(shards, ref, opts)
+}
 
 // ---- validation API ----
 
