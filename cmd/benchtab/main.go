@@ -5,6 +5,7 @@
 //	benchtab            # everything
 //	benchtab -exp fig5  # one artifact: table1..5, fleet, fig3, fig4a/b/c,
 //	                    # fig5, fig6, text, ingraph, ablations
+//	benchtab -exp fleet -task detection  # fleet sharding over the SSD detector
 package main
 
 import (
@@ -26,6 +27,7 @@ func main() {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("benchtab", flag.ContinueOnError)
 	exp := fs.String("exp", "all", "experiment to run")
+	task := fs.String("task", "classification", "fleet experiment task: classification|detection")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -118,11 +120,11 @@ func run(args []string, stdout io.Writer) error {
 			return nil
 		}},
 		{"fleet", func() error {
-			rows, err := experiments.Fleet(24)
+			rows, err := experiments.Fleet(24, *task)
 			if err != nil {
 				return err
 			}
-			experiments.RenderFleet(stdout, rows)
+			experiments.RenderFleet(stdout, *task, rows)
 			return nil
 		}},
 		{"fig6", func() error {

@@ -43,6 +43,17 @@ func TestRunFleetArtifact(t *testing.T) {
 	}
 }
 
+func TestRunFleetDetectionArtifact(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-exp", "fleet", "-task", "detection"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Fleet replay (detection)") || !strings.Contains(out, "Pixel3") {
+		t.Errorf("missing detection fleet table content:\n%s", out)
+	}
+}
+
 func TestRunFlagErrors(t *testing.T) {
 	var buf bytes.Buffer
 	if err := run([]string{"-exp", "not-an-experiment"}, &buf); err == nil {
@@ -50,5 +61,8 @@ func TestRunFlagErrors(t *testing.T) {
 	}
 	if err := run([]string{"-garbage"}, &buf); err == nil {
 		t.Error("unknown flag should error")
+	}
+	if err := run([]string{"-exp", "fleet", "-task", "no-such-task"}, &buf); err == nil {
+		t.Error("unknown fleet task should error")
 	}
 }

@@ -22,12 +22,19 @@
 // byte-identical to a sequential replay of the same shard assignment — goes
 // to -o itself.
 //
+// With -upload the telemetry additionally streams to a running exrayd
+// collector (chunked gzip uploads, one session per device — fleet devices
+// upload as d0-Pixel4, d1-..., matching their shard-log file names), so the
+// daemon's incremental /fleet and /devices reports are ready when the replay
+// ends.
+//
 // Usage:
 //
 //	edgerun -model mobilenetv2-mini -bug normalization -o edge.jsonl
 //	edgerun -model mobilenetv2-mini -log-format binary -o edge.mlxb
 //	edgerun -model mobilenetv2-mini -quant -device Pixel4 -parallel 8 -batch 32 -o edge.jsonl
 //	edgerun -model mobilenetv2-mini -fleet "Pixel4:2:8,Pixel3:1,Emulator-x86:1" -shard weighted -o edge.jsonl
+//	edgerun -model mobilenetv2-mini -fleet "Pixel4:2,Pixel3:1" -upload http://localhost:9090 -o edge.jsonl
 package main
 
 import (
@@ -43,6 +50,7 @@ import (
 	"mlexray/internal/device"
 	"mlexray/internal/graph"
 	"mlexray/internal/imaging"
+	"mlexray/internal/ingest"
 	"mlexray/internal/ops"
 	"mlexray/internal/pipeline"
 	"mlexray/internal/replay"
@@ -71,6 +79,8 @@ func run(args []string, stdout io.Writer) error {
 		fleet    = fs.String("fleet", "", `shard across a device fleet: "profile:workers[:batch],..." (overrides -device/-parallel/-batch)`)
 		shard    = fs.String("shard", "contiguous", "fleet shard policy: contiguous|round-robin|weighted")
 		logFmt   = fs.String("log-format", "jsonl", "telemetry log encoding: jsonl|binary")
+		upload   = fs.String("upload", "", "also stream telemetry to an exrayd collector at this URL (per-device sessions)")
+		gz       = fs.Bool("upload-gzip", true, "gzip-compress upload chunks")
 		out      = fs.String("o", "edge.jsonl", "output log path")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -99,8 +109,10 @@ func run(args []string, stdout io.Writer) error {
 		Bug:      pipeline.Bug(*bug),
 	}
 
+	up := uploadOptions{url: *upload, gzip: *gz}
+
 	if *fleet != "" {
-		return runFleet(stdout, m, popts, images, *fleet, *shard, monOpts, format, *out)
+		return runFleet(stdout, m, popts, images, *fleet, *shard, monOpts, format, *out, up)
 	}
 
 	dev, err := device.ByName(*devName)
@@ -117,22 +129,77 @@ func run(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
+	frameSink, remote, err := up.wrap(sink, *devName, format)
+	if err != nil {
+		return err
+	}
 	// DiscardLog: frames stream to disk as they merge, so memory stays flat
 	// however long the replay; MaxPending bounds the reorder window.
 	_, err = replay.Classification(m, popts, images, runner.Options{
 		Workers:        *parallel,
 		BatchFrames:    *batch,
 		MonitorOptions: monOpts,
-		Sink:           sink,
+		Sink:           frameSink,
 		DiscardLog:     true,
 	}, nil)
 	if err != nil {
 		return err
 	}
-	if err := sink.Flush(); err != nil {
+	if err := frameSink.Flush(); err != nil {
 		return err
 	}
 	fmt.Fprintf(stdout, "edgerun: wrote %d records (%d bytes, %s) to %s\n", sink.Records(), sink.Bytes(), sink.Format(), *out)
+	if remote != nil {
+		fmt.Fprintf(stdout, "edgerun: uploaded %d records (%d wire bytes, %d chunks) to %s as %s\n",
+			remote.Records(), remote.Bytes(), remote.Chunks(), up.url, *devName)
+	}
+	return nil
+}
+
+// uploadOptions carries the -upload flags: when url is set, every log sink
+// tees its frames into a RemoteSink streaming to the exrayd collector, one
+// session per device.
+type uploadOptions struct {
+	url  string
+	gzip bool
+}
+
+// wrap tees local into a RemoteSink for the named device session (a no-op
+// pass-through when no collector URL was given).
+func (u uploadOptions) wrap(local core.Sink, device string, format core.LogFormat) (core.Sink, *ingest.RemoteSink, error) {
+	if u.url == "" {
+		return local, nil, nil
+	}
+	remote, err := ingest.NewRemoteSink(ingest.SinkOptions{
+		URL: u.url, Device: device, Format: format, Gzip: u.gzip,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return teeSink{local, remote}, remote, nil
+}
+
+// teeSink fans frames out to several sinks in order (local file first, then
+// the collector upload).
+type teeSink []core.Sink
+
+// WriteFrame implements core.Sink.
+func (t teeSink) WriteFrame(frame int, recs []core.Record) error {
+	for _, s := range t {
+		if err := s.WriteFrame(frame, recs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Flush implements core.Sink.
+func (t teeSink) Flush() error {
+	for _, s := range t {
+		if err := s.Flush(); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -148,7 +215,8 @@ func deviceLogPath(out string, d int, name string) string {
 // DiscardLog path), and the merged fleet log (sequential record order) is
 // produced by a streaming k-way merge of those files into -o itself.
 func runFleet(stdout io.Writer, m *graph.Model, popts pipeline.Options, images []*imaging.Image,
-	fleetSpec, shardPolicy string, monOpts []core.MonitorOption, format core.LogFormat, out string) error {
+	fleetSpec, shardPolicy string, monOpts []core.MonitorOption, format core.LogFormat, out string,
+	up uploadOptions) error {
 	devs, err := runner.ParseFleetSpec(fleetSpec)
 	if err != nil {
 		return err
@@ -160,6 +228,7 @@ func runFleet(stdout io.Writer, m *graph.Model, popts pipeline.Options, images [
 	paths := make([]string, len(devs))
 	files := make([]*os.File, len(devs))
 	sinks := make([]core.LogSink, len(devs))
+	remotes := make([]*ingest.RemoteSink, len(devs))
 	for d := range devs {
 		paths[d] = deviceLogPath(out, d, devs[d].Name())
 		if files[d], err = os.Create(paths[d]); err != nil {
@@ -170,7 +239,13 @@ func runFleet(stdout io.Writer, m *graph.Model, popts pipeline.Options, images [
 		if sinks[d], err = core.NewLogSink(files[d], format); err != nil {
 			return err
 		}
-		devs[d].Sink = sinks[d]
+		// Each device streams to its own collector session, named like its
+		// shard-log file suffix (d0-Pixel4, ...), so the daemon's /fleet
+		// report lines up with the local shard logs.
+		devs[d].Sink, remotes[d], err = up.wrap(sinks[d], fmt.Sprintf("d%d-%s", d, devs[d].Name()), format)
+		if err != nil {
+			return err
+		}
 	}
 	// DiscardLogs: telemetry lives only in the per-device files, so memory
 	// stays flat however long the replay — same contract as the
@@ -181,7 +256,7 @@ func runFleet(stdout io.Writer, m *graph.Model, popts pipeline.Options, images [
 		return err
 	}
 	for d := range sinks {
-		if err := sinks[d].Flush(); err != nil {
+		if err := devs[d].Sink.Flush(); err != nil {
 			return err
 		}
 		if err := files[d].Close(); err != nil {
@@ -189,6 +264,10 @@ func runFleet(stdout io.Writer, m *graph.Model, popts pipeline.Options, images [
 		}
 		fmt.Fprintf(stdout, "edgerun: device %d (%s) wrote %d records (%d bytes, %s) to %s\n",
 			d, devs[d].Name(), sinks[d].Records(), sinks[d].Bytes(), sinks[d].Format(), paths[d])
+		if remotes[d] != nil {
+			fmt.Fprintf(stdout, "edgerun: device %d (%s) uploaded %d records (%d wire bytes, %d chunks) to %s\n",
+				d, devs[d].Name(), remotes[d].Records(), remotes[d].Bytes(), remotes[d].Chunks(), up.url)
+		}
 	}
 	merged, err := mergeShardLogs(paths, format, out)
 	if err != nil {

@@ -2,12 +2,16 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
 	"mlexray/internal/core"
+	"mlexray/internal/ingest"
 )
 
 // TestRunOneFrame drives a one-frame end-to-end run through flag parsing,
@@ -116,4 +120,81 @@ func TestRunFlagErrors(t *testing.T) {
 			t.Errorf("args %v should error", args)
 		}
 	}
+}
+
+// getDeviceStatus fetches one device session's status from the collector.
+func getDeviceStatus(t *testing.T, base, device string) ingest.DeviceStatus {
+	t.Helper()
+	resp, err := http.Get(base + "/devices/" + device)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/devices/%s status %d", device, resp.StatusCode)
+	}
+	var st ingest.DeviceStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestRunUpload drives -upload: the replay's telemetry lands both in the
+// local log(s) and in a live collector, one session per device, with the
+// collector's per-session record counts matching the local logs.
+func TestRunUpload(t *testing.T) {
+	srv, err := ingest.NewServer(ingest.ServerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	readLog := func(path string) *core.Log {
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		l, err := core.ReadLog(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return l
+	}
+
+	t.Run("single", func(t *testing.T) {
+		out := filepath.Join(t.TempDir(), "edge.jsonl")
+		var buf bytes.Buffer
+		if err := run([]string{"-frames", "2", "-parallel", "2", "-upload", ts.URL, "-o", out}, &buf); err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(buf.String(), "uploaded") {
+			t.Errorf("missing upload summary:\n%s", buf.String())
+		}
+		local := readLog(out)
+		st := getDeviceStatus(t, ts.URL, "Pixel4")
+		if st.Records != len(local.Records) || st.Records == 0 {
+			t.Errorf("collector holds %d records, local log %d", st.Records, len(local.Records))
+		}
+	})
+
+	t.Run("fleet", func(t *testing.T) {
+		dir := t.TempDir()
+		out := filepath.Join(dir, "edge.jsonl")
+		var buf bytes.Buffer
+		err := run([]string{"-frames", "4", "-fleet", "Pixel4:2:2,Pixel3:1", "-log-format", "binary",
+			"-upload", ts.URL, "-o", out}, &buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, name := range []string{"d0-Pixel4", "d1-Pixel3"} {
+			local := readLog(filepath.Join(dir, "edge."+name+".jsonl"))
+			st := getDeviceStatus(t, ts.URL, name)
+			if st.Records != len(local.Records) || st.Records == 0 {
+				t.Errorf("%s: collector holds %d records, shard log %d", name, st.Records, len(local.Records))
+			}
+		}
+	})
 }

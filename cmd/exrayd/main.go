@@ -1,0 +1,98 @@
+// Command exrayd is the ML-EXray telemetry ingestion daemon: the cloud half
+// of the deployment-validation workflow. Edge devices (or edgerun -upload)
+// stream their telemetry logs to it over HTTP; the daemon sessionizes the
+// streams by device ID and validates each one incrementally against the
+// reference log as frames arrive, so per-device and fleet-wide reports are
+// ready the moment the uploads finish — identical to running cmd/exray on
+// the stored logs, without storing them.
+//
+// Endpoints:
+//
+//	POST /ingest?device=ID   upload a log chunk (JSONL or MLXB, plain/gzip)
+//	GET  /devices            all device session statuses (JSON)
+//	GET  /devices/{device}   one session's status + incremental report
+//	GET  /fleet              fleet-wide cross-validation report
+//	GET  /healthz            liveness
+//
+// Usage:
+//
+//	refrun -o ref.jsonl -frames 24
+//	exrayd -ref ref.jsonl -addr :9090
+//	edgerun -frames 24 -upload http://localhost:9090 -o edge.jsonl
+//	curl localhost:9090/fleet
+//
+// Without -ref the daemon runs in collection mode: uploads are sessionized
+// and counted but the report endpoints return 409.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+
+	"mlexray/internal/core"
+	"mlexray/internal/ingest"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "exrayd:", err)
+		os.Exit(1)
+	}
+}
+
+// serve runs the accept loop; tests stub it out to exercise run() without
+// binding the process to a socket forever.
+var serve = func(ln net.Listener, h http.Handler) error {
+	return http.Serve(ln, h)
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("exrayd", flag.ContinueOnError)
+	var (
+		addr      = fs.String("addr", ":9090", "listen address")
+		refPath   = fs.String("ref", "", "reference log to validate uploads against (JSONL or MLXB, plain or gzip; empty = collection mode)")
+		agreement = fs.Float64("agreement", 0, "output-agreement threshold (0 = default)")
+		maxBody   = fs.Int64("max-body", 0, "per-chunk upload size cap in bytes (0 = 1GiB)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	opts := ingest.ServerOptions{MaxBodyBytes: *maxBody}
+	if *refPath != "" {
+		f, err := os.Open(*refPath)
+		if err != nil {
+			return err
+		}
+		ref, err := core.ReadLog(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("reference log %s: %w", *refPath, err)
+		}
+		opts.Ref = ref
+		opts.Validate = core.DefaultValidateOptions()
+		if *agreement > 0 {
+			opts.Validate.AgreementThreshold = *agreement
+		}
+		fmt.Fprintf(stdout, "exrayd: reference %s (%d records, %d frames)\n",
+			*refPath, len(ref.Records), ref.Frames())
+	} else {
+		fmt.Fprintf(stdout, "exrayd: no -ref: collection mode (report endpoints return 409)\n")
+	}
+
+	srv, err := ingest.NewServer(opts)
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	defer ln.Close()
+	fmt.Fprintf(stdout, "exrayd: listening on http://%s (POST /ingest, GET /fleet, /devices/{id})\n", ln.Addr())
+	return serve(ln, srv)
+}

@@ -1,0 +1,140 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mlexray/internal/core"
+	"mlexray/internal/ingest"
+	"mlexray/internal/tensor"
+)
+
+// testRefLog builds a minimal reference log with model outputs.
+func testRefLog(frames int) *core.Log {
+	l := &core.Log{}
+	for f := 0; f < frames; f++ {
+		out := tensor.New(tensor.F32, 4)
+		out.F[f%4] = 1
+		var r core.Record
+		r.Seq, r.Frame, r.Key = f, f, core.KeyModelOutput
+		r.EncodeTensor(out, true)
+		l.Records = append(l.Records, r)
+	}
+	return l
+}
+
+// TestRunServesIngest boots the daemon with a reference log on an ephemeral
+// port (the accept loop stubbed to return after the boot banner), then
+// drives the real handler over HTTP via the same construction path.
+func TestRunServesIngest(t *testing.T) {
+	dir := t.TempDir()
+	refPath := filepath.Join(dir, "ref.jsonl")
+	f, err := os.Create(refPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := testRefLog(4)
+	if err := ref.WriteJSONL(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	// Capture the handler run() builds, serve it for real on the test's own
+	// terms, and let run() return.
+	var handler http.Handler
+	oldServe := serve
+	serve = func(ln net.Listener, h http.Handler) error {
+		handler = h
+		return nil
+	}
+	defer func() { serve = oldServe }()
+
+	var buf bytes.Buffer
+	if err := run([]string{"-addr", "127.0.0.1:0", "-ref", refPath}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "listening on http://127.0.0.1:") {
+		t.Errorf("missing listen banner:\n%s", out)
+	}
+	if !strings.Contains(out, "4 records, 4 frames") {
+		t.Errorf("missing reference banner:\n%s", out)
+	}
+	if handler == nil {
+		t.Fatal("run never built a handler")
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go http.Serve(ln, handler)
+	base := "http://" + ln.Addr().String()
+
+	// Upload the reference back as a device: perfect agreement.
+	sink, err := ingest.NewRemoteSink(ingest.SinkOptions{
+		URL: base, Device: "dev-a", Format: core.FormatBinary, Gzip: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for f := 0; f < 4; f++ {
+		if err := sink.WriteFrame(f, ref.Records[f:f+1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(base + "/fleet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/fleet status %d", resp.StatusCode)
+	}
+	var fleet struct {
+		Devices []string
+		Report  *core.FleetReport
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&fleet); err != nil {
+		t.Fatal(err)
+	}
+	if len(fleet.Devices) != 1 || fleet.Devices[0] != "dev-a" {
+		t.Errorf("devices = %v", fleet.Devices)
+	}
+	if fleet.Report.FleetAgreement != 1 {
+		t.Errorf("agreement = %v, want 1", fleet.Report.FleetAgreement)
+	}
+}
+
+// TestRunCollectionMode boots without -ref and pins the banner.
+func TestRunCollectionMode(t *testing.T) {
+	oldServe := serve
+	serve = func(ln net.Listener, h http.Handler) error { return nil }
+	defer func() { serve = oldServe }()
+	var buf bytes.Buffer
+	if err := run([]string{"-addr", "127.0.0.1:0"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "collection mode") {
+		t.Errorf("missing collection-mode banner:\n%s", buf.String())
+	}
+}
+
+// TestRunRejectsBadRef pins the error path for a missing reference file.
+func TestRunRejectsBadRef(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-ref", filepath.Join(t.TempDir(), "nope.jsonl")}, &buf); err == nil {
+		t.Error("missing reference accepted")
+	}
+}

@@ -7,6 +7,7 @@ package mlexray_test
 
 import (
 	"bytes"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"testing"
@@ -466,4 +467,66 @@ func captureLogN(t *testing.T, bug pipeline.Bug, resolver *ops.Resolver, frames 
 		}
 	}
 	return mon.Log()
+}
+
+// TestFacadeStreamingIngest drives the ingestion API through the facade: a
+// replay streams into a live collector via a RemoteSink, and the per-device
+// report read off the server equals the offline Validate over the log the
+// replay kept locally.
+func TestFacadeStreamingIngest(t *testing.T) {
+	ref := captureLog(t, pipeline.BugNone, ops.NewReference(ops.Fixed()), false)
+	edge := captureLog(t, pipeline.BugNormalization, ops.NewOptimized(ops.Fixed()), false)
+
+	// Streaming validator alone: identical to offline Validate.
+	sv := mlexray.NewStreamValidator(ref, mlexray.DefaultValidateOptions())
+	for _, r := range edge.Records {
+		if err := sv.Consume(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	streamed, err := sv.Report()
+	if err != nil {
+		t.Fatal(err)
+	}
+	offline, err := mlexray.Validate(edge, ref, mlexray.DefaultValidateOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if streamed.OutputAgreement != offline.OutputAgreement || len(streamed.Findings) != len(offline.Findings) {
+		t.Errorf("streamed report %+v differs from offline %+v", streamed, offline)
+	}
+
+	// Full service loop: collector + RemoteSink upload + fleet report.
+	srv, err := mlexray.NewIngestServer(mlexray.IngestServerOptions{Ref: ref})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	sink, err := mlexray.NewRemoteSink(mlexray.RemoteSinkOptions{
+		URL: ts.URL, Device: "Pixel4", Format: mlexray.FormatBinary, Gzip: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for f := 0; f <= edge.Frames(); f++ {
+		if recs := edge.ByFrame(f); len(recs) > 0 {
+			if err := sink.WriteFrame(f, recs); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := srv.FleetReport()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Devices) != 1 || rep.Devices[0].Device != "Pixel4" {
+		t.Fatalf("fleet report devices = %+v", rep.Devices)
+	}
+	if got, want := rep.FleetAgreement, offline.OutputAgreement; got != want {
+		t.Errorf("server-side agreement %.4f, offline %.4f", got, want)
+	}
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"bufio"
 	"bytes"
+	"compress/gzip"
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
@@ -463,11 +464,24 @@ func readRecordBinary(body []byte) (Record, error) {
 
 // ---- unified open / read ----
 
+// gzipMagic opens every gzip stream (RFC 1952); OpenLog sniffs it so
+// compressed logs — .jsonl.gz / .mlxb.gz files, gzip upload bodies — read
+// transparently.
+var gzipMagic = []byte{0x1f, 0x8b}
+
 // OpenLog wraps r in the decoder matching its format, auto-detected from the
-// leading bytes: the MLXB magic selects the binary codec, anything else is
-// read as JSONL.
+// leading bytes: the MLXB magic selects the binary codec, the gzip magic
+// transparently decompresses and re-detects, anything else is read as JSONL.
+// The reported format is the format of the (decompressed) log itself.
 func OpenLog(r io.Reader) (LogDecoder, LogFormat, error) {
 	br := bufio.NewReaderSize(r, 1<<16)
+	if head, err := br.Peek(len(gzipMagic)); err == nil && bytes.Equal(head, gzipMagic) {
+		zr, err := gzip.NewReader(br)
+		if err != nil {
+			return nil, FormatJSONL, fmt.Errorf("core: open gzip log: %w", err)
+		}
+		return OpenLog(zr)
+	}
 	head, err := br.Peek(len(binaryMagic))
 	if err != nil && err != io.EOF {
 		return nil, FormatJSONL, fmt.Errorf("core: detect log format: %w", err)

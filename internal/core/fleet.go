@@ -3,7 +3,6 @@ package core
 import (
 	"fmt"
 	"io"
-	"sort"
 	"strings"
 )
 
@@ -62,27 +61,6 @@ type FleetReport struct {
 	DivergentFrames []int
 }
 
-// outputArgmaxByFrame indexes a log's per-frame model-output argmax (first
-// output record per frame, matching FirstTensor's semantics).
-func outputArgmaxByFrame(l *Log) (map[int]int, error) {
-	out := map[int]int{}
-	for i := range l.Records {
-		r := &l.Records[i]
-		if r.Kind != KindTensor || r.Key != KeyModelOutput {
-			continue
-		}
-		if _, ok := out[r.Frame]; ok {
-			continue
-		}
-		t, err := r.DecodeTensor()
-		if err != nil {
-			return nil, err
-		}
-		out[r.Frame] = t.ArgMax()
-	}
-	return out, nil
-}
-
 // FleetValidate cross-validates the per-device shard logs of a fleet replay
 // against the reference log. Beyond running the per-device half of the
 // Figure 2 flow (output agreement, per-layer drift, latency rollups) on
@@ -92,94 +70,33 @@ func outputArgmaxByFrame(l *Log) (map[int]int, error) {
 // bad delegate kernel, a device-specific preprocessing path) rather than a
 // model or data problem, which would degrade every device alike. Devices
 // whose shards diverge this way are flagged.
+//
+// FleetValidate is the offline entry point of the incremental fleet
+// validator: each shard log streams through a session of a
+// FleetStreamValidator (the same accumulators a live ingest collector runs
+// per device), so a fleet report assembled from live streams is identical by
+// construction to this offline one over the same records.
 func FleetValidate(shards []DeviceShardLog, ref *Log, opts ValidateOptions) (*FleetReport, error) {
 	if len(shards) == 0 {
 		return nil, fmt.Errorf("core: fleet validation needs at least one device shard")
 	}
-	refArg, err := outputArgmaxByFrame(ref)
+	fv, err := NewFleetStreamValidator(ref, opts)
 	if err != nil {
 		return nil, err
 	}
-	if len(refArg) == 0 {
-		return nil, fmt.Errorf("core: reference log carries no model outputs")
-	}
-
-	type devAcc struct {
-		agree, total int
-		mismatched   []int
-	}
-	accs := make([]devAcc, len(shards))
-	sumAgree, sumTotal := 0, 0
+	// Sessions in shard order, one per shard even under duplicate device
+	// names — the report keeps the caller's ordering, where the live
+	// collector (Report) orders its by-name sessions alphabetically.
+	sessions := make([]*StreamValidator, len(shards))
 	for d, shard := range shards {
-		devArg, err := outputArgmaxByFrame(shard.Log)
-		if err != nil {
-			return nil, fmt.Errorf("core: device %q shard: %w", shard.Device, err)
+		fv.mu.Lock()
+		sessions[d] = fv.newSessionLocked(shard.Device)
+		fv.mu.Unlock()
+		for i := range shard.Log.Records {
+			_ = sessions[d].Consume(shard.Log.Records[i])
 		}
-		for frame, got := range devArg {
-			want, ok := refArg[frame]
-			if !ok {
-				continue
-			}
-			accs[d].total++
-			if got == want {
-				accs[d].agree++
-			} else {
-				accs[d].mismatched = append(accs[d].mismatched, frame)
-			}
-		}
-		sort.Ints(accs[d].mismatched)
-		sumAgree += accs[d].agree
-		sumTotal += accs[d].total
 	}
-	if sumTotal == 0 {
-		return nil, fmt.Errorf("core: fleet shards share no output frames with the reference")
-	}
-
-	rep := &FleetReport{FleetAgreement: float64(sumAgree) / float64(sumTotal)}
-	for d, shard := range shards {
-		acc := accs[d]
-		dr := FleetDeviceReport{Device: shard.Device, Frames: acc.total}
-		if acc.total > 0 {
-			dr.OutputAgreement = float64(acc.agree) / float64(acc.total)
-		}
-		// Drift rollup: per-layer normalized rMSE against the reference,
-		// averaged over the shared layers. Shards without per-layer capture
-		// skip it (CompareLayers reports no shared records).
-		if diffs, err := CompareLayers(shard.Log, ref); err == nil && len(diffs) > 0 {
-			sum := 0.0
-			for _, diff := range diffs {
-				sum += diff.NRMSE
-			}
-			dr.MeanNRMSE = sum / float64(len(diffs))
-			dr.Layers = len(diffs)
-		}
-		// Latency rollup: modeled inference time, comparable across runs
-		// (wall-clock is not).
-		if vals := shard.Log.MetricValues(KeyInferenceModeled); len(vals) > 0 {
-			sum := 0.0
-			for _, v := range vals {
-				sum += v
-			}
-			dr.MeanModeledNs = sum / float64(len(vals))
-		}
-		// Cross-device divergence: does the rest of the fleet vouch for the
-		// model on the frames this device got wrong? With no other frames
-		// to consult (single-device fleets) the rest is vacuously healthy —
-		// the report degrades to per-device validation.
-		restAgree, restTotal := sumAgree-acc.agree, sumTotal-acc.total
-		restHealthy := restTotal == 0 || float64(restAgree)/float64(restTotal) >= opts.AgreementThreshold
-		if restHealthy && acc.total > 0 {
-			dr.Divergent = acc.mismatched
-			if dr.OutputAgreement < opts.AgreementThreshold {
-				dr.Flagged = true
-				rep.Flagged = append(rep.Flagged, shard.Device)
-			}
-		}
-		rep.DivergentFrames = append(rep.DivergentFrames, dr.Divergent...)
-		rep.Devices = append(rep.Devices, dr)
-	}
-	sort.Ints(rep.DivergentFrames)
-	return rep, nil
+	return fleetReportFrom(sessions, opts)
 }
 
 // Render writes a human-readable fleet report.

@@ -1,0 +1,720 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"mlexray/internal/tensor"
+)
+
+// This file is the incremental half of the deployment validator: the
+// StreamValidator consumes one telemetry stream record by record — frames
+// arriving from a live device upload, not a log file on disk — and rolls the
+// validation analyses up as it goes, so the final Report is available the
+// moment the stream ends without ever holding the stream in memory. The
+// offline entry points (Validate, FleetValidate) delegate to the same
+// accumulators, which is what pins the streaming and offline reports to each
+// other: they are one code path, not two implementations kept in sync by
+// hand.
+//
+// Memory contract: per-layer telemetry — the megabytes-per-frame part of a
+// full-capture log — is folded into fixed-size per-layer accumulators and
+// dropped. What grows with the stream is bounded evidence: one argmax per
+// frame (output agreement), scalar metrics (assertion evidence), and the
+// boundary tensors of the first few frames (what the built-in root-cause
+// assertions sample). A million-frame upload costs megabytes of state, not
+// the gigabytes the log itself serializes to.
+
+// refIndex precomputes the reference-side lookups every stream consumer
+// needs: per-(frame, key) layer tensor records, per-frame output argmax, and
+// the per-layer modeled-latency means. One refIndex is shared read-only by
+// all sessions validating against the same reference log.
+type refIndex struct {
+	ref    *Log
+	frames int
+	layer  map[refKey]*Record
+	outArg map[int]int
+	// outErr is the first output-record decode error, in log order —
+	// propagated by the fleet path (outputArgmaxByFrame semantics), skipped
+	// by the per-stream agreement (FirstTensor-per-frame semantics, where a
+	// frame that fails to decode is simply not compared).
+	outErr error
+	lat    map[string]float64
+}
+
+type refKey struct {
+	frame int
+	key   string
+}
+
+func newRefIndex(ref *Log) *refIndex {
+	ri := &refIndex{
+		ref:    ref,
+		frames: ref.Frames(),
+		layer:  make(map[refKey]*Record),
+		outArg: make(map[int]int),
+	}
+	seenOut := make(map[int]bool)
+	for i := range ref.Records {
+		r := &ref.Records[i]
+		if r.Kind != KindTensor {
+			continue
+		}
+		if strings.HasPrefix(r.Key, keyLayerPrefix) {
+			ri.layer[refKey{r.Frame, r.Key}] = r
+			continue
+		}
+		if r.Key == KeyModelOutput && !seenOut[r.Frame] {
+			seenOut[r.Frame] = true
+			t, err := r.DecodeTensor()
+			if err != nil {
+				if ri.outErr == nil {
+					ri.outErr = err
+				}
+				continue
+			}
+			ri.outArg[r.Frame] = t.ArgMax()
+		}
+	}
+	ri.lat = meanLayerLatencyModeled(ref)
+	return ri
+}
+
+// layerAcc accumulates one layer's drift across frames — the streaming form
+// of CompareLayers' per-key accumulator.
+type layerAcc struct {
+	diff LayerDiff
+	sumN float64
+	sumR float64
+	maxA float64
+	n    int
+}
+
+// layerDiffState is the incremental CompareLayers: each consumed edge layer
+// record is matched against the reference index and folded into its layer's
+// accumulator. A record that fails to decode or compare poisons the whole
+// analysis (sticky error), exactly as the offline CompareLayers aborts on
+// the first bad record.
+type layerDiffState struct {
+	accs  map[string]*layerAcc
+	order []string
+	err   error
+}
+
+func (s *layerDiffState) consume(er *Record, ri *refIndex) error {
+	if s.err != nil {
+		return nil
+	}
+	rr, ok := ri.layer[refKey{er.Frame, er.Key}]
+	if !ok {
+		return nil
+	}
+	et, err := er.DecodeTensor()
+	if err != nil {
+		s.err = err
+		return err
+	}
+	rt, err := rr.DecodeTensor()
+	if err != nil {
+		s.err = err
+		return err
+	}
+	et = dequantIfNeeded(et, er)
+	rt = dequantIfNeeded(rt, rr)
+	if et.Len() != rt.Len() {
+		return nil
+	}
+	nrmse, err := tensor.NormalizedRMSE(et, rt)
+	if err != nil {
+		s.err = err
+		return err
+	}
+	rmse, _ := tensor.RMSE(et, rt)
+	maxA, _ := tensor.MaxAbsDiff(et, rt)
+	a, ok := s.accs[er.Key]
+	if !ok {
+		if s.accs == nil {
+			s.accs = make(map[string]*layerAcc)
+		}
+		a = &layerAcc{diff: LayerDiff{Index: er.LayerIndex, Name: er.LayerName, OpType: er.OpType}}
+		s.accs[er.Key] = a
+		s.order = append(s.order, er.Key)
+	}
+	a.sumN += nrmse
+	a.sumR += rmse
+	if maxA > a.maxA {
+		a.maxA = maxA
+	}
+	a.n++
+	return nil
+}
+
+// finalize builds the per-layer diff table the accumulators hold so far. It
+// does not consume the state: a status endpoint can call it mid-stream and
+// the final report later.
+func (s *layerDiffState) finalize() ([]LayerDiff, error) {
+	if s.err != nil {
+		return nil, s.err
+	}
+	if len(s.accs) == 0 {
+		return nil, fmt.Errorf("core: logs share no per-layer tensor records (was per-layer capture enabled?)")
+	}
+	diffs := make([]LayerDiff, 0, len(s.accs))
+	for _, key := range s.order {
+		a := s.accs[key]
+		d := a.diff
+		d.NRMSE = a.sumN / float64(a.n)
+		d.RMSE = a.sumR / float64(a.n)
+		d.MaxAbs = a.maxA
+		d.Frames = a.n
+		diffs = append(diffs, d)
+	}
+	sort.Slice(diffs, func(i, j int) bool { return diffs[i].Index < diffs[j].Index })
+	return diffs, nil
+}
+
+// outputState tracks per-frame output argmax incrementally: the first output
+// tensor record of each frame decides the frame (later duplicates are
+// ignored, matching FirstTensor), and maxFrame tracks the stream's frame
+// count across all records.
+type outputState struct {
+	arg      map[int]int
+	seen     map[int]bool
+	maxFrame int
+	// argErr is the first output decode error, sticky — the fleet rollup
+	// propagates it (outputArgmaxByFrame), the agreement rollup skips the
+	// frame (FirstTensor error semantics).
+	argErr error
+}
+
+func (s *outputState) consume(r *Record) error {
+	if r.Frame > s.maxFrame {
+		s.maxFrame = r.Frame
+	}
+	if r.Kind != KindTensor || r.Key != KeyModelOutput {
+		return nil
+	}
+	if s.seen[r.Frame] {
+		return nil
+	}
+	if s.seen == nil {
+		s.seen = make(map[int]bool)
+		s.arg = make(map[int]int)
+	}
+	s.seen[r.Frame] = true
+	t, err := r.DecodeTensor()
+	if err != nil {
+		if s.argErr == nil {
+			s.argErr = err
+		}
+		return err
+	}
+	s.arg[r.Frame] = t.ArgMax()
+	return nil
+}
+
+// frames is the stream's frame count so far (max frame tag + 1, like
+// Log.Frames).
+func (s *outputState) frames() int { return s.maxFrame + 1 }
+
+// latAcc accumulates one layer's latency records.
+type latAcc struct {
+	sum float64
+	n   int
+}
+
+// stragglerState is the incremental Stragglers analysis: per-layer latency
+// sums in first-seen order.
+type stragglerState struct {
+	byLayer map[string]*latAcc
+	order   []string
+	// modeledSum/modeledN mirror meanLayerLatencyModeled for the
+	// vs-reference comparison (only "ns-modeled" records are comparable
+	// across runs).
+	modeledSum map[string]float64
+	modeledN   map[string]int
+}
+
+func (s *stragglerState) consume(r *Record) {
+	ll, ok := s.byLayer[r.LayerName]
+	if !ok {
+		if s.byLayer == nil {
+			s.byLayer = make(map[string]*latAcc)
+			s.modeledSum = make(map[string]float64)
+			s.modeledN = make(map[string]int)
+		}
+		ll = &latAcc{}
+		s.byLayer[r.LayerName] = ll
+		s.order = append(s.order, r.LayerName)
+	}
+	ll.sum += r.Value
+	ll.n++
+	if r.Unit == "ns-modeled" {
+		s.modeledSum[r.LayerName] += r.Value
+		s.modeledN[r.LayerName]++
+	}
+}
+
+// finalize returns the layers whose mean latency exceeds factor times the
+// median — the incremental Stragglers.
+func (s *stragglerState) finalize(factor float64) []string {
+	if len(s.byLayer) == 0 {
+		return nil
+	}
+	means := make([]float64, 0, len(s.byLayer))
+	for _, ll := range s.byLayer {
+		means = append(means, ll.sum/float64(ll.n))
+	}
+	sort.Float64s(means)
+	median := means[len(means)/2]
+	var out []string
+	for _, name := range s.order {
+		ll := s.byLayer[name]
+		if median > 0 && ll.sum/float64(ll.n) >= factor*median {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// vsReference returns the layers whose modeled-latency slowdown vs the
+// reference exceeds factor times the median slowdown — the incremental
+// StragglersVsReference.
+func (s *stragglerState) vsReference(ri *refIndex, factor float64) []string {
+	type ratioEntry struct {
+		name  string
+		ratio float64
+	}
+	var entries []ratioEntry
+	for name, sum := range s.modeledSum {
+		e := sum / float64(s.modeledN[name])
+		if r, ok := ri.lat[name]; ok && r > 0 {
+			entries = append(entries, ratioEntry{name, e / r})
+		}
+	}
+	if len(entries) == 0 {
+		return nil
+	}
+	ratios := make([]float64, len(entries))
+	for i, e := range entries {
+		ratios[i] = e.ratio
+	}
+	sort.Float64s(ratios)
+	median := ratios[len(ratios)/2]
+	if median <= 0 {
+		return nil
+	}
+	var out []string
+	for _, e := range entries {
+		if e.ratio >= factor*median {
+			out = append(out, e.name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DefaultRetainBoundaryFrames is how many leading frames keep their boundary
+// tensor records (preprocess/model inputs and outputs) for the assertion
+// pass. The built-in assertions sample at most the first three frames that
+// carry preprocessing records in both logs, so the default leaves headroom
+// without growing with the stream.
+const DefaultRetainBoundaryFrames = 8
+
+// StreamValidator is the incremental deployment validator: it consumes one
+// device's telemetry stream record by record (frames in increasing order, as
+// every log codec and sink emits them) and maintains the rollups the
+// validation Report is computed from — output agreement, per-layer drift,
+// straggler latency — in bounded memory. Report may be called at any point:
+// mid-stream for a live status, and after the last record for the final
+// report, which is pinned identical to running the offline Validate over the
+// same records (Validate itself delegates here).
+//
+// Per-layer tensor payloads are folded into accumulators and dropped;
+// boundary tensors are retained for the first DefaultRetainBoundaryFrames
+// frames and scalar metrics throughout, which is the evidence the built-in
+// root-cause assertions read. A custom Assertion that scans full tensors
+// beyond the retained window will see them missing in streaming mode — run
+// such assertions offline on the stored log instead.
+//
+// A StreamValidator is also a Sink (WriteFrame/Flush), so a replay can
+// stream straight into validation without a log file in between. All methods
+// are safe for concurrent use; records of one stream must still be consumed
+// in log order for the report to be meaningful.
+type StreamValidator struct {
+	mu   sync.Mutex
+	ri   *refIndex
+	opts ValidateOptions
+
+	device  string
+	out     outputState
+	layers  layerDiffState
+	strag   stragglerState
+	infSum  float64 // KeyInferenceModeled rollup (fleet latency column)
+	infN    int
+	retain  Log
+	records int
+	bytes   int
+	// deferLayers (offline Validate only) skips per-layer drift during
+	// consumption; reportLocked replays the layer records from the full log
+	// if — and only if — agreement drops below threshold. A live stream
+	// cannot defer (the records are gone once consumed), so streaming
+	// validators always fold drift as frames arrive.
+	deferLayers bool
+}
+
+// NewStreamValidator builds an incremental validator that checks a telemetry
+// stream against the reference log. The reference is indexed once up front;
+// use NewFleetStreamValidator to share one reference across many device
+// sessions.
+func NewStreamValidator(ref *Log, opts ValidateOptions) *StreamValidator {
+	return &StreamValidator{ri: newRefIndex(ref), opts: opts, out: outputState{maxFrame: -1}}
+}
+
+func newSessionValidator(ri *refIndex, opts ValidateOptions, device string) *StreamValidator {
+	return &StreamValidator{ri: ri, opts: opts, device: device, out: outputState{maxFrame: -1}}
+}
+
+// Device returns the device name the session was opened under (empty for a
+// standalone validator).
+func (v *StreamValidator) Device() string { return v.device }
+
+// Consume folds one record into the rollups. The returned error reports a
+// malformed record (an undecodable tensor payload); consumption may continue
+// but the analyses the record belonged to are marked poisoned, exactly as
+// the offline validator aborts them.
+func (v *StreamValidator) Consume(r Record) error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.consumeLocked(&r)
+}
+
+func (v *StreamValidator) consumeLocked(r *Record) error {
+	v.records++
+	err := v.out.consume(r)
+	if strings.HasPrefix(r.Key, keyLayerPrefix) {
+		// Per-layer telemetry: fold and drop — this is the part of the
+		// stream whose retention would grow without bound.
+		switch {
+		case r.Kind == KindTensor:
+			if v.deferLayers {
+				break
+			}
+			if lerr := v.layers.consume(r, v.ri); lerr != nil && err == nil {
+				err = lerr
+			}
+		case r.Kind == KindMetric && strings.HasSuffix(r.Key, "/latency_ns"):
+			v.strag.consume(r)
+		}
+		return err
+	}
+	if (r.Kind == KindMetric || r.Kind == KindSensor) && r.Key == KeyInferenceModeled {
+		v.infSum += r.Value
+		v.infN++
+	}
+	// Boundary records are the assertion evidence: scalars are retained
+	// throughout (they are what Metric/Sensor queries read), tensors only in
+	// the leading window the built-in assertions sample.
+	if r.Kind == KindMetric || r.Kind == KindSensor || r.Frame <= DefaultRetainBoundaryFrames {
+		v.retain.Records = append(v.retain.Records, *r)
+	}
+	return err
+}
+
+// ConsumeFrame folds one frame's records in order — the Sink-shaped entry
+// point the ingest service and replay engines use.
+func (v *StreamValidator) ConsumeFrame(frame int, recs []Record) error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	var first error
+	for i := range recs {
+		if err := v.consumeLocked(&recs[i]); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// WriteFrame implements Sink: a replay can stream directly into validation.
+func (v *StreamValidator) WriteFrame(frame int, recs []Record) error {
+	return v.ConsumeFrame(frame, recs)
+}
+
+// Flush implements Sink; the validator holds no buffered output.
+func (v *StreamValidator) Flush() error { return nil }
+
+// AddBytes accounts wire bytes received for this stream (the ingest service
+// feeds it; purely informational).
+func (v *StreamValidator) AddBytes(n int) {
+	v.mu.Lock()
+	v.bytes += n
+	v.mu.Unlock()
+}
+
+// Records returns the number of records consumed so far.
+func (v *StreamValidator) Records() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.records
+}
+
+// Bytes returns the wire bytes accounted via AddBytes.
+func (v *StreamValidator) Bytes() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.bytes
+}
+
+// Frames returns the stream's frame count so far (max frame tag + 1, like
+// Log.Frames).
+func (v *StreamValidator) Frames() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.out.frames()
+}
+
+// Report computes the validation report from the rollups consumed so far —
+// the streaming Validate. Safe to call repeatedly; the final call (after the
+// last record) returns exactly what Validate would on the full log.
+func (v *StreamValidator) Report() (*Report, error) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	edge := &Log{Records: v.retain.Records}
+	return v.reportLocked(edge)
+}
+
+// reportLocked assembles the Report; edge is the log handed to assertions
+// (the full log offline, the retained skeleton when streaming).
+func (v *StreamValidator) reportLocked(edge *Log) (*Report, error) {
+	frames := v.out.frames()
+	if v.ri.frames < frames {
+		frames = v.ri.frames
+	}
+	if frames == 0 {
+		return nil, fmt.Errorf("core: no frames to compare")
+	}
+	agree, total := 0, 0
+	for f := 0; f < frames; f++ {
+		ea, okE := v.out.arg[f]
+		ra, okR := v.ri.outArg[f]
+		if !okE || !okR {
+			continue
+		}
+		total++
+		if ea == ra {
+			agree++
+		}
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("core: logs carry no model outputs")
+	}
+	rep := &Report{OutputAgreement: float64(agree) / float64(total)}
+
+	if rep.OutputAgreement < v.opts.AgreementThreshold {
+		if v.deferLayers {
+			// Deferred offline drift: agreement dropped, so the expensive
+			// per-layer analysis is warranted — replay the layer records from
+			// the full log, in log order, exactly as streaming would have.
+			v.deferLayers = false
+			for i := range edge.Records {
+				r := &edge.Records[i]
+				if r.Kind == KindTensor && strings.HasPrefix(r.Key, keyLayerPrefix) {
+					_ = v.layers.consume(r, v.ri)
+				}
+			}
+		}
+		diffs, err := v.layers.finalize()
+		if err == nil {
+			rep.LayerDiffs = diffs
+			rep.Suspects = SuspectLayers(diffs, v.opts.NRMSEThreshold)
+			if spike, ok := FirstSpike(diffs, v.opts.NRMSEThreshold, 3); ok {
+				rep.Spike = &spike
+			}
+		}
+		// Missing per-layer records is not fatal: assertions may still
+		// explain the drop from boundary records alone.
+	}
+	rep.Stragglers = v.strag.finalize(v.opts.StragglerFactor)
+	for _, s := range v.strag.vsReference(v.ri, v.opts.StragglerFactor) {
+		dup := false
+		for _, have := range rep.Stragglers {
+			if have == s {
+				dup = true
+			}
+		}
+		if !dup {
+			rep.Stragglers = append(rep.Stragglers, s)
+		}
+	}
+
+	ctx := &AssertCtx{Edge: edge, Ref: v.ri.ref, Report: rep}
+	for _, a := range v.opts.Assertions {
+		if f := a.Check(ctx); f != nil {
+			rep.Findings = append(rep.Findings, *f)
+		}
+	}
+	return rep, nil
+}
+
+// fleetAcc is what the fleet rollup reads from one session.
+type fleetAcc struct {
+	agree, total int
+	mismatched   []int
+}
+
+// fleetAccLocked derives the device-vs-reference agreement tallies from the
+// session's output state.
+func (v *StreamValidator) fleetAccLocked() fleetAcc {
+	var acc fleetAcc
+	for frame, got := range v.out.arg {
+		want, ok := v.ri.outArg[frame]
+		if !ok {
+			continue
+		}
+		acc.total++
+		if got == want {
+			acc.agree++
+		} else {
+			acc.mismatched = append(acc.mismatched, frame)
+		}
+	}
+	sort.Ints(acc.mismatched)
+	return acc
+}
+
+// FleetStreamValidator validates many concurrent device streams against one
+// shared reference — the ingest service's server-side state. Each device
+// stream gets a Session (a StreamValidator sharing the reference index);
+// Report cross-validates the sessions exactly as the offline FleetValidate
+// does on complete shard logs (FleetValidate delegates here), flagging the
+// devices whose divergence isolates to them.
+type FleetStreamValidator struct {
+	mu       sync.Mutex
+	ri       *refIndex
+	opts     ValidateOptions
+	sessions []*StreamValidator
+	byName   map[string]*StreamValidator
+}
+
+// NewFleetStreamValidator indexes the reference log for fleet-wide streaming
+// validation. It fails when the reference carries no decodable model outputs
+// — nothing could ever be validated against it.
+func NewFleetStreamValidator(ref *Log, opts ValidateOptions) (*FleetStreamValidator, error) {
+	ri := newRefIndex(ref)
+	if ri.outErr != nil {
+		return nil, ri.outErr
+	}
+	if len(ri.outArg) == 0 {
+		return nil, fmt.Errorf("core: reference log carries no model outputs")
+	}
+	return &FleetStreamValidator{ri: ri, opts: opts, byName: make(map[string]*StreamValidator)}, nil
+}
+
+// Session returns the named device's stream session, creating it on first
+// use. Sessions are independent: concurrent streams from different devices
+// consume without contending on the fleet state.
+func (f *FleetStreamValidator) Session(device string) *StreamValidator {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s, ok := f.byName[device]; ok {
+		return s
+	}
+	s := f.newSessionLocked(device)
+	f.byName[device] = s
+	return s
+}
+
+// newSessionLocked always creates (FleetValidate keeps duplicate-named
+// shards distinct; the by-name lookup is the ingest service's semantics).
+func (f *FleetStreamValidator) newSessionLocked(device string) *StreamValidator {
+	s := newSessionValidator(f.ri, f.opts, device)
+	f.sessions = append(f.sessions, s)
+	return s
+}
+
+// Sessions returns the open sessions sorted by device name — the stable
+// order the fleet report uses regardless of upload interleaving.
+func (f *FleetStreamValidator) Sessions() []*StreamValidator {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := append([]*StreamValidator(nil), f.sessions...)
+	sort.Slice(out, func(i, j int) bool { return out[i].device < out[j].device })
+	return out
+}
+
+// Report cross-validates the sessions' streams, in device-name order — the
+// streaming FleetValidate. Safe to call repeatedly while uploads continue.
+func (f *FleetStreamValidator) Report() (*FleetReport, error) {
+	return fleetReportFrom(f.Sessions(), f.opts)
+}
+
+// fleetReportFrom assembles the fleet cross-validation over finished (or
+// in-flight) sessions, in the order given — the shared finalizer behind
+// FleetValidate and FleetStreamValidator.Report.
+func fleetReportFrom(sessions []*StreamValidator, opts ValidateOptions) (*FleetReport, error) {
+	if len(sessions) == 0 {
+		return nil, fmt.Errorf("core: fleet validation needs at least one device shard")
+	}
+	accs := make([]fleetAcc, len(sessions))
+	sumAgree, sumTotal := 0, 0
+	for d, s := range sessions {
+		s.mu.Lock()
+		if err := s.out.argErr; err != nil {
+			s.mu.Unlock()
+			return nil, fmt.Errorf("core: device %q shard: %w", s.device, err)
+		}
+		accs[d] = s.fleetAccLocked()
+		s.mu.Unlock()
+		sumAgree += accs[d].agree
+		sumTotal += accs[d].total
+	}
+	if sumTotal == 0 {
+		return nil, fmt.Errorf("core: fleet shards share no output frames with the reference")
+	}
+
+	rep := &FleetReport{FleetAgreement: float64(sumAgree) / float64(sumTotal)}
+	for d, s := range sessions {
+		acc := accs[d]
+		s.mu.Lock()
+		dr := FleetDeviceReport{Device: s.device, Frames: acc.total}
+		if acc.total > 0 {
+			dr.OutputAgreement = float64(acc.agree) / float64(acc.total)
+		}
+		// Drift rollup: per-layer normalized rMSE against the reference,
+		// averaged over the shared layers. Streams without per-layer capture
+		// (or with a poisoned layer analysis) skip it.
+		if diffs, err := s.layers.finalize(); err == nil && len(diffs) > 0 {
+			sum := 0.0
+			for _, diff := range diffs {
+				sum += diff.NRMSE
+			}
+			dr.MeanNRMSE = sum / float64(len(diffs))
+			dr.Layers = len(diffs)
+		}
+		// Latency rollup: modeled inference time, comparable across runs
+		// (wall-clock is not).
+		if s.infN > 0 {
+			dr.MeanModeledNs = s.infSum / float64(s.infN)
+		}
+		s.mu.Unlock()
+		// Cross-device divergence: does the rest of the fleet vouch for the
+		// model on the frames this device got wrong? With no other frames
+		// to consult (single-device fleets) the rest is vacuously healthy —
+		// the report degrades to per-device validation.
+		restAgree, restTotal := sumAgree-acc.agree, sumTotal-acc.total
+		restHealthy := restTotal == 0 || float64(restAgree)/float64(restTotal) >= opts.AgreementThreshold
+		if restHealthy && acc.total > 0 {
+			dr.Divergent = acc.mismatched
+			if dr.OutputAgreement < opts.AgreementThreshold {
+				dr.Flagged = true
+				rep.Flagged = append(rep.Flagged, s.device)
+			}
+		}
+		rep.DivergentFrames = append(rep.DivergentFrames, dr.Divergent...)
+		rep.Devices = append(rep.Devices, dr)
+	}
+	sort.Ints(rep.DivergentFrames)
+	return rep, nil
+}

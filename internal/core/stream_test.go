@@ -1,0 +1,306 @@
+package core
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"mlexray/internal/tensor"
+)
+
+// streamFrames feeds a log's records frame group by frame group (the shape
+// an ingest session sees: one frame per sink write).
+func streamFrames(t *testing.T, v *StreamValidator, l *Log) {
+	t.Helper()
+	start := 0
+	for start < len(l.Records) {
+		end := start
+		for end < len(l.Records) && l.Records[end].Frame == l.Records[start].Frame {
+			end++
+		}
+		if err := v.ConsumeFrame(l.Records[start].Frame, l.Records[start:end]); err != nil {
+			t.Fatalf("consume frame %d: %v", l.Records[start].Frame, err)
+		}
+		start = end
+	}
+}
+
+// driftedLogs builds an edge/reference pair with a drift spike from layer
+// "dw1" on and disagreeing outputs, so the full validation flow engages:
+// agreement below threshold, per-layer analysis, suspects and spike.
+func driftedLogs(frames int) (edge, ref *Log) {
+	layers := []string{"conv1", "dw1", "conv2"}
+	opTypes := []string{"Conv2D", "DepthwiseConv2D", "Conv2D"}
+	ref = buildLayerLog(frames, layers, opTypes, func(f, l, i int) float32 {
+		return float32(f + l + i)
+	})
+	edge = buildLayerLog(frames, layers, opTypes, func(f, l, i int) float32 {
+		v := float32(f + l + i)
+		if l >= 1 {
+			v += 50
+		}
+		return v
+	})
+	// Flip every edge output so agreement drops to 0.
+	for i := range edge.Records {
+		if edge.Records[i].Key == KeyModelOutput {
+			out := tensor.New(tensor.F32, 4)
+			out.F[(edge.Records[i].Frame+1)%4] = 1
+			edge.Records[i].EncodeTensor(out, true)
+		}
+	}
+	return edge, ref
+}
+
+// TestStreamValidatorMatchesOffline pins the tentpole contract: a report
+// assembled by streaming the log frame by frame is identical — field for
+// field and byte for byte once serialized — to the offline Validate over the
+// same records.
+func TestStreamValidatorMatchesOffline(t *testing.T) {
+	edge, ref := driftedLogs(5)
+	opts := DefaultValidateOptions()
+
+	want, err := Validate(edge, ref, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sv := NewStreamValidator(ref, opts)
+	streamFrames(t, sv, edge)
+	got, err := sv.Report()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("streaming report differs from offline:\nstream: %+v\noffline: %+v", got, want)
+	}
+	wantJSON, _ := json.Marshal(want)
+	gotJSON, _ := json.Marshal(got)
+	if !bytes.Equal(wantJSON, gotJSON) {
+		t.Errorf("serialized reports differ:\nstream: %s\noffline: %s", gotJSON, wantJSON)
+	}
+}
+
+// TestStreamValidatorRecordAtATime drives the finest-grained arrival order —
+// one record per consume, as the ingest decoder delivers them — and also
+// checks that mid-stream Report calls neither disturb nor consume state.
+func TestStreamValidatorRecordAtATime(t *testing.T) {
+	edge, ref := driftedLogs(4)
+	opts := DefaultValidateOptions()
+	want, err := Validate(edge, ref, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv := NewStreamValidator(ref, opts)
+	for i := range edge.Records {
+		if err := sv.Consume(edge.Records[i]); err != nil {
+			t.Fatal(err)
+		}
+		if i == len(edge.Records)/2 {
+			// A live status probe mid-upload must be non-destructive.
+			if _, err := sv.Report(); err != nil {
+				t.Fatalf("mid-stream report: %v", err)
+			}
+		}
+	}
+	got, err := sv.Report()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("record-at-a-time report differs from offline:\n%+v\nvs\n%+v", got, want)
+	}
+	if sv.Records() != len(edge.Records) {
+		t.Errorf("Records() = %d, want %d", sv.Records(), len(edge.Records))
+	}
+	if sv.Frames() != edge.Frames() {
+		t.Errorf("Frames() = %d, want %d", sv.Frames(), edge.Frames())
+	}
+}
+
+// TestStreamValidatorIsSink checks the Sink facet: a monitor spilling
+// straight into a StreamValidator validates without a log in between.
+func TestStreamValidatorIsSink(t *testing.T) {
+	edge, ref := driftedLogs(3)
+	opts := DefaultValidateOptions()
+	want, err := Validate(edge, ref, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv := NewStreamValidator(ref, opts)
+	var sink Sink = sv
+	streamFrames(t, sv, edge)
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := sv.Report()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Error("sink-fed report differs from offline")
+	}
+}
+
+// TestFleetStreamMatchesOfflineInterleaved pins fleet parity under the
+// arrival pattern a live collector sees: device streams interleaved frame by
+// frame (each device's own frames still in order), with one device carrying
+// a fault. The streamed fleet report must equal FleetValidate over the
+// complete shard logs.
+func TestFleetStreamMatchesOfflineInterleaved(t *testing.T) {
+	layers := []string{"conv1", "dw1"}
+	opTypes := []string{"Conv2D", "DepthwiseConv2D"}
+	const frames = 12
+	ref := buildLayerLog(frames, layers, opTypes, func(f, l, i int) float32 {
+		return float32(f + l + i)
+	})
+	// Three devices own disjoint global frame thirds: d0 healthy, d1 drifted
+	// + disagreeing, d2 healthy.
+	mkShard := func(dev int, bugged bool) *Log {
+		full := buildLayerLog(frames, layers, opTypes, func(f, l, i int) float32 {
+			v := float32(f + l + i)
+			if bugged {
+				v += 40
+			}
+			return v
+		})
+		shard := &Log{}
+		for _, r := range full.Records {
+			if r.Frame%3 != dev {
+				continue
+			}
+			if bugged && r.Key == KeyModelOutput {
+				out := tensor.New(tensor.F32, 4)
+				out.F[(r.Frame+1)%4] = 1
+				r.EncodeTensor(out, true)
+			}
+			shard.Records = append(shard.Records, r)
+		}
+		return shard
+	}
+	shards := []DeviceShardLog{
+		{Device: "d0-Pixel4", Log: mkShard(0, false)},
+		{Device: "d1-Pixel3", Log: mkShard(1, true)},
+		{Device: "d2-Emulator", Log: mkShard(2, false)},
+	}
+	opts := DefaultValidateOptions()
+	want, err := FleetValidate(shards, ref, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want.Flagged) != 1 || want.Flagged[0] != "d1-Pixel3" {
+		t.Fatalf("offline fleet report flags %v, want exactly d1-Pixel3", want.Flagged)
+	}
+
+	fv, err := NewFleetStreamValidator(ref, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Interleave: deal one record from each device in turn until all streams
+	// drain — the worst-case arrival order the collector must tolerate.
+	idx := make([]int, len(shards))
+	for {
+		progressed := false
+		for d, shard := range shards {
+			if idx[d] >= len(shard.Log.Records) {
+				continue
+			}
+			if err := fv.Session(shard.Device).Consume(shard.Log.Records[idx[d]]); err != nil {
+				t.Fatal(err)
+			}
+			idx[d]++
+			progressed = true
+		}
+		if !progressed {
+			break
+		}
+	}
+	got, err := fv.Report()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("streamed fleet report differs from offline:\nstream: %+v\noffline: %+v", got, want)
+	}
+	wantJSON, _ := json.Marshal(want)
+	gotJSON, _ := json.Marshal(got)
+	if !bytes.Equal(wantJSON, gotJSON) {
+		t.Errorf("serialized fleet reports differ:\n%s\nvs\n%s", gotJSON, wantJSON)
+	}
+}
+
+// TestStreamValidatorBoundedMemory pins the memory contract: per-layer
+// tensor payloads are folded and dropped, so the retained evidence does not
+// grow with the per-layer telemetry volume.
+func TestStreamValidatorBoundedMemory(t *testing.T) {
+	edge, ref := driftedLogs(64)
+	sv := NewStreamValidator(ref, DefaultValidateOptions())
+	streamFrames(t, sv, edge)
+	retained := 0
+	for _, r := range sv.retain.Records {
+		retained += len(r.Payload)
+	}
+	streamed := 0
+	for _, r := range edge.Records {
+		streamed += len(r.Payload)
+	}
+	// The stream is dominated by per-layer tensors; retention must hold only
+	// the leading boundary window (here: the small model outputs).
+	if retained*10 > streamed {
+		t.Errorf("retained %d payload bytes of %d streamed — per-layer telemetry leaked into retention", retained, streamed)
+	}
+	for _, r := range sv.retain.Records {
+		if r.Kind == KindTensor && r.Frame > DefaultRetainBoundaryFrames {
+			t.Errorf("tensor record %q frame %d retained beyond the boundary window", r.Key, r.Frame)
+		}
+	}
+}
+
+// TestOpenLogGzip pins transparent decompression: gzip-wrapped logs in both
+// encodings read back identically to their plain forms, and the reported
+// format is the inner log's.
+func TestOpenLogGzip(t *testing.T) {
+	edge, _ := driftedLogs(3)
+	for _, format := range []LogFormat{FormatJSONL, FormatBinary} {
+		var plain bytes.Buffer
+		if err := edge.Write(&plain, format); err != nil {
+			t.Fatal(err)
+		}
+		var zipped bytes.Buffer
+		zw := gzip.NewWriter(&zipped)
+		if _, err := zw.Write(plain.Bytes()); err != nil {
+			t.Fatal(err)
+		}
+		if err := zw.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if zipped.Len() >= plain.Len() {
+			t.Errorf("%v: gzip did not shrink the log (%d vs %d bytes)", format, zipped.Len(), plain.Len())
+		}
+		back, gotFormat, err := ReadLogWithFormat(&zipped)
+		if err != nil {
+			t.Fatalf("%v: read gzip log: %v", format, err)
+		}
+		if gotFormat != format {
+			t.Errorf("gzip %v detected as %v", format, gotFormat)
+		}
+		if !reflect.DeepEqual(back.Records, edge.Records) {
+			t.Errorf("%v: gzip round trip changed records", format)
+		}
+	}
+}
+
+// TestFleetStreamValidatorRefRequirements pins the constructor errors shared
+// with FleetValidate: a reference without model outputs cannot anchor fleet
+// validation.
+func TestFleetStreamValidatorRefRequirements(t *testing.T) {
+	empty := &Log{Records: []Record{{Key: "x", Kind: KindMetric, Value: 1}}}
+	if _, err := NewFleetStreamValidator(empty, DefaultValidateOptions()); err == nil {
+		t.Error("fleet stream validator accepted a reference without outputs")
+	}
+	if _, err := FleetValidate([]DeviceShardLog{{Device: "d", Log: empty}}, empty, DefaultValidateOptions()); err == nil {
+		t.Error("FleetValidate accepted a reference without outputs")
+	}
+}

@@ -361,48 +361,28 @@ func DefaultValidateOptions() ValidateOptions {
 // 1) match outputs between the edge and reference pipelines; 2) on
 // disagreement, scrutinise layer-level drift to localise the fault; 3) run
 // assertion functions for root-cause analysis.
+//
+// Validate is the offline entry point of the incremental validator: it
+// streams the edge log through a StreamValidator record by record (the same
+// accumulators a live ingest session runs) and finalizes with the full edge
+// log as assertion evidence. A report produced by streaming the same records
+// through StreamValidator.Consume is therefore identical by construction.
 func Validate(edge, ref *Log, opts ValidateOptions) (*Report, error) {
-	rep := &Report{}
-	agreement, err := OutputAgreement(edge, ref)
-	if err != nil {
-		return nil, err
+	sv := NewStreamValidator(ref, opts)
+	// Offline, the log is at hand: skip the expensive per-layer drift fold
+	// unless agreement turns out to need it (reportLocked replays the layer
+	// records then) — healthy runs never pay for CompareLayers, exactly as
+	// before the streaming decomposition.
+	sv.deferLayers = true
+	for i := range edge.Records {
+		// Malformed records poison exactly the analyses the offline flow
+		// drops (per-layer drift, the frame's agreement sample); the errors
+		// they carry are re-surfaced by reportLocked where fatal.
+		_ = sv.Consume(edge.Records[i])
 	}
-	rep.OutputAgreement = agreement
-
-	if agreement < opts.AgreementThreshold {
-		diffs, err := CompareLayers(edge, ref)
-		if err == nil {
-			rep.LayerDiffs = diffs
-			rep.Suspects = SuspectLayers(diffs, opts.NRMSEThreshold)
-			if spike, ok := FirstSpike(diffs, opts.NRMSEThreshold, 3); ok {
-				rep.Spike = &spike
-			}
-		}
-		// Missing per-layer records is not fatal: assertions may still
-		// explain the drop from boundary records alone.
-	}
-	rep.Stragglers = Stragglers(edge, opts.StragglerFactor)
-	// When the reference log carries per-layer latency too, the relative
-	// comparison finds op-specific slowdowns that absolute medians miss.
-	for _, s := range StragglersVsReference(edge, ref, opts.StragglerFactor) {
-		dup := false
-		for _, have := range rep.Stragglers {
-			if have == s {
-				dup = true
-			}
-		}
-		if !dup {
-			rep.Stragglers = append(rep.Stragglers, s)
-		}
-	}
-
-	ctx := &AssertCtx{Edge: edge, Ref: ref, Report: rep}
-	for _, a := range opts.Assertions {
-		if f := a.Check(ctx); f != nil {
-			rep.Findings = append(rep.Findings, *f)
-		}
-	}
-	return rep, nil
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	return sv.reportLocked(edge)
 }
 
 // Render writes a human-readable report.

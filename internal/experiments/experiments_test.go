@@ -247,7 +247,7 @@ func TestFigure3CoverageMatrix(t *testing.T) {
 // Pixel3 slot comes back flagged — the cross-device divergence contract.
 func TestFleetShape(t *testing.T) {
 	n := frames(48, 24)
-	rows, err := Fleet(n)
+	rows, err := Fleet(n, "classification")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -288,7 +288,7 @@ func TestFleetShape(t *testing.T) {
 	}
 
 	var buf bytes.Buffer
-	RenderFleet(&buf, rows)
+	RenderFleet(&buf, "classification", rows)
 	if !strings.Contains(buf.String(), "Pixel3") || !strings.Contains(buf.String(), "X") {
 		t.Errorf("rendered fleet table misses the flagged device:\n%s", buf.String())
 	}
@@ -515,5 +515,37 @@ func TestAblations(t *testing.T) {
 	RenderAblationLogFormat(&buf, lf)
 	if !strings.Contains(buf.String(), "binary") {
 		t.Error("render missing binary row")
+	}
+}
+
+// TestFleetDetectionShape pins the detection binding of the fleet demo: the
+// same three-device fleet shards the SSD replay, rollups populate, and only
+// the bugged Pixel3 is flagged — the task-agnostic scheduler contract.
+func TestFleetDetectionShape(t *testing.T) {
+	n := frames(24, 12)
+	rows, err := Fleet(n, "detection")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows, want 3", len(rows))
+	}
+	total := 0
+	for _, r := range rows {
+		total += r.Frames
+		if r.MeanModeledMs <= 0 {
+			t.Errorf("%s has no modeled-latency rollup", r.Device)
+		}
+		if (r.Device == "Pixel3") != r.Flagged {
+			t.Errorf("%s flagged=%v; only the bugged Pixel3 should be flagged", r.Device, r.Flagged)
+		}
+	}
+	if total != n {
+		t.Errorf("device shares cover %d of %d frames", total, n)
+	}
+	var buf bytes.Buffer
+	RenderFleet(&buf, "detection", rows)
+	if !strings.Contains(buf.String(), "detection") || !strings.Contains(buf.String(), "X") {
+		t.Errorf("rendered detection fleet table misses content:\n%s", buf.String())
 	}
 }

@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"fmt"
 	"io"
 
 	"mlexray/internal/core"
 	"mlexray/internal/datasets"
 	"mlexray/internal/device"
+	"mlexray/internal/imaging"
 	"mlexray/internal/ops"
 	"mlexray/internal/pipeline"
 	"mlexray/internal/replay"
@@ -29,50 +31,79 @@ type FleetRow struct {
 	Flagged       bool
 }
 
-// Fleet runs the heterogeneous-fleet validation demo: a three-profile fleet
-// (a batched two-worker Pixel 4, a Pixel 3, the x86 emulator) shards one
-// MobileNet-v2 replay round-robin, with a normalization bug injected into
-// the Pixel 3's pipeline only — the device-local fault class fleet
-// validation exists to isolate. Per-device shard logs cross-validate
-// against a sequential reference replay; the returned rows carry each
-// device's rollups, and exactly the bugged device comes back flagged.
-func Fleet(frames int) ([]FleetRow, error) {
+// fleetDevices is the demo fleet every task shares: a batched two-worker
+// Pixel 4, a Pixel 3 (the slot the bug is injected into) and the x86
+// emulator, dealt frames round-robin.
+func fleetDevices() []runner.DeviceSpec {
+	return []runner.DeviceSpec{
+		{Profile: device.Pixel4(), Workers: 2, BatchFrames: 4},
+		{Profile: device.Pixel3(), Workers: 1, BatchFrames: 2},
+		{Profile: device.EmulatorX86(), Workers: 1, BatchFrames: 2},
+	}
+}
+
+// Fleet runs the heterogeneous-fleet validation demo for the given task
+// ("classification" — MobileNet-v2 over SynthImageNet — or "detection" —
+// the SSD detector over SynthCOCO; empty means classification): a
+// three-profile fleet shards one replay round-robin, with a normalization
+// bug injected into the Pixel 3's pipeline only — the device-local fault
+// class fleet validation exists to isolate. Per-device shard logs
+// cross-validate against a sequential reference replay; the returned rows
+// carry each device's rollups, and exactly the bugged device comes back
+// flagged.
+func Fleet(frames int, task string) ([]FleetRow, error) {
 	if frames <= 0 {
 		frames = 24
 	}
 	const bugged = 1 // the Pixel 3 slot
-	entry, err := zoo.Get("mobilenetv2-mini")
-	if err != nil {
-		return nil, err
-	}
-	images := classificationImages(datasets.SynthImageNet(5555, frames))
 	monOpts := []core.MonitorOption{core.WithCaptureMode(core.CaptureFull), core.WithPerLayer(true)}
-
 	fleet := &runner.Fleet{
-		Devices: []runner.DeviceSpec{
-			{Profile: device.Pixel4(), Workers: 2, BatchFrames: 4},
-			{Profile: device.Pixel3(), Workers: 1, BatchFrames: 2},
-			{Profile: device.EmulatorX86(), Workers: 1, BatchFrames: 2},
-		},
+		Devices:        fleetDevices(),
 		Policy:         runner.RoundRobin{},
 		MonitorOptions: monOpts,
 	}
-	res, err := replay.FleetClassification(entry.Mobile,
-		pipeline.Options{Resolver: fixedOptimized()}, images, fleet,
-		func(dev int, spec runner.DeviceSpec, o *pipeline.Options) {
-			if dev == bugged {
-				o.Bug = pipeline.BugNormalization
-			}
-		})
-	if err != nil {
-		return nil, err
+	perDevice := func(dev int, spec runner.DeviceSpec, o *pipeline.Options) {
+		if dev == bugged {
+			o.Bug = pipeline.BugNormalization
+		}
 	}
+	edgeOpts := pipeline.Options{Resolver: fixedOptimized()}
+	refPopts := pipeline.Options{Resolver: ops.NewReference(ops.Fixed())}
+	refRopts := runner.Options{Workers: ReplayWorkers, BatchFrames: ReplayBatch, MonitorOptions: monOpts}
 
-	ref, err := replay.Classification(entry.Mobile,
-		pipeline.Options{Resolver: ops.NewReference(ops.Fixed())}, images,
-		runner.Options{Workers: ReplayWorkers, BatchFrames: ReplayBatch, MonitorOptions: monOpts}, nil)
-	if err != nil {
-		return nil, err
+	var res *runner.FleetResult
+	var ref *core.Log
+	switch task {
+	case "", "classification":
+		entry, err := zoo.Get("mobilenetv2-mini")
+		if err != nil {
+			return nil, err
+		}
+		images := classificationImages(datasets.SynthImageNet(5555, frames))
+		if res, err = replay.FleetClassification(entry.Mobile, edgeOpts, images, fleet, perDevice); err != nil {
+			return nil, err
+		}
+		if ref, err = replay.Classification(entry.Mobile, refPopts, images, refRopts, nil); err != nil {
+			return nil, err
+		}
+	case "detection":
+		entry, err := zoo.Get("ssd-mini")
+		if err != nil {
+			return nil, err
+		}
+		samples := datasets.SynthCOCO(6666, frames)
+		images := make([]*imaging.Image, len(samples))
+		for i := range samples {
+			images[i] = samples[i].Image
+		}
+		if res, err = replay.FleetDetection(entry.Mobile, edgeOpts, images, fleet, perDevice); err != nil {
+			return nil, err
+		}
+		if ref, err = replay.Detection(entry.Mobile, refPopts, images, refRopts, nil); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("experiments: unknown fleet task %q (want classification or detection)", task)
 	}
 
 	shards := make([]core.DeviceShardLog, len(fleet.Devices))
@@ -103,8 +134,11 @@ func Fleet(frames int) ([]FleetRow, error) {
 }
 
 // RenderFleet prints the fleet replay table.
-func RenderFleet(w io.Writer, rows []FleetRow) {
-	fprintf(w, "Fleet replay — heterogeneous device sharding with per-device validation\n")
+func RenderFleet(w io.Writer, task string, rows []FleetRow) {
+	if task == "" {
+		task = "classification"
+	}
+	fprintf(w, "Fleet replay (%s) — heterogeneous device sharding with per-device validation\n", task)
 	fprintf(w, "(normalization bug injected into the Pixel3 pipeline only)\n")
 	fprintf(w, "%-14s %7s %5s %6s %6s %9s %8s %10s %8s\n",
 		"device", "workers", "batch", "frames", "share", "agreement", "nRMSE", "modeled-ms", "flagged")

@@ -1,0 +1,289 @@
+package ingest
+
+import (
+	"bytes"
+	"compress/gzip"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+
+	"mlexray/internal/core"
+)
+
+// SinkOptions configures a RemoteSink.
+type SinkOptions struct {
+	// URL is the collector base URL (e.g. "http://collector:9090"); the sink
+	// posts to URL + "/ingest".
+	URL string
+	// Device is the stream's device ID — the server's session key.
+	Device string
+	// Format selects the chunk log encoding (FormatJSONL or FormatBinary).
+	Format core.LogFormat
+	// Gzip compresses each chunk (the server auto-detects either way).
+	Gzip bool
+	// ChunkBytes is the encoded-bytes threshold that ships a chunk; <= 0
+	// means 1 MiB. Frames are never split: a chunk ships at the first frame
+	// boundary past the threshold.
+	ChunkBytes int
+	// MaxRetries is how many times a failed POST is retried (network errors
+	// and 5xx responses; 4xx fail immediately — resending a rejected chunk
+	// cannot succeed). <= 0 means 4.
+	MaxRetries int
+	// RetryBackoff is the first retry's delay, doubling per attempt; <= 0
+	// means 250ms.
+	RetryBackoff time.Duration
+	// Client overrides the HTTP client (tests, custom timeouts).
+	Client *http.Client
+}
+
+func (o *SinkOptions) chunkBytes() int {
+	if o.ChunkBytes <= 0 {
+		return 1 << 20
+	}
+	return o.ChunkBytes
+}
+
+func (o *SinkOptions) maxRetries() int {
+	if o.MaxRetries <= 0 {
+		return 4
+	}
+	return o.MaxRetries
+}
+
+func (o *SinkOptions) backoff() time.Duration {
+	if o.RetryBackoff <= 0 {
+		return 250 * time.Millisecond
+	}
+	return o.RetryBackoff
+}
+
+func (o *SinkOptions) client() *http.Client {
+	if o.Client != nil {
+		return o.Client
+	}
+	return http.DefaultClient
+}
+
+// RemoteSink streams telemetry frames to an ingest collector: a core.Sink
+// whose "file" is a device session on the server. Frames buffer into chunks
+// — each a standalone log stream in the configured encoding, optionally
+// gzip-compressed — shipped when the chunk threshold is reached and on
+// Flush. Failed uploads retry with exponential backoff; after the retry
+// budget the error is sticky and surfaces on the next write and on Flush,
+// like a failed disk write would.
+//
+// A RemoteSink is single-stream state (one device's frames in order), so
+// like the file sinks it is not safe for concurrent use; the replay engines
+// write each device's sink from one goroutine.
+type RemoteSink struct {
+	opts     SinkOptions
+	endpoint string
+	// stream is this sink's random upload-generation token: the server
+	// scopes chunk-sequence deduplication to it, so a new sink for the same
+	// device appends instead of colliding with a previous run's chunk
+	// numbers.
+	stream string
+
+	chunk   bytes.Buffer
+	zw      *gzip.Writer
+	encoded countingWriter // pre-compression bytes of the open chunk
+	enc     core.LogEncoder
+	pending int // frames in the open chunk
+
+	records   int
+	frames    int
+	wireBytes int
+	chunks    int
+	retries   int
+	err       error
+}
+
+// NewRemoteSink builds a sink streaming to the collector at opts.URL.
+func NewRemoteSink(opts SinkOptions) (*RemoteSink, error) {
+	if opts.URL == "" {
+		return nil, fmt.Errorf("ingest: remote sink needs a collector URL")
+	}
+	if opts.Device == "" {
+		return nil, fmt.Errorf("ingest: remote sink needs a device ID")
+	}
+	base, err := url.Parse(opts.URL)
+	if err != nil {
+		return nil, fmt.Errorf("ingest: collector URL: %w", err)
+	}
+	endpoint := base.JoinPath("ingest")
+	q := endpoint.Query()
+	q.Set("device", opts.Device)
+	endpoint.RawQuery = q.Encode()
+	var tok [8]byte
+	if _, err := rand.Read(tok[:]); err != nil {
+		return nil, fmt.Errorf("ingest: stream token: %w", err)
+	}
+	s := &RemoteSink{opts: opts, endpoint: endpoint.String(), stream: hex.EncodeToString(tok[:])}
+	if err := s.openChunk(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// openChunk starts a fresh standalone log stream in the buffer.
+func (s *RemoteSink) openChunk() error {
+	s.chunk.Reset()
+	s.pending = 0
+	s.encoded.n = 0
+	var w io.Writer = &s.chunk
+	if s.opts.Gzip {
+		if s.zw == nil {
+			s.zw = gzip.NewWriter(&s.chunk)
+		} else {
+			s.zw.Reset(&s.chunk)
+		}
+		w = s.zw
+	}
+	// The chunk threshold reads pre-compression bytes: gzip buffers
+	// internally, so the compressed buffer length lags far behind what has
+	// been encoded.
+	s.encoded.w = w
+	enc, err := core.NewLogEncoder(&s.encoded, s.opts.Format)
+	if err != nil {
+		return fmt.Errorf("ingest: %w", err)
+	}
+	s.enc = enc
+	return nil
+}
+
+// countingWriter counts the bytes passing through to w.
+type countingWriter struct {
+	w io.Writer
+	n int
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += n
+	return n, err
+}
+
+// WriteFrame implements core.Sink: the frame's records append to the open
+// chunk, which ships once it crosses the chunk threshold.
+func (s *RemoteSink) WriteFrame(frame int, recs []core.Record) error {
+	if s.err != nil {
+		return s.err
+	}
+	for i := range recs {
+		if err := s.enc.EncodeRecord(&recs[i]); err != nil {
+			s.err = fmt.Errorf("ingest: encode frame %d record %d: %w", frame, i, err)
+			return s.err
+		}
+	}
+	s.records += len(recs)
+	s.frames++
+	s.pending++
+	if err := s.enc.Flush(); err != nil {
+		s.err = fmt.Errorf("ingest: %w", err)
+		return s.err
+	}
+	if s.encoded.n >= s.opts.chunkBytes() {
+		return s.ship()
+	}
+	return nil
+}
+
+// Flush implements core.Sink: the final partial chunk ships and the first
+// upload error (if any) is reported.
+func (s *RemoteSink) Flush() error {
+	if s.err != nil {
+		return s.err
+	}
+	if s.pending > 0 {
+		return s.ship()
+	}
+	return nil
+}
+
+// ship closes the open chunk into one POST /ingest (with retry/backoff) and
+// opens the next.
+func (s *RemoteSink) ship() error {
+	if err := s.enc.Flush(); err != nil {
+		s.err = fmt.Errorf("ingest: %w", err)
+		return s.err
+	}
+	if s.opts.Gzip {
+		if err := s.zw.Close(); err != nil {
+			s.err = fmt.Errorf("ingest: %w", err)
+			return s.err
+		}
+	}
+	body := s.chunk.Bytes()
+	if err := s.post(body, s.chunks); err != nil {
+		s.err = err
+		return s.err
+	}
+	s.wireBytes += len(body)
+	s.chunks++
+	return s.openChunk()
+}
+
+// post uploads one chunk, retrying transient failures (network errors, 5xx)
+// with exponential backoff. The chunk sequence number rides along so a retry
+// of a chunk the server already applied (response lost in flight) is
+// acknowledged instead of double-ingested.
+func (s *RemoteSink) post(body []byte, chunkIdx int) error {
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		req, err := http.NewRequest(http.MethodPost, s.endpoint, bytes.NewReader(body))
+		if err != nil {
+			return fmt.Errorf("ingest: %w", err)
+		}
+		req.Header.Set("Content-Type", "application/octet-stream")
+		req.Header.Set("X-MLEXray-Device", s.opts.Device)
+		req.Header.Set("X-MLEXray-Chunk", strconv.Itoa(chunkIdx))
+		req.Header.Set("X-MLEXray-Stream", s.stream)
+		if s.opts.Gzip {
+			req.Header.Set("Content-Encoding", "gzip")
+		}
+		resp, err := s.opts.client().Do(req)
+		if err == nil {
+			status := resp.StatusCode
+			msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+			resp.Body.Close()
+			if status < 300 {
+				return nil
+			}
+			lastErr = fmt.Errorf("ingest: collector returned %d: %s", status, bytes.TrimSpace(msg))
+			if status < 500 {
+				// The collector rejected the chunk; resending it cannot help.
+				return lastErr
+			}
+		} else {
+			lastErr = fmt.Errorf("ingest: upload: %w", err)
+		}
+		if attempt >= s.opts.maxRetries() {
+			return fmt.Errorf("%w (after %d retries)", lastErr, attempt)
+		}
+		s.retries++
+		time.Sleep(s.opts.backoff() << attempt)
+	}
+}
+
+// Records returns the records encoded so far.
+func (s *RemoteSink) Records() int { return s.records }
+
+// Frames returns the frames written so far.
+func (s *RemoteSink) Frames() int { return s.frames }
+
+// Bytes returns the wire bytes successfully uploaded (post-compression).
+func (s *RemoteSink) Bytes() int { return s.wireBytes }
+
+// Chunks returns the uploads completed so far.
+func (s *RemoteSink) Chunks() int { return s.chunks }
+
+// Retries returns how many upload attempts were retried.
+func (s *RemoteSink) Retries() int { return s.retries }
+
+// Format returns the chunk log encoding.
+func (s *RemoteSink) Format() core.LogFormat { return s.opts.Format }

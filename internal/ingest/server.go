@@ -1,0 +1,439 @@
+// Package ingest is the telemetry ingestion service: the cloud half of the
+// ML-EXray architecture, where edge devices upload their per-layer logs for
+// fleet-scale deployment validation. It has two sides:
+//
+//   - Server accepts concurrent log streams over HTTP (POST /ingest),
+//     sessionizes them by device ID and validates each stream incrementally
+//     through core.StreamValidator as frames arrive — the final per-device
+//     and fleet reports are identical to running core.Validate /
+//     core.FleetValidate offline on the same records, at bounded memory per
+//     session (per-layer tensors fold into rollups and are dropped).
+//
+//   - RemoteSink is the device side: a core.Sink that streams a replay's
+//     telemetry to the collector in chunked, optionally gzip-compressed
+//     uploads with retry/backoff, so runner.Replay / runner.Fleet per-device
+//     sinks feed the service directly instead of a local file.
+//
+// Streams may use either log encoding (JSONL or MLXB binary) and may be
+// gzip-compressed; the server auto-detects per chunk via core.OpenLog. A
+// device's chunks must arrive in stream order (RemoteSink posts them
+// sequentially); different devices upload concurrently without coordination.
+package ingest
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"mlexray/internal/core"
+)
+
+// ServerOptions configures a collector.
+type ServerOptions struct {
+	// Ref is the reference log uploads validate against. Without it the
+	// server still sessionizes and counts uploads (collection mode), but the
+	// report endpoints return 409 Conflict.
+	Ref *core.Log
+	// Validate tunes the incremental validator (zero value: defaults).
+	Validate core.ValidateOptions
+	// MaxBodyBytes caps one upload chunk — both its wire size and its
+	// decoded record footprint, so a small gzip body cannot balloon into
+	// unbounded memory; <= 0 means 1 GiB.
+	MaxBodyBytes int64
+	// Clock overrides time.Now for the session timestamps (tests).
+	Clock func() time.Time
+}
+
+// Server is the ingestion collector: an http.Handler exposing
+//
+//	POST /ingest?device=ID   upload one log chunk (JSONL/MLXB, plain or gzip)
+//	GET  /devices            all device session statuses
+//	GET  /devices/{device}   one session's status + incremental report
+//	GET  /fleet              fleet-wide cross-validation report
+//	GET  /healthz            liveness + session count
+//
+// The device ID comes from the X-MLEXray-Device header or the device query
+// parameter. Handlers are safe for concurrent use; chunks of one device are
+// serialized per session, different devices ingest in parallel.
+type Server struct {
+	opts  ServerOptions
+	fleet *core.FleetStreamValidator
+
+	mu       sync.Mutex
+	sessions map[string]*session
+
+	mux *http.ServeMux
+}
+
+// session is one device's upload state. Its mutex serializes chunk ingestion
+// (a device's frames must fold in stream order); status reads take it only
+// briefly.
+type session struct {
+	mu      sync.Mutex
+	device  string
+	sv      *core.StreamValidator // nil in collection mode
+	records int
+	frames  int
+	bytes   int64
+	chunks  int
+	// stream identifies the current upload generation (X-MLEXray-Stream, a
+	// random token per RemoteSink): chunk numbering restarts with each new
+	// stream, so a re-run client appends instead of being mistaken for a
+	// replay of the previous run's chunks.
+	stream string
+	// nextChunk is the next expected X-MLEXray-Chunk sequence number within
+	// the current stream — what makes RemoteSink retries idempotent.
+	nextChunk int
+	lastSeen  time.Time
+	lastErr   string
+}
+
+// NewServer builds a collector. Unset Validate fields default individually
+// to core.DefaultValidateOptions — a partially-specified ValidateOptions
+// keeps its set fields (pass an empty non-nil Assertions slice to disable
+// assertions rather than inherit the built-ins).
+func NewServer(opts ServerOptions) (*Server, error) {
+	def := core.DefaultValidateOptions()
+	if opts.Validate.AgreementThreshold == 0 {
+		opts.Validate.AgreementThreshold = def.AgreementThreshold
+	}
+	if opts.Validate.NRMSEThreshold == 0 {
+		opts.Validate.NRMSEThreshold = def.NRMSEThreshold
+	}
+	if opts.Validate.StragglerFactor == 0 {
+		opts.Validate.StragglerFactor = def.StragglerFactor
+	}
+	if opts.Validate.Assertions == nil {
+		opts.Validate.Assertions = def.Assertions
+	}
+	if opts.MaxBodyBytes <= 0 {
+		opts.MaxBodyBytes = 1 << 30
+	}
+	if opts.Clock == nil {
+		opts.Clock = time.Now
+	}
+	s := &Server{opts: opts, sessions: make(map[string]*session)}
+	if opts.Ref != nil {
+		fv, err := core.NewFleetStreamValidator(opts.Ref, opts.Validate)
+		if err != nil {
+			return nil, fmt.Errorf("ingest: reference log: %w", err)
+		}
+		s.fleet = fv
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /ingest", s.handleIngest)
+	mux.HandleFunc("GET /devices", s.handleDevices)
+	mux.HandleFunc("GET /devices/{device}", s.handleDevice)
+	mux.HandleFunc("GET /fleet", s.handleFleet)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux = mux
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Session returns the named device's session validator (nil until that
+// device uploads, or in collection mode) — the programmatic accessor behind
+// /devices/{device}.
+func (s *Server) Session(device string) *core.StreamValidator {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if sess, ok := s.sessions[device]; ok {
+		return sess.sv
+	}
+	return nil
+}
+
+// FleetReport cross-validates all device sessions — the programmatic
+// accessor behind /fleet.
+func (s *Server) FleetReport() (*core.FleetReport, error) {
+	if s.fleet == nil {
+		return nil, fmt.Errorf("ingest: no reference log loaded (collection mode)")
+	}
+	return s.fleet.Report()
+}
+
+// Devices returns the known device IDs, sorted.
+func (s *Server) Devices() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.sessions))
+	for name := range s.sessions {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (s *Server) getSession(device string) *session {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if sess, ok := s.sessions[device]; ok {
+		return sess
+	}
+	sess := &session{device: device}
+	if s.fleet != nil {
+		sess.sv = s.fleet.Session(device)
+	}
+	s.sessions[device] = sess
+	return sess
+}
+
+// IngestResponse is the POST /ingest reply: the chunk's contribution and the
+// session totals after it.
+type IngestResponse struct {
+	Device       string `json:"device"`
+	ChunkRecords int    `json:"chunk_records"`
+	Records      int    `json:"records"`
+	Frames       int    `json:"frames"`
+	Chunks       int    `json:"chunks"`
+	// Duplicate marks a replayed chunk (a retry whose first delivery was
+	// already applied): acknowledged without re-ingesting.
+	Duplicate bool `json:"duplicate,omitempty"`
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	device := r.Header.Get("X-MLEXray-Device")
+	if device == "" {
+		device = r.URL.Query().Get("device")
+	}
+	if device == "" {
+		httpError(w, http.StatusBadRequest, "missing device ID (X-MLEXray-Device header or ?device=)")
+		return
+	}
+	// The chunk sequence number (RemoteSink sets it) makes retries
+	// idempotent: a chunk that was applied but whose response got lost is
+	// acknowledged, not re-ingested. The stream token scopes the numbering
+	// to one upload generation, so a freshly started client (chunk 0 again)
+	// appends rather than being dropped as a replay. Uploads without the
+	// headers (curl) apply unconditionally.
+	chunkIdx := -1
+	if h := r.Header.Get("X-MLEXray-Chunk"); h != "" {
+		idx, err := strconv.Atoi(h)
+		if err != nil || idx < 0 {
+			httpError(w, http.StatusBadRequest, "bad X-MLEXray-Chunk %q", h)
+			return
+		}
+		chunkIdx = idx
+	}
+	stream := r.Header.Get("X-MLEXray-Stream")
+
+	// Decode the whole chunk before touching the session: a failed chunk is
+	// atomic (no partial ingest — safe to retry after a 400/disconnect), and
+	// the session lock is never held across a network read, so status reads
+	// stay live under slow uploads. core.OpenLog sniffs gzip and either log
+	// encoding from the leading bytes; the counter reads the wire size.
+	// MaxBodyBytes caps the decoded footprint too, so a small gzip body
+	// cannot balloon into unbounded decoded records (decompression bomb).
+	cr := &countingReader{r: http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)}
+	dec, _, err := core.OpenLog(cr)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "open log stream: %v", err)
+		return
+	}
+	var recs []core.Record
+	maxFrame := -1
+	var decoded int64
+	for {
+		rec, err := dec.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "decode record %d: %v", len(recs), err)
+			return
+		}
+		decoded += int64(len(rec.Payload)+len(rec.Key)) + 64
+		if decoded > s.opts.MaxBodyBytes {
+			httpError(w, http.StatusRequestEntityTooLarge,
+				"chunk decodes past the %d-byte limit (record %d)", s.opts.MaxBodyBytes, len(recs))
+			return
+		}
+		if rec.Frame > maxFrame {
+			maxFrame = rec.Frame
+		}
+		recs = append(recs, rec)
+	}
+
+	sess := s.getSession(device)
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	if stream != sess.stream {
+		// A new upload generation for this device: chunk numbering restarts,
+		// data appends to the session.
+		sess.stream = stream
+		sess.nextChunk = 0
+	}
+	if chunkIdx >= 0 {
+		if chunkIdx < sess.nextChunk {
+			// Already applied; the first delivery's response was lost.
+			writeJSON(w, http.StatusOK, IngestResponse{
+				Device: device, Records: sess.records, Frames: sess.frames,
+				Chunks: sess.chunks, Duplicate: true,
+			})
+			return
+		}
+		if chunkIdx > sess.nextChunk {
+			httpError(w, http.StatusConflict, "chunk %d arrived but chunk %d is next (lost chunk?)", chunkIdx, sess.nextChunk)
+			return
+		}
+		sess.nextChunk++
+	}
+	if sess.sv != nil {
+		for i := range recs {
+			if err := sess.sv.Consume(recs[i]); err != nil && sess.lastErr == "" {
+				// A malformed payload poisons exactly the analyses the
+				// offline validator would drop; the stream keeps flowing and
+				// the status surfaces the defect.
+				sess.lastErr = err.Error()
+			}
+		}
+	}
+	sess.noteLocked(cr.n, len(recs), maxFrame, s.opts.Clock())
+	writeJSON(w, http.StatusOK, IngestResponse{
+		Device:       device,
+		ChunkRecords: len(recs),
+		Records:      sess.records,
+		Frames:       sess.frames,
+		Chunks:       sess.chunks,
+	})
+}
+
+// noteLocked folds one applied chunk into the session counters.
+func (sess *session) noteLocked(bytes int64, records, maxFrame int, now time.Time) {
+	sess.bytes += bytes
+	sess.records += records
+	sess.chunks++
+	if maxFrame+1 > sess.frames {
+		sess.frames = maxFrame + 1
+	}
+	sess.lastSeen = now
+	if sess.sv != nil {
+		sess.sv.AddBytes(int(bytes))
+	}
+}
+
+// DeviceStatus is one session's JSON status.
+type DeviceStatus struct {
+	Device   string    `json:"device"`
+	Records  int       `json:"records"`
+	Frames   int       `json:"frames"`
+	Bytes    int64     `json:"bytes"`
+	Chunks   int       `json:"chunks"`
+	LastSeen time.Time `json:"last_seen"`
+	Error    string    `json:"error,omitempty"`
+	// Report is the device's incremental validation report (GET
+	// /devices/{device} only; nil in collection mode).
+	Report *core.Report `json:"report,omitempty"`
+	// ReportError explains a missing Report (e.g. the stream carries no
+	// model outputs yet).
+	ReportError string `json:"report_error,omitempty"`
+}
+
+func (sess *session) status() DeviceStatus {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	return DeviceStatus{
+		Device:   sess.device,
+		Records:  sess.records,
+		Frames:   sess.frames,
+		Bytes:    sess.bytes,
+		Chunks:   sess.chunks,
+		LastSeen: sess.lastSeen,
+		Error:    sess.lastErr,
+	}
+}
+
+func (s *Server) handleDevices(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	sessions := make([]*session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		sessions = append(sessions, sess)
+	}
+	s.mu.Unlock()
+	out := make([]DeviceStatus, 0, len(sessions))
+	for _, sess := range sessions {
+		out = append(out, sess.status())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Device < out[j].Device })
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleDevice(w http.ResponseWriter, r *http.Request) {
+	device := r.PathValue("device")
+	s.mu.Lock()
+	sess, ok := s.sessions[device]
+	s.mu.Unlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown device %q", device)
+		return
+	}
+	st := sess.status()
+	if sess.sv != nil {
+		// The incremental report: valid mid-upload (a live status) and final
+		// after the last chunk, when it equals the offline Validate.
+		if rep, err := sess.sv.Report(); err != nil {
+			st.ReportError = err.Error()
+		} else {
+			st.Report = rep
+		}
+	} else {
+		st.ReportError = "no reference log loaded (collection mode)"
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// FleetResponse is the GET /fleet reply.
+type FleetResponse struct {
+	Devices []string          `json:"devices"`
+	Report  *core.FleetReport `json:"report"`
+}
+
+func (s *Server) handleFleet(w http.ResponseWriter, r *http.Request) {
+	rep, err := s.FleetReport()
+	if err != nil {
+		httpError(w, http.StatusConflict, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, FleetResponse{Devices: s.Devices(), Report: rep})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	n := len(s.sessions)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ok":        true,
+		"devices":   n,
+		"reference": s.fleet != nil,
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}

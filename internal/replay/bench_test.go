@@ -3,10 +3,12 @@ package replay
 import (
 	"fmt"
 	"io"
+	"net/http/httptest"
 	"testing"
 
 	"mlexray/internal/core"
 	"mlexray/internal/device"
+	"mlexray/internal/ingest"
 	"mlexray/internal/interp"
 	"mlexray/internal/ops"
 	"mlexray/internal/pipeline"
@@ -183,6 +185,83 @@ func BenchmarkReplayFullCapture(b *testing.B) {
 		})
 	}
 	b.Run("jsonl-serial-collector", benchReplayFullCaptureSerialJSONL)
+}
+
+// ingestFrames sizes the upload benchmark (full-capture streams are
+// megabytes per frame; transport and incremental validation dominate).
+const ingestFrames = 32
+
+// benchIngestUpload measures the device→collector hot path: one
+// pre-captured full-capture stream per iteration encodes (binary),
+// optionally gzips, POSTs to a live in-process collector, and validates
+// incrementally against the same log as reference. Reports ns/frame,
+// frames/sec and wire bytes/frame.
+func benchIngestUpload(b *testing.B, gz bool) {
+	b.Helper()
+	entry, err := zoo.Get("mobilenetv2-mini")
+	if err != nil {
+		b.Fatal(err)
+	}
+	images := testImages(b, ingestFrames)
+	log, err := Classification(entry.Mobile,
+		pipeline.Options{Resolver: ops.NewOptimized(ops.Fixed())}, images,
+		runner.Options{
+			BatchFrames:    8,
+			MonitorOptions: []core.MonitorOption{core.WithCaptureMode(core.CaptureFull), core.WithPerLayer(true)},
+		}, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var groups [][]core.Record
+	start := 0
+	for start < len(log.Records) {
+		end := start
+		for end < len(log.Records) && log.Records[end].Frame == log.Records[start].Frame {
+			end++
+		}
+		groups = append(groups, log.Records[start:end])
+		start = end
+	}
+	srv, err := ingest.NewServer(ingest.ServerOptions{Ref: log})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	var wirePerFrame float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink, err := ingest.NewRemoteSink(ingest.SinkOptions{
+			URL: ts.URL, Device: fmt.Sprintf("bench-%d", i),
+			Format: core.FormatBinary, Gzip: gz,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for g, recs := range groups {
+			if err := sink.WriteFrame(g, recs); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := sink.Flush(); err != nil {
+			b.Fatal(err)
+		}
+		wirePerFrame = float64(sink.Bytes()) / float64(ingestFrames)
+	}
+	b.StopTimer()
+	nsPerFrame := float64(b.Elapsed().Nanoseconds()) / float64(b.N) / float64(ingestFrames)
+	b.ReportMetric(nsPerFrame, "ns/frame")
+	b.ReportMetric(1e9/nsPerFrame, "frames/sec")
+	b.ReportMetric(wirePerFrame, "wire-bytes/frame")
+}
+
+// BenchmarkIngestUpload measures collector ingestion throughput — binary
+// chunks with and without gzip — the ingest_binary[_gzip] datapoints of
+// BENCH_replay.json.
+func BenchmarkIngestUpload(b *testing.B) {
+	b.Run("binary", func(b *testing.B) { benchIngestUpload(b, false) })
+	b.Run("binary-gzip", func(b *testing.B) { benchIngestUpload(b, true) })
 }
 
 // BenchmarkInvoke measures the interpreter hot loop alone on the

@@ -26,11 +26,13 @@ func TestEmitReplayBenchJSON(t *testing.T) {
 	}
 
 	type entry struct {
-		NsPerFrame       float64 `json:"ns_per_frame"`
-		LogBytesPerFrame float64 `json:"log_bytes_per_frame,omitempty"`
-		AllocsPerOp      int64   `json:"allocs_per_op"`
-		BytesPerOp       int64   `json:"bytes_per_op"`
-		Iterations       int     `json:"iterations"`
+		NsPerFrame        float64 `json:"ns_per_frame"`
+		FramesPerSec      float64 `json:"frames_per_sec,omitempty"`
+		LogBytesPerFrame  float64 `json:"log_bytes_per_frame,omitempty"`
+		WireBytesPerFrame float64 `json:"wire_bytes_per_frame,omitempty"`
+		AllocsPerOp       int64   `json:"allocs_per_op"`
+		BytesPerOp        int64   `json:"bytes_per_op"`
+		Iterations        int     `json:"iterations"`
 	}
 	results := map[string]entry{}
 
@@ -118,6 +120,36 @@ func TestEmitReplayBenchJSON(t *testing.T) {
 	}
 	t.Logf("JSONL full-capture: pre-encode %.0f ns/frame vs serial collector %.0f ns/frame",
 		jsonlFull.NsPerFrame, results["replay_full_jsonl_serial"].NsPerFrame)
+
+	// Ingestion throughput: one pre-captured full-capture stream uploaded per
+	// iteration through a RemoteSink into a live collector that validates it
+	// incrementally against the same log — ns/frame, frames/sec and wire
+	// bytes/frame with and without gzip (the telemetry-upload datapoint of
+	// the perf trajectory). Gzip must shrink the wire.
+	for _, gz := range []bool{false, true} {
+		gz := gz
+		r := testing.Benchmark(func(b *testing.B) {
+			benchIngestUpload(b, gz)
+		})
+		name := "ingest_binary"
+		if gz {
+			name += "_gzip"
+		}
+		results[name] = entry{
+			NsPerFrame:        r.Extra["ns/frame"],
+			FramesPerSec:      r.Extra["frames/sec"],
+			WireBytesPerFrame: r.Extra["wire-bytes/frame"],
+			AllocsPerOp:       r.AllocsPerOp(),
+			BytesPerOp:        r.AllocedBytesPerOp(),
+			Iterations:        r.N,
+		}
+	}
+	if gzWire, plainWire := results["ingest_binary_gzip"].WireBytesPerFrame, results["ingest_binary"].WireBytesPerFrame; gzWire >= plainWire {
+		t.Errorf("gzip upload wire bytes %.0f/frame not below plain %.0f/frame", gzWire, plainWire)
+	}
+	t.Logf("ingest: %.0f frames/sec plain (%.0f wire B/frame), %.0f frames/sec gzip (%.0f wire B/frame)",
+		results["ingest_binary"].FramesPerSec, results["ingest_binary"].WireBytesPerFrame,
+		results["ingest_binary_gzip"].FramesPerSec, results["ingest_binary_gzip"].WireBytesPerFrame)
 
 	entryZoo, err := zoo.Get("mobilenetv2-mini")
 	if err != nil {

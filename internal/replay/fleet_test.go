@@ -8,6 +8,7 @@ import (
 	"mlexray/internal/core"
 	"mlexray/internal/datasets"
 	"mlexray/internal/device"
+	"mlexray/internal/imaging"
 	"mlexray/internal/ops"
 	"mlexray/internal/pipeline"
 	"mlexray/internal/runner"
@@ -161,5 +162,106 @@ func TestFleetValidateHealthyFleet(t *testing.T) {
 	}
 	if len(rep.DivergentFrames) != 0 {
 		t.Errorf("healthy fleet reports divergent frames %v", rep.DivergentFrames)
+	}
+}
+
+// TestFleetDetectionMatchesSequential pins the detection binding of the
+// fleet scheduler: the merge of per-device detection shard logs is
+// record-identical to a single sequential detection replay of the same
+// frames (modulo wall-clock latency values), and a per-device bug is
+// isolated by fleet validation exactly as in the classification binding.
+func TestFleetDetectionMatchesSequential(t *testing.T) {
+	const frames = 12
+	entry, err := zoo.Get("ssd-mini")
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := datasets.SynthCOCO(6666, frames)
+	images := make([]*imaging.Image, len(samples))
+	for i := range samples {
+		images[i] = samples[i].Image
+	}
+	popts := pipeline.Options{Resolver: ops.NewOptimized(ops.Fixed())}
+
+	fleet := &runner.Fleet{
+		Devices: []runner.DeviceSpec{
+			{Profile: device.Pixel4(), Workers: 2, BatchFrames: 4},
+			{Profile: device.Pixel3(), Workers: 1, BatchFrames: 1},
+		},
+		Policy:         runner.RoundRobin{},
+		MonitorOptions: fleetMonOpts,
+	}
+	res, err := FleetDetection(entry.Mobile, popts, images, fleet, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Each device's shard log must be record-identical to a sequential
+	// replay with that device's profile, restricted to the frames the policy
+	// assigned it — the same-assignment determinism contract, per device.
+	for d, spec := range fleet.Devices {
+		o := popts
+		o.Device = spec.Profile
+		seq, err := Detection(entry.Mobile, o, images,
+			runner.Options{Workers: 1, BatchFrames: 1, MonitorOptions: fleetMonOpts}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		owned := map[int]bool{}
+		for _, rg := range res.Assignment[d] {
+			for f := rg.Start; f < rg.End; f++ {
+				owned[f+1] = true // records carry 1-based frame tags
+			}
+		}
+		var want []core.Record
+		for _, r := range seq.Records {
+			if owned[r.Frame] {
+				r.Seq = len(want)
+				want = append(want, r)
+			}
+		}
+		got := res.DeviceLogs[d].Records
+		if len(got) != len(want) {
+			t.Fatalf("device %d shard log has %d records, sequential assignment %d", d, len(got), len(want))
+		}
+		for i := range got {
+			a, b := got[i], want[i]
+			// Wall-clock latency values never reproduce; everything else must.
+			if a.Kind == core.KindMetric && a.Unit == "ns" {
+				a.Value, b.Value = 0, 0
+			}
+			if a.Key != b.Key || a.Frame != b.Frame || a.Seq != b.Seq ||
+				!bytes.Equal(a.Payload, b.Payload) || a.Value != b.Value {
+				t.Fatalf("device %d record %d differs: %q vs %q", d, i, a.Key, b.Key)
+			}
+		}
+	}
+
+	// The detection fleet isolates a device-local bug like classification
+	// does: inject into Pixel3 and cross-validate against a reference.
+	bugRes, err := FleetDetection(entry.Mobile, popts, images, fleet,
+		func(dev int, spec runner.DeviceSpec, o *pipeline.Options) {
+			if dev == 1 {
+				o.Bug = pipeline.BugNormalization
+			}
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := Detection(entry.Mobile, pipeline.Options{Resolver: ops.NewReference(ops.Fixed())}, images,
+		runner.Options{Workers: 2, BatchFrames: 2, MonitorOptions: fleetMonOpts}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards := make([]core.DeviceShardLog, len(fleet.Devices))
+	for d, spec := range fleet.Devices {
+		shards[d] = core.DeviceShardLog{Device: spec.Name(), Log: bugRes.DeviceLogs[d]}
+	}
+	rep, err := core.FleetValidate(shards, ref, core.DefaultValidateOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Flagged) != 1 || rep.Flagged[0] != "Pixel3" {
+		t.Errorf("flagged %v, want exactly the bugged Pixel3", rep.Flagged)
 	}
 }

@@ -208,6 +208,49 @@ func Detection(m *graph.Model, popts pipeline.Options, images []*imaging.Image,
 	}, ropts)
 }
 
+// FleetDetection replays images across a heterogeneous simulated device
+// fleet through detector replicas — the detection binding of the
+// task-agnostic fleet scheduler, mirroring FleetClassification: the shard
+// policy splits the frame range, each device's workers run its shard through
+// pipeline.BatchDetector (spec.BatchFrames > 1) or pipeline.Detector
+// replicas carrying the device's latency profile, and per-device shard logs
+// land in FleetResult.DeviceLogs and the per-device sinks. perDevice
+// customizes one device's pipeline options (the device-local bug hook); nil
+// fleet MonitorOptions replays uninstrumented; popts.Monitor is ignored.
+func FleetDetection(m *graph.Model, popts pipeline.Options, images []*imaging.Image,
+	fleet *runner.Fleet, perDevice func(dev int, spec runner.DeviceSpec, o *pipeline.Options)) (*runner.FleetResult, error) {
+	instrumented := fleet.MonitorOptions != nil
+	return fleet.ReplayBatched(len(images), func(dev int, spec runner.DeviceSpec, mon *core.Monitor) (runner.ProcessBatchFunc, error) {
+		o := popts
+		o.Device = spec.Profile
+		if perDevice != nil {
+			perDevice(dev, spec, &o)
+		}
+		o.Monitor = nil
+		if instrumented {
+			o.Monitor = mon
+		}
+		if spec.BatchFrames > 1 {
+			bd, err := pipeline.NewBatchDetector(m, spec.BatchFrames, o)
+			if err != nil {
+				return nil, err
+			}
+			return func(start, end int) error {
+				_, _, err := bd.DetectBatch(images[start:end])
+				return err
+			}, nil
+		}
+		det, err := pipeline.NewDetector(m, o)
+		if err != nil {
+			return nil, err
+		}
+		return runner.PerFrame(mon, func(i int) error {
+			_, _, err := det.Detect(images[i])
+			return err
+		}), nil
+	})
+}
+
 // FleetClassification replays images across a heterogeneous simulated
 // device fleet: the fleet's shard policy splits the frame range across its
 // DeviceSpecs, and every device runs its shard through classifier replicas

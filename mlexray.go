@@ -54,6 +54,20 @@
 //	fleetReport, err := mlexray.FleetValidate(shards, refLog, mlexray.DefaultValidateOptions())
 //	fleetReport.Render(os.Stdout)
 //
+// The upload half of the paper's architecture is the ingestion service:
+// devices stream telemetry to a collector (cmd/exrayd) through RemoteSinks,
+// and the collector validates every stream incrementally as frames arrive —
+// StreamValidator / FleetStreamValidator produce reports identical to the
+// offline Validate / FleetValidate, without storing the logs:
+//
+//	srv, err := mlexray.NewIngestServer(mlexray.IngestServerOptions{Ref: refLog})
+//	go http.ListenAndServe(":9090", srv)                       // or run cmd/exrayd
+//	sink, err := mlexray.NewRemoteSink(mlexray.RemoteSinkOptions{
+//		URL: "http://localhost:9090", Device: "Pixel4", Format: mlexray.FormatBinary, Gzip: true})
+//	devs[0].Sink = sink                                        // fleet devices upload directly
+//	...
+//	report, err := srv.FleetReport()                           // or GET /fleet
+//
 // Everything underneath — the TFLite-like runtime with optimized/reference
 // op resolvers, the converter and quantizer, the training substrate, the
 // synthetic datasets and the device latency simulator — lives in internal/
@@ -65,6 +79,7 @@ import (
 
 	"mlexray/internal/core"
 	"mlexray/internal/device"
+	"mlexray/internal/ingest"
 	"mlexray/internal/runner"
 )
 
@@ -311,6 +326,63 @@ type FleetDeviceReport = core.FleetDeviceReport
 // log, flagging devices whose divergence isolates to them.
 func FleetValidate(shards []DeviceShardLog, ref *Log, opts ValidateOptions) (*FleetReport, error) {
 	return core.FleetValidate(shards, ref, opts)
+}
+
+// ---- telemetry ingestion API ----
+
+// StreamValidator is the incremental deployment validator: it consumes one
+// device's telemetry stream record by record (or frame by frame — it is also
+// a Sink) and computes the validation Report in bounded memory, per-layer
+// tensors folding into rollups as they arrive. The final report is identical
+// to Validate over the same records; Validate itself delegates here.
+type StreamValidator = core.StreamValidator
+
+// NewStreamValidator builds an incremental validator checking a stream
+// against the reference log.
+func NewStreamValidator(ref *Log, opts ValidateOptions) *StreamValidator {
+	return core.NewStreamValidator(ref, opts)
+}
+
+// FleetStreamValidator validates many concurrent device streams against one
+// shared reference — the state behind the ingestion collector's /fleet
+// report. Its Report equals FleetValidate over the same records.
+type FleetStreamValidator = core.FleetStreamValidator
+
+// NewFleetStreamValidator indexes the reference log for fleet-wide streaming
+// validation.
+func NewFleetStreamValidator(ref *Log, opts ValidateOptions) (*FleetStreamValidator, error) {
+	return core.NewFleetStreamValidator(ref, opts)
+}
+
+// IngestServer is the telemetry ingestion collector: an http.Handler that
+// accepts concurrent device log uploads (POST /ingest, chunked, either
+// encoding, plain or gzip), validates each session incrementally, and serves
+// per-device and fleet-wide reports (GET /devices/{id}, GET /fleet).
+// cmd/exrayd wraps it as a daemon.
+type IngestServer = ingest.Server
+
+// IngestServerOptions configures an IngestServer.
+type IngestServerOptions = ingest.ServerOptions
+
+// NewIngestServer builds a collector validating uploads against
+// opts.Ref.
+func NewIngestServer(opts IngestServerOptions) (*IngestServer, error) {
+	return ingest.NewServer(opts)
+}
+
+// RemoteSink is the device side of the ingestion service: a Sink that
+// streams a replay's telemetry to a collector in chunked, optionally
+// gzip-compressed uploads with retry/backoff. Attach it as a replay's Sink
+// (or a fleet DeviceSpec's) to upload instead of writing a local file.
+type RemoteSink = ingest.RemoteSink
+
+// RemoteSinkOptions configures a RemoteSink (collector URL, device ID,
+// encoding, gzip, chunk size, retries).
+type RemoteSinkOptions = ingest.SinkOptions
+
+// NewRemoteSink builds a sink streaming to the collector at opts.URL.
+func NewRemoteSink(opts RemoteSinkOptions) (*RemoteSink, error) {
+	return ingest.NewRemoteSink(opts)
 }
 
 // ---- validation API ----
