@@ -23,6 +23,13 @@
 //
 // Without -ref the daemon runs in collection mode: uploads are sessionized
 // and counted but the report endpoints return 409.
+//
+// With -data-dir the daemon is durable: every accepted chunk is appended to
+// a per-session write-ahead segment under the directory and fsynced before
+// the 200 ack, and a restarted daemon replays the segments so the recovered
+// reports are exactly what an uninterrupted run would serve. -max-sessions
+// and -max-chunk-rate add admission control (503/429 with Retry-After; the
+// upload clients treat both as transient and retry).
 package main
 
 import (
@@ -53,16 +60,24 @@ var serve = func(ln net.Listener, h http.Handler) error {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("exrayd", flag.ContinueOnError)
 	var (
-		addr      = fs.String("addr", ":9090", "listen address")
-		refPath   = fs.String("ref", "", "reference log to validate uploads against (JSONL or MLXB, plain or gzip; empty = collection mode)")
-		agreement = fs.Float64("agreement", 0, "output-agreement threshold (0 = default)")
-		maxBody   = fs.Int64("max-body", 0, "per-chunk upload size cap in bytes (0 = 1GiB)")
+		addr         = fs.String("addr", ":9090", "listen address")
+		refPath      = fs.String("ref", "", "reference log to validate uploads against (JSONL or MLXB, plain or gzip; empty = collection mode)")
+		agreement    = fs.Float64("agreement", 0, "output-agreement threshold (0 = default)")
+		maxBody      = fs.Int64("max-body", 0, "per-chunk upload size cap in bytes (0 = 1GiB)")
+		dataDir      = fs.String("data-dir", "", "write-ahead log directory: accepted chunks are fsynced here before the ack, and a restart replays them to recover every session exactly (empty = in-memory only)")
+		maxSessions  = fs.Int("max-sessions", 0, "cap on concurrent device sessions; new devices past it get 503 + Retry-After (0 = unlimited)")
+		maxChunkRate = fs.Float64("max-chunk-rate", 0, "per-device accepted-chunk rate limit in chunks/sec; over-rate chunks get 429 + Retry-After (0 = unlimited)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	opts := ingest.ServerOptions{MaxBodyBytes: *maxBody}
+	opts := ingest.ServerOptions{
+		MaxBodyBytes:    *maxBody,
+		DataDir:         *dataDir,
+		MaxSessions:     *maxSessions,
+		MaxChunksPerSec: *maxChunkRate,
+	}
 	if *refPath != "" {
 		f, err := os.Open(*refPath)
 		if err != nil {
@@ -87,6 +102,18 @@ func run(args []string, stdout io.Writer) error {
 	srv, err := ingest.NewServer(opts)
 	if err != nil {
 		return err
+	}
+	if *dataDir != "" {
+		rs := srv.Recovery()
+		fmt.Fprintf(stdout, "exrayd: durable ingest under %s: recovered %d sessions (%d chunks, %d records",
+			*dataDir, rs.Sessions, rs.Chunks, rs.Records)
+		if rs.TruncatedBytes > 0 {
+			fmt.Fprintf(stdout, "; truncated %d torn tail bytes", rs.TruncatedBytes)
+		}
+		if rs.SkippedChunks > 0 {
+			fmt.Fprintf(stdout, "; skipped %d corrupt chunks", rs.SkippedChunks)
+		}
+		fmt.Fprintf(stdout, ")\n")
 	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

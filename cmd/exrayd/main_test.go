@@ -138,3 +138,96 @@ func TestRunRejectsBadRef(t *testing.T) {
 		t.Error("missing reference accepted")
 	}
 }
+
+// TestRunDurableRecovery boots the daemon with -data-dir, uploads a stream,
+// "crashes" it (run returns; the WAL survives on disk), and boots a second
+// daemon over the same directory: the recovery banner reports the restored
+// sessions and the recovered /fleet matches the pre-crash one.
+func TestRunDurableRecovery(t *testing.T) {
+	dir := t.TempDir()
+	refPath := filepath.Join(dir, "ref.jsonl")
+	f, err := os.Create(refPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := testRefLog(4)
+	if err := ref.WriteJSONL(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	walDir := filepath.Join(dir, "wal")
+
+	var handler http.Handler
+	oldServe := serve
+	serve = func(ln net.Listener, h http.Handler) error {
+		handler = h
+		return nil
+	}
+	defer func() { serve = oldServe }()
+	boot := func() (http.Handler, string) {
+		handler = nil
+		var buf bytes.Buffer
+		if err := run([]string{"-addr", "127.0.0.1:0", "-ref", refPath, "-data-dir", walDir}, &buf); err != nil {
+			t.Fatal(err)
+		}
+		if handler == nil {
+			t.Fatal("run never built a handler")
+		}
+		return handler, buf.String()
+	}
+	serveOn := func(h http.Handler) (string, func()) {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		go http.Serve(ln, h)
+		return "http://" + ln.Addr().String(), func() { ln.Close() }
+	}
+
+	h1, out1 := boot()
+	if !strings.Contains(out1, "recovered 0 sessions") {
+		t.Errorf("first boot banner should report an empty WAL:\n%s", out1)
+	}
+	base, stop := serveOn(h1)
+	sink, err := ingest.NewRemoteSink(ingest.SinkOptions{
+		URL: base, Device: "dev-a", Format: core.FormatBinary,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for f := 0; f < 4; f++ {
+		if err := sink.WriteFrame(f, ref.Records[f:f+1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	getFleet := func(base string) []byte {
+		resp, err := http.Get(base + "/fleet")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("/fleet status %d", resp.StatusCode)
+		}
+		var buf bytes.Buffer
+		if _, err := buf.ReadFrom(resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	want := getFleet(base)
+	stop() // crash: no drain, no goodbye
+
+	h2, out2 := boot()
+	if !strings.Contains(out2, "recovered 1 sessions") {
+		t.Errorf("second boot banner should report the recovered session:\n%s", out2)
+	}
+	base2, stop2 := serveOn(h2)
+	defer stop2()
+	if got := getFleet(base2); !bytes.Equal(want, got) {
+		t.Errorf("recovered /fleet differs:\npre-crash: %s\nrecovered: %s", want, got)
+	}
+}

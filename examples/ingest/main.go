@@ -9,7 +9,11 @@
 // replays: telemetry streams over HTTP in gzip-compressed binary chunks,
 // the collector validates every session incrementally as frames arrive, and
 // the fleet report — identical to running FleetValidate offline on stored
-// logs — is ready the moment the replay ends. No log files anywhere.
+// logs — is ready the moment the replay ends. No log files anywhere —
+// except the collector's own write-ahead log: the example runs the
+// collector with a data directory (exrayd's -data-dir), then "crashes" it
+// and boots a fresh one over the same directory to show exact recovery —
+// the recovered fleet report is byte-identical to the pre-crash one.
 //
 //	go run ./examples/ingest
 package main
@@ -49,14 +53,21 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// --- the collector: in-process here; `exrayd -ref ref.jsonl` in prod ---
-	srv, err := mlexray.NewIngestServer(mlexray.IngestServerOptions{Ref: ref})
+	// --- the collector: in-process here; `exrayd -ref ref.jsonl` in prod.
+	// DataDir makes it durable: every accepted chunk is fsynced to a
+	// per-session write-ahead segment before the ack.
+	walDir, err := os.MkdirTemp("", "exray-wal-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(walDir)
+	srv, err := mlexray.NewIngestServer(mlexray.IngestServerOptions{Ref: ref, DataDir: walDir})
 	if err != nil {
 		log.Fatal(err)
 	}
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
-	fmt.Printf("collector listening on %s\n\n", ts.URL)
+	fmt.Printf("collector listening on %s (WAL under %s)\n\n", ts.URL, walDir)
 
 	// --- the fleet: every device streams straight to the collector ---
 	devs, err := mlexray.ParseFleetSpec("Pixel4:2:4,Pixel3:1:2,Emulator-x86:1:2")
@@ -126,4 +137,36 @@ func main() {
 	}
 	fmt.Printf("\nGET /devices/d1-Pixel3: %d records, %d frames, agreement %.0f%%\n",
 		status.Records, status.Frames, 100*status.Report.OutputAgreement)
+
+	// --- crash the collector and recover from the write-ahead log ---
+	// Every acked chunk is on disk, so dropping the server loses nothing: a
+	// fresh collector over the same directory replays the segments through
+	// the same validation path and serves the identical fleet report.
+	preCrash, err := json.Marshal(fleetReport)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ts.Close()
+	srv.Close() // no drain, no goodbye: the "crash"
+
+	srv2, err := mlexray.NewIngestServer(mlexray.IngestServerOptions{Ref: ref, DataDir: walDir})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rs := srv2.Recovery()
+	fmt.Printf("\ncollector restarted: recovered %d sessions (%d chunks, %d records) from the WAL\n",
+		rs.Sessions, rs.Chunks, rs.Records)
+	recovered, err := srv2.FleetReport()
+	if err != nil {
+		log.Fatal(err)
+	}
+	postCrash, err := json.Marshal(recovered)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if string(preCrash) == string(postCrash) {
+		fmt.Println("recovered fleet report is byte-identical to the pre-crash one")
+	} else {
+		log.Fatal("recovered fleet report differs from the pre-crash one")
+	}
 }

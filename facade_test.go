@@ -496,11 +496,14 @@ func TestFacadeStreamingIngest(t *testing.T) {
 		t.Errorf("streamed report %+v differs from offline %+v", streamed, offline)
 	}
 
-	// Full service loop: collector + RemoteSink upload + fleet report.
-	srv, err := mlexray.NewIngestServer(mlexray.IngestServerOptions{Ref: ref})
+	// Full service loop: durable collector + RemoteSink upload + fleet
+	// report, then a restart over the same WAL directory recovering it all.
+	walDir := t.TempDir()
+	srv, err := mlexray.NewIngestServer(mlexray.IngestServerOptions{Ref: ref, DataDir: walDir})
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer srv.Close()
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
 	sink, err := mlexray.NewRemoteSink(mlexray.RemoteSinkOptions{
@@ -528,5 +531,25 @@ func TestFacadeStreamingIngest(t *testing.T) {
 	}
 	if got, want := rep.FleetAgreement, offline.OutputAgreement; got != want {
 		t.Errorf("server-side agreement %.4f, offline %.4f", got, want)
+	}
+
+	// Restart the collector over the same data directory: the WAL replay
+	// recovers the session and the fleet report survives the "crash".
+	srv.Close()
+	srv2, err := mlexray.NewIngestServer(mlexray.IngestServerOptions{Ref: ref, DataDir: walDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	var rs mlexray.IngestRecoveryStats = srv2.Recovery()
+	if rs.Sessions != 1 || rs.Chunks != sink.Chunks() {
+		t.Errorf("recovery stats %+v, want 1 session / %d chunks", rs, sink.Chunks())
+	}
+	rep2, err := srv2.FleetReport()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.FleetAgreement != rep.FleetAgreement || len(rep2.Devices) != 1 {
+		t.Errorf("recovered fleet report %+v differs from pre-crash %+v", rep2, rep)
 	}
 }

@@ -381,6 +381,25 @@ func newSessionValidator(ri *refIndex, opts ValidateOptions, device string) *Str
 // standalone validator).
 func (v *StreamValidator) Device() string { return v.device }
 
+// Reset clears every accumulated rollup — output argmaxes, layer-drift and
+// straggler accumulators, retained evidence, byte/record counters — while
+// keeping the shared reference index, options and device name. After Reset
+// the validator is indistinguishable from a fresh session: re-consuming the
+// same records yields an identical Report. This is the replay seam durable
+// collectors build on — rebuild a session in place and replay its
+// write-ahead log through Consume, instead of constructing a new validator
+// against a re-indexed reference.
+func (v *StreamValidator) Reset() {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.out = outputState{maxFrame: -1}
+	v.layers = layerDiffState{}
+	v.strag = stragglerState{}
+	v.infSum, v.infN = 0, 0
+	v.retain = Log{}
+	v.records, v.bytes = 0, 0
+}
+
 // Consume folds one record into the rollups. The returned error reports a
 // malformed record (an undecodable tensor payload); consumption may continue
 // but the analyses the record belonged to are marked poisoned, exactly as
@@ -632,6 +651,17 @@ func (f *FleetStreamValidator) newSessionLocked(device string) *StreamValidator 
 	s := newSessionValidator(f.ri, f.opts, device)
 	f.sessions = append(f.sessions, s)
 	return s
+}
+
+// Reset drops every session while keeping the shared reference index — the
+// fleet half of the replay seam: a recovering collector clears the fleet
+// state and replays each device's durable log into fresh sessions without
+// paying the reference re-index.
+func (f *FleetStreamValidator) Reset() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.sessions = nil
+	f.byName = make(map[string]*StreamValidator)
 }
 
 // Sessions returns the open sessions sorted by device name — the stable

@@ -231,6 +231,72 @@ func TestFleetStreamMatchesOfflineInterleaved(t *testing.T) {
 	}
 }
 
+// TestStreamValidatorResetReplay pins the reset/replay seam durable
+// collectors build on: after Reset, re-consuming the same stream yields a
+// report identical (JSON-byte) to the first pass — the validator is
+// indistinguishable from a fresh session while keeping the shared reference
+// index. The fleet variant drops all sessions the same way.
+func TestStreamValidatorResetReplay(t *testing.T) {
+	edge, ref := driftedLogs(5)
+	opts := DefaultValidateOptions()
+
+	sv := NewStreamValidator(ref, opts)
+	streamFrames(t, sv, edge)
+	sv.AddBytes(123)
+	first, err := sv.Report()
+	if err != nil {
+		t.Fatal(err)
+	}
+	firstJSON, _ := json.Marshal(first)
+
+	sv.Reset()
+	if sv.Records() != 0 || sv.Bytes() != 0 {
+		t.Errorf("after Reset: records=%d bytes=%d, want 0/0", sv.Records(), sv.Bytes())
+	}
+	if _, err := sv.Report(); err == nil {
+		t.Error("report on a reset validator succeeded (state retained?)")
+	}
+
+	// Replay: the same stream through the same validator.
+	streamFrames(t, sv, edge)
+	replayed, err := sv.Report()
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayedJSON, _ := json.Marshal(replayed)
+	if !bytes.Equal(firstJSON, replayedJSON) {
+		t.Errorf("reset+replay report differs:\nfirst:    %s\nreplayed: %s", firstJSON, replayedJSON)
+	}
+
+	// Fleet: Reset drops sessions but keeps the reference; replaying the
+	// same device streams rebuilds an identical fleet report.
+	fv, err := NewFleetStreamValidator(ref, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamFrames(t, fv.Session("dev-a"), edge)
+	streamFrames(t, fv.Session("dev-b"), ref)
+	wantRep, err := fv.Report()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJSON, _ := json.Marshal(wantRep)
+	fv.Reset()
+	if n := len(fv.Sessions()); n != 0 {
+		t.Errorf("after fleet Reset: %d sessions, want 0", n)
+	}
+	streamFrames(t, fv.Session("dev-a"), edge)
+	streamFrames(t, fv.Session("dev-b"), ref)
+	gotRep, err := fv.Report()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotJSON, _ := json.Marshal(gotRep)
+	if !bytes.Equal(wantJSON, gotJSON) {
+		t.Errorf("fleet reset+replay report differs:\nfirst:    %s\nreplayed: %s", wantJSON, gotJSON)
+	}
+}
+
 // TestStreamValidatorBoundedMemory pins the memory contract: per-layer
 // tensor payloads are folded and dropped, so the retained evidence does not
 // grow with the per-layer telemetry volume.

@@ -654,3 +654,200 @@ func TestIngestDecompressionBomb(t *testing.T) {
 		t.Errorf("decompression bomb: status %d, want 413", resp.StatusCode)
 	}
 }
+
+// TestHeaderlessUploadDoesNotResetStream is the stream-reset regression: a
+// curl-style headerless upload arriving mid-way through an active RemoteSink
+// stream must not disturb the stream's chunk numbering. Pre-fix, the
+// headerless chunk overwrote the session's stream token and reset nextChunk
+// to 0, so the sink's next in-sequence chunk drew a spurious 409 and the
+// sink went sticky-failed.
+func TestHeaderlessUploadDoesNotResetStream(t *testing.T) {
+	srv, ts := newTestServer(t, synthLog(4, nil, false))
+	l := synthLog(4, nil, false)
+	sink, err := NewRemoteSink(SinkOptions{
+		URL: ts.URL, Device: "mixed", Format: core.FormatBinary,
+		ChunkBytes: 1, // ship every frame as its own chunk
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeFrames := func(lo, hi int) {
+		start := 0
+		for start < len(l.Records) {
+			end := start
+			for end < len(l.Records) && l.Records[end].Frame == l.Records[start].Frame {
+				end++
+			}
+			if f := l.Records[start].Frame; f >= lo && f < hi {
+				if err := sink.WriteFrame(f, l.Records[start:end]); err != nil {
+					t.Fatalf("write frame %d: %v", f, err)
+				}
+			}
+			start = end
+		}
+	}
+
+	writeFrames(0, 2) // chunks 0 and 1 of the sink's stream are on the server
+
+	// The operator curls an extra log into the same device mid-stream.
+	extra := synthLog(4, []int{2}, false)
+	var curl bytes.Buffer
+	if err := extra.Write(&curl, core.FormatBinary); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/ingest?device=mixed", "application/octet-stream", &curl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("curl upload: status %d", resp.StatusCode)
+	}
+
+	// The sink keeps streaming: its chunk 2 must be accepted in sequence, not
+	// rejected because the curl upload reset the generation state.
+	writeFrames(2, 4)
+	if err := sink.Flush(); err != nil {
+		t.Fatalf("sink failed after interleaved headerless upload: %v", err)
+	}
+	if got, want := srv.Session("mixed").Records(), len(l.Records)+len(extra.Records); got != want {
+		t.Errorf("session holds %d records, want %d (sink + curl)", got, want)
+	}
+}
+
+// TestIngestOversizedBody413 is the wrong-status regression: a body past the
+// wire-size cap must answer 413 Request Entity Too Large, not a misleading
+// 400 "decode record" from the truncated read.
+func TestIngestOversizedBody413(t *testing.T) {
+	srv, err := NewServer(ServerOptions{MaxBodyBytes: 4 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	// A valid, uncompressed log whose wire size exceeds the cap.
+	l := &core.Log{}
+	var r core.Record
+	r.Seq, r.Frame, r.Key = 0, 0, "big"
+	r.EncodeTensor(tensor.New(tensor.F32, 4<<10), true)
+	l.Records = append(l.Records, r)
+	var body bytes.Buffer
+	if err := l.Write(&body, core.FormatBinary); err != nil {
+		t.Fatal(err)
+	}
+	if body.Len() <= 4<<10 {
+		t.Fatalf("test body %d bytes does not exceed the cap", body.Len())
+	}
+	resp, err := http.Post(ts.URL+"/ingest?device=big", "application/octet-stream", &body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized body: status %d (%s), want 413", resp.StatusCode, bytes.TrimSpace(msg))
+	}
+}
+
+// TestIngestGlobalFrameTagFrames is the frame-accounting regression: a fleet
+// shard owning global frame tags 1000–1009 holds 10 frames, not 1010. The
+// old maxFrame+1 accounting inflated every sharded device's frame count by
+// its frame-tag offset.
+func TestIngestGlobalFrameTagFrames(t *testing.T) {
+	const total, lo = 1010, 1000
+	ref := synthLog(total, nil, false)
+	_, ts := newTestServer(t, ref)
+
+	var own []int
+	for f := lo; f < total; f++ {
+		own = append(own, f)
+	}
+	shard := synthLog(total, own, false)
+	var body bytes.Buffer
+	if err := shard.Write(&body, core.FormatBinary); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/ingest?device=shard-hi", "application/octet-stream", &body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ir IngestResponse
+	if err := json.NewDecoder(resp.Body).Decode(&ir); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if ir.Frames != total-lo {
+		t.Errorf("ingest ack frames = %d, want %d (distinct frames, not maxFrame+1)", ir.Frames, total-lo)
+	}
+	var st DeviceStatus
+	getJSON(t, ts.URL+"/devices/shard-hi", &st)
+	if st.Frames != total-lo {
+		t.Errorf("status frames = %d, want %d", st.Frames, total-lo)
+	}
+}
+
+// TestFleetDevicesMatchReport is the snapshot-consistency regression: the
+// /fleet device list must agree with the report in the same response even
+// while new devices register concurrently. Pre-fix the list and the report
+// were separate snapshots, so a first upload landing between them produced a
+// device list the report did not cover.
+func TestFleetDevicesMatchReport(t *testing.T) {
+	ref := synthLog(4, nil, false)
+	_, ts := newTestServer(t, ref)
+	l := synthLog(4, nil, false)
+	var body bytes.Buffer
+	if err := l.Write(&body, core.FormatBinary); err != nil {
+		t.Fatal(err)
+	}
+	chunk := body.Bytes()
+
+	// Seed one device so the fleet report exists before the first poll (an
+	// empty fleet answers 409).
+	resp, err := http.Post(ts.URL+"/ingest?device=seed", "application/octet-stream", bytes.NewReader(chunk))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	// A writer registers a stream of brand-new devices while the main
+	// goroutine polls /fleet; every response must be internally consistent.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			resp, err := http.Post(
+				fmt.Sprintf("%s/ingest?device=race-%04d", ts.URL, i),
+				"application/octet-stream", bytes.NewReader(chunk))
+			if err != nil {
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}()
+	polls := 0
+	for {
+		select {
+		case <-done:
+			if polls == 0 {
+				t.Fatal("writer finished before a single poll")
+			}
+			return
+		default:
+		}
+		var got FleetResponse
+		if resp := getJSON(t, ts.URL+"/fleet", &got); resp.StatusCode != http.StatusOK {
+			t.Fatalf("/fleet status %d", resp.StatusCode)
+		}
+		polls++
+		if len(got.Devices) != len(got.Report.Devices) {
+			t.Fatalf("device list (%d) and report (%d) disagree", len(got.Devices), len(got.Report.Devices))
+		}
+		for i, dr := range got.Report.Devices {
+			if got.Devices[i] != dr.Device {
+				t.Fatalf("devices[%d] = %q but report[%d] covers %q", i, got.Devices[i], i, dr.Device)
+			}
+		}
+	}
+}

@@ -30,9 +30,9 @@ type SinkOptions struct {
 	// means 1 MiB. Frames are never split: a chunk ships at the first frame
 	// boundary past the threshold.
 	ChunkBytes int
-	// MaxRetries is how many times a failed POST is retried (network errors
-	// and 5xx responses; 4xx fail immediately — resending a rejected chunk
-	// cannot succeed). <= 0 means 4.
+	// MaxRetries is how many times a failed POST is retried (network
+	// errors, 5xx responses and 429 throttling; other 4xx fail immediately
+	// — resending a rejected chunk cannot succeed). <= 0 means 4.
 	MaxRetries int
 	// RetryBackoff is the first retry's delay, doubling per attempt; <= 0
 	// means 250ms.
@@ -228,10 +228,16 @@ func (s *RemoteSink) ship() error {
 	return s.openChunk()
 }
 
-// post uploads one chunk, retrying transient failures (network errors, 5xx)
-// with exponential backoff. The chunk sequence number rides along so a retry
-// of a chunk the server already applied (response lost in flight) is
-// acknowledged instead of double-ingested.
+// maxRetryAfter caps how long a collector's Retry-After hint can stall one
+// attempt, so a misconfigured server cannot park the sink for hours.
+const maxRetryAfter = 30 * time.Second
+
+// post uploads one chunk, retrying transient failures (network errors, 5xx,
+// and 429 throttling) with exponential backoff. A Retry-After header on a
+// throttled or unavailable response (the collector's admission control)
+// stretches the wait to what the server asked for. The chunk sequence
+// number rides along so a retry of a chunk the server already applied
+// (response lost in flight) is acknowledged instead of double-ingested.
 func (s *RemoteSink) post(body []byte, chunkIdx int) error {
 	var lastErr error
 	for attempt := 0; ; attempt++ {
@@ -246,17 +252,20 @@ func (s *RemoteSink) post(body []byte, chunkIdx int) error {
 		if s.opts.Gzip {
 			req.Header.Set("Content-Encoding", "gzip")
 		}
+		var retryAfter time.Duration
 		resp, err := s.opts.client().Do(req)
 		if err == nil {
 			status := resp.StatusCode
 			msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+			retryAfter = parseRetryAfter(resp.Header.Get("Retry-After"))
 			resp.Body.Close()
 			if status < 300 {
 				return nil
 			}
 			lastErr = fmt.Errorf("ingest: collector returned %d: %s", status, bytes.TrimSpace(msg))
-			if status < 500 {
+			if status < 500 && status != http.StatusTooManyRequests {
 				// The collector rejected the chunk; resending it cannot help.
+				// 429 is the exception: over-rate is transient by definition.
 				return lastErr
 			}
 		} else {
@@ -266,8 +275,29 @@ func (s *RemoteSink) post(body []byte, chunkIdx int) error {
 			return fmt.Errorf("%w (after %d retries)", lastErr, attempt)
 		}
 		s.retries++
-		time.Sleep(s.opts.backoff() << attempt)
+		wait := s.opts.backoff() << attempt
+		if retryAfter > wait {
+			wait = retryAfter
+		}
+		time.Sleep(wait)
 	}
+}
+
+// parseRetryAfter reads a Retry-After header's delay-seconds form (what the
+// collector sends), capped at maxRetryAfter; anything else means no hint.
+func parseRetryAfter(h string) time.Duration {
+	if h == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(h)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	d := time.Duration(secs) * time.Second
+	if d > maxRetryAfter {
+		return maxRetryAfter
+	}
+	return d
 }
 
 // Records returns the records encoded so far.

@@ -7,7 +7,11 @@
 //     through core.StreamValidator as frames arrive — the final per-device
 //     and fleet reports are identical to running core.Validate /
 //     core.FleetValidate offline on the same records, at bounded memory per
-//     session (per-layer tensors fold into rollups and are dropped).
+//     session (per-layer tensors fold into rollups and are dropped). With a
+//     data directory configured, every accepted chunk is appended to a
+//     per-session write-ahead segment and fsynced before the ack, so a
+//     collector restart replays the segments and recovers every session
+//     exactly (see wal.go).
 //
 //   - RemoteSink is the device side: a core.Sink that streams a replay's
 //     telemetry to the collector in chunked, optionally gzip-compressed
@@ -18,12 +22,18 @@
 // gzip-compressed; the server auto-detects per chunk via core.OpenLog. A
 // device's chunks must arrive in stream order (RemoteSink posts them
 // sequentially); different devices upload concurrently without coordination.
+// Admission control caps the fleet: a per-device chunk-rate limit (429) and
+// a max-sessions cap (503), both carrying Retry-After, which RemoteSink
+// honors as transient retries.
 package ingest
 
 import (
+	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"sort"
 	"strconv"
@@ -45,9 +55,38 @@ type ServerOptions struct {
 	// decoded record footprint, so a small gzip body cannot balloon into
 	// unbounded memory; <= 0 means 1 GiB.
 	MaxBodyBytes int64
+	// DataDir enables the write-ahead log: accepted chunks append to
+	// per-session segment files under it and are fsynced before the ack, and
+	// NewServer replays existing segments so a restart recovers every
+	// session exactly. Empty means in-memory only (a restart loses all
+	// sessions).
+	DataDir string
+	// MaxSessions caps concurrently tracked device sessions; a chunk from a
+	// new device past the cap gets 503 with Retry-After. <= 0 means
+	// unlimited. Sessions recovered from the WAL always load (they hold
+	// acked data), even past the cap.
+	MaxSessions int
+	// MaxChunksPerSec rate-limits each device's accepted chunks (token
+	// bucket; burst ChunkBurst). Past the limit a chunk gets 429 with
+	// Retry-After. <= 0 means unlimited.
+	MaxChunksPerSec float64
+	// ChunkBurst is the rate limiter's bucket size; <= 0 means one second's
+	// worth of chunks (minimum 1).
+	ChunkBurst int
 	// Clock overrides time.Now for the session timestamps (tests).
 	Clock func() time.Time
 }
+
+func (o *ServerOptions) chunkBurst() float64 {
+	if o.ChunkBurst > 0 {
+		return float64(o.ChunkBurst)
+	}
+	return math.Max(1, math.Ceil(o.MaxChunksPerSec))
+}
+
+// retryAfterSessions is the Retry-After hint (seconds) on a 503 session-cap
+// rejection: sessions drain on operator timescales, not milliseconds.
+const retryAfterSessions = 5
 
 // Server is the ingestion collector: an http.Handler exposing
 //
@@ -67,6 +106,8 @@ type Server struct {
 	mu       sync.Mutex
 	sessions map[string]*session
 
+	recovery RecoveryStats
+
 	mux *http.ServeMux
 }
 
@@ -78,9 +119,12 @@ type session struct {
 	device  string
 	sv      *core.StreamValidator // nil in collection mode
 	records int
-	frames  int
-	bytes   int64
-	chunks  int
+	// seenFrames tracks the distinct frame tags observed, so a fleet shard
+	// owning frames 1000–1999 reports 1000 frames, not 2000 (the old
+	// maxFrame+1 accounting).
+	seenFrames map[int]bool
+	bytes      int64
+	chunks     int
 	// stream identifies the current upload generation (X-MLEXray-Stream, a
 	// random token per RemoteSink): chunk numbering restarts with each new
 	// stream, so a re-run client appends instead of being mistaken for a
@@ -91,12 +135,19 @@ type session struct {
 	nextChunk int
 	lastSeen  time.Time
 	lastErr   string
+	// wal is the session's write-ahead segment (nil without a DataDir).
+	wal *sessionWAL
+	// tokens/tokensAt implement the per-device chunk-rate token bucket.
+	tokens   float64
+	tokensAt time.Time
 }
 
 // NewServer builds a collector. Unset Validate fields default individually
 // to core.DefaultValidateOptions — a partially-specified ValidateOptions
 // keeps its set fields (pass an empty non-nil Assertions slice to disable
-// assertions rather than inherit the built-ins).
+// assertions rather than inherit the built-ins). With DataDir set, existing
+// write-ahead segments replay before the server accepts traffic; Recovery
+// reports what was restored.
 func NewServer(opts ServerOptions) (*Server, error) {
 	def := core.DefaultValidateOptions()
 	if opts.Validate.AgreementThreshold == 0 {
@@ -125,6 +176,11 @@ func NewServer(opts ServerOptions) (*Server, error) {
 		}
 		s.fleet = fv
 	}
+	if opts.DataDir != "" {
+		if err := s.recover(); err != nil {
+			return nil, err
+		}
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /ingest", s.handleIngest)
 	mux.HandleFunc("GET /devices", s.handleDevices)
@@ -133,6 +189,79 @@ func NewServer(opts ServerOptions) (*Server, error) {
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux = mux
 	return s, nil
+}
+
+// recover replays the write-ahead segments under DataDir through the exact
+// chunk-apply path the HTTP handler uses — the same generation bookkeeping,
+// the same validator consumption — so the recovered sessions are
+// byte-identical to the uninterrupted ones. Runs before the server serves,
+// so no lock ordering is at stake.
+func (s *Server) recover() error {
+	recovered, truncated, err := loadWAL(s.opts.DataDir)
+	if err != nil {
+		return err
+	}
+	s.recovery.TruncatedBytes = truncated
+	for _, rs := range recovered {
+		sess := s.createSession(rs.device)
+		s.recovery.Sessions++
+		sess.mu.Lock()
+		for _, e := range rs.entries {
+			recs, _, err := decodeChunk(e.body, s.opts.MaxBodyBytes)
+			if err != nil {
+				// The CRC was intact but the body does not decode: corruption
+				// beyond a torn tail, or a segment written by a future codec.
+				// The chunks before it replayed; surface the defect and stop
+				// this session's replay rather than guessing.
+				s.recovery.SkippedChunks++
+				if sess.lastErr == "" {
+					sess.lastErr = fmt.Sprintf("wal replay: %v", err)
+				}
+				break
+			}
+			dup, seqErr := sess.advanceStreamLocked(e.stream, e.chunk)
+			if seqErr != nil || dup {
+				// Entries were only appended after the generation checks
+				// passed, so an in-log dup/gap is corruption; skip it.
+				s.recovery.SkippedChunks++
+				continue
+			}
+			sess.applyChunkLocked(recs, int64(len(e.body)), e.when)
+			s.recovery.Chunks++
+			s.recovery.Records += len(recs)
+		}
+		// Reopen the segment for appending: new chunks continue the log.
+		w, err := createSessionWAL(s.opts.DataDir, rs.device)
+		if err != nil {
+			sess.mu.Unlock()
+			return err
+		}
+		sess.wal = w
+		sess.mu.Unlock()
+	}
+	return nil
+}
+
+// Recovery reports what the startup WAL replay restored (zero value when no
+// DataDir is configured or the log was empty).
+func (s *Server) Recovery() RecoveryStats { return s.recovery }
+
+// Close releases the write-ahead segment files. The in-memory state stays
+// queryable; further ingestion against a closed WAL fails.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var first error
+	for _, sess := range s.sessions {
+		sess.mu.Lock()
+		if sess.wal != nil {
+			if err := sess.wal.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+		sess.mu.Unlock()
+	}
+	return first
 }
 
 // ServeHTTP implements http.Handler.
@@ -171,18 +300,67 @@ func (s *Server) Devices() []string {
 	return out
 }
 
+// createSession unconditionally creates the device's session — the recovery
+// path, where the cap does not apply (the data is already acked).
+func (s *Server) createSession(device string) *session {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.createSessionLocked(device)
+}
+
+func (s *Server) createSessionLocked(device string) *session {
+	sess := &session{device: device, seenFrames: make(map[int]bool)}
+	if s.fleet != nil {
+		sess.sv = s.fleet.Session(device)
+	}
+	if s.opts.MaxChunksPerSec > 0 {
+		sess.tokens = s.opts.chunkBurst()
+		sess.tokensAt = s.opts.Clock()
+	}
+	s.sessions[device] = sess
+	return sess
+}
+
+// getSession returns the device's session, creating it if the session cap
+// allows; past the cap it returns nil (the caller answers 503).
 func (s *Server) getSession(device string) *session {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if sess, ok := s.sessions[device]; ok {
 		return sess
 	}
-	sess := &session{device: device}
-	if s.fleet != nil {
-		sess.sv = s.fleet.Session(device)
+	if s.opts.MaxSessions > 0 && len(s.sessions) >= s.opts.MaxSessions {
+		return nil
 	}
-	s.sessions[device] = sess
-	return sess
+	return s.createSessionLocked(device)
+}
+
+// peekSession is the pre-decode admission lookup: the existing session (nil
+// if new) and whether a new one may still be created.
+func (s *Server) peekSession(device string) (sess *session, admitNew bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if existing, ok := s.sessions[device]; ok {
+		return existing, true
+	}
+	return nil, s.opts.MaxSessions <= 0 || len(s.sessions) < s.opts.MaxSessions
+}
+
+// takeToken consumes one chunk token from the session's rate bucket,
+// refilled at MaxChunksPerSec up to the burst. When empty it reports the
+// wait until the next token — the 429 Retry-After value.
+func (sess *session) takeToken(rate, burst float64, now time.Time) (ok bool, wait time.Duration) {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	if elapsed := now.Sub(sess.tokensAt).Seconds(); elapsed > 0 {
+		sess.tokens = math.Min(burst, sess.tokens+elapsed*rate)
+	}
+	sess.tokensAt = now
+	if sess.tokens >= 1 {
+		sess.tokens--
+		return true, 0
+	}
+	return false, time.Duration((1 - sess.tokens) / rate * float64(time.Second))
 }
 
 // IngestResponse is the POST /ingest reply: the chunk's contribution and the
@@ -198,6 +376,37 @@ type IngestResponse struct {
 	Duplicate bool `json:"duplicate,omitempty"`
 }
 
+// decodeChunk decodes one chunk body (either encoding, plain or gzip) into
+// records, capping the decoded footprint — shared by the HTTP path and WAL
+// recovery so the two ingest identically.
+func decodeChunk(body []byte, maxBytes int64) ([]core.Record, int, error) {
+	dec, _, err := core.OpenLog(bytes.NewReader(body))
+	if err != nil {
+		return nil, 0, fmt.Errorf("open log stream: %w", err)
+	}
+	var recs []core.Record
+	var decoded int64
+	for {
+		rec, err := dec.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, len(recs), fmt.Errorf("decode record %d: %w", len(recs), err)
+		}
+		decoded += int64(len(rec.Payload)+len(rec.Key)) + 64
+		if decoded > maxBytes {
+			return nil, len(recs), errDecodedTooLarge
+		}
+		recs = append(recs, rec)
+	}
+	return recs, len(recs), nil
+}
+
+// errDecodedTooLarge marks a chunk whose decoded footprint exceeds
+// MaxBodyBytes (a decompression bomb) — answered with 413, not 400.
+var errDecodedTooLarge = errors.New("decoded footprint exceeds the body limit")
+
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	device := r.Header.Get("X-MLEXray-Device")
 	if device == "" {
@@ -212,7 +421,8 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	// acknowledged, not re-ingested. The stream token scopes the numbering
 	// to one upload generation, so a freshly started client (chunk 0 again)
 	// appends rather than being dropped as a replay. Uploads without the
-	// headers (curl) apply unconditionally.
+	// chunk header (curl) apply unconditionally and leave the generation
+	// state alone — they must never disturb an in-flight RemoteSink stream.
 	chunkIdx := -1
 	if h := r.Header.Get("X-MLEXray-Chunk"); h != "" {
 		idx, err := strconv.Atoi(h)
@@ -224,67 +434,153 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 	stream := r.Header.Get("X-MLEXray-Stream")
 
-	// Decode the whole chunk before touching the session: a failed chunk is
-	// atomic (no partial ingest — safe to retry after a 400/disconnect), and
-	// the session lock is never held across a network read, so status reads
-	// stay live under slow uploads. core.OpenLog sniffs gzip and either log
-	// encoding from the leading bytes; the counter reads the wire size.
-	// MaxBodyBytes caps the decoded footprint too, so a small gzip body
-	// cannot balloon into unbounded decoded records (decompression bomb).
-	cr := &countingReader{r: http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)}
-	dec, _, err := core.OpenLog(cr)
-	if err != nil {
-		httpError(w, http.StatusBadRequest, "open log stream: %v", err)
+	// Admission control, before the body is read: a new device past the
+	// session cap gets 503, a known device past its chunk rate gets 429 —
+	// both with Retry-After, both cheap (no decode work spent on a chunk
+	// that will not be admitted).
+	sess, admitNew := s.peekSession(device)
+	if sess == nil && !admitNew {
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSessions))
+		httpError(w, http.StatusServiceUnavailable,
+			"session cap reached (%d); retry later", s.opts.MaxSessions)
 		return
 	}
-	var recs []core.Record
-	maxFrame := -1
-	var decoded int64
-	for {
-		rec, err := dec.Next()
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
-			httpError(w, http.StatusBadRequest, "decode record %d: %v", len(recs), err)
+	if sess != nil && s.opts.MaxChunksPerSec > 0 {
+		if ok, wait := sess.takeToken(s.opts.MaxChunksPerSec, s.opts.chunkBurst(), s.opts.Clock()); !ok {
+			w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(wait.Seconds()))))
+			httpError(w, http.StatusTooManyRequests,
+				"device %q over its chunk rate (%.3g/s); retry in %v", device, s.opts.MaxChunksPerSec, wait)
 			return
 		}
-		decoded += int64(len(rec.Payload)+len(rec.Key)) + 64
-		if decoded > s.opts.MaxBodyBytes {
-			httpError(w, http.StatusRequestEntityTooLarge,
-				"chunk decodes past the %d-byte limit (record %d)", s.opts.MaxBodyBytes, len(recs))
-			return
-		}
-		if rec.Frame > maxFrame {
-			maxFrame = rec.Frame
-		}
-		recs = append(recs, rec)
 	}
 
-	sess := s.getSession(device)
+	// Read, then decode, the whole chunk before touching the session: a
+	// failed chunk is atomic (no partial ingest — safe to retry after a
+	// 400/disconnect), the raw wire bytes are what the write-ahead log
+	// persists, and the session lock is never held across a network read, so
+	// status reads stay live under slow uploads. core.OpenLog sniffs gzip
+	// and either log encoding from the leading bytes. MaxBodyBytes caps the
+	// decoded footprint too, so a small gzip body cannot balloon into
+	// unbounded decoded records (decompression bomb).
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes))
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			httpError(w, http.StatusRequestEntityTooLarge,
+				"chunk exceeds the %d-byte limit", mbe.Limit)
+			return
+		}
+		httpError(w, http.StatusBadRequest, "read chunk: %v", err)
+		return
+	}
+	recs, nRecs, err := decodeChunk(body, s.opts.MaxBodyBytes)
+	if err != nil {
+		if errors.Is(err, errDecodedTooLarge) {
+			httpError(w, http.StatusRequestEntityTooLarge,
+				"chunk decodes past the %d-byte limit (record %d)", s.opts.MaxBodyBytes, nRecs)
+			return
+		}
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	if sess == nil {
+		if sess = s.getSession(device); sess == nil {
+			// Lost the admission race to another new device.
+			w.Header().Set("Retry-After", strconv.Itoa(retryAfterSessions))
+			httpError(w, http.StatusServiceUnavailable,
+				"session cap reached (%d); retry later", s.opts.MaxSessions)
+			return
+		}
+		if s.opts.MaxChunksPerSec > 0 {
+			// The session was created for this chunk; it still pays its
+			// token (the fresh bucket is full, so this never rejects).
+			sess.takeToken(s.opts.MaxChunksPerSec, s.opts.chunkBurst(), s.opts.Clock())
+		}
+	}
 	sess.mu.Lock()
 	defer sess.mu.Unlock()
+	dup, seqErr := sess.advanceStreamLocked(stream, chunkIdx)
+	if seqErr != nil {
+		httpError(w, http.StatusConflict, "%v", seqErr)
+		return
+	}
+	if dup {
+		// Already applied; the first delivery's response was lost.
+		writeJSON(w, http.StatusOK, IngestResponse{
+			Device: device, Records: sess.records, Frames: len(sess.seenFrames),
+			Chunks: sess.chunks, Duplicate: true,
+		})
+		return
+	}
+	now := s.opts.Clock()
+	if sess.wal == nil && s.opts.DataDir != "" {
+		walW, err := createSessionWAL(s.opts.DataDir, device)
+		if err != nil {
+			sess.rewindStreamLocked(chunkIdx)
+			httpError(w, http.StatusInternalServerError, "wal: %v", err)
+			return
+		}
+		sess.wal = walW
+	}
+	if sess.wal != nil {
+		// The write barrier: the chunk is durable before it is acked. A
+		// failed append answers 500 without applying — the client retries,
+		// and the log and the in-memory state stay in agreement.
+		if err := sess.wal.append(walEntry{stream: stream, chunk: chunkIdx, when: now, body: body}); err != nil {
+			sess.rewindStreamLocked(chunkIdx)
+			httpError(w, http.StatusInternalServerError, "wal: %v", err)
+			return
+		}
+	}
+	sess.applyChunkLocked(recs, int64(len(body)), now)
+	writeJSON(w, http.StatusOK, IngestResponse{
+		Device:       device,
+		ChunkRecords: len(recs),
+		Records:      sess.records,
+		Frames:       len(sess.seenFrames),
+		Chunks:       sess.chunks,
+	})
+}
+
+// advanceStreamLocked applies the upload-generation bookkeeping for one
+// arriving chunk: duplicate detection, gap rejection, and the sequence
+// advance. Headerless chunks (chunkIdx < 0 — curl uploads) apply
+// unconditionally and do NOT touch the generation state, so an interleaved
+// manual upload cannot reset an active RemoteSink stream's numbering.
+// Shared by the HTTP path and WAL recovery.
+func (sess *session) advanceStreamLocked(stream string, chunkIdx int) (dup bool, err error) {
+	if chunkIdx < 0 {
+		return false, nil
+	}
 	if stream != sess.stream {
 		// A new upload generation for this device: chunk numbering restarts,
 		// data appends to the session.
 		sess.stream = stream
 		sess.nextChunk = 0
 	}
-	if chunkIdx >= 0 {
-		if chunkIdx < sess.nextChunk {
-			// Already applied; the first delivery's response was lost.
-			writeJSON(w, http.StatusOK, IngestResponse{
-				Device: device, Records: sess.records, Frames: sess.frames,
-				Chunks: sess.chunks, Duplicate: true,
-			})
-			return
-		}
-		if chunkIdx > sess.nextChunk {
-			httpError(w, http.StatusConflict, "chunk %d arrived but chunk %d is next (lost chunk?)", chunkIdx, sess.nextChunk)
-			return
-		}
-		sess.nextChunk++
+	if chunkIdx < sess.nextChunk {
+		return true, nil
 	}
+	if chunkIdx > sess.nextChunk {
+		return false, fmt.Errorf("chunk %d arrived but chunk %d is next (lost chunk?)", chunkIdx, sess.nextChunk)
+	}
+	sess.nextChunk++
+	return false, nil
+}
+
+// rewindStreamLocked undoes advanceStreamLocked after a failed durable
+// append: the chunk was not applied, so its retry must be in-sequence again.
+func (sess *session) rewindStreamLocked(chunkIdx int) {
+	if chunkIdx >= 0 {
+		sess.nextChunk = chunkIdx
+	}
+}
+
+// applyChunkLocked folds one admitted, durable chunk into the session: the
+// validator consumes its records and the counters advance. Shared verbatim
+// by the HTTP path and WAL recovery — what makes recovery exact.
+func (sess *session) applyChunkLocked(recs []core.Record, wireBytes int64, now time.Time) {
 	if sess.sv != nil {
 		for i := range recs {
 			if err := sess.sv.Consume(recs[i]); err != nil && sess.lastErr == "" {
@@ -295,27 +591,15 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
-	sess.noteLocked(cr.n, len(recs), maxFrame, s.opts.Clock())
-	writeJSON(w, http.StatusOK, IngestResponse{
-		Device:       device,
-		ChunkRecords: len(recs),
-		Records:      sess.records,
-		Frames:       sess.frames,
-		Chunks:       sess.chunks,
-	})
-}
-
-// noteLocked folds one applied chunk into the session counters.
-func (sess *session) noteLocked(bytes int64, records, maxFrame int, now time.Time) {
-	sess.bytes += bytes
-	sess.records += records
-	sess.chunks++
-	if maxFrame+1 > sess.frames {
-		sess.frames = maxFrame + 1
+	for i := range recs {
+		sess.seenFrames[recs[i].Frame] = true
 	}
+	sess.bytes += wireBytes
+	sess.records += len(recs)
+	sess.chunks++
 	sess.lastSeen = now
 	if sess.sv != nil {
-		sess.sv.AddBytes(int(bytes))
+		sess.sv.AddBytes(int(wireBytes))
 	}
 }
 
@@ -342,7 +626,7 @@ func (sess *session) status() DeviceStatus {
 	return DeviceStatus{
 		Device:   sess.device,
 		Records:  sess.records,
-		Frames:   sess.frames,
+		Frames:   len(sess.seenFrames),
 		Bytes:    sess.bytes,
 		Chunks:   sess.chunks,
 		LastSeen: sess.lastSeen,
@@ -401,7 +685,13 @@ func (s *Server) handleFleet(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusConflict, "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, FleetResponse{Devices: s.Devices(), Report: rep})
+	// The device list derives from the report snapshot itself — a separate
+	// Devices() read could disagree under a concurrent first upload.
+	devices := make([]string, 0, len(rep.Devices))
+	for _, dr := range rep.Devices {
+		devices = append(devices, dr.Device)
+	}
+	writeJSON(w, http.StatusOK, FleetResponse{Devices: devices, Report: rep})
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -412,6 +702,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		"ok":        true,
 		"devices":   n,
 		"reference": s.fleet != nil,
+		"durable":   s.opts.DataDir != "",
 	})
 }
 
@@ -425,15 +716,4 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 func httpError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
-}
-
-type countingReader struct {
-	r io.Reader
-	n int64
-}
-
-func (c *countingReader) Read(p []byte) (int, error) {
-	n, err := c.r.Read(p)
-	c.n += int64(n)
-	return n, err
 }

@@ -1,0 +1,385 @@
+package ingest
+
+// This file is the collector's durability layer: a per-session write-ahead
+// segment log. Every accepted upload chunk is appended to the session's
+// segment file — a small header (stream token, chunk sequence number,
+// arrival time) plus the raw wire bytes exactly as received — and fsynced
+// BEFORE the 200 ack, so an acknowledged chunk survives a collector crash.
+// On startup the segments replay in order through the same ingestion path
+// the HTTP handler uses, so the recovered per-device and fleet reports are
+// byte-identical to an uninterrupted run: recovery is exact by
+// construction, not by best effort.
+//
+// Segment file layout (all integers varint/uvarint unless noted):
+//
+//	header:  "MLXW" magic, version byte (1), device string (uvarint len + bytes)
+//	entry:   stream string (uvarint len + bytes)
+//	         chunk sequence number (varint; -1 = headerless upload)
+//	         arrival time (varint, unix nanoseconds)
+//	         body length (uvarint)
+//	         crc32 (IEEE) of body (4 bytes little-endian)
+//	         body (raw wire bytes: a standalone log chunk, plain or gzip)
+//
+// A crash can tear at most the entry being appended (each append is one
+// write syscall followed by fsync); recovery detects the torn tail by
+// length/CRC, truncates the file back to the last complete entry, and
+// replays the intact prefix. The client never saw an ack for the torn
+// chunk, so its retry re-delivers it to the recovered session, whose
+// expected chunk sequence number picks up exactly where the log ends.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"net/url"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+)
+
+var walMagic = []byte{'M', 'L', 'X', 'W'}
+
+const walVersion = 1
+
+// walSuffix names session segment files: <url.PathEscape(device)>.wal.
+const walSuffix = ".wal"
+
+// maxWALEntry caps one entry's body so a corrupt length prefix cannot drive
+// an arbitrarily large allocation during recovery.
+const maxWALEntry = 1 << 31
+
+// walEntry is one logged chunk: the upload-generation metadata that makes
+// retries idempotent, the arrival time (so a recovered session's status is
+// identical to the uninterrupted one), and the raw wire bytes.
+type walEntry struct {
+	stream string
+	chunk  int // X-MLEXray-Chunk, -1 for headerless uploads
+	when   time.Time
+	body   []byte
+}
+
+// sessionWAL is one session's open segment file. Appends happen under the
+// session mutex (chunks of one device are already serialized), so the type
+// itself is not concurrency-safe.
+type sessionWAL struct {
+	f         *os.File
+	path      string
+	committed int64 // offset after the last fully synced entry
+	buf       []byte
+	err       error // sticky: a failed truncate-back leaves the file unusable
+}
+
+// walPath maps a device ID to its segment file. url.PathEscape is injective
+// and never emits a path separator, so arbitrary device IDs are safe.
+func walPath(dir, device string) string {
+	return filepath.Join(dir, url.PathEscape(device)+walSuffix)
+}
+
+// appendWALHeader serializes the segment file header.
+func appendWALHeader(buf []byte, device string) []byte {
+	buf = append(buf, walMagic...)
+	buf = append(buf, walVersion)
+	buf = binary.AppendUvarint(buf, uint64(len(device)))
+	return append(buf, device...)
+}
+
+// createSessionWAL opens the device's segment file for appending, writing
+// and syncing the header when the file is new. The parent directory entry is
+// synced too, so a freshly created segment survives a crash right after the
+// first ack.
+func createSessionWAL(dir, device string) (*sessionWAL, error) {
+	path := walPath(dir, device)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("ingest: open wal segment: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("ingest: stat wal segment: %w", err)
+	}
+	w := &sessionWAL{f: f, path: path, committed: st.Size()}
+	if st.Size() == 0 {
+		hdr := appendWALHeader(nil, device)
+		if _, err := f.Write(hdr); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("ingest: write wal header: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("ingest: sync wal header: %w", err)
+		}
+		if err := syncDir(dir); err != nil {
+			f.Close()
+			return nil, err
+		}
+		w.committed = int64(len(hdr))
+	}
+	return w, nil
+}
+
+// syncDir fsyncs a directory so newly created file entries are durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("ingest: open wal dir: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("ingest: sync wal dir: %w", err)
+	}
+	return nil
+}
+
+// append logs one chunk and fsyncs — the write barrier in front of every
+// ack. The entry is assembled into one buffer and written with a single
+// syscall, so a crash tears at most the file's tail, never an earlier entry.
+// On a failed write the file is truncated back to the last committed entry;
+// if even that fails the WAL is marked broken (sticky error) so no later
+// chunk can be acked against a corrupt log.
+func (w *sessionWAL) append(e walEntry) error {
+	if w.err != nil {
+		return w.err
+	}
+	buf := w.buf[:0]
+	buf = binary.AppendUvarint(buf, uint64(len(e.stream)))
+	buf = append(buf, e.stream...)
+	buf = binary.AppendVarint(buf, int64(e.chunk))
+	buf = binary.AppendVarint(buf, e.when.UnixNano())
+	buf = binary.AppendUvarint(buf, uint64(len(e.body)))
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(e.body))
+	buf = append(buf, e.body...)
+	w.buf = buf
+	if _, err := w.f.Write(buf); err != nil {
+		if terr := w.f.Truncate(w.committed); terr != nil {
+			w.err = fmt.Errorf("ingest: wal truncate after failed append: %v (append: %w)", terr, err)
+			return w.err
+		}
+		return fmt.Errorf("ingest: wal append: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		// The entry's durability is unknown; roll it back so the in-memory
+		// state (which will not apply this chunk) and the log agree.
+		if terr := w.f.Truncate(w.committed); terr != nil {
+			w.err = fmt.Errorf("ingest: wal truncate after failed sync: %v (sync: %w)", terr, err)
+			return w.err
+		}
+		return fmt.Errorf("ingest: wal sync: %w", err)
+	}
+	w.committed += int64(len(buf))
+	return nil
+}
+
+// Close closes the segment file.
+func (w *sessionWAL) Close() error {
+	if w.f == nil {
+		return nil
+	}
+	err := w.f.Close()
+	w.f = nil
+	return err
+}
+
+// recoveredSession is one session's replayable history: the device ID from
+// the segment header and its intact entries in append order.
+type recoveredSession struct {
+	device  string
+	entries []walEntry
+}
+
+// RecoveryStats summarizes a startup replay of the write-ahead log.
+type RecoveryStats struct {
+	// Sessions is how many device sessions were restored.
+	Sessions int `json:"sessions"`
+	// Chunks and Records are the replayed totals across sessions.
+	Chunks  int `json:"chunks"`
+	Records int `json:"records"`
+	// TruncatedBytes counts torn tail bytes discarded across segment files
+	// (at most one torn entry per file — the append in flight at the crash).
+	TruncatedBytes int64 `json:"truncated_bytes,omitempty"`
+	// SkippedChunks counts logged chunks the replay could not apply (an
+	// undecodable body after an intact CRC — corruption beyond a torn tail).
+	SkippedChunks int `json:"skipped_chunks,omitempty"`
+}
+
+// loadWAL reads every session segment under dir, truncating torn tails in
+// place, and returns the sessions in device order (deterministic recovery).
+func loadWAL(dir string) ([]recoveredSession, int64, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, 0, fmt.Errorf("ingest: wal dir: %w", err)
+	}
+	names, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, 0, fmt.Errorf("ingest: wal dir: %w", err)
+	}
+	var sessions []recoveredSession
+	var truncated int64
+	for _, de := range names {
+		if de.IsDir() || !strings.HasSuffix(de.Name(), walSuffix) {
+			continue
+		}
+		path := filepath.Join(dir, de.Name())
+		rs, torn, err := readSegment(path)
+		if err != nil {
+			return nil, 0, err
+		}
+		truncated += torn
+		sessions = append(sessions, rs)
+	}
+	sort.Slice(sessions, func(i, j int) bool { return sessions[i].device < sessions[j].device })
+	return sessions, truncated, nil
+}
+
+// readSegment parses one segment file, truncating it back to the last
+// complete entry when the tail is torn. A file whose header itself is
+// unreadable is rejected outright — it is not a WAL segment, and silently
+// skipping it would un-ack data.
+func readSegment(path string) (recoveredSession, int64, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return recoveredSession{}, 0, fmt.Errorf("ingest: open wal segment: %w", err)
+	}
+	defer f.Close()
+	cr := &walCountingReader{r: bufio.NewReaderSize(f, 1<<16)}
+
+	head := make([]byte, len(walMagic)+1)
+	if _, err := io.ReadFull(cr, head); err != nil {
+		return recoveredSession{}, 0, fmt.Errorf("ingest: wal segment %s: header: %w", path, err)
+	}
+	if string(head[:len(walMagic)]) != string(walMagic) {
+		return recoveredSession{}, 0, fmt.Errorf("ingest: %s is not a wal segment (bad magic %q)", path, head[:len(walMagic)])
+	}
+	if v := head[len(walMagic)]; v != walVersion {
+		return recoveredSession{}, 0, fmt.Errorf("ingest: wal segment %s: version %d not supported (want %d)", path, v, walVersion)
+	}
+	device, err := readWALString(cr, maxWALEntry)
+	if err != nil {
+		return recoveredSession{}, 0, fmt.Errorf("ingest: wal segment %s: device: %w", path, err)
+	}
+
+	rs := recoveredSession{device: device}
+	good := cr.n // offset after the last complete entry
+	for {
+		e, err := readWALEntry(cr)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			// Torn tail: the entry being appended at the crash. Everything
+			// before it is intact; cut the file back so future appends start
+			// from a clean boundary.
+			break
+		}
+		rs.entries = append(rs.entries, e)
+		good = cr.n
+	}
+	st, err := f.Stat()
+	if err != nil {
+		return recoveredSession{}, 0, fmt.Errorf("ingest: wal segment %s: %w", path, err)
+	}
+	torn := st.Size() - good
+	if torn > 0 {
+		if err := f.Truncate(good); err != nil {
+			return recoveredSession{}, 0, fmt.Errorf("ingest: wal segment %s: truncate torn tail: %w", path, err)
+		}
+		if err := f.Sync(); err != nil {
+			return recoveredSession{}, 0, fmt.Errorf("ingest: wal segment %s: sync truncation: %w", path, err)
+		}
+	}
+	return rs, torn, nil
+}
+
+// readWALEntry reads one entry. io.EOF at an entry boundary is a clean end;
+// any other error (including EOF mid-entry and a CRC mismatch) marks a torn
+// tail.
+func readWALEntry(r io.Reader) (walEntry, error) {
+	br := r.(io.ByteReader)
+	streamLen, err := binary.ReadUvarint(br)
+	if err != nil {
+		if err == io.EOF {
+			return walEntry{}, io.EOF
+		}
+		return walEntry{}, fmt.Errorf("ingest: wal entry stream length: %w", err)
+	}
+	if streamLen > maxWALEntry {
+		return walEntry{}, fmt.Errorf("ingest: wal entry stream length %d implausible", streamLen)
+	}
+	stream := make([]byte, streamLen)
+	if _, err := io.ReadFull(r, stream); err != nil {
+		return walEntry{}, fmt.Errorf("ingest: wal entry stream: %w", err)
+	}
+	chunk, err := binary.ReadVarint(br)
+	if err != nil {
+		return walEntry{}, fmt.Errorf("ingest: wal entry chunk: %w", err)
+	}
+	nanos, err := binary.ReadVarint(br)
+	if err != nil {
+		return walEntry{}, fmt.Errorf("ingest: wal entry time: %w", err)
+	}
+	bodyLen, err := binary.ReadUvarint(br)
+	if err != nil {
+		return walEntry{}, fmt.Errorf("ingest: wal entry body length: %w", err)
+	}
+	if bodyLen > maxWALEntry {
+		return walEntry{}, fmt.Errorf("ingest: wal entry body of %d bytes exceeds the %d limit", bodyLen, maxWALEntry)
+	}
+	var crcBuf [4]byte
+	if _, err := io.ReadFull(r, crcBuf[:]); err != nil {
+		return walEntry{}, fmt.Errorf("ingest: wal entry crc: %w", err)
+	}
+	body := make([]byte, bodyLen)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return walEntry{}, fmt.Errorf("ingest: wal entry body: %w", err)
+	}
+	if got, want := crc32.ChecksumIEEE(body), binary.LittleEndian.Uint32(crcBuf[:]); got != want {
+		return walEntry{}, fmt.Errorf("ingest: wal entry crc mismatch (%08x != %08x)", got, want)
+	}
+	return walEntry{
+		stream: string(stream),
+		chunk:  int(chunk),
+		when:   time.Unix(0, nanos),
+		body:   body,
+	}, nil
+}
+
+// readWALString reads a uvarint-prefixed string.
+func readWALString(r io.Reader, limit uint64) (string, error) {
+	n, err := binary.ReadUvarint(r.(io.ByteReader))
+	if err != nil {
+		return "", err
+	}
+	if n > limit {
+		return "", fmt.Errorf("string length %d implausible", n)
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(r, b); err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+// walCountingReader tracks the byte offset while exposing ByteReader (varint
+// decoding) — what lets readSegment know the exact boundary of the last
+// complete entry.
+type walCountingReader struct {
+	r *bufio.Reader
+	n int64
+}
+
+func (c *walCountingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+func (c *walCountingReader) ReadByte() (byte, error) {
+	b, err := c.r.ReadByte()
+	if err == nil {
+		c.n++
+	}
+	return b, err
+}

@@ -196,7 +196,7 @@ const ingestFrames = 32
 // optionally gzips, POSTs to a live in-process collector, and validates
 // incrementally against the same log as reference. Reports ns/frame,
 // frames/sec and wire bytes/frame.
-func benchIngestUpload(b *testing.B, gz bool) {
+func benchIngestUpload(b *testing.B, gz bool, dataDir string) {
 	b.Helper()
 	entry, err := zoo.Get("mobilenetv2-mini")
 	if err != nil {
@@ -222,10 +222,11 @@ func benchIngestUpload(b *testing.B, gz bool) {
 		groups = append(groups, log.Records[start:end])
 		start = end
 	}
-	srv, err := ingest.NewServer(ingest.ServerOptions{Ref: log})
+	srv, err := ingest.NewServer(ingest.ServerOptions{Ref: log, DataDir: dataDir})
 	if err != nil {
 		b.Fatal(err)
 	}
+	defer srv.Close()
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
 
@@ -257,11 +258,14 @@ func benchIngestUpload(b *testing.B, gz bool) {
 }
 
 // BenchmarkIngestUpload measures collector ingestion throughput — binary
-// chunks with and without gzip — the ingest_binary[_gzip] datapoints of
-// BENCH_replay.json.
+// chunks with and without gzip, plus the durable (write-ahead-logged)
+// collector — the ingest_binary[_gzip|_durable] datapoints of
+// BENCH_replay.json. The durable variant prices the fsync-before-ack
+// barrier against the in-memory binary baseline.
 func BenchmarkIngestUpload(b *testing.B) {
-	b.Run("binary", func(b *testing.B) { benchIngestUpload(b, false) })
-	b.Run("binary-gzip", func(b *testing.B) { benchIngestUpload(b, true) })
+	b.Run("binary", func(b *testing.B) { benchIngestUpload(b, false, "") })
+	b.Run("binary-gzip", func(b *testing.B) { benchIngestUpload(b, true, "") })
+	b.Run("binary-durable", func(b *testing.B) { benchIngestUpload(b, false, b.TempDir()) })
 }
 
 // BenchmarkInvoke measures the interpreter hot loop alone on the

@@ -359,10 +359,21 @@ func NewFleetStreamValidator(ref *Log, opts ValidateOptions) (*FleetStreamValida
 // encoding, plain or gzip), validates each session incrementally, and serves
 // per-device and fleet-wide reports (GET /devices/{id}, GET /fleet).
 // cmd/exrayd wraps it as a daemon.
+//
+// With IngestServerOptions.DataDir set the collector is durable: accepted
+// chunks are fsynced to per-session write-ahead segments before the ack,
+// and a restarted collector replays them so the recovered reports are
+// byte-identical to an uninterrupted run (Recovery reports what was
+// restored). MaxSessions and MaxChunksPerSec add admission control — 503
+// and 429 with Retry-After, which RemoteSink retries as transient.
 type IngestServer = ingest.Server
 
 // IngestServerOptions configures an IngestServer.
 type IngestServerOptions = ingest.ServerOptions
+
+// IngestRecoveryStats reports what an IngestServer's startup replay of its
+// write-ahead log restored (IngestServer.Recovery).
+type IngestRecoveryStats = ingest.RecoveryStats
 
 // NewIngestServer builds a collector validating uploads against
 // opts.Ref.
