@@ -29,16 +29,28 @@
 // the 200 ack, and a restarted daemon replays the segments so the recovered
 // reports are exactly what an uninterrupted run would serve. -max-sessions
 // and -max-chunk-rate add admission control (503/429 with Retry-After; the
-// upload clients treat both as transient and retry).
+// upload clients treat both as transient and retry), and -evict-idle frees
+// session slots held by silent devices — their segments stay on disk, so
+// the next chunk resurrects the session exactly.
+//
+// SIGINT/SIGTERM shut the daemon down gracefully: the listener stops
+// accepting, in-flight uploads drain (bounded by -drain-timeout), the WAL
+// segments close, and the process exits 0 — a restart recovers every acked
+// chunk.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"mlexray/internal/core"
 	"mlexray/internal/ingest"
@@ -53,8 +65,8 @@ func main() {
 
 // serve runs the accept loop; tests stub it out to exercise run() without
 // binding the process to a socket forever.
-var serve = func(ln net.Listener, h http.Handler) error {
-	return http.Serve(ln, h)
+var serve = func(ln net.Listener, hs *http.Server) error {
+	return hs.Serve(ln)
 }
 
 func run(args []string, stdout io.Writer) error {
@@ -67,6 +79,12 @@ func run(args []string, stdout io.Writer) error {
 		dataDir      = fs.String("data-dir", "", "write-ahead log directory: accepted chunks are fsynced here before the ack, and a restart replays them to recover every session exactly (empty = in-memory only)")
 		maxSessions  = fs.Int("max-sessions", 0, "cap on concurrent device sessions; new devices past it get 503 + Retry-After (0 = unlimited)")
 		maxChunkRate = fs.Float64("max-chunk-rate", 0, "per-device accepted-chunk rate limit in chunks/sec; over-rate chunks get 429 + Retry-After (0 = unlimited)")
+		evictIdle    = fs.Duration("evict-idle", 0, "evict sessions idle this long; their WAL segments stay recoverable (requires -data-dir; 0 = never)")
+		readTimeout  = fs.Duration("read-timeout", time.Minute, "per-request body read deadline: sheds slow-loris uploads (0 = none)")
+		writeTimeout = fs.Duration("write-timeout", time.Minute, "per-request response write deadline (0 = none)")
+		headerTO     = fs.Duration("read-header-timeout", 10*time.Second, "time allowed to read a request's headers before the connection is shed")
+		idleConnTO   = fs.Duration("idle-conn-timeout", 2*time.Minute, "keep-alive: how long an idle client connection is kept open")
+		drainTO      = fs.Duration("drain-timeout", 10*time.Second, "graceful shutdown: how long in-flight uploads get to finish after SIGINT/SIGTERM")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -77,6 +95,9 @@ func run(args []string, stdout io.Writer) error {
 		DataDir:         *dataDir,
 		MaxSessions:     *maxSessions,
 		MaxChunksPerSec: *maxChunkRate,
+		IdleTimeout:     *evictIdle,
+		ReadTimeout:     *readTimeout,
+		WriteTimeout:    *writeTimeout,
 	}
 	if *refPath != "" {
 		f, err := os.Open(*refPath)
@@ -121,5 +142,44 @@ func run(args []string, stdout io.Writer) error {
 	}
 	defer ln.Close()
 	fmt.Fprintf(stdout, "exrayd: listening on http://%s (POST /ingest, GET /fleet, /devices/{id})\n", ln.Addr())
-	return serve(ln, srv)
+
+	// The accept loop runs under a server with header/idle timeouts (a
+	// header-stalling client cannot hold a connection open indefinitely)
+	// while SIGINT/SIGTERM trigger a graceful drain: stop accepting, let
+	// in-flight uploads finish, close the WAL segments, exit clean — the
+	// write-ahead log makes the subsequent restart exact.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	hs := &http.Server{
+		Handler:           srv,
+		ReadHeaderTimeout: *headerTO,
+		IdleTimeout:       *idleConnTO,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- serve(ln, hs) }()
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			srv.Close()
+			return err
+		}
+		return srv.Close()
+	case <-ctx.Done():
+		stop()
+		fmt.Fprintf(stdout, "exrayd: signal received: draining in-flight uploads (up to %v)\n", *drainTO)
+		sctx, cancel := context.WithTimeout(context.Background(), *drainTO)
+		defer cancel()
+		if err := hs.Shutdown(sctx); err != nil {
+			// Drain deadline passed with uploads still in flight: cut them.
+			// Their chunks were never acked, so the clients will retry
+			// against the restarted daemon.
+			hs.Close()
+		}
+		<-errc // the accept loop has returned http.ErrServerClosed
+		if err := srv.Close(); err != nil {
+			return fmt.Errorf("closing wal segments: %w", err)
+		}
+		fmt.Fprintf(stdout, "exrayd: shutdown complete (wal segments closed)\n")
+		return nil
+	}
 }

@@ -5,10 +5,14 @@ import (
 	"encoding/json"
 	"net"
 	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
+	"syscall"
 	"testing"
+	"time"
 
 	"mlexray/internal/core"
 	"mlexray/internal/ingest"
@@ -49,8 +53,8 @@ func TestRunServesIngest(t *testing.T) {
 	// terms, and let run() return.
 	var handler http.Handler
 	oldServe := serve
-	serve = func(ln net.Listener, h http.Handler) error {
-		handler = h
+	serve = func(ln net.Listener, hs *http.Server) error {
+		handler = hs.Handler
 		return nil
 	}
 	defer func() { serve = oldServe }()
@@ -120,7 +124,7 @@ func TestRunServesIngest(t *testing.T) {
 // TestRunCollectionMode boots without -ref and pins the banner.
 func TestRunCollectionMode(t *testing.T) {
 	oldServe := serve
-	serve = func(ln net.Listener, h http.Handler) error { return nil }
+	serve = func(ln net.Listener, hs *http.Server) error { return nil }
 	defer func() { serve = oldServe }()
 	var buf bytes.Buffer
 	if err := run([]string{"-addr", "127.0.0.1:0"}, &buf); err != nil {
@@ -157,23 +161,34 @@ func TestRunDurableRecovery(t *testing.T) {
 	f.Close()
 	walDir := filepath.Join(dir, "wal")
 
-	var handler http.Handler
 	oldServe := serve
-	serve = func(ln net.Listener, h http.Handler) error {
-		handler = h
-		return nil
-	}
 	defer func() { serve = oldServe }()
-	boot := func() (http.Handler, string) {
-		handler = nil
+	// boot starts run() with the accept loop stubbed to hand over the
+	// handler and then block — the daemon stays live (WAL segments open)
+	// until crash() releases it, at which point run() closes the WAL and
+	// returns, exactly like a process exit.
+	boot := func() (http.Handler, func() string) {
+		handlerCh := make(chan http.Handler, 1)
+		release := make(chan struct{})
+		serve = func(ln net.Listener, hs *http.Server) error {
+			handlerCh <- hs.Handler
+			<-release
+			return nil
+		}
 		var buf bytes.Buffer
-		if err := run([]string{"-addr", "127.0.0.1:0", "-ref", refPath, "-data-dir", walDir}, &buf); err != nil {
-			t.Fatal(err)
+		done := make(chan error, 1)
+		go func() {
+			done <- run([]string{"-addr", "127.0.0.1:0", "-ref", refPath, "-data-dir", walDir}, &buf)
+		}()
+		h := <-handlerCh
+		crash := func() string {
+			close(release)
+			if err := <-done; err != nil {
+				t.Errorf("run = %v", err)
+			}
+			return buf.String()
 		}
-		if handler == nil {
-			t.Fatal("run never built a handler")
-		}
-		return handler, buf.String()
+		return h, crash
 	}
 	serveOn := func(h http.Handler) (string, func()) {
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -184,10 +199,7 @@ func TestRunDurableRecovery(t *testing.T) {
 		return "http://" + ln.Addr().String(), func() { ln.Close() }
 	}
 
-	h1, out1 := boot()
-	if !strings.Contains(out1, "recovered 0 sessions") {
-		t.Errorf("first boot banner should report an empty WAL:\n%s", out1)
-	}
+	h1, crash1 := boot()
 	base, stop := serveOn(h1)
 	sink, err := ingest.NewRemoteSink(ingest.SinkOptions{
 		URL: base, Device: "dev-a", Format: core.FormatBinary,
@@ -219,15 +231,140 @@ func TestRunDurableRecovery(t *testing.T) {
 		return buf.Bytes()
 	}
 	want := getFleet(base)
-	stop() // crash: no drain, no goodbye
-
-	h2, out2 := boot()
-	if !strings.Contains(out2, "recovered 1 sessions") {
-		t.Errorf("second boot banner should report the recovered session:\n%s", out2)
+	stop()
+	if out := crash1(); !strings.Contains(out, "recovered 0 sessions") {
+		t.Errorf("first boot banner should report an empty WAL:\n%s", out)
 	}
+
+	h2, crash2 := boot()
 	base2, stop2 := serveOn(h2)
 	defer stop2()
-	if got := getFleet(base2); !bytes.Equal(want, got) {
+	got := getFleet(base2)
+	if out := crash2(); !strings.Contains(out, "recovered 1 sessions") {
+		t.Errorf("second boot banner should report the recovered session:\n%s", out)
+	}
+	if !bytes.Equal(want, got) {
 		t.Errorf("recovered /fleet differs:\npre-crash: %s\nrecovered: %s", want, got)
+	}
+}
+
+// syncBuffer is a bytes.Buffer safe for the banner-polling below: run()
+// writes it from its own goroutine while the test reads it.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestRunGracefulSigterm boots the real daemon (unstubbed accept loop) with
+// a durable data dir, uploads mid-stream, and sends the process SIGTERM:
+// run() must drain, close the WAL, print the shutdown banner, and return
+// nil (exit 0). A second boot over the same directory recovers the acked
+// chunk exactly.
+func TestRunGracefulSigterm(t *testing.T) {
+	dir := t.TempDir()
+	refPath := filepath.Join(dir, "ref.jsonl")
+	f, err := os.Create(refPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := testRefLog(4)
+	if err := ref.WriteJSONL(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	walDir := filepath.Join(dir, "wal")
+
+	var buf syncBuffer
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-addr", "127.0.0.1:0", "-ref", refPath, "-data-dir", walDir}, &buf)
+	}()
+	var base string
+	for deadline := time.Now().Add(10 * time.Second); ; time.Sleep(5 * time.Millisecond) {
+		if out := buf.String(); strings.Contains(out, "listening on http://") {
+			line := out[strings.Index(out, "listening on http://")+len("listening on "):]
+			base = strings.Fields(line)[0]
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no listen banner:\n%s", buf.String())
+		}
+	}
+
+	// Mid-upload: the first chunk is acked and durable; the stream is not
+	// finished when the signal lands.
+	sink, err := ingest.NewRemoteSink(ingest.SinkOptions{
+		URL: base, Device: "dev-a", Format: core.FormatBinary,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for f := 0; f < 2; f++ {
+		if err := sink.WriteFrame(f, ref.Records[f:f+1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run after SIGTERM = %v, want nil (exit 0)", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("run did not return after SIGTERM")
+	}
+	out := buf.String()
+	if !strings.Contains(out, "shutdown complete") {
+		t.Errorf("missing shutdown banner:\n%s", out)
+	}
+	if _, err := http.Get(base + "/healthz"); err == nil {
+		t.Error("daemon still serving after graceful shutdown")
+	}
+
+	// Restart over the same directory: the acked chunk recovered.
+	var handler http.Handler
+	oldServe := serve
+	serve = func(ln net.Listener, hs *http.Server) error {
+		handler = hs.Handler
+		return nil
+	}
+	defer func() { serve = oldServe }()
+	var buf2 bytes.Buffer
+	if err := run([]string{"-addr", "127.0.0.1:0", "-ref", refPath, "-data-dir", walDir}, &buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf2.String(), "recovered 1 sessions (1 chunks, 2 records") {
+		t.Errorf("recovery banner should report the acked chunk:\n%s", buf2.String())
+	}
+	req := httptest.NewRequest(http.MethodGet, "/devices/dev-a", nil)
+	rr := httptest.NewRecorder()
+	handler.ServeHTTP(rr, req)
+	if rr.Code != http.StatusOK {
+		t.Fatalf("/devices/dev-a after restart: %d", rr.Code)
+	}
+	var st struct{ Records, Frames int }
+	if err := json.Unmarshal(rr.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Records != 2 || st.Frames != 2 {
+		t.Errorf("recovered session = %+v, want 2 records / 2 frames", st)
 	}
 }

@@ -1,0 +1,95 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunCleanStorm drives a small fault-free in-memory storm end to end
+// through the CLI and pins the report shape and the JSON emit.
+func TestRunCleanStorm(t *testing.T) {
+	jsonPath := filepath.Join(t.TempDir(), "storm.json")
+	var buf bytes.Buffer
+	err := run([]string{
+		"-devices", "6", "-frames", "2", "-no-faults", "-quiet",
+		"-kill-after", "0", "-evict-idle", "0",
+		"-json", jsonPath,
+	}, &buf)
+	if err != nil {
+		t.Fatalf("clean storm failed: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"6 devices, 12 frames",
+		"throughput",
+		"p99 latency",
+		"peak rss",
+		"statuses",
+		"PASS: all graceful-degradation invariants held",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res struct {
+		Devices      int             `json:"devices"`
+		FramesPerSec float64         `json:"frames_per_sec"`
+		PeakRSSBytes int64           `json:"peak_rss_bytes"`
+		Statuses     map[string]int  `json:"status_counts"`
+		Faults       map[string]int  `json:"faults_injected"`
+		Raw          json.RawMessage `json:"-"`
+	}
+	if err := json.Unmarshal(data, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Devices != 6 || res.FramesPerSec <= 0 || res.PeakRSSBytes <= 0 {
+		t.Errorf("JSON result incomplete: %+v", res)
+	}
+	if res.Statuses["200"] == 0 {
+		t.Errorf("JSON statuses missing the 200s: %v", res.Statuses)
+	}
+}
+
+// TestRunFaultyDurableStorm runs the full chaos path through the CLI: every
+// fault type, a mid-storm kill/restart, eviction — small enough for a test,
+// real enough to exercise each leg.
+func TestRunFaultyDurableStorm(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full chaos storm skipped in -short")
+	}
+	var buf bytes.Buffer
+	err := run([]string{
+		"-devices", "40", "-frames", "2", "-seed", "3",
+		"-data-dir", t.TempDir(), "-kill-after", "20",
+	}, &buf)
+	if err != nil {
+		t.Fatalf("chaos storm failed: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	if !strings.Contains(out, "kill act") {
+		t.Errorf("mid-storm kill never narrated:\n%s", out)
+	}
+	if !strings.Contains(out, "PASS: all graceful-degradation invariants held") {
+		t.Errorf("missing verdict:\n%s", out)
+	}
+}
+
+// TestRunRejectsKillWithoutDataDir pins the flag guard.
+func TestRunRejectsKillWithoutDataDir(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-devices", "2", "-kill-after", "5"}, &buf); err == nil {
+		t.Error("kill without data dir accepted")
+	}
+	if err := run([]string{"-devices", "2", "-kill-after", "0"}, &buf); err == nil {
+		t.Error("default evict-idle without data dir accepted")
+	}
+}

@@ -653,6 +653,28 @@ func (f *FleetStreamValidator) newSessionLocked(device string) *StreamValidator 
 	return s
 }
 
+// Remove drops the named device's session while keeping every other — the
+// fleet half of session eviction: an ingest collector that evicts an idle
+// device must also take it out of the fleet report, so a later resurrection
+// replays into a fresh session instead of double-folding records into the
+// stale one. Reports no session by that name without change.
+func (f *FleetStreamValidator) Remove(device string) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s, ok := f.byName[device]
+	if !ok {
+		return false
+	}
+	delete(f.byName, device)
+	for i, candidate := range f.sessions {
+		if candidate == s {
+			f.sessions = append(f.sessions[:i], f.sessions[i+1:]...)
+			break
+		}
+	}
+	return true
+}
+
 // Reset drops every session while keeping the shared reference index — the
 // fleet half of the replay seam: a recovering collector clears the fleet
 // state and replays each device's durable log into fresh sessions without

@@ -1,0 +1,287 @@
+package ingest
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"mlexray/internal/core"
+)
+
+// manualClock is a hand-advanced session clock for the eviction tests.
+type manualClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newManualClock() *manualClock {
+	return &manualClock{now: time.Unix(1700000000, 0).UTC()}
+}
+
+func (c *manualClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *manualClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+// TestIdleEvictionRequiresDataDir pins the config guard: eviction destroys
+// in-memory sessions, so it is only safe when a WAL can bring them back.
+func TestIdleEvictionRequiresDataDir(t *testing.T) {
+	if _, err := NewServer(ServerOptions{IdleTimeout: time.Second}); err == nil {
+		t.Fatal("IdleTimeout without DataDir accepted")
+	}
+}
+
+// TestIdleEvictionResurrection pins the eviction lifecycle: an idle session
+// is evicted (slot freed, device gone from /devices and the fleet), its WAL
+// segment stays, and the device's next chunk resurrects the session with
+// its stream generation intact — the upload continues mid-stream with no
+// 409 and no data loss.
+func TestIdleEvictionResurrection(t *testing.T) {
+	ref := synthLog(4, nil, false)
+	clock := newManualClock()
+	srv, err := NewServer(ServerOptions{
+		Ref:         ref,
+		DataDir:     t.TempDir(),
+		IdleTimeout: 10 * time.Second,
+		Clock:       clock.Now,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	l := synthLog(4, nil, false)
+
+	if resp, _ := postChunk(t, ts.URL, chunkUpload{"dev-e", "gen-1", 0, chunkBody(t, l, 0, 2)}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("chunk 0: status %d", resp.StatusCode)
+	}
+	clock.Advance(11 * time.Second)
+	if n := srv.EvictIdle(); n != 1 {
+		t.Fatalf("EvictIdle = %d, want 1", n)
+	}
+	if devs := srv.Devices(); len(devs) != 0 {
+		t.Fatalf("devices after eviction = %v, want none", devs)
+	}
+	if srv.Session("dev-e") != nil {
+		t.Fatal("evicted session still resolvable")
+	}
+
+	// The device comes back mid-stream: chunk 1 of the same generation must
+	// be accepted in sequence, not 409'd as a gap.
+	resp, ir := postChunk(t, ts.URL, chunkUpload{"dev-e", "gen-1", 1, chunkBody(t, l, 2, 4)})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("chunk 1 after eviction: status %d", resp.StatusCode)
+	}
+	if ir.Duplicate {
+		t.Error("post-resurrection chunk acked as duplicate")
+	}
+	if got := srv.Resurrections(); got != 1 {
+		t.Errorf("Resurrections = %d, want 1", got)
+	}
+	if got := srv.Evictions(); got != 1 {
+		t.Errorf("Evictions = %d, want 1", got)
+	}
+	if sess := srv.Session("dev-e"); sess == nil || sess.Records() != len(l.Records) {
+		t.Errorf("resurrected session holds %v records, want %d", sess, len(l.Records))
+	}
+}
+
+// TestEvictionFreesCapAndResurrectBypassesIt pins the interplay with the
+// session cap: at the cap, admitting a new device evicts an idle one; and a
+// device with durable state resurrects even past the cap — its chunks were
+// already acked, refusing them would break the durability contract.
+func TestEvictionFreesCapAndResurrectBypassesIt(t *testing.T) {
+	ref := synthLog(2, nil, false)
+	clock := newManualClock()
+	srv, err := NewServer(ServerOptions{
+		Ref:         ref,
+		DataDir:     t.TempDir(),
+		MaxSessions: 1,
+		IdleTimeout: 10 * time.Second,
+		Clock:       clock.Now,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	body := chunkBody(t, synthLog(2, nil, false), 0, 2)
+
+	if resp, _ := postChunk(t, ts.URL, chunkUpload{"cap-a", "", -1, body}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("cap-a: status %d", resp.StatusCode)
+	}
+	clock.Advance(11 * time.Second)
+	// cap-b needs the one slot; cap-a is idle past the horizon and must
+	// yield it.
+	if resp, _ := postChunk(t, ts.URL, chunkUpload{"cap-b", "", -1, body}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("cap-b at cap: status %d", resp.StatusCode)
+	}
+	if srv.Evictions() == 0 {
+		t.Error("cap pressure did not evict the idle session")
+	}
+	// cap-a returns while cap-b holds the only slot: durable state wins
+	// over the cap.
+	if resp, _ := postChunk(t, ts.URL, chunkUpload{"cap-a", "", -1, body}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("cap-a resurrection past cap: status %d", resp.StatusCode)
+	}
+	if srv.Resurrections() != 1 {
+		t.Errorf("Resurrections = %d, want 1", srv.Resurrections())
+	}
+	devs := srv.Devices()
+	if len(devs) != 2 {
+		t.Errorf("devices = %v, want both cap-a and cap-b", devs)
+	}
+}
+
+// slowLorisBody trickles bytes with long pauses — a client holding a
+// request open far past any reasonable upload time.
+type slowLorisBody struct {
+	n     int
+	delay time.Duration
+}
+
+func (s *slowLorisBody) Read(p []byte) (int, error) {
+	if s.n <= 0 {
+		return 0, io.EOF
+	}
+	time.Sleep(s.delay)
+	s.n--
+	p[0] = 'x'
+	return 1, nil
+}
+
+// TestReadTimeoutShedsSlowLoris pins the per-request read deadline: a
+// trickling upload is cut off near ReadTimeout instead of occupying the
+// collector indefinitely.
+func TestReadTimeoutShedsSlowLoris(t *testing.T) {
+	srv, err := NewServer(ServerOptions{
+		Ref:         synthLog(2, nil, false),
+		ReadTimeout: 150 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	start := time.Now()
+	resp, err := http.Post(ts.URL+"/ingest?device=loris", "application/octet-stream",
+		&slowLorisBody{n: 100, delay: 100 * time.Millisecond})
+	elapsed := time.Since(start)
+	if err == nil {
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			t.Errorf("slow-loris upload acked with 200")
+		}
+	}
+	// 100 bytes at 100ms apiece is a 10s crawl; the deadline must cut it
+	// off far earlier.
+	if elapsed > 5*time.Second {
+		t.Errorf("slow-loris request held the collector for %v", elapsed)
+	}
+}
+
+// TestRemoteSinkRetryBudgetExhausted pins MaxElapsed: against a collector
+// that only ever fails, the sink gives up once the budget cannot cover the
+// next wait — in bounded time, with the attempt count in the error.
+func TestRemoteSinkRetryBudgetExhausted(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "down", http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+	sink, err := NewRemoteSink(SinkOptions{
+		URL: ts.URL, Device: "budgeted", Format: core.FormatBinary,
+		MaxRetries: 1 << 20, RetryBackoff: 5 * time.Millisecond, MaxElapsed: 100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := synthLog(2, nil, false)
+	start := time.Now()
+	err = sink.WriteFrame(0, l.Records)
+	if err == nil {
+		err = sink.Flush()
+	}
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("sink succeeded against an always-failing collector")
+	}
+	if !strings.Contains(err.Error(), "retry budget 100ms exhausted") {
+		t.Errorf("error does not name the exhausted budget: %v", err)
+	}
+	if !strings.Contains(err.Error(), "attempts") {
+		t.Errorf("error does not report the attempt count: %v", err)
+	}
+	if elapsed > 5*time.Second {
+		t.Errorf("budgeted give-up took %v, want well under the retry ceiling", elapsed)
+	}
+}
+
+// TestRemoteSinkGiveUpReportsAttempts pins the MaxRetries path: with the
+// elapsed budget disabled, the sink exhausts its attempts and says how many
+// it made.
+func TestRemoteSinkGiveUpReportsAttempts(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "down", http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+	sink, err := NewRemoteSink(SinkOptions{
+		URL: ts.URL, Device: "counted", Format: core.FormatBinary,
+		MaxRetries: 2, RetryBackoff: time.Millisecond, MaxElapsed: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := synthLog(2, nil, false)
+	err = sink.WriteFrame(0, l.Records)
+	if err == nil {
+		err = sink.Flush()
+	}
+	if err == nil {
+		t.Fatal("sink succeeded against an always-failing collector")
+	}
+	if !strings.Contains(err.Error(), "gave up after 3 attempts") {
+		t.Errorf("error does not report attempts: %v", err)
+	}
+}
+
+// TestRetryWaitJitterBounds pins the backoff curve: each step stays within
+// [base*2^n / 2, base*2^n], never exceeds the cap, and two attempts at the
+// same step are not forced into lockstep.
+func TestRetryWaitJitterBounds(t *testing.T) {
+	base := 100 * time.Millisecond
+	for attempt := 0; attempt < 12; attempt++ {
+		full := base
+		for i := 0; i < attempt && full < maxRetryWait; i++ {
+			full *= 2
+		}
+		if full > maxRetryWait {
+			full = maxRetryWait
+		}
+		for trial := 0; trial < 50; trial++ {
+			w := retryWait(base, attempt)
+			if w < full/2 || w > full {
+				t.Fatalf("retryWait(base, %d) = %v outside [%v, %v]", attempt, w, full/2, full)
+			}
+		}
+	}
+	// Jitter must actually vary (full jitter over the upper half).
+	seen := map[time.Duration]bool{}
+	for trial := 0; trial < 100; trial++ {
+		seen[retryWait(base, 3)] = true
+	}
+	if len(seen) < 2 {
+		t.Error("retryWait produced no jitter across 100 draws")
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"encoding/hex"
 	"fmt"
 	"io"
+	mrand "math/rand/v2"
 	"net/http"
 	"net/url"
 	"strconv"
@@ -34,9 +35,15 @@ type SinkOptions struct {
 	// errors, 5xx responses and 429 throttling; other 4xx fail immediately
 	// — resending a rejected chunk cannot succeed). <= 0 means 4.
 	MaxRetries int
-	// RetryBackoff is the first retry's delay, doubling per attempt; <= 0
-	// means 250ms.
+	// RetryBackoff is the first retry's delay, doubling per attempt (with
+	// jitter, capped at maxRetryWait); <= 0 means 250ms.
 	RetryBackoff time.Duration
+	// MaxElapsed caps the total time one chunk may spend retrying: once the
+	// budget cannot cover the next wait, the upload fails with the last
+	// error instead of sleeping again — a dead collector fails the sink in
+	// bounded time. 0 means 2 minutes; negative means no budget (retry
+	// until MaxRetries alone gives up).
+	MaxElapsed time.Duration
 	// Client overrides the HTTP client (tests, custom timeouts).
 	Client *http.Client
 }
@@ -60,6 +67,17 @@ func (o *SinkOptions) backoff() time.Duration {
 		return 250 * time.Millisecond
 	}
 	return o.RetryBackoff
+}
+
+func (o *SinkOptions) maxElapsed() time.Duration {
+	switch {
+	case o.MaxElapsed < 0:
+		return 0 // no budget
+	case o.MaxElapsed == 0:
+		return 2 * time.Minute
+	default:
+		return o.MaxElapsed
+	}
 }
 
 func (o *SinkOptions) client() *http.Client {
@@ -232,13 +250,34 @@ func (s *RemoteSink) ship() error {
 // attempt, so a misconfigured server cannot park the sink for hours.
 const maxRetryAfter = 30 * time.Second
 
+// maxRetryWait caps one backoff step: past ~7 doublings the exponential
+// curve adds nothing but shift-overflow risk with a large MaxRetries.
+const maxRetryWait = 30 * time.Second
+
+// retryWait computes the attempt'th backoff: exponential from the base,
+// capped, with full jitter over the upper half so a swarm of sinks kicked
+// loose by the same collector restart does not retry in lockstep.
+func retryWait(base time.Duration, attempt int) time.Duration {
+	wait := base
+	for i := 0; i < attempt && wait < maxRetryWait; i++ {
+		wait *= 2
+	}
+	if wait > maxRetryWait {
+		wait = maxRetryWait
+	}
+	return wait/2 + mrand.N(wait/2+1)
+}
+
 // post uploads one chunk, retrying transient failures (network errors, 5xx,
-// and 429 throttling) with exponential backoff. A Retry-After header on a
+// and 429 throttling) with jittered exponential backoff under two budgets:
+// MaxRetries attempts and MaxElapsed total time. A Retry-After header on a
 // throttled or unavailable response (the collector's admission control)
 // stretches the wait to what the server asked for. The chunk sequence
 // number rides along so a retry of a chunk the server already applied
 // (response lost in flight) is acknowledged instead of double-ingested.
 func (s *RemoteSink) post(body []byte, chunkIdx int) error {
+	start := time.Now()
+	budget := s.opts.maxElapsed()
 	var lastErr error
 	for attempt := 0; ; attempt++ {
 		req, err := http.NewRequest(http.MethodPost, s.endpoint, bytes.NewReader(body))
@@ -272,13 +311,18 @@ func (s *RemoteSink) post(body []byte, chunkIdx int) error {
 			lastErr = fmt.Errorf("ingest: upload: %w", err)
 		}
 		if attempt >= s.opts.maxRetries() {
-			return fmt.Errorf("%w (after %d retries)", lastErr, attempt)
+			return fmt.Errorf("%w (gave up after %d attempts in %v)",
+				lastErr, attempt+1, time.Since(start).Round(time.Millisecond))
 		}
-		s.retries++
-		wait := s.opts.backoff() << attempt
+		wait := retryWait(s.opts.backoff(), attempt)
 		if retryAfter > wait {
 			wait = retryAfter
 		}
+		if budget > 0 && time.Since(start)+wait > budget {
+			return fmt.Errorf("%w (retry budget %v exhausted after %d attempts)",
+				lastErr, budget, attempt+1)
+		}
+		s.retries++
 		time.Sleep(wait)
 	}
 }

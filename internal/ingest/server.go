@@ -35,6 +35,7 @@ import (
 	"io"
 	"math"
 	"net/http"
+	"os"
 	"sort"
 	"strconv"
 	"sync"
@@ -73,6 +74,24 @@ type ServerOptions struct {
 	// ChunkBurst is the rate limiter's bucket size; <= 0 means one second's
 	// worth of chunks (minimum 1).
 	ChunkBurst int
+	// IdleTimeout evicts sessions idle longer than this: the session slot
+	// frees (a slow-loris device cannot pin it forever) while the device's
+	// write-ahead segment stays on disk, so its next chunk resurrects the
+	// session exactly. Requires DataDir — evicting an in-memory session
+	// would silently discard acked data, so NewServer rejects that
+	// combination. <= 0 disables eviction.
+	IdleTimeout time.Duration
+	// ReadTimeout bounds reading one upload body (per request, applied via
+	// the response controller): a device trickling bytes — a slow-loris —
+	// has its connection shed instead of holding a handler forever. <= 0
+	// means no per-request read deadline beyond the http.Server's.
+	ReadTimeout time.Duration
+	// WriteTimeout bounds writing one response, same mechanism. <= 0 means
+	// no per-request write deadline.
+	WriteTimeout time.Duration
+	// SessionRetryAfterSecs is the Retry-After hint (seconds) on 503
+	// session-cap and mid-eviction rejections; <= 0 means 5.
+	SessionRetryAfterSecs int
 	// Clock overrides time.Now for the session timestamps (tests).
 	Clock func() time.Time
 }
@@ -84,9 +103,18 @@ func (o *ServerOptions) chunkBurst() float64 {
 	return math.Max(1, math.Ceil(o.MaxChunksPerSec))
 }
 
-// retryAfterSessions is the Retry-After hint (seconds) on a 503 session-cap
-// rejection: sessions drain on operator timescales, not milliseconds.
+// retryAfterSessions is the default Retry-After hint (seconds) on a 503
+// session-cap rejection: sessions drain on operator timescales, not
+// milliseconds. SessionRetryAfterSecs overrides it.
 const retryAfterSessions = 5
+
+func (o *ServerOptions) sessionRetryAfter() string {
+	secs := o.SessionRetryAfterSecs
+	if secs <= 0 {
+		secs = retryAfterSessions
+	}
+	return strconv.Itoa(secs)
+}
 
 // Server is the ingestion collector: an http.Handler exposing
 //
@@ -103,8 +131,23 @@ type Server struct {
 	opts  ServerOptions
 	fleet *core.FleetStreamValidator
 
+	// closeMu orders durable appends against Close: handlers hold the read
+	// side across WAL creation+append, Close flips closed under the write
+	// side first — so every ack either lands fully before Close closes the
+	// segments (and a successor's recovery replays it) or answers 503. A
+	// separate lock because the append path already holds sess.mu and
+	// taking s.mu there would invert the s.mu → sess.mu order.
+	closeMu sync.RWMutex
+	closed  bool
+
 	mu       sync.Mutex
 	sessions map[string]*session
+	// lastSweep rate-limits the opportunistic idle-eviction sweep; evictions
+	// and resurrections count lifecycle events for /healthz and the storm
+	// harness's leak checks.
+	lastSweep     time.Time
+	evictions     int
+	resurrections int
 
 	recovery RecoveryStats
 
@@ -135,6 +178,11 @@ type session struct {
 	nextChunk int
 	lastSeen  time.Time
 	lastErr   string
+	// evicted marks a session removed by the idle sweep: a handler that
+	// raced the eviction (looked the session up before it left the map)
+	// answers 503 instead of folding into dead state; the retry resurrects
+	// the session from its WAL segment.
+	evicted bool
 	// wal is the session's write-ahead segment (nil without a DataDir).
 	wal *sessionWAL
 	// tokens/tokensAt implement the per-device chunk-rate token bucket.
@@ -167,6 +215,9 @@ func NewServer(opts ServerOptions) (*Server, error) {
 	}
 	if opts.Clock == nil {
 		opts.Clock = time.Now
+	}
+	if opts.IdleTimeout > 0 && opts.DataDir == "" {
+		return nil, fmt.Errorf("ingest: IdleTimeout requires DataDir — evicting an in-memory session would discard acked data")
 	}
 	s := &Server{opts: opts, sessions: make(map[string]*session)}
 	if opts.Ref != nil {
@@ -206,30 +257,10 @@ func (s *Server) recover() error {
 		sess := s.createSession(rs.device)
 		s.recovery.Sessions++
 		sess.mu.Lock()
-		for _, e := range rs.entries {
-			recs, _, err := decodeChunk(e.body, s.opts.MaxBodyBytes)
-			if err != nil {
-				// The CRC was intact but the body does not decode: corruption
-				// beyond a torn tail, or a segment written by a future codec.
-				// The chunks before it replayed; surface the defect and stop
-				// this session's replay rather than guessing.
-				s.recovery.SkippedChunks++
-				if sess.lastErr == "" {
-					sess.lastErr = fmt.Sprintf("wal replay: %v", err)
-				}
-				break
-			}
-			dup, seqErr := sess.advanceStreamLocked(e.stream, e.chunk)
-			if seqErr != nil || dup {
-				// Entries were only appended after the generation checks
-				// passed, so an in-log dup/gap is corruption; skip it.
-				s.recovery.SkippedChunks++
-				continue
-			}
-			sess.applyChunkLocked(recs, int64(len(e.body)), e.when)
-			s.recovery.Chunks++
-			s.recovery.Records += len(recs)
-		}
+		chunks, records, skipped := s.replayEntriesLocked(sess, rs.entries)
+		s.recovery.Chunks += chunks
+		s.recovery.Records += records
+		s.recovery.SkippedChunks += skipped
 		// Reopen the segment for appending: new chunks continue the log.
 		w, err := createSessionWAL(s.opts.DataDir, rs.device)
 		if err != nil {
@@ -242,13 +273,48 @@ func (s *Server) recover() error {
 	return nil
 }
 
+// replayEntriesLocked folds one segment's recovered entries into the session
+// through the exact apply path the HTTP handler uses — shared by startup
+// recovery and idle-eviction resurrection. The caller holds sess.mu.
+func (s *Server) replayEntriesLocked(sess *session, entries []walEntry) (chunks, records, skipped int) {
+	for _, e := range entries {
+		recs, _, err := decodeChunk(e.body, s.opts.MaxBodyBytes)
+		if err != nil {
+			// The CRC was intact but the body does not decode: corruption
+			// beyond a torn tail, or a segment written by a future codec.
+			// The chunks before it replayed; surface the defect and stop
+			// this session's replay rather than guessing.
+			skipped++
+			if sess.lastErr == "" {
+				sess.lastErr = fmt.Sprintf("wal replay: %v", err)
+			}
+			break
+		}
+		dup, seqErr := sess.advanceStreamLocked(e.stream, e.chunk)
+		if seqErr != nil || dup {
+			// Entries were only appended after the generation checks
+			// passed, so an in-log dup/gap is corruption; skip it.
+			skipped++
+			continue
+		}
+		sess.applyChunkLocked(recs, int64(len(e.body)), e.when)
+		chunks++
+		records += len(recs)
+	}
+	return chunks, records, skipped
+}
+
 // Recovery reports what the startup WAL replay restored (zero value when no
 // DataDir is configured or the log was empty).
 func (s *Server) Recovery() RecoveryStats { return s.recovery }
 
 // Close releases the write-ahead segment files. The in-memory state stays
-// queryable; further ingestion against a closed WAL fails.
+// queryable; further durable ingestion answers 503 (shutting down), so a
+// successor recovering from the same DataDir cannot miss an acked chunk.
 func (s *Server) Close() error {
+	s.closeMu.Lock()
+	s.closed = true
+	s.closeMu.Unlock()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	var first error
@@ -317,33 +383,163 @@ func (s *Server) createSessionLocked(device string) *session {
 		sess.tokens = s.opts.chunkBurst()
 		sess.tokensAt = s.opts.Clock()
 	}
+	if s.opts.IdleTimeout > 0 {
+		// Stamp creation so a session that never applies a chunk (its first
+		// chunk failed) still ages out instead of pinning a slot forever.
+		// Gated on IdleTimeout so the extra Clock() call cannot perturb the
+		// deterministic-clock recovery tests.
+		sess.lastSeen = s.opts.Clock()
+	}
 	s.sessions[device] = sess
 	return sess
 }
 
 // getSession returns the device's session, creating it if the session cap
-// allows; past the cap it returns nil (the caller answers 503).
-func (s *Server) getSession(device string) *session {
+// allows; past the cap it first tries an idle-eviction sweep, then returns
+// nil (the caller answers 503). A device with a write-ahead segment on disk
+// — one evicted earlier, or acked before a restart under a different cap —
+// resurrects regardless of the cap: its data is already durable and acked.
+func (s *Server) getSession(device string) (*session, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if sess, ok := s.sessions[device]; ok {
-		return sess
+		return sess, nil
+	}
+	if s.opts.DataDir != "" {
+		sess, err := s.resurrectLocked(device)
+		if err != nil {
+			return nil, err
+		}
+		if sess != nil {
+			return sess, nil
+		}
 	}
 	if s.opts.MaxSessions > 0 && len(s.sessions) >= s.opts.MaxSessions {
-		return nil
+		s.evictIdleLocked(s.opts.Clock())
+		if len(s.sessions) >= s.opts.MaxSessions {
+			return nil, nil
+		}
 	}
-	return s.createSessionLocked(device)
+	return s.createSessionLocked(device), nil
+}
+
+// resurrectLocked rebuilds an evicted (or pre-restart) session from its
+// write-ahead segment. Returns (nil, nil) when the device has no segment; a
+// segment that exists but cannot replay is an error — creating a fresh
+// session over it would diverge from the durable log.
+func (s *Server) resurrectLocked(device string) (*session, error) {
+	path := walPath(s.opts.DataDir, device)
+	if _, err := os.Stat(path); err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("ingest: stat wal segment: %w", err)
+	}
+	rs, _, err := readSegment(path)
+	if err != nil {
+		return nil, err
+	}
+	sess := s.createSessionLocked(device)
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	s.replayEntriesLocked(sess, rs.entries)
+	w, err := createSessionWAL(s.opts.DataDir, device)
+	if err != nil {
+		return nil, err
+	}
+	sess.wal = w
+	s.resurrections++
+	return sess, nil
+}
+
+// evictIdleLocked removes sessions idle past IdleTimeout: the slot frees and
+// the device leaves the fleet report, while its WAL segment stays on disk
+// for exact resurrection. The caller holds s.mu.
+func (s *Server) evictIdleLocked(now time.Time) int {
+	if s.opts.IdleTimeout <= 0 {
+		return 0
+	}
+	n := 0
+	for name, sess := range s.sessions {
+		sess.mu.Lock()
+		if now.Sub(sess.lastSeen) >= s.opts.IdleTimeout {
+			sess.evicted = true
+			if sess.wal != nil {
+				sess.wal.Close()
+				sess.wal = nil
+			}
+			delete(s.sessions, name)
+			if s.fleet != nil {
+				s.fleet.Remove(name)
+			}
+			n++
+		}
+		sess.mu.Unlock()
+	}
+	s.evictions += n
+	return n
+}
+
+// maybeSweepLocked runs the idle sweep at most once per IdleTimeout/2 — an
+// opportunistic hook on the ingest path, so eviction needs no background
+// goroutine (nothing to leak, nothing to stop on Close).
+func (s *Server) maybeSweepLocked() {
+	if s.opts.IdleTimeout <= 0 {
+		return
+	}
+	now := s.opts.Clock()
+	if now.Sub(s.lastSweep) < s.opts.IdleTimeout/2 {
+		return
+	}
+	s.lastSweep = now
+	s.evictIdleLocked(now)
+}
+
+// EvictIdle sweeps idle sessions immediately and reports how many were
+// evicted — the operator/test hook behind the opportunistic sweep.
+func (s *Server) EvictIdle() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.evictIdleLocked(s.opts.Clock())
+}
+
+// Evictions returns the total sessions evicted for idleness.
+func (s *Server) Evictions() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.evictions
+}
+
+// Resurrections returns how many sessions were rebuilt from their segments
+// after an eviction (startup recovery not included).
+func (s *Server) Resurrections() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.resurrections
 }
 
 // peekSession is the pre-decode admission lookup: the existing session (nil
-// if new) and whether a new one may still be created.
+// if new) and whether a new one may still be created. It also hosts the
+// rate-limited idle sweep — every ingest passes through here.
 func (s *Server) peekSession(device string) (sess *session, admitNew bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.maybeSweepLocked()
 	if existing, ok := s.sessions[device]; ok {
 		return existing, true
 	}
 	return nil, s.opts.MaxSessions <= 0 || len(s.sessions) < s.opts.MaxSessions
+}
+
+// canResurrect reports whether a device rejected by the session cap holds a
+// durable segment — such a device is admitted anyway (its data is already
+// acked; refusing it would orphan the log).
+func (s *Server) canResurrect(device string) bool {
+	if s.opts.DataDir == "" {
+		return false
+	}
+	_, err := os.Stat(walPath(s.opts.DataDir, device))
+	return err == nil
 }
 
 // takeToken consumes one chunk token from the session's rate bucket,
@@ -434,13 +630,27 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 	stream := r.Header.Get("X-MLEXray-Stream")
 
+	// Per-request read/write deadlines: a device trickling its body — a
+	// slow-loris — times out instead of holding this handler (and, with
+	// eviction, its session slot) indefinitely. The response controller
+	// errors on writers that cannot set deadlines (httptest recorders);
+	// that just means no deadline, the behavior those tests expect.
+	rc := http.NewResponseController(w)
+	if s.opts.ReadTimeout > 0 {
+		_ = rc.SetReadDeadline(time.Now().Add(s.opts.ReadTimeout))
+	}
+	if s.opts.WriteTimeout > 0 {
+		_ = rc.SetWriteDeadline(time.Now().Add(s.opts.WriteTimeout))
+	}
+
 	// Admission control, before the body is read: a new device past the
 	// session cap gets 503, a known device past its chunk rate gets 429 —
 	// both with Retry-After, both cheap (no decode work spent on a chunk
-	// that will not be admitted).
+	// that will not be admitted). A device with a durable segment (evicted
+	// earlier) bypasses the cap: its data is already acked.
 	sess, admitNew := s.peekSession(device)
-	if sess == nil && !admitNew {
-		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSessions))
+	if sess == nil && !admitNew && !s.canResurrect(device) {
+		w.Header().Set("Retry-After", s.opts.sessionRetryAfter())
 		httpError(w, http.StatusServiceUnavailable,
 			"session cap reached (%d); retry later", s.opts.MaxSessions)
 		return
@@ -485,9 +695,14 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 
 	if sess == nil {
-		if sess = s.getSession(device); sess == nil {
+		var err error
+		if sess, err = s.getSession(device); err != nil {
+			httpError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		if sess == nil {
 			// Lost the admission race to another new device.
-			w.Header().Set("Retry-After", strconv.Itoa(retryAfterSessions))
+			w.Header().Set("Retry-After", s.opts.sessionRetryAfter())
 			httpError(w, http.StatusServiceUnavailable,
 				"session cap reached (%d); retry later", s.opts.MaxSessions)
 			return
@@ -500,6 +715,15 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 	sess.mu.Lock()
 	defer sess.mu.Unlock()
+	if sess.evicted {
+		// The idle sweep took this session between our lookup and the lock;
+		// folding into it would write into dead state. The retry finds the
+		// durable segment and resurrects.
+		w.Header().Set("Retry-After", s.opts.sessionRetryAfter())
+		httpError(w, http.StatusServiceUnavailable,
+			"session %q evicted mid-flight; retry", device)
+		return
+	}
 	dup, seqErr := sess.advanceStreamLocked(stream, chunkIdx)
 	if seqErr != nil {
 		httpError(w, http.StatusConflict, "%v", seqErr)
@@ -514,20 +738,35 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	now := s.opts.Clock()
-	if sess.wal == nil && s.opts.DataDir != "" {
-		walW, err := createSessionWAL(s.opts.DataDir, device)
-		if err != nil {
+	if s.opts.DataDir != "" {
+		// The whole durable step — segment creation and the append — runs
+		// under closeMu's read side: either it completes before Close flips
+		// closed (so a successor's recovery replays this ack), or the chunk
+		// answers 503 and the client retries against the successor.
+		s.closeMu.RLock()
+		if s.closed {
+			s.closeMu.RUnlock()
 			sess.rewindStreamLocked(chunkIdx)
-			httpError(w, http.StatusInternalServerError, "wal: %v", err)
+			w.Header().Set("Retry-After", s.opts.sessionRetryAfter())
+			httpError(w, http.StatusServiceUnavailable, "collector shutting down; retry")
 			return
 		}
-		sess.wal = walW
-	}
-	if sess.wal != nil {
+		if sess.wal == nil {
+			walW, err := createSessionWAL(s.opts.DataDir, device)
+			if err != nil {
+				s.closeMu.RUnlock()
+				sess.rewindStreamLocked(chunkIdx)
+				httpError(w, http.StatusInternalServerError, "wal: %v", err)
+				return
+			}
+			sess.wal = walW
+		}
 		// The write barrier: the chunk is durable before it is acked. A
 		// failed append answers 500 without applying — the client retries,
 		// and the log and the in-memory state stay in agreement.
-		if err := sess.wal.append(walEntry{stream: stream, chunk: chunkIdx, when: now, body: body}); err != nil {
+		err := sess.wal.append(walEntry{stream: stream, chunk: chunkIdx, when: now, body: body})
+		s.closeMu.RUnlock()
+		if err != nil {
 			sess.rewindStreamLocked(chunkIdx)
 			httpError(w, http.StatusInternalServerError, "wal: %v", err)
 			return
@@ -697,12 +936,15 @@ func (s *Server) handleFleet(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	n := len(s.sessions)
+	evictions, resurrections := s.evictions, s.resurrections
 	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, map[string]any{
-		"ok":        true,
-		"devices":   n,
-		"reference": s.fleet != nil,
-		"durable":   s.opts.DataDir != "",
+		"ok":            true,
+		"devices":       n,
+		"reference":     s.fleet != nil,
+		"durable":       s.opts.DataDir != "",
+		"evictions":     evictions,
+		"resurrections": resurrections,
 	})
 }
 

@@ -244,6 +244,11 @@ func readSegment(path string) (recoveredSession, int64, error) {
 		return recoveredSession{}, 0, fmt.Errorf("ingest: open wal segment: %w", err)
 	}
 	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return recoveredSession{}, 0, fmt.Errorf("ingest: wal segment %s: %w", path, err)
+	}
+	size := st.Size()
 	cr := &walCountingReader{r: bufio.NewReaderSize(f, 1<<16)}
 
 	head := make([]byte, len(walMagic)+1)
@@ -256,7 +261,10 @@ func readSegment(path string) (recoveredSession, int64, error) {
 	if v := head[len(walMagic)]; v != walVersion {
 		return recoveredSession{}, 0, fmt.Errorf("ingest: wal segment %s: version %d not supported (want %d)", path, v, walVersion)
 	}
-	device, err := readWALString(cr, maxWALEntry)
+	// Length prefixes are additionally capped by the bytes actually left in
+	// the file: a corrupt prefix claiming gigabytes cannot drive a huge
+	// allocation before ReadFull discovers the truth at EOF.
+	device, err := readWALString(cr, uint64(min(int64(maxWALEntry), size-cr.n)))
 	if err != nil {
 		return recoveredSession{}, 0, fmt.Errorf("ingest: wal segment %s: device: %w", path, err)
 	}
@@ -264,7 +272,7 @@ func readSegment(path string) (recoveredSession, int64, error) {
 	rs := recoveredSession{device: device}
 	good := cr.n // offset after the last complete entry
 	for {
-		e, err := readWALEntry(cr)
+		e, err := readWALEntry(cr, size-cr.n)
 		if err == io.EOF {
 			break
 		}
@@ -277,11 +285,7 @@ func readSegment(path string) (recoveredSession, int64, error) {
 		rs.entries = append(rs.entries, e)
 		good = cr.n
 	}
-	st, err := f.Stat()
-	if err != nil {
-		return recoveredSession{}, 0, fmt.Errorf("ingest: wal segment %s: %w", path, err)
-	}
-	torn := st.Size() - good
+	torn := size - good
 	if torn > 0 {
 		if err := f.Truncate(good); err != nil {
 			return recoveredSession{}, 0, fmt.Errorf("ingest: wal segment %s: truncate torn tail: %w", path, err)
@@ -295,8 +299,10 @@ func readSegment(path string) (recoveredSession, int64, error) {
 
 // readWALEntry reads one entry. io.EOF at an entry boundary is a clean end;
 // any other error (including EOF mid-entry and a CRC mismatch) marks a torn
-// tail.
-func readWALEntry(r io.Reader) (walEntry, error) {
+// tail. remain is the byte count left in the file at the entry's start: a
+// length prefix claiming more than that is corruption, rejected before the
+// allocation it would otherwise size.
+func readWALEntry(r io.Reader, remain int64) (walEntry, error) {
 	br := r.(io.ByteReader)
 	streamLen, err := binary.ReadUvarint(br)
 	if err != nil {
@@ -305,7 +311,7 @@ func readWALEntry(r io.Reader) (walEntry, error) {
 		}
 		return walEntry{}, fmt.Errorf("ingest: wal entry stream length: %w", err)
 	}
-	if streamLen > maxWALEntry {
+	if streamLen > maxWALEntry || int64(streamLen) > remain {
 		return walEntry{}, fmt.Errorf("ingest: wal entry stream length %d implausible", streamLen)
 	}
 	stream := make([]byte, streamLen)
@@ -324,7 +330,7 @@ func readWALEntry(r io.Reader) (walEntry, error) {
 	if err != nil {
 		return walEntry{}, fmt.Errorf("ingest: wal entry body length: %w", err)
 	}
-	if bodyLen > maxWALEntry {
+	if bodyLen > maxWALEntry || int64(bodyLen) > remain {
 		return walEntry{}, fmt.Errorf("ingest: wal entry body of %d bytes exceeds the %d limit", bodyLen, maxWALEntry)
 	}
 	var crcBuf [4]byte

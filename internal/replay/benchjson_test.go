@@ -5,11 +5,14 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strconv"
 	"testing"
+	"time"
 
 	"mlexray/internal/core"
 	"mlexray/internal/interp"
 	"mlexray/internal/ops"
+	"mlexray/internal/storm"
 	"mlexray/internal/tensor"
 	"mlexray/internal/zoo"
 )
@@ -33,6 +36,10 @@ func TestEmitReplayBenchJSON(t *testing.T) {
 		AllocsPerOp       int64   `json:"allocs_per_op"`
 		BytesPerOp        int64   `json:"bytes_per_op"`
 		Iterations        int     `json:"iterations"`
+		// Storm-harness fields (the ingest_storm entries only).
+		P99LatencyNs int64          `json:"p99_latency_ns,omitempty"`
+		PeakRSSBytes int64          `json:"peak_rss_bytes,omitempty"`
+		StatusCounts map[string]int `json:"status_counts,omitempty"`
 	}
 	results := map[string]entry{}
 
@@ -166,6 +173,63 @@ func TestEmitReplayBenchJSON(t *testing.T) {
 	t.Logf("ingest durable: %.0f frames/sec (%.2fx the in-memory path)",
 		results["ingest_binary_durable"].FramesPerSec,
 		results["ingest_binary_durable"].NsPerFrame/results["ingest_binary"].NsPerFrame)
+
+	// Collector under fire: the storm harness drives a live collector with a
+	// fault-injecting device swarm (disconnects, slow-loris, corrupt bytes,
+	// lost acks, duplicated/reordered retries, one mid-storm kill/restart)
+	// and records sustained throughput, p99 ingest latency, peak RSS and the
+	// status histogram — the graceful-degradation datapoints of the perf
+	// trajectory. The clean variant is the fault-free swarm baseline the
+	// chaos numbers are read against.
+	for _, variant := range []struct {
+		name   string
+		faults storm.Faults
+		kill   int
+	}{
+		{"ingest_storm_clean", storm.Faults{}, 0},
+		{"ingest_storm", storm.AllFaults(), 60},
+	} {
+		// Both variants run the durable collector with idle eviction: past
+		// the session cap, slots only free when idle devices age out, so a
+		// capped in-memory collector would strand the overflow forever.
+		opts := storm.Options{
+			Devices:         96,
+			FramesPerDevice: 2,
+			Faults:          variant.faults,
+			Seed:            1,
+			DataDir:         t.TempDir(),
+			MaxSessions:     48,
+			MaxChunksPerSec: 5,
+			ChunkBurst:      1,
+			IdleTimeout:     250 * time.Millisecond,
+			ReadTimeout:     150 * time.Millisecond,
+			WriteTimeout:    time.Second,
+			Stragglers:      0.05,
+			KillAfterChunks: variant.kill,
+		}
+		res, err := storm.Run(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := res.CheckInvariants(); err != nil {
+			t.Errorf("%s: %v", variant.name, err)
+		}
+		statuses := make(map[string]int, len(res.StatusCounts))
+		for code, n := range res.StatusCounts {
+			statuses[strconv.Itoa(code)] = n
+		}
+		results[variant.name] = entry{
+			NsPerFrame:   res.Elapsed.Seconds() / float64(res.Frames) * 1e9,
+			FramesPerSec: res.FramesPerSec,
+			P99LatencyNs: res.P99Latency.Nanoseconds(),
+			PeakRSSBytes: res.PeakRSSBytes,
+			StatusCounts: statuses,
+			Iterations:   1,
+		}
+		t.Logf("%s: %.0f frames/sec, p99 %v, rss %d MiB, statuses %v",
+			variant.name, res.FramesPerSec, res.P99Latency.Round(time.Microsecond),
+			res.PeakRSSBytes>>20, statuses)
+	}
 
 	entryZoo, err := zoo.Get("mobilenetv2-mini")
 	if err != nil {

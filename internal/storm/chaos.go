@@ -1,0 +1,327 @@
+package storm
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	mrand "math/rand/v2"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Faults are the chaos layer's per-request fault probabilities. Each upload
+// attempt draws once; at most one fault fires per attempt (probabilities
+// are treated as cumulative slices of [0,1)). Every fault is survivable by
+// construction: whenever the delivered bytes were damaged — or the response
+// was deliberately lost — the client side sees a network error, so the
+// sink's retry machinery re-sends the chunk from clean bytes. The server,
+// meanwhile, sees exactly the damage: truncated bodies, corrupt payloads,
+// duplicated and reordered retries, trickled writes.
+type Faults struct {
+	// Disconnect cuts the request body mid-chunk: the server reads a
+	// truncated (possibly mid-gzip) body, the client gets a broken-pipe
+	// style error. Covers both "radio dropped mid-upload" and "truncated
+	// gzip body".
+	Disconnect float64
+	// SlowLoris trickles the body in tiny writes with delays, long enough
+	// to trip the collector's per-request read deadline; the response is
+	// dropped client-side either way.
+	SlowLoris float64
+	// Corrupt flips a body byte and delivers the chunk fully, then drops
+	// the response: the server judges damaged bytes, the client retries
+	// clean ones.
+	Corrupt float64
+	// DropResponse delivers the chunk intact and discards the response —
+	// the classic lost-ack, forcing an idempotent duplicate retry.
+	DropResponse float64
+	// Duplicate delivers the same request twice back-to-back (a retry storm
+	// double-send); the second response is the one the client sees.
+	Duplicate float64
+	// ReplayStale re-delivers the device's previous request after the
+	// current one — a reordered retry arriving late.
+	ReplayStale float64
+}
+
+// AllFaults enables every fault type at storm-smoke rates: roughly a third
+// of upload attempts are damaged one way or another.
+func AllFaults() Faults {
+	return Faults{
+		Disconnect:   0.08,
+		SlowLoris:    0.04,
+		Corrupt:      0.05,
+		DropResponse: 0.08,
+		Duplicate:    0.05,
+		ReplayStale:  0.05,
+	}
+}
+
+// fault names index the injection counters.
+const (
+	faultNone         = ""
+	faultDisconnect   = "disconnect"
+	faultSlowLoris    = "slow_loris"
+	faultCorrupt      = "corrupt"
+	faultDropResponse = "drop_response"
+	faultDuplicate    = "duplicate"
+	faultReplayStale  = "replay_stale"
+)
+
+// pick draws this attempt's fault.
+func (f Faults) pick(rng *mrand.Rand) string {
+	x := rng.Float64()
+	for _, c := range []struct {
+		p    float64
+		name string
+	}{
+		{f.Disconnect, faultDisconnect},
+		{f.SlowLoris, faultSlowLoris},
+		{f.Corrupt, faultCorrupt},
+		{f.DropResponse, faultDropResponse},
+		{f.Duplicate, faultDuplicate},
+		{f.ReplayStale, faultReplayStale},
+	} {
+		if x < c.p {
+			return c.name
+		}
+		x -= c.p
+	}
+	return faultNone
+}
+
+// errChaos marks client-visible failures the chaos layer manufactured; the
+// sink retries them like any network error.
+var errChaos = errors.New("chaos")
+
+// stormMetrics aggregates client-side observations across every device's
+// transport: fault injections, raw network errors, and the latency of
+// clean (unfaulted) ingest round-trips for the p99.
+type stormMetrics struct {
+	mu        sync.Mutex
+	faults    map[string]int
+	netErrors int
+	latencies []time.Duration
+}
+
+func newStormMetrics() *stormMetrics {
+	return &stormMetrics{faults: make(map[string]int)}
+}
+
+func (m *stormMetrics) countFault(name string) {
+	m.mu.Lock()
+	m.faults[name]++
+	m.mu.Unlock()
+}
+
+func (m *stormMetrics) countNetError() {
+	m.mu.Lock()
+	m.netErrors++
+	m.mu.Unlock()
+}
+
+func (m *stormMetrics) observe(d time.Duration) {
+	m.mu.Lock()
+	m.latencies = append(m.latencies, d)
+	m.mu.Unlock()
+}
+
+// chaosTransport wraps one device's HTTP transport with the fault layer.
+// RemoteSink posts sequentially from a single goroutine, so the transport
+// needs no locking of its own state; the shared metrics sink has its own.
+type chaosTransport struct {
+	base   http.RoundTripper
+	faults Faults
+	rng    *mrand.Rand
+	met    *stormMetrics
+	// prev is the last fully delivered ingest request (for ReplayStale).
+	prevURL    string
+	prevHeader http.Header
+	prevBody   []byte
+}
+
+// cutReader yields the intact prefix of a cut body, then fails the read —
+// the transport aborts the upload mid-chunk while Content-Length still
+// promises the full body, so the server sees an unexpected EOF.
+type cutReader struct {
+	data []byte
+	off  int
+}
+
+func (c *cutReader) Read(p []byte) (int, error) {
+	if c.off >= len(c.data) {
+		return 0, fmt.Errorf("%w: connection cut mid-chunk", errChaos)
+	}
+	n := copy(p, c.data[c.off:])
+	c.off += n
+	return n, nil
+}
+
+// slowReader trickles the body in small reads with delays between them.
+type slowReader struct {
+	data  []byte
+	off   int
+	step  int
+	delay time.Duration
+}
+
+func (s *slowReader) Read(p []byte) (int, error) {
+	if s.off >= len(s.data) {
+		return 0, io.EOF
+	}
+	time.Sleep(s.delay)
+	end := min(s.off+s.step, len(s.data))
+	if len(p) < end-s.off {
+		end = s.off + len(p)
+	}
+	n := copy(p, s.data[s.off:end])
+	s.off += n
+	return n, nil
+}
+
+// deliver sends one shaped request through the base transport, timing it.
+func (c *chaosTransport) deliver(req *http.Request, body io.Reader, contentLength int64) (*http.Response, time.Duration, error) {
+	inner, err := http.NewRequestWithContext(req.Context(), req.Method, req.URL.String(), body)
+	if err != nil {
+		return nil, 0, err
+	}
+	inner.Header = req.Header.Clone()
+	inner.ContentLength = contentLength
+	start := time.Now()
+	resp, err := c.base.RoundTrip(inner)
+	return resp, time.Since(start), err
+}
+
+// drain consumes and closes a response the chaos layer is about to hide
+// from the client, so the pooled connection is reusable.
+func drainResponse(resp *http.Response) {
+	if resp == nil {
+		return
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+	resp.Body.Close()
+}
+
+// RoundTrip implements the fault layer. Non-ingest requests (GETs) pass
+// through untouched.
+func (c *chaosTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	var body []byte
+	if req.Body != nil {
+		b, err := io.ReadAll(req.Body)
+		req.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+		body = b
+	}
+	fault := faultNone
+	if req.Method == http.MethodPost && len(body) > 0 {
+		fault = c.faults.pick(c.rng)
+	}
+	if fault != faultNone {
+		c.met.countFault(fault)
+	}
+
+	switch fault {
+	case faultDisconnect:
+		cut := c.rng.IntN(len(body))
+		resp, _, err := c.deliver(req, &cutReader{data: body[:cut]}, int64(len(body)))
+		if err != nil {
+			c.met.countNetError()
+			return nil, err
+		}
+		// The server answered before reading the whole body (an admission
+		// rejection): the cut never landed, pass the response through.
+		return resp, nil
+
+	case faultSlowLoris:
+		r := &slowReader{
+			data:  body,
+			step:  32,
+			delay: time.Duration(2+c.rng.IntN(8)) * time.Millisecond,
+		}
+		resp, _, err := c.deliver(req, r, int64(len(body)))
+		if err != nil {
+			c.met.countNetError()
+			return nil, err
+		}
+		// Whatever the server decided — shed by its read deadline or
+		// accepted after the crawl — the ack is lost in the field.
+		drainResponse(resp)
+		return nil, fmt.Errorf("%w: ack lost after slow-loris upload", errChaos)
+
+	case faultCorrupt:
+		damaged := append([]byte(nil), body...)
+		damaged[c.rng.IntN(len(damaged))] ^= 0xff
+		resp, _, err := c.deliver(req, bytes.NewReader(damaged), int64(len(damaged)))
+		if err != nil {
+			c.met.countNetError()
+			return nil, err
+		}
+		drainResponse(resp)
+		return nil, fmt.Errorf("%w: ack lost after corrupt delivery", errChaos)
+
+	case faultDropResponse:
+		resp, _, err := c.deliver(req, bytes.NewReader(body), int64(len(body)))
+		if err != nil {
+			c.met.countNetError()
+			return nil, err
+		}
+		c.remember(req, body)
+		drainResponse(resp)
+		return nil, fmt.Errorf("%w: response dropped", errChaos)
+
+	case faultDuplicate:
+		resp1, _, err := c.deliver(req, bytes.NewReader(body), int64(len(body)))
+		if err != nil {
+			c.met.countNetError()
+			return nil, err
+		}
+		drainResponse(resp1)
+		c.remember(req, body)
+		resp2, _, err := c.deliver(req, bytes.NewReader(body), int64(len(body)))
+		if err != nil {
+			c.met.countNetError()
+			return nil, err
+		}
+		return resp2, nil
+
+	case faultReplayStale:
+		resp, _, err := c.deliver(req, bytes.NewReader(body), int64(len(body)))
+		if err != nil {
+			c.met.countNetError()
+			return nil, err
+		}
+		if c.prevBody != nil {
+			stale, _ := http.NewRequest(http.MethodPost, c.prevURL, nil)
+			stale.Header = c.prevHeader.Clone()
+			staleResp, _, serr := c.deliver(stale, bytes.NewReader(c.prevBody), int64(len(c.prevBody)))
+			if serr == nil {
+				drainResponse(staleResp)
+			}
+		}
+		c.remember(req, body)
+		return resp, nil
+	}
+
+	resp, took, err := c.deliver(req, bytes.NewReader(body), int64(len(body)))
+	if err != nil {
+		c.met.countNetError()
+		return nil, err
+	}
+	if req.Method == http.MethodPost && len(body) > 0 {
+		c.met.observe(took)
+		c.remember(req, body)
+	}
+	return resp, nil
+}
+
+// remember keeps the last fully delivered request for ReplayStale.
+func (c *chaosTransport) remember(req *http.Request, body []byte) {
+	if c.faults.ReplayStale <= 0 {
+		return
+	}
+	c.prevURL = req.URL.String()
+	c.prevHeader = req.Header.Clone()
+	c.prevBody = append(c.prevBody[:0], body...)
+}

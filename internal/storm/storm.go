@@ -1,0 +1,666 @@
+// Package storm is the collector's hostile-load harness: a synthetic
+// device swarm that drives a live ingest.Server through real RemoteSink
+// uploads while a chaos transport damages the traffic — mid-chunk
+// disconnects, slow-loris writes, lost responses, duplicated and reordered
+// retries, corrupt bytes — and the collector itself is killed and
+// restarted mid-storm. The harness does not hope the collector degrades
+// gracefully; it checks:
+//
+//   - every POST /ingest response carries a documented status
+//     (200/400/409/413/429/500/503),
+//   - every chunk acked with 200 survives crash recovery byte-exactly
+//     (the recovered /fleet equals a fault-free reference run folding the
+//     same acked chunks, byte for byte),
+//   - throttled and capped sinks eventually drain once pressure lifts
+//     (no sink finishes with a sticky error),
+//   - no sessions leak after the storm (idle eviction frees every slot,
+//     with the WAL keeping the data recoverable).
+//
+// Run also measures the collector under fire: sustained frames/sec, p99
+// ingest latency, peak process RSS, and the full status histogram — the
+// numbers the bench suite records into BENCH_replay.json.
+package storm
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	mrand "math/rand/v2"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"mlexray/internal/core"
+	"mlexray/internal/ingest"
+)
+
+// Options sizes and shapes one storm.
+type Options struct {
+	// Devices is the swarm size; <= 0 means 32. Devices arrive in bursty
+	// waves with jitter, with heterogeneous profiles (chunk size, log
+	// format, gzip on/off).
+	Devices int
+	// FramesPerDevice is each device's shard of the fleet reference;
+	// <= 0 means 4.
+	FramesPerDevice int
+	// Faults configures the chaos transport (zero value: no faults).
+	Faults Faults
+	// Seed makes the swarm's randomness reproducible; 0 means 1.
+	Seed uint64
+	// DataDir enables the durable collector (WAL + crash recovery). It is
+	// required for KillAfterChunks and IdleTimeout — both destroy
+	// in-memory state that only a WAL can bring back.
+	DataDir string
+	// MaxSessions / MaxChunksPerSec / ChunkBurst are the collector's
+	// admission-control knobs (see ingest.ServerOptions).
+	MaxSessions     int
+	MaxChunksPerSec float64
+	ChunkBurst      int
+	// IdleTimeout is the collector's session-eviction horizon.
+	IdleTimeout time.Duration
+	// ReadTimeout / WriteTimeout are the collector's per-request deadlines
+	// (what sheds the slow-loris uploads).
+	ReadTimeout  time.Duration
+	WriteTimeout time.Duration
+	// KillAfterChunks hard-kills and restarts the collector once that many
+	// chunks have been acked mid-storm; 0 means no mid-storm kill.
+	KillAfterChunks int
+	// Stragglers is the fraction of devices that stall mid-stream for
+	// StallFor (default 300ms) before finishing.
+	Stragglers float64
+	StallFor   time.Duration
+	// SinkMaxElapsed is each device sink's total retry budget; <= 0 means
+	// 90s — generous enough to ride out restarts and admission waves.
+	SinkMaxElapsed time.Duration
+	// Logf, when set, narrates the storm's acts (test logging).
+	Logf func(format string, args ...any)
+}
+
+// Result is what one storm observed and measured.
+type Result struct {
+	Devices int           `json:"devices"`
+	Frames  int           `json:"frames"`
+	Elapsed time.Duration `json:"elapsed_ns"`
+	// FramesPerSec is the sustained ingest rate over the storm (all frames
+	// acked / wall time, faults and restarts included).
+	FramesPerSec float64 `json:"frames_per_sec"`
+	// P99Latency is the 99th-percentile clean ingest round-trip.
+	P99Latency time.Duration `json:"p99_latency_ns"`
+	// PeakRSSBytes is the process's peak resident set (collector and swarm
+	// share the process; the collector dominates).
+	PeakRSSBytes int64 `json:"peak_rss_bytes"`
+	// StatusCounts is the full POST /ingest status histogram, server-side.
+	StatusCounts map[int]int `json:"status_counts"`
+	// UndocumentedStatuses lists observed statuses outside the documented
+	// set {200, 400, 409, 413, 429, 500, 503} — must be empty.
+	UndocumentedStatuses []int `json:"undocumented_statuses,omitempty"`
+	// FaultsInjected counts chaos injections by fault name.
+	FaultsInjected map[string]int `json:"faults_injected"`
+	// NetErrors counts client-visible transport errors (injected + real).
+	NetErrors int `json:"net_errors"`
+	// AckedChunks counts 200 acks (duplicate acks included).
+	AckedChunks int `json:"acked_chunks"`
+	// Restarts counts mid-storm collector kill/restart cycles (the final
+	// recovery restart in durable mode is not counted).
+	Restarts int `json:"restarts"`
+	// Evictions/Resurrections are the final collector instance's counters.
+	Evictions     int `json:"evictions"`
+	Resurrections int `json:"resurrections"`
+	// LeakedSessions is how many sessions survived the post-storm eviction
+	// drain — must be 0 when IdleTimeout is set.
+	LeakedSessions int `json:"leaked_sessions"`
+	// SinkErrors holds per-device sticky sink failures — must be empty
+	// (throttled/capped sinks must eventually drain).
+	SinkErrors []string `json:"sink_errors,omitempty"`
+	// RecoveredSessions/RecoveredChunks report the final restart's WAL
+	// replay (durable mode).
+	RecoveredSessions int `json:"recovered_sessions"`
+	RecoveredChunks   int `json:"recovered_chunks"`
+	// RefReplayRejects counts acked chunks the fault-free reference server
+	// did not ack on replay — must be 0.
+	RefReplayRejects int `json:"ref_replay_rejects"`
+	// FleetLive is the recovered collector's /fleet body; FleetRef is the
+	// fault-free reference server's /fleet over the same acked chunks.
+	// The invariant is FleetLive == FleetRef, byte for byte.
+	FleetLive []byte `json:"-"`
+	FleetRef  []byte `json:"-"`
+}
+
+// documentedStatuses is the collector's public POST /ingest status
+// contract.
+var documentedStatuses = map[int]bool{
+	http.StatusOK:                    true,
+	http.StatusBadRequest:            true,
+	http.StatusConflict:              true,
+	http.StatusRequestEntityTooLarge: true,
+	http.StatusTooManyRequests:       true,
+	http.StatusInternalServerError:   true,
+	http.StatusServiceUnavailable:    true,
+}
+
+// CheckInvariants returns the storm's graceful-degradation verdict: nil
+// when every robustness invariant held.
+func (r *Result) CheckInvariants() error {
+	var problems []string
+	if len(r.UndocumentedStatuses) > 0 {
+		problems = append(problems, fmt.Sprintf("undocumented statuses observed: %v", r.UndocumentedStatuses))
+	}
+	if len(r.SinkErrors) > 0 {
+		problems = append(problems, fmt.Sprintf("%d sinks failed to drain: %s", len(r.SinkErrors), r.SinkErrors[0]))
+	}
+	if r.LeakedSessions > 0 {
+		problems = append(problems, fmt.Sprintf("%d sessions leaked past the eviction drain", r.LeakedSessions))
+	}
+	if r.RefReplayRejects > 0 {
+		problems = append(problems, fmt.Sprintf("%d acked chunks rejected by the fault-free reference replay", r.RefReplayRejects))
+	}
+	if !bytes.Equal(r.FleetLive, r.FleetRef) {
+		problems = append(problems, "recovered /fleet differs from the fault-free reference over the same acked chunks")
+	}
+	if len(problems) == 0 {
+		return nil
+	}
+	return fmt.Errorf("storm invariants violated: %s", strings.Join(problems, "; "))
+}
+
+// ackedChunk is one 200-acked upload as the server saw it: the generation
+// headers plus the exact wire bytes the handler consumed.
+type ackedChunk struct {
+	stream string
+	chunk  int
+	body   []byte
+}
+
+// statusWriter captures the handler's status code. Unwrap keeps
+// http.ResponseController (the per-request deadlines) working through the
+// wrapper.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(p)
+}
+
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
+// teeBody lets the recorder capture exactly the bytes the handler read,
+// without consuming the body itself (which would defeat the collector's
+// read deadline — the slow-loris bytes must trickle into the handler).
+type teeBody struct {
+	io.Reader
+	io.Closer
+}
+
+// recorder wraps the live collector handler, recording the authoritative
+// server-side view: the status of every POST /ingest and, for each 200,
+// the acked chunk's headers and exact bytes in per-device completion
+// order. The inner handler swaps across collector restarts; the record
+// spans them.
+type recorder struct {
+	mu     sync.Mutex
+	inner  http.Handler
+	status map[int]int
+	acked  map[string][]ackedChunk
+	ackedN int
+}
+
+func newRecorder() *recorder {
+	return &recorder{status: make(map[int]int), acked: make(map[string][]ackedChunk)}
+}
+
+func (rec *recorder) setInner(h http.Handler) {
+	rec.mu.Lock()
+	rec.inner = h
+	rec.mu.Unlock()
+}
+
+func (rec *recorder) ackedCount() int {
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	return rec.ackedN
+}
+
+func (rec *recorder) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	rec.mu.Lock()
+	inner := rec.inner
+	rec.mu.Unlock()
+	isIngest := r.Method == http.MethodPost && r.URL.Path == "/ingest"
+	if !isIngest {
+		inner.ServeHTTP(w, r)
+		return
+	}
+	var buf bytes.Buffer
+	r.Body = teeBody{Reader: io.TeeReader(r.Body, &buf), Closer: r.Body}
+	sw := &statusWriter{ResponseWriter: w}
+	inner.ServeHTTP(sw, r)
+	device := r.Header.Get("X-MLEXray-Device")
+	if device == "" {
+		device = r.URL.Query().Get("device")
+	}
+	chunkIdx := -1
+	if h := r.Header.Get("X-MLEXray-Chunk"); h != "" {
+		if idx, err := strconv.Atoi(h); err == nil {
+			chunkIdx = idx
+		}
+	}
+	rec.mu.Lock()
+	rec.status[sw.status]++
+	if sw.status == http.StatusOK {
+		rec.acked[device] = append(rec.acked[device], ackedChunk{
+			stream: r.Header.Get("X-MLEXray-Stream"),
+			chunk:  chunkIdx,
+			body:   bytes.Clone(buf.Bytes()),
+		})
+		rec.ackedN++
+	}
+	rec.mu.Unlock()
+}
+
+// collector owns one live ingest.Server incarnation behind the recorder:
+// start boots it (reusing the pinned address across restarts), kill
+// hard-closes the HTTP server and the WAL — in-flight uploads are cut,
+// exactly like a crash, except that acked appends are always either fully
+// durable or 503'd (the ingest.Server close barrier).
+type collector struct {
+	opts ingest.ServerOptions
+	rec  *recorder
+	addr string
+	srv  *ingest.Server
+	hs   *http.Server
+	done chan struct{}
+}
+
+func (c *collector) start() error {
+	srv, err := ingest.NewServer(c.opts)
+	if err != nil {
+		return err
+	}
+	addr := c.addr
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	var ln net.Listener
+	for i := 0; ; i++ {
+		ln, err = net.Listen("tcp", addr)
+		if err == nil {
+			break
+		}
+		if i >= 200 {
+			return fmt.Errorf("storm: relisten on %s: %w", addr, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if c.addr == "" {
+		c.addr = ln.Addr().String()
+	}
+	c.srv = srv
+	c.rec.setInner(srv)
+	hs := &http.Server{Handler: c.rec, ReadHeaderTimeout: 5 * time.Second}
+	done := make(chan struct{})
+	go func() {
+		hs.Serve(ln)
+		close(done)
+	}()
+	c.hs = hs
+	c.done = done
+	return nil
+}
+
+func (c *collector) kill() {
+	c.hs.Close()
+	<-c.done
+	c.srv.Close()
+}
+
+// memWriter is a minimal in-process ResponseWriter for driving a handler
+// without a network (the reference replay and the /fleet snapshots).
+type memWriter struct {
+	hdr  http.Header
+	code int
+	buf  bytes.Buffer
+}
+
+func newMemWriter() *memWriter { return &memWriter{hdr: make(http.Header)} }
+
+func (w *memWriter) Header() http.Header { return w.hdr }
+
+func (w *memWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+}
+
+func (w *memWriter) Write(p []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	return w.buf.Write(p)
+}
+
+// getPath drives one GET against a handler in process.
+func getPath(h http.Handler, path string) (int, []byte) {
+	req, err := http.NewRequest(http.MethodGet, "http://storm"+path, nil)
+	if err != nil {
+		return 0, nil
+	}
+	w := newMemWriter()
+	h.ServeHTTP(w, req)
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	return w.code, w.buf.Bytes()
+}
+
+// peakRSSBytes reads the process's resident-set high-water mark (VmHWM)
+// from /proc; off Linux it falls back to the Go runtime's Sys estimate.
+func peakRSSBytes() int64 {
+	if data, err := os.ReadFile("/proc/self/status"); err == nil {
+		for _, line := range strings.Split(string(data), "\n") {
+			if !strings.HasPrefix(line, "VmHWM:") {
+				continue
+			}
+			fields := strings.Fields(line)
+			if len(fields) >= 2 {
+				if kb, err := strconv.ParseInt(fields[1], 10, 64); err == nil {
+					return kb * 1024
+				}
+			}
+		}
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return int64(ms.Sys)
+}
+
+// quantile returns the q'th latency quantile (nearest-rank).
+func quantile(ds []time.Duration, q float64) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	s := append([]time.Duration(nil), ds...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	idx := int(q*float64(len(s)-1) + 0.5)
+	return s[idx]
+}
+
+// Run executes one storm end to end and returns what it observed. The
+// returned error covers harness failures (could not boot the collector);
+// invariant verdicts live in Result.CheckInvariants, so a failing storm
+// still hands back its full evidence.
+func Run(opts Options) (*Result, error) {
+	if opts.Devices <= 0 {
+		opts.Devices = 32
+	}
+	if opts.FramesPerDevice <= 0 {
+		opts.FramesPerDevice = 4
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	if opts.StallFor <= 0 {
+		opts.StallFor = 300 * time.Millisecond
+	}
+	if opts.SinkMaxElapsed <= 0 {
+		opts.SinkMaxElapsed = 90 * time.Second
+	}
+	logf := opts.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	if opts.DataDir == "" && (opts.KillAfterChunks > 0 || opts.IdleTimeout > 0) {
+		return nil, fmt.Errorf("storm: kill/restart and idle eviction require DataDir — recovery needs a WAL")
+	}
+
+	frames := opts.Devices * opts.FramesPerDevice
+	ref := refLog(frames)
+	rec := newRecorder()
+	col := &collector{rec: rec, opts: ingest.ServerOptions{
+		Ref:                   ref,
+		DataDir:               opts.DataDir,
+		MaxSessions:           opts.MaxSessions,
+		MaxChunksPerSec:       opts.MaxChunksPerSec,
+		ChunkBurst:            opts.ChunkBurst,
+		IdleTimeout:           opts.IdleTimeout,
+		ReadTimeout:           opts.ReadTimeout,
+		WriteTimeout:          opts.WriteTimeout,
+		SessionRetryAfterSecs: 1,
+	}}
+	if err := col.start(); err != nil {
+		return nil, err
+	}
+	logf("storm: collector on %s, %d devices x %d frames", col.addr, opts.Devices, opts.FramesPerDevice)
+
+	met := newStormMetrics()
+	baseTransport := &http.Transport{MaxIdleConnsPerHost: 64}
+	defer baseTransport.CloseIdleConnections()
+
+	// The kill act: once enough chunks are acked, hard-kill the collector
+	// mid-storm and restart it on the same address. In-flight uploads see
+	// cut connections and retry; recovery replays the WAL.
+	killerDone := make(chan struct{})
+	stopKiller := make(chan struct{})
+	restarts := 0
+	var killerErr error
+	if opts.KillAfterChunks > 0 {
+		go func() {
+			defer close(killerDone)
+			for {
+				select {
+				case <-stopKiller:
+					return
+				default:
+				}
+				if rec.ackedCount() >= opts.KillAfterChunks {
+					logf("storm: kill act at %d acked chunks", rec.ackedCount())
+					col.kill()
+					if err := col.start(); err != nil {
+						killerErr = err
+						return
+					}
+					restarts++
+					return
+				}
+				time.Sleep(2 * time.Millisecond)
+			}
+		}()
+	} else {
+		close(killerDone)
+	}
+
+	// The swarm: heterogeneous profiles, bursty waves, stragglers.
+	start := time.Now()
+	var wg sync.WaitGroup
+	sinkErrs := make([]string, opts.Devices)
+	formats := []core.LogFormat{core.FormatBinary, core.FormatJSONL}
+	for d := 0; d < opts.Devices; d++ {
+		wg.Add(1)
+		go func(d int) {
+			defer wg.Done()
+			rng := mrand.New(mrand.NewPCG(opts.Seed, uint64(d)))
+			wave := time.Duration(d/16) * 25 * time.Millisecond
+			time.Sleep(wave + time.Duration(rng.IntN(10))*time.Millisecond)
+			tr := &chaosTransport{base: baseTransport, faults: opts.Faults, rng: rng, met: met}
+			sink, err := ingest.NewRemoteSink(ingest.SinkOptions{
+				URL:          "http://" + col.addr,
+				Device:       deviceName(d),
+				Format:       formats[d%2],
+				Gzip:         d%3 == 0,
+				ChunkBytes:   256 << (d % 3),
+				MaxRetries:   10000,
+				RetryBackoff: 5 * time.Millisecond,
+				MaxElapsed:   opts.SinkMaxElapsed,
+				Client:       &http.Client{Transport: tr, Timeout: 30 * time.Second},
+			})
+			if err != nil {
+				sinkErrs[d] = err.Error()
+				return
+			}
+			lo, hi := deviceFrames(d, opts.Devices, frames)
+			recs := synthFrames(lo, hi)
+			straggler := rng.Float64() < opts.Stragglers
+			sent, startIdx := 0, 0
+			for startIdx < len(recs) {
+				end := startIdx
+				for end < len(recs) && recs[end].Frame == recs[startIdx].Frame {
+					end++
+				}
+				if err := sink.WriteFrame(recs[startIdx].Frame, recs[startIdx:end]); err != nil {
+					sinkErrs[d] = err.Error()
+					return
+				}
+				sent++
+				if straggler && sent == (hi-lo)/2+1 {
+					time.Sleep(opts.StallFor)
+				}
+				if p := rng.IntN(3); p > 0 {
+					time.Sleep(time.Duration(p) * time.Millisecond)
+				}
+				startIdx = end
+			}
+			if err := sink.Flush(); err != nil {
+				sinkErrs[d] = err.Error()
+			}
+		}(d)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(stopKiller)
+	<-killerDone
+	if killerErr != nil {
+		return nil, killerErr
+	}
+	logf("storm: swarm drained in %v (%d acked chunks)", elapsed.Round(time.Millisecond), rec.ackedCount())
+
+	res := &Result{
+		Devices:      opts.Devices,
+		Frames:       frames,
+		Elapsed:      elapsed,
+		FramesPerSec: float64(frames) / elapsed.Seconds(),
+		Restarts:     restarts,
+		NetErrors:    met.netErrors,
+	}
+	for _, e := range sinkErrs {
+		if e != "" {
+			res.SinkErrors = append(res.SinkErrors, e)
+		}
+	}
+
+	// Session-leak drain: with eviction on, pressure has lifted, so every
+	// slot must free once the idle horizon passes — the data stays in the
+	// WAL for the final recovery below.
+	if opts.IdleTimeout > 0 {
+		deadline := time.Now().Add(10*time.Second + 10*opts.IdleTimeout)
+		for {
+			col.srv.EvictIdle()
+			if len(col.srv.Devices()) == 0 || time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(opts.IdleTimeout / 4)
+		}
+		res.LeakedSessions = len(col.srv.Devices())
+	}
+	res.Evictions = col.srv.Evictions()
+	res.Resurrections = col.srv.Resurrections()
+
+	// Final crash recovery: everything the storm acked must come back.
+	if opts.DataDir != "" {
+		col.kill()
+		if err := col.start(); err != nil {
+			return nil, err
+		}
+		rs := col.srv.Recovery()
+		res.RecoveredSessions = rs.Sessions
+		res.RecoveredChunks = rs.Chunks
+		logf("storm: final recovery: %d sessions, %d chunks", rs.Sessions, rs.Chunks)
+	}
+	code, body := getPath(col.srv, "/fleet")
+	if code != http.StatusOK {
+		col.kill()
+		return nil, fmt.Errorf("storm: /fleet after recovery: %d: %s", code, body)
+	}
+	res.FleetLive = body
+	col.kill()
+
+	// The fault-free reference: a fresh in-memory collector fed exactly
+	// the acked chunks, per device in ack order. Byte-equal /fleet is the
+	// graceful-degradation bar — chaos may slow the storm, never skew it.
+	met.mu.Lock()
+	latencies := append([]time.Duration(nil), met.latencies...)
+	faults := make(map[string]int, len(met.faults))
+	for k, v := range met.faults {
+		faults[k] = v
+	}
+	met.mu.Unlock()
+	res.FaultsInjected = faults
+	res.P99Latency = quantile(latencies, 0.99)
+
+	rec.mu.Lock()
+	res.StatusCounts = make(map[int]int, len(rec.status))
+	for code, n := range rec.status {
+		res.StatusCounts[code] = n
+		if !documentedStatuses[code] {
+			res.UndocumentedStatuses = append(res.UndocumentedStatuses, code)
+		}
+	}
+	res.AckedChunks = rec.ackedN
+	ackedDevices := make([]string, 0, len(rec.acked))
+	for dev := range rec.acked {
+		ackedDevices = append(ackedDevices, dev)
+	}
+	sort.Strings(ackedDevices)
+	ackedByDevice := make(map[string][]ackedChunk, len(rec.acked))
+	for dev, chunks := range rec.acked {
+		ackedByDevice[dev] = chunks
+	}
+	rec.mu.Unlock()
+	sort.Ints(res.UndocumentedStatuses)
+
+	refSrv, err := ingest.NewServer(ingest.ServerOptions{Ref: ref})
+	if err != nil {
+		return nil, err
+	}
+	for _, dev := range ackedDevices {
+		for _, ch := range ackedByDevice[dev] {
+			req, err := http.NewRequest(http.MethodPost, "http://storm/ingest", bytes.NewReader(ch.body))
+			if err != nil {
+				return nil, err
+			}
+			req.Header.Set("X-MLEXray-Device", dev)
+			if ch.chunk >= 0 {
+				req.Header.Set("X-MLEXray-Chunk", strconv.Itoa(ch.chunk))
+				req.Header.Set("X-MLEXray-Stream", ch.stream)
+			}
+			w := newMemWriter()
+			refSrv.ServeHTTP(w, req)
+			if w.code != http.StatusOK {
+				res.RefReplayRejects++
+			}
+		}
+	}
+	code, body = getPath(refSrv, "/fleet")
+	if code != http.StatusOK {
+		return nil, fmt.Errorf("storm: reference /fleet: %d: %s", code, body)
+	}
+	res.FleetRef = body
+
+	res.PeakRSSBytes = peakRSSBytes()
+	return res, nil
+}

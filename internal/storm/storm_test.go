@@ -1,0 +1,183 @@
+package storm
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// waitGoroutines polls for the goroutine count to settle back near the
+// baseline, giving pooled-connection and server goroutines time to exit.
+func waitGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		n := runtime.NumGoroutine()
+		// Allow a small slack: the runtime's own background goroutines
+		// (GC workers, timer scavenger) come and go.
+		if n <= baseline+3 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			buf = buf[:runtime.Stack(buf, true)]
+			t.Fatalf("goroutines leaked: %d now vs %d baseline\n%s", n, baseline, buf)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// TestStormOptionValidation pins the harness's own guard rails.
+func TestStormOptionValidation(t *testing.T) {
+	if _, err := Run(Options{Devices: 1, KillAfterChunks: 1}); err == nil {
+		t.Error("kill/restart without DataDir accepted")
+	}
+	if _, err := Run(Options{Devices: 1, IdleTimeout: time.Second}); err == nil {
+		t.Error("idle eviction without DataDir accepted")
+	}
+}
+
+// TestStormInMemoryClean runs a small fault-free in-memory storm: the
+// baseline sanity check that the harness itself (recorder, reference
+// replay, metrics) is sound before any chaos is layered on.
+func TestStormInMemoryClean(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	res, err := Run(Options{
+		Devices:         8,
+		FramesPerDevice: 2,
+		Seed:            7,
+		Logf:            t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.CheckInvariants(); err != nil {
+		t.Errorf("clean storm violated invariants: %v", err)
+	}
+	if res.StatusCounts[200] == 0 {
+		t.Errorf("no 200s recorded: %v", res.StatusCounts)
+	}
+	if res.NetErrors != 0 {
+		t.Errorf("fault-free storm saw %d net errors", res.NetErrors)
+	}
+	if res.FramesPerSec <= 0 || res.P99Latency <= 0 || res.PeakRSSBytes <= 0 {
+		t.Errorf("metrics not populated: fps=%v p99=%v rss=%v",
+			res.FramesPerSec, res.P99Latency, res.PeakRSSBytes)
+	}
+	waitGoroutines(t, baseline)
+}
+
+// TestStormInvariants is the pinned storm: a ~200-device swarm with every
+// fault type enabled, admission control and rate limiting squeezing the
+// collector, per-request deadlines shedding slow-loris writes, idle
+// eviction reclaiming sessions mid-storm, and one hard kill-and-restart
+// while uploads are in flight. The collector must degrade gracefully:
+// documented statuses only, every sink drains, the recovered /fleet is
+// byte-identical to a fault-free reference over the same acked chunks,
+// and no sessions or goroutines leak.
+func TestStormInvariants(t *testing.T) {
+	devices := 200
+	if testing.Short() {
+		devices = 120
+	}
+	baseline := runtime.NumGoroutine()
+	res, err := Run(Options{
+		Devices:         devices,
+		FramesPerDevice: 2,
+		Faults:          AllFaults(),
+		Seed:            42,
+		DataDir:         t.TempDir(),
+		MaxSessions:     64,
+		// The chunk rate is per device: burst 1 at 5/s means a device's
+		// back-to-back chunks trip a 429 and must honor Retry-After.
+		MaxChunksPerSec: 5,
+		ChunkBurst:      1,
+		IdleTimeout:     250 * time.Millisecond,
+		ReadTimeout:     150 * time.Millisecond,
+		WriteTimeout:    time.Second,
+		KillAfterChunks: 100,
+		Stragglers:      0.05,
+		StallFor:        300 * time.Millisecond,
+		Logf:            t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("storm result: %d frames in %v (%.0f frames/s), p99 %v, rss %d MiB",
+		res.Frames, res.Elapsed.Round(time.Millisecond), res.FramesPerSec,
+		res.P99Latency.Round(time.Microsecond), res.PeakRSSBytes>>20)
+	t.Logf("statuses: %v; faults: %v; net errors: %d; acked: %d",
+		res.StatusCounts, res.FaultsInjected, res.NetErrors, res.AckedChunks)
+	t.Logf("restarts: %d; evictions: %d; resurrections: %d; recovered: %d sessions / %d chunks",
+		res.Restarts, res.Evictions, res.Resurrections, res.RecoveredSessions, res.RecoveredChunks)
+
+	if err := res.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+	if res.Restarts != 1 {
+		t.Errorf("restarts = %d, want exactly 1 mid-storm kill", res.Restarts)
+	}
+	for _, fault := range []string{
+		faultDisconnect, faultSlowLoris, faultCorrupt,
+		faultDropResponse, faultDuplicate, faultReplayStale,
+	} {
+		if res.FaultsInjected[fault] == 0 {
+			t.Errorf("fault %q never fired — the storm did not exercise it", fault)
+		}
+	}
+	if res.StatusCounts[429] == 0 {
+		t.Error("no 429s — the rate limiter never engaged under swarm load")
+	}
+	if res.StatusCounts[503] == 0 {
+		t.Error("no 503s — the session cap never engaged under swarm load")
+	}
+	if res.RecoveredChunks == 0 {
+		t.Error("final recovery replayed no chunks — the durability leg never ran")
+	}
+	if res.Evictions == 0 {
+		t.Error("no sessions were evicted — idle eviction never engaged under cap pressure")
+	}
+	waitGoroutines(t, baseline)
+}
+
+// TestQuantile pins the nearest-rank p99 helper.
+func TestQuantile(t *testing.T) {
+	var ds []time.Duration
+	if got := quantile(ds, 0.99); got != 0 {
+		t.Errorf("empty quantile = %v", got)
+	}
+	for i := 100; i >= 1; i-- {
+		ds = append(ds, time.Duration(i))
+	}
+	if got := quantile(ds, 0.99); got != 99 {
+		t.Errorf("p99 of 1..100 = %v, want 99", got)
+	}
+	if got := quantile(ds, 0); got != 1 {
+		t.Errorf("p0 = %v, want 1", got)
+	}
+}
+
+// TestCheckInvariantsReportsAll pins the verdict wording for each failure.
+func TestCheckInvariantsReportsAll(t *testing.T) {
+	r := &Result{
+		UndocumentedStatuses: []int{418},
+		SinkErrors:           []string{"dev-0001: boom"},
+		LeakedSessions:       2,
+		RefReplayRejects:     1,
+		FleetLive:            []byte("a"),
+		FleetRef:             []byte("b"),
+	}
+	err := r.CheckInvariants()
+	if err == nil {
+		t.Fatal("broken result passed")
+	}
+	for _, want := range []string{"418", "drain", "leaked", "reference replay", "differs"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("verdict missing %q: %v", want, err)
+		}
+	}
+	if (&Result{}).CheckInvariants() != nil {
+		t.Error("clean result failed")
+	}
+}

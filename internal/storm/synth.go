@@ -1,0 +1,76 @@
+package storm
+
+import (
+	"fmt"
+
+	"mlexray/internal/core"
+	"mlexray/internal/tensor"
+)
+
+// This file generates the storm's synthetic telemetry: one shared reference
+// log covering every frame, and per-device shard logs that partition it —
+// the same shape the ingest tests and the fleet replay engine use (two
+// per-layer tensor+latency pairs plus a model output per frame), so the
+// collector under storm exercises its full validation path, not a stub.
+
+// deviceName names the d'th simulated device. Zero-padded so device order
+// and lexical order agree everywhere (reports, WAL directory listings).
+func deviceName(d int) string { return fmt.Sprintf("dev-%04d", d) }
+
+// synthFrames builds the records for the frames in [lo, hi) — layers conv1
+// and dw1 with deterministic tensor values and latencies, one model output
+// per frame.
+func synthFrames(lo, hi int) []core.Record {
+	layers := []string{"conv1", "dw1"}
+	opTypes := []string{"Conv2D", "DepthwiseConv2D"}
+	var recs []core.Record
+	seq := 0
+	for f := lo; f < hi; f++ {
+		for li, name := range layers {
+			tt := tensor.New(tensor.F32, 8)
+			for i := range tt.F {
+				tt.F[i] = float32(f + li + i)
+			}
+			var r core.Record
+			r.Seq, r.Frame = seq, f
+			r.Key = core.LayerOutputKey(name)
+			r.LayerIndex, r.LayerName, r.OpType = li, name, opTypes[li]
+			r.EncodeTensor(tt, true)
+			recs = append(recs, r)
+			seq++
+			recs = append(recs, core.Record{
+				Seq: seq, Frame: f, Key: core.LayerLatencyKey(name), Kind: core.KindMetric,
+				LayerIndex: li, LayerName: name, OpType: opTypes[li],
+				Value: float64(1000 * (li + 1)), Unit: "ns",
+			})
+			seq++
+		}
+		out := tensor.New(tensor.F32, 4)
+		out.F[f%4] = 1
+		var r core.Record
+		r.Seq, r.Frame = seq, f
+		r.Key = core.KeyModelOutput
+		r.EncodeTensor(out, true)
+		recs = append(recs, r)
+		seq++
+	}
+	return recs
+}
+
+// refLog is the fleet-wide reference: every frame in [0, frames).
+func refLog(frames int) *core.Log {
+	return &core.Log{Records: synthFrames(0, frames)}
+}
+
+// deviceFrames returns device d's contiguous frame range under an even
+// split of frames across devices (the fleet-shard arrival the collector
+// sees in production).
+func deviceFrames(d, devices, frames int) (lo, hi int) {
+	per := frames / devices
+	lo = d * per
+	hi = lo + per
+	if d == devices-1 {
+		hi = frames
+	}
+	return lo, hi
+}

@@ -366,6 +366,11 @@ func NewFleetStreamValidator(ref *Log, opts ValidateOptions) (*FleetStreamValida
 // byte-identical to an uninterrupted run (Recovery reports what was
 // restored). MaxSessions and MaxChunksPerSec add admission control — 503
 // and 429 with Retry-After, which RemoteSink retries as transient.
+// IdleTimeout (durable only) evicts idle sessions to free slots while
+// their segments stay resurrectable; ReadTimeout/WriteTimeout arm
+// per-request deadlines that shed slow-loris uploads. These hardening
+// knobs are storm-tested by cmd/exraystorm, a fault-injecting
+// device-swarm harness that pins the collector's graceful degradation.
 type IngestServer = ingest.Server
 
 // IngestServerOptions configures an IngestServer.
@@ -388,7 +393,10 @@ func NewIngestServer(opts IngestServerOptions) (*IngestServer, error) {
 type RemoteSink = ingest.RemoteSink
 
 // RemoteSinkOptions configures a RemoteSink (collector URL, device ID,
-// encoding, gzip, chunk size, retries).
+// encoding, gzip, chunk size, retries). Failed uploads retry with
+// jittered exponential backoff under two budgets — MaxRetries attempts
+// and MaxElapsed total time — honoring the collector's Retry-After on
+// 429/503.
 type RemoteSinkOptions = ingest.SinkOptions
 
 // NewRemoteSink builds a sink streaming to the collector at opts.URL.
