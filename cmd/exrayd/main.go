@@ -12,7 +12,9 @@
 //	GET  /devices            all device session statuses (JSON)
 //	GET  /devices/{device}   one session's status + incremental report
 //	GET  /fleet              fleet-wide cross-validation report
-//	GET  /healthz            liveness
+//	GET  /fleet/export       per-session accumulator snapshots (what a
+//	                         sharding gateway merges; see cmd/exraygw)
+//	GET  /healthz            liveness + per-session WAL segment stats
 //
 // Usage:
 //
@@ -77,6 +79,8 @@ func run(args []string, stdout io.Writer) error {
 		agreement    = fs.Float64("agreement", 0, "output-agreement threshold (0 = default)")
 		maxBody      = fs.Int64("max-body", 0, "per-chunk upload size cap in bytes (0 = 1GiB)")
 		dataDir      = fs.String("data-dir", "", "write-ahead log directory: accepted chunks are fsynced here before the ack, and a restart replays them to recover every session exactly (empty = in-memory only)")
+		segBytes     = fs.Int64("segment-bytes", 0, "roll a session's WAL to a new numbered segment once the active one passes this many bytes; closed segments compact automatically (requires -data-dir; 0 = one segment per session)")
+		compactAfter = fs.Int("compact-after", 0, "merge closed WAL segments once this many accumulate (0 = default 4 when rotation is on; negative = never compact)")
 		maxSessions  = fs.Int("max-sessions", 0, "cap on concurrent device sessions; new devices past it get 503 + Retry-After (0 = unlimited)")
 		maxChunkRate = fs.Float64("max-chunk-rate", 0, "per-device accepted-chunk rate limit in chunks/sec; over-rate chunks get 429 + Retry-After (0 = unlimited)")
 		evictIdle    = fs.Duration("evict-idle", 0, "evict sessions idle this long; their WAL segments stay recoverable (requires -data-dir; 0 = never)")
@@ -93,6 +97,8 @@ func run(args []string, stdout io.Writer) error {
 	opts := ingest.ServerOptions{
 		MaxBodyBytes:    *maxBody,
 		DataDir:         *dataDir,
+		SegmentBytes:    *segBytes,
+		CompactAfter:    *compactAfter,
 		MaxSessions:     *maxSessions,
 		MaxChunksPerSec: *maxChunkRate,
 		IdleTimeout:     *evictIdle,

@@ -1,0 +1,182 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"mlexray/internal/core"
+	"mlexray/internal/ingest"
+	"mlexray/internal/tensor"
+)
+
+// testRefLog builds a minimal reference log with model outputs.
+func testRefLog(frames int) *core.Log {
+	l := &core.Log{}
+	for f := 0; f < frames; f++ {
+		out := tensor.New(tensor.F32, 4)
+		out.F[f%4] = 1
+		var r core.Record
+		r.Seq, r.Frame, r.Key = f, f, core.KeyModelOutput
+		r.EncodeTensor(out, true)
+		l.Records = append(l.Records, r)
+	}
+	return l
+}
+
+// bootShard starts a real collector shard the gateway can route to.
+func bootShard(t *testing.T, ref *core.Log) *httptest.Server {
+	t.Helper()
+	srv, err := ingest.NewServer(ingest.ServerOptions{Ref: ref})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestRunRoutesAcrossRing boots the gateway over two live collector shards
+// (accept loop stubbed to hand back the handler), uploads several devices
+// through it, and checks the merged /fleet: every device present, perfect
+// agreement, and each session held by exactly one shard.
+func TestRunRoutesAcrossRing(t *testing.T) {
+	ref := testRefLog(4)
+	s0, s1 := bootShard(t, ref), bootShard(t, ref)
+
+	var handler http.Handler
+	oldServe := serve
+	serve = func(ln net.Listener, hs *http.Server) error {
+		handler = hs.Handler
+		return nil
+	}
+	defer func() { serve = oldServe }()
+
+	var buf bytes.Buffer
+	err := run([]string{
+		"-addr", "127.0.0.1:0",
+		"-shard", "alpha=" + s0.URL,
+		"-shard", s1.URL, // bare URL: auto-named shard-1
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"shard alpha", "shard shard-1",
+		"ring of 2 shard(s)", "proxy uploads",
+		"listening on http://127.0.0.1:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("banner missing %q:\n%s", want, out)
+		}
+	}
+	if handler == nil {
+		t.Fatal("run never built a handler")
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go http.Serve(ln, handler)
+	base := "http://" + ln.Addr().String()
+
+	devices := []string{"dev-a", "dev-b", "dev-c", "dev-d", "dev-e", "dev-f"}
+	for _, dev := range devices {
+		sink, err := ingest.NewRemoteSink(ingest.SinkOptions{
+			URL: base, Device: dev, Format: core.FormatBinary,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for f := 0; f < 4; f++ {
+			if err := sink.WriteFrame(f, ref.Records[f:f+1]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := sink.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	resp, err := http.Get(base + "/fleet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/fleet status %d", resp.StatusCode)
+	}
+	var fleet struct {
+		Devices []string
+		Report  *core.FleetReport
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&fleet); err != nil {
+		t.Fatal(err)
+	}
+	if len(fleet.Devices) != len(devices) {
+		t.Errorf("merged fleet devices = %v, want all %d", fleet.Devices, len(devices))
+	}
+	if fleet.Report.FleetAgreement != 1 {
+		t.Errorf("agreement = %v, want 1", fleet.Report.FleetAgreement)
+	}
+
+	// The ring actually sharded: together the two shards hold every session,
+	// and no session landed on both.
+	count := func(ts *httptest.Server) int {
+		resp, err := http.Get(ts.URL + "/devices")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var ds []struct{ Device string }
+		if err := json.NewDecoder(resp.Body).Decode(&ds); err != nil {
+			t.Fatal(err)
+		}
+		return len(ds)
+	}
+	n0, n1 := count(s0), count(s1)
+	if n0+n1 != len(devices) {
+		t.Errorf("shards hold %d + %d sessions, want %d total with no overlap", n0, n1, len(devices))
+	}
+	if n0 == 0 || n1 == 0 {
+		t.Errorf("one shard held everything (%d/%d) — placement never spread", n0, n1)
+	}
+}
+
+// TestRunRedirectBanner pins the redirect-mode banner.
+func TestRunRedirectBanner(t *testing.T) {
+	oldServe := serve
+	serve = func(ln net.Listener, hs *http.Server) error { return nil }
+	defer func() { serve = oldServe }()
+	var buf bytes.Buffer
+	if err := run([]string{"-addr", "127.0.0.1:0", "-redirect", "-shard", "a=http://localhost:1"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "redirect uploads") {
+		t.Errorf("missing redirect banner:\n%s", buf.String())
+	}
+}
+
+// TestRunRejectsBadMembership pins the flag-validation error paths.
+func TestRunRejectsBadMembership(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(nil, &buf); err == nil {
+		t.Error("empty ring accepted")
+	}
+	if err := run([]string{"-shard", "="}, &buf); err == nil {
+		t.Error("empty name=url accepted")
+	}
+	if err := run([]string{"-shard", "a=http://localhost:1", "-shard", "a=http://localhost:2"}, &buf); err == nil {
+		t.Error("duplicate shard name accepted")
+	}
+	if err := run([]string{"-shard", "a=http://bad url"}, &buf); err == nil {
+		t.Error("unparseable shard URL accepted")
+	}
+}

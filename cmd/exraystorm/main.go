@@ -9,7 +9,7 @@
 // every graceful-degradation invariant held:
 //
 //   - every upload response carried a documented status
-//     (200/400/409/413/429/500/503),
+//     (200/400/409/413/429/500/503, plus 502 from the sharding gateway),
 //   - every 200-acked chunk survived crash recovery byte-exactly (the
 //     recovered /fleet equals a fault-free reference over the same acks),
 //   - every device sink drained despite throttling, caps and restarts,
@@ -19,6 +19,13 @@
 //
 //	exraystorm -devices 200 -frames 2 -data-dir /tmp/storm -kill-after 100
 //	exraystorm -devices 32 -seed 7 -json storm.json
+//	exraystorm -devices 64 -shards 4 -data-dir /tmp/storm -kill-after 40
+//
+// With -shards N the swarm uploads through a consistent-hash gateway into a
+// ring of N collector shards, the kill act takes down a single shard while
+// the rest keep serving, and the judged /fleet is the gateway's merged
+// report — still pinned byte-identical to the fault-free single-collector
+// reference.
 //
 // The report prints throughput (frames/sec), p99 ingest latency, peak RSS,
 // the status-code histogram and the per-fault injection counts; -json
@@ -50,7 +57,9 @@ func run(args []string, stdout io.Writer) error {
 		devices   = fs.Int("devices", 200, "swarm size (concurrent simulated devices)")
 		frames    = fs.Int("frames", 2, "frames per device")
 		seed      = fs.Uint64("seed", 1, "storm randomness seed (same seed, same swarm)")
+		shards    = fs.Int("shards", 0, "run a consistent-hash ring of this many collector shards behind an in-process gateway; the kill act takes down one shard (0 or 1 = single collector)")
 		dataDir   = fs.String("data-dir", "", "collector write-ahead log directory (empty = in-memory collector; required for -kill-after and -evict-idle)")
+		segBytes  = fs.Int64("segment-bytes", 0, "WAL segment-rotation threshold in bytes (0 = single-segment WALs)")
 		sessions  = fs.Int("max-sessions", 64, "collector session cap (0 = unlimited)")
 		chunkRate = fs.Float64("max-chunk-rate", 5, "per-device accepted-chunk rate limit (0 = unlimited)")
 		burst     = fs.Int("chunk-burst", 1, "rate limiter burst size")
@@ -76,7 +85,9 @@ func run(args []string, stdout io.Writer) error {
 		Devices:         *devices,
 		FramesPerDevice: *frames,
 		Seed:            *seed,
+		Shards:          *shards,
 		DataDir:         *dataDir,
+		SegmentBytes:    *segBytes,
 		MaxSessions:     *sessions,
 		MaxChunksPerSec: *chunkRate,
 		ChunkBurst:      *burst,
@@ -120,10 +131,21 @@ func run(args []string, stdout io.Writer) error {
 }
 
 func report(w io.Writer, res *storm.Result) {
-	fmt.Fprintf(w, "\nstorm: %d devices, %d frames in %v\n",
+	fmt.Fprintf(w, "\nstorm: %d devices, %d frames in %v",
 		res.Devices, res.Frames, res.Elapsed.Round(time.Millisecond))
+	if res.Shards > 1 {
+		fmt.Fprintf(w, " across %d shards", res.Shards)
+	}
+	fmt.Fprintln(w)
 	fmt.Fprintf(w, "  throughput   %.1f frames/sec\n", res.FramesPerSec)
 	fmt.Fprintf(w, "  p99 latency  %v\n", res.P99Latency.Round(time.Microsecond))
+	if len(res.LatencyHist) > 0 {
+		fmt.Fprintf(w, "  p99 history ")
+		for _, b := range res.LatencyHist {
+			fmt.Fprintf(w, " %v", (time.Duration(b.P99Ns) * time.Nanosecond).Round(time.Millisecond))
+		}
+		fmt.Fprintln(w)
+	}
 	fmt.Fprintf(w, "  peak rss     %.1f MiB\n", float64(res.PeakRSSBytes)/(1<<20))
 	fmt.Fprintf(w, "  acked chunks %d (recovered %d across %d sessions)\n",
 		res.AckedChunks, res.RecoveredChunks, res.RecoveredSessions)

@@ -7,6 +7,7 @@ package mlexray_test
 
 import (
 	"bytes"
+	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
@@ -467,6 +468,93 @@ func captureLogN(t *testing.T, bug pipeline.Bug, resolver *ops.Resolver, frames 
 		}
 	}
 	return mon.Log()
+}
+
+// TestFacadeShardedIngest drives the sharded ingestion API through the
+// facade: two collectors behind an IngestGateway, a fleet of devices
+// uploaded through it, and the merged /fleet byte-identical to a single
+// collector ingesting the same uploads.
+func TestFacadeShardedIngest(t *testing.T) {
+	ref := captureLog(t, pipeline.BugNone, ops.NewReference(ops.Fixed()), false)
+	edge := captureLog(t, pipeline.BugNormalization, ops.NewOptimized(ops.Fixed()), false)
+
+	newCollector := func() *httptest.Server {
+		srv, err := mlexray.NewIngestServer(mlexray.IngestServerOptions{Ref: ref})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(srv)
+		t.Cleanup(ts.Close)
+		return ts
+	}
+	single := newCollector()
+	s0, s1 := newCollector(), newCollector()
+	gw, err := mlexray.NewIngestGateway(mlexray.IngestGatewayOptions{
+		Shards: []mlexray.IngestShard{
+			{Name: "shard-0", URL: s0.URL},
+			{Name: "shard-1", URL: s1.URL},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gwTS := httptest.NewServer(gw)
+	defer gwTS.Close()
+
+	upload := func(base, device string) {
+		sink, err := mlexray.NewRemoteSink(mlexray.RemoteSinkOptions{
+			URL: base, Device: device, Format: mlexray.FormatBinary,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for f := 0; f <= edge.Frames(); f++ {
+			if recs := edge.ByFrame(f); len(recs) > 0 {
+				if err := sink.WriteFrame(f, recs); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if err := sink.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	getFleet := func(base string) []byte {
+		resp, err := http.Get(base + "/fleet")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("/fleet status %d", resp.StatusCode)
+		}
+		var buf bytes.Buffer
+		if _, err := buf.ReadFrom(resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	for _, device := range []string{"Pixel4", "Pixel3", "Emulator-1", "Emulator-2"} {
+		upload(gwTS.URL, device)
+		upload(single.URL, device)
+	}
+	want, got := getFleet(single.URL), getFleet(gwTS.URL)
+	if !bytes.Equal(want, got) {
+		t.Errorf("gateway /fleet differs from single collector:\nsingle: %s\nmerged: %s", want, got)
+	}
+
+	// The placement ring is exposed directly too, and agrees with the
+	// gateway's routing decisions.
+	ring, err := mlexray.NewHashRing([]string{"shard-0", "shard-1"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, device := range []string{"Pixel4", "Pixel3", "Emulator-1", "Emulator-2"} {
+		if ring.Owner(device) != gw.Owner(device) {
+			t.Errorf("ring owner %q != gateway owner %q for %s",
+				ring.Owner(device), gw.Owner(device), device)
+		}
+	}
 }
 
 // TestFacadeStreamingIngest drives the ingestion API through the facade: a

@@ -702,66 +702,189 @@ func (f *FleetStreamValidator) Report() (*FleetReport, error) {
 	return fleetReportFrom(f.Sessions(), f.opts)
 }
 
+// FleetLayerSnapshot is one layer accumulator of a session's drift analysis:
+// running sums rather than finished means, so a merged report divides exactly
+// once, in the shared finalizer, wherever the session lived. Snapshots list
+// layers in first-seen order (the accumulation order), which keeps float
+// summation order — and therefore the serialized report bytes — identical
+// between a local report and a merge of exported snapshots.
+type FleetLayerSnapshot struct {
+	Key      string  `json:"key"`
+	Index    int     `json:"index"`
+	Name     string  `json:"name,omitempty"`
+	OpType   string  `json:"op_type,omitempty"`
+	SumNRMSE float64 `json:"sum_nrmse"`
+	SumRMSE  float64 `json:"sum_rmse"`
+	MaxAbs   float64 `json:"max_abs"`
+	Frames   int     `json:"frames"`
+}
+
+// FleetSessionSnapshot is one device session's fleet-rollup state, exported:
+// everything fleetReportFrom reads from a live session, carried as plain
+// data. A sharded collector ships these over the wire (ingest's
+// /fleet/export) and an aggregator recombines them with MergeFleetSnapshots;
+// because Go's JSON encoding round-trips float64 exactly and the merge runs
+// the same finalizer as a local Report, the merged report is byte-identical
+// to a single collector holding every session.
+type FleetSessionSnapshot struct {
+	Device string `json:"device"`
+	// OutputErr carries the session's sticky output decode error, if any —
+	// the merge propagates it exactly as a local report would.
+	OutputErr string `json:"output_err,omitempty"`
+	// Agree/Total/Mismatched are the device-vs-reference agreement tallies
+	// (fleetAcc), Mismatched sorted ascending.
+	Agree      int   `json:"agree"`
+	Total      int   `json:"total"`
+	Mismatched []int `json:"mismatched,omitempty"`
+	// Layers is empty when the session has no per-layer capture or its layer
+	// analysis is poisoned — both cases a report skips identically.
+	Layers []FleetLayerSnapshot `json:"layers,omitempty"`
+	// InfSum/InfN accumulate KeyInferenceModeled for the latency column.
+	InfSum float64 `json:"inf_sum"`
+	InfN   int     `json:"inf_n"`
+}
+
+// fleetSnapshotLocked captures the session's fleet-rollup state. The error
+// mirrors the session's sticky output decode error; the snapshot carries its
+// message either way so a remote merge reports it identically.
+func (v *StreamValidator) fleetSnapshotLocked() (FleetSessionSnapshot, error) {
+	snap := FleetSessionSnapshot{Device: v.device}
+	if err := v.out.argErr; err != nil {
+		snap.OutputErr = err.Error()
+		return snap, err
+	}
+	acc := v.fleetAccLocked()
+	snap.Agree, snap.Total, snap.Mismatched = acc.agree, acc.total, acc.mismatched
+	if v.layers.err == nil {
+		for _, key := range v.layers.order {
+			a := v.layers.accs[key]
+			snap.Layers = append(snap.Layers, FleetLayerSnapshot{
+				Key:      key,
+				Index:    a.diff.Index,
+				Name:     a.diff.Name,
+				OpType:   a.diff.OpType,
+				SumNRMSE: a.sumN,
+				SumRMSE:  a.sumR,
+				MaxAbs:   a.maxA,
+				Frames:   a.n,
+			})
+		}
+	}
+	snap.InfSum, snap.InfN = v.infSum, v.infN
+	return snap, nil
+}
+
+// FleetSnapshot exports the session's fleet-rollup state for aggregation
+// elsewhere. Like Report, it is non-destructive and safe mid-stream.
+func (v *StreamValidator) FleetSnapshot() FleetSessionSnapshot {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	snap, _ := v.fleetSnapshotLocked()
+	return snap
+}
+
+// Snapshots exports every session's fleet-rollup state in device-name order —
+// the per-shard half of a sharded fleet report. MergeFleetSnapshots over the
+// union of every shard's Snapshots equals the Report of one validator that
+// had held all the sessions.
+func (f *FleetStreamValidator) Snapshots() []FleetSessionSnapshot {
+	sessions := f.Sessions()
+	out := make([]FleetSessionSnapshot, 0, len(sessions))
+	for _, s := range sessions {
+		out = append(out, s.FleetSnapshot())
+	}
+	return out
+}
+
+// MergeFleetSnapshots assembles the fleet cross-validation from exported
+// session snapshots, sorted by device name — the aggregator half of sharded
+// ingest. Feeding it the concatenated Snapshots of N disjoint shards yields
+// a report byte-identical (serialized) to a single collector's /fleet over
+// the same devices: the snapshots carry accumulator sums, so every division
+// and float fold happens once, here, in the same order a local report runs
+// them.
+func MergeFleetSnapshots(snaps []FleetSessionSnapshot, opts ValidateOptions) (*FleetReport, error) {
+	ordered := append([]FleetSessionSnapshot(nil), snaps...)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].Device < ordered[j].Device })
+	return fleetReportFromSnapshots(ordered, opts)
+}
+
 // fleetReportFrom assembles the fleet cross-validation over finished (or
 // in-flight) sessions, in the order given — the shared finalizer behind
-// FleetValidate and FleetStreamValidator.Report.
+// FleetValidate and FleetStreamValidator.Report. It snapshots each session
+// and delegates to the same merge the sharded aggregator uses, so local and
+// merged reports cannot drift apart.
 func fleetReportFrom(sessions []*StreamValidator, opts ValidateOptions) (*FleetReport, error) {
 	if len(sessions) == 0 {
 		return nil, fmt.Errorf("core: fleet validation needs at least one device shard")
 	}
-	accs := make([]fleetAcc, len(sessions))
-	sumAgree, sumTotal := 0, 0
+	snaps := make([]FleetSessionSnapshot, len(sessions))
 	for d, s := range sessions {
 		s.mu.Lock()
-		if err := s.out.argErr; err != nil {
-			s.mu.Unlock()
+		snap, err := s.fleetSnapshotLocked()
+		s.mu.Unlock()
+		if err != nil {
 			return nil, fmt.Errorf("core: device %q shard: %w", s.device, err)
 		}
-		accs[d] = s.fleetAccLocked()
-		s.mu.Unlock()
-		sumAgree += accs[d].agree
-		sumTotal += accs[d].total
+		snaps[d] = snap
+	}
+	return fleetReportFromSnapshots(snaps, opts)
+}
+
+func fleetReportFromSnapshots(snaps []FleetSessionSnapshot, opts ValidateOptions) (*FleetReport, error) {
+	if len(snaps) == 0 {
+		return nil, fmt.Errorf("core: fleet validation needs at least one device shard")
+	}
+	sumAgree, sumTotal := 0, 0
+	for _, snap := range snaps {
+		if snap.OutputErr != "" {
+			return nil, fmt.Errorf("core: device %q shard: %s", snap.Device, snap.OutputErr)
+		}
+		sumAgree += snap.Agree
+		sumTotal += snap.Total
 	}
 	if sumTotal == 0 {
 		return nil, fmt.Errorf("core: fleet shards share no output frames with the reference")
 	}
 
 	rep := &FleetReport{FleetAgreement: float64(sumAgree) / float64(sumTotal)}
-	for d, s := range sessions {
-		acc := accs[d]
-		s.mu.Lock()
-		dr := FleetDeviceReport{Device: s.device, Frames: acc.total}
-		if acc.total > 0 {
-			dr.OutputAgreement = float64(acc.agree) / float64(acc.total)
+	for _, snap := range snaps {
+		dr := FleetDeviceReport{Device: snap.Device, Frames: snap.Total}
+		if snap.Total > 0 {
+			dr.OutputAgreement = float64(snap.Agree) / float64(snap.Total)
 		}
 		// Drift rollup: per-layer normalized rMSE against the reference,
 		// averaged over the shared layers. Streams without per-layer capture
 		// (or with a poisoned layer analysis) skip it.
-		if diffs, err := s.layers.finalize(); err == nil && len(diffs) > 0 {
+		if len(snap.Layers) > 0 {
+			// Mean in Index order, matching layerDiffState.finalize's sorted
+			// diff table, so the fold order (and the serialized float) is the
+			// same whether the session was local or imported.
+			ordered := append([]FleetLayerSnapshot(nil), snap.Layers...)
+			sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].Index < ordered[j].Index })
 			sum := 0.0
-			for _, diff := range diffs {
-				sum += diff.NRMSE
+			for _, l := range ordered {
+				sum += l.SumNRMSE / float64(l.Frames)
 			}
-			dr.MeanNRMSE = sum / float64(len(diffs))
-			dr.Layers = len(diffs)
+			dr.MeanNRMSE = sum / float64(len(ordered))
+			dr.Layers = len(ordered)
 		}
 		// Latency rollup: modeled inference time, comparable across runs
 		// (wall-clock is not).
-		if s.infN > 0 {
-			dr.MeanModeledNs = s.infSum / float64(s.infN)
+		if snap.InfN > 0 {
+			dr.MeanModeledNs = snap.InfSum / float64(snap.InfN)
 		}
-		s.mu.Unlock()
 		// Cross-device divergence: does the rest of the fleet vouch for the
 		// model on the frames this device got wrong? With no other frames
 		// to consult (single-device fleets) the rest is vacuously healthy —
 		// the report degrades to per-device validation.
-		restAgree, restTotal := sumAgree-acc.agree, sumTotal-acc.total
+		restAgree, restTotal := sumAgree-snap.Agree, sumTotal-snap.Total
 		restHealthy := restTotal == 0 || float64(restAgree)/float64(restTotal) >= opts.AgreementThreshold
-		if restHealthy && acc.total > 0 {
-			dr.Divergent = acc.mismatched
+		if restHealthy && snap.Total > 0 {
+			dr.Divergent = snap.Mismatched
 			if dr.OutputAgreement < opts.AgreementThreshold {
 				dr.Flagged = true
-				rep.Flagged = append(rep.Flagged, s.device)
+				rep.Flagged = append(rep.Flagged, snap.Device)
 			}
 		}
 		rep.DivergentFrames = append(rep.DivergentFrames, dr.Divergent...)

@@ -370,3 +370,125 @@ func TestFleetStreamValidatorRefRequirements(t *testing.T) {
 		t.Error("FleetValidate accepted a reference without outputs")
 	}
 }
+
+// TestMergeFleetSnapshotsByteIdentical pins the sharded-ingest merge
+// contract: splitting the fleet's sessions across N validators (as a
+// consistent-hash ring would), exporting each shard's Snapshots through a
+// JSON round trip (the /fleet/export wire), and merging them must yield a
+// report byte-identical to the single validator that held every session —
+// for every shard count, in any concatenation order.
+func TestMergeFleetSnapshotsByteIdentical(t *testing.T) {
+	layers := []string{"conv1", "dw1"}
+	opTypes := []string{"Conv2D", "DepthwiseConv2D"}
+	const frames = 12
+	ref := buildLayerLog(frames, layers, opTypes, func(f, l, i int) float32 {
+		return float32(f + l + i)
+	})
+	mkShard := func(dev int, bugged bool) *Log {
+		full := buildLayerLog(frames, layers, opTypes, func(f, l, i int) float32 {
+			v := float32(f + l + i)
+			if bugged {
+				v += 40
+			}
+			return v
+		})
+		shard := &Log{}
+		for _, r := range full.Records {
+			if r.Frame%4 != dev {
+				continue
+			}
+			if bugged && r.Key == KeyModelOutput {
+				out := tensor.New(tensor.F32, 4)
+				out.F[(r.Frame+1)%4] = 1
+				r.EncodeTensor(out, true)
+			}
+			shard.Records = append(shard.Records, r)
+		}
+		return shard
+	}
+	devices := []DeviceShardLog{
+		{Device: "d0-Pixel4", Log: mkShard(0, false)},
+		{Device: "d1-Pixel3", Log: mkShard(1, true)},
+		{Device: "d2-Emulator", Log: mkShard(2, false)},
+		{Device: "d3-Nano", Log: mkShard(3, false)},
+	}
+	opts := DefaultValidateOptions()
+
+	feed := func(fv *FleetStreamValidator, shards []DeviceShardLog) {
+		for _, sh := range shards {
+			s := fv.Session(sh.Device)
+			for _, r := range sh.Log.Records {
+				if err := s.Consume(r); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+
+	single, err := NewFleetStreamValidator(ref, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed(single, devices)
+	want, err := single.Report()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJSON, err := json.Marshal(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, shardCount := range []int{1, 2, 4} {
+		// Deal devices across shards round-robin — placement does not matter,
+		// only the union of snapshots.
+		fvs := make([]*FleetStreamValidator, shardCount)
+		for i := range fvs {
+			fv, err := NewFleetStreamValidator(ref, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fvs[i] = fv
+		}
+		for d, sh := range devices {
+			feed(fvs[d%shardCount], []DeviceShardLog{sh})
+		}
+		// Concatenate snapshots shard by shard, reversed, through a JSON
+		// round trip — the exact wire an aggregator gateway sees.
+		var snaps []FleetSessionSnapshot
+		for i := shardCount - 1; i >= 0; i-- {
+			wire, err := json.Marshal(fvs[i].Snapshots())
+			if err != nil {
+				t.Fatal(err)
+			}
+			var back []FleetSessionSnapshot
+			if err := json.Unmarshal(wire, &back); err != nil {
+				t.Fatal(err)
+			}
+			snaps = append(snaps, back...)
+		}
+		got, err := MergeFleetSnapshots(snaps, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotJSON, err := json.Marshal(got)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(gotJSON, wantJSON) {
+			t.Errorf("%d-shard merged report differs from single validator:\nmerged: %s\nsingle: %s", shardCount, gotJSON, wantJSON)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%d-shard merged report struct differs from single validator", shardCount)
+		}
+	}
+
+	// A snapshot carrying a poisoned output analysis must surface the same
+	// error message a local report raises.
+	if _, err := MergeFleetSnapshots([]FleetSessionSnapshot{{Device: "bad", OutputErr: "boom"}}, opts); err == nil {
+		t.Error("merge accepted a snapshot with a poisoned output analysis")
+	}
+	if _, err := MergeFleetSnapshots(nil, opts); err == nil {
+		t.Error("merge accepted an empty snapshot set")
+	}
+}

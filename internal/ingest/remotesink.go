@@ -99,8 +99,17 @@ func (o *SinkOptions) client() *http.Client {
 // like the file sinks it is not safe for concurrent use; the replay engines
 // write each device's sink from one goroutine.
 type RemoteSink struct {
-	opts     SinkOptions
+	opts SinkOptions
+	// endpoint is where chunks currently post; origin is the configured
+	// collector. A 307/308 answer (a shard-routing gateway pointing at the
+	// owning shard) moves endpoint — stickily, so later chunks skip the
+	// gateway hop — and any failure on the redirected endpoint falls back to
+	// origin, which knows the ring's current shape.
 	endpoint string
+	origin   string
+	// client is the configured client with redirect-following disabled: the
+	// sink handles 307/308 itself, so the re-route can stick across chunks.
+	client *http.Client
 	// stream is this sink's random upload-generation token: the server
 	// scopes chunk-sequence deduplication to it, so a new sink for the same
 	// device appends instead of colliding with a previous run's chunk
@@ -118,6 +127,7 @@ type RemoteSink struct {
 	wireBytes int
 	chunks    int
 	retries   int
+	redirects int
 	err       error
 }
 
@@ -141,7 +151,15 @@ func NewRemoteSink(opts SinkOptions) (*RemoteSink, error) {
 	if _, err := rand.Read(tok[:]); err != nil {
 		return nil, fmt.Errorf("ingest: stream token: %w", err)
 	}
-	s := &RemoteSink{opts: opts, endpoint: endpoint.String(), stream: hex.EncodeToString(tok[:])}
+	s := &RemoteSink{opts: opts, endpoint: endpoint.String(), origin: endpoint.String(), stream: hex.EncodeToString(tok[:])}
+	// Disable the client's own redirect following (a copy, so the caller's
+	// client is untouched): post handles 307/308 itself to make the shard
+	// re-route sticky instead of re-resolving through the gateway per chunk.
+	c := *opts.client()
+	c.CheckRedirect = func(req *http.Request, via []*http.Request) error {
+		return http.ErrUseLastResponse
+	}
+	s.client = &c
 	if err := s.openChunk(); err != nil {
 		return nil, err
 	}
@@ -268,18 +286,28 @@ func retryWait(base time.Duration, attempt int) time.Duration {
 	return wait/2 + mrand.N(wait/2+1)
 }
 
+// maxShardRedirects caps Location hops within one upload, so two gateways
+// pointing at each other cannot bounce the sink forever.
+const maxShardRedirects = 4
+
 // post uploads one chunk, retrying transient failures (network errors, 5xx,
 // and 429 throttling) with jittered exponential backoff under two budgets:
 // MaxRetries attempts and MaxElapsed total time. A Retry-After header on a
 // throttled or unavailable response (the collector's admission control)
-// stretches the wait to what the server asked for. The chunk sequence
-// number rides along so a retry of a chunk the server already applied
-// (response lost in flight) is acknowledged instead of double-ingested.
+// stretches the wait to what the server asked for. A 307/308 with a
+// Location (a shard-routing gateway naming the owning shard) re-posts there
+// immediately — a transparent re-route, not a retry — and the new endpoint
+// sticks for subsequent chunks; any later failure falls back to the
+// configured collector, which re-routes against the ring's current shape.
+// The chunk sequence number rides along so a retry of a chunk the server
+// already applied (response lost in flight) is acknowledged instead of
+// double-ingested.
 func (s *RemoteSink) post(body []byte, chunkIdx int) error {
 	start := time.Now()
 	budget := s.opts.maxElapsed()
 	var lastErr error
-	for attempt := 0; ; attempt++ {
+	attempt, hops := 0, 0
+	for {
 		req, err := http.NewRequest(http.MethodPost, s.endpoint, bytes.NewReader(body))
 		if err != nil {
 			return fmt.Errorf("ingest: %w", err)
@@ -292,24 +320,40 @@ func (s *RemoteSink) post(body []byte, chunkIdx int) error {
 			req.Header.Set("Content-Encoding", "gzip")
 		}
 		var retryAfter time.Duration
-		resp, err := s.opts.client().Do(req)
+		resp, err := s.client.Do(req)
 		if err == nil {
 			status := resp.StatusCode
 			msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
 			retryAfter = parseRetryAfter(resp.Header.Get("Retry-After"))
+			loc := resp.Header.Get("Location")
 			resp.Body.Close()
-			if status < 300 {
+			switch {
+			case status == http.StatusTemporaryRedirect || status == http.StatusPermanentRedirect:
+				if target, perr := req.URL.Parse(loc); perr == nil && loc != "" && hops < maxShardRedirects {
+					hops++
+					s.redirects++
+					s.endpoint = target.String()
+					continue // transparent re-route: no backoff, no attempt spent
+				}
+				lastErr = fmt.Errorf("ingest: collector redirect (%d) unusable (Location %q after %d hops)", status, loc, hops)
+			case status < 300:
 				return nil
-			}
-			lastErr = fmt.Errorf("ingest: collector returned %d: %s", status, bytes.TrimSpace(msg))
-			if status < 500 && status != http.StatusTooManyRequests {
-				// The collector rejected the chunk; resending it cannot help.
-				// 429 is the exception: over-rate is transient by definition.
-				return lastErr
+			default:
+				lastErr = fmt.Errorf("ingest: collector returned %d: %s", status, bytes.TrimSpace(msg))
+				if status < 500 && status != http.StatusTooManyRequests {
+					// The collector rejected the chunk; resending it cannot
+					// help. 429 is the exception: over-rate is transient by
+					// definition.
+					return lastErr
+				}
 			}
 		} else {
 			lastErr = fmt.Errorf("ingest: upload: %w", err)
 		}
+		// A failure on a re-routed endpoint goes back through the configured
+		// collector: the shard the redirect named may be gone, and the
+		// gateway knows the ring's current shape.
+		s.endpoint = s.origin
 		if attempt >= s.opts.maxRetries() {
 			return fmt.Errorf("%w (gave up after %d attempts in %v)",
 				lastErr, attempt+1, time.Since(start).Round(time.Millisecond))
@@ -324,6 +368,7 @@ func (s *RemoteSink) post(body []byte, chunkIdx int) error {
 		}
 		s.retries++
 		time.Sleep(wait)
+		attempt++
 	}
 }
 
@@ -358,6 +403,10 @@ func (s *RemoteSink) Chunks() int { return s.chunks }
 
 // Retries returns how many upload attempts were retried.
 func (s *RemoteSink) Retries() int { return s.retries }
+
+// Redirects reports how many shard re-routes (307/308 Location answers) the
+// sink followed.
+func (s *RemoteSink) Redirects() int { return s.redirects }
 
 // Format returns the chunk log encoding.
 func (s *RemoteSink) Format() core.LogFormat { return s.opts.Format }

@@ -35,7 +35,6 @@ import (
 	"io"
 	"math"
 	"net/http"
-	"os"
 	"sort"
 	"strconv"
 	"sync"
@@ -92,8 +91,29 @@ type ServerOptions struct {
 	// SessionRetryAfterSecs is the Retry-After hint (seconds) on 503
 	// session-cap and mid-eviction rejections; <= 0 means 5.
 	SessionRetryAfterSecs int
+	// SegmentBytes rolls a session's active WAL segment to a new numbered
+	// segment once it reaches this size, so a long-lived session's log grows
+	// as finite units instead of one unbounded file. <= 0 disables rotation
+	// (one segment per session, the pre-rotation behavior).
+	SegmentBytes int64
+	// CompactAfter merges a session's closed WAL segments into one once this
+	// many have accumulated. 0 defaults to 4 when rotation is enabled;
+	// negative disables compaction (closed segments accumulate).
+	CompactAfter int
 	// Clock overrides time.Now for the session timestamps (tests).
 	Clock func() time.Time
+}
+
+// walConfig folds the durability options into the WAL layer's tuning.
+func (o *ServerOptions) walConfig() walConfig {
+	cfg := walConfig{dir: o.DataDir, segmentBytes: o.SegmentBytes}
+	switch {
+	case o.CompactAfter > 0:
+		cfg.compactAfter = o.CompactAfter
+	case o.CompactAfter == 0 && o.SegmentBytes > 0:
+		cfg.compactAfter = defaultCompactAfter
+	}
+	return cfg
 }
 
 func (o *ServerOptions) chunkBurst() float64 {
@@ -237,6 +257,7 @@ func NewServer(opts ServerOptions) (*Server, error) {
 	mux.HandleFunc("GET /devices", s.handleDevices)
 	mux.HandleFunc("GET /devices/{device}", s.handleDevice)
 	mux.HandleFunc("GET /fleet", s.handleFleet)
+	mux.HandleFunc("GET /fleet/export", s.handleFleetExport)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux = mux
 	return s, nil
@@ -261,8 +282,9 @@ func (s *Server) recover() error {
 		s.recovery.Chunks += chunks
 		s.recovery.Records += records
 		s.recovery.SkippedChunks += skipped
-		// Reopen the segment for appending: new chunks continue the log.
-		w, err := createSessionWAL(s.opts.DataDir, rs.device)
+		// Reopen the log for appending: new chunks continue the highest
+		// segment, with entry indexes resuming past the replayed history.
+		w, err := createSessionWAL(s.opts.walConfig(), rs.device)
 		if err != nil {
 			sess.mu.Unlock()
 			return err
@@ -424,26 +446,22 @@ func (s *Server) getSession(device string) (*session, error) {
 }
 
 // resurrectLocked rebuilds an evicted (or pre-restart) session from its
-// write-ahead segment. Returns (nil, nil) when the device has no segment; a
-// segment that exists but cannot replay is an error — creating a fresh
+// write-ahead segments. Returns (nil, nil) when the device has no segments;
+// a log that exists but cannot replay is an error — creating a fresh
 // session over it would diverge from the durable log.
 func (s *Server) resurrectLocked(device string) (*session, error) {
-	path := walPath(s.opts.DataDir, device)
-	if _, err := os.Stat(path); err != nil {
-		if os.IsNotExist(err) {
-			return nil, nil
-		}
-		return nil, fmt.Errorf("ingest: stat wal segment: %w", err)
-	}
-	rs, _, err := readSegment(path)
+	rs, found, err := readDeviceWAL(s.opts.DataDir, device)
 	if err != nil {
 		return nil, err
+	}
+	if !found {
+		return nil, nil
 	}
 	sess := s.createSessionLocked(device)
 	sess.mu.Lock()
 	defer sess.mu.Unlock()
 	s.replayEntriesLocked(sess, rs.entries)
-	w, err := createSessionWAL(s.opts.DataDir, device)
+	w, err := createSessionWAL(s.opts.walConfig(), device)
 	if err != nil {
 		return nil, err
 	}
@@ -538,8 +556,8 @@ func (s *Server) canResurrect(device string) bool {
 	if s.opts.DataDir == "" {
 		return false
 	}
-	_, err := os.Stat(walPath(s.opts.DataDir, device))
-	return err == nil
+	segs, err := deviceSegments(s.opts.DataDir, device)
+	return err == nil && len(segs) > 0
 }
 
 // takeToken consumes one chunk token from the session's rate bucket,
@@ -752,7 +770,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		if sess.wal == nil {
-			walW, err := createSessionWAL(s.opts.DataDir, device)
+			walW, err := createSessionWAL(s.opts.walConfig(), device)
 			if err != nil {
 				s.closeMu.RUnlock()
 				sess.rewindStreamLocked(chunkIdx)
@@ -933,19 +951,46 @@ func (s *Server) handleFleet(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, FleetResponse{Devices: devices, Report: rep})
 }
 
+// handleFleetExport serves the per-session fleet snapshots — the shard half
+// of a sharded fleet report. An aggregator gateway fans this endpoint out
+// across the ring and recombines the union with core.MergeFleetSnapshots;
+// because the snapshots carry accumulator sums and the merge runs the same
+// finalizer as a local /fleet, the merged report is byte-identical to one
+// collector holding every session.
+func (s *Server) handleFleetExport(w http.ResponseWriter, r *http.Request) {
+	if s.fleet == nil {
+		httpError(w, http.StatusConflict, "no reference log loaded (collection mode)")
+		return
+	}
+	snaps := s.fleet.Snapshots()
+	if snaps == nil {
+		snaps = []core.FleetSessionSnapshot{}
+	}
+	writeJSON(w, http.StatusOK, snaps)
+}
+
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	n := len(s.sessions)
 	evictions, resurrections := s.evictions, s.resurrections
 	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, map[string]any{
+	body := map[string]any{
 		"ok":            true,
 		"devices":       n,
 		"reference":     s.fleet != nil,
 		"durable":       s.opts.DataDir != "",
 		"evictions":     evictions,
 		"resurrections": resurrections,
-	})
+	}
+	if s.opts.DataDir != "" {
+		// Per-session segment counts and on-disk bytes, straight from the
+		// directory listing — covers evicted sessions too, and makes segment
+		// rotation/compaction observable without touching file contents.
+		if stats, err := walStats(s.opts.DataDir); err == nil {
+			body["wal"] = stats
+		}
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

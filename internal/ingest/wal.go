@@ -12,13 +12,27 @@ package ingest
 //
 // Segment file layout (all integers varint/uvarint unless noted):
 //
-//	header:  "MLXW" magic, version byte (1), device string (uvarint len + bytes)
-//	entry:   stream string (uvarint len + bytes)
+//	header:  "MLXW" magic, version byte (2), device string (uvarint len + bytes)
+//	entry:   entry index (uvarint, monotonic per session, never reused)
+//	         stream string (uvarint len + bytes)
 //	         chunk sequence number (varint; -1 = headerless upload)
 //	         arrival time (varint, unix nanoseconds)
 //	         body length (uvarint)
 //	         crc32 (IEEE) of body (4 bytes little-endian)
 //	         body (raw wire bytes: a standalone log chunk, plain or gzip)
+//
+// A session's log is a sequence of numbered segment files: segment 0 is
+// <url.PathEscape(device)>.wal, later segments <escaped>#000001.wal,
+// <escaped>#000002.wal, … ('#' never appears in PathEscape output, so the
+// separator is unambiguous). The highest-numbered segment is the active
+// one; once an append pushes it past the configured size threshold the log
+// rolls to a fresh segment, and closed segments are periodically compacted:
+// merged into one file via write-temp → fsync → rename-over-the-newest →
+// remove-the-rest, each step crash-safe. The per-entry index makes the
+// compaction windows harmless — recovery orders a session's entries by
+// index and replays each index exactly once, so a crash between the rename
+// and the removals (when an entry briefly exists in two files) cannot
+// double-apply a chunk.
 //
 // A crash can tear at most the entry being appended (each append is one
 // write syscall followed by fsync); recovery detects the torn tail by
@@ -43,40 +57,140 @@ import (
 
 var walMagic = []byte{'M', 'L', 'X', 'W'}
 
-const walVersion = 1
+const walVersion = 2
 
 // walSuffix names session segment files: <url.PathEscape(device)>.wal.
 const walSuffix = ".wal"
+
+// walTmpSuffix marks an in-flight compaction output; never replayed.
+const walTmpSuffix = ".wal.tmp"
 
 // maxWALEntry caps one entry's body so a corrupt length prefix cannot drive
 // an arbitrarily large allocation during recovery.
 const maxWALEntry = 1 << 31
 
+// defaultCompactAfter is how many closed segments accumulate before a
+// rotation triggers compaction, when the server does not say otherwise.
+const defaultCompactAfter = 4
+
+// walConfig is the durability layer's tuning, shared by every session of one
+// collector.
+type walConfig struct {
+	dir string
+	// segmentBytes rolls the active segment to a new numbered one once its
+	// committed size reaches this; <= 0 never rolls (one segment per session).
+	segmentBytes int64
+	// compactAfter merges a session's closed segments into one once at least
+	// this many have accumulated; <= 0 never compacts.
+	compactAfter int
+}
+
 // walEntry is one logged chunk: the upload-generation metadata that makes
 // retries idempotent, the arrival time (so a recovered session's status is
 // identical to the uninterrupted one), and the raw wire bytes.
 type walEntry struct {
+	index  uint64 // monotonic per session; assigned by append
 	stream string
 	chunk  int // X-MLEXray-Chunk, -1 for headerless uploads
 	when   time.Time
 	body   []byte
 }
 
-// sessionWAL is one session's open segment file. Appends happen under the
+// sessionWAL is one session's open segment log. Appends happen under the
 // session mutex (chunks of one device are already serialized), so the type
 // itself is not concurrency-safe.
 type sessionWAL struct {
+	cfg       walConfig
+	device    string
 	f         *os.File
 	path      string
-	committed int64 // offset after the last fully synced entry
+	seq       int    // active segment number
+	nextIndex uint64 // index the next appended entry gets
+	committed int64  // offset after the last fully synced entry
 	buf       []byte
 	err       error // sticky: a failed truncate-back leaves the file unusable
 }
 
-// walPath maps a device ID to its segment file. url.PathEscape is injective
-// and never emits a path separator, so arbitrary device IDs are safe.
+// walPath maps a device ID to its first segment file. url.PathEscape is
+// injective and never emits a path separator, so arbitrary device IDs are
+// safe.
 func walPath(dir, device string) string {
 	return filepath.Join(dir, url.PathEscape(device)+walSuffix)
+}
+
+// segmentPath names the device's seq'th segment. Segment 0 keeps the plain
+// pre-rotation name, so logs written before rotation existed replay as a
+// single-segment session.
+func segmentPath(dir, device string, seq int) string {
+	if seq == 0 {
+		return walPath(dir, device)
+	}
+	return filepath.Join(dir, fmt.Sprintf("%s#%06d%s", url.PathEscape(device), seq, walSuffix))
+}
+
+// parseSegmentName splits a segment file name into the escaped device and
+// the segment number. '#' cannot appear in url.PathEscape output, so the
+// last '#' — when present — is always the segment separator.
+func parseSegmentName(name string) (escDevice string, seq int, ok bool) {
+	base, found := strings.CutSuffix(name, walSuffix)
+	if !found {
+		return "", 0, false
+	}
+	i := strings.LastIndexByte(base, '#')
+	if i < 0 {
+		return base, 0, true
+	}
+	numPart := base[i+1:]
+	if numPart == "" {
+		return "", 0, false
+	}
+	n := 0
+	for _, c := range numPart {
+		if c < '0' || c > '9' {
+			return "", 0, false
+		}
+		n = n*10 + int(c-'0')
+		if n > 1<<30 {
+			return "", 0, false
+		}
+	}
+	return base[:i], n, true
+}
+
+// walSegmentFile is one on-disk segment of a session's log.
+type walSegmentFile struct {
+	path string
+	seq  int
+	size int64
+}
+
+// deviceSegments lists the device's segment files sorted by segment number.
+func deviceSegments(dir, device string) ([]walSegmentFile, error) {
+	names, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("ingest: wal dir: %w", err)
+	}
+	esc := url.PathEscape(device)
+	var segs []walSegmentFile
+	for _, de := range names {
+		if de.IsDir() {
+			continue
+		}
+		gotEsc, seq, ok := parseSegmentName(de.Name())
+		if !ok || gotEsc != esc {
+			continue
+		}
+		info, err := de.Info()
+		if err != nil {
+			return nil, fmt.Errorf("ingest: wal segment %s: %w", de.Name(), err)
+		}
+		segs = append(segs, walSegmentFile{path: filepath.Join(dir, de.Name()), seq: seq, size: info.Size()})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].seq < segs[j].seq })
+	return segs, nil
 }
 
 // appendWALHeader serializes the segment file header.
@@ -87,39 +201,84 @@ func appendWALHeader(buf []byte, device string) []byte {
 	return append(buf, device...)
 }
 
-// createSessionWAL opens the device's segment file for appending, writing
-// and syncing the header when the file is new. The parent directory entry is
-// synced too, so a freshly created segment survives a crash right after the
-// first ack.
-func createSessionWAL(dir, device string) (*sessionWAL, error) {
-	path := walPath(dir, device)
+// createSessionWAL opens the device's log for appending. With no segments on
+// disk it creates segment 0, writing and syncing the header (and the parent
+// directory entry, so a freshly created segment survives a crash right after
+// the first ack). With existing segments it reopens the highest-numbered one
+// — truncating any torn tail first — and resumes the entry index after the
+// highest index on disk, so indexes are never reused across restarts.
+func createSessionWAL(cfg walConfig, device string) (*sessionWAL, error) {
+	segs, err := deviceSegments(cfg.dir, device)
+	if err != nil {
+		return nil, err
+	}
+	w := &sessionWAL{cfg: cfg, device: device}
+	if len(segs) > 0 {
+		// Resume: scan from the newest segment down until entries are found —
+		// a crash between rotation's create and the first append can leave
+		// the newest segment holding a bare header.
+		active := segs[len(segs)-1]
+		for i := len(segs) - 1; i >= 0; i-- {
+			rs, _, err := readSegment(segs[i].path)
+			if err != nil {
+				return nil, err
+			}
+			if n := len(rs.entries); n > 0 {
+				w.nextIndex = rs.entries[n-1].index + 1
+				break
+			}
+		}
+		f, err := os.OpenFile(active.path, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("ingest: open wal segment: %w", err)
+		}
+		st, err := f.Stat()
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("ingest: stat wal segment: %w", err)
+		}
+		w.f, w.path, w.seq, w.committed = f, active.path, active.seq, st.Size()
+		return w, nil
+	}
+	f, committed, err := createSegmentFile(cfg.dir, device, 0)
+	if err != nil {
+		return nil, err
+	}
+	w.f, w.path, w.seq, w.committed = f, segmentPath(cfg.dir, device, 0), 0, committed
+	return w, nil
+}
+
+// createSegmentFile creates (or reopens) one segment file for appending,
+// writing and syncing the header when the file is empty.
+func createSegmentFile(dir, device string, seq int) (*os.File, int64, error) {
+	path := segmentPath(dir, device, seq)
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
-		return nil, fmt.Errorf("ingest: open wal segment: %w", err)
+		return nil, 0, fmt.Errorf("ingest: open wal segment: %w", err)
 	}
 	st, err := f.Stat()
 	if err != nil {
 		f.Close()
-		return nil, fmt.Errorf("ingest: stat wal segment: %w", err)
+		return nil, 0, fmt.Errorf("ingest: stat wal segment: %w", err)
 	}
-	w := &sessionWAL{f: f, path: path, committed: st.Size()}
-	if st.Size() == 0 {
+	committed := st.Size()
+	if committed == 0 {
 		hdr := appendWALHeader(nil, device)
 		if _, err := f.Write(hdr); err != nil {
 			f.Close()
-			return nil, fmt.Errorf("ingest: write wal header: %w", err)
+			return nil, 0, fmt.Errorf("ingest: write wal header: %w", err)
 		}
 		if err := f.Sync(); err != nil {
 			f.Close()
-			return nil, fmt.Errorf("ingest: sync wal header: %w", err)
+			return nil, 0, fmt.Errorf("ingest: sync wal header: %w", err)
 		}
 		if err := syncDir(dir); err != nil {
 			f.Close()
-			return nil, err
+			return nil, 0, err
 		}
-		w.committed = int64(len(hdr))
+		committed = int64(len(hdr))
 	}
-	return w, nil
+	return f, committed, nil
 }
 
 // syncDir fsyncs a directory so newly created file entries are durable.
@@ -145,14 +304,19 @@ func (w *sessionWAL) append(e walEntry) error {
 	if w.err != nil {
 		return w.err
 	}
-	buf := w.buf[:0]
-	buf = binary.AppendUvarint(buf, uint64(len(e.stream)))
-	buf = append(buf, e.stream...)
-	buf = binary.AppendVarint(buf, int64(e.chunk))
-	buf = binary.AppendVarint(buf, e.when.UnixNano())
-	buf = binary.AppendUvarint(buf, uint64(len(e.body)))
-	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(e.body))
-	buf = append(buf, e.body...)
+	// Size-threshold roll: once the active segment has reached the limit the
+	// entry opens a fresh one. A segment holding no entries yet never rolls
+	// (a threshold below the header size must not spin off empty files). A
+	// failed roll is not sticky — the old segment is still intact and the
+	// entry is simply not acked; the client retries.
+	if w.cfg.segmentBytes > 0 && w.committed >= w.cfg.segmentBytes &&
+		w.committed > int64(len(appendWALHeader(nil, w.device))) {
+		if err := w.roll(); err != nil {
+			return err
+		}
+	}
+	e.index = w.nextIndex
+	buf := appendWALEntry(w.buf[:0], e)
 	w.buf = buf
 	if _, err := w.f.Write(buf); err != nil {
 		if terr := w.f.Truncate(w.committed); terr != nil {
@@ -171,7 +335,114 @@ func (w *sessionWAL) append(e walEntry) error {
 		return fmt.Errorf("ingest: wal sync: %w", err)
 	}
 	w.committed += int64(len(buf))
+	w.nextIndex++
 	return nil
+}
+
+// appendWALEntry serializes one entry — the exact bytes append writes and
+// compaction copies.
+func appendWALEntry(buf []byte, e walEntry) []byte {
+	buf = binary.AppendUvarint(buf, e.index)
+	buf = binary.AppendUvarint(buf, uint64(len(e.stream)))
+	buf = append(buf, e.stream...)
+	buf = binary.AppendVarint(buf, int64(e.chunk))
+	buf = binary.AppendVarint(buf, e.when.UnixNano())
+	buf = binary.AppendUvarint(buf, uint64(len(e.body)))
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(e.body))
+	return append(buf, e.body...)
+}
+
+// roll closes the active segment and opens the next-numbered one. The new
+// segment's header is synced (file and directory) before the swap, so the
+// log never points at a segment that could vanish in a crash. After a
+// successful roll the closed segments are compacted when enough have piled
+// up; compaction failure does not fail the roll — the closed segments are
+// still individually valid, and the next roll retries.
+func (w *sessionWAL) roll() error {
+	f, committed, err := createSegmentFile(w.cfg.dir, w.device, w.seq+1)
+	if err != nil {
+		return fmt.Errorf("ingest: wal roll: %w", err)
+	}
+	w.f.Close()
+	w.f, w.committed = f, committed
+	w.seq++
+	w.path = segmentPath(w.cfg.dir, w.device, w.seq)
+	if w.cfg.compactAfter > 0 {
+		// Best-effort: rotation succeeded regardless; a failed compaction
+		// leaves individually valid closed segments and retries next roll.
+		_ = compactClosedSegments(w.cfg.dir, w.device, w.seq, w.cfg.compactAfter)
+	}
+	return nil
+}
+
+// compactClosedSegments merges every segment of the device numbered below
+// activeSeq into the highest-numbered closed segment, once at least
+// compactAfter of them have accumulated. The merge is crash-safe: the
+// combined log is written to a temp file and fsynced, then renamed over the
+// newest closed segment (atomic), the directory synced, and only then are
+// the older segments removed. A crash at any point leaves a replayable set
+// of segments — at worst an entry exists in two files for a moment, which
+// recovery's per-index dedup makes harmless.
+func compactClosedSegments(dir, device string, activeSeq, compactAfter int) error {
+	segs, err := deviceSegments(dir, device)
+	if err != nil {
+		return err
+	}
+	var closed []walSegmentFile
+	for _, s := range segs {
+		if s.seq < activeSeq {
+			closed = append(closed, s)
+		}
+	}
+	if len(closed) < max(2, compactAfter) {
+		return nil
+	}
+	// Re-encode the intact entries rather than splicing raw bytes: a torn
+	// tail in a closed segment (possible only after a crash that predates
+	// this compaction) must not glue garbage into the merged file.
+	buf := appendWALHeader(nil, device)
+	for _, s := range closed {
+		rs, _, err := readSegment(s.path)
+		if err != nil {
+			return err
+		}
+		for _, e := range rs.entries {
+			buf = appendWALEntry(buf, e)
+		}
+	}
+	target := closed[len(closed)-1].path
+	tmp := target + ".tmp"
+	tf, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("ingest: wal compact: %w", err)
+	}
+	if _, err := tf.Write(buf); err != nil {
+		tf.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("ingest: wal compact write: %w", err)
+	}
+	if err := tf.Sync(); err != nil {
+		tf.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("ingest: wal compact sync: %w", err)
+	}
+	if err := tf.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("ingest: wal compact close: %w", err)
+	}
+	if err := os.Rename(tmp, target); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("ingest: wal compact rename: %w", err)
+	}
+	if err := syncDir(dir); err != nil {
+		return err
+	}
+	for _, s := range closed[:len(closed)-1] {
+		if err := os.Remove(s.path); err != nil {
+			return fmt.Errorf("ingest: wal compact remove: %w", err)
+		}
+	}
+	return syncDir(dir)
 }
 
 // Close closes the segment file.
@@ -208,6 +479,10 @@ type RecoveryStats struct {
 
 // loadWAL reads every session segment under dir, truncating torn tails in
 // place, and returns the sessions in device order (deterministic recovery).
+// A session split across several segments comes back as one entry stream:
+// segments merge in segment order, entries are ordered by their per-session
+// index, and an index appearing in two files (the compaction crash window)
+// replays exactly once.
 func loadWAL(dir string) ([]recoveredSession, int64, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, 0, fmt.Errorf("ingest: wal dir: %w", err)
@@ -216,10 +491,20 @@ func loadWAL(dir string) ([]recoveredSession, int64, error) {
 	if err != nil {
 		return nil, 0, fmt.Errorf("ingest: wal dir: %w", err)
 	}
-	var sessions []recoveredSession
+	byDevice := make(map[string][]parsedSegment)
 	var truncated int64
 	for _, de := range names {
-		if de.IsDir() || !strings.HasSuffix(de.Name(), walSuffix) {
+		if de.IsDir() {
+			continue
+		}
+		if strings.HasSuffix(de.Name(), walTmpSuffix) {
+			// An interrupted compaction's scratch file; the originals it was
+			// built from are still on disk.
+			os.Remove(filepath.Join(dir, de.Name()))
+			continue
+		}
+		_, seq, ok := parseSegmentName(de.Name())
+		if !ok {
 			continue
 		}
 		path := filepath.Join(dir, de.Name())
@@ -228,10 +513,66 @@ func loadWAL(dir string) ([]recoveredSession, int64, error) {
 			return nil, 0, err
 		}
 		truncated += torn
-		sessions = append(sessions, rs)
+		// The header's device is authoritative; the filename only orders the
+		// device's segments.
+		byDevice[rs.device] = append(byDevice[rs.device], parsedSegment{seq: seq, entries: rs.entries})
+	}
+	sessions := make([]recoveredSession, 0, len(byDevice))
+	for device, segs := range byDevice {
+		sessions = append(sessions, recoveredSession{device: device, entries: mergeSegmentEntries(segs)})
 	}
 	sort.Slice(sessions, func(i, j int) bool { return sessions[i].device < sessions[j].device })
 	return sessions, truncated, nil
+}
+
+// parsedSegment is one decoded segment of a session's log.
+type parsedSegment struct {
+	seq     int
+	entries []walEntry
+}
+
+// mergeSegmentEntries flattens a session's segments into one replayable
+// entry stream. Entries are written with monotonically increasing indexes,
+// so after a stable sort over the seq-ordered concatenation the stream is in
+// append order; duplicate indexes (an entry caught mid-compaction in two
+// files) collapse to their first copy.
+func mergeSegmentEntries(segs []parsedSegment) []walEntry {
+	sort.Slice(segs, func(i, j int) bool { return segs[i].seq < segs[j].seq })
+	var entries []walEntry
+	for _, s := range segs {
+		entries = append(entries, s.entries...)
+	}
+	sort.SliceStable(entries, func(i, j int) bool { return entries[i].index < entries[j].index })
+	deduped := entries[:0]
+	for i, e := range entries {
+		if i > 0 && e.index == entries[i-1].index {
+			continue
+		}
+		deduped = append(deduped, e)
+	}
+	return deduped
+}
+
+// readDeviceWAL reads and merges every segment of one device, truncating
+// torn tails in place — the resurrection-path counterpart of loadWAL.
+// found is false when the device has no segments on disk.
+func readDeviceWAL(dir, device string) (recoveredSession, bool, error) {
+	segs, err := deviceSegments(dir, device)
+	if err != nil {
+		return recoveredSession{}, false, err
+	}
+	if len(segs) == 0 {
+		return recoveredSession{}, false, nil
+	}
+	parsed := make([]parsedSegment, 0, len(segs))
+	for _, sf := range segs {
+		rs, _, err := readSegment(sf.path)
+		if err != nil {
+			return recoveredSession{}, false, err
+		}
+		parsed = append(parsed, parsedSegment{seq: sf.seq, entries: rs.entries})
+	}
+	return recoveredSession{device: device, entries: mergeSegmentEntries(parsed)}, true, nil
 }
 
 // readSegment parses one segment file, truncating it back to the last
@@ -304,11 +645,15 @@ func readSegment(path string) (recoveredSession, int64, error) {
 // allocation it would otherwise size.
 func readWALEntry(r io.Reader, remain int64) (walEntry, error) {
 	br := r.(io.ByteReader)
-	streamLen, err := binary.ReadUvarint(br)
+	index, err := binary.ReadUvarint(br)
 	if err != nil {
 		if err == io.EOF {
 			return walEntry{}, io.EOF
 		}
+		return walEntry{}, fmt.Errorf("ingest: wal entry index: %w", err)
+	}
+	streamLen, err := binary.ReadUvarint(br)
+	if err != nil {
 		return walEntry{}, fmt.Errorf("ingest: wal entry stream length: %w", err)
 	}
 	if streamLen > maxWALEntry || int64(streamLen) > remain {
@@ -345,6 +690,7 @@ func readWALEntry(r io.Reader, remain int64) (walEntry, error) {
 		return walEntry{}, fmt.Errorf("ingest: wal entry crc mismatch (%08x != %08x)", got, want)
 	}
 	return walEntry{
+		index:  index,
 		stream: string(stream),
 		chunk:  int(chunk),
 		when:   time.Unix(0, nanos),
@@ -388,4 +734,50 @@ func (c *walCountingReader) ReadByte() (byte, error) {
 		c.n++
 	}
 	return b, err
+}
+
+// SessionWALStats is one session's on-disk write-ahead footprint — how many
+// segment files the log currently spans and their total size. Surfaced per
+// device by /healthz so segment rotation and compaction are observable.
+type SessionWALStats struct {
+	Segments int   `json:"segments"`
+	Bytes    int64 `json:"bytes"`
+}
+
+// walStats sizes every session's segment files under dir, keyed by device.
+// It reads only directory metadata (names and sizes), never file contents,
+// so a health probe stays cheap no matter how much history the logs hold.
+// The device comes from the file name (the escaping is injective), which
+// also covers evicted sessions whose logs are still on disk.
+func walStats(dir string) (map[string]SessionWALStats, error) {
+	names, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("ingest: wal dir: %w", err)
+	}
+	stats := make(map[string]SessionWALStats)
+	for _, de := range names {
+		if de.IsDir() {
+			continue
+		}
+		escDevice, _, ok := parseSegmentName(de.Name())
+		if !ok {
+			continue
+		}
+		device, err := url.PathUnescape(escDevice)
+		if err != nil {
+			continue
+		}
+		info, err := de.Info()
+		if err != nil {
+			continue
+		}
+		s := stats[device]
+		s.Segments++
+		s.Bytes += info.Size()
+		stats[device] = s
+	}
+	return stats, nil
 }

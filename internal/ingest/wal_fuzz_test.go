@@ -19,7 +19,7 @@ func FuzzWALRecovery(f *testing.F) {
 	// and single-byte corruptions of it — the shapes a torn disk actually
 	// produces. The fuzzer mutates from there.
 	dir := f.TempDir()
-	w, err := createSessionWAL(dir, "fuzz-device")
+	w, err := createSessionWAL(walConfig{dir: dir}, "fuzz-device")
 	if err != nil {
 		f.Fatal(err)
 	}

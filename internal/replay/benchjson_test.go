@@ -37,9 +37,11 @@ func TestEmitReplayBenchJSON(t *testing.T) {
 		BytesPerOp        int64   `json:"bytes_per_op"`
 		Iterations        int     `json:"iterations"`
 		// Storm-harness fields (the ingest_storm entries only).
-		P99LatencyNs int64          `json:"p99_latency_ns,omitempty"`
-		PeakRSSBytes int64          `json:"peak_rss_bytes,omitempty"`
-		StatusCounts map[string]int `json:"status_counts,omitempty"`
+		P99LatencyNs int64                 `json:"p99_latency_ns,omitempty"`
+		PeakRSSBytes int64                 `json:"peak_rss_bytes,omitempty"`
+		StatusCounts map[string]int        `json:"status_counts,omitempty"`
+		LatencyHist  []storm.LatencyBucket `json:"latency_hist,omitempty"`
+		Shards       int                   `json:"shards,omitempty"`
 	}
 	results := map[string]entry{}
 
@@ -185,27 +187,40 @@ func TestEmitReplayBenchJSON(t *testing.T) {
 		name   string
 		faults storm.Faults
 		kill   int
+		shards int
 	}{
-		{"ingest_storm_clean", storm.Faults{}, 0},
-		{"ingest_storm", storm.AllFaults(), 60},
+		{"ingest_storm_clean", storm.Faults{}, 0, 0},
+		{"ingest_storm", storm.AllFaults(), 60, 0},
+		// The sharded topology: the same chaos swarm uploading through the
+		// consistent-hash gateway into a 4-shard ring, with the kill act
+		// taking down one shard (WAL rotation on) — throughput and latency
+		// of horizontal ingest vs the single-collector rows above.
+		{"ingest_sharded", storm.AllFaults(), 60, 4},
 	} {
-		// Both variants run the durable collector with idle eviction: past
+		// All variants run the durable collector with idle eviction: past
 		// the session cap, slots only free when idle devices age out, so a
 		// capped in-memory collector would strand the overflow forever.
+		// (The sharded variant skips the per-shard session cap: the ring
+		// already divides the fleet.)
 		opts := storm.Options{
 			Devices:         96,
 			FramesPerDevice: 2,
 			Faults:          variant.faults,
 			Seed:            1,
+			Shards:          variant.shards,
 			DataDir:         t.TempDir(),
-			MaxSessions:     48,
-			MaxChunksPerSec: 5,
-			ChunkBurst:      1,
 			IdleTimeout:     250 * time.Millisecond,
 			ReadTimeout:     150 * time.Millisecond,
 			WriteTimeout:    time.Second,
 			Stragglers:      0.05,
 			KillAfterChunks: variant.kill,
+		}
+		if variant.shards == 0 {
+			opts.MaxSessions = 48
+			opts.MaxChunksPerSec = 5
+			opts.ChunkBurst = 1
+		} else {
+			opts.SegmentBytes = 4096
 		}
 		res, err := storm.Run(opts)
 		if err != nil {
@@ -224,6 +239,8 @@ func TestEmitReplayBenchJSON(t *testing.T) {
 			P99LatencyNs: res.P99Latency.Nanoseconds(),
 			PeakRSSBytes: res.PeakRSSBytes,
 			StatusCounts: statuses,
+			LatencyHist:  res.LatencyHist,
+			Shards:       res.Shards,
 			Iterations:   1,
 		}
 		t.Logf("%s: %.0f frames/sec, p99 %v, rss %d MiB, statuses %v",

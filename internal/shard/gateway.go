@@ -1,0 +1,377 @@
+package shard
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+	"sync"
+
+	"mlexray/internal/core"
+	"mlexray/internal/ingest"
+)
+
+// ShardAddr names one collector shard and where it listens.
+type ShardAddr struct {
+	// Name is the shard's ring identity. Placement hashes the name, not the
+	// URL, so a shard can move hosts (or be restarted on a new port) without
+	// relocating its devices.
+	Name string
+	// URL is the shard collector's base URL (e.g. "http://host:9091").
+	URL string
+}
+
+// GatewayOptions configures a Gateway.
+type GatewayOptions struct {
+	// Shards is the ring membership: every collector shard by name and URL.
+	Shards []ShardAddr
+	// Vnodes is the per-shard virtual-node count (<= 0 means DefaultVnodes).
+	// Must match across every gateway fronting the same ring.
+	Vnodes int
+	// Validate mirrors the shards' ServerOptions.Validate; the merged fleet
+	// report applies the same thresholds the shards do. Unset fields default
+	// like ingest.NewServer's.
+	Validate core.ValidateOptions
+	// RedirectUploads answers POST /ingest with 307 + Location naming the
+	// owning shard instead of proxying the body. Sinks that honor the
+	// redirect (ingest.RemoteSink does) then stream to the shard directly,
+	// keeping bulk telemetry bytes off the gateway.
+	RedirectUploads bool
+	// Client overrides the HTTP client used for proxying and fan-out.
+	Client *http.Client
+}
+
+func (o *GatewayOptions) client() *http.Client {
+	if o.Client != nil {
+		return o.Client
+	}
+	return http.DefaultClient
+}
+
+// Gateway fronts a consistent-hash ring of ingest collectors with the same
+// HTTP surface a single collector serves:
+//
+//	POST /ingest            — routed (proxy or 307) to the device's shard
+//	GET  /devices           — union of every shard's device list
+//	GET  /devices/{device}  — proxied to the owning shard
+//	GET  /fleet             — per-shard snapshots merged into one report
+//	GET  /fleet/export      — the merged snapshot union (gateway stacking)
+//	GET  /healthz           — gateway + per-shard health
+//
+// The merged /fleet is byte-identical to a single collector holding every
+// session: shards export accumulator-level snapshots (not finished reports)
+// and core.MergeFleetSnapshots runs the same finalizer a lone collector
+// runs, so fleet-wide sums, divergence gating, and float folding all happen
+// exactly once, in the same order.
+type Gateway struct {
+	opts GatewayOptions
+	ring *Ring
+	urls map[string]*url.URL
+	mux  *http.ServeMux
+}
+
+// NewGateway builds a gateway over the given shard set.
+func NewGateway(opts GatewayOptions) (*Gateway, error) {
+	names := make([]string, 0, len(opts.Shards))
+	urls := make(map[string]*url.URL, len(opts.Shards))
+	for _, s := range opts.Shards {
+		if s.URL == "" {
+			return nil, fmt.Errorf("shard: shard %q has no URL", s.Name)
+		}
+		u, err := url.Parse(s.URL)
+		if err != nil {
+			return nil, fmt.Errorf("shard: shard %q URL: %w", s.Name, err)
+		}
+		names = append(names, s.Name)
+		urls[s.Name] = u
+	}
+	ring, err := NewRing(names, opts.Vnodes)
+	if err != nil {
+		return nil, err
+	}
+	// Mirror ingest.NewServer's per-field Validate defaulting so gateway and
+	// shards agree on thresholds even when both were built from a partial
+	// options struct.
+	def := core.DefaultValidateOptions()
+	if opts.Validate.AgreementThreshold == 0 {
+		opts.Validate.AgreementThreshold = def.AgreementThreshold
+	}
+	if opts.Validate.NRMSEThreshold == 0 {
+		opts.Validate.NRMSEThreshold = def.NRMSEThreshold
+	}
+	if opts.Validate.StragglerFactor == 0 {
+		opts.Validate.StragglerFactor = def.StragglerFactor
+	}
+	if opts.Validate.Assertions == nil {
+		opts.Validate.Assertions = def.Assertions
+	}
+	g := &Gateway{opts: opts, ring: ring, urls: urls}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /ingest", g.handleIngest)
+	mux.HandleFunc("GET /devices", g.handleDevices)
+	mux.HandleFunc("GET /devices/{device}", g.handleDevice)
+	mux.HandleFunc("GET /fleet", g.handleFleet)
+	mux.HandleFunc("GET /fleet/export", g.handleFleetExport)
+	mux.HandleFunc("GET /healthz", g.handleHealth)
+	g.mux = mux
+	return g, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) { g.mux.ServeHTTP(w, r) }
+
+// Ring exposes the gateway's placement ring (tests, status tooling).
+func (g *Gateway) Ring() *Ring { return g.ring }
+
+// Owner returns the shard name owning a device — the routing decision
+// POST /ingest makes, exposed for harnesses that need to aim at (or kill)
+// a specific device's shard.
+func (g *Gateway) Owner(device string) string { return g.ring.Owner(device) }
+
+// shardTarget rebuilds the incoming request's URI against a shard's base
+// URL, preserving path and query.
+func (g *Gateway) shardTarget(shard string, u *url.URL) string {
+	return strings.TrimRight(g.urls[shard].String(), "/") + u.RequestURI()
+}
+
+func (g *Gateway) handleIngest(w http.ResponseWriter, r *http.Request) {
+	device := r.Header.Get("X-MLEXray-Device")
+	if device == "" {
+		device = r.URL.Query().Get("device")
+	}
+	if device == "" {
+		httpError(w, http.StatusBadRequest, "missing device ID (X-MLEXray-Device header or ?device=)")
+		return
+	}
+	owner := g.ring.Owner(device)
+	if g.opts.RedirectUploads {
+		// 307 keeps the method and body: the client re-POSTs the same chunk
+		// to the shard. RemoteSink treats the new endpoint as sticky.
+		w.Header().Set("Location", g.shardTarget(owner, r.URL))
+		w.Header().Set("X-MLEXray-Shard", owner)
+		w.WriteHeader(http.StatusTemporaryRedirect)
+		return
+	}
+	g.proxy(w, r, owner)
+}
+
+func (g *Gateway) handleDevice(w http.ResponseWriter, r *http.Request) {
+	g.proxy(w, r, g.ring.Owner(r.PathValue("device")))
+}
+
+// proxy forwards the request to one shard and relays the response verbatim
+// — status, headers (the shard's Retry-After backpressure hints included),
+// and body. An unreachable shard is a 502: the gateway is fine, the ring
+// member is not.
+func (g *Gateway) proxy(w http.ResponseWriter, r *http.Request, shard string) {
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, g.shardTarget(shard, r.URL), r.Body)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "proxy: %v", err)
+		return
+	}
+	req.Header = r.Header.Clone()
+	req.ContentLength = r.ContentLength
+	resp, err := g.opts.client().Do(req)
+	if err != nil {
+		httpError(w, http.StatusBadGateway, "shard %q unreachable: %v", shard, err)
+		return
+	}
+	defer resp.Body.Close()
+	for k, vs := range resp.Header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	_, _ = io.Copy(w, resp.Body)
+}
+
+// shardConflictError carries a shard's 409 — the shard is alive but cannot
+// produce fleet state (collection mode); the gateway relays it as its own
+// 409 rather than masking it as a gateway fault.
+type shardConflictError struct {
+	shard string
+	msg   string
+}
+
+func (e *shardConflictError) Error() string { return e.msg }
+
+// fanOutSnapshots collects every shard's /fleet/export concurrently.
+func (g *Gateway) fanOutSnapshots() ([]core.FleetSessionSnapshot, error) {
+	shards := g.ring.Shards()
+	type result struct {
+		snaps []core.FleetSessionSnapshot
+		err   error
+	}
+	results := make([]result, len(shards))
+	var wg sync.WaitGroup
+	for i, name := range shards {
+		wg.Add(1)
+		go func(i int, name string) {
+			defer wg.Done()
+			results[i].snaps, results[i].err = g.exportFrom(name)
+		}(i, name)
+	}
+	wg.Wait()
+	var all []core.FleetSessionSnapshot
+	for i := range results {
+		if results[i].err != nil {
+			return nil, results[i].err
+		}
+		all = append(all, results[i].snaps...)
+	}
+	return all, nil
+}
+
+func (g *Gateway) exportFrom(shard string) ([]core.FleetSessionSnapshot, error) {
+	resp, err := g.opts.client().Get(strings.TrimRight(g.urls[shard].String(), "/") + "/fleet/export")
+	if err != nil {
+		return nil, fmt.Errorf("shard %q unreachable: %w", shard, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusConflict {
+		var body struct {
+			Error string `json:"error"`
+		}
+		_ = json.NewDecoder(resp.Body).Decode(&body)
+		return nil, &shardConflictError{shard: shard, msg: body.Error}
+	}
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, fmt.Errorf("shard %q export: status %d: %s", shard, resp.StatusCode, strings.TrimSpace(string(msg)))
+	}
+	var snaps []core.FleetSessionSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snaps); err != nil {
+		return nil, fmt.Errorf("shard %q export: %w", shard, err)
+	}
+	return snaps, nil
+}
+
+func (g *Gateway) handleFleet(w http.ResponseWriter, r *http.Request) {
+	snaps, err := g.fanOutSnapshots()
+	if err != nil {
+		var conflict *shardConflictError
+		if errors.As(err, &conflict) {
+			httpError(w, http.StatusConflict, "%s", conflict.msg)
+		} else {
+			httpError(w, http.StatusBadGateway, "%v", err)
+		}
+		return
+	}
+	rep, err := core.MergeFleetSnapshots(snaps, g.opts.Validate)
+	if err != nil {
+		// Same body a lone collector's /fleet produces for the same fleet
+		// state (e.g. no devices yet).
+		httpError(w, http.StatusConflict, "%v", err)
+		return
+	}
+	devices := make([]string, 0, len(rep.Devices))
+	for _, dr := range rep.Devices {
+		devices = append(devices, dr.Device)
+	}
+	writeJSON(w, http.StatusOK, ingest.FleetResponse{Devices: devices, Report: rep})
+}
+
+func (g *Gateway) handleFleetExport(w http.ResponseWriter, r *http.Request) {
+	snaps, err := g.fanOutSnapshots()
+	if err != nil {
+		var conflict *shardConflictError
+		if errors.As(err, &conflict) {
+			httpError(w, http.StatusConflict, "%s", conflict.msg)
+		} else {
+			httpError(w, http.StatusBadGateway, "%v", err)
+		}
+		return
+	}
+	if snaps == nil {
+		snaps = []core.FleetSessionSnapshot{}
+	}
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i].Device < snaps[j].Device })
+	writeJSON(w, http.StatusOK, snaps)
+}
+
+func (g *Gateway) handleDevices(w http.ResponseWriter, r *http.Request) {
+	shards := g.ring.Shards()
+	lists := make([][]ingest.DeviceStatus, len(shards))
+	errs := make([]error, len(shards))
+	var wg sync.WaitGroup
+	for i, name := range shards {
+		wg.Add(1)
+		go func(i int, name string) {
+			defer wg.Done()
+			resp, err := g.opts.client().Get(strings.TrimRight(g.urls[name].String(), "/") + "/devices")
+			if err != nil {
+				errs[i] = fmt.Errorf("shard %q unreachable: %w", name, err)
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs[i] = fmt.Errorf("shard %q devices: status %d", name, resp.StatusCode)
+				return
+			}
+			errs[i] = json.NewDecoder(resp.Body).Decode(&lists[i])
+		}(i, name)
+	}
+	wg.Wait()
+	var out []ingest.DeviceStatus
+	for i := range lists {
+		if errs[i] != nil {
+			httpError(w, http.StatusBadGateway, "%v", errs[i])
+			return
+		}
+		out = append(out, lists[i]...)
+	}
+	if out == nil {
+		out = []ingest.DeviceStatus{}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Device < out[j].Device })
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (g *Gateway) handleHealth(w http.ResponseWriter, r *http.Request) {
+	shards := g.ring.Shards()
+	up := make([]bool, len(shards))
+	var wg sync.WaitGroup
+	for i, name := range shards {
+		wg.Add(1)
+		go func(i int, name string) {
+			defer wg.Done()
+			resp, err := g.opts.client().Get(strings.TrimRight(g.urls[name].String(), "/") + "/healthz")
+			if err == nil {
+				up[i] = resp.StatusCode == http.StatusOK
+				resp.Body.Close()
+			}
+		}(i, name)
+	}
+	wg.Wait()
+	status := make(map[string]bool, len(shards))
+	ok := true
+	for i, name := range shards {
+		status[name] = up[i]
+		ok = ok && up[i]
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ok":     ok,
+		"shards": status,
+		"ring":   map[string]int{"shards": g.ring.N(), "vnodes": g.ring.Vnodes()},
+	})
+}
+
+// writeJSON must mirror ingest's writeJSON byte-for-byte: the gateway's
+// merged /fleet is pinned byte-identical to a single collector's, and the
+// envelope encoding is part of that contract.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}

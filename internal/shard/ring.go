@@ -1,0 +1,125 @@
+// Package shard spreads the ingest collector horizontally: a consistent-hash
+// ring assigns each device session to exactly one collector shard, and a
+// Gateway fronts the ring — routing chunk uploads to the owning shard and
+// recombining per-shard fleet state into reports byte-identical to a single
+// collector holding every session.
+//
+// Placement is a pure function of (shard set, vnode count, device ID): every
+// gateway, script, and test that agrees on the ring configuration agrees on
+// where a device lives, with no coordination service. Growing or shrinking
+// the ring moves only the keys that must move (~K/N for one shard among N),
+// because each shard owns many small arcs of the hash circle rather than one
+// contiguous range.
+package shard
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// DefaultVnodes is the virtual-node count per shard when RingOptions leave
+// it unset. 128 arcs per shard keeps the max/min load ratio within a few
+// percent for small fleets while the ring stays tiny (N*128 points).
+const DefaultVnodes = 128
+
+// ringPoint is one virtual node: a position on the hash circle owned by a
+// shard. Clockwise from any key's hash, the first point's shard owns it.
+type ringPoint struct {
+	hash  uint64
+	shard string
+}
+
+// Ring is an immutable consistent-hash ring over a set of shard names.
+// Build a new Ring to change membership; placement for unmoved keys is
+// stable across rebuilds because vnode positions depend only on shard names.
+type Ring struct {
+	points []ringPoint
+	shards []string // sorted, deduplicated
+	vnodes int
+}
+
+// NewRing builds a ring over the given shard names. vnodes is the
+// virtual-node count per shard (<= 0 means DefaultVnodes). Shard order does
+// not matter — placement depends only on the set.
+func NewRing(shards []string, vnodes int) (*Ring, error) {
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("shard: ring needs at least one shard")
+	}
+	if vnodes <= 0 {
+		vnodes = DefaultVnodes
+	}
+	sorted := append([]string(nil), shards...)
+	sort.Strings(sorted)
+	for i, s := range sorted {
+		if s == "" {
+			return nil, fmt.Errorf("shard: empty shard name")
+		}
+		if i > 0 && sorted[i-1] == s {
+			return nil, fmt.Errorf("shard: duplicate shard %q", s)
+		}
+	}
+	r := &Ring{
+		points: make([]ringPoint, 0, len(sorted)*vnodes),
+		shards: sorted,
+		vnodes: vnodes,
+	}
+	for _, s := range sorted {
+		for i := 0; i < vnodes; i++ {
+			r.points = append(r.points, ringPoint{hash: hashKey(s + "#" + strconv.Itoa(i)), shard: s})
+		}
+	}
+	// Tie-break equal hashes by shard name so two shards whose vnodes
+	// collide still order deterministically regardless of input order.
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].shard < r.points[j].shard
+	})
+	return r, nil
+}
+
+// Owner returns the shard that owns the given device ID: the first vnode at
+// or clockwise past the device's hash, wrapping at the top of the circle.
+func (r *Ring) Owner(device string) string {
+	h := hashKey(device)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].shard
+}
+
+// Shards returns the ring's membership, sorted, as a fresh slice.
+func (r *Ring) Shards() []string {
+	return append([]string(nil), r.shards...)
+}
+
+// N returns the number of shards on the ring.
+func (r *Ring) N() int { return len(r.shards) }
+
+// Vnodes returns the per-shard virtual-node count in effect.
+func (r *Ring) Vnodes() int { return r.vnodes }
+
+// hashKey is the ring's hash: FNV-64a through a 64-bit avalanche finalizer.
+// Not cryptographic — placement needs determinism and spread, not adversary
+// resistance — but raw FNV leaves near-identical keys ("shard-0#1",
+// "shard-0#2", ...) correlated enough to lump vnodes and wreck balance; the
+// finalizer's multiply/xor-shift rounds restore full-width diffusion.
+func hashKey(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return mix64(h.Sum64())
+}
+
+// mix64 is the murmur3 fmix64 finalizer: a bijective avalanche over uint64.
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}

@@ -1,0 +1,153 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+)
+
+// testDevices builds a synthetic fleet of K device IDs shaped like the real
+// ones the harnesses use (rack/model/serial-ish strings).
+func testDevices(k int) []string {
+	devs := make([]string, k)
+	for i := range devs {
+		devs[i] = fmt.Sprintf("d%02d-Pixel%d/unit-%04d", i%16, i%5, i)
+	}
+	return devs
+}
+
+func shardNames(n int) []string {
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("shard-%d", i)
+	}
+	return names
+}
+
+// TestRingDeterministicPlacement pins the ring's core contract: placement is
+// a pure function of the shard set — identical across independently built
+// rings, across input orderings, and across N ∈ {1, 2, 4}.
+func TestRingDeterministicPlacement(t *testing.T) {
+	devs := testDevices(1000)
+	for _, n := range []int{1, 2, 4} {
+		names := shardNames(n)
+		a, err := NewRing(names, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Same set, reversed input order.
+		rev := make([]string, n)
+		for i, s := range names {
+			rev[n-1-i] = s
+		}
+		b, err := NewRing(rev, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts := map[string]int{}
+		for _, d := range devs {
+			oa, ob := a.Owner(d), b.Owner(d)
+			if oa != ob {
+				t.Fatalf("N=%d: device %q placed on %q and %q across builds", n, d, oa, ob)
+			}
+			counts[oa]++
+		}
+		if n == 1 && counts["shard-0"] != len(devs) {
+			t.Fatalf("single-shard ring did not own everything: %v", counts)
+		}
+		// Spread sanity: no shard more than 2x the fair share. Consistent
+		// hashing is not perfectly uniform, but 128 vnodes keeps skew small.
+		fair := len(devs) / n
+		for s, c := range counts {
+			if n > 1 && c > 2*fair {
+				t.Errorf("N=%d: shard %q owns %d of %d keys (fair share %d)", n, s, c, len(devs), fair)
+			}
+		}
+	}
+}
+
+// TestRingMinimalMovementOnAdd pins the "consistent" in consistent hashing:
+// adding a shard to an N-shard ring moves at most K/N keys, and every moved
+// key moves TO the new shard — no key shuffles between surviving shards.
+func TestRingMinimalMovementOnAdd(t *testing.T) {
+	devs := testDevices(1000)
+	for _, n := range []int{1, 2, 4} {
+		before, err := NewRing(shardNames(n), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		added := fmt.Sprintf("shard-%d", n)
+		after, err := NewRing(append(shardNames(n), added), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		moved := 0
+		for _, d := range devs {
+			oa, ob := before.Owner(d), after.Owner(d)
+			if oa == ob {
+				continue
+			}
+			if ob != added {
+				t.Fatalf("N=%d→%d: device %q moved %q→%q, but only the new shard %q may gain keys",
+					n, n+1, d, oa, ob, added)
+			}
+			moved++
+		}
+		if bound := len(devs) / n; moved > bound {
+			t.Errorf("N=%d→%d: %d keys moved, want <= K/N = %d", n, n+1, moved, bound)
+		}
+		if moved == 0 {
+			t.Errorf("N=%d→%d: new shard received no keys", n, n+1)
+		}
+		t.Logf("N=%d→%d: moved %d/%d keys (bound %d)", n, n+1, moved, len(devs), len(devs)/n)
+	}
+}
+
+// TestRingMinimalMovementOnRemove is the mirror: removing a shard moves only
+// the keys it owned, each landing somewhere on the survivors, and no
+// surviving shard loses a key.
+func TestRingMinimalMovementOnRemove(t *testing.T) {
+	devs := testDevices(1000)
+	for _, n := range []int{2, 4} {
+		names := shardNames(n)
+		before, err := NewRing(names, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		removed := names[n-1]
+		after, err := NewRing(names[:n-1], 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		moved := 0
+		for _, d := range devs {
+			oa, ob := before.Owner(d), after.Owner(d)
+			if oa == ob {
+				continue
+			}
+			if oa != removed {
+				t.Fatalf("N=%d→%d: device %q moved %q→%q though %q was the shard removed",
+					n, n-1, d, oa, ob, removed)
+			}
+			moved++
+		}
+		if bound := len(devs) / (n - 1); moved > bound {
+			t.Errorf("N=%d→%d: %d keys moved, want <= K/(N-1) = %d", n, n-1, moved, bound)
+		}
+		if moved == 0 {
+			t.Errorf("N=%d→%d: removed shard owned no keys", n, n-1)
+		}
+	}
+}
+
+// TestRingRejectsBadMembership pins constructor validation.
+func TestRingRejectsBadMembership(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Error("empty ring accepted")
+	}
+	if _, err := NewRing([]string{"a", "a"}, 0); err == nil {
+		t.Error("duplicate shard accepted")
+	}
+	if _, err := NewRing([]string{"a", ""}, 0); err == nil {
+		t.Error("empty shard name accepted")
+	}
+}

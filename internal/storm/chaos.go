@@ -99,13 +99,18 @@ var errChaos = errors.New("chaos")
 // clean (unfaulted) ingest round-trips for the p99.
 type stormMetrics struct {
 	mu        sync.Mutex
+	start     time.Time
 	faults    map[string]int
 	netErrors int
 	latencies []time.Duration
+	// offsets[i] is when (since start) latencies[i]'s request completed —
+	// what lets the harness bucket latency over storm time instead of
+	// flattening restarts and admission waves into one number.
+	offsets []time.Duration
 }
 
 func newStormMetrics() *stormMetrics {
-	return &stormMetrics{faults: make(map[string]int)}
+	return &stormMetrics{start: time.Now(), faults: make(map[string]int)}
 }
 
 func (m *stormMetrics) countFault(name string) {
@@ -123,6 +128,7 @@ func (m *stormMetrics) countNetError() {
 func (m *stormMetrics) observe(d time.Duration) {
 	m.mu.Lock()
 	m.latencies = append(m.latencies, d)
+	m.offsets = append(m.offsets, time.Since(m.start))
 	m.mu.Unlock()
 }
 

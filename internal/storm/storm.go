@@ -7,7 +7,7 @@
 // gracefully; it checks:
 //
 //   - every POST /ingest response carries a documented status
-//     (200/400/409/413/429/500/503),
+//     (200/400/409/413/429/500/503, plus 502 from the sharding gateway),
 //   - every chunk acked with 200 survives crash recovery byte-exactly
 //     (the recovered /fleet equals a fault-free reference run folding the
 //     same acked chunks, byte for byte),
@@ -29,6 +29,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"strconv"
@@ -38,6 +39,7 @@ import (
 
 	"mlexray/internal/core"
 	"mlexray/internal/ingest"
+	"mlexray/internal/shard"
 )
 
 // Options sizes and shapes one storm.
@@ -53,10 +55,22 @@ type Options struct {
 	Faults Faults
 	// Seed makes the swarm's randomness reproducible; 0 means 1.
 	Seed uint64
+	// Shards > 1 runs a consistent-hash ring of that many collector shards
+	// behind an in-process gateway: devices upload through the gateway, the
+	// kill act takes down one shard (not the whole fleet), and the final
+	// /fleet is the gateway's merged report — pinned byte-identical to the
+	// fault-free single-collector reference. <= 1 means one collector, no
+	// gateway.
+	Shards int
 	// DataDir enables the durable collector (WAL + crash recovery). It is
 	// required for KillAfterChunks and IdleTimeout — both destroy
-	// in-memory state that only a WAL can bring back.
+	// in-memory state that only a WAL can bring back. With Shards > 1 each
+	// shard gets its own shard-<i> subdirectory.
 	DataDir string
+	// SegmentBytes enables WAL segment rotation on the collector(s) — the
+	// rotation+compaction machinery running under fire instead of only in
+	// unit tests. 0 means single-segment WALs.
+	SegmentBytes int64
 	// MaxSessions / MaxChunksPerSec / ChunkBurst are the collector's
 	// admission-control knobs (see ingest.ServerOptions).
 	MaxSessions     int
@@ -92,6 +106,12 @@ type Result struct {
 	FramesPerSec float64 `json:"frames_per_sec"`
 	// P99Latency is the 99th-percentile clean ingest round-trip.
 	P99Latency time.Duration `json:"p99_latency_ns"`
+	// LatencyHist buckets ingest latency over storm time (8 equal windows):
+	// the restart stall, admission waves and drain tail stay visible instead
+	// of averaging into one quantile.
+	LatencyHist []LatencyBucket `json:"latency_hist,omitempty"`
+	// Shards is the collector topology the storm ran (1 = no gateway).
+	Shards int `json:"shards"`
 	// PeakRSSBytes is the process's peak resident set (collector and swarm
 	// share the process; the collector dominates).
 	PeakRSSBytes int64 `json:"peak_rss_bytes"`
@@ -133,7 +153,9 @@ type Result struct {
 }
 
 // documentedStatuses is the collector's public POST /ingest status
-// contract.
+// contract. 502 is the gateway's addition: the owning shard is unreachable
+// (killed mid-storm) — transient by definition, so sinks retry it like any
+// 5xx.
 var documentedStatuses = map[int]bool{
 	http.StatusOK:                    true,
 	http.StatusBadRequest:            true,
@@ -141,7 +163,63 @@ var documentedStatuses = map[int]bool{
 	http.StatusRequestEntityTooLarge: true,
 	http.StatusTooManyRequests:       true,
 	http.StatusInternalServerError:   true,
+	http.StatusBadGateway:            true,
 	http.StatusServiceUnavailable:    true,
+}
+
+// LatencyBucket is one time window of the storm's ingest-latency history.
+type LatencyBucket struct {
+	StartMs int64 `json:"start_ms"`
+	EndMs   int64 `json:"end_ms"`
+	Count   int   `json:"count"`
+	P50Ns   int64 `json:"p50_ns"`
+	P99Ns   int64 `json:"p99_ns"`
+	MaxNs   int64 `json:"max_ns"`
+}
+
+// latencyHistogram splits [0, elapsed) into n equal windows and summarizes
+// the latency samples completing in each; samples past elapsed (drain tail)
+// land in the last bucket.
+func latencyHistogram(offsets, lats []time.Duration, elapsed time.Duration, n int) []LatencyBucket {
+	if len(lats) == 0 || elapsed <= 0 || n <= 0 {
+		return nil
+	}
+	width := elapsed / time.Duration(n)
+	if width <= 0 {
+		width = 1
+	}
+	byBucket := make([][]time.Duration, n)
+	for i, off := range offsets {
+		b := int(off / width)
+		if b < 0 {
+			b = 0
+		}
+		if b >= n {
+			b = n - 1
+		}
+		byBucket[b] = append(byBucket[b], lats[i])
+	}
+	out := make([]LatencyBucket, 0, n)
+	for b, samples := range byBucket {
+		lb := LatencyBucket{
+			StartMs: (time.Duration(b) * width).Milliseconds(),
+			EndMs:   (time.Duration(b+1) * width).Milliseconds(),
+			Count:   len(samples),
+		}
+		if len(samples) > 0 {
+			lb.P50Ns = quantile(samples, 0.50).Nanoseconds()
+			lb.P99Ns = quantile(samples, 0.99).Nanoseconds()
+			max := samples[0]
+			for _, s := range samples[1:] {
+				if s > max {
+					max = s
+				}
+			}
+			lb.MaxNs = max.Nanoseconds()
+		}
+		out = append(out, lb)
+	}
+	return out
 }
 
 // CheckInvariants returns the storm's graceful-degradation verdict: nil
@@ -274,11 +352,13 @@ func (rec *recorder) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	rec.mu.Unlock()
 }
 
-// collector owns one live ingest.Server incarnation behind the recorder:
-// start boots it (reusing the pinned address across restarts), kill
-// hard-closes the HTTP server and the WAL — in-flight uploads are cut,
-// exactly like a crash, except that acked appends are always either fully
-// durable or 503'd (the ingest.Server close barrier).
+// collector owns one live ingest.Server incarnation: start boots it
+// (reusing the pinned address across restarts), kill hard-closes the HTTP
+// server and the WAL — in-flight uploads are cut, exactly like a crash,
+// except that acked appends are always either fully durable or 503'd (the
+// ingest.Server close barrier). With rec set the recorder fronts the
+// collector directly (single-collector storms); sharded storms leave rec
+// nil and put the recorder in front of the gateway instead.
 type collector struct {
 	opts ingest.ServerOptions
 	rec  *recorder
@@ -312,8 +392,12 @@ func (c *collector) start() error {
 		c.addr = ln.Addr().String()
 	}
 	c.srv = srv
-	c.rec.setInner(srv)
-	hs := &http.Server{Handler: c.rec, ReadHeaderTimeout: 5 * time.Second}
+	handler := http.Handler(srv)
+	if c.rec != nil {
+		c.rec.setInner(srv)
+		handler = c.rec
+	}
+	hs := &http.Server{Handler: handler, ReadHeaderTimeout: 5 * time.Second}
 	done := make(chan struct{})
 	go func() {
 		hs.Serve(ln)
@@ -429,37 +513,103 @@ func Run(opts Options) (*Result, error) {
 		return nil, fmt.Errorf("storm: kill/restart and idle eviction require DataDir — recovery needs a WAL")
 	}
 
+	nShards := opts.Shards
+	if nShards < 1 {
+		nShards = 1
+	}
 	frames := opts.Devices * opts.FramesPerDevice
 	ref := refLog(frames)
 	rec := newRecorder()
-	col := &collector{rec: rec, opts: ingest.ServerOptions{
-		Ref:                   ref,
-		DataDir:               opts.DataDir,
-		MaxSessions:           opts.MaxSessions,
-		MaxChunksPerSec:       opts.MaxChunksPerSec,
-		ChunkBurst:            opts.ChunkBurst,
-		IdleTimeout:           opts.IdleTimeout,
-		ReadTimeout:           opts.ReadTimeout,
-		WriteTimeout:          opts.WriteTimeout,
-		SessionRetryAfterSecs: 1,
-	}}
-	if err := col.start(); err != nil {
-		return nil, err
+	serverOpts := func(dataDir string) ingest.ServerOptions {
+		return ingest.ServerOptions{
+			Ref:                   ref,
+			DataDir:               dataDir,
+			SegmentBytes:          opts.SegmentBytes,
+			MaxSessions:           opts.MaxSessions,
+			MaxChunksPerSec:       opts.MaxChunksPerSec,
+			ChunkBurst:            opts.ChunkBurst,
+			IdleTimeout:           opts.IdleTimeout,
+			ReadTimeout:           opts.ReadTimeout,
+			WriteTimeout:          opts.WriteTimeout,
+			SessionRetryAfterSecs: 1,
+		}
 	}
-	logf("storm: collector on %s, %d devices x %d frames", col.addr, opts.Devices, opts.FramesPerDevice)
+	// Topology: one recorder-fronted collector, or a ring of collectors
+	// behind a recorder-fronted gateway. Either way the recorder sees every
+	// client-visible status and every acked chunk's exact bytes, and the
+	// collectors keep pinned addresses across restarts so the ring's URLs
+	// stay valid through the kill act.
+	var cols []*collector
+	var gw *shard.Gateway
+	var gwHS *http.Server
+	var gwDone chan struct{}
+	targetAddr := ""
+	if nShards == 1 {
+		col := &collector{rec: rec, opts: serverOpts(opts.DataDir)}
+		if err := col.start(); err != nil {
+			return nil, err
+		}
+		cols = []*collector{col}
+		targetAddr = col.addr
+	} else {
+		var addrs []shard.ShardAddr
+		for i := 0; i < nShards; i++ {
+			dir := ""
+			if opts.DataDir != "" {
+				dir = filepath.Join(opts.DataDir, fmt.Sprintf("shard-%d", i))
+				if err := os.MkdirAll(dir, 0o755); err != nil {
+					return nil, err
+				}
+			}
+			c := &collector{opts: serverOpts(dir)}
+			if err := c.start(); err != nil {
+				return nil, err
+			}
+			cols = append(cols, c)
+			addrs = append(addrs, shard.ShardAddr{Name: fmt.Sprintf("shard-%d", i), URL: "http://" + c.addr})
+		}
+		gwTransport := &http.Transport{MaxIdleConnsPerHost: 64}
+		defer gwTransport.CloseIdleConnections()
+		var err error
+		gw, err = shard.NewGateway(shard.GatewayOptions{
+			Shards: addrs,
+			Client: &http.Client{Transport: gwTransport},
+		})
+		if err != nil {
+			return nil, err
+		}
+		rec.setInner(gw)
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		gwHS = &http.Server{Handler: rec, ReadHeaderTimeout: 5 * time.Second}
+		gwDone = make(chan struct{})
+		go func() {
+			gwHS.Serve(ln)
+			close(gwDone)
+		}()
+		targetAddr = ln.Addr().String()
+	}
+	logf("storm: %d shard(s) behind %s, %d devices x %d frames",
+		nShards, targetAddr, opts.Devices, opts.FramesPerDevice)
 
 	met := newStormMetrics()
 	baseTransport := &http.Transport{MaxIdleConnsPerHost: 64}
 	defer baseTransport.CloseIdleConnections()
 
-	// The kill act: once enough chunks are acked, hard-kill the collector
-	// mid-storm and restart it on the same address. In-flight uploads see
-	// cut connections and retry; recovery replays the WAL.
+	// The kill act: once enough chunks are acked, hard-kill a collector
+	// mid-storm and restart it on the same address. In a sharded storm the
+	// victim is shard 0 — the rest of the ring keeps serving while the
+	// gateway answers 502 for the dead shard's devices and their sinks
+	// retry. In-flight uploads see cut connections; recovery replays the
+	// WAL.
 	killerDone := make(chan struct{})
 	stopKiller := make(chan struct{})
 	restarts := 0
 	var killerErr error
 	if opts.KillAfterChunks > 0 {
+		victim := cols[0]
 		go func() {
 			defer close(killerDone)
 			for {
@@ -470,8 +620,8 @@ func Run(opts Options) (*Result, error) {
 				}
 				if rec.ackedCount() >= opts.KillAfterChunks {
 					logf("storm: kill act at %d acked chunks", rec.ackedCount())
-					col.kill()
-					if err := col.start(); err != nil {
+					victim.kill()
+					if err := victim.start(); err != nil {
 						killerErr = err
 						return
 					}
@@ -499,7 +649,7 @@ func Run(opts Options) (*Result, error) {
 			time.Sleep(wave + time.Duration(rng.IntN(10))*time.Millisecond)
 			tr := &chaosTransport{base: baseTransport, faults: opts.Faults, rng: rng, met: met}
 			sink, err := ingest.NewRemoteSink(ingest.SinkOptions{
-				URL:          "http://" + col.addr,
+				URL:          "http://" + targetAddr,
 				Device:       deviceName(d),
 				Format:       formats[d%2],
 				Gzip:         d%3 == 0,
@@ -556,6 +706,7 @@ func Run(opts Options) (*Result, error) {
 		FramesPerSec: float64(frames) / elapsed.Seconds(),
 		Restarts:     restarts,
 		NetErrors:    met.netErrors,
+		Shards:       nShards,
 	}
 	for _, e := range sinkErrs {
 		if e != "" {
@@ -564,46 +715,75 @@ func Run(opts Options) (*Result, error) {
 	}
 
 	// Session-leak drain: with eviction on, pressure has lifted, so every
-	// slot must free once the idle horizon passes — the data stays in the
-	// WAL for the final recovery below.
+	// slot (on every shard) must free once the idle horizon passes — the
+	// data stays in the WAL for the final recovery below.
 	if opts.IdleTimeout > 0 {
 		deadline := time.Now().Add(10*time.Second + 10*opts.IdleTimeout)
 		for {
-			col.srv.EvictIdle()
-			if len(col.srv.Devices()) == 0 || time.Now().After(deadline) {
+			left := 0
+			for _, c := range cols {
+				c.srv.EvictIdle()
+				left += len(c.srv.Devices())
+			}
+			if left == 0 || time.Now().After(deadline) {
+				res.LeakedSessions = left
 				break
 			}
 			time.Sleep(opts.IdleTimeout / 4)
 		}
-		res.LeakedSessions = len(col.srv.Devices())
 	}
-	res.Evictions = col.srv.Evictions()
-	res.Resurrections = col.srv.Resurrections()
+	for _, c := range cols {
+		res.Evictions += c.srv.Evictions()
+		res.Resurrections += c.srv.Resurrections()
+	}
 
-	// Final crash recovery: everything the storm acked must come back.
+	// Final crash recovery: every shard dies and comes back; everything the
+	// storm acked must return from the per-shard WALs.
 	if opts.DataDir != "" {
-		col.kill()
-		if err := col.start(); err != nil {
-			return nil, err
+		for _, c := range cols {
+			c.kill()
+			if err := c.start(); err != nil {
+				return nil, err
+			}
+			rs := c.srv.Recovery()
+			res.RecoveredSessions += rs.Sessions
+			res.RecoveredChunks += rs.Chunks
 		}
-		rs := col.srv.Recovery()
-		res.RecoveredSessions = rs.Sessions
-		res.RecoveredChunks = rs.Chunks
-		logf("storm: final recovery: %d sessions, %d chunks", rs.Sessions, rs.Chunks)
+		logf("storm: final recovery: %d sessions, %d chunks across %d shard(s)",
+			res.RecoveredSessions, res.RecoveredChunks, nShards)
 	}
-	code, body := getPath(col.srv, "/fleet")
+	// The live fleet verdict: the gateway's merged report in sharded mode
+	// (fanned out over the recovered shards), the collector's own /fleet
+	// otherwise.
+	var code int
+	var body []byte
+	if gw != nil {
+		code, body = getPath(gw, "/fleet")
+	} else {
+		code, body = getPath(cols[0].srv, "/fleet")
+	}
+	shutdown := func() {
+		for _, c := range cols {
+			c.kill()
+		}
+		if gwHS != nil {
+			gwHS.Close()
+			<-gwDone
+		}
+	}
 	if code != http.StatusOK {
-		col.kill()
+		shutdown()
 		return nil, fmt.Errorf("storm: /fleet after recovery: %d: %s", code, body)
 	}
 	res.FleetLive = body
-	col.kill()
+	shutdown()
 
 	// The fault-free reference: a fresh in-memory collector fed exactly
 	// the acked chunks, per device in ack order. Byte-equal /fleet is the
 	// graceful-degradation bar — chaos may slow the storm, never skew it.
 	met.mu.Lock()
 	latencies := append([]time.Duration(nil), met.latencies...)
+	offsets := append([]time.Duration(nil), met.offsets...)
 	faults := make(map[string]int, len(met.faults))
 	for k, v := range met.faults {
 		faults[k] = v
@@ -611,6 +791,7 @@ func Run(opts Options) (*Result, error) {
 	met.mu.Unlock()
 	res.FaultsInjected = faults
 	res.P99Latency = quantile(latencies, 0.99)
+	res.LatencyHist = latencyHistogram(offsets, latencies, elapsed, 8)
 
 	rec.mu.Lock()
 	res.StatusCounts = make(map[int]int, len(rec.status))

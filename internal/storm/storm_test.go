@@ -141,6 +141,108 @@ func TestStormInvariants(t *testing.T) {
 	waitGoroutines(t, baseline)
 }
 
+// TestStormShardedInvariants drives the consistent-hash ring end to end
+// under fire: a 4-shard collector ring behind the aggregator gateway, every
+// fault type enabled, WAL segment rotation on, and a mid-storm hard kill of
+// shard 0 while the other three keep serving. The bar is the same as the
+// single-collector storm — documented statuses only (502 now included: the
+// gateway's dead-shard answer), every sink drains, and the gateway's merged
+// /fleet after per-shard WAL recovery is byte-identical to a fault-free
+// single collector folding the same acked chunks.
+func TestStormShardedInvariants(t *testing.T) {
+	devices := 64
+	if testing.Short() {
+		devices = 48
+	}
+	baseline := runtime.NumGoroutine()
+	res, err := Run(Options{
+		Devices:         devices,
+		FramesPerDevice: 2,
+		Faults:          AllFaults(),
+		Seed:            42,
+		Shards:          4,
+		DataDir:         t.TempDir(),
+		SegmentBytes:    4096, // rotation + compaction under fire
+		IdleTimeout:     250 * time.Millisecond,
+		ReadTimeout:     150 * time.Millisecond,
+		WriteTimeout:    time.Second,
+		KillAfterChunks: 40,
+		Stragglers:      0.05,
+		StallFor:        300 * time.Millisecond,
+		Logf:            t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("sharded storm: %d frames in %v (%.0f frames/s) across %d shards, p99 %v",
+		res.Frames, res.Elapsed.Round(time.Millisecond), res.FramesPerSec, res.Shards,
+		res.P99Latency.Round(time.Microsecond))
+	t.Logf("statuses: %v; faults: %v; recovered: %d sessions / %d chunks",
+		res.StatusCounts, res.FaultsInjected, res.RecoveredSessions, res.RecoveredChunks)
+
+	if err := res.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+	if res.Shards != 4 {
+		t.Errorf("result shards = %d, want 4", res.Shards)
+	}
+	if res.Restarts != 1 {
+		t.Errorf("restarts = %d, want exactly 1 mid-storm shard kill", res.Restarts)
+	}
+	if res.RecoveredChunks == 0 {
+		t.Error("final recovery replayed no chunks — per-shard WAL recovery never ran")
+	}
+	if res.RecoveredSessions == 0 {
+		t.Error("final recovery restored no sessions")
+	}
+	if len(res.LatencyHist) == 0 {
+		t.Error("no latency histogram recorded")
+	}
+	waitGoroutines(t, baseline)
+}
+
+// TestLatencyHistogram pins the time-bucketed latency summary: samples land
+// in their completion window, the drain tail clamps into the last bucket,
+// and per-bucket quantiles are computed over that window alone.
+func TestLatencyHistogram(t *testing.T) {
+	if latencyHistogram(nil, nil, time.Second, 8) != nil {
+		t.Error("empty histogram not nil")
+	}
+	offsets := []time.Duration{
+		10 * time.Millisecond, 20 * time.Millisecond, // bucket 0
+		150 * time.Millisecond, // bucket 1
+		999 * time.Millisecond, // past elapsed: clamps to last bucket
+	}
+	lats := []time.Duration{
+		1 * time.Millisecond, 3 * time.Millisecond,
+		50 * time.Millisecond,
+		7 * time.Millisecond,
+	}
+	hist := latencyHistogram(offsets, lats, 800*time.Millisecond, 8)
+	if len(hist) != 8 {
+		t.Fatalf("got %d buckets, want 8", len(hist))
+	}
+	if hist[0].Count != 2 || hist[0].MaxNs != (3 * time.Millisecond).Nanoseconds() {
+		t.Errorf("bucket 0 = %+v, want 2 samples max 3ms", hist[0])
+	}
+	if hist[0].StartMs != 0 || hist[0].EndMs != 100 {
+		t.Errorf("bucket 0 window = [%d, %d)ms, want [0, 100)", hist[0].StartMs, hist[0].EndMs)
+	}
+	if hist[1].Count != 1 || hist[1].P99Ns != (50 * time.Millisecond).Nanoseconds() {
+		t.Errorf("bucket 1 = %+v, want the 50ms sample", hist[1])
+	}
+	if hist[7].Count != 1 || hist[7].MaxNs != (7 * time.Millisecond).Nanoseconds() {
+		t.Errorf("last bucket = %+v, want the clamped drain-tail sample", hist[7])
+	}
+	total := 0
+	for _, b := range hist {
+		total += b.Count
+	}
+	if total != len(lats) {
+		t.Errorf("histogram holds %d samples, want %d", total, len(lats))
+	}
+}
+
 // TestQuantile pins the nearest-rank p99 helper.
 func TestQuantile(t *testing.T) {
 	var ds []time.Duration

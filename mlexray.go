@@ -68,6 +68,17 @@
 //	...
 //	report, err := srv.FleetReport()                           // or GET /fleet
 //
+// Past one collector's capacity the ingestion tier shards horizontally: an
+// IngestGateway (cmd/exraygw) fronts a consistent-hash ring of collectors
+// with the same HTTP surface, routing each device's uploads to its owning
+// shard and merging per-shard accumulator snapshots into a /fleet report
+// byte-identical to a single collector's:
+//
+//	gw, err := mlexray.NewIngestGateway(mlexray.IngestGatewayOptions{
+//		Shards: []mlexray.IngestShard{{Name: "s0", URL: "http://host:9091"},
+//			{Name: "s1", URL: "http://host:9092"}}})
+//	go http.ListenAndServe(":9090", gw)                        // or run cmd/exraygw
+//
 // Everything underneath — the TFLite-like runtime with optimized/reference
 // op resolvers, the converter and quantizer, the training substrate, the
 // synthetic datasets and the device latency simulator — lives in internal/
@@ -81,6 +92,7 @@ import (
 	"mlexray/internal/device"
 	"mlexray/internal/ingest"
 	"mlexray/internal/runner"
+	"mlexray/internal/shard"
 )
 
 // ---- telemetry data model ----
@@ -402,6 +414,53 @@ type RemoteSinkOptions = ingest.SinkOptions
 // NewRemoteSink builds a sink streaming to the collector at opts.URL.
 func NewRemoteSink(opts RemoteSinkOptions) (*RemoteSink, error) {
 	return ingest.NewRemoteSink(opts)
+}
+
+// ---- sharded ingestion API ----
+
+// HashRing is the consistent-hash placement ring behind sharded ingest:
+// a deterministic device→shard mapping (virtual nodes smooth the spread)
+// that moves only ~K/N of K devices when a shard joins or leaves.
+type HashRing = shard.Ring
+
+// NewHashRing builds a ring over the named shards with the given per-shard
+// virtual-node count (<= 0 means the default).
+func NewHashRing(shards []string, vnodes int) (*HashRing, error) {
+	return shard.NewRing(shards, vnodes)
+}
+
+// IngestShard names one collector shard of a gateway's ring and where it
+// listens. Placement hashes the name, not the URL, so a shard can move
+// hosts without relocating its devices.
+type IngestShard = shard.ShardAddr
+
+// IngestGateway fronts a consistent-hash ring of IngestServers with a
+// single collector's HTTP surface: uploads route to the owning shard,
+// /devices/{id} proxies, and /fleet merges per-shard accumulator snapshots
+// through the same finalizer a lone collector runs — so the merged report
+// is byte-identical to an unsharded deployment's. cmd/exraygw wraps it as
+// a daemon.
+type IngestGateway = shard.Gateway
+
+// IngestGatewayOptions configures an IngestGateway (ring membership,
+// virtual-node count, validation thresholds, proxy vs 307-redirect upload
+// routing).
+type IngestGatewayOptions = shard.GatewayOptions
+
+// NewIngestGateway builds a gateway over the given shard set.
+func NewIngestGateway(opts IngestGatewayOptions) (*IngestGateway, error) {
+	return shard.NewGateway(opts)
+}
+
+// FleetSessionSnapshot is one device session's accumulator state, exported
+// by a shard's /fleet/export endpoint (FleetStreamValidator.Snapshots) —
+// the unit the gateway merges.
+type FleetSessionSnapshot = core.FleetSessionSnapshot
+
+// MergeFleetSnapshots folds per-shard session snapshots into the fleet
+// report a single collector holding every session would produce.
+func MergeFleetSnapshots(snaps []FleetSessionSnapshot, opts ValidateOptions) (*FleetReport, error) {
+	return core.MergeFleetSnapshots(snaps, opts)
 }
 
 // ---- validation API ----

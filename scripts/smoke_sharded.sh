@@ -1,0 +1,84 @@
+#!/usr/bin/env bash
+# Multi-process sharded-ingest smoke: two exrayd collector shards and the
+# exraygw gateway run as real processes, a heterogeneous device fleet
+# uploads through the gateway with edgerun -upload, and the gateway's merged
+# /fleet is diffed byte-for-byte against a single collector that ingested
+# the identical per-device logs. Run from anywhere; needs go and curl.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+work=$(mktemp -d)
+pids=()
+cleanup() {
+	for pid in "${pids[@]:-}"; do kill "$pid" 2>/dev/null || true; done
+	wait 2>/dev/null || true
+	rm -rf "$work"
+}
+trap cleanup EXIT
+
+bin="$work/bin"
+mkdir -p "$bin"
+go build -o "$bin" ./cmd/refrun ./cmd/edgerun ./cmd/exrayd ./cmd/exraygw
+
+"$bin/refrun" -o "$work/ref.jsonl" -frames 8 >/dev/null
+
+wait_ready() {
+	for _ in $(seq 1 100); do
+		if curl -fsS "$1/healthz" >/dev/null 2>&1; then return 0; fi
+		sleep 0.1
+	done
+	echo "smoke_sharded: $1 never became healthy" >&2
+	return 1
+}
+
+# The ring: two durable collector shards behind the gateway.
+"$bin/exrayd" -ref "$work/ref.jsonl" -addr 127.0.0.1:19181 \
+	-data-dir "$work/s0" -segment-bytes 65536 >/dev/null &
+pids+=($!)
+"$bin/exrayd" -ref "$work/ref.jsonl" -addr 127.0.0.1:19182 \
+	-data-dir "$work/s1" -segment-bytes 65536 >/dev/null &
+pids+=($!)
+wait_ready http://127.0.0.1:19181
+wait_ready http://127.0.0.1:19182
+"$bin/exraygw" -addr 127.0.0.1:19180 \
+	-shard s0=http://127.0.0.1:19181 -shard s1=http://127.0.0.1:19182 >/dev/null &
+pids+=($!)
+wait_ready http://127.0.0.1:19180
+
+# A heterogeneous fleet uploads through the gateway; the replay also writes
+# each device's shard log next to -o (edge.d0-Pixel4.jsonl, ...).
+"$bin/edgerun" -model mobilenetv2-mini -bug normalization \
+	-fleet "Pixel4:1,Pixel3:1,Emulator-x86:1" \
+	-upload http://127.0.0.1:19180 -o "$work/edge.jsonl" >/dev/null
+
+curl -fsS http://127.0.0.1:19180/fleet >"$work/fleet_sharded.json"
+
+# Both shards must actually hold sessions — the ring spread the fleet.
+for port in 19181 19182; do
+	n=$(curl -fsS "http://127.0.0.1:$port/devices" | grep -c '"device"' || true)
+	if [ "$n" -eq 0 ]; then
+		echo "smoke_sharded: shard on :$port holds no sessions — the ring never spread the fleet" >&2
+		exit 1
+	fi
+done
+
+# Reference: one collector ingests the identical per-device logs directly.
+"$bin/exrayd" -ref "$work/ref.jsonl" -addr 127.0.0.1:19183 >/dev/null &
+pids+=($!)
+wait_ready http://127.0.0.1:19183
+for log in "$work"/edge.d*.jsonl; do
+	dev=$(basename "$log")
+	dev=${dev#edge.}
+	dev=${dev%.jsonl}
+	curl -fsS -X POST --data-binary "@$log" \
+		"http://127.0.0.1:19183/ingest?device=$dev" >/dev/null
+done
+curl -fsS http://127.0.0.1:19183/fleet >"$work/fleet_single.json"
+
+if ! cmp -s "$work/fleet_single.json" "$work/fleet_sharded.json"; then
+	echo "smoke_sharded: merged /fleet differs from the single-collector reference" >&2
+	diff "$work/fleet_single.json" "$work/fleet_sharded.json" >&2 || true
+	exit 1
+fi
+echo "smoke_sharded: PASS — merged /fleet byte-identical to the single collector" \
+	"($(wc -c <"$work/fleet_sharded.json") bytes)"
