@@ -4,7 +4,7 @@
 //
 //	benchtab            # everything
 //	benchtab -exp fig5  # one artifact: table1..5, fleet, fig3, fig4a/b/c,
-//	                    # fig5, fig6, text, ingraph, ablations
+//	                    # fig5, fig6, text, ingraph, ablations, kernels
 //	benchtab -exp fleet -task detection  # fleet sharding over the SSD detector
 package main
 
@@ -182,6 +182,14 @@ func run(args []string, stdout io.Writer) error {
 				return err
 			}
 			experiments.RenderAblationLogFormat(stdout, lf)
+			return nil
+		}},
+		{"kernels", func() error {
+			rows, err := experiments.AblationKernelBackend()
+			if err != nil {
+				return err
+			}
+			experiments.RenderAblationKernel(stdout, rows)
 			return nil
 		}},
 	}

@@ -78,6 +78,7 @@ func run(args []string, stdout io.Writer) error {
 		batch    = fs.Int("batch", 8, "frames per batched interpreter invoke (1 = frame at a time)")
 		fleet    = fs.String("fleet", "", `shard across a device fleet: "profile:workers[:batch],..." (overrides -device/-parallel/-batch)`)
 		shard    = fs.String("shard", "contiguous", "fleet shard policy: contiguous|round-robin|weighted")
+		kernel   = fs.String("kernel", "", "kernel backend: reference|blocked|tiled (default blocked)")
 		logFmt   = fs.String("log-format", "jsonl", "telemetry log encoding: jsonl|binary")
 		upload   = fs.String("upload", "", "also stream telemetry to an exrayd collector at this URL (per-device sessions)")
 		gz       = fs.Bool("upload-gzip", true, "gzip-compress upload chunks")
@@ -90,6 +91,10 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 	format, err := core.ParseLogFormat(*logFmt)
+	if err != nil {
+		return err
+	}
+	backend, err := ops.ParseBackend(*kernel)
 	if err != nil {
 		return err
 	}
@@ -107,6 +112,7 @@ func run(args []string, stdout io.Writer) error {
 	popts := pipeline.Options{
 		Resolver: ops.NewOptimized(ops.Historical()),
 		Bug:      pipeline.Bug(*bug),
+		Backend:  backend,
 	}
 
 	up := uploadOptions{url: *upload, gzip: *gz}

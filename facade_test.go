@@ -98,6 +98,52 @@ func TestFacadeEndToEndChannelBug(t *testing.T) {
 	}
 }
 
+// TestFacadeKernelBackend drives the kernel-backend seam end to end through
+// the public API: a tiled-backend edge log must validate cleanly (benign
+// float drift, bounded by the validators) against a blocked-backend
+// reference, and the flag-name round trip must cover every backend.
+func TestFacadeKernelBackend(t *testing.T) {
+	for _, b := range mlexray.KernelBackends() {
+		got, err := mlexray.ParseKernelBackend(b.String())
+		if err != nil {
+			t.Fatalf("ParseKernelBackend(%q): %v", b.String(), err)
+		}
+		if got != b {
+			t.Errorf("ParseKernelBackend(%q) = %v, want %v", b.String(), got, b)
+		}
+	}
+	if _, err := mlexray.ParseKernelBackend("simd512"); err == nil {
+		t.Error("ParseKernelBackend accepted an unknown backend")
+	}
+
+	capture := func(backend mlexray.KernelBackend) *mlexray.Log {
+		entry, err := zoo.Get("mobilenetv2-mini")
+		if err != nil {
+			t.Fatal(err)
+		}
+		mon := mlexray.NewMonitor(mlexray.WithCaptureMode(mlexray.CaptureFull), mlexray.WithPerLayer(true))
+		cl, err := pipeline.NewClassifier(entry.Mobile, pipeline.Options{Monitor: mon, Backend: backend})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range datasets.SynthImageNet(7777, 5) {
+			if _, _, err := cl.Classify(s.Image); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return mon.Log()
+	}
+	edge := capture(mlexray.KernelTiled)
+	ref := capture(mlexray.KernelBlocked)
+	report, err := mlexray.Validate(edge, ref, mlexray.DefaultValidateOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.OutputAgreement < 0.99 {
+		t.Errorf("tiled vs blocked agreement = %.2f, want >= 0.99 (benign drift only)", report.OutputAgreement)
+	}
+}
+
 func TestFacadeQuantKernelDiagnosis(t *testing.T) {
 	edge := captureLog(t, pipeline.BugNone, ops.NewOptimized(ops.Historical()), true)
 	ref := captureLog(t, pipeline.BugNone, ops.NewReference(ops.Fixed()), false)

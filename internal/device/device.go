@@ -205,11 +205,16 @@ func (p *Profile) nsPerByte(op graph.OpType, kind ops.ComputeKind, resolver stri
 // configurations carry meaning; this constant sets the absolute frame.
 const costScale = 500.0
 
-// NodeLatency implements interp.LatencyModel.
+// NodeLatency implements interp.LatencyModel. The cost's backend terms
+// refine the projection: the per-MAC coefficient is scaled by the kernel
+// backend's TimeFactor and panel-packing traffic is billed at the
+// data-movement rate, so switching -kernel changes modeled latency the same
+// direction it changes measured latency. A zero-value cost (TimeFactor 1,
+// PackBytes 0) reproduces the pre-seam projection bit for bit.
 func (p *Profile) NodeLatency(op graph.OpType, kind ops.ComputeKind, resolver string, cost ops.Cost) time.Duration {
 	base := 2500.0 // fixed dispatch overhead per node, ns
-	ns := base + costScale*(p.nsPerMAC(op, kind, resolver)*float64(cost.MACs)+
-		p.nsPerByte(op, kind, resolver)*float64(cost.Bytes))
+	ns := base + costScale*(p.nsPerMAC(op, kind, resolver)*cost.TimeFactor()*float64(cost.MACs)+
+		p.nsPerByte(op, kind, resolver)*float64(cost.Bytes+cost.PackBytes))
 	return time.Duration(ns * p.speed)
 }
 

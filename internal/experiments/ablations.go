@@ -4,11 +4,13 @@ import (
 	"bytes"
 	"fmt"
 	"io"
+	"math"
 	"time"
 
 	"mlexray/internal/convert"
 	"mlexray/internal/core"
 	"mlexray/internal/datasets"
+	"mlexray/internal/interp"
 	"mlexray/internal/ops"
 	"mlexray/internal/pipeline"
 	"mlexray/internal/replay"
@@ -319,5 +321,134 @@ func RenderAblationLogFormat(w io.Writer, rows []AblationLogFormatRow) {
 	fprintf(w, "  %-8s %12s %14s %10s\n", "format", "bytes/frm", "encode ns/frm", "records")
 	for _, r := range rows {
 		fprintf(w, "  %-8s %12d %14.0f %10d\n", r.Format, r.BytesPerFrame, r.EncodeNsPerFrm, r.RecordsPerFrame)
+	}
+}
+
+// ---- Ablation: kernel micro-kernel backend (DESIGN.md §10) ----
+
+// AblationKernelRow reports one (backend, compute kind) cell of the
+// kernel-backend ablation: invoke wall-clock per frame plus fidelity against
+// the blocked baseline on the same frames.
+type AblationKernelRow struct {
+	Backend ops.Backend
+	Kind    string
+	// NsPerFrm is the interpreter invoke cost (preprocessing excluded — the
+	// inputs are pre-tensorized so the column isolates the kernels).
+	NsPerFrm float64
+	// Top1Agree is the fraction of frames whose argmax matches the blocked
+	// backend's.
+	Top1Agree float64
+	// BitExact reports whether every output tensor is bitwise identical to
+	// the blocked backend's. Expected true everywhere except possibly
+	// float32/tiled, whose summation order is only validator-bounded (see
+	// ops.Backend.BitwiseStable).
+	BitExact bool
+}
+
+// AblationKernelBackend sweeps the kernel backends over the float and
+// quantized mobilenetv2-mini, measuring per-frame invoke cost and output
+// fidelity versus the blocked default. It is the table behind the backend
+// seam's contract: quantized outputs are bit-exact on every backend, float
+// outputs are bit-exact for the bitwise-stable backends and validator-bounded
+// for tiled.
+func AblationKernelBackend() ([]AblationKernelRow, error) {
+	e, err := zoo.Get("mobilenetv2-mini")
+	if err != nil {
+		return nil, err
+	}
+	const frames = 6
+	samples := datasets.SynthImageNet(5555, frames)
+	var rows []AblationKernelRow
+	for _, kind := range []string{"float32", "int8"} {
+		m := e.Mobile
+		if kind == "int8" {
+			m = e.Quant
+		}
+		pp, err := pipeline.CorrectImagePreproc(m.Meta)
+		if err != nil {
+			return nil, err
+		}
+		inputs := make([]*tensor.Tensor, frames)
+		for i, s := range samples {
+			inputs[i] = pipeline.PreprocessImage(s.Image, m.Meta, pp)
+		}
+		outs := map[ops.Backend][]*tensor.Tensor{}
+		ns := map[ops.Backend]float64{}
+		for _, b := range ops.Backends() {
+			ip, err := interp.New(m, fixedOptimized(), interp.WithBackend(b))
+			if err != nil {
+				return nil, err
+			}
+			got := make([]*tensor.Tensor, frames)
+			start := time.Now()
+			for i, in := range inputs {
+				out, err := ip.Run(in)
+				if err != nil {
+					return nil, err
+				}
+				got[i] = out.Clone()
+			}
+			ns[b] = float64(time.Since(start).Nanoseconds()) / frames
+			outs[b] = got
+		}
+		base := outs[ops.BackendBlocked]
+		for _, b := range ops.Backends() {
+			agree, exact := 0, true
+			for i, out := range outs[b] {
+				if out.ArgMax() == base[i].ArgMax() {
+					agree++
+				}
+				if !tensorBitsEqual(out, base[i]) {
+					exact = false
+				}
+			}
+			rows = append(rows, AblationKernelRow{
+				Backend:   b,
+				Kind:      kind,
+				NsPerFrm:  ns[b],
+				Top1Agree: float64(agree) / frames,
+				BitExact:  exact,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// tensorBitsEqual reports bitwise equality of two same-dtype tensors.
+func tensorBitsEqual(a, b *tensor.Tensor) bool {
+	if a.DType != b.DType || a.Len() != b.Len() {
+		return false
+	}
+	switch a.DType {
+	case tensor.F32:
+		for i, v := range a.F {
+			if math.Float32bits(v) != math.Float32bits(b.F[i]) {
+				return false
+			}
+		}
+	case tensor.U8:
+		return bytes.Equal(a.U, b.U)
+	case tensor.I8:
+		for i, v := range a.I {
+			if v != b.I[i] {
+				return false
+			}
+		}
+	case tensor.I32:
+		for i, v := range a.X {
+			if v != b.X[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// RenderAblationKernel prints the kernel-backend ablation.
+func RenderAblationKernel(w io.Writer, rows []AblationKernelRow) {
+	fprintf(w, "Ablation — kernel backend (mobilenetv2-mini, invoke only)\n")
+	fprintf(w, "  %-8s %-10s %12s %10s %9s\n", "kind", "backend", "ns/frm", "top1agree", "bitexact")
+	for _, r := range rows {
+		fprintf(w, "  %-8s %-10s %12.0f %10.2f %9v\n", r.Kind, r.Backend, r.NsPerFrm, r.Top1Agree, r.BitExact)
 	}
 }

@@ -516,6 +516,32 @@ func TestAblations(t *testing.T) {
 	if !strings.Contains(buf.String(), "binary") {
 		t.Error("render missing binary row")
 	}
+	kb, err := AblationKernelBackend()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kb) != 6 {
+		t.Fatalf("kernel-backend rows = %d, want 3 backends x 2 kinds", len(kb))
+	}
+	for _, row := range kb {
+		// The seam's fidelity contract: quantized output is bit-exact on
+		// every backend, float output is bit-exact for the bitwise-stable
+		// backends; tiled float is only held to argmax agreement.
+		if row.Kind == "int8" && !row.BitExact {
+			t.Errorf("%s/int8 not bit-exact against blocked", row.Backend)
+		}
+		if row.Kind == "float32" && row.Backend.BitwiseStable() && !row.BitExact {
+			t.Errorf("%s/float32 not bit-exact against blocked", row.Backend)
+		}
+		if row.Top1Agree < 1 {
+			t.Errorf("%s/%s top-1 agreement %.2f, want 1.00 on benign drift", row.Backend, row.Kind, row.Top1Agree)
+		}
+	}
+	buf.Reset()
+	RenderAblationKernel(&buf, kb)
+	if !strings.Contains(buf.String(), "tiled") {
+		t.Error("kernel render missing tiled row")
+	}
 }
 
 // TestFleetDetectionShape pins the detection binding of the fleet demo: the

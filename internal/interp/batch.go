@@ -62,16 +62,17 @@ func NewBatch(m *graph.Model, n int, resolver *ops.Resolver, opts ...Option) (*B
 	if err != nil {
 		return nil, fmt.Errorf("interp: batch %d: %w", n, err)
 	}
-	// The inner interpreter runs bare: no hook (events are replayed per
-	// frame afterwards) and no latency model (projections use batch-1
-	// costs, computed here).
-	ip, err := New(rebatched, resolver)
-	if err != nil {
-		return nil, err
-	}
+	// The inner interpreter runs bare of observation options: no hook
+	// (events are replayed per frame afterwards) and no latency model
+	// (projections use batch-1 costs, computed here). The kernel backend IS
+	// threaded through — it changes what the kernels execute.
 	var probe Interpreter
 	for _, o := range opts {
 		o(&probe)
+	}
+	ip, err := New(rebatched, resolver, WithBackend(probe.backend))
+	if err != nil {
+		return nil, err
 	}
 	bp := &Batch{
 		base:     m,
@@ -86,7 +87,7 @@ func NewBatch(m *graph.Model, n int, resolver *ops.Resolver, opts ...Option) (*B
 	sizeOf := func(id int) int { return m.Tensors[id].DType.Size() }
 	bp.nodeModeled = make([]time.Duration, len(m.Nodes))
 	for i := range m.Nodes {
-		bp.costs1[i] = ops.EstimateCost(&m.Nodes[i], shapeOf, sizeOf)
+		bp.costs1[i] = ops.EstimateCostBackend(&m.Nodes[i], ip.kinds[i], probe.backend, shapeOf, sizeOf)
 		if bp.latModel != nil {
 			bp.nodeModeled[i] = bp.latModel.NodeLatency(m.Nodes[i].Op, ip.kinds[i], resolver.Name(), bp.costs1[i])
 			bp.frameModeled += bp.nodeModeled[i]

@@ -67,6 +67,12 @@ func WithHook(h NodeHook) Option { return func(ip *Interpreter) { ip.hook = h } 
 // WithLatencyModel attaches a device latency model.
 func WithLatencyModel(m LatencyModel) Option { return func(ip *Interpreter) { ip.latModel = m } }
 
+// WithBackend selects the GEMM micro-kernel backend the optimized kernels
+// dispatch to. It is a plan-time choice: the per-node contexts, cost
+// estimates and scratch reservations are all derived from it in New. The
+// default is ops.BackendBlocked.
+func WithBackend(b ops.Backend) Option { return func(ip *Interpreter) { ip.backend = b } }
+
 // InvokeStats summarises one Invoke call.
 type InvokeStats struct {
 	Measured time.Duration
@@ -90,6 +96,7 @@ type Interpreter struct {
 	measured []time.Duration
 	hook     NodeHook
 	latModel LatencyModel
+	backend  ops.Backend
 	last     InvokeStats
 }
 
@@ -133,7 +140,7 @@ func New(m *graph.Model, resolver *ops.Resolver, opts ...Option) (*Interpreter, 
 		}
 		ip.kinds[i] = kind
 		ip.kernels[i] = kernel
-		ip.costs[i] = ops.EstimateCost(n, shapeOf, sizeOf)
+		ip.costs[i] = ops.EstimateCostBackend(n, kind, ip.backend, shapeOf, sizeOf)
 
 		inputs := make([]*tensor.Tensor, len(n.Inputs))
 		inQ := make([]*quant.Params, len(n.Inputs))
@@ -147,11 +154,11 @@ func New(m *graph.Model, resolver *ops.Resolver, opts ...Option) (*Interpreter, 
 			outputs[j] = ip.tensors[id]
 			outQ[j] = m.Tensors[id].Quant
 		}
-		ip.ctxs[i] = ops.Ctx{Node: n, Inputs: inputs, Outputs: outputs, InQ: inQ, OutQ: outQ, Arena: ip.arena}
+		ip.ctxs[i] = ops.Ctx{Node: n, Inputs: inputs, Outputs: outputs, InQ: inQ, OutQ: outQ, Arena: ip.arena, Backend: ip.backend}
 
 		// Scratch is node-scoped (the arena resets between nodes), so the
 		// slabs only need to cover the hungriest single node.
-		f32, f64, i16, idx := ops.ScratchPlan(n, kind, shapeOf)
+		f32, f64, i16, idx := ops.ScratchPlan(n, kind, ip.backend, shapeOf)
 		maxF32 = maxInt(maxF32, f32)
 		maxF64 = maxInt(maxF64, f64)
 		maxI16 = maxInt(maxI16, i16)
@@ -173,6 +180,9 @@ func (ip *Interpreter) Model() *graph.Model { return ip.model }
 
 // Resolver returns the active resolver.
 func (ip *Interpreter) Resolver() *ops.Resolver { return ip.resolver }
+
+// Backend returns the planned GEMM kernel backend.
+func (ip *Interpreter) Backend() ops.Backend { return ip.backend }
 
 // SetInput copies t into model input slot i.
 func (ip *Interpreter) SetInput(i int, t *tensor.Tensor) error {

@@ -138,12 +138,14 @@ func growSlab(have, need int) int {
 }
 
 // ScratchPlan reports the scratch a node's kernel may request per invoke, in
-// elements per slab type. The interpreter reserves the per-node maximum at
-// plan time. The numbers mirror the kernels' requests; a conservative
+// elements per slab type, for the given kernel backend. The interpreter
+// reserves the per-node maximum at plan time — including the tiled backend's
+// padded pack panels, which is what keeps steady-state Invoke at zero
+// allocations. The numbers mirror the kernels' requests; a conservative
 // overestimate (e.g. planning im2col space even under the reference
 // resolver, which does not use it) only costs idle slab bytes, and an
 // underestimate is still correct — the arena grows once at first use.
-func ScratchPlan(n *graph.Node, kind ComputeKind, shapeOf func(id int) []int) (f32, f64, i16, idx int) {
+func ScratchPlan(n *graph.Node, kind ComputeKind, backend Backend, shapeOf func(id int) []int) (f32, f64, i16, idx int) {
 	outShape := shapeOf(n.Outputs[0])
 	switch n.Op {
 	case graph.OpConv2D:
@@ -151,13 +153,37 @@ func ScratchPlan(n *graph.Node, kind ComputeKind, shapeOf func(id int) []int) (f
 		oc, kh, kw, ic := w[0], w[1], w[2], w[3]
 		k := kh * kw * ic
 		if kind == KindQuant {
-			// convQuantOpt reuses one per-element im2col buffer across the
-			// batch loop, so only oh*ow rows are ever live.
-			return 0, 0, outShape[1] * outShape[2] * k, 0
+			// The quantized lowerings reuse one per-element im2col buffer
+			// across the batch loop, so only oh*ow rows are ever live; the
+			// tiled backend pads the panel to the 4-row register tile.
+			m := outShape[1] * outShape[2]
+			if backend == BackendTiled {
+				m = padUp(m, 4)
+			}
+			return 0, 0, m * k, 0
 		}
-		// convFloatOpt lowers the whole batch into one GEMM: n*oh*ow rows.
+		// The float lowerings span the whole batch in one GEMM: n*oh*ow
+		// rows. The tiled backend packs a padded left panel and fuses the
+		// epilogue, so it needs no separate product buffer.
 		m := outShape[0] * outShape[1] * outShape[2]
+		if backend == BackendTiled {
+			return padUp(m, 4) * k, 0, 0, 0
+		}
 		return m*k + m*oc, 0, 0, 0
+	case graph.OpDense:
+		if backend == BackendTiled {
+			in := shapeOf(n.Inputs[0])
+			batch := in[0]
+			inC := 1
+			for _, d := range in[1:] {
+				inC *= d
+			}
+			// Padded left panel: float activations or zero-corrected int16.
+			if kind == KindQuant {
+				return 0, 0, padUp(batch, 4) * inC, 0
+			}
+			return padUp(batch, 4) * inC, 0, 0, 0
+		}
 	case graph.OpDepthwiseConv2D:
 		oc := outShape[len(outShape)-1]
 		return oc, 0, 0, 0

@@ -138,6 +138,59 @@ func BenchmarkGEMM(b *testing.B) {
 	}
 }
 
+// BenchmarkGemmBackend races the kernel backends on a MobileNet-ish 3x3
+// conv layer, float and quantized — the per-op view of the whole-model
+// invoke_gemm_* entries in BENCH_replay.json.
+func BenchmarkGemmBackend(b *testing.B) {
+	for _, backend := range Backends() {
+		backend := backend
+		b.Run("conv-float/"+backend.String(), func(b *testing.B) {
+			in, w, bias, attrs, outShape := benchConvInputs(b, 28, 16, 32, 3)
+			out := tensor.New(tensor.F32, outShape...)
+			ctx := ctxForBackend(backend, graph.OpConv2D, attrs, []*tensor.Tensor{in, w, bias}, nil, out, nil)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := convFloatOpt(ctx); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	for _, backend := range []Backend{BackendBlocked, BackendTiled} {
+		backend := backend
+		b.Run("conv-quant/"+backend.String(), func(b *testing.B) {
+			ctx, _, opt := benchQuantConvCtx(b)
+			ctx.Backend = backend
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := opt(ctx); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	for _, backend := range []Backend{BackendBlocked, BackendTiled} {
+		backend := backend
+		b.Run("depthwise-float/"+backend.String(), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(5))
+			in := tensor.New(tensor.F32, 1, 28, 28, 32)
+			tensor.RandUniform(rng, in, -1, 1)
+			w := tensor.New(tensor.F32, 1, 3, 3, 32)
+			tensor.RandUniform(rng, w, -0.5, 0.5)
+			bias := tensor.New(tensor.F32, 32)
+			attrs := graph.Attrs{StrideH: 1, StrideW: 1, PadT: 1, PadB: 1, PadL: 1, PadR: 1, DepthMultiplier: 1}
+			out := tensor.New(tensor.F32, 1, 28, 28, 32)
+			ctx := ctxForBackend(backend, graph.OpDepthwiseConv2D, attrs, []*tensor.Tensor{in, w, bias}, nil, out, nil)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := depthwiseFloatOpt(ctx); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkSoftmaxFloat(b *testing.B) {
 	rng := rand.New(rand.NewSource(4))
 	in := tensor.New(tensor.F32, 64, 10)

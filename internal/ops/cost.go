@@ -6,16 +6,110 @@ import (
 
 // Cost is a first-order work estimate for one node, the input to the device
 // latency model: multiply-accumulates for compute-bound ops and bytes
-// touched for memory-bound ops.
+// touched for memory-bound ops, plus the active kernel backend's efficiency
+// terms so modeled latency does not pretend every backend runs gemmNT's
+// constants.
 type Cost struct {
 	MACs  int64
 	Bytes int64
+	// PackBytes counts the panel-packing traffic the tiled backend adds per
+	// invoke: the int8 path's zero-corrected int16 activation panel, written
+	// and re-read. Zero for the float path (its operands are used in place
+	// or go through the same im2col as the blocked backend) and for backends
+	// that do not pack.
+	PackBytes int64
+	// MACTimeFactor scales the per-MAC latency coefficient for the active
+	// backend relative to the blocked baseline (reference > 1, tiled < 1).
+	// Zero means 1.0, so a zero-value Cost models the pre-seam behaviour.
+	MACTimeFactor float64
 }
 
-// EstimateCost computes the cost of a node given a resolver for tensor
-// shapes. It is exact for the convolution family and a reasonable byte
-// count elsewhere.
+// TimeFactor returns the backend MAC-time multiplier, defaulting to 1.
+func (c Cost) TimeFactor() float64 {
+	if c.MACTimeFactor == 0 {
+		return 1
+	}
+	return c.MACTimeFactor
+}
+
+// Backend MAC-time factors for the kernel-family ops (Conv2D, Dense,
+// DepthwiseConv2D), relative to the blocked baseline. Calibrated against
+// the BenchmarkInvokeGemm per-backend profiles on the bench host: the naive
+// reference float dot loop runs a single dependency chain (the quantized
+// dot loop is shared between reference and blocked, so no factor there);
+// the tiled conv/dense path fuses the epilogue, skips im2col for pointwise
+// and narrow-stem convolutions and runs the column-quad (1x4) register
+// kernel over in-place row operands; the tiled depthwise kernels replace
+// the scratch-slab accumulate with register blocks.
+const (
+	macFactorRefFloat     = 1.5
+	macFactorTiledFloat   = 0.65
+	macFactorTiledQuant   = 0.55
+	macFactorTiledDWFloat = 0.7
+	macFactorTiledDWQuant = 0.6
+)
+
+// EstimateCost computes the blocked-backend cost of a node. It is exact for
+// the convolution family and a reasonable byte count elsewhere.
 func EstimateCost(n *graph.Node, shapeOf func(id int) []int, elemSize func(id int) int) Cost {
+	return EstimateCostBackend(n, KindFloat, BackendBlocked, shapeOf, elemSize)
+}
+
+// EstimateCostBackend computes the cost of a node under a specific compute
+// kind and kernel backend. Kind and backend only influence the kernel-family
+// ops (Conv2D, Dense, DepthwiseConv2D): other nodes never reach the backend
+// seam.
+func EstimateCostBackend(n *graph.Node, kind ComputeKind, backend Backend, shapeOf func(id int) []int, elemSize func(id int) int) Cost {
+	c := estimateBaseCost(n, shapeOf, elemSize)
+	if n.Op == graph.OpDepthwiseConv2D {
+		// The depthwise kernels never pack panels; only the tiled register
+		// blocks change the per-MAC time.
+		if backend == BackendTiled {
+			if kind == KindQuant {
+				c.MACTimeFactor = macFactorTiledDWQuant
+			} else {
+				c.MACTimeFactor = macFactorTiledDWFloat
+			}
+		}
+		return c
+	}
+	switch n.Op {
+	case graph.OpConv2D, graph.OpDense:
+	default:
+		return c
+	}
+	switch backend {
+	case BackendReference:
+		if kind != KindQuant {
+			// The quantized dot loop is shared between reference and blocked.
+			c.MACTimeFactor = macFactorRefFloat
+		}
+	case BackendTiled:
+		if kind == KindQuant {
+			c.MACTimeFactor = macFactorTiledQuant
+			// Panel traffic, quantized path only: the zero-corrected int16
+			// activation panel is written once and re-read once per invoke
+			// (the widened weight panels are packed once per node and
+			// amortize to nothing over a replay). The float path uses its
+			// operands in place — or the same im2col the blocked backend
+			// pays — so it adds no packing bytes.
+			if c.MACs > 0 {
+				out := shapeOf(n.Outputs[0])
+				oc := int64(out[len(out)-1])
+				if oc > 0 {
+					kRows := c.MACs / oc // m*k elements in the left panel
+					c.PackBytes = 2 * kRows * 2
+				}
+			}
+		} else {
+			c.MACTimeFactor = macFactorTiledFloat
+		}
+	}
+	return c
+}
+
+// estimateBaseCost is the backend-independent MAC/byte estimate.
+func estimateBaseCost(n *graph.Node, shapeOf func(id int) []int, elemSize func(id int) int) Cost {
 	elems := func(id int) int64 {
 		v := int64(1)
 		for _, d := range shapeOf(id) {

@@ -1,0 +1,386 @@
+package ops
+
+import (
+	"mlexray/internal/graph"
+	"mlexray/internal/quant"
+)
+
+// Register-tiled depthwise convolution kernels for the tiled backend. The
+// blocked depthwise path accumulates through a per-pixel scratch slab —
+// every MAC is a load-modify-store on memory, bracketed by a bias-copy pass
+// and an activation pass over the same slab. The tiled kernels instead walk
+// channels in blocks of register accumulators with the bias seeding and the
+// activation clamp fused into the block store, cutting the per-MAC memory
+// traffic in half. Tap validity and addressing are resolved once per output
+// pixel into a small offset table (interior pixels reuse a precomputed
+// relative table, one add per tap), so the accumulation loop carries no
+// boundary branches and no address multiplies. The per-pixel channel walk
+// lives in its own small function on purpose: inlined into the node-level
+// loop the register allocator has too many live values and spills the
+// accumulators, which costs more than the call. Taps accumulate in the same
+// ascending (ky, kx) order as the blocked kernel, so the float results are
+// bitwise identical; the quantized results are bit-exact by integer
+// associativity.
+//
+// Both kernels cover the depth_multiplier == 1 layout with kernels up to
+// maxDWTaps taps (every production depthwise layer qualifies); the
+// dispatchers in float_opt.go / quantized.go fall back to the blocked loop
+// for other layouts and for the injected logical-shift-bug variant.
+
+// maxDWTaps bounds the per-pixel tap table (covers kernels up to 5x5).
+const maxDWTaps = 25
+
+// dwTapTable fills tapIn/tapW with the input and weight base offsets of the
+// valid taps of output pixel (oy, ox) and returns the tap count.
+func dwTapTable(a graph.Attrs, oy, ox, ih, iw, ic, kh, kw, oc, dh, dw, rowBase int, tapIn, tapW *[maxDWTaps]int) int {
+	nt := 0
+	for ky := 0; ky < kh; ky++ {
+		iy := oy*a.StrideH - a.PadT + ky*dh
+		if iy < 0 || iy >= ih {
+			continue
+		}
+		for kx := 0; kx < kw; kx++ {
+			ix := ox*a.StrideW - a.PadL + kx*dw
+			if ix < 0 || ix >= iw {
+				continue
+			}
+			tapIn[nt] = ((rowBase+iy)*iw + ix) * ic
+			tapW[nt] = (ky*kw + kx) * oc
+			nt++
+		}
+	}
+	return nt
+}
+
+// dwPixelF32 accumulates all oc channels of one output pixel in register
+// blocks of 8/4/1 and stores the bias-seeded, clamped results.
+func dwPixelF32(inF, wF, bf, outRow []float32, taps, wofs []int, oc int, lo, hi float32) {
+	co := 0
+	for ; co+8 <= oc; co += 8 {
+		var s0, s1, s2, s3, s4, s5, s6, s7 float32
+		if bf != nil {
+			s0, s1, s2, s3 = bf[co], bf[co+1], bf[co+2], bf[co+3]
+			s4, s5, s6, s7 = bf[co+4], bf[co+5], bf[co+6], bf[co+7]
+		}
+		for t, ib := range taps {
+			inR := inF[ib+co:][:8]
+			wR := wF[wofs[t]+co:][:8]
+			s0 += inR[0] * wR[0]
+			s1 += inR[1] * wR[1]
+			s2 += inR[2] * wR[2]
+			s3 += inR[3] * wR[3]
+			s4 += inR[4] * wR[4]
+			s5 += inR[5] * wR[5]
+			s6 += inR[6] * wR[6]
+			s7 += inR[7] * wR[7]
+		}
+		o := outRow[co:][:8]
+		o[0] = clampF32(s0, lo, hi)
+		o[1] = clampF32(s1, lo, hi)
+		o[2] = clampF32(s2, lo, hi)
+		o[3] = clampF32(s3, lo, hi)
+		o[4] = clampF32(s4, lo, hi)
+		o[5] = clampF32(s5, lo, hi)
+		o[6] = clampF32(s6, lo, hi)
+		o[7] = clampF32(s7, lo, hi)
+	}
+	for ; co+4 <= oc; co += 4 {
+		var s0, s1, s2, s3 float32
+		if bf != nil {
+			s0, s1, s2, s3 = bf[co], bf[co+1], bf[co+2], bf[co+3]
+		}
+		for t, ib := range taps {
+			inR := inF[ib+co:][:4]
+			wR := wF[wofs[t]+co:][:4]
+			s0 += inR[0] * wR[0]
+			s1 += inR[1] * wR[1]
+			s2 += inR[2] * wR[2]
+			s3 += inR[3] * wR[3]
+		}
+		o := outRow[co:][:4]
+		o[0] = clampF32(s0, lo, hi)
+		o[1] = clampF32(s1, lo, hi)
+		o[2] = clampF32(s2, lo, hi)
+		o[3] = clampF32(s3, lo, hi)
+	}
+	for ; co < oc; co++ {
+		var s float32
+		if bf != nil {
+			s = bf[co]
+		}
+		for t, ib := range taps {
+			s += inF[ib+co] * wF[wofs[t]+co]
+		}
+		outRow[co] = clampF32(s, lo, hi)
+	}
+}
+
+// dwPixelPairF32 accumulates two interior output pixels adjacent in x at
+// once. Both share the same weight taps, so every 4-wide weight block is
+// loaded once for the two pixels' MACs — 12 loads per 8 MACs instead of the
+// single-pixel path's 16, which matters on a load-port-bound scalar target.
+// The channel block stays at 4 on purpose: two pixels' accumulators plus the
+// shared weight block already fill most of the XMM file, and an 8-wide pair
+// spills. d is the input-offset delta between the two pixels (strideW * ic;
+// weight sharing is stride-independent). Per-pixel tap order is unchanged.
+func dwPixelPairF32(inF, wF, bf, o0, o1 []float32, taps, wofs []int, d, oc int, lo, hi float32) {
+	co := 0
+	for ; co+4 <= oc; co += 4 {
+		var s0, s1, s2, s3, r0, r1, r2, r3 float32
+		if bf != nil {
+			s0, s1, s2, s3 = bf[co], bf[co+1], bf[co+2], bf[co+3]
+			r0, r1, r2, r3 = s0, s1, s2, s3
+		}
+		for t, ib := range taps {
+			wR := wF[wofs[t]+co:][:4]
+			inA := inF[ib+co:][:4]
+			inB := inF[ib+d+co:][:4]
+			// One weight temp, reused lane by lane: four long-lived weight
+			// registers alongside eight accumulators spill.
+			w := wR[0]
+			s0 += inA[0] * w
+			r0 += inB[0] * w
+			w = wR[1]
+			s1 += inA[1] * w
+			r1 += inB[1] * w
+			w = wR[2]
+			s2 += inA[2] * w
+			r2 += inB[2] * w
+			w = wR[3]
+			s3 += inA[3] * w
+			r3 += inB[3] * w
+		}
+		oa := o0[co:][:4]
+		oa[0] = clampF32(s0, lo, hi)
+		oa[1] = clampF32(s1, lo, hi)
+		oa[2] = clampF32(s2, lo, hi)
+		oa[3] = clampF32(s3, lo, hi)
+		ob := o1[co:][:4]
+		ob[0] = clampF32(r0, lo, hi)
+		ob[1] = clampF32(r1, lo, hi)
+		ob[2] = clampF32(r2, lo, hi)
+		ob[3] = clampF32(r3, lo, hi)
+	}
+	for ; co < oc; co++ {
+		var s, r float32
+		if bf != nil {
+			s = bf[co]
+			r = s
+		}
+		for t, ib := range taps {
+			w := wF[wofs[t]+co]
+			s += inF[ib+co] * w
+			r += inF[ib+d+co] * w
+		}
+		o0[co] = clampF32(s, lo, hi)
+		o1[co] = clampF32(r, lo, hi)
+	}
+}
+
+// dwInteriorX returns the [lo, hi) range of output-x positions whose kernel
+// window is fully inside the input width.
+func dwInteriorX(a graph.Attrs, iw, kw, dw, ow int) (lo, hi int) {
+	s := a.StrideW
+	if a.PadL > 0 {
+		lo = (a.PadL + s - 1) / s
+	}
+	// ox*s - PadL + (kw-1)*dw <= iw-1
+	hi = (iw-1-(kw-1)*dw+a.PadL)/s + 1
+	if hi > ow {
+		hi = ow
+	}
+	if hi < lo {
+		hi = lo
+	}
+	return lo, hi
+}
+
+// depthwiseFloatTiled is the float depthwise kernel of the tiled backend.
+func depthwiseFloatTiled(c *Ctx) error {
+	in, err := c.In(0)
+	if err != nil {
+		return err
+	}
+	w, err := c.In(1)
+	if err != nil {
+		return err
+	}
+	bias := c.OptionalIn(2)
+	out := c.Outputs[0]
+	a := c.Node.Attrs
+	n, ih, iw, ic := in.Shape[0], in.Shape[1], in.Shape[2], in.Shape[3]
+	kh, kw, oc := w.Shape[1], w.Shape[2], w.Shape[3]
+	oh, ow := out.Shape[1], out.Shape[2]
+	dh, dw := max1(a.DilationH), max1(a.DilationW)
+	lo, hi := actClampF32(a.Activation)
+	var bf []float32
+	if bias != nil {
+		bf = bias.F
+	}
+	inF, wF := in.F, w.F
+	// Relative offsets of the full (all-valid) tap set; stack arrays keep
+	// the kernel allocation-free.
+	var relInA, relWA, tapInA, tapWA [maxDWTaps]int
+	nt0 := 0
+	for ky := 0; ky < kh; ky++ {
+		for kx := 0; kx < kw; kx++ {
+			relInA[nt0] = (ky*dh*iw + kx*dw) * ic
+			relWA[nt0] = (ky*kw + kx) * oc
+			nt0++
+		}
+	}
+	relIn, relW := relInA[:nt0], relWA[:nt0]
+	tapIn, tapW := &tapInA, &tapWA
+	oxLo, oxHi := dwInteriorX(a, iw, kw, dw, ow)
+	pairD := a.StrideW * ic
+	border := func(b, oy, ox int) {
+		nt := dwTapTable(a, oy, ox, ih, iw, ic, kh, kw, oc, dh, dw, b*ih, tapIn, tapW)
+		outRow := out.F[((b*oh+oy)*ow+ox)*oc:][:oc]
+		dwPixelF32(inF, wF, bf, outRow, (*tapIn)[:nt], (*tapW)[:nt], oc, lo, hi)
+	}
+	for b := 0; b < n; b++ {
+		for oy := 0; oy < oh; oy++ {
+			iy0 := oy*a.StrideH - a.PadT
+			if iy0 < 0 || iy0+(kh-1)*dh >= ih {
+				for ox := 0; ox < ow; ox++ {
+					border(b, oy, ox)
+				}
+				continue
+			}
+			for ox := 0; ox < oxLo; ox++ {
+				border(b, oy, ox)
+			}
+			// Interior pixels: every tap is valid, so the offsets are the
+			// precomputed relative table plus one base — no boundary tests,
+			// no address multiplies — and adjacent pixels run as weight-
+			// sharing pairs.
+			rowOut := ((b*oh + oy) * ow) * oc
+			ox := oxLo
+			for ; ox+2 <= oxHi; ox += 2 {
+				base := ((b*ih+iy0)*iw + ox*a.StrideW - a.PadL) * ic
+				for t, r := range relIn {
+					tapIn[t] = base + r
+				}
+				o0 := out.F[rowOut+ox*oc:][:oc]
+				o1 := out.F[rowOut+(ox+1)*oc:][:oc]
+				dwPixelPairF32(inF, wF, bf, o0, o1, tapIn[:len(relIn)], relW, pairD, oc, lo, hi)
+			}
+			if ox < oxHi {
+				base := ((b*ih+iy0)*iw + ox*a.StrideW - a.PadL) * ic
+				for t, r := range relIn {
+					tapIn[t] = base + r
+				}
+				dwPixelF32(inF, wF, bf, out.F[rowOut+ox*oc:][:oc], tapIn[:len(relIn)], relW, oc, lo, hi)
+				ox++
+			}
+			for ; ox < ow; ox++ {
+				border(b, oy, ox)
+			}
+		}
+	}
+	return nil
+}
+
+// dwPixelQuant accumulates all oc channels of one output pixel in register
+// blocks of four int32 accumulators, fusing bias and requantization into
+// the store.
+func dwPixelQuant(inU []uint8, wI []int8, bx []int32, outRow []uint8, taps, wofs []int, oc int, muls []quant.Multiplier, inZ, outZ, lo, hi int32) {
+	co := 0
+	for ; co+4 <= oc; co += 4 {
+		var s0, s1, s2, s3 int32
+		if bx != nil {
+			s0, s1, s2, s3 = bx[co], bx[co+1], bx[co+2], bx[co+3]
+		}
+		for t, ib := range taps {
+			inR := inU[ib+co:][:4]
+			wR := wI[wofs[t]+co:][:4]
+			s0 += (int32(inR[0]) - inZ) * int32(wR[0])
+			s1 += (int32(inR[1]) - inZ) * int32(wR[1])
+			s2 += (int32(inR[2]) - inZ) * int32(wR[2])
+			s3 += (int32(inR[3]) - inZ) * int32(wR[3])
+		}
+		o := outRow[co:][:4]
+		o[0] = clampU8(outZ+muls[co].Apply(s0), lo, hi)
+		o[1] = clampU8(outZ+muls[co+1].Apply(s1), lo, hi)
+		o[2] = clampU8(outZ+muls[co+2].Apply(s2), lo, hi)
+		o[3] = clampU8(outZ+muls[co+3].Apply(s3), lo, hi)
+	}
+	for ; co < oc; co++ {
+		var s int32
+		if bx != nil {
+			s = bx[co]
+		}
+		for t, ib := range taps {
+			s += (int32(inU[ib+co]) - inZ) * int32(wI[wofs[t]+co])
+		}
+		outRow[co] = clampU8(outZ+muls[co].Apply(s), lo, hi)
+	}
+}
+
+// depthwiseQuantTiled is the quantized depthwise kernel of the tiled
+// backend: int32 register accumulators per channel block, bias and
+// fixed-point requantization fused into the store. Bit-exact against
+// depthwiseQuantImpl (integer accumulation is associative).
+func depthwiseQuantTiled(c *Ctx) error {
+	in, err := c.In(0)
+	if err != nil {
+		return err
+	}
+	w, err := c.In(1)
+	if err != nil {
+		return err
+	}
+	bias := c.OptionalIn(2)
+	out := c.Outputs[0]
+	a := c.Node.Attrs
+	inQ, outQ := c.InQ[0], c.OutQ[0]
+	n, ih, iw, ic := in.Shape[0], in.Shape[1], in.Shape[2], in.Shape[3]
+	kh, kw, oc := w.Shape[1], w.Shape[2], w.Shape[3]
+	oh, ow := out.Shape[1], out.Shape[2]
+	dh, dw := max1(a.DilationH), max1(a.DilationW)
+	muls, err := cachedConvMultipliers(c, oc)
+	if err != nil {
+		return err
+	}
+	inZ := inQ.ZeroPoint(0)
+	outZ := outQ.ZeroPoint(0)
+	lo, hi := quantActRange(a.Activation, outQ)
+	var bx []int32
+	if bias != nil {
+		bx = bias.X
+	}
+	inU, wI := in.U, w.I
+	var relInA, relWA, tapInA, tapWA [maxDWTaps]int
+	nt0 := 0
+	for ky := 0; ky < kh; ky++ {
+		for kx := 0; kx < kw; kx++ {
+			relInA[nt0] = (ky*dh*iw + kx*dw) * ic
+			relWA[nt0] = (ky*kw + kx) * oc
+			nt0++
+		}
+	}
+	relIn, relW := relInA[:nt0], relWA[:nt0]
+	tapIn, tapW := &tapInA, &tapWA
+	for b := 0; b < n; b++ {
+		for oy := 0; oy < oh; oy++ {
+			iy0 := oy*a.StrideH - a.PadT
+			interiorY := iy0 >= 0 && iy0+(kh-1)*dh < ih
+			for ox := 0; ox < ow; ox++ {
+				var taps, wofs []int
+				if ix0 := ox*a.StrideW - a.PadL; interiorY && ix0 >= 0 && ix0+(kw-1)*dw < iw {
+					base := ((b*ih+iy0)*iw + ix0) * ic
+					for t, r := range relIn {
+						tapIn[t] = base + r
+					}
+					taps, wofs = tapIn[:len(relIn)], relW
+				} else {
+					nt := dwTapTable(a, oy, ox, ih, iw, ic, kh, kw, oc, dh, dw, b*ih, tapIn, tapW)
+					taps, wofs = (*tapIn)[:nt], (*tapW)[:nt]
+				}
+				outRow := out.U[((b*oh+oy)*ow+ox)*oc:][:oc]
+				dwPixelQuant(inU, wI, bx, outRow, taps, wofs, oc, muls, inZ, outZ, lo, hi)
+			}
+		}
+	}
+	return nil
+}

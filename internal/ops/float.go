@@ -268,15 +268,19 @@ func meanFloat(c *Ctx) error {
 	out := c.Outputs[0]
 	n, ih, iw, ch := in.Shape[0], in.Shape[1], in.Shape[2], in.Shape[3]
 	area := float32(ih * iw)
+	// Accumulate channel sums while walking the input contiguously (the
+	// channel-outer order re-reads the tensor ch times with stride-ch loads).
 	for b := 0; b < n; b++ {
-		for cc := 0; cc < ch; cc++ {
-			var sum float32
-			for y := 0; y < ih; y++ {
-				for x := 0; x < iw; x++ {
-					sum += in.F[((b*ih+y)*iw+x)*ch+cc]
-				}
+		sums := out.F[b*ch:][:ch]
+		zeroF32(sums)
+		for i := 0; i < ih*iw; i++ {
+			px := in.F[(b*ih*iw+i)*ch:][:ch]
+			for cc, v := range px {
+				sums[cc] += v
 			}
-			out.F[b*ch+cc] = sum / area
+		}
+		for cc := range sums {
+			sums[cc] /= area
 		}
 	}
 	return nil
@@ -288,6 +292,9 @@ func padFloat(c *Ctx) error {
 		return err
 	}
 	out := c.Outputs[0]
+	if padMarginsF32(in, out, c.Node.Attrs.Paddings) {
+		return nil
+	}
 	out.Zero()
 	if done, err := padRows4D(in, out, c.Node.Attrs.Paddings, func(src, dst, n int) {
 		copy(out.F[dst:dst+n], in.F[src:src+n])
@@ -297,6 +304,34 @@ func padFloat(c *Ctx) error {
 	return padCopy(c, in, out, c.Node.Attrs.Paddings, func(src, dst int) {
 		out.F[dst] = in.F[src]
 	})
+}
+
+// padMarginsF32 is the NHWC float pad fast path: instead of zeroing the whole
+// output and then overwriting the interior (the interior is most of the
+// tensor, so nearly every zero is wasted), it zeroes only the top/bottom pad
+// rows and the left/right margins while copying each input row. Returns false
+// for shapes it does not cover (non-rank-4, batch or channel padding).
+func padMarginsF32(in, out *tensor.Tensor, paddings [][2]int) bool {
+	if len(in.Shape) != 4 || len(paddings) != 4 ||
+		paddings[0][0] != 0 || paddings[0][1] != 0 ||
+		paddings[3][0] != 0 || paddings[3][1] != 0 {
+		return false
+	}
+	n, ih, iw, ch := in.Shape[0], in.Shape[1], in.Shape[2], in.Shape[3]
+	oh, ow := out.Shape[1], out.Shape[2]
+	row, orow := iw*ch, ow*ch
+	pt, pl := paddings[1][0], paddings[2][0]
+	for b := 0; b < n; b++ {
+		zeroF32(out.F[b*oh*orow : (b*oh+pt)*orow])
+		for y := 0; y < ih; y++ {
+			dst := (b*oh+pt+y)*orow + pl*ch
+			zeroF32(out.F[(b*oh+pt+y)*orow : dst])
+			copy(out.F[dst:dst+row], in.F[(b*ih+y)*row:])
+			zeroF32(out.F[dst+row : (b*oh+pt+y+1)*orow])
+		}
+		zeroF32(out.F[(b*oh+pt+ih)*orow : (b+1)*oh*orow])
+	}
+	return true
 }
 
 // padRows4D is the fast path for the ubiquitous rank-4 NHWC pad: each input
@@ -398,6 +433,21 @@ func elementwiseBinaryF32(c *Ctx, f func(a, b float32) float32) error {
 }
 
 func addFloat(c *Ctx) error {
+	// Fast path for the residual connection (same-shape add, no fused
+	// activation): a direct loop, sparing the per-element closure call and
+	// activation switch of the generic path.
+	if c.Node.Attrs.Activation == graph.ActNone && len(c.Inputs) >= 2 {
+		x, y := c.Inputs[0], c.Inputs[1]
+		if x.Len() == y.Len() {
+			out := c.Outputs[0]
+			ys := y.F[:len(x.F)]
+			os := out.F[:len(x.F)]
+			for i, v := range x.F {
+				os[i] = v + ys[i]
+			}
+			return nil
+		}
+	}
 	return elementwiseBinaryF32(c, func(a, b float32) float32 { return a + b })
 }
 

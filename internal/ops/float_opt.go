@@ -94,11 +94,50 @@ func im2col(in *tensor.Tensor, batch int, a graph.Attrs, kh, kw, oh, ow int, dst
 	}
 }
 
-// convFloatOpt is the optimized Conv2D: im2col + GEMM + fused bias and
-// activation. The im2col matrix spans the whole (possibly rebatched) batch,
-// so one GEMM covers every element — per-row summation order is unchanged,
-// keeping outputs bitwise identical to a per-element lowering.
+// gemmRefNT is the naive single-column GEMM: the reference backend's anchor
+// kernel. Identical summation order to gemmNT (each output element
+// accumulates over p ascending), so results are bitwise equal — it exists so
+// the faster kernels always have a slow, obviously-correct kernel to race.
+func gemmRefNT(a []float32, b []float32, c []float32, m, n, k int) {
+	for i := 0; i < m; i++ {
+		ai := a[i*k : (i+1)*k]
+		ci := c[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			bj := b[j*k:][:len(ai)]
+			var acc float32
+			for p, av := range ai {
+				acc += av * bj[p]
+			}
+			ci[j] += acc
+		}
+	}
+}
+
+// gemmForBackend returns the plain (non-fused) float GEMM of a backend. The
+// tiled backend never goes through this path — its kernels fuse the epilogue.
+func gemmForBackend(b Backend) func(a, bb, c []float32, m, n, k int) {
+	if b == BackendReference {
+		return gemmRefNT
+	}
+	return gemmNT
+}
+
+// convFloatOpt is the optimized Conv2D, dispatching on the planned kernel
+// backend: the tiled backend takes the packed fused path, reference and
+// blocked share the im2col + GEMM + separate-epilogue lowering below.
 func convFloatOpt(c *Ctx) error {
+	if c.Backend == BackendTiled {
+		return convFloatTiled(c)
+	}
+	return convFloatBlocked(c)
+}
+
+// convFloatBlocked is the pre-seam optimized Conv2D: im2col + GEMM + fused
+// bias and activation. The im2col matrix spans the whole (possibly
+// rebatched) batch, so one GEMM covers every element — per-row summation
+// order is unchanged, keeping outputs bitwise identical to a per-element
+// lowering.
+func convFloatBlocked(c *Ctx) error {
 	in, err := c.In(0)
 	if err != nil {
 		return err
@@ -126,7 +165,7 @@ func convFloatOpt(c *Ctx) error {
 	}
 	// Weights are [oc, kh, kw, ic] = row-major [oc, k]: exactly the
 	// B[n,k] layout gemmNT wants.
-	gemmNT(cols, w.F, prod, m, oc, k)
+	gemmForBackend(c.Backend)(cols, w.F, prod, m, oc, k)
 	for i := 0; i < m; i++ {
 		for co := 0; co < oc; co++ {
 			v := prod[i*oc+co]
@@ -143,6 +182,14 @@ func convFloatOpt(c *Ctx) error {
 // checks; same math as the reference kernel, reordered loops. The common
 // depth-multiplier-1 case runs a division-free inner loop.
 func depthwiseFloatOpt(c *Ctx) error {
+	// The tiled backend's register-accumulator kernel covers the standard
+	// depth_multiplier == 1 layout with tap tables up to 5x5; rarer layouts
+	// take the blocked slab loop.
+	if c.Backend == BackendTiled && max1(c.Node.Attrs.DepthMultiplier) == 1 {
+		if w, err := c.In(1); err == nil && w.Shape[1]*w.Shape[2] <= maxDWTaps {
+			return depthwiseFloatTiled(c)
+		}
+	}
 	in, err := c.In(0)
 	if err != nil {
 		return err
@@ -206,8 +253,11 @@ func depthwiseFloatOpt(c *Ctx) error {
 	return nil
 }
 
-// denseFloatOpt runs the fully-connected layer through the blocked GEMM.
+// denseFloatOpt runs the fully-connected layer through the backend's GEMM.
 func denseFloatOpt(c *Ctx) error {
+	if c.Backend == BackendTiled {
+		return denseFloatTiled(c)
+	}
 	in, err := c.In(0)
 	if err != nil {
 		return err
@@ -223,7 +273,7 @@ func denseFloatOpt(c *Ctx) error {
 	inC := in.Len() / n
 	outC := w.Shape[0]
 	out.Zero()
-	gemmNT(in.F, w.F, out.F, n, outC, inC)
+	gemmForBackend(c.Backend)(in.F, w.F, out.F, n, outC, inC)
 	for b := 0; b < n; b++ {
 		for co := 0; co < outC; co++ {
 			v := out.F[b*outC+co]
@@ -234,11 +284,4 @@ func denseFloatOpt(c *Ctx) error {
 		}
 	}
 	return nil
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

@@ -1,0 +1,346 @@
+package ops
+
+import (
+	"math/rand"
+	"os"
+	"testing"
+
+	"mlexray/internal/graph"
+	"mlexray/internal/quant"
+	"mlexray/internal/tensor"
+)
+
+// The kernel-backend parity suite: every backend must compute the same
+// function through denseFloatOpt/convFloatOpt/depthwiseFloatOpt and their
+// quantized counterparts. Float agreement is validator-style — bitwise
+// against the blocked anchor for bitwise-stable backends, tolerance + nRMSE
+// for the tiled backend (its fused epilogue seeds accumulators with the
+// bias, changing the summation order; see DESIGN.md §10). Quantized outputs
+// are int32-accumulated, so every backend must be bit-exact.
+//
+// The CI kernel matrix runs this file per backend via MLEXRAY_KERNEL
+// (reference|blocked|tiled); unset, each test sweeps all backends. Tests are
+// named TestGemmBackend* so `go test ./internal/ops/... -run Gemm` selects
+// exactly this suite.
+
+// backendsUnderTest resolves the backend sweep: the MLEXRAY_KERNEL
+// environment toggle pins one backend (the CI matrix leg), otherwise every
+// registered backend runs.
+func backendsUnderTest(t *testing.T) []Backend {
+	t.Helper()
+	if s := os.Getenv("MLEXRAY_KERNEL"); s != "" {
+		b, err := ParseBackend(s)
+		if err != nil {
+			t.Fatalf("MLEXRAY_KERNEL: %v", err)
+		}
+		return []Backend{b}
+	}
+	return Backends()
+}
+
+// ctxForBackend is ctxFor with the kernel backend pinned, as the interpreter
+// does at plan time.
+func ctxForBackend(b Backend, op graph.OpType, attrs graph.Attrs, ins []*tensor.Tensor,
+	inQ []*quant.Params, out *tensor.Tensor, outQ *quant.Params) *Ctx {
+	c := ctxFor(op, attrs, ins, inQ, out, outQ)
+	c.Backend = b
+	return c
+}
+
+// nRMSE is the validator-style normalized error: RMSE over the reference
+// output's value range. Zero-range outputs fall back to plain RMSE.
+func nRMSE(t *testing.T, got, ref *tensor.Tensor) float64 {
+	t.Helper()
+	rmse, err := tensor.RMSE(got, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := tensor.ComputeStats(ref).Range(); r > 0 {
+		return rmse / r
+	}
+	return rmse
+}
+
+// checkFloatParity applies the per-backend float contract: close to the
+// reference within validator bounds for every backend, and bitwise equal to
+// the blocked anchor when the backend declares BitwiseStable.
+func checkFloatParity(t *testing.T, b Backend, got, ref, blocked *tensor.Tensor, label string) {
+	t.Helper()
+	if !tensor.AllClose(got, ref, 1e-4, 1e-5) {
+		t.Errorf("%s: backend %s not close to reference", label, b)
+		return
+	}
+	if e := nRMSE(t, got, ref); e > 1e-5 {
+		t.Errorf("%s: backend %s nRMSE %v vs reference, want <= 1e-5", label, b, e)
+	}
+	if b.BitwiseStable() {
+		for i := range got.F {
+			if got.F[i] != blocked.F[i] {
+				t.Errorf("%s: bitwise-stable backend %s differs from blocked anchor at %d: %v vs %v",
+					label, b, i, got.F[i], blocked.F[i])
+				return
+			}
+		}
+	}
+}
+
+// TestGemmBackendDenseOddShapes sweeps the full odd-shape cross product
+// m,n,k in {1, 3, 5, 7, 63, 64, 65} — every row/column-tail combination of
+// the 4x2 register tile plus the cache-block boundary — through each
+// backend's dense lowering.
+func TestGemmBackendDenseOddShapes(t *testing.T) {
+	sizes := []int{1, 3, 5, 7, 63, 64, 65}
+	backends := backendsUnderTest(t)
+	rng := rand.New(rand.NewSource(101))
+	for _, m := range sizes {
+		for _, n := range sizes {
+			for _, k := range sizes {
+				in := randF32(rng, m, k)
+				w := randF32(rng, n, k)
+				bias := randF32(rng, n)
+				attrs := graph.Attrs{Activation: graph.Activation((m + n + k) % 3)}
+				ref := tensor.New(tensor.F32, m, n)
+				if err := denseFloatRef(ctxFor(graph.OpDense, attrs, []*tensor.Tensor{in, w, bias}, nil, ref, nil)); err != nil {
+					t.Fatal(err)
+				}
+				blocked := tensor.New(tensor.F32, m, n)
+				if err := denseFloatOpt(ctxForBackend(BackendBlocked, graph.OpDense, attrs,
+					[]*tensor.Tensor{in, w, bias}, nil, blocked, nil)); err != nil {
+					t.Fatal(err)
+				}
+				for _, b := range backends {
+					out := tensor.New(tensor.F32, m, n)
+					if err := denseFloatOpt(ctxForBackend(b, graph.OpDense, attrs,
+						[]*tensor.Tensor{in, w, bias}, nil, out, nil)); err != nil {
+						t.Fatalf("dense %dx%dx%d backend %s: %v", m, n, k, b, err)
+					}
+					checkFloatParity(t, b, out, ref, blocked,
+						// Label carries the shape so a failure pins the tile tail.
+						"dense m="+itoa(m)+" n="+itoa(n)+" k="+itoa(k))
+				}
+			}
+		}
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+// TestGemmBackendConvEdgeCases drives each backend's conv lowering through
+// stride and dilation edge cases: pointwise (the zero-copy left panel),
+// strided SAME 3x3 (direct-conv fast path), dilated 3x3 (the im2col
+// fallback), and asymmetric VALID padding.
+func TestGemmBackendConvEdgeCases(t *testing.T) {
+	backends := backendsUnderTest(t)
+	rng := rand.New(rand.NewSource(202))
+	cases := []struct {
+		name              string
+		ih, iw, ic, oc, k int
+		stride, dilation  int
+		same              bool
+		act               graph.Activation
+	}{
+		{"pointwise", 7, 5, 3, 8, 1, 1, 1, false, graph.ActReLU6},
+		{"same3x3", 9, 7, 3, 5, 3, 1, 1, true, graph.ActReLU},
+		{"same3x3-stride2", 9, 9, 4, 6, 3, 2, 1, true, graph.ActNone},
+		{"valid3x3-stride2", 8, 11, 2, 3, 3, 2, 1, false, graph.ActReLU},
+		{"dilated3x3", 11, 9, 3, 4, 3, 1, 2, true, graph.ActNone},
+		{"dilated3x3-stride2", 13, 13, 2, 5, 3, 2, 2, false, graph.ActReLU6},
+		{"tiny", 3, 3, 1, 1, 3, 1, 1, true, graph.ActNone},
+	}
+	for _, cse := range cases {
+		in := randF32(rng, 1, cse.ih, cse.iw, cse.ic)
+		w := randF32(rng, cse.oc, cse.k, cse.k, cse.ic)
+		bias := randF32(rng, cse.oc)
+		attrs := graph.Attrs{StrideH: cse.stride, StrideW: cse.stride,
+			DilationH: cse.dilation, DilationW: cse.dilation, Activation: cse.act}
+		if cse.same {
+			attrs.PadT, attrs.PadB = graph.SamePadding(cse.ih, cse.k, cse.stride, cse.dilation)
+			attrs.PadL, attrs.PadR = graph.SamePadding(cse.iw, cse.k, cse.stride, cse.dilation)
+		}
+		outShape, err := graph.InferShape(graph.OpConv2D, attrs, [][]int{in.Shape, w.Shape})
+		if err != nil {
+			t.Fatalf("%s: %v", cse.name, err)
+		}
+		ref := tensor.New(tensor.F32, outShape...)
+		if err := convFloatRef(ctxFor(graph.OpConv2D, attrs, []*tensor.Tensor{in, w, bias}, nil, ref, nil)); err != nil {
+			t.Fatal(err)
+		}
+		blocked := tensor.New(tensor.F32, outShape...)
+		if err := convFloatOpt(ctxForBackend(BackendBlocked, graph.OpConv2D, attrs,
+			[]*tensor.Tensor{in, w, bias}, nil, blocked, nil)); err != nil {
+			t.Fatal(err)
+		}
+		for _, b := range backends {
+			out := tensor.New(tensor.F32, outShape...)
+			if err := convFloatOpt(ctxForBackend(b, graph.OpConv2D, attrs,
+				[]*tensor.Tensor{in, w, bias}, nil, out, nil)); err != nil {
+				t.Fatalf("%s backend %s: %v", cse.name, b, err)
+			}
+			checkFloatParity(t, b, out, ref, blocked, "conv "+cse.name)
+		}
+	}
+}
+
+// TestGemmBackendDepthwiseParity covers the register-tiled depthwise kernel:
+// odd widths (border/interior/pair splits), 3x3 and 5x5 taps, strides and
+// dilation, each backend against the reference slab loop.
+func TestGemmBackendDepthwiseParity(t *testing.T) {
+	backends := backendsUnderTest(t)
+	rng := rand.New(rand.NewSource(303))
+	cases := []struct {
+		name             string
+		ih, iw, ic, k    int
+		stride, dilation int
+	}{
+		{"same3x3", 7, 9, 4, 3, 1, 1},
+		{"same3x3-stride2", 9, 7, 3, 3, 2, 1},
+		{"same5x5", 11, 11, 2, 5, 1, 1},
+		{"dilated3x3", 9, 9, 5, 3, 1, 2},
+		{"narrow", 5, 3, 8, 3, 1, 1},
+	}
+	for _, cse := range cases {
+		in := randF32(rng, 1, cse.ih, cse.iw, cse.ic)
+		w := randF32(rng, 1, cse.k, cse.k, cse.ic)
+		bias := randF32(rng, cse.ic)
+		attrs := graph.Attrs{StrideH: cse.stride, StrideW: cse.stride,
+			DilationH: cse.dilation, DilationW: cse.dilation,
+			DepthMultiplier: 1, Activation: graph.Activation((cse.ih + cse.k) % 3)}
+		attrs.PadT, attrs.PadB = graph.SamePadding(cse.ih, cse.k, cse.stride, cse.dilation)
+		attrs.PadL, attrs.PadR = graph.SamePadding(cse.iw, cse.k, cse.stride, cse.dilation)
+		outShape, err := graph.InferShape(graph.OpDepthwiseConv2D, attrs, [][]int{in.Shape, w.Shape})
+		if err != nil {
+			t.Fatalf("%s: %v", cse.name, err)
+		}
+		ref := tensor.New(tensor.F32, outShape...)
+		if err := depthwiseFloatRef(ctxFor(graph.OpDepthwiseConv2D, attrs,
+			[]*tensor.Tensor{in, w, bias}, nil, ref, nil)); err != nil {
+			t.Fatal(err)
+		}
+		blocked := tensor.New(tensor.F32, outShape...)
+		if err := depthwiseFloatOpt(ctxForBackend(BackendBlocked, graph.OpDepthwiseConv2D, attrs,
+			[]*tensor.Tensor{in, w, bias}, nil, blocked, nil)); err != nil {
+			t.Fatal(err)
+		}
+		for _, b := range backends {
+			out := tensor.New(tensor.F32, outShape...)
+			if err := depthwiseFloatOpt(ctxForBackend(b, graph.OpDepthwiseConv2D, attrs,
+				[]*tensor.Tensor{in, w, bias}, nil, out, nil)); err != nil {
+				t.Fatalf("%s backend %s: %v", cse.name, b, err)
+			}
+			checkFloatParity(t, b, out, ref, blocked, "depthwise "+cse.name)
+		}
+	}
+}
+
+// runQuantBackend runs the fixture through the optimized quantized kernel
+// with the backend pinned — fx.run with the backend seam exercised.
+func runQuantBackend(t *testing.T, fx *quantConvFixture, kern Kernel, op graph.OpType, b Backend) *tensor.Tensor {
+	t.Helper()
+	out := tensor.New(tensor.U8, fx.outShape...)
+	ctx := ctxForBackend(b, op, fx.attrs,
+		[]*tensor.Tensor{fx.inQ8, fx.wI8, fx.bI32},
+		[]*quant.Params{fx.inP, fx.wP, nil}, out, fx.outP)
+	if err := kern(ctx); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestGemmBackendQuantBitExact pins the integer contract: conv and depthwise
+// through every backend are bitwise equal to the reference quantized kernels
+// on odd shapes, strides and activations — integer accumulation is
+// associative, so no backend may perturb a single bit.
+func TestGemmBackendQuantBitExact(t *testing.T) {
+	backends := backendsUnderTest(t)
+	rng := rand.New(rand.NewSource(404))
+	for _, cse := range []struct {
+		op         graph.OpType
+		ref, opt   Kernel
+		ih, ic, oc int
+		k, stride  int
+		act        graph.Activation
+	}{
+		{graph.OpConv2D, convQuantRef, convQuantOpt, 7, 3, 5, 3, 1, graph.ActReLU6},
+		{graph.OpConv2D, convQuantRef, convQuantOpt, 9, 1, 7, 3, 2, graph.ActNone},
+		{graph.OpConv2D, convQuantRef, convQuantOpt, 5, 4, 1, 1, 1, graph.ActReLU},
+		// depthwiseQuantRef doubles as the optimized kernel (the resolver
+		// registers it for both), dispatching on Ctx.Backend internally — the
+		// zero-backend fx.run above is the blocked anchor.
+		{graph.OpDepthwiseConv2D, depthwiseQuantRef, depthwiseQuantRef, 7, 6, 0, 3, 1, graph.ActReLU6},
+		{graph.OpDepthwiseConv2D, depthwiseQuantRef, depthwiseQuantRef, 9, 3, 0, 5, 2, graph.ActNone},
+	} {
+		fx := makeQuantConvFixture(t, rng, cse.op, cse.ih, cse.ic, cse.oc, cse.k, cse.stride, cse.act)
+		ref := fx.run(t, cse.ref, cse.op)
+		for _, b := range backends {
+			got := runQuantBackend(t, fx, cse.opt, cse.op, b)
+			for i := range ref.U {
+				if got.U[i] != ref.U[i] {
+					t.Errorf("%s k=%d stride=%d backend %s: quant output differs at %d: %d vs %d",
+						cse.op, cse.k, cse.stride, b, i, got.U[i], ref.U[i])
+					break
+				}
+			}
+		}
+	}
+}
+
+// TestGemmBackendQuantDenseBitExact is the dense leg of the integer
+// contract, with odd batch and feature sizes straddling the register tile.
+func TestGemmBackendQuantDenseBitExact(t *testing.T) {
+	backends := backendsUnderTest(t)
+	rng := rand.New(rand.NewSource(505))
+	for _, cse := range []struct{ batch, inC, outC int }{
+		{1, 7, 5}, {3, 64, 9}, {5, 65, 63},
+	} {
+		in := tensor.New(tensor.F32, cse.batch, cse.inC)
+		tensor.RandUniform(rng, in, -1, 1)
+		w := tensor.New(tensor.F32, cse.outC, cse.inC)
+		tensor.RandUniform(rng, w, -0.5, 0.5)
+		bias := tensor.New(tensor.F32, cse.outC)
+		tensor.RandUniform(rng, bias, -0.2, 0.2)
+		floatOut := tensor.New(tensor.F32, cse.batch, cse.outC)
+		if err := denseFloatRef(ctxFor(graph.OpDense, graph.Attrs{}, []*tensor.Tensor{in, w, bias}, nil, floatOut, nil)); err != nil {
+			t.Fatal(err)
+		}
+		inP := quant.AsymmetricU8Params(-1, 1)
+		inQ8 := quant.QuantizeTensorU8(in, inP)
+		wI8, wP, err := quant.QuantizeWeightsPerChannel(w, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bI32 := quant.QuantizeBias(bias, inP.Scale(0), wP)
+		st := tensor.ComputeStats(floatOut)
+		outP := quant.AsymmetricU8Params(st.Min, st.Max)
+		ref := tensor.New(tensor.U8, cse.batch, cse.outC)
+		if err := denseQuantRef(ctxFor(graph.OpDense, graph.Attrs{}, []*tensor.Tensor{inQ8, wI8, bI32},
+			[]*quant.Params{inP, wP, nil}, ref, outP)); err != nil {
+			t.Fatal(err)
+		}
+		for _, b := range backends {
+			got := tensor.New(tensor.U8, cse.batch, cse.outC)
+			if err := denseQuantOpt(ctxForBackend(b, graph.OpDense, graph.Attrs{},
+				[]*tensor.Tensor{inQ8, wI8, bI32}, []*quant.Params{inP, wP, nil}, got, outP)); err != nil {
+				t.Fatalf("dense quant %dx%dx%d backend %s: %v", cse.batch, cse.inC, cse.outC, b, err)
+			}
+			for i := range ref.U {
+				if got.U[i] != ref.U[i] {
+					t.Errorf("dense quant %dx%dx%d backend %s differs at %d: %d vs %d",
+						cse.batch, cse.inC, cse.outC, b, i, got.U[i], ref.U[i])
+					break
+				}
+			}
+		}
+	}
+}

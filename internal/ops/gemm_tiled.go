@@ -1,0 +1,580 @@
+package ops
+
+import (
+	"math"
+
+	"mlexray/internal/graph"
+	"mlexray/internal/quant"
+	"mlexray/internal/tensor"
+)
+
+// The tiled backend: register-tiled GEMM micro-kernels with fused epilogues
+// over contiguous row operands, mirroring how TFLite's production path
+// actually earns its speed.
+//
+// Layout. Both operands are contiguous k-length rows. The float path uses
+// them in place: the [oc, k] row-major weight tensor already is the right-
+// side row layout, and the left side is either the activation matrix itself
+// (pointwise convolutions, dense) or the arena im2col buffer. The int8 path
+// genuinely packs: weights are widened to int16 row panels padded to the
+// 2-column tile once per node and cached on the Ctx, and activations are
+// zero-corrected into an int16 left panel per invoke. On a scalar target
+// the interleaved-panel layout classic SIMD kernels use costs more in
+// packing than it returns in locality; row operands keep the inner loops
+// free of bounds checks via equal-length re-slicing.
+//
+// Micro-kernels. Float runs a 1x4 column-quad tile (see gemmTiledFusedF32
+// for why wider row tiles lose on the deployment hosts); int8 runs a 4x2
+// tile whose eight int32 accumulators amortize the int16 widening of the
+// activation side. Each accumulator sums its k terms in ascending order,
+// but the tiled float contract does NOT promise that (see
+// Backend.BitwiseStable): validators must bound it, not expect equality.
+//
+// Epilogue fusion. Bias add + activation (float) and bias add +
+// requantization + clamp (int8) happen in the tile store. The blocked path's
+// separate product buffer, its zeroing pass and its re-read are gone, and
+// pointwise (1x1 stride-1 unpadded) convolutions skip im2col entirely: the
+// input activation matrix already IS the left operand.
+
+// padUp rounds x up to a multiple of m (m a power of two is not required).
+func padUp(x, m int) int {
+	r := x % m
+	if r == 0 {
+		return x
+	}
+	return x + m - r
+}
+
+// zeroF32 clears dst.
+func zeroF32(dst []float32) {
+	for i := range dst {
+		dst[i] = 0
+	}
+}
+
+// zeroI16 clears dst.
+func zeroI16(dst []int16) {
+	for i := range dst {
+		dst[i] = 0
+	}
+}
+
+// actClampF32 lowers the fused activation to a [lo, hi] clamp computed once
+// per kernel call, so the tile store needs two branchless selects instead of
+// a per-element switch. NaN survives the clamp (min/max propagate it) and
+// ActNone's infinite bounds leave every value untouched.
+func actClampF32(act graph.Activation) (lo, hi float32) {
+	switch act {
+	case graph.ActReLU:
+		return 0, float32(math.Inf(1))
+	case graph.ActReLU6:
+		return 0, 6
+	}
+	return float32(math.Inf(-1)), float32(math.Inf(1))
+}
+
+// clampF32 clamps v to [lo, hi]; NaN passes through (both compares false).
+// Deliberately compare-and-branch: the builtin float min/max carry Go's
+// -0/NaN ordering semantics and lower to a ~10-uop MINSS/POR fixup sequence,
+// measurably slower here than two well-predicted branches.
+func clampF32(v, lo, hi float32) float32 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// gemmTiledFusedF32 computes out[i,j] = act(sum_p a[i,p]*b[j,p] + bias[j])
+// over the row-major left operand a (m rows of k; any pad rows a packed
+// panel carries are simply never read) and the packed right panel b. out is
+// the dense m x n result. bias may be nil.
+//
+// The register tile is 1x4: one activation row against four weight rows,
+// four bias-seeded accumulator chains. A wider 4x2 tile (eight chains,
+// fewer loads per MAC) was raced against this shape on every layer of the
+// benchmark model and lost by 15-20% — the deployment hosts issue scalar FP
+// adds and muls on separate pipes, so the column quad's extra loads are
+// free while its shorter dependency windows retire faster. The k loop is
+// unrolled by two (eight independent FMAs per branch), and k == 8 — the
+// bottleneck depth of every pointwise expand layer, where loop overhead
+// dominates eight-term dots — takes a fully straight-line body with the
+// activation row held in registers. Each output element accumulates
+// bias-first then p ascending in every variant, so neither the tile shape
+// nor the unrolling is visible even at the bit level.
+func gemmTiledFusedF32(a, b, bias, out []float32, m, n, k int, act graph.Activation) {
+	if k == 8 {
+		gemmTiledFusedF32K8(a, b, bias, out, m, n, act)
+		return
+	}
+	lo, hi := actClampF32(act)
+	for i := 0; i < m; i++ {
+		ai := a[i*k : i*k+k]
+		oi := out[i*n:][:n]
+		j := 0
+		for ; j+4 <= n; j += 4 {
+			// Equal-length re-slices let the compiler drop every bounds
+			// check in the 4-MAC inner loop (same trick as gemmNT).
+			b0 := b[j*k:][:len(ai)]
+			b1 := b[(j+1)*k:][:len(ai)]
+			b2 := b[(j+2)*k:][:len(ai)]
+			b3 := b[(j+3)*k:][:len(ai)]
+			var s0, s1, s2, s3 float32
+			if bias != nil {
+				s0, s1, s2, s3 = bias[j], bias[j+1], bias[j+2], bias[j+3]
+			}
+			p := 0
+			for ; p+2 <= len(ai); p += 2 {
+				av0, av1 := ai[p], ai[p+1]
+				s0 += av0 * b0[p]
+				s1 += av0 * b1[p]
+				s2 += av0 * b2[p]
+				s3 += av0 * b3[p]
+				s0 += av1 * b0[p+1]
+				s1 += av1 * b1[p+1]
+				s2 += av1 * b2[p+1]
+				s3 += av1 * b3[p+1]
+			}
+			if p < len(ai) {
+				av := ai[p]
+				s0 += av * b0[p]
+				s1 += av * b1[p]
+				s2 += av * b2[p]
+				s3 += av * b3[p]
+			}
+			oi[j] = clampF32(s0, lo, hi)
+			oi[j+1] = clampF32(s1, lo, hi)
+			oi[j+2] = clampF32(s2, lo, hi)
+			oi[j+3] = clampF32(s3, lo, hi)
+		}
+		for ; j < n; j++ {
+			// Column tail: single-chain dot; only real (non-pad) b rows are
+			// ever touched.
+			bj := b[j*k:][:len(ai)]
+			var s float32
+			if bias != nil {
+				s = bias[j]
+			}
+			for p, av := range ai {
+				s += av * bj[p]
+			}
+			oi[j] = clampF32(s, lo, hi)
+		}
+	}
+}
+
+// gemmTiledFusedF32K8 is gemmTiledFusedF32 specialized to k == 8: the eight
+// activation values of the row live in registers across every column quad,
+// and each quad's 32 MACs run branch-free. Identical accumulation order to
+// the general kernel, measured ~25% faster on the k == 8 expand layers.
+func gemmTiledFusedF32K8(a, b, bias, out []float32, m, n int, act graph.Activation) {
+	lo, hi := actClampF32(act)
+	for i := 0; i < m; i++ {
+		ai := a[i*8 : i*8+8]
+		a0, a1, a2, a3 := ai[0], ai[1], ai[2], ai[3]
+		a4, a5, a6, a7 := ai[4], ai[5], ai[6], ai[7]
+		oi := out[i*n:][:n]
+		j := 0
+		for ; j+4 <= n; j += 4 {
+			b0 := b[j*8:][:8]
+			b1 := b[(j+1)*8:][:8]
+			b2 := b[(j+2)*8:][:8]
+			b3 := b[(j+3)*8:][:8]
+			var s0, s1, s2, s3 float32
+			if bias != nil {
+				s0, s1, s2, s3 = bias[j], bias[j+1], bias[j+2], bias[j+3]
+			}
+			s0 += a0 * b0[0]
+			s0 += a1 * b0[1]
+			s0 += a2 * b0[2]
+			s0 += a3 * b0[3]
+			s0 += a4 * b0[4]
+			s0 += a5 * b0[5]
+			s0 += a6 * b0[6]
+			s0 += a7 * b0[7]
+			s1 += a0 * b1[0]
+			s1 += a1 * b1[1]
+			s1 += a2 * b1[2]
+			s1 += a3 * b1[3]
+			s1 += a4 * b1[4]
+			s1 += a5 * b1[5]
+			s1 += a6 * b1[6]
+			s1 += a7 * b1[7]
+			s2 += a0 * b2[0]
+			s2 += a1 * b2[1]
+			s2 += a2 * b2[2]
+			s2 += a3 * b2[3]
+			s2 += a4 * b2[4]
+			s2 += a5 * b2[5]
+			s2 += a6 * b2[6]
+			s2 += a7 * b2[7]
+			s3 += a0 * b3[0]
+			s3 += a1 * b3[1]
+			s3 += a2 * b3[2]
+			s3 += a3 * b3[3]
+			s3 += a4 * b3[4]
+			s3 += a5 * b3[5]
+			s3 += a6 * b3[6]
+			s3 += a7 * b3[7]
+			oi[j] = clampF32(s0, lo, hi)
+			oi[j+1] = clampF32(s1, lo, hi)
+			oi[j+2] = clampF32(s2, lo, hi)
+			oi[j+3] = clampF32(s3, lo, hi)
+		}
+		for ; j < n; j++ {
+			bj := b[j*8:][:8]
+			var s float32
+			if bias != nil {
+				s = bias[j]
+			}
+			s += a0 * bj[0]
+			s += a1 * bj[1]
+			s += a2 * bj[2]
+			s += a3 * bj[3]
+			s += a4 * bj[4]
+			s += a5 * bj[5]
+			s += a6 * bj[6]
+			s += a7 * bj[7]
+			oi[j] = clampF32(s, lo, hi)
+		}
+	}
+}
+
+// gemmTiledFusedQuant is the int8 fast path: int16 zero-corrected activations
+// against int16-widened weights, int32 accumulation, with the bias add,
+// fixed-point requantization and clamp fused into the tile store. Integer
+// addition is associative, so any accumulation order — including this tiled
+// one — is bit-exact against the reference kernel. a has padUp(m,4) rows of
+// k; wp has padUp(n,2) rows of k. out[outBase:] receives the m x n block.
+func gemmTiledFusedQuant(a []int16, wp []int16, bias *tensor.Tensor, out []uint8, outBase, m, n, k int, muls []quant.Multiplier, outZ, lo, hi int32) {
+	var bx []int32
+	if bias != nil {
+		bx = bias.X
+	}
+	for i0 := 0; i0 < m; i0 += 4 {
+		a0s := a[i0*k : i0*k+k]
+		a1s := a[(i0+1)*k:][:len(a0s)]
+		a2s := a[(i0+2)*k:][:len(a0s)]
+		a3s := a[(i0+3)*k:][:len(a0s)]
+		if m-i0 >= 4 {
+			// Full 4-row tile: requantize and store directly from the
+			// accumulator registers.
+			o0 := out[outBase+i0*n:][:n]
+			o1 := out[outBase+(i0+1)*n:][:n]
+			o2 := out[outBase+(i0+2)*n:][:n]
+			o3 := out[outBase+(i0+3)*n:][:n]
+			j0 := 0
+			for ; j0+2 <= n; j0 += 2 {
+				b0s := wp[j0*k:][:len(a0s)]
+				b1s := wp[(j0+1)*k:][:len(a0s)]
+				var c00, c01, c10, c11, c20, c21, c30, c31 int32
+				for p, a0v := range a0s {
+					b0, b1 := int32(b0s[p]), int32(b1s[p])
+					a0 := int32(a0v)
+					a1, a2, a3 := int32(a1s[p]), int32(a2s[p]), int32(a3s[p])
+					c00 += a0 * b0
+					c01 += a0 * b1
+					c10 += a1 * b0
+					c11 += a1 * b1
+					c20 += a2 * b0
+					c21 += a2 * b1
+					c30 += a3 * b0
+					c31 += a3 * b1
+				}
+				var bb0, bb1 int32
+				if bx != nil {
+					bb0, bb1 = bx[j0], bx[j0+1]
+				}
+				m0, m1 := muls[j0], muls[j0+1]
+				o0[j0] = clampU8(outZ+m0.Apply(c00+bb0), lo, hi)
+				o0[j0+1] = clampU8(outZ+m1.Apply(c01+bb1), lo, hi)
+				o1[j0] = clampU8(outZ+m0.Apply(c10+bb0), lo, hi)
+				o1[j0+1] = clampU8(outZ+m1.Apply(c11+bb1), lo, hi)
+				o2[j0] = clampU8(outZ+m0.Apply(c20+bb0), lo, hi)
+				o2[j0+1] = clampU8(outZ+m1.Apply(c21+bb1), lo, hi)
+				o3[j0] = clampU8(outZ+m0.Apply(c30+bb0), lo, hi)
+				o3[j0+1] = clampU8(outZ+m1.Apply(c31+bb1), lo, hi)
+			}
+			if j0 < n {
+				b0s := wp[j0*k:][:len(a0s)]
+				var c0, c1, c2, c3 int32
+				for p, a0v := range a0s {
+					b0 := int32(b0s[p])
+					c0 += int32(a0v) * b0
+					c1 += int32(a1s[p]) * b0
+					c2 += int32(a2s[p]) * b0
+					c3 += int32(a3s[p]) * b0
+				}
+				var bb int32
+				if bx != nil {
+					bb = bx[j0]
+				}
+				m0 := muls[j0]
+				o0[j0] = clampU8(outZ+m0.Apply(c0+bb), lo, hi)
+				o1[j0] = clampU8(outZ+m0.Apply(c1+bb), lo, hi)
+				o2[j0] = clampU8(outZ+m0.Apply(c2+bb), lo, hi)
+				o3[j0] = clampU8(outZ+m0.Apply(c3+bb), lo, hi)
+			}
+			continue
+		}
+		rows := m - i0
+		for j0 := 0; j0 < n; j0 += 2 {
+			b0s := wp[j0*k:][:len(a0s)]
+			b1s := wp[(j0+1)*k:][:len(a0s)]
+			var c00, c01, c10, c11, c20, c21, c30, c31 int32
+			for p, a0v := range a0s {
+				b0, b1 := int32(b0s[p]), int32(b1s[p])
+				a0 := int32(a0v)
+				a1, a2, a3 := int32(a1s[p]), int32(a2s[p]), int32(a3s[p])
+				c00 += a0 * b0
+				c01 += a0 * b1
+				c10 += a1 * b0
+				c11 += a1 * b1
+				c20 += a2 * b0
+				c21 += a2 * b1
+				c30 += a3 * b0
+				c31 += a3 * b1
+			}
+			acc := [8]int32{c00, c01, c10, c11, c20, c21, c30, c31}
+			cols := min(2, n-j0)
+			for r := 0; r < rows; r++ {
+				base := outBase + (i0+r)*n + j0
+				for q := 0; q < cols; q++ {
+					v := acc[r*2+q]
+					if bias != nil {
+						v += bias.X[j0+q]
+					}
+					out[base+q] = clampU8(outZ+muls[j0+q].Apply(v), lo, hi)
+				}
+			}
+		}
+	}
+}
+
+// packWidenI8 widens the n x k int8 weight matrix to int16 panels padded to
+// a multiple of 2 rows. Done once per node and cached: the quantized
+// micro-kernel then multiplies int16*int16 without per-element widening of
+// the weight side competing with the activation side for conversion work.
+func packWidenI8(src []int8, n, k int) []int16 {
+	nPad := padUp(n, 2)
+	dst := make([]int16, nPad*k)
+	for i, v := range src[:n*k] {
+		dst[i] = int16(v)
+	}
+	return dst
+}
+
+// pointwiseConv reports whether the convolution is a pure 1x1 stride-1
+// unpadded mapping, in which case the im2col matrix is the input activation
+// matrix itself and the lowering can skip materializing it.
+func pointwiseConv(a graph.Attrs, kh, kw int) bool {
+	return kh == 1 && kw == 1 &&
+		a.StrideH == 1 && a.StrideW == 1 &&
+		a.PadT == 0 && a.PadB == 0 && a.PadL == 0 && a.PadR == 0
+}
+
+// convFloatTiled is Conv2D lowered through the fused tiled path: pointwise
+// convolutions feed the input straight into the micro-kernel, everything
+// else goes through im2col into the arena left operand; the [oc, k]
+// row-major weight tensor already is the right-side row layout the kernel
+// wants, so it is used in place; bias and activation are fused into the
+// tile store.
+func convFloatTiled(c *Ctx) error {
+	if w, err := c.In(1); err == nil && convDirectSupported(c.Node.Attrs, w.Shape[1], w.Shape[2], w.Shape[3]) {
+		return convFloatTiledDirect(c)
+	}
+	in, err := c.In(0)
+	if err != nil {
+		return err
+	}
+	w, err := c.In(1)
+	if err != nil {
+		return err
+	}
+	bias := c.OptionalIn(2)
+	out := c.Outputs[0]
+	a := c.Node.Attrs
+	n := in.Shape[0]
+	oc, kh, kw, ic := w.Shape[0], w.Shape[1], w.Shape[2], w.Shape[3]
+	oh, ow := out.Shape[1], out.Shape[2]
+	mb := oh * ow
+	m := n * mb
+	k := kh * kw * ic
+	var cols []float32
+	if pointwiseConv(a, kh, kw) {
+		cols = in.F // zero-copy: the input already is the left operand
+	} else {
+		cols = c.Arena.F32(m * k)
+		for b := 0; b < n; b++ {
+			im2col(in, b, a, kh, kw, oh, ow, cols[b*mb*k:(b+1)*mb*k])
+		}
+	}
+	var biasF []float32
+	if bias != nil {
+		biasF = bias.F
+	}
+	gemmTiledFusedF32(cols, w.F, biasF, out.F, m, oc, k, a.Activation)
+	return nil
+}
+
+// denseFloatTiled is the fully-connected layer through the fused row
+// kernel; like conv, the [outC, inC] weight tensor is used in place.
+func denseFloatTiled(c *Ctx) error {
+	in, err := c.In(0)
+	if err != nil {
+		return err
+	}
+	w, err := c.In(1)
+	if err != nil {
+		return err
+	}
+	bias := c.OptionalIn(2)
+	out := c.Outputs[0]
+	a := c.Node.Attrs
+	n := in.Shape[0]
+	inC := in.Len() / n
+	outC := w.Shape[0]
+	var biasF []float32
+	if bias != nil {
+		biasF = bias.F
+	}
+	gemmTiledFusedF32(in.F, w.F, biasF, out.F, n, outC, inC, a.Activation)
+	return nil
+}
+
+// quantGemmPlan is the per-node cached state of the tiled quantized path:
+// requantization multipliers plus the widened, packed weight panel.
+type quantGemmPlan struct {
+	muls []quant.Multiplier
+	wp   []int16
+}
+
+func cachedQuantGemmPlan(c *Ctx, w *tensor.Tensor, outC, k int) (quantGemmPlan, error) {
+	return cachedIn(c, func() (quantGemmPlan, error) {
+		muls, err := convMultipliers(c.InQ[0], c.InQ[1], c.OutQ[0], outC)
+		if err != nil {
+			return quantGemmPlan{}, err
+		}
+		return quantGemmPlan{muls: muls, wp: packWidenI8(w.I, outC, k)}, nil
+	})
+}
+
+// convQuantTiled is the quantized Conv2D through the int8 packed path:
+// zero-corrected int16 im2col into the padded left panel, int16-widened
+// cached weight panels, int32 tile accumulators, requantization fused into
+// the store. Bit-exact against convQuantRef/convQuantOpt by construction.
+func convQuantTiled(c *Ctx) error {
+	in, err := c.In(0)
+	if err != nil {
+		return err
+	}
+	w, err := c.In(1)
+	if err != nil {
+		return err
+	}
+	bias := c.OptionalIn(2)
+	out := c.Outputs[0]
+	a := c.Node.Attrs
+	inQ, outQ := c.InQ[0], c.OutQ[0]
+	n := in.Shape[0]
+	oc, kh, kw := w.Shape[0], w.Shape[1], w.Shape[2]
+	ic := in.Shape[3]
+	oh, ow := out.Shape[1], out.Shape[2]
+	m := oh * ow
+	k := kh * kw * ic
+	plan, err := cachedQuantGemmPlan(c, w, oc, k)
+	if err != nil {
+		return err
+	}
+	inZ := int16(inQ.ZeroPoint(0))
+	outZ := outQ.ZeroPoint(0)
+	lo, hi := quantActRange(a.Activation, outQ)
+	mPad := padUp(m, 4)
+	cols := c.Arena.I16(mPad * k)
+	zeroI16(cols[m*k:])
+	for b := 0; b < n; b++ {
+		im2colQuant(in, b, a, inZ, kh, kw, oh, ow, cols[:m*k])
+		gemmTiledFusedQuant(cols, plan.wp, bias, out.U, b*m*oc, m, oc, k, plan.muls, outZ, lo, hi)
+	}
+	return nil
+}
+
+// im2colQuant lowers one batch element into the [oh*ow, kh*kw*ic] matrix
+// with the input zero point subtracted up front, so padded taps contribute
+// exactly zero to the accumulator. Pointwise convolutions take the flat
+// subtract-copy path.
+func im2colQuant(in *tensor.Tensor, batch int, a graph.Attrs, inZ int16, kh, kw, oh, ow int, dst []int16) {
+	ih, iw, ic := in.Shape[1], in.Shape[2], in.Shape[3]
+	if pointwiseConv(a, kh, kw) && oh == ih && ow == iw {
+		src := in.U[batch*ih*iw*ic:][:len(dst)]
+		for i, v := range src {
+			dst[i] = int16(v) - inZ
+		}
+		return
+	}
+	dh, dw := max1(a.DilationH), max1(a.DilationW)
+	k := kh * kw * ic
+	row := 0
+	for oy := 0; oy < oh; oy++ {
+		for ox := 0; ox < ow; ox++ {
+			base := row * k
+			col := 0
+			for ky := 0; ky < kh; ky++ {
+				iy := oy*a.StrideH - a.PadT + ky*dh
+				for kx := 0; kx < kw; kx++ {
+					ix := ox*a.StrideW - a.PadL + kx*dw
+					if iy < 0 || iy >= ih || ix < 0 || ix >= iw {
+						for ci := 0; ci < ic; ci++ {
+							dst[base+col] = 0
+							col++
+						}
+						continue
+					}
+					src := ((batch*ih+iy)*iw + ix) * ic
+					for ci := 0; ci < ic; ci++ {
+						dst[base+col] = int16(in.U[src+ci]) - inZ
+						col++
+					}
+				}
+			}
+			row++
+		}
+	}
+}
+
+// denseQuantTiled is the quantized fully-connected layer through the int8
+// packed path.
+func denseQuantTiled(c *Ctx) error {
+	in, err := c.In(0)
+	if err != nil {
+		return err
+	}
+	w, err := c.In(1)
+	if err != nil {
+		return err
+	}
+	bias := c.OptionalIn(2)
+	out := c.Outputs[0]
+	a := c.Node.Attrs
+	inQ, outQ := c.InQ[0], c.OutQ[0]
+	n := in.Shape[0]
+	inC := in.Len() / n
+	outC := w.Shape[0]
+	plan, err := cachedQuantGemmPlan(c, w, outC, inC)
+	if err != nil {
+		return err
+	}
+	inZ := int16(inQ.ZeroPoint(0))
+	outZ := outQ.ZeroPoint(0)
+	lo, hi := quantActRange(a.Activation, outQ)
+	nPad := padUp(n, 4)
+	ap := c.Arena.I16(nPad * inC)
+	for i, v := range in.U[:n*inC] {
+		ap[i] = int16(v) - inZ
+	}
+	zeroI16(ap[n*inC:])
+	gemmTiledFusedQuant(ap, plan.wp, bias, out.U, 0, n, outC, inC, plan.muls, outZ, lo, hi)
+	return nil
+}

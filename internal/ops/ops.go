@@ -38,6 +38,11 @@ type Ctx struct {
 	// before each kernel). Nil falls back to make.
 	Arena *Arena
 
+	// Backend selects the GEMM micro-kernel family the optimized lowerings
+	// dispatch to. Set at plan time by the interpreter; the zero value is
+	// BackendBlocked, preserving pre-seam behaviour for hand-built Ctxs.
+	Backend Backend
+
 	// cache memoizes derived per-node state whose inputs never change across
 	// invokes — requantization multipliers, lookup tables, requant closures.
 	// Exactly one kernel owns a Ctx, so a single slot suffices.
@@ -210,7 +215,7 @@ func NewOptimized(cfg Config) *Resolver {
 	} else {
 		r.register(graph.OpDepthwiseConv2D, KindQuant, depthwiseQuantRef)
 	}
-	r.register(graph.OpDense, KindQuant, denseQuantRef)
+	r.register(graph.OpDense, KindQuant, denseQuantOpt)
 	return r
 }
 

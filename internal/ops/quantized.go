@@ -134,8 +134,18 @@ func convQuantRef(c *Ctx) error {
 // convQuantOpt is the optimized quantized Conv2D: im2col into an int16
 // zero-offset-corrected buffer, int32 GEMM accumulation. Same math as the
 // reference kernel — the optimized *conv* is correct; only depthwise has the
-// historical defect.
+// historical defect. The tiled backend routes to the packed int8 fast path;
+// reference and blocked share the scalar dot loop below (the blocked
+// backend's 4-column unroll exists only on the float side). All backends are
+// bit-exact against each other: integer accumulation is associative.
 func convQuantOpt(c *Ctx) error {
+	if c.Backend == BackendTiled {
+		return convQuantTiled(c)
+	}
+	return convQuantBlocked(c)
+}
+
+func convQuantBlocked(c *Ctx) error {
 	in, err := c.In(0)
 	if err != nil {
 		return err
@@ -148,7 +158,7 @@ func convQuantOpt(c *Ctx) error {
 	out := c.Outputs[0]
 	a := c.Node.Attrs
 	inQ, outQ := c.InQ[0], c.OutQ[0]
-	n, ih, iw, ic := in.Shape[0], in.Shape[1], in.Shape[2], in.Shape[3]
+	n, ic := in.Shape[0], in.Shape[3]
 	oc, kh, kw := w.Shape[0], w.Shape[1], w.Shape[2]
 	oh, ow := out.Shape[1], out.Shape[2]
 	muls, err := cachedConvMultipliers(c, oc)
@@ -158,40 +168,12 @@ func convQuantOpt(c *Ctx) error {
 	inZ := int16(inQ.ZeroPoint(0))
 	outZ := outQ.ZeroPoint(0)
 	lo, hi := quantActRange(a.Activation, outQ)
-	dhl, dwl := max1(a.DilationH), max1(a.DilationW)
 
 	m := oh * ow
 	k := kh * kw * ic
 	cols := c.Arena.I16(m * k)
 	for b := 0; b < n; b++ {
-		// im2col with the input zero point subtracted up front, so padded
-		// taps contribute exactly zero to the accumulator.
-		row := 0
-		for oy := 0; oy < oh; oy++ {
-			for ox := 0; ox < ow; ox++ {
-				base := row * k
-				col := 0
-				for ky := 0; ky < kh; ky++ {
-					iy := oy*a.StrideH - a.PadT + ky*dhl
-					for kx := 0; kx < kw; kx++ {
-						ix := ox*a.StrideW - a.PadL + kx*dwl
-						if iy < 0 || iy >= ih || ix < 0 || ix >= iw {
-							for ci := 0; ci < ic; ci++ {
-								cols[base+col] = 0
-								col++
-							}
-							continue
-						}
-						src := ((b*ih+iy)*iw + ix) * ic
-						for ci := 0; ci < ic; ci++ {
-							cols[base+col] = int16(in.U[src+ci]) - inZ
-							col++
-						}
-					}
-				}
-				row++
-			}
-		}
+		im2colQuant(in, b, a, inZ, kh, kw, oh, ow, cols)
 		outBase := b * m * oc
 		for i := 0; i < m; i++ {
 			ci := cols[i*k : (i+1)*k]
@@ -232,6 +214,15 @@ func depthwiseQuantOptBuggy(c *Ctx) error {
 }
 
 func depthwiseQuantImpl(c *Ctx, logicalShiftBug bool) error {
+	// The tiled backend's register-accumulator kernel covers the standard
+	// depth_multiplier == 1 layout with tap tables up to 5x5; the
+	// injected-bug variant and rarer layouts keep the original loop
+	// (bit-exact either way for the former).
+	if c.Backend == BackendTiled && !logicalShiftBug && max1(c.Node.Attrs.DepthMultiplier) == 1 {
+		if w, err := c.In(1); err == nil && w.Shape[1]*w.Shape[2] <= maxDWTaps {
+			return depthwiseQuantTiled(c)
+		}
+	}
 	in, err := c.In(0)
 	if err != nil {
 		return err
@@ -290,6 +281,17 @@ func depthwiseQuantImpl(c *Ctx, logicalShiftBug bool) error {
 		}
 	}
 	return nil
+}
+
+// denseQuantOpt is the optimized resolver's quantized fully-connected
+// kernel: a dispatcher so the tiled backend lowers dense through the packed
+// int8 path. The other backends share the reference loop — bit-exact either
+// way, since integer accumulation is associative.
+func denseQuantOpt(c *Ctx) error {
+	if c.Backend == BackendTiled {
+		return denseQuantTiled(c)
+	}
+	return denseQuantRef(c)
 }
 
 // denseQuantRef is the quantized fully-connected kernel.

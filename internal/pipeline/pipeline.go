@@ -27,6 +27,11 @@ type Options struct {
 	// Orientation simulates the capture orientation sensor reading; only
 	// meaningful alongside BugRotation.
 	Orientation *device.OrientationSensor
+	// Backend selects the kernel micro-kernel backend the optimized
+	// resolver's conv/dense/depthwise kernels dispatch to (plan-time; the
+	// zero value is ops.BackendBlocked). Inert under the reference resolver,
+	// whose kernels sit before the backend seam.
+	Backend ops.Backend
 }
 
 func (o *Options) resolver() *ops.Resolver {
@@ -71,6 +76,7 @@ func newInterp(m *graph.Model, opts *Options) (*interp.Interpreter, error) {
 	if opts.Device != nil {
 		iopts = append(iopts, interp.WithLatencyModel(opts.Device))
 	}
+	iopts = append(iopts, interp.WithBackend(opts.Backend))
 	return interp.New(m, opts.resolver(), iopts...)
 }
 

@@ -268,6 +268,59 @@ func BenchmarkIngestUpload(b *testing.B) {
 	b.Run("binary-durable", func(b *testing.B) { benchIngestUpload(b, false, b.TempDir()) })
 }
 
+// benchInvokeBackend measures the interpreter hot loop under one kernel
+// backend. quant selects the post-training full-integer model (the int8
+// packed path); allocs/op must be 0 in steady state for every backend.
+func benchInvokeBackend(b *testing.B, backend ops.Backend, quant bool) {
+	b.Helper()
+	entry, err := zoo.Get("mobilenetv2-mini")
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := entry.Mobile
+	if quant {
+		m = entry.Quant
+	}
+	in := tensor.New(tensor.F32, 1, m.Meta.InputH, m.Meta.InputW, m.Meta.InputC)
+	in.Fill(0.3)
+	ip, err := interp.New(m, ops.NewOptimized(ops.Fixed()), interp.WithBackend(backend))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := ip.SetInput(0, in); err != nil {
+		b.Fatal(err)
+	}
+	if err := ip.Invoke(); err != nil { // warm kernel caches (packed weights)
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ip.Invoke(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N), "ns/frame")
+}
+
+// BenchmarkInvokeGemm races the GEMM kernel backends on the interpreter hot
+// loop: the float model under reference/blocked/tiled, and the quantized
+// model under blocked vs the tiled int8 packed path. These configurations
+// feed the invoke_gemm_* entries of BENCH_replay.json.
+func BenchmarkInvokeGemm(b *testing.B) {
+	for _, backend := range ops.Backends() {
+		b.Run("float/"+backend.String(), func(b *testing.B) {
+			benchInvokeBackend(b, backend, false)
+		})
+	}
+	for _, backend := range []ops.Backend{ops.BackendBlocked, ops.BackendTiled} {
+		b.Run("quant/"+backend.String(), func(b *testing.B) {
+			benchInvokeBackend(b, backend, true)
+		})
+	}
+}
+
 // BenchmarkInvoke measures the interpreter hot loop alone on the
 // optimized-resolver MobileNet path. ns/frame is the per-frame cost (the
 // batch=N invoke runs N frames); allocs/op must be 0 in steady state.

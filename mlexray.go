@@ -91,9 +91,37 @@ import (
 	"mlexray/internal/core"
 	"mlexray/internal/device"
 	"mlexray/internal/ingest"
+	"mlexray/internal/ops"
 	"mlexray/internal/runner"
 	"mlexray/internal/shard"
 )
+
+// ---- kernel backend API ----
+
+// KernelBackend selects the GEMM micro-kernel family the optimized op
+// resolver's conv/dense/depthwise kernels lower through — the runtime's
+// analogue of swapping TFLite's inner kernels while keeping the op graph
+// fixed. The zero value is the blocked (cache-blocked gemmNT) default;
+// "tiled" selects the register-tiled fused kernels with the int8 fast path.
+// Reference and blocked promise bitwise-identical float output; tiled is
+// contractually only validator-bounded on float (quantized output is
+// bit-exact on every backend), which is exactly the benign numerical-drift
+// class the paper's validators are built to bound.
+type KernelBackend = ops.Backend
+
+// The selectable kernel backends.
+const (
+	KernelBlocked   = ops.BackendBlocked
+	KernelReference = ops.BackendReference
+	KernelTiled     = ops.BackendTiled
+)
+
+// ParseKernelBackend parses a -kernel flag value ("reference", "blocked",
+// "tiled"; empty selects the blocked default).
+func ParseKernelBackend(s string) (KernelBackend, error) { return ops.ParseBackend(s) }
+
+// KernelBackends lists every selectable kernel backend.
+func KernelBackends() []KernelBackend { return ops.Backends() }
 
 // ---- telemetry data model ----
 
