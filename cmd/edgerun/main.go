@@ -44,6 +44,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"mlexray/internal/core"
 	"mlexray/internal/datasets"
@@ -156,10 +157,26 @@ func run(args []string, stdout io.Writer) error {
 	}
 	fmt.Fprintf(stdout, "edgerun: wrote %d records (%d bytes, %s) to %s\n", sink.Records(), sink.Bytes(), sink.Format(), *out)
 	if remote != nil {
-		fmt.Fprintf(stdout, "edgerun: uploaded %d records (%d wire bytes, %d chunks) to %s as %s\n",
-			remote.Records(), remote.Bytes(), remote.Chunks(), up.url, *devName)
+		fmt.Fprintf(stdout, "edgerun: uploaded to %s as %s: %s\n", up.url, *devName, uploadSummary(remote.Stats()))
 	}
 	return nil
+}
+
+// uploadSummary renders one sink's end-of-run Stats line: volume always,
+// retry/redirect/failure detail only when there is any to report.
+func uploadSummary(st ingest.SinkStats) string {
+	s := fmt.Sprintf("%d records, %d frames in %d chunks (%d wire bytes)",
+		st.Records, st.Frames, st.Chunks, st.WireBytes)
+	if st.Retries > 0 {
+		s += fmt.Sprintf(", %d retries (%v backing off)", st.Retries, st.BackoffSlept.Round(time.Millisecond))
+	}
+	if st.Redirects > 0 {
+		s += fmt.Sprintf(", %d redirects", st.Redirects)
+	}
+	if st.GiveUps > 0 {
+		s += fmt.Sprintf(", %d chunks given up (last error: %s)", st.GiveUps, st.LastErr)
+	}
+	return s
 }
 
 // uploadOptions carries the -upload flags: when url is set, every log sink
@@ -271,8 +288,8 @@ func runFleet(stdout io.Writer, m *graph.Model, popts pipeline.Options, images [
 		fmt.Fprintf(stdout, "edgerun: device %d (%s) wrote %d records (%d bytes, %s) to %s\n",
 			d, devs[d].Name(), sinks[d].Records(), sinks[d].Bytes(), sinks[d].Format(), paths[d])
 		if remotes[d] != nil {
-			fmt.Fprintf(stdout, "edgerun: device %d (%s) uploaded %d records (%d wire bytes, %d chunks) to %s\n",
-				d, devs[d].Name(), remotes[d].Records(), remotes[d].Bytes(), remotes[d].Chunks(), up.url)
+			fmt.Fprintf(stdout, "edgerun: device %d (%s) uploaded to %s: %s\n",
+				d, devs[d].Name(), up.url, uploadSummary(remotes[d].Stats()))
 		}
 	}
 	merged, err := mergeShardLogs(paths, format, out)

@@ -15,6 +15,12 @@
 //	GET  /fleet/export       per-session accumulator snapshots (what a
 //	                         sharding gateway merges; see cmd/exraygw)
 //	GET  /healthz            liveness + per-session WAL segment stats
+//	GET  /metrics            Prometheus text exposition (self-telemetry)
+//	GET  /debug/trace        recent request spans as JSON (bounded ring)
+//
+// With -debug-addr a second listener additionally serves /metrics,
+// /debug/trace and the net/http/pprof endpoints — pprof is never exposed
+// on the ingest address.
 //
 // Usage:
 //
@@ -56,6 +62,7 @@ import (
 
 	"mlexray/internal/core"
 	"mlexray/internal/ingest"
+	"mlexray/internal/obs"
 )
 
 func main() {
@@ -89,12 +96,19 @@ func run(args []string, stdout io.Writer) error {
 		headerTO     = fs.Duration("read-header-timeout", 10*time.Second, "time allowed to read a request's headers before the connection is shed")
 		idleConnTO   = fs.Duration("idle-conn-timeout", 2*time.Minute, "keep-alive: how long an idle client connection is kept open")
 		drainTO      = fs.Duration("drain-timeout", 10*time.Second, "graceful shutdown: how long in-flight uploads get to finish after SIGINT/SIGTERM")
+		debugAddr    = fs.String("debug-addr", "", "serve /metrics, /debug/trace and /debug/pprof on a second listener (empty = off; the ingest listener serves /metrics and /debug/trace regardless, never pprof)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	// One shared registry: the collector's counters and the process runtime
+	// gauges land on the same scrape endpoint.
+	reg := obs.NewRegistry()
+	obs.RegisterRuntimeMetrics(reg)
+
 	opts := ingest.ServerOptions{
+		Metrics:         reg,
 		MaxBodyBytes:    *maxBody,
 		DataDir:         *dataDir,
 		SegmentBytes:    *segBytes,
@@ -148,6 +162,21 @@ func run(args []string, stdout io.Writer) error {
 	}
 	defer ln.Close()
 	fmt.Fprintf(stdout, "exrayd: listening on http://%s (POST /ingest, GET /fleet, /devices/{id})\n", ln.Addr())
+
+	// The opt-in debug listener: pprof is only ever reachable here, never on
+	// the ingest address — profiling a production collector must be a
+	// deliberate, separately-firewalled act.
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			return fmt.Errorf("debug listener: %w", err)
+		}
+		defer dln.Close()
+		dhs := &http.Server{Handler: obs.DebugMux(reg, srv.Traces()), ReadHeaderTimeout: 10 * time.Second}
+		defer dhs.Close()
+		go dhs.Serve(dln)
+		fmt.Fprintf(stdout, "exrayd: debug listener on http://%s (/metrics, /debug/trace, /debug/pprof)\n", dln.Addr())
+	}
 
 	// The accept loop runs under a server with header/idle timeouts (a
 	// header-stalling client cannot hold a connection open indefinitely)

@@ -9,7 +9,13 @@
 //	GET  /devices/{device}  proxied to the owning shard
 //	GET  /fleet             per-shard snapshots merged into one report
 //	GET  /fleet/export      the merged snapshot union (gateway stacking)
-//	GET  /healthz           gateway + per-shard health
+//	GET  /healthz           gateway + per-shard health (fan-out with timeout)
+//	GET  /metrics           Prometheus text exposition (self-telemetry)
+//	GET  /debug/trace       recent routed-request spans as JSON
+//
+// With -debug-addr a second listener additionally serves /metrics,
+// /debug/trace and the net/http/pprof endpoints — pprof is never exposed
+// on the routing address.
 //
 // Placement hashes the device ID onto the ring of shard *names*, so a shard
 // can be restarted on a new host or port (same -shard name, new URL)
@@ -48,6 +54,7 @@ import (
 	"time"
 
 	"mlexray/internal/core"
+	"mlexray/internal/obs"
 	"mlexray/internal/shard"
 )
 
@@ -86,6 +93,8 @@ func run(args []string, stdout io.Writer) error {
 		headerTO   = fs.Duration("read-header-timeout", 10*time.Second, "time allowed to read a request's headers before the connection is shed")
 		idleConnTO = fs.Duration("idle-conn-timeout", 2*time.Minute, "keep-alive: how long an idle client connection is kept open")
 		drainTO    = fs.Duration("drain-timeout", 10*time.Second, "graceful shutdown: how long in-flight requests get to finish after SIGINT/SIGTERM")
+		healthTO   = fs.Duration("health-timeout", 0, "per-shard /healthz probe bound in the aggregated health fan-out (0 = 2s)")
+		debugAddr  = fs.String("debug-addr", "", "serve /metrics, /debug/trace and /debug/pprof on a second listener (empty = off; the routing listener serves /metrics and /debug/trace regardless, never pprof)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -94,10 +103,17 @@ func run(args []string, stdout io.Writer) error {
 		return fmt.Errorf("no ring membership: pass at least one -shard name=url")
 	}
 
+	// One shared registry for the gateway's routing counters and the process
+	// runtime gauges.
+	reg := obs.NewRegistry()
+	obs.RegisterRuntimeMetrics(reg)
+
 	opts := shard.GatewayOptions{
 		Shards:          shards,
 		Vnodes:          *vnodes,
 		RedirectUploads: *redirect,
+		HealthTimeout:   *healthTO,
+		Metrics:         reg,
 	}
 	if *agreement > 0 {
 		opts.Validate = core.ValidateOptions{AgreementThreshold: *agreement}
@@ -128,6 +144,20 @@ func run(args []string, stdout io.Writer) error {
 	}
 	defer ln.Close()
 	fmt.Fprintf(stdout, "exraygw: listening on http://%s (POST /ingest, GET /fleet, /devices/{id})\n", ln.Addr())
+
+	// The opt-in debug listener: pprof only lives here, never on the
+	// routing address.
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			return fmt.Errorf("debug listener: %w", err)
+		}
+		defer dln.Close()
+		dhs := &http.Server{Handler: obs.DebugMux(reg, gw.Traces()), ReadHeaderTimeout: 10 * time.Second}
+		defer dhs.Close()
+		go dhs.Serve(dln)
+		fmt.Fprintf(stdout, "exraygw: debug listener on http://%s (/metrics, /debug/trace, /debug/pprof)\n", dln.Addr())
+	}
 
 	// The gateway holds no durable state of its own — every session lives in
 	// a shard's WAL — so graceful shutdown is just a request drain.

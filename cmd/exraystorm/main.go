@@ -13,7 +13,14 @@
 //   - every 200-acked chunk survived crash recovery byte-exactly (the
 //     recovered /fleet equals a fault-free reference over the same acks),
 //   - every device sink drained despite throttling, caps and restarts,
-//   - idle eviction reclaimed every session slot after the storm.
+//   - idle eviction reclaimed every session slot after the storm,
+//   - the collectors' own /metrics counters, scraped after the final
+//     recovery, reconcile with the client-observed set of acked chunks
+//     (the self-telemetry must be as honest as the data path).
+//
+// While the swarm runs, a scrape loop samples every collector's (and the
+// gateway's) /metrics the way an external Prometheus would, so exposition
+// is exercised under full ingest load and crash/restart churn.
 //
 // Usage:
 //
@@ -174,5 +181,30 @@ func report(w io.Writer, res *storm.Result) {
 			fmt.Fprintf(w, " %s:%d", name, res.FaultsInjected[name])
 		}
 		fmt.Fprintf(w, " (%d net errors)\n", res.NetErrors)
+	}
+
+	// The server-side view: what the collectors' own /metrics reported,
+	// folded across shards after the final recovery. The reconcile line is
+	// the telemetry-honesty check — server counters vs client-observed acks.
+	if res.ServerMetrics != nil {
+		fmt.Fprintf(w, "  scrapes      %d mid-storm /metrics samples\n", res.ScrapeSamples)
+		verdict := "reconciled"
+		if res.ServerChunks != res.DistinctAckedChunks {
+			verdict = "MISMATCH"
+		}
+		fmt.Fprintf(w, "  server view  %d chunks counted vs %d distinct acked (%s)\n",
+			res.ServerChunks, res.DistinctAckedChunks, verdict)
+		for _, name := range []string{
+			"mlexray_ingest_records_total",
+			"mlexray_ingest_bytes_total",
+			"mlexray_ingest_duplicate_chunks_total",
+			"mlexray_ingest_rate_limited_total",
+			"mlexray_ingest_session_cap_rejects_total",
+			"mlexray_wal_fsync_seconds_count",
+		} {
+			if v := res.ServerMetrics[name]; v != 0 {
+				fmt.Fprintf(w, "    %-42s %.0f\n", name, v)
+			}
+		}
 	}
 }

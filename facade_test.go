@@ -687,3 +687,82 @@ func TestFacadeStreamingIngest(t *testing.T) {
 		t.Errorf("recovered fleet report %+v differs from pre-crash %+v", rep2, rep)
 	}
 }
+
+// TestFacadeObservability drives the self-telemetry API through the facade:
+// a shared MetricsRegistry across a collector and an upload sink, the
+// Prometheus exposition served by DebugMux, the sink's client-side Stats
+// reconciling with the server's chunk counter, and the per-chunk trace in
+// the collector's TraceRing.
+func TestFacadeObservability(t *testing.T) {
+	ref := captureLog(t, pipeline.BugNone, ops.NewReference(ops.Fixed()), false)
+	edge := captureLog(t, pipeline.BugNormalization, ops.NewOptimized(ops.Fixed()), false)
+
+	reg := mlexray.NewMetricsRegistry()
+	mlexray.RegisterRuntimeMetrics(reg)
+	srv, err := mlexray.NewIngestServer(mlexray.IngestServerOptions{Ref: ref, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	sink, err := mlexray.NewRemoteSink(mlexray.RemoteSinkOptions{
+		URL: ts.URL, Device: "Pixel4", Format: mlexray.FormatBinary, Metrics: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for f := 0; f <= edge.Frames(); f++ {
+		if recs := edge.ByFrame(f); len(recs) > 0 {
+			if err := sink.WriteFrame(f, recs); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	var st mlexray.SinkStats = sink.Stats()
+	if st.Chunks == 0 || st.GiveUps != 0 {
+		t.Fatalf("sink stats %+v: want chunks > 0, no give-ups", st)
+	}
+
+	// One scrape shows both sides of the same session: the sink's
+	// client-side counter and the collector's ingest counter agree.
+	debug := httptest.NewServer(mlexray.DebugMux(reg, srv.Traces()))
+	defer debug.Close()
+	resp, err := http.Get(debug.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	body := buf.String()
+	for _, want := range []string{
+		"mlexray_ingest_chunks_total", "mlexray_sink_chunks_total",
+		"mlexray_process_goroutines",
+	} {
+		if !bytes.Contains(buf.Bytes(), []byte(want)) {
+			t.Errorf("/metrics missing %s:\n%s", want, body)
+		}
+	}
+
+	// The collector traced every chunk under its <stream>-<index> ID.
+	spans := srv.TraceDump()
+	var ingestHops int
+	for _, s := range spans {
+		if s.Hop == "ingest" {
+			ingestHops++
+		}
+	}
+	if ingestHops != st.Chunks {
+		t.Errorf("trace ring holds %d ingest hops, sink sent %d chunks", ingestHops, st.Chunks)
+	}
+}

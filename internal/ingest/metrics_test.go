@@ -1,0 +1,233 @@
+package ingest
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"mlexray/internal/obs"
+)
+
+// TestServerMetricsExposition drives a live durable collector and pins the
+// scrape: /metrics parses as Prometheus text, the chunk/byte/frame counters
+// match what was uploaded, response statuses are labeled, and the WAL
+// append/fsync histograms saw every durable append.
+func TestServerMetricsExposition(t *testing.T) {
+	ref := synthLog(4, nil, false)
+	srv, err := NewServer(ServerOptions{Ref: ref, DataDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	l := synthLog(4, nil, false)
+
+	for i, lo := range []int{0, 2} {
+		if resp, _ := postChunk(t, ts.URL, chunkUpload{"dev-m", "gen-1", i, chunkBody(t, l, lo, lo+2)}); resp.StatusCode != http.StatusOK {
+			t.Fatalf("chunk %d: status %d", i, resp.StatusCode)
+		}
+	}
+	// A duplicate: acked idempotently, counted as a dup, not as a chunk.
+	if resp, _ := postChunk(t, ts.URL, chunkUpload{"dev-m", "gen-1", 0, chunkBody(t, l, 0, 2)}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("dup chunk: status %d", resp.StatusCode)
+	}
+
+	body := getBytes(t, ts.URL+"/metrics")
+	parsed, err := obs.ParseText(body)
+	if err != nil {
+		t.Fatalf("/metrics does not parse: %v", err)
+	}
+	checks := map[string]float64{
+		"mlexray_ingest_chunks_total":           2,
+		"mlexray_ingest_duplicate_chunks_total": 1,
+		"mlexray_ingest_sessions_live":          1,
+		"mlexray_wal_append_seconds_count":      2,
+		"mlexray_wal_fsync_seconds_count":       2,
+	}
+	for name, want := range checks {
+		if got := obs.SumSeries(parsed, name); got != want {
+			t.Errorf("%s = %v, want %v", name, got, want)
+		}
+	}
+	if got := parsed[`mlexray_ingest_responses_total{status="200"}`]; got != 3 {
+		t.Errorf(`responses{status="200"} = %v, want 3`, got)
+	}
+	if obs.SumSeries(parsed, "mlexray_ingest_frames_total") != 4 {
+		t.Errorf("frames_total = %v, want 4", obs.SumSeries(parsed, "mlexray_ingest_frames_total"))
+	}
+	if obs.SumSeries(parsed, "mlexray_ingest_bytes_total") == 0 {
+		t.Error("bytes_total = 0 after uploads")
+	}
+	if obs.SumSeries(parsed, "mlexray_ingest_request_seconds_count") != 3 {
+		t.Errorf("request_seconds_count = %v, want 3", obs.SumSeries(parsed, "mlexray_ingest_request_seconds_count"))
+	}
+}
+
+// TestMetricsCountRecoveryReplay pins the reconcile seed: the counters are
+// registered before WAL recovery runs, so a restarted collector's
+// chunks_total reflects every replayed chunk — the storm's final scrape
+// compares exactly this against the client-side acked set.
+func TestMetricsCountRecoveryReplay(t *testing.T) {
+	ref := synthLog(4, nil, false)
+	dir := t.TempDir()
+	srv, err := NewServer(ServerOptions{Ref: ref, DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	l := synthLog(4, nil, false)
+	for i, lo := range []int{0, 2} {
+		if resp, _ := postChunk(t, ts.URL, chunkUpload{"dev-r", "gen-1", i, chunkBody(t, l, lo, lo+2)}); resp.StatusCode != http.StatusOK {
+			t.Fatalf("chunk %d: status %d", i, resp.StatusCode)
+		}
+	}
+	ts.Close()
+	srv.Close()
+
+	restarted, err := NewServer(ServerOptions{Ref: ref, DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(restarted)
+	defer ts2.Close()
+	parsed, err := obs.ParseText(getBytes(t, ts2.URL+"/metrics"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := obs.SumSeries(parsed, "mlexray_ingest_chunks_total"); got != 2 {
+		t.Errorf("replayed chunks_total = %v, want 2", got)
+	}
+	if got := obs.SumSeries(parsed, "mlexray_ingest_sessions_live"); got != 1 {
+		t.Errorf("sessions_live after recovery = %v, want 1", got)
+	}
+}
+
+// TestHealthzSweepsIdleSessions pins the staleness fix: only the ingest
+// path used to run the idle sweep, so an otherwise-quiet collector would
+// report evicted-eligible sessions as live forever. A health probe must
+// observe the world as the sweep would leave it.
+func TestHealthzSweepsIdleSessions(t *testing.T) {
+	ref := synthLog(4, nil, false)
+	clock := newManualClock()
+	srv, err := NewServer(ServerOptions{
+		Ref:         ref,
+		DataDir:     t.TempDir(),
+		IdleTimeout: 10 * time.Second,
+		Clock:       clock.Now,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	l := synthLog(4, nil, false)
+	if resp, _ := postChunk(t, ts.URL, chunkUpload{"dev-h", "gen-1", 0, chunkBody(t, l, 0, 2)}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("chunk: status %d", resp.StatusCode)
+	}
+
+	if body := getBytes(t, ts.URL+"/healthz"); !strings.Contains(string(body), `"devices": 1`) &&
+		!strings.Contains(string(body), `"devices":1`) {
+		t.Fatalf("healthz before idle horizon: %s", body)
+	}
+	clock.Advance(11 * time.Second)
+	// No ingest traffic arrives; the probe alone must sweep.
+	body := string(getBytes(t, ts.URL+"/healthz"))
+	if !strings.Contains(body, `"devices": 0`) && !strings.Contains(body, `"devices":0`) {
+		t.Errorf("healthz did not sweep the idle session: %s", body)
+	}
+	if srv.Evictions() != 1 {
+		t.Errorf("evictions = %d, want 1 from the health-probe sweep", srv.Evictions())
+	}
+}
+
+// TestDisableMetrics pins the bare path: no registry, no trace ring, no
+// /metrics endpoint — the benchmark baseline really does run unobserved.
+func TestDisableMetrics(t *testing.T) {
+	srv, err := NewServer(ServerOptions{Ref: synthLog(2, nil, false), DisableMetrics: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srv.Metrics() != nil {
+		t.Error("DisableMetrics left a registry")
+	}
+	if srv.TraceDump() != nil {
+		t.Error("DisableMetrics left a trace ring")
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("/metrics with metrics disabled: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestSinkStats pins the client-side upload summary: chunk/byte totals,
+// retries and give-ups, for edgerun's end-of-run report.
+func TestSinkStats(t *testing.T) {
+	var fail = true
+	srv, err := NewServer(ServerOptions{Ref: synthLog(4, nil, false)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if fail && r.Method == http.MethodPost {
+			fail = false
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		srv.ServeHTTP(w, r)
+	}))
+	defer ts.Close()
+
+	reg := obs.NewRegistry()
+	sink, err := NewRemoteSink(SinkOptions{
+		URL: ts.URL, Device: "dev-s", ChunkBytes: 256,
+		RetryBackoff: time.Millisecond, Metrics: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	uploadLog(t, sink, synthLog(4, nil, false))
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	st := sink.Stats()
+	if st.Device != "dev-s" {
+		t.Errorf("stats device = %q", st.Device)
+	}
+	if st.Chunks == 0 || st.WireBytes == 0 || st.Records == 0 || st.Frames == 0 {
+		t.Errorf("stats not populated: %+v", st)
+	}
+	if st.Retries != 1 {
+		t.Errorf("stats retries = %d, want 1 (one injected 503)", st.Retries)
+	}
+	if st.GiveUps != 0 || st.LastErr != "" {
+		t.Errorf("clean upload reported failures: %+v", st)
+	}
+	if st.BackoffSlept <= 0 {
+		t.Error("retry recorded no backoff sleep")
+	}
+
+	// The same story lands on the client's registry.
+	var buf strings.Builder
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := obs.ParseText([]byte(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := obs.SumSeries(parsed, "mlexray_sink_chunks_total"); got != float64(st.Chunks) {
+		t.Errorf("sink chunks counter = %v, want %d", got, st.Chunks)
+	}
+	if got := obs.SumSeries(parsed, "mlexray_sink_retries_total"); got != 1 {
+		t.Errorf("sink retries counter = %v, want 1", got)
+	}
+}

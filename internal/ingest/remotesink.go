@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"mlexray/internal/core"
+	"mlexray/internal/obs"
 )
 
 // SinkOptions configures a RemoteSink.
@@ -46,6 +47,11 @@ type SinkOptions struct {
 	MaxElapsed time.Duration
 	// Client overrides the HTTP client (tests, custom timeouts).
 	Client *http.Client
+	// Metrics registers client-side upload counters (chunks, retries,
+	// redirects, give-ups, backoff sleep histogram) on the given registry.
+	// Sinks sharing one registry share the series — a fleet's sinks fold
+	// into one client-side view. Nil means no metrics.
+	Metrics *obs.Registry
 }
 
 func (o *SinkOptions) chunkBytes() int {
@@ -122,13 +128,23 @@ type RemoteSink struct {
 	enc     core.LogEncoder
 	pending int // frames in the open chunk
 
-	records   int
-	frames    int
-	wireBytes int
-	chunks    int
-	retries   int
-	redirects int
-	err       error
+	records      int
+	frames       int
+	wireBytes    int
+	chunks       int
+	retries      int
+	redirects    int
+	giveUps      int
+	backoffSlept time.Duration
+	err          error
+
+	// Client-side obs instruments (nil without SinkOptions.Metrics; every
+	// operation on them is then a no-op).
+	metChunks    *obs.Counter
+	metRetries   *obs.Counter
+	metRedirects *obs.Counter
+	metGiveUps   *obs.Counter
+	metBackoff   *obs.Histogram
 }
 
 // NewRemoteSink builds a sink streaming to the collector at opts.URL.
@@ -152,6 +168,18 @@ func NewRemoteSink(opts SinkOptions) (*RemoteSink, error) {
 		return nil, fmt.Errorf("ingest: stream token: %w", err)
 	}
 	s := &RemoteSink{opts: opts, endpoint: endpoint.String(), origin: endpoint.String(), stream: hex.EncodeToString(tok[:])}
+	// Nil registry hands back nil instruments whose methods are no-ops, so
+	// the upload path needs no telemetry conditionals.
+	s.metChunks = opts.Metrics.Counter("mlexray_sink_chunks_total",
+		"Chunks successfully uploaded by RemoteSinks.")
+	s.metRetries = opts.Metrics.Counter("mlexray_sink_retries_total",
+		"Upload attempts retried after a transient failure.")
+	s.metRedirects = opts.Metrics.Counter("mlexray_sink_redirects_total",
+		"Shard re-routes (307/308 Location answers) followed.")
+	s.metGiveUps = opts.Metrics.Counter("mlexray_sink_giveups_total",
+		"Chunk uploads abandoned after exhausting the retry budget.")
+	s.metBackoff = opts.Metrics.Histogram("mlexray_sink_backoff_seconds",
+		"Backoff sleeps between upload retries.", obs.LatencyBounds())
 	// Disable the client's own redirect following (a copy, so the caller's
 	// client is untouched): post handles 307/308 itself to make the shard
 	// re-route sticky instead of re-resolving through the gateway per chunk.
@@ -256,11 +284,14 @@ func (s *RemoteSink) ship() error {
 	}
 	body := s.chunk.Bytes()
 	if err := s.post(body, s.chunks); err != nil {
+		s.giveUps++
+		s.metGiveUps.Inc()
 		s.err = err
 		return s.err
 	}
 	s.wireBytes += len(body)
 	s.chunks++
+	s.metChunks.Inc()
 	return s.openChunk()
 }
 
@@ -316,6 +347,10 @@ func (s *RemoteSink) post(body []byte, chunkIdx int) error {
 		req.Header.Set("X-MLEXray-Device", s.opts.Device)
 		req.Header.Set("X-MLEXray-Chunk", strconv.Itoa(chunkIdx))
 		req.Header.Set("X-MLEXray-Stream", s.stream)
+		// The trace ID: stream token + chunk sequence, stable across
+		// retries and redirect hops of the same chunk, so every hop's span
+		// (gateway, shard ingest, WAL) carries one ID per logical upload.
+		req.Header.Set(obs.TraceHeader, s.stream+"-"+strconv.Itoa(chunkIdx))
 		if s.opts.Gzip {
 			req.Header.Set("Content-Encoding", "gzip")
 		}
@@ -332,6 +367,7 @@ func (s *RemoteSink) post(body []byte, chunkIdx int) error {
 				if target, perr := req.URL.Parse(loc); perr == nil && loc != "" && hops < maxShardRedirects {
 					hops++
 					s.redirects++
+					s.metRedirects.Inc()
 					s.endpoint = target.String()
 					continue // transparent re-route: no backoff, no attempt spent
 				}
@@ -367,6 +403,9 @@ func (s *RemoteSink) post(body []byte, chunkIdx int) error {
 				lastErr, budget, attempt+1)
 		}
 		s.retries++
+		s.metRetries.Inc()
+		s.backoffSlept += wait
+		s.metBackoff.Observe(wait.Seconds())
 		time.Sleep(wait)
 		attempt++
 	}
@@ -410,3 +449,41 @@ func (s *RemoteSink) Redirects() int { return s.redirects }
 
 // Format returns the chunk log encoding.
 func (s *RemoteSink) Format() core.LogFormat { return s.opts.Format }
+
+// SinkStats is one upload session's summary — what edgerun -upload prints
+// on exit.
+type SinkStats struct {
+	Device    string `json:"device"`
+	Records   int    `json:"records"`
+	Frames    int    `json:"frames"`
+	Chunks    int    `json:"chunks"`
+	WireBytes int    `json:"wire_bytes"`
+	Retries   int    `json:"retries"`
+	Redirects int    `json:"redirects"`
+	// GiveUps counts chunks abandoned after the retry budget; with a
+	// non-empty LastErr the stream is truncated at the server.
+	GiveUps      int           `json:"give_ups"`
+	BackoffSlept time.Duration `json:"backoff_slept"`
+	LastErr      string        `json:"last_err,omitempty"`
+}
+
+// Stats snapshots the sink's upload counters. Like the sink itself it is
+// single-goroutine state: call it from the goroutine that writes the sink
+// (typically after Flush).
+func (s *RemoteSink) Stats() SinkStats {
+	st := SinkStats{
+		Device:       s.opts.Device,
+		Records:      s.records,
+		Frames:       s.frames,
+		Chunks:       s.chunks,
+		WireBytes:    s.wireBytes,
+		Retries:      s.retries,
+		Redirects:    s.redirects,
+		GiveUps:      s.giveUps,
+		BackoffSlept: s.backoffSlept,
+	}
+	if s.err != nil {
+		st.LastErr = s.err.Error()
+	}
+	return st
+}

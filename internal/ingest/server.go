@@ -41,6 +41,7 @@ import (
 	"time"
 
 	"mlexray/internal/core"
+	"mlexray/internal/obs"
 )
 
 // ServerOptions configures a collector.
@@ -102,6 +103,29 @@ type ServerOptions struct {
 	CompactAfter int
 	// Clock overrides time.Now for the session timestamps (tests).
 	Clock func() time.Time
+	// Metrics is the registry the collector instruments itself into; nil
+	// means a private registry per server (what GET /metrics renders
+	// either way). Daemons pass a shared registry so runtime gauges and
+	// collector counters land on one scrape endpoint.
+	Metrics *obs.Registry
+	// DisableMetrics turns self-telemetry off entirely: no registry, no
+	// trace ring, the ingest path runs bare. The instrumented-overhead
+	// benchmark's baseline.
+	DisableMetrics bool
+	// TraceCapacity bounds the in-process request-trace ring buffer
+	// (GET /debug/trace); <= 0 means obs.DefaultTraceCapacity.
+	TraceCapacity int
+}
+
+// walConfig is the server's WAL tuning with the append/fsync latency
+// histograms wired in (nil histograms when metrics are disabled).
+func (s *Server) walConfig() walConfig {
+	cfg := s.opts.walConfig()
+	if s.met != nil {
+		cfg.appendHist = s.met.walAppend
+		cfg.fsyncHist = s.met.walFsync
+	}
+	return cfg
 }
 
 // walConfig folds the durability options into the WAL layer's tuning.
@@ -171,6 +195,12 @@ type Server struct {
 
 	recovery RecoveryStats
 
+	// met holds the pre-registered self-telemetry instruments (nil with
+	// DisableMetrics); traces is the bounded request-span ring. Both are
+	// nil-safe throughout, so instrumented code needs no conditionals.
+	met    *serverMetrics
+	traces *obs.TraceRing
+
 	mux *http.ServeMux
 }
 
@@ -205,6 +235,9 @@ type session struct {
 	evicted bool
 	// wal is the session's write-ahead segment (nil without a DataDir).
 	wal *sessionWAL
+	// met points at the server's instruments so the shared apply path can
+	// count without reaching through the server (nil when disabled).
+	met *serverMetrics
 	// tokens/tokensAt implement the per-device chunk-rate token bucket.
 	tokens   float64
 	tokensAt time.Time
@@ -240,6 +273,18 @@ func NewServer(opts ServerOptions) (*Server, error) {
 		return nil, fmt.Errorf("ingest: IdleTimeout requires DataDir — evicting an in-memory session would discard acked data")
 	}
 	s := &Server{opts: opts, sessions: make(map[string]*session)}
+	if !opts.DisableMetrics {
+		reg := opts.Metrics
+		if reg == nil {
+			reg = obs.NewRegistry()
+		}
+		// Registered before recovery: WAL replay runs the same apply path
+		// as live ingest, so a restarted collector's chunk counters equal
+		// the distinct chunks it holds — the storm harness reconciles
+		// client-observed acks against exactly this.
+		s.met = newServerMetrics(reg)
+		s.traces = obs.NewTraceRing(opts.TraceCapacity)
+	}
 	if opts.Ref != nil {
 		fv, err := core.NewFleetStreamValidator(opts.Ref, opts.Validate)
 		if err != nil {
@@ -253,12 +298,18 @@ func NewServer(opts ServerOptions) (*Server, error) {
 		}
 	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /ingest", s.handleIngest)
+	mux.Handle("POST /ingest", s.instrument(s.handleIngest))
 	mux.HandleFunc("GET /devices", s.handleDevices)
 	mux.HandleFunc("GET /devices/{device}", s.handleDevice)
 	mux.HandleFunc("GET /fleet", s.handleFleet)
 	mux.HandleFunc("GET /fleet/export", s.handleFleetExport)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	if s.met != nil {
+		mux.Handle("GET /metrics", s.met.reg.Handler())
+	}
+	if s.traces != nil {
+		mux.Handle("GET /debug/trace", s.traces.Handler())
+	}
 	s.mux = mux
 	return s, nil
 }
@@ -284,7 +335,7 @@ func (s *Server) recover() error {
 		s.recovery.SkippedChunks += skipped
 		// Reopen the log for appending: new chunks continue the highest
 		// segment, with entry indexes resuming past the replayed history.
-		w, err := createSessionWAL(s.opts.walConfig(), rs.device)
+		w, err := createSessionWAL(s.walConfig(), rs.device)
 		if err != nil {
 			sess.mu.Unlock()
 			return err
@@ -397,7 +448,7 @@ func (s *Server) createSession(device string) *session {
 }
 
 func (s *Server) createSessionLocked(device string) *session {
-	sess := &session{device: device, seenFrames: make(map[int]bool)}
+	sess := &session{device: device, seenFrames: make(map[int]bool), met: s.met}
 	if s.fleet != nil {
 		sess.sv = s.fleet.Session(device)
 	}
@@ -413,6 +464,9 @@ func (s *Server) createSessionLocked(device string) *session {
 		sess.lastSeen = s.opts.Clock()
 	}
 	s.sessions[device] = sess
+	if s.met != nil {
+		s.met.sessionsLive.Set(int64(len(s.sessions)))
+	}
 	return sess
 }
 
@@ -461,12 +515,15 @@ func (s *Server) resurrectLocked(device string) (*session, error) {
 	sess.mu.Lock()
 	defer sess.mu.Unlock()
 	s.replayEntriesLocked(sess, rs.entries)
-	w, err := createSessionWAL(s.opts.walConfig(), device)
+	w, err := createSessionWAL(s.walConfig(), device)
 	if err != nil {
 		return nil, err
 	}
 	sess.wal = w
 	s.resurrections++
+	if s.met != nil {
+		s.met.resurrections.Inc()
+	}
 	return sess, nil
 }
 
@@ -495,6 +552,10 @@ func (s *Server) evictIdleLocked(now time.Time) int {
 		sess.mu.Unlock()
 	}
 	s.evictions += n
+	if s.met != nil {
+		s.met.evictions.Add(int64(n))
+		s.met.sessionsLive.Set(int64(len(s.sessions)))
+	}
 	return n
 }
 
@@ -668,6 +729,9 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	// earlier) bypasses the cap: its data is already acked.
 	sess, admitNew := s.peekSession(device)
 	if sess == nil && !admitNew && !s.canResurrect(device) {
+		if s.met != nil {
+			s.met.capRejects.Inc()
+		}
 		w.Header().Set("Retry-After", s.opts.sessionRetryAfter())
 		httpError(w, http.StatusServiceUnavailable,
 			"session cap reached (%d); retry later", s.opts.MaxSessions)
@@ -675,6 +739,9 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 	if sess != nil && s.opts.MaxChunksPerSec > 0 {
 		if ok, wait := sess.takeToken(s.opts.MaxChunksPerSec, s.opts.chunkBurst(), s.opts.Clock()); !ok {
+			if s.met != nil {
+				s.met.rateLimited.Inc()
+			}
 			w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(wait.Seconds()))))
 			httpError(w, http.StatusTooManyRequests,
 				"device %q over its chunk rate (%.3g/s); retry in %v", device, s.opts.MaxChunksPerSec, wait)
@@ -720,6 +787,9 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		}
 		if sess == nil {
 			// Lost the admission race to another new device.
+			if s.met != nil {
+				s.met.capRejects.Inc()
+			}
 			w.Header().Set("Retry-After", s.opts.sessionRetryAfter())
 			httpError(w, http.StatusServiceUnavailable,
 				"session cap reached (%d); retry later", s.opts.MaxSessions)
@@ -749,6 +819,9 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 	if dup {
 		// Already applied; the first delivery's response was lost.
+		if s.met != nil {
+			s.met.dupChunks.Inc()
+		}
 		writeJSON(w, http.StatusOK, IngestResponse{
 			Device: device, Records: sess.records, Frames: len(sess.seenFrames),
 			Chunks: sess.chunks, Duplicate: true,
@@ -770,7 +843,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		if sess.wal == nil {
-			walW, err := createSessionWAL(s.opts.walConfig(), device)
+			walW, err := createSessionWAL(s.walConfig(), device)
 			if err != nil {
 				s.closeMu.RUnlock()
 				sess.rewindStreamLocked(chunkIdx)
@@ -782,8 +855,10 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		// The write barrier: the chunk is durable before it is acked. A
 		// failed append answers 500 without applying — the client retries,
 		// and the log and the in-memory state stay in agreement.
+		walStart := time.Now()
 		err := sess.wal.append(walEntry{stream: stream, chunk: chunkIdx, when: now, body: body})
 		s.closeMu.RUnlock()
+		s.traces.RecordSince(r.Header.Get(obs.TraceHeader), "wal", device, 0, walStart)
 		if err != nil {
 			sess.rewindStreamLocked(chunkIdx)
 			httpError(w, http.StatusInternalServerError, "wal: %v", err)
@@ -848,8 +923,22 @@ func (sess *session) applyChunkLocked(recs []core.Record, wireBytes int64, now t
 			}
 		}
 	}
+	newFrames := 0
 	for i := range recs {
+		if !sess.seenFrames[recs[i].Frame] {
+			newFrames++
+		}
 		sess.seenFrames[recs[i].Frame] = true
+	}
+	if sess.met != nil {
+		// Counted here — the path shared by live ingest, startup recovery
+		// and resurrection — so a restarted collector's counters equal the
+		// distinct chunks it actually holds. The storm harness reconciles
+		// client-observed acks against these.
+		sess.met.chunks.Inc()
+		sess.met.records.Add(int64(len(recs)))
+		sess.met.frames.Add(int64(newFrames))
+		sess.met.bytes.Add(wireBytes)
 	}
 	sess.bytes += wireBytes
 	sess.records += len(recs)
@@ -971,6 +1060,13 @@ func (s *Server) handleFleetExport(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
+	// Health probes run the same rate-limited idle sweep as ingest:
+	// without it an otherwise-idle collector would keep reporting
+	// sessions long past IdleTimeout (the sweep only ran on uploads), so
+	// a gateway aggregating per-shard health would overcount. The count,
+	// lifecycle totals and the sweep share one critical section — the
+	// probe can never see a session both evicted and still counted.
+	s.maybeSweepLocked()
 	n := len(s.sessions)
 	evictions, resurrections := s.evictions, s.resurrections
 	s.mu.Unlock()

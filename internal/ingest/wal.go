@@ -53,6 +53,8 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"mlexray/internal/obs"
 )
 
 var walMagic = []byte{'M', 'L', 'X', 'W'}
@@ -83,6 +85,11 @@ type walConfig struct {
 	// compactAfter merges a session's closed segments into one once at least
 	// this many have accumulated; <= 0 never compacts.
 	compactAfter int
+	// appendHist/fsyncHist time each entry append (whole barrier) and its
+	// fsync alone — the collector's WAL latency histograms. Nil (metrics
+	// disabled) observes nothing.
+	appendHist *obs.Histogram
+	fsyncHist  *obs.Histogram
 }
 
 // walEntry is one logged chunk: the upload-generation metadata that makes
@@ -315,6 +322,7 @@ func (w *sessionWAL) append(e walEntry) error {
 			return err
 		}
 	}
+	appendStart := time.Now()
 	e.index = w.nextIndex
 	buf := appendWALEntry(w.buf[:0], e)
 	w.buf = buf
@@ -325,6 +333,7 @@ func (w *sessionWAL) append(e walEntry) error {
 		}
 		return fmt.Errorf("ingest: wal append: %w", err)
 	}
+	fsyncStart := time.Now()
 	if err := w.f.Sync(); err != nil {
 		// The entry's durability is unknown; roll it back so the in-memory
 		// state (which will not apply this chunk) and the log agree.
@@ -334,6 +343,8 @@ func (w *sessionWAL) append(e walEntry) error {
 		}
 		return fmt.Errorf("ingest: wal sync: %w", err)
 	}
+	w.cfg.fsyncHist.ObserveSince(fsyncStart)
+	w.cfg.appendHist.ObserveSince(appendStart)
 	w.committed += int64(len(buf))
 	w.nextIndex++
 	return nil

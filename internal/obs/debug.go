@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// DebugMux bundles the opt-in debug surface served on a daemon's
+// -debug-addr listener: /metrics (when reg != nil), /debug/trace (when
+// ring != nil), and the standard net/http/pprof endpoints. pprof is only
+// reachable through this mux — the ingest listener never exposes it.
+func DebugMux(reg *Registry, ring *TraceRing) *http.ServeMux {
+	mux := http.NewServeMux()
+	if reg != nil {
+		mux.Handle("GET /metrics", reg.Handler())
+	}
+	if ring != nil {
+		mux.Handle("GET /debug/trace", ring.Handler())
+	}
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// memStatsCache amortizes runtime.ReadMemStats (a stop-the-world-ish call)
+// across the several heap gauges sampled in one scrape.
+type memStatsCache struct {
+	mu  sync.Mutex
+	at  time.Time
+	m   runtime.MemStats
+	ttl time.Duration
+}
+
+func (c *memStatsCache) get() *runtime.MemStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if time.Since(c.at) > c.ttl {
+		runtime.ReadMemStats(&c.m)
+		c.at = time.Now()
+	}
+	return &c.m
+}
+
+// RegisterRuntimeMetrics adds process-health gauges (goroutines, heap
+// bytes, GC pauses/cycles) to reg, sampled lazily at scrape time.
+func RegisterRuntimeMetrics(reg *Registry) {
+	if reg == nil {
+		return
+	}
+	cache := &memStatsCache{ttl: 100 * time.Millisecond}
+	reg.GaugeFunc("mlexray_process_goroutines",
+		"Live goroutines in the process.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	reg.GaugeFunc("mlexray_process_heap_alloc_bytes",
+		"Bytes of allocated heap objects.",
+		func() float64 { return float64(cache.get().HeapAlloc) })
+	reg.GaugeFunc("mlexray_process_heap_sys_bytes",
+		"Bytes of heap obtained from the OS.",
+		func() float64 { return float64(cache.get().HeapSys) })
+	reg.GaugeFunc("mlexray_process_gc_pause_seconds_total",
+		"Cumulative GC stop-the-world pause time in seconds.",
+		func() float64 { return float64(cache.get().PauseTotalNs) / 1e9 })
+	reg.GaugeFunc("mlexray_process_gc_cycles_total",
+		"Completed GC cycles.",
+		func() float64 { return float64(cache.get().NumGC) })
+}

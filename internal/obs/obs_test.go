@@ -1,0 +1,347 @@
+package obs
+
+import (
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestWritePrometheusGolden pins the exposition format byte-for-byte:
+// HELP/TYPE comments, registration ordering, label rendering, cumulative
+// histogram buckets with the le label appended after fixed labels, _sum
+// and _count lines. Scrapers (and the smoke script's greps) depend on
+// this exact shape.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("mlexray_ingest_chunks_total", "Chunks applied.")
+	c.Add(3)
+	r.Counter("mlexray_ingest_responses_total", "Responses by status.", L("status", "200")).Add(7)
+	r.Counter("mlexray_ingest_responses_total", "Responses by status.", L("status", "429")).Inc()
+	g := r.Gauge("mlexray_ingest_sessions_live", "Live sessions.")
+	g.Set(2)
+	h := r.Histogram("mlexray_wal_fsync_seconds", "WAL fsync latency.", []float64{0.001, 0.01, 0.1})
+	h.Observe(0.0005)
+	h.Observe(0.002)
+	h.Observe(0.002)
+	h.Observe(5) // overflow bucket
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	want := `# HELP mlexray_ingest_chunks_total Chunks applied.
+# TYPE mlexray_ingest_chunks_total counter
+mlexray_ingest_chunks_total 3
+# HELP mlexray_ingest_responses_total Responses by status.
+# TYPE mlexray_ingest_responses_total counter
+mlexray_ingest_responses_total{status="200"} 7
+mlexray_ingest_responses_total{status="429"} 1
+# HELP mlexray_ingest_sessions_live Live sessions.
+# TYPE mlexray_ingest_sessions_live gauge
+mlexray_ingest_sessions_live 2
+# HELP mlexray_wal_fsync_seconds WAL fsync latency.
+# TYPE mlexray_wal_fsync_seconds histogram
+mlexray_wal_fsync_seconds_bucket{le="0.001"} 1
+mlexray_wal_fsync_seconds_bucket{le="0.01"} 3
+mlexray_wal_fsync_seconds_bucket{le="0.1"} 3
+mlexray_wal_fsync_seconds_bucket{le="+Inf"} 4
+mlexray_wal_fsync_seconds_sum 5.0045
+mlexray_wal_fsync_seconds_count 4
+`
+	if b.String() != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", b.String(), want)
+	}
+}
+
+// TestHistogramLabelLe pins le placement after fixed labels — per-shard
+// proxy histograms render {shard="s0",le="..."}.
+func TestHistogramLabelLe(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("proxy_seconds", "h", []float64{1}, L("shard", "s0")).Observe(0.5)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `proxy_seconds_bucket{shard="s0",le="1"} 1`) {
+		t.Errorf("per-shard bucket label wrong:\n%s", b.String())
+	}
+	if !strings.Contains(b.String(), `proxy_seconds_sum{shard="s0"} 0.5`) {
+		t.Errorf("per-shard sum label wrong:\n%s", b.String())
+	}
+}
+
+// TestGetOrCreateIdempotent proves repeat registration returns the same
+// instrument, so instrumented code can re-resolve by name without
+// double-counting.
+func TestGetOrCreateIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("c", "h")
+	b := r.Counter("c", "h")
+	if a != b {
+		t.Fatal("same-name counters are distinct instances")
+	}
+	a.Inc()
+	if b.Value() != 1 {
+		t.Fatal("counter identity broken")
+	}
+	h1 := r.Histogram("h", "h", []float64{1, 2})
+	h2 := r.Histogram("h", "h", []float64{1, 2})
+	if h1 != h2 {
+		t.Fatal("same-name histograms are distinct instances")
+	}
+	g1 := r.Gauge("g", "h", L("k", "v"))
+	g2 := r.Gauge("g", "h", L("k", "v"))
+	if g1 != g2 {
+		t.Fatal("same-series gauges are distinct instances")
+	}
+}
+
+// TestNilSafety proves telemetry-off is free: nil registry getters return
+// nil instruments and every mutator/accessor on nil is a no-op.
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("c", "h")
+	if c != nil {
+		t.Fatal("nil registry returned non-nil counter")
+	}
+	c.Inc()
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Fatal("nil counter value")
+	}
+	g := r.Gauge("g", "h")
+	g.Set(3)
+	g.Add(1)
+	if g.Value() != 0 {
+		t.Fatal("nil gauge value")
+	}
+	h := r.Histogram("h", "h", LatencyBounds())
+	h.Observe(1)
+	h.ObserveSince(time.Now())
+	if h.Count() != 0 || h.Sum() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("nil histogram accessors")
+	}
+	r.GaugeFunc("f", "h", func() float64 { return 1 })
+	if err := r.WritePrometheus(&strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+	var ring *TraceRing
+	ring.Record(Span{Trace: "x"})
+	ring.RecordSince("x", "hop", "", 200, time.Now())
+	if ring.Spans("") != nil {
+		t.Fatal("nil ring spans")
+	}
+}
+
+// TestZeroAlloc pins the hot-path contract: Counter.Inc, Gauge.Set and
+// Histogram.Observe allocate nothing once registered.
+func TestZeroAlloc(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c", "h")
+	g := r.Gauge("g", "h")
+	h := r.Histogram("h", "h", LatencyBounds())
+	if n := testing.AllocsPerRun(1000, func() { c.Inc() }); n != 0 {
+		t.Errorf("Counter.Inc allocates %v/op", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { g.Set(7) }); n != 0 {
+		t.Errorf("Gauge.Set allocates %v/op", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { h.Observe(0.0042) }); n != 0 {
+		t.Errorf("Histogram.Observe allocates %v/op", n)
+	}
+}
+
+// TestConcurrentUpdates hammers one counter and one histogram from many
+// goroutines and checks exact totals — run under -race this also proves
+// the hot path is race-clean.
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c", "h")
+	h := r.Histogram("h", "h", []float64{0.5, 1.5})
+	const workers, per = 16, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				h.Observe(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != workers*per {
+		t.Errorf("counter = %d, want %d", c.Value(), workers*per)
+	}
+	if h.Count() != workers*per {
+		t.Errorf("histogram count = %d, want %d", h.Count(), workers*per)
+	}
+	if h.Sum() != float64(workers*per) {
+		t.Errorf("histogram sum = %v, want %v", h.Sum(), workers*per)
+	}
+}
+
+// TestHistogramQuantile pins the bucketed estimator: exact bucket-edge
+// ranks return the bound with no float drift, interior ranks interpolate,
+// and the overflow bucket clamps to the last finite bound.
+func TestHistogramQuantile(t *testing.T) {
+	h := newHistogram([]float64{0.010, 0.050, 0.100})
+	// 9 observations <= 10ms, 1 in (10ms, 50ms].
+	for i := 0; i < 9; i++ {
+		h.Observe(0.005)
+	}
+	h.Observe(0.050)
+	// p50 rank 5 lands inside the first bucket: interpolate 0..10ms.
+	if got := h.Quantile(0.5); math.Abs(got-0.010*5.0/9.0) > 1e-12 {
+		t.Errorf("p50 = %v", got)
+	}
+	// p90 rank 9 is exactly the first bucket's edge: exact bound, no drift.
+	if got := h.Quantile(0.9); got != 0.010 {
+		t.Errorf("p90 = %v, want exactly 0.010", got)
+	}
+	// p99 rank 10 fills the second bucket: exact upper bound.
+	if got := h.Quantile(0.99); got != 0.050 {
+		t.Errorf("p99 = %v, want exactly 0.050", got)
+	}
+	// Overflow clamps.
+	h2 := newHistogram([]float64{1})
+	h2.Observe(100)
+	if got := h2.Quantile(0.99); got != 1 {
+		t.Errorf("overflow p99 = %v, want clamp to 1", got)
+	}
+	// Empty.
+	if got := newHistogram([]float64{1}).Quantile(0.5); got != 0 {
+		t.Errorf("empty p50 = %v", got)
+	}
+}
+
+// TestParseTextRoundTrip proves a scrape of our own exposition recovers
+// every series, including histogram buckets keyed with labels.
+func TestParseTextRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "h").Add(5)
+	r.Gauge("b", "h", L("x", "y")).Set(2)
+	r.Histogram("lat", "h", []float64{1, 2}).Observe(1.5)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseText([]byte(b.String()))
+	if err != nil {
+		t.Fatalf("ParseText: %v", err)
+	}
+	for k, want := range map[string]float64{
+		"a_total":               5,
+		`b{x="y"}`:              2,
+		`lat_bucket{le="1"}`:    0,
+		`lat_bucket{le="2"}`:    1,
+		`lat_bucket{le="+Inf"}`: 1,
+		"lat_sum":               1.5,
+		"lat_count":             1,
+	} {
+		if parsed[k] != want {
+			t.Errorf("parsed[%q] = %v, want %v", k, parsed[k], want)
+		}
+	}
+	if got := SumSeries(parsed, "b"); got != 2 {
+		t.Errorf("SumSeries(b) = %v", got)
+	}
+	dst := map[string]float64{"a_total": 1}
+	MergeParsed(dst, parsed)
+	if dst["a_total"] != 6 {
+		t.Errorf("MergeParsed a_total = %v", dst["a_total"])
+	}
+	if _, err := ParseText([]byte("garbage-no-value\n")); err == nil {
+		t.Error("ParseText accepted malformed line")
+	}
+}
+
+// TestHandlerContentType pins the scrape endpoint's content type.
+func TestHandlerContentType(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total", "h").Inc()
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("content type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "c_total 1") {
+		t.Errorf("body missing counter:\n%s", rec.Body.String())
+	}
+}
+
+// TestLatencyBoundsShape pins the shared bucket scheme: log-spaced 1-2-5
+// per decade, strictly increasing, 10µs..10s, and returned by copy.
+func TestLatencyBoundsShape(t *testing.T) {
+	b := LatencyBounds()
+	if len(b) != 19 {
+		t.Fatalf("len = %d, want 19", len(b))
+	}
+	if b[0] != 1e-5 || b[len(b)-1] != 10 {
+		t.Errorf("range = [%v, %v], want [1e-05, 10]", b[0], b[len(b)-1])
+	}
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			t.Errorf("bounds not increasing at %d: %v <= %v", i, b[i], b[i-1])
+		}
+	}
+	b[0] = 999
+	if LatencyBounds()[0] != 1e-5 {
+		t.Error("LatencyBounds aliases internal slice")
+	}
+}
+
+// TestRuntimeMetrics smoke-tests the pprof-side gauges.
+func TestRuntimeMetrics(t *testing.T) {
+	r := NewRegistry()
+	RegisterRuntimeMetrics(r)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		"mlexray_process_goroutines",
+		"mlexray_process_heap_alloc_bytes",
+		"mlexray_process_gc_cycles_total",
+	} {
+		if !strings.Contains(b.String(), name) {
+			t.Errorf("runtime metrics missing %s", name)
+		}
+	}
+	parsed, err := ParseText([]byte(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed["mlexray_process_goroutines"] < 1 {
+		t.Errorf("goroutines gauge = %v", parsed["mlexray_process_goroutines"])
+	}
+}
+
+// TestDebugMux proves the -debug-addr surface mounts metrics, traces and
+// pprof on one mux.
+func TestDebugMux(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total", "h").Inc()
+	ring := NewTraceRing(4)
+	ring.Record(Span{Trace: "t1", Hop: "ingest"})
+	mux := DebugMux(r, ring)
+	for path, want := range map[string]string{
+		"/metrics":      "c_total 1",
+		"/debug/trace":  `"t1"`,
+		"/debug/pprof/": "profiles",
+	} {
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		if rec.Code != 200 {
+			t.Errorf("GET %s = %d", path, rec.Code)
+			continue
+		}
+		if !strings.Contains(rec.Body.String(), want) {
+			t.Errorf("GET %s body missing %q:\n%.200s", path, want, rec.Body.String())
+		}
+	}
+}

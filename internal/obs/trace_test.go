@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// TestTraceRingEviction pins the bounded-buffer contract: oldest-first
+// ordering, overwrite once full, filter by trace ID.
+func TestTraceRingEviction(t *testing.T) {
+	ring := NewTraceRing(3)
+	for i, id := range []string{"a", "b", "c", "d"} {
+		ring.Record(Span{Trace: id, StartUnixNs: int64(i)})
+	}
+	got := ring.Spans("")
+	if len(got) != 3 {
+		t.Fatalf("len = %d, want 3", len(got))
+	}
+	for i, want := range []string{"b", "c", "d"} {
+		if got[i].Trace != want {
+			t.Errorf("span[%d] = %q, want %q", i, got[i].Trace, want)
+		}
+	}
+	if f := ring.Spans("c"); len(f) != 1 || f[0].Trace != "c" {
+		t.Errorf("filter = %+v", f)
+	}
+	if f := ring.Spans("nope"); len(f) != 0 {
+		t.Errorf("missing-trace filter = %+v", f)
+	}
+}
+
+// TestTraceRingPartial covers the not-yet-full ring.
+func TestTraceRingPartial(t *testing.T) {
+	ring := NewTraceRing(8)
+	ring.RecordSince("t", "ingest", "devA", 200, time.Now().Add(-time.Millisecond))
+	got := ring.Spans("")
+	if len(got) != 1 {
+		t.Fatalf("len = %d, want 1", len(got))
+	}
+	s := got[0]
+	if s.Hop != "ingest" || s.Detail != "devA" || s.Status != 200 {
+		t.Errorf("span = %+v", s)
+	}
+	if s.DurationNs <= 0 || s.StartUnixNs <= 0 {
+		t.Errorf("timing not recorded: %+v", s)
+	}
+	// Empty trace IDs are dropped — untraced requests cost nothing.
+	ring.RecordSince("", "ingest", "", 200, time.Now())
+	if len(ring.Spans("")) != 1 {
+		t.Error("RecordSince recorded a span with no trace ID")
+	}
+}
+
+// TestTraceHandler pins the /debug/trace JSON dump and its ?trace filter.
+func TestTraceHandler(t *testing.T) {
+	ring := NewTraceRing(4)
+	ring.Record(Span{Trace: "t1", Hop: "gateway", Status: 200})
+	ring.Record(Span{Trace: "t2", Hop: "ingest", Status: 409})
+
+	rec := httptest.NewRecorder()
+	ring.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/trace?trace=t2", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content type = %q", ct)
+	}
+	var spans []Span
+	if err := json.Unmarshal(rec.Body.Bytes(), &spans); err != nil {
+		t.Fatalf("dump not JSON: %v", err)
+	}
+	if len(spans) != 1 || spans[0].Trace != "t2" || spans[0].Hop != "ingest" {
+		t.Errorf("spans = %+v", spans)
+	}
+
+	rec = httptest.NewRecorder()
+	NewTraceRing(1).Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/trace", nil))
+	if body := rec.Body.String(); body != "[]\n" {
+		t.Errorf("empty dump = %q, want []", body)
+	}
+}

@@ -195,8 +195,10 @@ const ingestFrames = 32
 // pre-captured full-capture stream per iteration encodes (binary),
 // optionally gzips, POSTs to a live in-process collector, and validates
 // incrementally against the same log as reference. Reports ns/frame,
-// frames/sec and wire bytes/frame.
-func benchIngestUpload(b *testing.B, gz bool, dataDir string) {
+// frames/sec and wire bytes/frame. instrumented toggles the collector's
+// self-telemetry (metrics + tracing); the off state is the baseline the
+// instrumentation-overhead pin is measured against.
+func benchIngestUpload(b *testing.B, gz bool, dataDir string, instrumented bool) {
 	b.Helper()
 	entry, err := zoo.Get("mobilenetv2-mini")
 	if err != nil {
@@ -222,7 +224,7 @@ func benchIngestUpload(b *testing.B, gz bool, dataDir string) {
 		groups = append(groups, log.Records[start:end])
 		start = end
 	}
-	srv, err := ingest.NewServer(ingest.ServerOptions{Ref: log, DataDir: dataDir})
+	srv, err := ingest.NewServer(ingest.ServerOptions{Ref: log, DataDir: dataDir, DisableMetrics: !instrumented})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -261,11 +263,14 @@ func benchIngestUpload(b *testing.B, gz bool, dataDir string) {
 // chunks with and without gzip, plus the durable (write-ahead-logged)
 // collector — the ingest_binary[_gzip|_durable] datapoints of
 // BENCH_replay.json. The durable variant prices the fsync-before-ack
-// barrier against the in-memory binary baseline.
+// barrier against the in-memory binary baseline, and the instrumented
+// variant prices self-telemetry (metrics + tracing) against the bare
+// collector — pinned under 3% in the artifact test.
 func BenchmarkIngestUpload(b *testing.B) {
-	b.Run("binary", func(b *testing.B) { benchIngestUpload(b, false, "") })
-	b.Run("binary-gzip", func(b *testing.B) { benchIngestUpload(b, true, "") })
-	b.Run("binary-durable", func(b *testing.B) { benchIngestUpload(b, false, b.TempDir()) })
+	b.Run("binary", func(b *testing.B) { benchIngestUpload(b, false, "", false) })
+	b.Run("binary-gzip", func(b *testing.B) { benchIngestUpload(b, true, "", false) })
+	b.Run("binary-durable", func(b *testing.B) { benchIngestUpload(b, false, b.TempDir(), false) })
+	b.Run("binary-instrumented", func(b *testing.B) { benchIngestUpload(b, false, "", true) })
 }
 
 // benchInvokeBackend measures the interpreter hot loop under one kernel

@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -10,9 +11,11 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"mlexray/internal/core"
 	"mlexray/internal/ingest"
+	"mlexray/internal/obs"
 )
 
 // ShardAddr names one collector shard and where it listens.
@@ -43,6 +46,18 @@ type GatewayOptions struct {
 	RedirectUploads bool
 	// Client overrides the HTTP client used for proxying and fan-out.
 	Client *http.Client
+	// HealthTimeout bounds each shard probe in the aggregated /healthz
+	// fan-out, so one hung shard cannot stall the gateway's own health
+	// answer; <= 0 means 2 seconds.
+	HealthTimeout time.Duration
+	// Metrics is the registry the gateway instruments itself into; nil
+	// means a private per-gateway registry (GET /metrics serves it either
+	// way). DisableMetrics turns self-telemetry off entirely.
+	Metrics        *obs.Registry
+	DisableMetrics bool
+	// TraceCapacity bounds the request-trace ring (GET /debug/trace);
+	// <= 0 means obs.DefaultTraceCapacity.
+	TraceCapacity int
 }
 
 func (o *GatewayOptions) client() *http.Client {
@@ -50,6 +65,45 @@ func (o *GatewayOptions) client() *http.Client {
 		return o.Client
 	}
 	return http.DefaultClient
+}
+
+func (o *GatewayOptions) healthTimeout() time.Duration {
+	if o.HealthTimeout <= 0 {
+		return 2 * time.Second
+	}
+	return o.HealthTimeout
+}
+
+// gatewayMetrics holds the gateway's pre-registered instruments: per-shard
+// proxy latency and 502 counts (the ring's health as seen from the routing
+// tier) plus redirect issuance. Per-shard series register once at
+// construction — the shard set is fixed at boot — so the proxy path is a
+// map read plus atomics.
+type gatewayMetrics struct {
+	reg        *obs.Registry
+	redirects  *obs.Counter
+	proxyLat   map[string]*obs.Histogram
+	badGateway map[string]*obs.Counter
+}
+
+func newGatewayMetrics(reg *obs.Registry, shards []string) *gatewayMetrics {
+	if reg == nil {
+		return nil
+	}
+	m := &gatewayMetrics{
+		reg: reg,
+		redirects: reg.Counter("mlexray_gateway_redirects_total",
+			"Uploads answered 307 naming the owning shard."),
+		proxyLat:   make(map[string]*obs.Histogram, len(shards)),
+		badGateway: make(map[string]*obs.Counter, len(shards)),
+	}
+	for _, name := range shards {
+		m.proxyLat[name] = reg.Histogram("mlexray_gateway_proxy_seconds",
+			"Proxied request latency by shard.", obs.LatencyBounds(), obs.L("shard", name))
+		m.badGateway[name] = reg.Counter("mlexray_gateway_bad_gateway_total",
+			"502 answers for unreachable shards, by shard.", obs.L("shard", name))
+	}
+	return m
 }
 
 // Gateway fronts a consistent-hash ring of ingest collectors with the same
@@ -71,7 +125,13 @@ type Gateway struct {
 	opts GatewayOptions
 	ring *Ring
 	urls map[string]*url.URL
-	mux  *http.ServeMux
+
+	// met/traces are the gateway's self-telemetry (nil with
+	// DisableMetrics); both are nil-safe throughout.
+	met    *gatewayMetrics
+	traces *obs.TraceRing
+
+	mux *http.ServeMux
 }
 
 // NewGateway builds a gateway over the given shard set.
@@ -110,6 +170,14 @@ func NewGateway(opts GatewayOptions) (*Gateway, error) {
 		opts.Validate.Assertions = def.Assertions
 	}
 	g := &Gateway{opts: opts, ring: ring, urls: urls}
+	if !opts.DisableMetrics {
+		reg := opts.Metrics
+		if reg == nil {
+			reg = obs.NewRegistry()
+		}
+		g.met = newGatewayMetrics(reg, ring.Shards())
+		g.traces = obs.NewTraceRing(opts.TraceCapacity)
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /ingest", g.handleIngest)
 	mux.HandleFunc("GET /devices", g.handleDevices)
@@ -117,9 +185,33 @@ func NewGateway(opts GatewayOptions) (*Gateway, error) {
 	mux.HandleFunc("GET /fleet", g.handleFleet)
 	mux.HandleFunc("GET /fleet/export", g.handleFleetExport)
 	mux.HandleFunc("GET /healthz", g.handleHealth)
+	if g.met != nil {
+		mux.Handle("GET /metrics", g.met.reg.Handler())
+	}
+	if g.traces != nil {
+		mux.Handle("GET /debug/trace", g.traces.Handler())
+	}
 	g.mux = mux
 	return g, nil
 }
+
+// Metrics returns the gateway's registry (nil when DisableMetrics) — the
+// families GET /metrics renders, for in-process scrapers.
+func (g *Gateway) Metrics() *obs.Registry {
+	if g.met == nil {
+		return nil
+	}
+	return g.met.reg
+}
+
+// TraceDump returns the buffered request spans oldest-first — the
+// programmatic accessor behind GET /debug/trace.
+func (g *Gateway) TraceDump() []obs.Span { return g.traces.Spans("") }
+
+// Traces returns the gateway's bounded span ring (nil with
+// DisableMetrics) — what a daemon's -debug-addr listener mounts at
+// /debug/trace.
+func (g *Gateway) Traces() *obs.TraceRing { return g.traces }
 
 // ServeHTTP implements http.Handler.
 func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) { g.mux.ServeHTTP(w, r) }
@@ -148,16 +240,39 @@ func (g *Gateway) handleIngest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	owner := g.ring.Owner(device)
+	start := time.Now()
 	if g.opts.RedirectUploads {
 		// 307 keeps the method and body: the client re-POSTs the same chunk
 		// to the shard. RemoteSink treats the new endpoint as sticky.
+		if g.met != nil {
+			g.met.redirects.Inc()
+		}
 		w.Header().Set("Location", g.shardTarget(owner, r.URL))
 		w.Header().Set("X-MLEXray-Shard", owner)
 		w.WriteHeader(http.StatusTemporaryRedirect)
+		g.traces.RecordSince(r.Header.Get(obs.TraceHeader), "gateway",
+			"redirect:"+owner, http.StatusTemporaryRedirect, start)
 		return
 	}
-	g.proxy(w, r, owner)
+	sc := &gwStatusCapture{ResponseWriter: w, status: http.StatusOK}
+	g.proxy(sc, r, owner)
+	g.traces.RecordSince(r.Header.Get(obs.TraceHeader), "gateway",
+		"proxy:"+owner, sc.status, start)
 }
+
+// gwStatusCapture records the proxied status for the gateway's trace span.
+// Unwrap keeps http.ResponseController working through it.
+type gwStatusCapture struct {
+	http.ResponseWriter
+	status int
+}
+
+func (s *gwStatusCapture) WriteHeader(code int) {
+	s.status = code
+	s.ResponseWriter.WriteHeader(code)
+}
+
+func (s *gwStatusCapture) Unwrap() http.ResponseWriter { return s.ResponseWriter }
 
 func (g *Gateway) handleDevice(w http.ResponseWriter, r *http.Request) {
 	g.proxy(w, r, g.ring.Owner(r.PathValue("device")))
@@ -168,6 +283,7 @@ func (g *Gateway) handleDevice(w http.ResponseWriter, r *http.Request) {
 // and body. An unreachable shard is a 502: the gateway is fine, the ring
 // member is not.
 func (g *Gateway) proxy(w http.ResponseWriter, r *http.Request, shard string) {
+	start := time.Now()
 	req, err := http.NewRequestWithContext(r.Context(), r.Method, g.shardTarget(shard, r.URL), r.Body)
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, "proxy: %v", err)
@@ -176,7 +292,13 @@ func (g *Gateway) proxy(w http.ResponseWriter, r *http.Request, shard string) {
 	req.Header = r.Header.Clone()
 	req.ContentLength = r.ContentLength
 	resp, err := g.opts.client().Do(req)
+	if g.met != nil {
+		g.met.proxyLat[shard].ObserveSince(start)
+	}
 	if err != nil {
+		if g.met != nil {
+			g.met.badGateway[shard].Inc()
+		}
 		httpError(w, http.StatusBadGateway, "shard %q unreachable: %v", shard, err)
 		return
 	}
@@ -332,32 +454,86 @@ func (g *Gateway) handleDevices(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
+// ShardHealth is one ring member's view in the gateway's aggregated
+// /healthz: reachability plus the shard's own session totals, so the
+// gateway's health answer is a fleet summary, not just its own liveness.
+type ShardHealth struct {
+	Up            bool   `json:"up"`
+	Devices       int    `json:"devices"`
+	Evictions     int    `json:"evictions"`
+	Resurrections int    `json:"resurrections"`
+	Error         string `json:"error,omitempty"`
+}
+
+// probeShard fetches one shard's /healthz under the health timeout and
+// folds its body into a ShardHealth.
+func (g *Gateway) probeShard(ctx context.Context, name string) ShardHealth {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		strings.TrimRight(g.urls[name].String(), "/")+"/healthz", nil)
+	if err != nil {
+		return ShardHealth{Error: err.Error()}
+	}
+	resp, err := g.opts.client().Do(req)
+	if err != nil {
+		return ShardHealth{Error: fmt.Sprintf("unreachable: %v", err)}
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return ShardHealth{Error: fmt.Sprintf("status %d", resp.StatusCode)}
+	}
+	var body struct {
+		Devices       int `json:"devices"`
+		Evictions     int `json:"evictions"`
+		Resurrections int `json:"resurrections"`
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&body); err != nil {
+		return ShardHealth{Error: fmt.Sprintf("bad health body: %v", err)}
+	}
+	return ShardHealth{
+		Up:            true,
+		Devices:       body.Devices,
+		Evictions:     body.Evictions,
+		Resurrections: body.Resurrections,
+	}
+}
+
+// handleHealth aggregates per-shard health: every ring member is probed
+// concurrently under HealthTimeout (one hung shard cannot stall the
+// answer), and the reply carries each shard's up/down plus session totals
+// and the fleet-wide sums. "ok" means every shard answered healthy; the
+// HTTP status stays 200 either way — reachability of the gateway itself —
+// with the detail in the body.
 func (g *Gateway) handleHealth(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := context.WithTimeout(r.Context(), g.opts.healthTimeout())
+	defer cancel()
 	shards := g.ring.Shards()
-	up := make([]bool, len(shards))
+	health := make([]ShardHealth, len(shards))
 	var wg sync.WaitGroup
 	for i, name := range shards {
 		wg.Add(1)
 		go func(i int, name string) {
 			defer wg.Done()
-			resp, err := g.opts.client().Get(strings.TrimRight(g.urls[name].String(), "/") + "/healthz")
-			if err == nil {
-				up[i] = resp.StatusCode == http.StatusOK
-				resp.Body.Close()
-			}
+			health[i] = g.probeShard(ctx, name)
 		}(i, name)
 	}
 	wg.Wait()
-	status := make(map[string]bool, len(shards))
+	status := make(map[string]ShardHealth, len(shards))
 	ok := true
+	devices, evictions, resurrections := 0, 0, 0
 	for i, name := range shards {
-		status[name] = up[i]
-		ok = ok && up[i]
+		status[name] = health[i]
+		ok = ok && health[i].Up
+		devices += health[i].Devices
+		evictions += health[i].Evictions
+		resurrections += health[i].Resurrections
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"ok":     ok,
-		"shards": status,
-		"ring":   map[string]int{"shards": g.ring.N(), "vnodes": g.ring.Vnodes()},
+		"ok":            ok,
+		"shards":        status,
+		"devices":       devices,
+		"evictions":     evictions,
+		"resurrections": resurrections,
+		"ring":          map[string]int{"shards": g.ring.N(), "vnodes": g.ring.Vnodes()},
 	})
 }
 

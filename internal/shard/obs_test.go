@@ -1,0 +1,242 @@
+package shard
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"mlexray/internal/ingest"
+	"mlexray/internal/obs"
+)
+
+// TestTracePropagation pins the cross-tier trace protocol: the RemoteSink
+// mints one X-MLEXray-Trace ID per chunk POST, the gateway records its
+// proxy hop under that ID and forwards the header, and the owning shard
+// records its ingest and WAL hops under the same ID — so a single trace
+// value stitches the whole path together across two processes' rings.
+func TestTracePropagation(t *testing.T) {
+	const frames = 8
+	ref := gwSynthLog(frames, nil, false)
+
+	// Durable shards: the WAL hop only exists when appends hit a log.
+	shards := make(map[string]*ingest.Server, 2)
+	var addrs []ShardAddr
+	for i := 0; i < 2; i++ {
+		srv, err := ingest.NewServer(ingest.ServerOptions{Ref: ref, DataDir: t.TempDir()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(srv)
+		t.Cleanup(ts.Close)
+		name := fmt.Sprintf("shard-%d", i)
+		shards[name] = srv
+		addrs = append(addrs, ShardAddr{Name: name, URL: ts.URL})
+	}
+	gw, err := NewGateway(GatewayOptions{Shards: addrs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gwTS := httptest.NewServer(gw)
+	t.Cleanup(gwTS.Close)
+
+	device := "trace-dev"
+	gwUpload(t, gwTS.URL, device, gwSynthLog(frames, nil, false))
+
+	gwSpans := gw.TraceDump()
+	if len(gwSpans) == 0 {
+		t.Fatal("gateway recorded no spans")
+	}
+	owner := shards[gw.Owner(device)]
+
+	matched := 0
+	for _, gs := range gwSpans {
+		if gs.Hop != "gateway" || gs.Trace == "" {
+			continue
+		}
+		if !strings.HasPrefix(gs.Detail, "proxy:") {
+			t.Errorf("proxy-mode gateway span detail = %q, want proxy:<shard>", gs.Detail)
+		}
+		shardSpans := owner.TraceDump()
+		var hops []string
+		for _, ss := range shardSpans {
+			if ss.Trace == gs.Trace {
+				hops = append(hops, ss.Hop)
+			}
+		}
+		if len(hops) == 0 {
+			t.Errorf("trace %q seen at the gateway but not at the owning shard", gs.Trace)
+			continue
+		}
+		for _, want := range []string{"ingest", "wal"} {
+			found := false
+			for _, h := range hops {
+				if h == want {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("trace %q missing %q hop at the shard: got %v", gs.Trace, want, hops)
+			}
+		}
+		matched++
+	}
+	if matched == 0 {
+		t.Fatal("no gateway span matched a shard span — trace IDs did not propagate")
+	}
+
+	// The trace IDs are stable chunk identities: stream token + chunk index,
+	// so a retried chunk keeps its ID across hops and attempts.
+	for _, gs := range gwSpans {
+		if gs.Trace == "" {
+			continue
+		}
+		if i := strings.LastIndexByte(gs.Trace, '-'); i <= 0 || i == len(gs.Trace)-1 {
+			t.Errorf("trace ID %q is not <stream>-<chunk>", gs.Trace)
+		}
+	}
+}
+
+// TestGatewayHealthAggregation pins the fan-out /healthz: per-shard
+// up/down plus session totals, fleet-wide sums, and a dead shard flipping
+// ok=false while the endpoint itself stays 200 (the gateway is reachable;
+// the detail is in the body).
+func TestGatewayHealthAggregation(t *testing.T) {
+	const frames = 8
+	ref := gwSynthLog(frames, nil, false)
+	fleet := newShardFleet(t, 3, ref, false)
+
+	devices := []string{"health-a", "health-b", "health-c"}
+	for _, d := range devices {
+		gwUpload(t, fleet.gwTS.URL, d, gwSynthLog(frames, nil, false))
+	}
+
+	var reply struct {
+		OK      bool                   `json:"ok"`
+		Shards  map[string]ShardHealth `json:"shards"`
+		Devices int                    `json:"devices"`
+		Ring    map[string]int         `json:"ring"`
+	}
+	if err := json.Unmarshal(gwGetBytes(t, fleet.gwTS.URL+"/healthz"), &reply); err != nil {
+		t.Fatal(err)
+	}
+	if !reply.OK {
+		t.Errorf("healthy fleet reported ok=false: %+v", reply)
+	}
+	if len(reply.Shards) != 3 {
+		t.Fatalf("healthz covers %d shards, want 3", len(reply.Shards))
+	}
+	for name, sh := range reply.Shards {
+		if !sh.Up {
+			t.Errorf("shard %s reported down: %+v", name, sh)
+		}
+	}
+	if reply.Devices != len(devices) {
+		t.Errorf("aggregated devices = %d, want %d", reply.Devices, len(devices))
+	}
+	if reply.Ring["shards"] != 3 {
+		t.Errorf("ring size = %d, want 3", reply.Ring["shards"])
+	}
+
+	// Kill one shard: its entry flips down with an error, the rest stay up,
+	// and the fleet verdict goes false — but the HTTP status stays 200.
+	fleet.tss[0].Close()
+	resp, err := http.Get(fleet.gwTS.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz with dead shard: status %d, want 200", resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&reply); err != nil {
+		t.Fatal(err)
+	}
+	if reply.OK {
+		t.Error("fleet with dead shard reported ok=true")
+	}
+	dead := reply.Shards["shard-0"]
+	if dead.Up || dead.Error == "" {
+		t.Errorf("dead shard entry = %+v, want down with an error", dead)
+	}
+	for _, name := range []string{"shard-1", "shard-2"} {
+		if !reply.Shards[name].Up {
+			t.Errorf("surviving shard %s reported down", name)
+		}
+	}
+}
+
+// TestGatewayMetricsExposition pins the routing tier's own telemetry: after
+// proxied uploads, GET /metrics parses as Prometheus text and the per-shard
+// proxy histogram counted every proxied request.
+func TestGatewayMetricsExposition(t *testing.T) {
+	const frames = 8
+	ref := gwSynthLog(frames, nil, false)
+	fleet := newShardFleet(t, 2, ref, false)
+	sink := gwUpload(t, fleet.gwTS.URL, "metrics-dev", gwSynthLog(frames, nil, false))
+
+	body := gwGetBytes(t, fleet.gwTS.URL+"/metrics")
+	parsed, err := obs.ParseText(body)
+	if err != nil {
+		t.Fatalf("gateway /metrics does not parse: %v", err)
+	}
+	proxied := obs.SumSeries(parsed, "mlexray_gateway_proxy_seconds_count")
+	if int(proxied) < sink.Chunks() {
+		t.Errorf("proxy histogram counted %d requests, want >= %d chunks", int(proxied), sink.Chunks())
+	}
+	if obs.SumSeries(parsed, "mlexray_gateway_redirects_total") != 0 {
+		t.Error("proxy-mode gateway counted redirects")
+	}
+}
+
+// TestGatewayHealthTimeout pins the probe bound: a shard that hangs past
+// HealthTimeout is reported down, not awaited.
+func TestGatewayHealthTimeout(t *testing.T) {
+	ref := gwSynthLog(4, nil, false)
+	fleet := newShardFleet(t, 1, ref, false)
+
+	// A second "shard" that accepts the probe and stalls until the probe's
+	// own context gives up (Server.Close waits for handlers, so the handler
+	// must observe the cancellation or teardown deadlocks).
+	stuck := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-r.Context().Done()
+	}))
+	defer stuck.Close()
+
+	gw, err := NewGateway(GatewayOptions{
+		Shards: []ShardAddr{
+			{Name: "shard-live", URL: fleet.tss[0].URL},
+			{Name: "shard-stuck", URL: stuck.URL},
+		},
+		HealthTimeout: 100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	start := time.Now()
+	rw := httptest.NewRecorder()
+	gw.ServeHTTP(rw, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("healthz took %v — the probe timeout did not bound the hang", elapsed)
+	}
+	var reply struct {
+		OK     bool                   `json:"ok"`
+		Shards map[string]ShardHealth `json:"shards"`
+	}
+	if err := json.Unmarshal(rw.Body.Bytes(), &reply); err != nil {
+		t.Fatal(err)
+	}
+	if reply.OK {
+		t.Error("hung shard reported ok=true")
+	}
+	if reply.Shards["shard-stuck"].Up {
+		t.Error("hung shard reported up")
+	}
+	if !reply.Shards["shard-live"].Up {
+		t.Error("live shard reported down")
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"bytes"
 	"fmt"
 	"io"
+	"math"
 	mrand "math/rand/v2"
 	"net"
 	"net/http"
@@ -39,6 +40,7 @@ import (
 
 	"mlexray/internal/core"
 	"mlexray/internal/ingest"
+	"mlexray/internal/obs"
 	"mlexray/internal/shard"
 )
 
@@ -92,6 +94,13 @@ type Options struct {
 	// SinkMaxElapsed is each device sink's total retry budget; <= 0 means
 	// 90s — generous enough to ride out restarts and admission waves.
 	SinkMaxElapsed time.Duration
+	// ScrapeEvery is the in-storm /metrics sampling period: a scrape loop
+	// polls every collector's (and the gateway's) exposition while the
+	// swarm runs, folding the server-side view into the result next to
+	// the recorder's client-side one. 0 means 250ms; negative disables
+	// scraping (ServerMetrics stays nil and the reconcile invariant is
+	// skipped).
+	ScrapeEvery time.Duration
 	// Logf, when set, narrates the storm's acts (test logging).
 	Logf func(format string, args ...any)
 }
@@ -145,6 +154,20 @@ type Result struct {
 	// RefReplayRejects counts acked chunks the fault-free reference server
 	// did not ack on replay — must be 0.
 	RefReplayRejects int `json:"ref_replay_rejects"`
+	// ScrapeSamples counts successful in-storm /metrics scrape rounds.
+	ScrapeSamples int `json:"scrape_samples"`
+	// ServerMetrics is the final post-recovery /metrics scrape, summed
+	// across every shard (nil when scraping is disabled) — the collector
+	// fleet's own account of the storm.
+	ServerMetrics map[string]float64 `json:"server_metrics,omitempty"`
+	// ServerChunks is mlexray_ingest_chunks_total out of ServerMetrics:
+	// the chunks the collectors say they applied.
+	ServerChunks int `json:"server_chunks"`
+	// DistinctAckedChunks is the recorder's distinct (device, stream,
+	// chunk) acked set — what ServerChunks must reconcile with: a chunk
+	// the server acked must be counted applied exactly once, across every
+	// retry, duplicate, eviction and restart.
+	DistinctAckedChunks int `json:"distinct_acked_chunks"`
 	// FleetLive is the recovered collector's /fleet body; FleetRef is the
 	// fault-free reference server's /fleet over the same acked chunks.
 	// The invariant is FleetLive == FleetRef, byte for byte.
@@ -179,7 +202,11 @@ type LatencyBucket struct {
 
 // latencyHistogram splits [0, elapsed) into n equal windows and summarizes
 // the latency samples completing in each; samples past elapsed (drain tail)
-// land in the last bucket.
+// land in the last bucket. The per-window quantiles come from an
+// obs.Histogram over obs.LatencyBounds — the same log-spaced buckets the
+// collectors' own /metrics latency histograms use, so the client-side and
+// server-side views of one storm bucket identically (maxima stay exact
+// from the raw samples; a bucketed histogram cannot produce them).
 func latencyHistogram(offsets, lats []time.Duration, elapsed time.Duration, n int) []LatencyBucket {
 	if len(lats) == 0 || elapsed <= 0 || n <= 0 {
 		return nil
@@ -188,7 +215,9 @@ func latencyHistogram(offsets, lats []time.Duration, elapsed time.Duration, n in
 	if width <= 0 {
 		width = 1
 	}
-	byBucket := make([][]time.Duration, n)
+	hists := make([]*obs.Histogram, n)
+	maxes := make([]time.Duration, n)
+	counts := make([]int, n)
 	for i, off := range offsets {
 		b := int(off / width)
 		if b < 0 {
@@ -197,29 +226,35 @@ func latencyHistogram(offsets, lats []time.Duration, elapsed time.Duration, n in
 		if b >= n {
 			b = n - 1
 		}
-		byBucket[b] = append(byBucket[b], lats[i])
+		if hists[b] == nil {
+			hists[b] = obs.NewHistogram(obs.LatencyBounds())
+		}
+		hists[b].Observe(lats[i].Seconds())
+		counts[b]++
+		if lats[i] > maxes[b] {
+			maxes[b] = lats[i]
+		}
 	}
 	out := make([]LatencyBucket, 0, n)
-	for b, samples := range byBucket {
+	for b := 0; b < n; b++ {
 		lb := LatencyBucket{
 			StartMs: (time.Duration(b) * width).Milliseconds(),
 			EndMs:   (time.Duration(b+1) * width).Milliseconds(),
-			Count:   len(samples),
+			Count:   counts[b],
 		}
-		if len(samples) > 0 {
-			lb.P50Ns = quantile(samples, 0.50).Nanoseconds()
-			lb.P99Ns = quantile(samples, 0.99).Nanoseconds()
-			max := samples[0]
-			for _, s := range samples[1:] {
-				if s > max {
-					max = s
-				}
-			}
-			lb.MaxNs = max.Nanoseconds()
+		if counts[b] > 0 {
+			lb.P50Ns = histQuantileNs(hists[b], 0.50)
+			lb.P99Ns = histQuantileNs(hists[b], 0.99)
+			lb.MaxNs = maxes[b].Nanoseconds()
 		}
 		out = append(out, lb)
 	}
 	return out
+}
+
+// histQuantileNs reads a bucketed quantile back out in nanoseconds.
+func histQuantileNs(h *obs.Histogram, q float64) int64 {
+	return int64(math.Round(h.Quantile(q) * 1e9))
 }
 
 // CheckInvariants returns the storm's graceful-degradation verdict: nil
@@ -240,6 +275,15 @@ func (r *Result) CheckInvariants() error {
 	}
 	if !bytes.Equal(r.FleetLive, r.FleetRef) {
 		problems = append(problems, "recovered /fleet differs from the fault-free reference over the same acked chunks")
+	}
+	// The observability pillar: the server's own telemetry must agree with
+	// what the clients saw. Only meaningful when the final scrape ran and
+	// every sink drained — a given-up sink leaves chunks the server logged
+	// but no client acked, which is degradation, not a counting bug.
+	if r.ServerMetrics != nil && len(r.SinkErrors) == 0 && r.ServerChunks != r.DistinctAckedChunks {
+		problems = append(problems, fmt.Sprintf(
+			"server-reported chunk counters do not reconcile with client acks: mlexray_ingest_chunks_total=%d, distinct acked chunks=%d",
+			r.ServerChunks, r.DistinctAckedChunks))
 	}
 	if len(problems) == 0 {
 		return nil
@@ -363,9 +407,21 @@ type collector struct {
 	opts ingest.ServerOptions
 	rec  *recorder
 	addr string
+
+	mu   sync.Mutex // guards srv/hs/done: the killer swaps them mid-storm while the scrape loop reads
 	srv  *ingest.Server
 	hs   *http.Server
 	done chan struct{}
+}
+
+// server returns the current incarnation. The scrape loop must go through
+// this — the killer replaces c.srv concurrently. (Between kill and restart
+// it can hand back a closed server; GET /metrics still answers from the
+// dead incarnation's registry, which is exactly the pre-crash view.)
+func (c *collector) server() *ingest.Server {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.srv
 }
 
 func (c *collector) start() error {
@@ -391,7 +447,6 @@ func (c *collector) start() error {
 	if c.addr == "" {
 		c.addr = ln.Addr().String()
 	}
-	c.srv = srv
 	handler := http.Handler(srv)
 	if c.rec != nil {
 		c.rec.setInner(srv)
@@ -403,15 +458,21 @@ func (c *collector) start() error {
 		hs.Serve(ln)
 		close(done)
 	}()
+	c.mu.Lock()
+	c.srv = srv
 	c.hs = hs
 	c.done = done
+	c.mu.Unlock()
 	return nil
 }
 
 func (c *collector) kill() {
-	c.hs.Close()
-	<-c.done
-	c.srv.Close()
+	c.mu.Lock()
+	hs, done, srv := c.hs, c.done, c.srv
+	c.mu.Unlock()
+	hs.Close()
+	<-done
+	srv.Close()
 }
 
 // memWriter is a minimal in-process ResponseWriter for driving a handler
@@ -472,17 +533,6 @@ func peakRSSBytes() int64 {
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
 	return int64(ms.Sys)
-}
-
-// quantile returns the q'th latency quantile (nearest-rank).
-func quantile(ds []time.Duration, q float64) time.Duration {
-	if len(ds) == 0 {
-		return 0
-	}
-	s := append([]time.Duration(nil), ds...)
-	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
-	idx := int(q*float64(len(s)-1) + 0.5)
-	return s[idx]
 }
 
 // Run executes one storm end to end and returns what it observed. The
@@ -635,6 +685,52 @@ func Run(opts Options) (*Result, error) {
 		close(killerDone)
 	}
 
+	// The scrape loop: while the swarm runs, poll every collector's (and the
+	// gateway's) /metrics in process, exactly as an external Prometheus
+	// would over HTTP. Its job is interference detection — exposition must
+	// stay parseable and cheap under full ingest load, crash/restart churn
+	// included. The final reconcile scrape below is separate: it reads the
+	// post-recovery counters this loop never sees.
+	scrapeEvery := opts.ScrapeEvery
+	if scrapeEvery == 0 {
+		scrapeEvery = 250 * time.Millisecond
+	}
+	scrapeSamples := 0 // scraper-goroutine-only until scraperDone closes
+	stopScraper := make(chan struct{})
+	scraperDone := make(chan struct{})
+	if scrapeEvery > 0 {
+		go func() {
+			defer close(scraperDone)
+			tick := time.NewTicker(scrapeEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stopScraper:
+					return
+				case <-tick.C:
+				}
+				ok := true
+				for _, c := range cols {
+					if code, body := getPath(c.server(), "/metrics"); code != http.StatusOK {
+						ok = false
+					} else if _, err := obs.ParseText(body); err != nil {
+						ok = false
+					}
+				}
+				if gw != nil {
+					if code, _ := getPath(gw, "/metrics"); code != http.StatusOK {
+						ok = false
+					}
+				}
+				if ok {
+					scrapeSamples++
+				}
+			}
+		}()
+	} else {
+		close(scraperDone)
+	}
+
 	// The swarm: heterogeneous profiles, bursty waves, stragglers.
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -694,6 +790,8 @@ func Run(opts Options) (*Result, error) {
 	elapsed := time.Since(start)
 	close(stopKiller)
 	<-killerDone
+	close(stopScraper)
+	<-scraperDone
 	if killerErr != nil {
 		return nil, killerErr
 	}
@@ -708,6 +806,7 @@ func Run(opts Options) (*Result, error) {
 		NetErrors:    met.netErrors,
 		Shards:       nShards,
 	}
+	res.ScrapeSamples = scrapeSamples
 	for _, e := range sinkErrs {
 		if e != "" {
 			res.SinkErrors = append(res.SinkErrors, e)
@@ -776,6 +875,33 @@ func Run(opts Options) (*Result, error) {
 		return nil, fmt.Errorf("storm: /fleet after recovery: %d: %s", code, body)
 	}
 	res.FleetLive = body
+
+	// The reconcile scrape: after the final kill/restart every durable
+	// shard's counters were rebuilt purely from WAL replay, so each distinct
+	// logged chunk was counted exactly once — any mid-storm resurrection
+	// double-counting died with the pre-crash registry. (Without a DataDir
+	// nothing ever restarts, so the live counters are equally clean.)
+	// Summed across shards, mlexray_ingest_chunks_total must equal the
+	// recorder's distinct acked set; CheckInvariants holds the two up
+	// against each other.
+	if scrapeEvery > 0 {
+		merged := make(map[string]float64)
+		for _, c := range cols {
+			code, text := getPath(c.srv, "/metrics")
+			if code != http.StatusOK {
+				shutdown()
+				return nil, fmt.Errorf("storm: final /metrics scrape: %d: %s", code, text)
+			}
+			parsed, err := obs.ParseText(text)
+			if err != nil {
+				shutdown()
+				return nil, fmt.Errorf("storm: final /metrics scrape: %w", err)
+			}
+			obs.MergeParsed(merged, parsed)
+		}
+		res.ServerMetrics = merged
+		res.ServerChunks = int(obs.SumSeries(merged, "mlexray_ingest_chunks_total"))
+	}
 	shutdown()
 
 	// The fault-free reference: a fresh in-memory collector fed exactly
@@ -790,7 +916,13 @@ func Run(opts Options) (*Result, error) {
 	}
 	met.mu.Unlock()
 	res.FaultsInjected = faults
-	res.P99Latency = quantile(latencies, 0.99)
+	if len(latencies) > 0 {
+		overall := obs.NewHistogram(obs.LatencyBounds())
+		for _, l := range latencies {
+			overall.Observe(l.Seconds())
+		}
+		res.P99Latency = time.Duration(histQuantileNs(overall, 0.99))
+	}
 	res.LatencyHist = latencyHistogram(offsets, latencies, elapsed, 8)
 
 	rec.mu.Lock()
@@ -802,6 +934,17 @@ func Run(opts Options) (*Result, error) {
 		}
 	}
 	res.AckedChunks = rec.ackedN
+	// Distinct (device, stream, chunk) keys: a chunk whose 200 the client
+	// never saw (cut response) gets re-sent and re-acked, so the raw acked
+	// list can hold the same logical chunk twice — the server counts it
+	// once (duplicate-chunk path), and so must the reconcile side.
+	distinct := make(map[string]struct{}, rec.ackedN)
+	for dev, chunks := range rec.acked {
+		for _, ch := range chunks {
+			distinct[dev+"\x00"+ch.stream+"\x00"+strconv.Itoa(ch.chunk)] = struct{}{}
+		}
+	}
+	res.DistinctAckedChunks = len(distinct)
 	ackedDevices := make([]string, 0, len(rec.acked))
 	for dev := range rec.acked {
 		ackedDevices = append(ackedDevices, dev)

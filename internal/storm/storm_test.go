@@ -5,6 +5,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"mlexray/internal/obs"
 )
 
 // waitGoroutines polls for the goroutine count to settle back near the
@@ -47,6 +49,7 @@ func TestStormInMemoryClean(t *testing.T) {
 		Devices:         8,
 		FramesPerDevice: 2,
 		Seed:            7,
+		ScrapeEvery:     10 * time.Millisecond, // fast storm: make sure mid-storm scrapes land
 		Logf:            t.Logf,
 	})
 	if err != nil {
@@ -57,6 +60,12 @@ func TestStormInMemoryClean(t *testing.T) {
 	}
 	if res.StatusCounts[200] == 0 {
 		t.Errorf("no 200s recorded: %v", res.StatusCounts)
+	}
+	if res.ServerMetrics == nil || res.ServerChunks == 0 {
+		t.Errorf("final reconcile scrape missing: chunks=%d", res.ServerChunks)
+	}
+	if res.ServerChunks != res.DistinctAckedChunks {
+		t.Errorf("server chunks %d != distinct acked %d", res.ServerChunks, res.DistinctAckedChunks)
 	}
 	if res.NetErrors != 0 {
 		t.Errorf("fault-free storm saw %d net errors", res.NetErrors)
@@ -138,6 +147,12 @@ func TestStormInvariants(t *testing.T) {
 	if res.Evictions == 0 {
 		t.Error("no sessions were evicted — idle eviction never engaged under cap pressure")
 	}
+	if res.ScrapeSamples == 0 {
+		t.Error("the /metrics scrape loop never sampled a multi-second storm")
+	}
+	if res.ServerMetrics == nil || res.ServerChunks == 0 {
+		t.Errorf("final reconcile scrape missing: chunks=%d", res.ServerChunks)
+	}
 	waitGoroutines(t, baseline)
 }
 
@@ -198,6 +213,16 @@ func TestStormShardedInvariants(t *testing.T) {
 	if len(res.LatencyHist) == 0 {
 		t.Error("no latency histogram recorded")
 	}
+	if res.ScrapeSamples == 0 {
+		t.Error("the /metrics scrape loop never sampled the sharded storm")
+	}
+	if res.ServerMetrics == nil {
+		t.Fatal("final reconcile scrape missing")
+	}
+	if res.ServerChunks != res.DistinctAckedChunks {
+		t.Errorf("post-recovery shard counters %d != distinct acked %d",
+			res.ServerChunks, res.DistinctAckedChunks)
+	}
 	waitGoroutines(t, baseline)
 }
 
@@ -222,16 +247,16 @@ func TestLatencyHistogram(t *testing.T) {
 	if len(hist) != 8 {
 		t.Fatalf("got %d buckets, want 8", len(hist))
 	}
-	if hist[0].Count != 2 || hist[0].MaxNs != (3 * time.Millisecond).Nanoseconds() {
+	if hist[0].Count != 2 || hist[0].MaxNs != (3*time.Millisecond).Nanoseconds() {
 		t.Errorf("bucket 0 = %+v, want 2 samples max 3ms", hist[0])
 	}
 	if hist[0].StartMs != 0 || hist[0].EndMs != 100 {
 		t.Errorf("bucket 0 window = [%d, %d)ms, want [0, 100)", hist[0].StartMs, hist[0].EndMs)
 	}
-	if hist[1].Count != 1 || hist[1].P99Ns != (50 * time.Millisecond).Nanoseconds() {
+	if hist[1].Count != 1 || hist[1].P99Ns != (50*time.Millisecond).Nanoseconds() {
 		t.Errorf("bucket 1 = %+v, want the 50ms sample", hist[1])
 	}
-	if hist[7].Count != 1 || hist[7].MaxNs != (7 * time.Millisecond).Nanoseconds() {
+	if hist[7].Count != 1 || hist[7].MaxNs != (7*time.Millisecond).Nanoseconds() {
 		t.Errorf("last bucket = %+v, want the clamped drain-tail sample", hist[7])
 	}
 	total := 0
@@ -243,20 +268,18 @@ func TestLatencyHistogram(t *testing.T) {
 	}
 }
 
-// TestQuantile pins the nearest-rank p99 helper.
-func TestQuantile(t *testing.T) {
-	var ds []time.Duration
-	if got := quantile(ds, 0.99); got != 0 {
-		t.Errorf("empty quantile = %v", got)
+// TestHistQuantileNs pins the bucketed quantile read-back: the storm's
+// latency summaries share obs.LatencyBounds with the collectors'
+// exposition histograms, and a sample sitting exactly on a bound must
+// come back as that bound in nanoseconds with no float drift.
+func TestHistQuantileNs(t *testing.T) {
+	h := obs.NewHistogram(obs.LatencyBounds())
+	if got := histQuantileNs(h, 0.99); got != 0 {
+		t.Errorf("empty histogram p99 = %d, want 0", got)
 	}
-	for i := 100; i >= 1; i-- {
-		ds = append(ds, time.Duration(i))
-	}
-	if got := quantile(ds, 0.99); got != 99 {
-		t.Errorf("p99 of 1..100 = %v, want 99", got)
-	}
-	if got := quantile(ds, 0); got != 1 {
-		t.Errorf("p0 = %v, want 1", got)
+	h.Observe(0.05) // exactly the 50ms bound
+	if got := histQuantileNs(h, 0.99); got != (50 * time.Millisecond).Nanoseconds() {
+		t.Errorf("p99 = %dns, want exactly 50ms", got)
 	}
 }
 
@@ -281,5 +304,25 @@ func TestCheckInvariantsReportsAll(t *testing.T) {
 	}
 	if (&Result{}).CheckInvariants() != nil {
 		t.Error("clean result failed")
+	}
+
+	// The reconcile pillar: counter drift is a violation on its own...
+	drifted := &Result{
+		ServerMetrics:       map[string]float64{"mlexray_ingest_chunks_total": 3},
+		ServerChunks:        3,
+		DistinctAckedChunks: 4,
+	}
+	if err := drifted.CheckInvariants(); err == nil || !strings.Contains(err.Error(), "reconcile") {
+		t.Errorf("counter drift not reported: %v", err)
+	}
+	// ...but only when every sink drained (a given-up sink legitimately
+	// leaves server-logged chunks no client acked) and the scrape ran.
+	drifted.SinkErrors = []string{"dev-0001: gave up"}
+	if err := drifted.CheckInvariants(); err != nil && strings.Contains(err.Error(), "reconcile") {
+		t.Errorf("reconcile reported despite undrained sinks: %v", err)
+	}
+	unscraped := &Result{DistinctAckedChunks: 4}
+	if err := unscraped.CheckInvariants(); err != nil {
+		t.Errorf("reconcile reported without a scrape: %v", err)
 	}
 }

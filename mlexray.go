@@ -87,10 +87,12 @@ package mlexray
 
 import (
 	"io"
+	"net/http"
 
 	"mlexray/internal/core"
 	"mlexray/internal/device"
 	"mlexray/internal/ingest"
+	"mlexray/internal/obs"
 	"mlexray/internal/ops"
 	"mlexray/internal/runner"
 	"mlexray/internal/shard"
@@ -490,6 +492,55 @@ type FleetSessionSnapshot = core.FleetSessionSnapshot
 func MergeFleetSnapshots(snaps []FleetSessionSnapshot, opts ValidateOptions) (*FleetReport, error) {
 	return core.MergeFleetSnapshots(snaps, opts)
 }
+
+// ---- observability API ----
+
+// MetricsRegistry holds the collector tier's self-telemetry: zero-alloc
+// atomic counters, gauges and log-bucketed histograms, rendered in
+// Prometheus text exposition format (GET /metrics on every collector and
+// gateway). Pass one as IngestServerOptions.Metrics /
+// IngestGatewayOptions.Metrics / RemoteSinkOptions.Metrics to share a
+// registry across components, or leave nil for a private per-component
+// registry. IngestServerOptions.DisableMetrics turns the layer off
+// entirely — the benchmarked instrumentation overhead on the ingest hot
+// path is under 3%.
+type MetricsRegistry = obs.Registry
+
+// NewMetricsRegistry builds an empty registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// RegisterRuntimeMetrics adds process-level gauges (goroutines, heap,
+// GC pauses and cycles) to a registry, as cmd/exrayd and cmd/exraygw do.
+func RegisterRuntimeMetrics(reg *MetricsRegistry) { obs.RegisterRuntimeMetrics(reg) }
+
+// TraceRing is the bounded in-memory span store behind GET /debug/trace:
+// RemoteSink mints an X-MLEXray-Trace ID per chunk
+// (<stream-token>-<chunk-index>) and the gateway, the owning shard's
+// ingest handler and the WAL append each record a hop against it, so one
+// chunk's path through a sharded deployment is reconstructable from the
+// rings alone (IngestServer.Traces, IngestGateway.Traces).
+type TraceRing = obs.TraceRing
+
+// TraceSpan is one recorded hop in a TraceRing.
+type TraceSpan = obs.Span
+
+// NewTraceRing builds a ring holding the last capacity spans
+// (<= 0 means the default).
+func NewTraceRing(capacity int) *TraceRing { return obs.NewTraceRing(capacity) }
+
+// DebugMux mounts the observability surface — GET /metrics, GET
+// /debug/trace and net/http/pprof — on one mux, for an opt-in debug
+// listener (the daemons' -debug-addr). pprof lives only here, never on
+// an ingest or routing address.
+func DebugMux(reg *MetricsRegistry, ring *TraceRing) *http.ServeMux {
+	return obs.DebugMux(reg, ring)
+}
+
+// SinkStats is a RemoteSink's client-side view of its upload session
+// (RemoteSink.Stats): chunks, frames, records and wire bytes sent,
+// retries, redirects followed, chunks given up and time spent backing
+// off — what edgerun prints after each upload.
+type SinkStats = ingest.SinkStats
 
 // ---- validation API ----
 

@@ -3,7 +3,9 @@
 # exraygw gateway run as real processes, a heterogeneous device fleet
 # uploads through the gateway with edgerun -upload, and the gateway's merged
 # /fleet is diffed byte-for-byte against a single collector that ingested
-# the identical per-device logs. Run from anywhere; needs go and curl.
+# the identical per-device logs, and the shards' own /metrics chunk counters
+# are reconciled against the chunks the upload clients reported sending.
+# Run from anywhere; needs go and curl.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -49,7 +51,7 @@ wait_ready http://127.0.0.1:19180
 # each device's shard log next to -o (edge.d0-Pixel4.jsonl, ...).
 "$bin/edgerun" -model mobilenetv2-mini -bug normalization \
 	-fleet "Pixel4:1,Pixel3:1,Emulator-x86:1" \
-	-upload http://127.0.0.1:19180 -o "$work/edge.jsonl" >/dev/null
+	-upload http://127.0.0.1:19180 -o "$work/edge.jsonl" >"$work/edgerun.out"
 
 curl -fsS http://127.0.0.1:19180/fleet >"$work/fleet_sharded.json"
 
@@ -61,6 +63,27 @@ for port in 19181 19182; do
 		exit 1
 	fi
 done
+
+# Self-telemetry: each upload summary says how many chunks the client sent;
+# the shards' own /metrics counters must agree exactly, and the gateway must
+# have proxied every one of them (redirects are off in this smoke).
+client_chunks=$(sed -n 's/.* in \([0-9][0-9]*\) chunks.*/\1/p' "$work/edgerun.out" | awk '{s+=$1} END {print s+0}')
+server_chunks=0
+for port in 19181 19182; do
+	n=$(curl -fsS "http://127.0.0.1:$port/metrics" |
+		awk '/^mlexray_ingest_chunks_total /{print $2}')
+	server_chunks=$((server_chunks + ${n:-0}))
+done
+gateway_proxied=$(curl -fsS http://127.0.0.1:19180/metrics |
+	awk '/^mlexray_gateway_proxy_seconds_count/{s+=$2} END {print s+0}')
+if [ "$client_chunks" -eq 0 ] || [ "$server_chunks" -ne "$client_chunks" ]; then
+	echo "smoke_sharded: shard /metrics count $server_chunks chunks but the clients sent $client_chunks" >&2
+	exit 1
+fi
+if [ "$gateway_proxied" -ne "$client_chunks" ]; then
+	echo "smoke_sharded: gateway proxied $gateway_proxied chunks but the clients sent $client_chunks" >&2
+	exit 1
+fi
 
 # Reference: one collector ingests the identical per-device logs directly.
 "$bin/exrayd" -ref "$work/ref.jsonl" -addr 127.0.0.1:19183 >/dev/null &
@@ -81,4 +104,5 @@ if ! cmp -s "$work/fleet_single.json" "$work/fleet_sharded.json"; then
 	exit 1
 fi
 echo "smoke_sharded: PASS — merged /fleet byte-identical to the single collector" \
-	"($(wc -c <"$work/fleet_sharded.json") bytes)"
+	"($(wc -c <"$work/fleet_sharded.json") bytes);" \
+	"/metrics reconciled ($client_chunks chunks client-side = $server_chunks server-side, $gateway_proxied proxied)"
